@@ -1,0 +1,72 @@
+// A-kernels (DESIGN.md): throughput of the SIMD distance kernels that both
+// the flat index scan and the cache key scan are built on (§2.2 premise:
+// NNS cost is dominated by distance evaluations; §4.1: the original uses
+// Rust Portable-SIMD for the same purpose).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "vecmath/kernels.h"
+
+namespace proximity {
+namespace {
+
+std::vector<float> RandomVec(std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(dim);
+  for (auto& x : v) x = static_cast<float>(rng.Gaussian(0, 1));
+  return v;
+}
+
+void BM_L2Squared(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto a = RandomVec(dim, 1), b = RandomVec(dim, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L2SquaredDistance(a, b));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim) * 2 * 4);
+}
+BENCHMARK(BM_L2Squared)->Arg(64)->Arg(128)->Arg(256)->Arg(768)->Arg(1536);
+
+void BM_InnerProduct(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto a = RandomVec(dim, 3), b = RandomVec(dim, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InnerProduct(a, b));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim) * 2 * 4);
+}
+BENCHMARK(BM_InnerProduct)->Arg(64)->Arg(768)->Arg(1536);
+
+void BM_Cosine(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto a = RandomVec(dim, 5), b = RandomVec(dim, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CosineDistance(a, b));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim) * 2 * 4);
+}
+BENCHMARK(BM_Cosine)->Arg(64)->Arg(768)->Arg(1536);
+
+// The batched scan used by FlatIndex and the cache (row-major block).
+void BM_BatchDistance(benchmark::State& state) {
+  constexpr std::size_t kDim = 768;
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<float> base(rows * kDim);
+  for (auto& x : base) x = static_cast<float>(rng.Gaussian(0, 1));
+  const auto query = RandomVec(kDim, 8);
+  std::vector<float> out(rows);
+  for (auto _ : state) {
+    BatchDistance(Metric::kL2, query, base.data(), rows, kDim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_BatchDistance)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace proximity

@@ -1,0 +1,99 @@
+// Shared driver for the two Figure-3 reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common/ascii_plot.h"
+#include "common/config.h"
+#include "common/log.h"
+#include "rag/experiment.h"
+#include "rag/verdict.h"
+
+namespace proximity::bench {
+
+/// Applies the command-line overrides shared by both Figure-3 benches.
+inline void ApplyCommonOverrides(const Config& cfg, SweepConfig& sc) {
+  sc.capacities = cfg.GetIntList("capacities", sc.capacities);
+  sc.tolerances = cfg.GetDoubleList("tolerances", sc.tolerances);
+  sc.num_seeds = static_cast<std::size_t>(
+      cfg.GetInt("seeds", static_cast<std::int64_t>(sc.num_seeds)));
+  sc.base_seed = static_cast<std::uint64_t>(cfg.GetInt("base_seed", 1));
+  sc.top_k =
+      static_cast<std::size_t>(cfg.GetInt("top_k", static_cast<std::int64_t>(
+                                                       sc.top_k)));
+  sc.variants_per_question = static_cast<std::size_t>(cfg.GetInt(
+      "variants", static_cast<std::int64_t>(sc.variants_per_question)));
+  sc.eviction = EvictionFromName(
+      cfg.GetString("eviction", std::string(EvictionName(sc.eviction))));
+  if (cfg.GetBool("quiet", false)) SetLogLevel(LogLevel::kWarn);
+}
+
+/// Renders the three Figure-3 panels as terminal charts: one series per
+/// cache capacity, metric vs τ.
+inline void PlotFig3Panels(const std::vector<SweepCell>& cells) {
+  struct Panel {
+    const char* title;
+    double (*value)(const SweepCell&);
+  };
+  const Panel panels[] = {
+      {"accuracy vs tau (one series per capacity c)",
+       [](const SweepCell& c) { return c.mean.accuracy; }},
+      {"cache hit rate vs tau",
+       [](const SweepCell& c) { return c.mean.hit_rate; }},
+      {"mean retrieval latency [ms] vs tau",
+       [](const SweepCell& c) { return c.mean.mean_latency_ms; }},
+  };
+  for (const auto& panel : panels) {
+    std::map<std::int64_t, PlotSeries> by_capacity;
+    for (const auto& cell : cells) {
+      auto& series = by_capacity[cell.capacity];
+      series.label = "c=" + std::to_string(cell.capacity);
+      series.points.emplace_back(cell.tolerance, panel.value(cell));
+    }
+    std::vector<PlotSeries> series;
+    for (auto& [_, s] : by_capacity) series.push_back(std::move(s));
+    PlotOptions opts;
+    opts.title = panel.title;
+    opts.x_label = "tau (log-ish scale)";
+    opts.log_x = true;
+    std::fputs(RenderAsciiPlot(series, opts).c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+}
+
+enum class Fig3Row { kMmlu, kMedrag };
+
+/// Runs the sweep and prints the figure CSV, the latency-reduction
+/// summary (the paper's headline claim), and the per-claim reproduction
+/// verdicts. Pass plot=true on the command line to also render the panels
+/// as terminal charts.
+inline int RunFig3(const char* figure_label, Fig3Row row, SweepConfig sc,
+                   bool plot = false) {
+  SweepRunner runner(std::move(sc));
+  const auto cells = runner.Run();
+
+  std::printf("# %s\n", figure_label);
+  std::printf("# columns mirror Figure 3: accuracy (left panel), hit_rate\n");
+  std::printf("# (middle panel), mean_latency_ms (right panel), per (c, tau)\n");
+  SweepRunner::ToCsv(cells).Write(std::cout);
+
+  std::printf("\n# Latency-reduction summary (cf. abstract: up to 59%% for\n");
+  std::printf("# MMLU, 70.8%% for MedRAG): best tau > 0 maintaining\n");
+  std::printf("# accuracy vs the tau = 0 baseline\n");
+  SweepRunner::LatencyReductionSummary(cells).Write(std::cout);
+
+  std::printf("\n# Reproduction verdicts (paper §4.3 anchors)\n");
+  const auto claims = row == Fig3Row::kMmlu ? CheckMmluClaims(cells)
+                                            : CheckMedragClaims(cells);
+  std::fputs(RenderClaims(claims).c_str(), stdout);
+
+  if (plot) {
+    std::printf("\n");
+    PlotFig3Panels(cells);
+  }
+  return 0;
+}
+
+}  // namespace proximity::bench

@@ -1,0 +1,87 @@
+// A-locality (extension of §4.3.4): "tuning the tolerance parameter and
+// cache capacity based on workload characteristics will be critical".
+//
+// This bench quantifies the "workload characteristics" axis the paper
+// leaves implicit: how the cache's value depends on query locality. It
+// sweeps (a) the Zipf popularity exponent of a conversational traffic
+// stream and (b) the number of prefix variants per question in the
+// paper's own protocol, reporting hit rate and latency reduction at a
+// fixed (c, tau).
+//
+// Usage: locality_sweep [corpus=8000] [capacity=200] [tau=2] [seeds=3]
+//                       [exponents=0,0.5,1,1.5] [variants=1,2,4,8]
+#include <cstdio>
+#include <iostream>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/log.h"
+#include "llm/answer_model.h"
+#include "rag/experiment.h"
+#include "workload/benchmark_spec.h"
+
+int main(int argc, char** argv) {
+  using namespace proximity;
+  const Config cfg = Config::FromArgs(argc, argv);
+  if (cfg.GetBool("quiet", false)) SetLogLevel(LogLevel::kWarn);
+
+  const auto corpus = static_cast<std::size_t>(cfg.GetInt("corpus", 8000));
+  const auto capacity = cfg.GetInt("capacity", 200);
+  const double tau = cfg.GetDouble("tau", 2.0);
+  const auto seeds = static_cast<std::size_t>(cfg.GetInt("seeds", 3));
+
+  CsvTable table({"axis", "value", "hit_rate", "accuracy",
+                  "baseline_latency_ms", "cached_latency_ms",
+                  "latency_reduction_pct"});
+
+  auto run_axis = [&](const char* axis, double value, SweepConfig sc) {
+    SweepRunner runner(std::move(sc));
+    double hit = 0, acc = 0, base = 0, cached = 0;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      const RunMetrics b = runner.RunOne(capacity, 0.0, 1 + s);
+      const RunMetrics m = runner.RunOne(capacity, tau, 1 + s);
+      hit += m.hit_rate;
+      acc += m.accuracy;
+      base += b.mean_latency_ms;
+      cached += m.mean_latency_ms;
+    }
+    const double n = static_cast<double>(seeds);
+    const double reduction =
+        base > 0 ? (1.0 - cached / base) * 100.0 : 0.0;
+    table.AddRow({std::string(axis), value, hit / n, acc / n, base / n,
+                  cached / n, reduction});
+    LogInfo("{}={}: hit={:.3f} reduction={:.1f}%", axis, value, hit / n,
+            reduction);
+  };
+
+  // Axis 1: Zipf exponent of conversational traffic (0 = uniform).
+  for (double exponent : cfg.GetDoubleList("exponents", {0, 0.5, 1, 1.5})) {
+    SweepConfig sc;
+    sc.workload_spec = MmluLikeSpec(corpus, 42);
+    sc.index_spec.kind = "hnsw";
+    sc.index_spec.hnsw_ef_construction = 100;
+    sc.answer_params = MmluAnswerParams();
+    sc.num_seeds = seeds;
+    sc.stream_order = StreamOrder::kZipf;
+    sc.zipf_length = 2000;
+    sc.zipf_exponent = exponent;
+    run_axis("zipf_exponent", exponent, std::move(sc));
+  }
+
+  // Axis 2: number of prefix variants per question (the paper uses 4).
+  for (std::int64_t variants : cfg.GetIntList("variants", {1, 2, 4, 8})) {
+    SweepConfig sc;
+    sc.workload_spec = MmluLikeSpec(corpus, 42);
+    sc.index_spec.kind = "hnsw";
+    sc.index_spec.hnsw_ef_construction = 100;
+    sc.answer_params = MmluAnswerParams();
+    sc.num_seeds = seeds;
+    sc.variants_per_question = static_cast<std::size_t>(variants);
+    run_axis("variants_per_question", static_cast<double>(variants),
+             std::move(sc));
+  }
+
+  std::printf("# Query-locality sensitivity (extends §4.3.4)\n");
+  table.Write(std::cout);
+  return 0;
+}

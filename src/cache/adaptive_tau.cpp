@@ -1,0 +1,55 @@
+#include "cache/adaptive_tau.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace proximity {
+
+AdaptiveTau::AdaptiveTau(AdaptiveTauOptions options)
+    : options_(options), tau_(options.initial_tau) {
+  if (options_.window == 0) {
+    throw std::invalid_argument("AdaptiveTau: window must be > 0");
+  }
+  if (options_.step <= 1.0) {
+    throw std::invalid_argument("AdaptiveTau: step must be > 1");
+  }
+  if (options_.min_tau > options_.max_tau) {
+    throw std::invalid_argument("AdaptiveTau: min_tau > max_tau");
+  }
+  if (options_.period == 0) options_.period = 1;
+  tau_ = std::clamp(tau_, options_.min_tau, options_.max_tau);
+}
+
+double AdaptiveTau::WindowedHitRate() const noexcept {
+  if (window_.empty()) return 0.0;
+  return static_cast<double>(window_hits_) /
+         static_cast<double>(window_.size());
+}
+
+double AdaptiveTau::Observe(bool hit) {
+  ++observations_;
+  window_.push_back(hit);
+  if (hit) ++window_hits_;
+  if (window_.size() > options_.window) {
+    if (window_.front()) --window_hits_;
+    window_.pop_front();
+  }
+
+  // Adjust only on full windows and on the configured cadence.
+  if (window_.size() == options_.window &&
+      observations_ % options_.period == 0) {
+    const double rate = WindowedHitRate();
+    if (rate < options_.target_hit_rate) {
+      tau_ *= options_.step;
+      if (tau_ <= 0.0) tau_ = 1e-3;  // escape the τ = 0 fixed point
+      ++adjustments_;
+    } else if (rate > options_.target_hit_rate) {
+      tau_ /= options_.step;
+      ++adjustments_;
+    }
+    tau_ = std::clamp(tau_, options_.min_tau, options_.max_tau);
+  }
+  return tau_;
+}
+
+}  // namespace proximity

@@ -1,0 +1,126 @@
+#include "cache/concurrent_cache.h"
+
+#include <stdexcept>
+
+#include "vecmath/kernels.h"
+
+namespace proximity {
+
+ConcurrentProximityCache::ConcurrentProximityCache(
+    std::size_t dim, ProximityCacheOptions options)
+    : dim_(dim), cache_(dim, options) {}
+
+std::optional<std::vector<VectorId>> ConcurrentProximityCache::Lookup(
+    std::span<const float> query) {
+  std::lock_guard lock(mu_);
+  ++stats_.lookups;
+  const auto result = cache_.Lookup(query);
+  if (!result.hit) return std::nullopt;
+  ++stats_.hits;
+  return std::vector<VectorId>(result.documents.begin(),
+                               result.documents.end());
+}
+
+void ConcurrentProximityCache::Insert(std::span<const float> query,
+                                      std::vector<VectorId> documents) {
+  std::lock_guard lock(mu_);
+  cache_.Insert(query, std::move(documents));
+}
+
+const ConcurrentProximityCache::Flight*
+ConcurrentProximityCache::FindFlight(std::span<const float> query) const {
+  for (const auto& flight : flights_) {
+    if (Distance(cache_.metric(), query, flight.key) <=
+        cache_.tolerance()) {
+      return &flight;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<VectorId> ConcurrentProximityCache::FetchOrRetrieve(
+    std::span<const float> query,
+    const std::function<std::vector<VectorId>(std::span<const float>)>&
+        retrieve) {
+  std::shared_future<std::vector<VectorId>> wait_on;
+  std::promise<std::vector<VectorId>> my_promise;
+  std::list<Flight>::iterator my_flight;
+  bool i_retrieve = false;
+
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.lookups;
+    const auto cached = cache_.Lookup(query);
+    if (cached.hit) {
+      ++stats_.hits;
+      return {cached.documents.begin(), cached.documents.end()};
+    }
+    if (const Flight* flight = FindFlight(query)) {
+      ++stats_.coalesced;
+      wait_on = flight->future;
+    } else {
+      ++stats_.retrievals;
+      i_retrieve = true;
+      flights_.push_front(Flight{
+          .key = {query.begin(), query.end()},
+          .future = my_promise.get_future().share(),
+      });
+      my_flight = flights_.begin();
+    }
+  }
+
+  if (!i_retrieve) {
+    try {
+      return wait_on.get();  // served with the coalesced result
+    } catch (...) {
+      // The flight owner failed; fall back to a retrieval of our own.
+      std::lock_guard lock(mu_);
+      ++stats_.retrievals;
+      i_retrieve = true;
+      flights_.push_front(Flight{
+          .key = {query.begin(), query.end()},
+          .future = my_promise.get_future().share(),
+      });
+      my_flight = flights_.begin();
+    }
+  }
+
+  // Retrieval runs outside the lock: the whole point is overlapping the
+  // expensive database query with other threads' cache traffic.
+  std::vector<VectorId> documents;
+  try {
+    documents = retrieve(query);
+  } catch (...) {
+    {
+      std::lock_guard lock(mu_);
+      my_promise.set_exception(std::current_exception());
+      flights_.erase(my_flight);
+    }
+    throw;
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    cache_.Insert(query, documents);
+    my_promise.set_value(documents);
+    flights_.erase(my_flight);
+  }
+  return documents;
+}
+
+ConcurrentCacheStats ConcurrentProximityCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+ProximityCacheStats ConcurrentProximityCache::inner_stats() const {
+  std::lock_guard lock(mu_);
+  return cache_.stats();
+}
+
+std::size_t ConcurrentProximityCache::size() const {
+  std::lock_guard lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace proximity

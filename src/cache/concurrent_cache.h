@@ -1,0 +1,87 @@
+// Thread-safe Proximity cache with approximate single-flight retrieval.
+//
+// The paper's pipeline issues queries sequentially; a deployment serving
+// many users does not. This wrapper adds two things on top of
+// ProximityCache:
+//
+//  1. Mutual exclusion: lookups and insertions are serialized on an
+//     internal mutex (the linear scan is short — §3.2.1 — so a single
+//     lock is the right call until c gets very large).
+//
+//  2. Approximate single-flight: when a query misses but an *in-flight*
+//     database retrieval for a τ-similar query exists, the caller waits
+//     for that retrieval instead of issuing a duplicate one. This is the
+//     cache-stampede protection exact-key caches get from request
+//     coalescing, generalized to similarity matching.
+#pragma once
+
+#include <condition_variable>
+#include <future>
+#include <list>
+#include <mutex>
+#include <optional>
+
+#include "cache/proximity_cache.h"
+
+namespace proximity {
+
+struct ConcurrentCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  /// Misses that piggybacked on another thread's in-flight retrieval.
+  std::uint64_t coalesced = 0;
+  /// Misses that performed the database retrieval themselves.
+  std::uint64_t retrievals = 0;
+
+  double HitRate() const noexcept {
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+class ConcurrentProximityCache {
+ public:
+  ConcurrentProximityCache(std::size_t dim, ProximityCacheOptions options);
+
+  std::size_t dim() const noexcept { return dim_; }
+
+  /// Thread-safe cache probe; returns a copy of the cached documents on a
+  /// hit (spans would dangle across concurrent insertions).
+  std::optional<std::vector<VectorId>> Lookup(std::span<const float> query);
+
+  /// Thread-safe insertion.
+  void Insert(std::span<const float> query, std::vector<VectorId> documents);
+
+  /// Algorithm 1 with single-flight: on a miss, either performs `retrieve`
+  /// (at most one thread per τ-neighborhood) or waits for the τ-similar
+  /// retrieval already in progress. `retrieve` runs outside the lock.
+  /// If the in-flight retrieval it waited on throws, the waiter falls
+  /// back to its own retrieval.
+  std::vector<VectorId> FetchOrRetrieve(
+      std::span<const float> query,
+      const std::function<std::vector<VectorId>(std::span<const float>)>&
+          retrieve);
+
+  ConcurrentCacheStats stats() const;
+  /// Snapshot of the inner cache statistics (scan counters etc.).
+  ProximityCacheStats inner_stats() const;
+  std::size_t size() const;
+
+ private:
+  struct Flight {
+    std::vector<float> key;
+    std::shared_future<std::vector<VectorId>> future;
+  };
+
+  /// Finds an in-flight retrieval within tolerance of `query`.
+  /// Caller must hold mu_.
+  const Flight* FindFlight(std::span<const float> query) const;
+
+  std::size_t dim_;
+  mutable std::mutex mu_;
+  ProximityCache cache_;
+  std::list<Flight> flights_;
+  ConcurrentCacheStats stats_;
+};
+
+}  // namespace proximity

@@ -1,0 +1,185 @@
+#include "cache/eviction_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace proximity {
+
+std::string_view EvictionName(EvictionKind kind) noexcept {
+  switch (kind) {
+    case EvictionKind::kFifo:
+      return "fifo";
+    case EvictionKind::kLru:
+      return "lru";
+    case EvictionKind::kLfu:
+      return "lfu";
+    case EvictionKind::kRandom:
+      return "random";
+    case EvictionKind::kClock:
+      return "clock";
+  }
+  return "?";
+}
+
+EvictionKind EvictionFromName(std::string_view name) {
+  if (name == "fifo") return EvictionKind::kFifo;
+  if (name == "lru") return EvictionKind::kLru;
+  if (name == "lfu") return EvictionKind::kLfu;
+  if (name == "random") return EvictionKind::kRandom;
+  if (name == "clock") return EvictionKind::kClock;
+  throw std::invalid_argument("unknown eviction policy: " + std::string(name));
+}
+
+// ---------------------------------------------------------------- FIFO --
+
+void FifoPolicy::OnInsert(std::size_t slot) { ring_.push_back(slot); }
+
+void FifoPolicy::OnAccess(std::size_t) {}
+
+std::size_t FifoPolicy::SelectVictim() {
+  assert(!ring_.empty());
+  const std::size_t victim = ring_.front();
+  ring_.pop_front();
+  return victim;
+}
+
+void FifoPolicy::Clear() { ring_.clear(); }
+
+// ----------------------------------------------------------------- LRU --
+
+void LruPolicy::Touch(std::size_t slot) {
+  auto it = where_.find(slot);
+  if (it != where_.end()) {
+    recency_.erase(it->second);
+  }
+  recency_.push_front(slot);
+  where_[slot] = recency_.begin();
+}
+
+void LruPolicy::OnInsert(std::size_t slot) { Touch(slot); }
+
+void LruPolicy::OnAccess(std::size_t slot) { Touch(slot); }
+
+std::size_t LruPolicy::SelectVictim() {
+  assert(!recency_.empty());
+  const std::size_t victim = recency_.back();
+  recency_.pop_back();
+  where_.erase(victim);
+  return victim;
+}
+
+void LruPolicy::Clear() {
+  recency_.clear();
+  where_.clear();
+}
+
+// ----------------------------------------------------------------- LFU --
+
+void LfuPolicy::OnInsert(std::size_t slot) {
+  entries_[slot] = Entry{.frequency = 0, .inserted_at = tick_++};
+}
+
+void LfuPolicy::OnAccess(std::size_t slot) {
+  auto it = entries_.find(slot);
+  if (it != entries_.end()) ++it->second.frequency;
+}
+
+std::size_t LfuPolicy::SelectVictim() {
+  assert(!entries_.empty());
+  auto best = entries_.begin();
+  for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+    const bool less_frequent = it->second.frequency < best->second.frequency;
+    const bool tie_but_older =
+        it->second.frequency == best->second.frequency &&
+        it->second.inserted_at < best->second.inserted_at;
+    if (less_frequent || tie_but_older) best = it;
+  }
+  const std::size_t victim = best->first;
+  entries_.erase(best);
+  return victim;
+}
+
+void LfuPolicy::Clear() {
+  entries_.clear();
+  tick_ = 0;
+}
+
+// -------------------------------------------------------------- Random --
+
+void RandomPolicy::OnInsert(std::size_t slot) {
+  position_[slot] = slots_.size();
+  slots_.push_back(slot);
+}
+
+void RandomPolicy::OnAccess(std::size_t) {}
+
+std::size_t RandomPolicy::SelectVictim() {
+  assert(!slots_.empty());
+  const std::size_t idx = static_cast<std::size_t>(rng_.Below(slots_.size()));
+  const std::size_t victim = slots_[idx];
+  // Swap-remove.
+  slots_[idx] = slots_.back();
+  position_[slots_[idx]] = idx;
+  slots_.pop_back();
+  position_.erase(victim);
+  return victim;
+}
+
+void RandomPolicy::Clear() {
+  slots_.clear();
+  position_.clear();
+}
+
+// ---------------------------------------------------------------- CLOCK --
+
+void ClockPolicy::OnInsert(std::size_t slot) {
+  ring_.push_back(slot);
+  referenced_[slot] = false;  // fresh entries start unreferenced
+}
+
+void ClockPolicy::OnAccess(std::size_t slot) {
+  auto it = referenced_.find(slot);
+  if (it != referenced_.end()) it->second = true;
+}
+
+std::size_t ClockPolicy::SelectVictim() {
+  assert(!ring_.empty());
+  for (;;) {
+    const std::size_t slot = ring_.front();
+    ring_.pop_front();
+    auto it = referenced_.find(slot);
+    if (it != referenced_.end() && it->second) {
+      it->second = false;  // second chance: clear and move the hand on
+      ring_.push_back(slot);
+      continue;
+    }
+    referenced_.erase(slot);
+    return slot;
+  }
+}
+
+void ClockPolicy::Clear() {
+  ring_.clear();
+  referenced_.clear();
+}
+
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionKind kind,
+                                                   std::uint64_t seed) {
+  switch (kind) {
+    case EvictionKind::kFifo:
+      return std::make_unique<FifoPolicy>();
+    case EvictionKind::kLru:
+      return std::make_unique<LruPolicy>();
+    case EvictionKind::kLfu:
+      return std::make_unique<LfuPolicy>();
+    case EvictionKind::kRandom:
+      return std::make_unique<RandomPolicy>(seed);
+    case EvictionKind::kClock:
+      return std::make_unique<ClockPolicy>();
+  }
+  throw std::invalid_argument("MakeEvictionPolicy: bad kind");
+}
+
+}  // namespace proximity

@@ -1,0 +1,136 @@
+// Eviction policies for the Proximity cache.
+//
+// The paper opts for FIFO (§3.2.2: "It evicts the oldest entry in the
+// cache, irrespective of how often or recently it has been accessed. FIFO
+// provides a simple and predictable replacement strategy."). LRU, LFU, and
+// Random are provided for the eviction ablation bench (DESIGN.md A-evict).
+//
+// Policies operate on slot numbers (0..capacity-1) owned by the cache; they
+// never see keys or values.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace proximity {
+
+enum class EvictionKind { kFifo, kLru, kLfu, kRandom, kClock };
+
+std::string_view EvictionName(EvictionKind kind) noexcept;
+EvictionKind EvictionFromName(std::string_view name);
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  /// A new entry was written into `slot`.
+  virtual void OnInsert(std::size_t slot) = 0;
+
+  /// The entry in `slot` served a cache hit.
+  virtual void OnAccess(std::size_t slot) = 0;
+
+  /// Chooses the slot to evict and forgets it. Only called when at least
+  /// one slot is live.
+  virtual std::size_t SelectVictim() = 0;
+
+  /// Drops all bookkeeping.
+  virtual void Clear() = 0;
+
+  virtual EvictionKind kind() const noexcept = 0;
+};
+
+/// First-in first-out over a ring of slots (the paper's policy; the
+/// original implementation uses a growable ring buffer, §4.1).
+class FifoPolicy final : public EvictionPolicy {
+ public:
+  void OnInsert(std::size_t slot) override;
+  void OnAccess(std::size_t slot) override;  // no-op by definition
+  std::size_t SelectVictim() override;
+  void Clear() override;
+  EvictionKind kind() const noexcept override { return EvictionKind::kFifo; }
+
+ private:
+  std::deque<std::size_t> ring_;
+};
+
+/// Least-recently-used via an intrusive recency list.
+class LruPolicy final : public EvictionPolicy {
+ public:
+  void OnInsert(std::size_t slot) override;
+  void OnAccess(std::size_t slot) override;
+  std::size_t SelectVictim() override;
+  void Clear() override;
+  EvictionKind kind() const noexcept override { return EvictionKind::kLru; }
+
+ private:
+  void Touch(std::size_t slot);
+
+  std::list<std::size_t> recency_;  // front = most recent
+  std::unordered_map<std::size_t, std::list<std::size_t>::iterator> where_;
+};
+
+/// Least-frequently-used; ties broken by insertion age (older evicted
+/// first), which makes the policy deterministic.
+class LfuPolicy final : public EvictionPolicy {
+ public:
+  void OnInsert(std::size_t slot) override;
+  void OnAccess(std::size_t slot) override;
+  std::size_t SelectVictim() override;
+  void Clear() override;
+  EvictionKind kind() const noexcept override { return EvictionKind::kLfu; }
+
+ private:
+  struct Entry {
+    std::uint64_t frequency = 0;
+    std::uint64_t inserted_at = 0;
+  };
+  std::unordered_map<std::size_t, Entry> entries_;
+  std::uint64_t tick_ = 0;
+};
+
+/// Uniform random victim (seeded for reproducibility).
+class RandomPolicy final : public EvictionPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 42) : rng_(seed) {}
+
+  void OnInsert(std::size_t slot) override;
+  void OnAccess(std::size_t slot) override;
+  std::size_t SelectVictim() override;
+  void Clear() override;
+  EvictionKind kind() const noexcept override { return EvictionKind::kRandom; }
+
+ private:
+  std::vector<std::size_t> slots_;
+  std::unordered_map<std::size_t, std::size_t> position_;
+  Rng rng_;
+};
+
+/// CLOCK (second chance): FIFO order, but an entry whose reference bit is
+/// set gets one reprieve — the hand clears the bit and moves on. Captures
+/// most of LRU's recency benefit at FIFO's bookkeeping cost.
+class ClockPolicy final : public EvictionPolicy {
+ public:
+  void OnInsert(std::size_t slot) override;
+  void OnAccess(std::size_t slot) override;
+  std::size_t SelectVictim() override;
+  void Clear() override;
+  EvictionKind kind() const noexcept override { return EvictionKind::kClock; }
+
+ private:
+  std::deque<std::size_t> ring_;                      // hand at the front
+  std::unordered_map<std::size_t, bool> referenced_;  // per live slot
+};
+
+/// Factory. `seed` only affects kRandom.
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionKind kind,
+                                                   std::uint64_t seed = 42);
+
+}  // namespace proximity

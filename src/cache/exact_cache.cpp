@@ -1,0 +1,59 @@
+#include "cache/exact_cache.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace proximity {
+
+ExactCache::ExactCache(std::size_t dim, std::size_t capacity)
+    : dim_(dim), capacity_(capacity) {
+  if (dim == 0) throw std::invalid_argument("ExactCache: dim must be > 0");
+  if (capacity == 0) {
+    throw std::invalid_argument("ExactCache: capacity must be > 0");
+  }
+}
+
+std::string ExactCache::MakeKey(std::span<const float> v) {
+  std::string key(v.size() * sizeof(float), '\0');
+  std::memcpy(key.data(), v.data(), key.size());
+  return key;
+}
+
+const std::vector<VectorId>* ExactCache::Lookup(std::span<const float> query) {
+  if (query.size() != dim_) {
+    throw std::invalid_argument("ExactCache::Lookup: dim mismatch");
+  }
+  ++stats_.lookups;
+  auto it = map_.find(MakeKey(query));
+  if (it == map_.end()) return nullptr;
+  ++stats_.hits;
+  return &it->second;
+}
+
+void ExactCache::Insert(std::span<const float> query,
+                        std::vector<VectorId> documents) {
+  if (query.size() != dim_) {
+    throw std::invalid_argument("ExactCache::Insert: dim mismatch");
+  }
+  std::string key = MakeKey(query);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second = std::move(documents);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(fifo_.front());
+    fifo_.pop_front();
+    ++stats_.evictions;
+  }
+  fifo_.push_back(key);
+  map_.emplace(std::move(key), std::move(documents));
+  ++stats_.insertions;
+}
+
+void ExactCache::Clear() {
+  map_.clear();
+  fifo_.clear();
+}
+
+}  // namespace proximity

@@ -1,0 +1,63 @@
+// Exact-match key-value cache baseline.
+//
+// §3 motivates Proximity by noting that "exact embedding matching is
+// ineffective when queries are phrased slightly differently, as their
+// embeddings are unlikely to match precisely". This hash-based cache gives
+// that baseline its fair shot: keys match only on bit-identical embeddings
+// (the behaviour Proximity degrades to at τ = 0, but with O(1) lookups).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace proximity {
+
+struct ExactCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  double HitRate() const noexcept {
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+class ExactCache {
+ public:
+  ExactCache(std::size_t dim, std::size_t capacity);
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return map_.size(); }
+
+  /// Returns the cached documents iff a bit-identical key exists; the
+  /// pointer stays valid until the next Insert/Clear.
+  const std::vector<VectorId>* Lookup(std::span<const float> query);
+
+  /// Inserts with FIFO eviction when full. Re-inserting an existing key
+  /// replaces its value without consuming a new slot.
+  void Insert(std::span<const float> query, std::vector<VectorId> documents);
+
+  void Clear();
+  const ExactCacheStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Bit-exact byte serialization of the embedding, used as the map key.
+  static std::string MakeKey(std::span<const float> v);
+
+  std::size_t dim_;
+  std::size_t capacity_;
+  std::unordered_map<std::string, std::vector<VectorId>> map_;
+  std::deque<std::string> fifo_;  // insertion order
+  ExactCacheStats stats_;
+};
+
+}  // namespace proximity

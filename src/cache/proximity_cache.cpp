@@ -1,0 +1,197 @@
+#include "cache/proximity_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/serde.h"
+#include "vecmath/kernels.h"
+
+// Cache snapshot magic tag (see index/index_io.h for the index tags).
+namespace {
+constexpr std::uint32_t kCacheMagic = 0x48434350;  // "PCCH"
+}
+
+namespace proximity {
+
+ProximityCache::ProximityCache(std::size_t dim, ProximityCacheOptions options)
+    : dim_(dim),
+      options_(options),
+      policy_(MakeEvictionPolicy(options.eviction, options.seed)),
+      keys_(0, dim) {
+  if (dim == 0) throw std::invalid_argument("ProximityCache: dim must be > 0");
+  if (options_.capacity == 0) {
+    throw std::invalid_argument("ProximityCache: capacity must be > 0");
+  }
+  if (options_.tolerance < 0.f && options_.metric != Metric::kInnerProduct) {
+    // Negative tolerances only make sense for inner-product distances,
+    // which are negated similarities and can be any real number.
+    throw std::invalid_argument(
+        "ProximityCache: tolerance must be >= 0 for L2/cosine metrics");
+  }
+  keys_.Reserve(options_.capacity);
+  values_.reserve(options_.capacity);
+}
+
+std::optional<std::pair<std::size_t, float>> ProximityCache::ScanKeys(
+    std::span<const float> query) {
+  const std::size_t n = keys_.rows();
+  if (n == 0) return std::nullopt;
+  scan_buffer_.resize(n);
+  BatchDistance(options_.metric, query, keys_.data(), n, dim_,
+                scan_buffer_.data());
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (options_.max_age != 0 && op_tick_ - birth_[i] > options_.max_age) {
+      // Expired entries are invisible to lookups; count only the ones
+      // that would otherwise have matched, so the stat is meaningful.
+      if (scan_buffer_[i] <= options_.tolerance) ++stats_.expired_skips;
+      continue;
+    }
+    if (!best || scan_buffer_[i] < scan_buffer_[*best]) best = i;
+  }
+  if (!best) return std::nullopt;
+  return std::make_pair(*best, scan_buffer_[*best]);
+}
+
+ProximityCache::LookupResult ProximityCache::Lookup(
+    std::span<const float> query) {
+  if (query.size() != dim_) {
+    throw std::invalid_argument("ProximityCache::Lookup: dim mismatch");
+  }
+  ++stats_.lookups;
+  ++op_tick_;
+  stats_.keys_scanned += keys_.rows();
+
+  LookupResult result;
+  const auto best = ScanKeys(query);
+  if (!best) {
+    ++stats_.misses;
+    return result;
+  }
+  result.best_distance = best->second;
+  if (best->second <= options_.tolerance) {
+    result.hit = true;
+    result.documents = values_[best->first];
+    ++stats_.hits;
+    policy_->OnAccess(best->first);
+  } else {
+    ++stats_.misses;
+  }
+  return result;
+}
+
+void ProximityCache::Insert(std::span<const float> query,
+                            std::vector<VectorId> documents) {
+  if (query.size() != dim_) {
+    throw std::invalid_argument("ProximityCache::Insert: dim mismatch");
+  }
+  ++op_tick_;
+  std::size_t slot;
+  if (keys_.rows() < options_.capacity) {
+    slot = keys_.rows();
+    keys_.AppendRow(query);
+    values_.emplace_back(std::move(documents));
+    birth_.push_back(op_tick_);
+  } else {
+    slot = policy_->SelectVictim();
+    ++stats_.evictions;
+    auto dst = keys_.MutableRow(slot);
+    std::copy(query.begin(), query.end(), dst.begin());
+    values_[slot] = std::move(documents);
+    birth_[slot] = op_tick_;
+  }
+  ++stats_.insertions;
+  policy_->OnInsert(slot);
+}
+
+std::vector<VectorId> ProximityCache::FetchOrRetrieve(
+    std::span<const float> query,
+    const std::function<std::vector<VectorId>(std::span<const float>)>&
+        retrieve,
+    bool* hit_out) {
+  const LookupResult cached = Lookup(query);
+  if (cached.hit) {
+    if (hit_out != nullptr) *hit_out = true;
+    return {cached.documents.begin(), cached.documents.end()};
+  }
+  std::vector<VectorId> indices = retrieve(query);
+  Insert(query, indices);
+  if (hit_out != nullptr) *hit_out = false;
+  return indices;
+}
+
+void ProximityCache::Clear() {
+  keys_ = Matrix(0, dim_);
+  keys_.Reserve(options_.capacity);
+  values_.clear();
+  birth_.clear();
+  op_tick_ = 0;
+  policy_->Clear();
+}
+
+void ProximityCache::SaveTo(std::ostream& os) const {
+  BinaryWriter w(os);
+  WriteHeader(w, kCacheMagic, /*version=*/1);
+  w.WriteU64(dim_);
+  w.WriteU64(options_.capacity);
+  w.WriteF32(options_.tolerance);
+  w.WriteU32(static_cast<std::uint32_t>(options_.metric));
+  w.WriteU32(static_cast<std::uint32_t>(options_.eviction));
+  w.WriteU64(options_.seed);
+  w.WriteU64(options_.max_age);
+  WriteMatrix(w, keys_);
+  w.WriteU64(values_.size());
+  for (const auto& docs : values_) {
+    w.WriteI64s(docs);
+  }
+  w.Finish();
+}
+
+ProximityCache ProximityCache::LoadFrom(std::istream& is) {
+  BinaryReader r(is);
+  ReadHeader(r, kCacheMagic, /*max_version=*/1);
+  const std::uint64_t dim = r.ReadU64();
+  ProximityCacheOptions opts;
+  opts.capacity = r.ReadU64();
+  opts.tolerance = r.ReadF32();
+  opts.metric = static_cast<Metric>(r.ReadU32());
+  opts.eviction = static_cast<EvictionKind>(r.ReadU32());
+  opts.seed = r.ReadU64();
+  opts.max_age = r.ReadU64();
+  Matrix keys = ReadMatrix(r);
+  const std::uint64_t entries = r.ReadU64();
+  if (entries != keys.rows() || entries > opts.capacity ||
+      keys.dim() != dim) {
+    throw std::runtime_error("ProximityCache::LoadFrom: shape mismatch");
+  }
+  std::vector<std::vector<VectorId>> values;
+  values.reserve(entries);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    values.push_back(r.ReadI64s());
+  }
+  r.VerifyChecksum();
+
+  ProximityCache cache(dim, opts);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    cache.Insert(keys.Row(i), std::move(values[i]));
+  }
+  cache.ResetStats();  // the insertions above are reconstruction, not use
+  return cache;
+}
+
+std::span<const float> ProximityCache::KeyAt(std::size_t slot) const {
+  if (slot >= keys_.rows()) {
+    throw std::out_of_range("ProximityCache::KeyAt: bad slot");
+  }
+  return keys_.Row(slot);
+}
+
+std::span<const VectorId> ProximityCache::ValueAt(std::size_t slot) const {
+  if (slot >= values_.size()) {
+    throw std::out_of_range("ProximityCache::ValueAt: bad slot");
+  }
+  return values_[slot];
+}
+
+}  // namespace proximity

@@ -1,0 +1,152 @@
+// ProximityCache — the paper's contribution (§3, Algorithm 1).
+//
+// An approximate key-value cache for RAG document retrieval. Keys are query
+// embeddings previously sent to the vector database; values are the sorted
+// document-index lists the database returned. A lookup linearly scans all
+// cached keys with the same SIMD distance kernels the flat index uses
+// (§3.2.1: "Our current implementation does a linear scan over the keys");
+// if the closest key is within the similarity tolerance τ, the associated
+// documents are returned and the database lookup is skipped.
+//
+// Slot management: entries live in a fixed arena of `capacity` rows that
+// fills append-only; once full, the eviction policy picks a victim slot
+// which the new entry overwrites. Live keys are therefore always one
+// contiguous row-major block, so the scan is a single batched kernel pass.
+//
+// Not thread-safe: the RAG pipeline issues queries sequentially (§2.1);
+// wrap with a mutex for concurrent use.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cache/eviction_policy.h"
+#include "common/types.h"
+#include "vecmath/matrix.h"
+#include "vecmath/metric.h"
+
+namespace proximity {
+
+struct ProximityCacheOptions {
+  /// Cache capacity c (entries). §3.2.1.
+  std::size_t capacity = 100;
+  /// Similarity tolerance τ. Distances <= τ count as a hit; τ = 0 degrades
+  /// to exact matching (§3.2.3).
+  float tolerance = 1.0f;
+  /// Distance function; must equal the underlying database's metric (§3.1).
+  Metric metric = Metric::kL2;
+  /// Replacement policy; the paper uses FIFO (§3.2.2).
+  EvictionKind eviction = EvictionKind::kFifo;
+  /// Seed for the random eviction policy.
+  std::uint64_t seed = 42;
+  /// Staleness bound (extension): entries older than this many cache
+  /// operations (lookups + insertions) are never served — the lookup
+  /// reports a miss so the pipeline refreshes from the database. Storage
+  /// is reclaimed by the normal eviction policy. 0 disables expiry.
+  /// Rationale: the cached document lists shadow the vector database; if
+  /// the database is updated (new documents indexed), a TTL bounds how
+  /// long the cache can keep serving pre-update results.
+  std::uint64_t max_age = 0;
+};
+
+/// Counters exposed for the evaluation (§4.2: cache hit rate is
+/// hits / lookups).
+struct ProximityCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  /// Total keys compared across all lookups (scan work).
+  std::uint64_t keys_scanned = 0;
+  /// Matches that were suppressed because the entry exceeded max_age.
+  std::uint64_t expired_skips = 0;
+
+  double HitRate() const noexcept {
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+class ProximityCache {
+ public:
+  ProximityCache(std::size_t dim, ProximityCacheOptions options = {});
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t capacity() const noexcept { return options_.capacity; }
+  std::size_t size() const noexcept { return keys_.rows(); }
+  float tolerance() const noexcept { return options_.tolerance; }
+  Metric metric() const noexcept { return options_.metric; }
+  EvictionKind eviction() const noexcept { return options_.eviction; }
+
+  /// Adjusts τ at runtime (used by the adaptive controller, §3.2.3).
+  void set_tolerance(float tau) noexcept { options_.tolerance = tau; }
+
+  struct LookupResult {
+    bool hit = false;
+    /// Distance to the best-matching key; +inf when the cache is empty.
+    float best_distance = std::numeric_limits<float>::infinity();
+    /// The cached document indices (hit only). The span stays valid until
+    /// the next Insert/Clear.
+    std::span<const VectorId> documents{};
+  };
+
+  /// Algorithm 1 lines 3-6: scans all keys, returns the value of the best
+  /// match if its distance is <= τ. Updates hit/miss statistics and the
+  /// eviction policy's access bookkeeping.
+  LookupResult Lookup(std::span<const float> query);
+
+  /// Algorithm 1 lines 7-11 (post-database path): stores the retrieved
+  /// indices under the query key, evicting one entry if the cache is full.
+  void Insert(std::span<const float> query, std::vector<VectorId> documents);
+
+  /// The full Algorithm 1: returns cached documents on a hit, otherwise
+  /// invokes `retrieve` (the database lookup), inserts, and returns its
+  /// result. `hit_out`, if non-null, reports which path was taken.
+  std::vector<VectorId> FetchOrRetrieve(
+      std::span<const float> query,
+      const std::function<std::vector<VectorId>(std::span<const float>)>&
+          retrieve,
+      bool* hit_out = nullptr);
+
+  void Clear();
+
+  const ProximityCacheStats& stats() const noexcept { return stats_; }
+  void ResetStats() noexcept { stats_ = {}; }
+
+  /// Introspection for tests: slot contents (slot < size()).
+  std::span<const float> KeyAt(std::size_t slot) const;
+  std::span<const VectorId> ValueAt(std::size_t slot) const;
+
+  /// Persists options and entries (not statistics). On load, eviction
+  /// bookkeeping is reconstructed by re-inserting entries in slot order —
+  /// an approximation of the original age order, which is the usual
+  /// warm-restart trade-off for caches.
+  void SaveTo(std::ostream& os) const;
+  static ProximityCache LoadFrom(std::istream& is);
+
+ private:
+  /// Returns (slot, distance) of the closest key, or nullopt if empty.
+  std::optional<std::pair<std::size_t, float>> ScanKeys(
+      std::span<const float> query);
+
+  std::size_t dim_;
+  ProximityCacheOptions options_;
+  std::unique_ptr<EvictionPolicy> policy_;
+
+  Matrix keys_;                                // one row per slot
+  std::vector<std::vector<VectorId>> values_;  // parallels keys_ rows
+  std::vector<std::uint64_t> birth_;           // op tick at insertion
+  std::vector<float> scan_buffer_;             // distance scratch
+  std::uint64_t op_tick_ = 0;                  // advances on every op
+
+  ProximityCacheStats stats_;
+};
+
+}  // namespace proximity

@@ -1,0 +1,64 @@
+#include "cache/tiered_cache.h"
+
+namespace proximity {
+
+TieredCache::TieredCache(std::size_t dim, TieredCacheOptions options)
+    : l1_(dim, options.l1_capacity), l2_(dim, options.l2) {}
+
+TieredCache::LookupResult TieredCache::Lookup(std::span<const float> query) {
+  ++stats_.lookups;
+  LookupResult result;
+
+  if (const auto* docs = l1_.Lookup(query)) {
+    ++stats_.l1_hits;
+    result.source = Source::kL1;
+    result.documents = *docs;
+    return result;
+  }
+
+  const auto l2_result = l2_.Lookup(query);
+  if (l2_result.hit) {
+    ++stats_.l2_hits;
+    result.source = Source::kL2;
+    // Promote under the exact query key: an identical repeat now costs a
+    // hash probe instead of the L2 scan. The promoted copy is what we
+    // return (the L2 span could be invalidated by the promotion's own
+    // bookkeeping in future revisions; the L1 copy is stable).
+    l1_.Insert(query,
+               {l2_result.documents.begin(), l2_result.documents.end()});
+    result.documents = *l1_.Lookup(query);
+    return result;
+  }
+
+  ++stats_.misses;
+  return result;
+}
+
+void TieredCache::Insert(std::span<const float> query,
+                         std::vector<VectorId> documents) {
+  l1_.Insert(query, documents);
+  l2_.Insert(query, std::move(documents));
+}
+
+std::vector<VectorId> TieredCache::FetchOrRetrieve(
+    std::span<const float> query,
+    const std::function<std::vector<VectorId>(std::span<const float>)>&
+        retrieve,
+    Source* source_out) {
+  const LookupResult cached = Lookup(query);
+  if (cached.source != Source::kMiss) {
+    if (source_out != nullptr) *source_out = cached.source;
+    return {cached.documents.begin(), cached.documents.end()};
+  }
+  std::vector<VectorId> documents = retrieve(query);
+  Insert(query, documents);
+  if (source_out != nullptr) *source_out = Source::kMiss;
+  return documents;
+}
+
+void TieredCache::Clear() {
+  l1_.Clear();
+  l2_.Clear();
+}
+
+}  // namespace proximity

@@ -1,0 +1,82 @@
+// Two-level cache: an exact O(1) front (L1) over the approximate
+// Proximity cache (L2).
+//
+// Motivation: production query streams contain many *bit-identical*
+// repeats (retries, pagination, multi-turn context refreshes). Those are
+// served by a hash probe without paying the L2 linear key scan; only
+// genuinely new phrasings fall through to similarity matching. Related
+// systems stack caches the same way (RAGCACHE's hierarchy, discussed in
+// the paper's related work §5).
+//
+// L2 hits are promoted into L1 under the *queried* embedding, so an exact
+// repeat of a promoted query short-circuits at L1 next time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cache/exact_cache.h"
+#include "cache/proximity_cache.h"
+
+namespace proximity {
+
+struct TieredCacheOptions {
+  std::size_t l1_capacity = 64;
+  ProximityCacheOptions l2;
+};
+
+struct TieredCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t misses = 0;
+
+  double HitRate() const noexcept {
+    return lookups ? static_cast<double>(l1_hits + l2_hits) /
+                         static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+class TieredCache {
+ public:
+  TieredCache(std::size_t dim, TieredCacheOptions options);
+
+  enum class Source { kMiss, kL1, kL2 };
+
+  struct LookupResult {
+    Source source = Source::kMiss;
+    /// Valid until the next Insert/Lookup (may point into either level).
+    std::span<const VectorId> documents{};
+  };
+
+  /// L1 exact probe first; on miss, L2 approximate scan. An L2 hit is
+  /// promoted into L1 under this exact query embedding.
+  LookupResult Lookup(std::span<const float> query);
+
+  /// Inserts into both levels.
+  void Insert(std::span<const float> query, std::vector<VectorId> documents);
+
+  /// Algorithm-1-style convenience (see ProximityCache::FetchOrRetrieve).
+  std::vector<VectorId> FetchOrRetrieve(
+      std::span<const float> query,
+      const std::function<std::vector<VectorId>(std::span<const float>)>&
+          retrieve,
+      Source* source_out = nullptr);
+
+  void Clear();
+
+  const TieredCacheStats& stats() const noexcept { return stats_; }
+  const ProximityCache& l2() const noexcept { return l2_; }
+  const ExactCache& l1() const noexcept { return l1_; }
+  std::size_t dim() const noexcept { return l2_.dim(); }
+
+ private:
+  ExactCache l1_;
+  ProximityCache l2_;
+  TieredCacheStats stats_;
+};
+
+}  // namespace proximity

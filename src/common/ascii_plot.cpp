@@ -1,0 +1,109 @@
+#include "common/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace proximity {
+
+namespace {
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+
+double MapX(double x, bool log_x) {
+  if (!log_x) return x;
+  // Shift so that zero (tau = 0) still renders on a log-ish axis.
+  return std::log10(std::max(x, 0.0) + 0.1);
+}
+
+std::string FormatTick(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1000 || (std::abs(v) < 0.01 && v != 0)) {
+    std::snprintf(buf, sizeof(buf), "%9.2e", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%9.3f", v);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string RenderAsciiPlot(const std::vector<PlotSeries>& series,
+                            const PlotOptions& options) {
+  const std::size_t width = std::max<std::size_t>(options.width, 10);
+  const std::size_t height = std::max<std::size_t>(options.height, 4);
+
+  // Data ranges.
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = options.y_min;
+  double y_max = options.y_max;
+  const bool auto_y = options.y_min == options.y_max;
+  if (auto_y) {
+    y_min = std::numeric_limits<double>::infinity();
+    y_max = -y_min;
+  }
+  bool any = false;
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const double mx = MapX(x, options.log_x);
+      x_min = std::min(x_min, mx);
+      x_max = std::max(x_max, mx);
+      if (auto_y) {
+        y_min = std::min(y_min, y);
+        y_max = std::max(y_max, y);
+      }
+      any = true;
+    }
+  }
+  if (!any) return "(no data)\n";
+  if (x_max == x_min) x_max = x_min + 1;
+  if (y_max == y_min) y_max = y_min + 1;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  auto plot_point = [&](double x, double y, char glyph) {
+    const double fx = (MapX(x, options.log_x) - x_min) / (x_max - x_min);
+    const double fy = (y - y_min) / (y_max - y_min);
+    const auto col = static_cast<std::size_t>(
+        std::lround(fx * static_cast<double>(width - 1)));
+    const auto row_from_bottom = static_cast<std::size_t>(
+        std::lround(std::clamp(fy, 0.0, 1.0) *
+                    static_cast<double>(height - 1)));
+    grid[height - 1 - row_from_bottom][col] = glyph;
+  };
+
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char glyph = kGlyphs[s % std::size(kGlyphs)];
+    for (const auto& [x, y] : series[s].points) plot_point(x, y, glyph);
+  }
+
+  std::string out;
+  if (!options.title.empty()) {
+    out += options.title;
+    out += '\n';
+  }
+  for (std::size_t row = 0; row < height; ++row) {
+    if (row == 0) {
+      out += FormatTick(y_max);
+    } else if (row == height - 1) {
+      out += FormatTick(y_min);
+    } else {
+      out += std::string(9, ' ');
+    }
+    out += " |";
+    out += grid[row];
+    out += '\n';
+  }
+  out += std::string(9, ' ') + " +" + std::string(width, '-') + '\n';
+  if (!options.x_label.empty()) {
+    out += std::string(11, ' ') + options.x_label + '\n';
+  }
+  // Legend.
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    out += "  ";
+    out += kGlyphs[s % std::size(kGlyphs)];
+    out += " = " + series[s].label + '\n';
+  }
+  return out;
+}
+
+}  // namespace proximity

@@ -1,0 +1,39 @@
+// Terminal line charts for the benchmark harness.
+//
+// Each bench can render its CSV series as a quick ASCII chart (enable
+// with plot=true), so the Figure-3 shapes are visible without leaving the
+// terminal: one glyph per series, a left axis with min/max labels, and a
+// legend.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace proximity {
+
+struct PlotSeries {
+  std::string label;
+  /// (x, y) points; x values may be irregular, the chart interpolates
+  /// column positions linearly in x.
+  std::vector<std::pair<double, double>> points;
+};
+
+struct PlotOptions {
+  std::size_t width = 60;   // plot columns (excluding the axis gutter)
+  std::size_t height = 16;  // plot rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  /// Force the y range; when min == max the range is derived from data.
+  double y_min = 0.0;
+  double y_max = 0.0;
+  /// Use a log10 x axis (the tau sweeps are roughly geometric).
+  bool log_x = false;
+};
+
+/// Renders the series into a multi-line string ending in '\n'.
+/// Series get glyphs '*', 'o', '+', 'x', '#', '@' in order (cycled).
+std::string RenderAsciiPlot(const std::vector<PlotSeries>& series,
+                            const PlotOptions& options = {});
+
+}  // namespace proximity

@@ -1,0 +1,70 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace proximity {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("CsvTable: header must not be empty");
+  }
+}
+
+void CsvTable::AddRow(std::vector<Cell> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("CsvTable: row width " +
+                                std::to_string(cells.size()) +
+                                " != header width " +
+                                std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void CsvTable::WriteCell(std::ostream& os, const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) {
+    const bool needs_quote =
+        s->find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote) {
+      os << *s;
+      return;
+    }
+    os << '"';
+    for (char ch : *s) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  } else if (const auto* d = std::get_if<double>(&c)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", *d);
+    os << buf;
+  } else {
+    os << std::get<std::int64_t>(c);
+  }
+}
+
+void CsvTable::Write(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << header_[i];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      WriteCell(os, row[i]);
+    }
+    os << '\n';
+  }
+}
+
+std::string CsvTable::ToString() const {
+  std::ostringstream oss;
+  Write(oss);
+  return oss.str();
+}
+
+}  // namespace proximity

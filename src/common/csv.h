@@ -1,0 +1,41 @@
+// Tiny CSV table builder used by the benchmark harness.
+//
+// Every bench binary emits one or more CSV blocks whose columns mirror the
+// axes of the paper figure it regenerates, so results can be plotted
+// directly.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace proximity {
+
+class CsvTable {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  explicit CsvTable(std::vector<std::string> header);
+
+  /// Appends a row; the number of cells must match the header width.
+  void AddRow(std::vector<Cell> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return header_.size(); }
+
+  /// Writes "header\nrow\nrow..." with RFC-4180 quoting of string cells.
+  void Write(std::ostream& os) const;
+
+  /// Returns the serialized table as a string.
+  std::string ToString() const;
+
+ private:
+  static void WriteCell(std::ostream& os, const Cell& c);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace proximity

@@ -1,0 +1,46 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace proximity {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* LevelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void LogMessage(LogLevel level, std::string_view message) {
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += LevelName(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace proximity

@@ -1,0 +1,107 @@
+// Minimal leveled logger.
+//
+// Libraries in this repo log sparingly (index build progress, experiment
+// phase transitions). The logger writes to stderr so CSV output on stdout
+// stays machine-parseable.
+//
+// Formatting uses a small "{}" placeholder mini-language (subset of
+// std::format, which GCC 12 does not ship): "{}" formats the next argument
+// with operator<<; "{:.Nf}" formats a floating-point argument with N
+// digits of precision.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace proximity {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+/// Writes "[LEVEL] message\n" to stderr. Thread-safe (single write call).
+void LogMessage(LogLevel level, std::string_view message);
+
+namespace detail {
+
+inline void FormatRest(std::ostringstream& os, std::string_view fmt) {
+  os << fmt;
+}
+
+template <typename Arg, typename... Rest>
+void FormatRest(std::ostringstream& os, std::string_view fmt, Arg&& arg,
+                Rest&&... rest) {
+  const auto open = fmt.find('{');
+  if (open == std::string_view::npos) {
+    os << fmt;
+    return;  // surplus arguments are ignored
+  }
+  const auto close = fmt.find('}', open);
+  if (close == std::string_view::npos) {
+    os << fmt;
+    return;
+  }
+  os << fmt.substr(0, open);
+  const std::string_view spec = fmt.substr(open + 1, close - open - 1);
+  if (spec.size() >= 4 && spec[0] == ':' && spec[1] == '.' &&
+      spec.back() == 'f') {
+    const int precision = std::stoi(std::string(spec.substr(2,
+                                                            spec.size() - 3)));
+    const auto saved = os.precision();
+    const auto flags = os.flags();
+    os.setf(std::ios::fixed, std::ios::floatfield);
+    os.precision(precision);
+    os << arg;
+    os.flags(flags);
+    os.precision(saved);
+  } else {
+    os << arg;
+  }
+  FormatRest(os, fmt.substr(close + 1), std::forward<Rest>(rest)...);
+}
+
+template <typename... Args>
+std::string Format(std::string_view fmt, Args&&... args) {
+  std::ostringstream os;
+  FormatRest(os, fmt, std::forward<Args>(args)...);
+  return os.str();
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void LogDebug(std::string_view fmt, Args&&... args) {
+  if (GetLogLevel() <= LogLevel::kDebug) {
+    LogMessage(LogLevel::kDebug,
+               detail::Format(fmt, std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void LogInfo(std::string_view fmt, Args&&... args) {
+  if (GetLogLevel() <= LogLevel::kInfo) {
+    LogMessage(LogLevel::kInfo,
+               detail::Format(fmt, std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void LogWarn(std::string_view fmt, Args&&... args) {
+  if (GetLogLevel() <= LogLevel::kWarn) {
+    LogMessage(LogLevel::kWarn,
+               detail::Format(fmt, std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void LogError(std::string_view fmt, Args&&... args) {
+  if (GetLogLevel() <= LogLevel::kError) {
+    LogMessage(LogLevel::kError,
+               detail::Format(fmt, std::forward<Args>(args)...));
+  }
+}
+
+}  // namespace proximity

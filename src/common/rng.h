@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the repository draws from one of these
+// generators with an explicit seed, so that all experiments are exactly
+// reproducible (the paper runs 5 seeds per configuration, §4.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace proximity {
+
+/// Mixes a 64-bit value into a well-distributed 64-bit value (splitmix64
+/// finalizer). Used both for seeding and as a cheap stateless hash.
+std::uint64_t SplitMix64(std::uint64_t x) noexcept;
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG.
+///
+/// Satisfies std::uniform_random_bit_generator so it can be used with
+/// standard <random> distributions, although the member helpers below are
+/// preferred (they are deterministic across standard library versions).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return Next64(); }
+
+  std::uint64_t Next64() noexcept;
+
+  /// Uniform in [0, bound). bound must be > 0. Uses Lemire's method.
+  std::uint64_t Below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept;
+
+  /// Uniform float in [0, 1).
+  float NextFloat() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double NextGaussian() noexcept;
+
+  /// Gaussian with the given mean and stddev.
+  double Gaussian(double mean, double stddev) noexcept;
+
+  /// True with probability p.
+  bool Bernoulli(double p) noexcept;
+
+  /// Geometric-like Zipf(s) sample over {0, .., n-1} by inverse-CDF on a
+  /// precomputed table is provided by ZipfSampler below; this helper samples
+  /// an exponentially distributed double with the given rate.
+  double Exponential(double rate) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; stream `label` values give
+  /// statistically independent streams from one parent seed.
+  Rng Fork(std::uint64_t label) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Samples from a Zipf distribution over {0, .., n-1} with exponent s,
+/// via a precomputed inverse CDF (O(log n) per sample).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  std::size_t Sample(Rng& rng) const noexcept;
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace proximity

@@ -1,0 +1,196 @@
+#include "common/serde.h"
+
+#include <stdexcept>
+
+namespace proximity {
+
+namespace {
+inline std::uint64_t FnvStep(std::uint64_t h, const unsigned char* data,
+                             std::size_t size) noexcept {
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+void BinaryWriter::WriteRaw(const void* data, std::size_t size) {
+  os_.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  if (!os_) throw std::runtime_error("BinaryWriter: stream write failed");
+  checksum_ =
+      FnvStep(checksum_, static_cast<const unsigned char*>(data), size);
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  if (!s.empty()) WriteRaw(s.data(), s.size());
+}
+
+void BinaryWriter::WriteFloats(std::span<const float> v) {
+  WriteU64(v.size());
+  if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::WriteU8s(std::span<const std::uint8_t> v) {
+  WriteU64(v.size());
+  if (!v.empty()) WriteRaw(v.data(), v.size());
+}
+
+void BinaryWriter::WriteI64s(std::span<const std::int64_t> v) {
+  WriteU64(v.size());
+  if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(std::int64_t));
+}
+
+void BinaryWriter::WriteU32s(std::span<const std::uint32_t> v) {
+  WriteU64(v.size());
+  if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(std::uint32_t));
+}
+
+void BinaryWriter::Finish() {
+  // The trailer itself is excluded from the checksum.
+  const std::uint64_t sum = checksum_;
+  os_.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+  if (!os_) throw std::runtime_error("BinaryWriter: trailer write failed");
+  os_.flush();
+}
+
+void BinaryReader::ReadRaw(void* data, std::size_t size) {
+  is_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(is_.gcount()) != size) {
+    throw std::runtime_error("BinaryReader: unexpected end of stream");
+  }
+  checksum_ = FnvStep(checksum_, static_cast<unsigned char*>(data), size);
+}
+
+std::uint32_t BinaryReader::ReadU32() {
+  std::uint32_t v;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+std::uint64_t BinaryReader::ReadU64() {
+  std::uint64_t v;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+std::int64_t BinaryReader::ReadI64() {
+  std::int64_t v;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+float BinaryReader::ReadF32() {
+  float v;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+double BinaryReader::ReadF64() {
+  double v;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::ReadString(std::size_t max_size) {
+  const std::uint64_t size = ReadU64();
+  if (size > max_size) {
+    throw std::runtime_error("BinaryReader: string too large");
+  }
+  std::string s(size, '\0');
+  if (size > 0) ReadRaw(s.data(), size);
+  return s;
+}
+
+std::vector<float> BinaryReader::ReadFloats(std::size_t max_count) {
+  const std::uint64_t count = ReadU64();
+  if (count > max_count) {
+    throw std::runtime_error("BinaryReader: float array too large");
+  }
+  std::vector<float> v(count);
+  if (count > 0) ReadRaw(v.data(), count * sizeof(float));
+  return v;
+}
+
+std::vector<std::uint8_t> BinaryReader::ReadU8s(std::size_t max_count) {
+  const std::uint64_t count = ReadU64();
+  if (count > max_count) {
+    throw std::runtime_error("BinaryReader: byte array too large");
+  }
+  std::vector<std::uint8_t> v(count);
+  if (count > 0) ReadRaw(v.data(), count);
+  return v;
+}
+
+std::vector<std::int64_t> BinaryReader::ReadI64s(std::size_t max_count) {
+  const std::uint64_t count = ReadU64();
+  if (count > max_count) {
+    throw std::runtime_error("BinaryReader: i64 array too large");
+  }
+  std::vector<std::int64_t> v(count);
+  if (count > 0) ReadRaw(v.data(), count * sizeof(std::int64_t));
+  return v;
+}
+
+std::vector<std::uint32_t> BinaryReader::ReadU32s(std::size_t max_count) {
+  const std::uint64_t count = ReadU64();
+  if (count > max_count) {
+    throw std::runtime_error("BinaryReader: u32 array too large");
+  }
+  std::vector<std::uint32_t> v(count);
+  if (count > 0) ReadRaw(v.data(), count * sizeof(std::uint32_t));
+  return v;
+}
+
+void BinaryReader::VerifyChecksum() {
+  const std::uint64_t expected = checksum_;  // before consuming the trailer
+  std::uint64_t stored;
+  is_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (static_cast<std::size_t>(is_.gcount()) != sizeof(stored)) {
+    throw std::runtime_error("BinaryReader: missing checksum trailer");
+  }
+  if (stored != expected) {
+    throw std::runtime_error("BinaryReader: checksum mismatch (corrupt file)");
+  }
+}
+
+void WriteHeader(BinaryWriter& w, std::uint32_t magic,
+                 std::uint32_t version) {
+  w.WriteU32(magic);
+  w.WriteU32(version);
+}
+
+std::uint32_t ReadHeader(BinaryReader& r, std::uint32_t expected_magic,
+                         std::uint32_t max_version) {
+  const std::uint32_t magic = r.ReadU32();
+  if (magic != expected_magic) {
+    throw std::runtime_error("serde: magic mismatch (wrong file type)");
+  }
+  const std::uint32_t version = r.ReadU32();
+  if (version == 0 || version > max_version) {
+    throw std::runtime_error("serde: unsupported format version " +
+                             std::to_string(version));
+  }
+  return version;
+}
+
+void WriteMatrix(BinaryWriter& w, const Matrix& m) {
+  w.WriteU64(m.dim());
+  w.WriteU64(m.rows());
+  w.WriteFloats({m.data(), m.rows() * m.dim()});
+}
+
+Matrix ReadMatrix(BinaryReader& r) {
+  const std::uint64_t dim = r.ReadU64();
+  const std::uint64_t rows = r.ReadU64();
+  if (dim == 0) throw std::runtime_error("ReadMatrix: zero dimension");
+  auto data = r.ReadFloats();
+  if (data.size() != rows * dim) {
+    throw std::runtime_error("ReadMatrix: size mismatch");
+  }
+  return Matrix(std::move(data), dim);
+}
+
+}  // namespace proximity

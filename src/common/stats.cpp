@@ -1,0 +1,127 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace proximity {
+
+void StreamingStats::Add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::Merge(const StreamingStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+namespace {
+// 64 buckets per decade over 12 decades: 1ns .. 10^12 ns.
+constexpr std::size_t kBucketsPerDecade = 64;
+constexpr std::size_t kDecades = 12;
+constexpr std::size_t kNumBuckets = kBucketsPerDecade * kDecades;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t LatencyHistogram::BucketOf(Nanos ns) const noexcept {
+  if (ns < 1) ns = 1;
+  const double b = std::log10(static_cast<double>(ns)) * kBucketsPerDecade;
+  auto idx = static_cast<std::size_t>(b);
+  return std::min(idx, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketLow(std::size_t b) const noexcept {
+  return std::pow(10.0, static_cast<double>(b) / kBucketsPerDecade);
+}
+
+void LatencyHistogram::Record(Nanos ns) noexcept {
+  ++buckets_[BucketOf(ns)];
+  ++total_;
+  sum_ += static_cast<double>(ns);
+  max_ = std::max(max_, ns);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+double LatencyHistogram::MeanNanos() const noexcept {
+  return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+double LatencyHistogram::QuantileNanos(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen > target) {
+      // Midpoint of the bucket in log space.
+      return std::sqrt(BucketLow(b) * BucketLow(b + 1));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string FormatNanos(double ns) {
+  char buf[64];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string LatencyHistogram::Summary() const {
+  std::string out = "n=" + std::to_string(total_);
+  out += " mean=" + FormatNanos(MeanNanos());
+  out += " p50=" + FormatNanos(QuantileNanos(0.5));
+  out += " p90=" + FormatNanos(QuantileNanos(0.9));
+  out += " p99=" + FormatNanos(QuantileNanos(0.99));
+  out += " max=" + FormatNanos(static_cast<double>(max_));
+  return out;
+}
+
+}  // namespace proximity

@@ -1,0 +1,69 @@
+// Streaming statistics and fixed-layout latency histograms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace proximity {
+
+/// Numerically stable streaming mean/variance/min/max (Welford).
+class StreamingStats {
+ public:
+  void Add(double x) noexcept;
+  void Merge(const StreamingStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Log-bucketed latency histogram over nanosecond samples.
+///
+/// Buckets are geometric with ~4.6% relative width (64 buckets per decade),
+/// covering 1ns .. ~1000s, which is enough resolution for the percentile
+/// summaries printed by the benches.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(Nanos ns) noexcept;
+  void Merge(const LatencyHistogram& other) noexcept;
+
+  std::uint64_t count() const noexcept { return total_; }
+  double MeanNanos() const noexcept;
+  /// q in [0, 1]; returns an approximate quantile in nanoseconds.
+  double QuantileNanos(double q) const noexcept;
+  Nanos MaxNanos() const noexcept { return max_; }
+
+  /// "p50=… p99=… max=…" one-line summary in adaptive units.
+  std::string Summary() const;
+
+ private:
+  std::size_t BucketOf(Nanos ns) const noexcept;
+  double BucketLow(std::size_t b) const noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  Nanos max_ = 0;
+};
+
+/// Formats a nanosecond value with an adaptive unit (ns/us/ms/s).
+std::string FormatNanos(double ns);
+
+}  // namespace proximity

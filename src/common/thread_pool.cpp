@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace proximity {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto fut = packaged.get_future();
+  {
+    std::lock_guard lock(mu_);
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& fn) {
+  ParallelForChunked(begin, end,
+                     [&fn](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) fn(i);
+                     });
+}
+
+void ThreadPool::ParallelForChunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t parts = std::min(n, size() + 1);
+  if (parts <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunk = (n + parts - 1) / parts;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(parts - 1);
+  std::size_t lo = begin + chunk;  // first chunk runs on the calling thread
+  for (std::size_t p = 1; p < parts && lo < end; ++p) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futures.push_back(Submit([&fn, lo, hi] { fn(lo, hi); }));
+    lo = hi;
+  }
+  fn(begin, std::min(end, begin + chunk));
+
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace proximity

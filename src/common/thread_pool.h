@@ -1,0 +1,59 @@
+// Fixed-size thread pool with a ParallelFor helper.
+//
+// Used for index construction (k-means, HNSW inserts are serial by design,
+// but flat scans and corpus embedding parallelize well). The pool is
+// deliberately simple: one global queue, condition-variable wakeups.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace proximity {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future observes its completion and
+  /// propagates exceptions.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks
+  /// across the pool plus the calling thread. Blocks until all iterations
+  /// complete. Rethrows the first exception raised by any chunk.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// Like ParallelFor but hands each worker a [chunk_begin, chunk_end)
+  /// range, which avoids per-iteration indirection in tight loops.
+  void ParallelForChunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Shared process-wide pool sized to the host.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace proximity

@@ -1,0 +1,41 @@
+// Basic shared types for the Proximity reproduction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace proximity {
+
+/// Identifier of a vector stored in an index (position in the corpus).
+using VectorId = std::int64_t;
+
+/// Sentinel for "no vector".
+inline constexpr VectorId kInvalidVector = -1;
+
+/// Monotonically increasing query sequence number.
+using QuerySeq = std::uint64_t;
+
+/// Duration in nanoseconds; all latency accounting in the repo uses this unit.
+using Nanos = std::int64_t;
+
+inline constexpr double kNanosPerMilli = 1e6;
+inline constexpr double kNanosPerMicro = 1e3;
+
+/// A (vector id, distance) pair returned from nearest-neighbor searches.
+struct Neighbor {
+  VectorId id = kInvalidVector;
+  float distance = std::numeric_limits<float>::infinity();
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+/// Orders neighbors by ascending distance, ties broken by id for determinism.
+struct NeighborCloser {
+  bool operator()(const Neighbor& a, const Neighbor& b) const noexcept {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace proximity

@@ -1,0 +1,83 @@
+#include "embed/hash_embedder.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "embed/tokenizer.h"
+#include "vecmath/ops.h"
+
+namespace proximity {
+
+namespace {
+
+// FNV-1a over the token bytes, then splitmix finalization.
+std::uint64_t HashToken(std::string_view token, std::uint64_t salt) noexcept {
+  std::uint64_t h = 1469598103934665603ULL ^ salt;
+  for (char c : token) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return SplitMix64(h);
+}
+
+}  // namespace
+
+HashEmbedder::HashEmbedder(HashEmbedderOptions options) : options_(options) {
+  if (options_.dim == 0) {
+    throw std::invalid_argument("HashEmbedder: dim must be > 0");
+  }
+  if (options_.scale <= 0.f) {
+    throw std::invalid_argument("HashEmbedder: scale must be > 0");
+  }
+}
+
+void HashEmbedder::Accumulate(std::string_view token_a,
+                              std::string_view token_b, float weight,
+                              std::span<float> acc) const {
+  std::uint64_t h = HashToken(token_a, options_.salt);
+  if (!token_b.empty()) {
+    h = SplitMix64(h ^ HashToken(token_b, options_.salt ^ 0xb161ULL));
+  }
+  const std::size_t idx = h % options_.dim;
+  const float sign = (h >> 63) ? 1.f : -1.f;
+  acc[idx] += sign * weight;
+}
+
+void HashEmbedder::EmbedInto(std::string_view text,
+                             std::span<float> out) const {
+  if (out.size() != options_.dim) {
+    throw std::invalid_argument("HashEmbedder::EmbedInto: bad output size");
+  }
+  for (auto& x : out) x = 0.f;
+  const std::vector<std::string> tokens = Tokenize(text);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    Accumulate(tokens[i], {}, 1.f, out);
+    if (i + 1 < tokens.size()) {
+      Accumulate(tokens[i], tokens[i + 1], options_.bigram_weight, out);
+    }
+  }
+  NormalizeL2(out);
+  Scale(out, options_.scale);
+}
+
+std::vector<float> HashEmbedder::Embed(std::string_view text) const {
+  std::vector<float> out(options_.dim, 0.f);
+  EmbedInto(text, out);
+  return out;
+}
+
+Matrix HashEmbedder::EmbedBatch(const std::vector<std::string>& texts) const {
+  Matrix result(texts.size(), options_.dim);
+  ThreadPool::Shared().ParallelForChunked(
+      0, texts.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          EmbedInto(texts[i], result.MutableRow(i));
+        }
+      });
+  return result;
+}
+
+}  // namespace proximity

@@ -1,0 +1,63 @@
+// Feature-hashing text embedder — the deterministic stand-in for the
+// 768-dimensional DPR-style encoder used by the paper (§4.2).
+//
+// Each unigram and bigram is hashed to a (dimension, sign) pair and
+// accumulated into a bag-of-features vector, which is then L2-normalized
+// and scaled to a configurable norm. The embedder preserves the geometric
+// property Proximity relies on: texts differing by a small prefix land
+// close together, texts on the same topic land at moderate distance
+// (shared vocabulary), and unrelated texts land far apart.
+//
+// The `scale` option maps cosine dissimilarity into the squared-L2 range
+// the paper sweeps τ over: with unit-cosine geometry, the squared distance
+// between two embeddings of norm s is d² = 2·s²·(1 − cos). The default
+// s = √8 puts completely unrelated texts at d² ≈ 16 and near-duplicates
+// below 1, matching the paper's τ ∈ {0, 0.5, 1, 2, 5, 10} operating range.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vecmath/matrix.h"
+
+namespace proximity {
+
+struct HashEmbedderOptions {
+  std::size_t dim = 768;
+  /// Final L2 norm of every embedding.
+  float scale = 2.828427f;  // sqrt(8)
+  /// Relative weight of bigram features vs unigram features.
+  float bigram_weight = 0.6f;
+  /// Hash salt; two embedders with different salts produce incompatible
+  /// spaces (used by tests to verify the space is salt-dependent).
+  std::uint64_t salt = 0x9d5fULL;
+};
+
+class HashEmbedder {
+ public:
+  explicit HashEmbedder(HashEmbedderOptions options = {});
+
+  std::size_t dim() const noexcept { return options_.dim; }
+  float scale() const noexcept { return options_.scale; }
+
+  /// Embeds `text` into a dim()-dimensional vector of norm `scale`.
+  /// Empty/whitespace-only text maps to the zero vector.
+  std::vector<float> Embed(std::string_view text) const;
+
+  /// Embeds into caller-provided storage (avoids the allocation).
+  void EmbedInto(std::string_view text, std::span<float> out) const;
+
+  /// Embeds a batch of texts into a row-major matrix, in parallel.
+  Matrix EmbedBatch(const std::vector<std::string>& texts) const;
+
+ private:
+  void Accumulate(std::string_view token_a, std::string_view token_b,
+                  float weight, std::span<float> acc) const;
+
+  HashEmbedderOptions options_;
+};
+
+}  // namespace proximity

@@ -1,0 +1,64 @@
+#include "embed/perturb.h"
+
+#include <array>
+
+#include "common/rng.h"
+
+namespace proximity {
+
+namespace {
+// Short conversational fillers; small relative to a ~25-token question so
+// the variant lands near the original in embedding space.
+constexpr std::array<std::string_view, 16> kPrefixes = {
+    "please tell me",
+    "quick question",
+    "i was wondering",
+    "could you explain",
+    "help me understand",
+    "just curious",
+    "one more thing",
+    "let me ask",
+    "tell me please",
+    "i need to know",
+    "a question for you",
+    "here is my question",
+    "answer this for me",
+    "riddle me this",
+    "so basically",
+    "real quick",
+};
+}  // namespace
+
+std::size_t PrefixPoolSize() noexcept { return kPrefixes.size(); }
+
+std::string_view PrefixAt(std::size_t i) noexcept {
+  return kPrefixes[i % kPrefixes.size()];
+}
+
+std::string MakeVariant(std::string_view question, std::size_t question_id,
+                        std::size_t variant, std::uint64_t seed) {
+  if (variant == 0) return std::string(question);
+  // Distinct variants of the same question must get distinct prefixes, so
+  // offset a hashed base index by the variant number.
+  const std::uint64_t base =
+      SplitMix64(seed ^ SplitMix64(question_id * 0x9e37ULL));
+  const std::size_t idx =
+      static_cast<std::size_t>(base + variant) % kPrefixes.size();
+  std::string out(kPrefixes[idx]);
+  out += ' ';
+  out += question;
+  return out;
+}
+
+std::vector<std::string> MakeVariants(std::string_view question,
+                                      std::size_t question_id,
+                                      std::size_t count, std::uint64_t seed) {
+  std::vector<std::string> variants;
+  variants.reserve(count);
+  for (std::size_t v = 0; v < count; ++v) {
+    variants.push_back(MakeVariant(question, question_id, v, seed));
+  }
+  return variants;
+}
+
+}  // namespace proximity

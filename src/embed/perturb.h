@@ -1,0 +1,34 @@
+// Textual query perturbation — the paper's variant protocol.
+//
+// §4.2: "To simulate similarity, we generate four variants of each
+// question by adding some small textual prefix to them." This module
+// provides that prefix generator: a pool of short conversational fillers
+// ("please tell me", "quick question", ...) chosen deterministically per
+// (question, variant) pair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace proximity {
+
+/// Number of distinct prefixes available.
+std::size_t PrefixPoolSize() noexcept;
+
+/// Returns prefix `i % PrefixPoolSize()`.
+std::string_view PrefixAt(std::size_t i) noexcept;
+
+/// Builds variant `variant` of `question`. Variant 0 is the question
+/// verbatim; variants >= 1 prepend a filler prefix selected by a hash of
+/// (seed, question_id, variant), so reruns are reproducible.
+std::string MakeVariant(std::string_view question, std::size_t question_id,
+                        std::size_t variant, std::uint64_t seed);
+
+/// Convenience: all `count` variants of a question (index 0 = verbatim).
+std::vector<std::string> MakeVariants(std::string_view question,
+                                      std::size_t question_id,
+                                      std::size_t count, std::uint64_t seed);
+
+}  // namespace proximity

@@ -1,0 +1,34 @@
+#include "embed/tokenizer.h"
+
+namespace proximity {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : text) {
+    const auto uc = static_cast<unsigned char>(ch);
+    if ((uc >= 'a' && uc <= 'z') || (uc >= '0' && uc <= '9')) {
+      current += static_cast<char>(uc);
+    } else if (uc >= 'A' && uc <= 'Z') {
+      current += static_cast<char>(uc - 'A' + 'a');
+    } else {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace proximity

@@ -1,0 +1,19 @@
+// Word tokenizer for the hashing embedder.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace proximity {
+
+/// Splits text into lowercase alphanumeric tokens. "What is GDP?" ->
+/// ["what", "is", "gdp"]. Deterministic, locale-independent (ASCII rules;
+/// non-ASCII bytes are treated as separators).
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Joins tokens with single spaces (inverse of Tokenize up to case and
+/// punctuation; used to build synthetic passages).
+std::string JoinTokens(const std::vector<std::string>& tokens);
+
+}  // namespace proximity

@@ -1,0 +1,97 @@
+#include "index/flat_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/serde.h"
+#include "common/thread_pool.h"
+#include "index/index_io.h"
+#include "vecmath/kernels.h"
+#include "vecmath/topk.h"
+
+namespace proximity {
+
+FlatIndex::FlatIndex(std::size_t dim, FlatIndexOptions options)
+    : options_(options), vectors_(0, dim) {}
+
+VectorId FlatIndex::Add(std::span<const float> vec) {
+  CheckDim(vec);
+  const VectorId id = static_cast<VectorId>(vectors_.rows());
+  vectors_.AppendRow(vec);
+  return id;
+}
+
+std::vector<Neighbor> FlatIndex::Search(std::span<const float> query,
+                                        std::size_t k) const {
+  CheckDim(query);
+  if (k == 0 || vectors_.rows() == 0) return {};
+  const std::size_t n = vectors_.rows();
+  const std::size_t d = vectors_.dim();
+
+  if (options_.parallel_threshold == 0 || n <= options_.parallel_threshold) {
+    return SelectTopK(options_.metric, query, vectors_.data(), n, d, k);
+  }
+
+  // Parallel scan: each chunk selects its local top-k, then merge.
+  auto& pool = ThreadPool::Shared();
+  const std::size_t parts = pool.size() + 1;
+  std::vector<std::vector<Neighbor>> partial(parts);
+  const std::size_t chunk = (n + parts - 1) / parts;
+  pool.ParallelFor(0, parts, [&](std::size_t p) {
+    const std::size_t lo = p * chunk;
+    if (lo >= n) return;
+    const std::size_t hi = std::min(n, lo + chunk);
+    partial[p] = SelectTopK(options_.metric, query, vectors_.data() + lo * d,
+                            hi - lo, d, k, static_cast<VectorId>(lo));
+  });
+
+  TopK merged(k);
+  for (const auto& part : partial) {
+    for (const auto& nb : part) merged.Push(nb.id, nb.distance);
+  }
+  return merged.Take();
+}
+
+std::vector<Neighbor> FlatIndex::SearchFiltered(std::span<const float> query,
+                                                std::size_t k,
+                                                const Filter& filter) const {
+  if (!filter) return Search(query, k);
+  CheckDim(query);
+  if (k == 0 || vectors_.rows() == 0) return {};
+  TopK top(k);
+  for (std::size_t r = 0; r < vectors_.rows(); ++r) {
+    const auto id = static_cast<VectorId>(r);
+    if (!filter(id)) continue;
+    top.Push(id, Distance(options_.metric, query, vectors_.Row(r)));
+  }
+  return top.Take();
+}
+
+std::string FlatIndex::Describe() const {
+  return "flat(" + std::string(MetricName(options_.metric)) +
+         ",n=" + std::to_string(size()) + ")";
+}
+
+void FlatIndex::SaveTo(std::ostream& os) const {
+  BinaryWriter w(os);
+  WriteHeader(w, io_magic::kFlatIndex, /*version=*/1);
+  w.WriteU32(static_cast<std::uint32_t>(options_.metric));
+  w.WriteU64(options_.parallel_threshold);
+  WriteMatrix(w, vectors_);
+  w.Finish();
+}
+
+FlatIndex FlatIndex::LoadFrom(std::istream& is) {
+  BinaryReader r(is);
+  ReadHeader(r, io_magic::kFlatIndex, /*max_version=*/1);
+  FlatIndexOptions opts;
+  opts.metric = static_cast<Metric>(r.ReadU32());
+  opts.parallel_threshold = r.ReadU64();
+  Matrix vectors = ReadMatrix(r);
+  r.VerifyChecksum();
+  FlatIndex index(vectors.dim(), opts);
+  index.vectors_ = std::move(vectors);
+  return index;
+}
+
+}  // namespace proximity

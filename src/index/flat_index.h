@@ -1,0 +1,52 @@
+// Exact brute-force index (the FAISS-FLAT stand-in used for MedRAG, §4.2).
+#pragma once
+
+#include <cstddef>
+
+#include "index/vector_index.h"
+
+namespace proximity {
+
+class ThreadPool;
+
+struct FlatIndexOptions {
+  Metric metric = Metric::kL2;
+  /// Scans with more than this many vectors are split across the shared
+  /// thread pool; 0 disables parallel scan.
+  std::size_t parallel_threshold = 65536;
+};
+
+class FlatIndex final : public VectorIndex {
+ public:
+  FlatIndex(std::size_t dim, FlatIndexOptions options = {});
+
+  std::size_t dim() const noexcept override { return vectors_.dim(); }
+  Metric metric() const noexcept override { return options_.metric; }
+  std::size_t size() const noexcept override { return vectors_.rows(); }
+
+  VectorId Add(std::span<const float> vec) override;
+  std::vector<Neighbor> Search(std::span<const float> query,
+                               std::size_t k) const override;
+  std::string Describe() const override;
+
+  void SaveTo(std::ostream& os) const override;
+  static FlatIndex LoadFrom(std::istream& is);
+
+  /// Exact filtered search: one predicated scan (no over-fetch).
+  std::vector<Neighbor> SearchFiltered(std::span<const float> query,
+                                       std::size_t k,
+                                       const Filter& filter) const override;
+
+  /// Direct access to a stored vector (used by tests and by IVF training).
+  std::span<const float> Vector(VectorId id) const noexcept {
+    return vectors_.Row(static_cast<std::size_t>(id));
+  }
+
+  const Matrix& vectors() const noexcept { return vectors_; }
+
+ private:
+  FlatIndexOptions options_;
+  Matrix vectors_;
+};
+
+}  // namespace proximity

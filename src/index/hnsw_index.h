@@ -1,0 +1,114 @@
+// Hierarchical Navigable Small World graph index (Malkov & Yashunin,
+// cited as [17] in the paper; FAISS-HNSW is the index used for the MMLU
+// benchmark, §4.2).
+//
+// Full implementation: geometric level assignment, greedy descent through
+// upper layers, best-first ef-bounded search on the base layer, and
+// heuristic neighbor selection (Algorithm 4 of the HNSW paper) during
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace proximity {
+
+struct HnswOptions {
+  Metric metric = Metric::kL2;
+  /// Max links per node on layers > 0; layer 0 allows 2*M.
+  std::size_t M = 16;
+  /// Beam width during construction.
+  std::size_t ef_construction = 200;
+  /// Default beam width during search (raised to k if smaller).
+  std::size_t ef_search = 64;
+  std::uint64_t seed = 42;
+};
+
+class HnswIndex final : public VectorIndex {
+ public:
+  HnswIndex(std::size_t dim, HnswOptions options = {});
+
+  std::size_t dim() const noexcept override { return vectors_.dim(); }
+  Metric metric() const noexcept override { return options_.metric; }
+  std::size_t size() const noexcept override { return vectors_.rows(); }
+
+  /// Not thread-safe; build the graph single-threaded, then Search freely.
+  VectorId Add(std::span<const float> vec) override;
+
+  std::vector<Neighbor> Search(std::span<const float> query,
+                               std::size_t k) const override;
+  std::string Describe() const override;
+
+  /// Persists the full graph (vectors, levels, links, entry point, and
+  /// the level-assignment RNG state, so inserts resume identically).
+  /// Returned by pointer: the index owns a mutex and is not movable.
+  void SaveTo(std::ostream& os) const override;
+  static std::unique_ptr<HnswIndex> LoadFrom(std::istream& is);
+
+  void set_ef_search(std::size_t ef) noexcept { options_.ef_search = ef; }
+  std::size_t ef_search() const noexcept { return options_.ef_search; }
+
+  /// Graph introspection for tests.
+  int max_level() const noexcept { return max_level_; }
+  int NodeLevel(VectorId id) const noexcept {
+    return levels_[static_cast<std::size_t>(id)];
+  }
+  const std::vector<std::uint32_t>& Links(VectorId id, int level) const {
+    return links_[static_cast<std::size_t>(id)][static_cast<std::size_t>(
+        level)];
+  }
+
+ private:
+  using NodeId = std::uint32_t;
+
+  float Dist(std::span<const float> a, NodeId b) const noexcept;
+
+  /// Best-first search on one layer; returns up to ef closest nodes,
+  /// unsorted (heap order). `visited` must be a fresh epoch.
+  std::vector<Neighbor> SearchLayer(std::span<const float> query,
+                                    NodeId entry, float entry_dist,
+                                    std::size_t ef, int level,
+                                    std::vector<std::uint32_t>& visited,
+                                    std::uint32_t epoch) const;
+
+  /// Greedy 1-NN descent on one layer starting from `entry`.
+  void GreedyStep(std::span<const float> query, NodeId& entry,
+                  float& entry_dist, int level) const;
+
+  /// HNSW Algorithm 4: prunes `candidates` (sorted ascending) to at most
+  /// `max_links` diverse neighbors.
+  std::vector<NodeId> SelectNeighborsHeuristic(
+      std::vector<Neighbor> candidates, std::size_t max_links) const;
+
+  std::size_t MaxLinksFor(int level) const noexcept {
+    return level == 0 ? options_.M * 2 : options_.M;
+  }
+
+  /// Re-prunes `node`'s link list on `level` after adding a reverse edge.
+  void ShrinkLinks(NodeId node, int level);
+
+  // Visited-set pool: epoch-stamped arrays reused across searches.
+  struct VisitedGuard;
+  std::pair<std::vector<std::uint32_t>*, std::uint32_t> AcquireVisited() const;
+  void ReleaseVisited(std::vector<std::uint32_t>* v) const;
+
+  HnswOptions options_;
+  Matrix vectors_;
+  std::vector<int> levels_;
+  // links_[node][level] -> neighbor ids; sized to node's level + 1.
+  std::vector<std::vector<std::vector<NodeId>>> links_;
+  NodeId entry_point_ = 0;
+  int max_level_ = -1;
+  std::uint64_t level_rng_state_;
+  double level_mult_;
+
+  mutable std::mutex visited_mu_;
+  mutable std::vector<std::unique_ptr<std::vector<std::uint32_t>>>
+      visited_pool_;
+  mutable std::uint32_t visited_epoch_ = 0;
+};
+
+}  // namespace proximity

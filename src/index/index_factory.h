@@ -1,0 +1,43 @@
+// String-configured index construction for benches and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "index/vector_index.h"
+#include "vecmath/matrix.h"
+
+namespace proximity {
+
+struct IndexSpec {
+  /// "flat", "hnsw", "ivf_flat", "ivf_pq", or "vamana".
+  std::string kind = "flat";
+  Metric metric = Metric::kL2;
+  std::uint64_t seed = 42;
+
+  // HNSW knobs.
+  std::size_t hnsw_m = 16;
+  std::size_t hnsw_ef_construction = 200;
+  std::size_t hnsw_ef_search = 64;
+
+  // IVF knobs.
+  std::size_t ivf_nlist = 64;
+  std::size_t ivf_nprobe = 8;
+
+  // PQ knobs.
+  std::size_t pq_m = 8;
+  std::size_t pq_refine_factor = 0;  // 0 = no exact re-ranking
+
+  // Vamana (DiskANN) knobs.
+  std::size_t vamana_degree = 32;
+  std::size_t vamana_beam = 64;
+  float vamana_alpha = 1.2f;
+};
+
+/// Builds an index over `corpus` according to `spec`. Trainable indexes
+/// (IVF variants) are trained on a deterministic subsample of the corpus
+/// before insertion. Throws std::invalid_argument on an unknown kind.
+std::unique_ptr<VectorIndex> BuildIndex(const IndexSpec& spec,
+                                        const Matrix& corpus);
+
+}  // namespace proximity

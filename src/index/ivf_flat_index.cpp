@@ -1,0 +1,130 @@
+#include "index/ivf_flat_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/serde.h"
+#include "index/index_io.h"
+#include "index/kmeans.h"
+#include "vecmath/kernels.h"
+#include "vecmath/topk.h"
+
+namespace proximity {
+
+IvfFlatIndex::IvfFlatIndex(std::size_t dim, IvfFlatOptions options)
+    : dim_(dim), options_(options) {
+  if (dim == 0) throw std::invalid_argument("IvfFlatIndex: dim must be > 0");
+  if (options_.nlist == 0) {
+    throw std::invalid_argument("IvfFlatIndex: nlist must be > 0");
+  }
+}
+
+void IvfFlatIndex::Train(const Matrix& sample) {
+  if (trained_) throw std::logic_error("IvfFlatIndex: already trained");
+  if (sample.dim() != dim_) {
+    throw std::invalid_argument("IvfFlatIndex::Train: dimension mismatch");
+  }
+  if (sample.rows() == 0) {
+    throw std::invalid_argument("IvfFlatIndex::Train: empty sample");
+  }
+  KMeansOptions kopts;
+  kopts.seed = options_.seed;
+  centroids_ = RunKMeans(sample, options_.nlist, kopts).centroids;
+  lists_.resize(centroids_.rows());
+  trained_ = true;
+}
+
+VectorId IvfFlatIndex::Add(std::span<const float> vec) {
+  if (!trained_) throw std::logic_error("IvfFlatIndex: train before Add");
+  CheckDim(vec);
+  const std::uint32_t list = NearestCentroid(centroids_, vec);
+  const VectorId id = static_cast<VectorId>(count_++);
+  auto& l = lists_[list];
+  l.ids.push_back(id);
+  l.vectors.insert(l.vectors.end(), vec.begin(), vec.end());
+  return id;
+}
+
+std::vector<Neighbor> IvfFlatIndex::Search(std::span<const float> query,
+                                           std::size_t k) const {
+  if (!trained_) throw std::logic_error("IvfFlatIndex: train before Search");
+  CheckDim(query);
+  if (k == 0 || count_ == 0) return {};
+
+  // Rank coarse centroids by distance to the query.
+  const std::size_t nprobe = std::min(options_.nprobe, centroids_.rows());
+  std::vector<Neighbor> probe_order =
+      SelectTopK(Metric::kL2, query, centroids_.data(), centroids_.rows(),
+                 dim_, nprobe);
+
+  TopK top(k);
+  for (const auto& probe : probe_order) {
+    const auto& list = lists_[static_cast<std::size_t>(probe.id)];
+    const std::size_t entries = list.ids.size();
+    for (std::size_t r = 0; r < entries; ++r) {
+      const float d = Distance(options_.metric, query,
+                               {list.vectors.data() + r * dim_, dim_});
+      top.Push(list.ids[r], d);
+    }
+  }
+  return top.Take();
+}
+
+void IvfFlatIndex::SaveTo(std::ostream& os) const {
+  if (!trained_) throw std::logic_error("IvfFlatIndex: train before SaveTo");
+  BinaryWriter w(os);
+  WriteHeader(w, io_magic::kIvfFlat, /*version=*/1);
+  w.WriteU64(dim_);
+  w.WriteU32(static_cast<std::uint32_t>(options_.metric));
+  w.WriteU64(options_.nlist);
+  w.WriteU64(options_.nprobe);
+  w.WriteU64(options_.seed);
+  w.WriteU64(count_);
+  WriteMatrix(w, centroids_);
+  for (const auto& list : lists_) {
+    w.WriteI64s(list.ids);
+    w.WriteFloats(list.vectors);
+  }
+  w.Finish();
+}
+
+IvfFlatIndex IvfFlatIndex::LoadFrom(std::istream& is) {
+  BinaryReader r(is);
+  ReadHeader(r, io_magic::kIvfFlat, /*max_version=*/1);
+  const std::uint64_t dim = r.ReadU64();
+  IvfFlatOptions opts;
+  opts.metric = static_cast<Metric>(r.ReadU32());
+  opts.nlist = r.ReadU64();
+  opts.nprobe = r.ReadU64();
+  opts.seed = r.ReadU64();
+  const std::uint64_t count = r.ReadU64();
+
+  IvfFlatIndex index(dim, opts);
+  index.centroids_ = ReadMatrix(r);
+  index.lists_.resize(index.centroids_.rows());
+  std::uint64_t restored = 0;
+  for (auto& list : index.lists_) {
+    list.ids = r.ReadI64s();
+    list.vectors = r.ReadFloats();
+    if (list.vectors.size() != list.ids.size() * dim) {
+      throw std::runtime_error("IvfFlatIndex::LoadFrom: list size mismatch");
+    }
+    restored += list.ids.size();
+  }
+  if (restored != count) {
+    throw std::runtime_error("IvfFlatIndex::LoadFrom: count mismatch");
+  }
+  index.count_ = count;
+  index.trained_ = true;
+  r.VerifyChecksum();
+  return index;
+}
+
+std::string IvfFlatIndex::Describe() const {
+  return "ivf_flat(" + std::string(MetricName(options_.metric)) +
+         ",nlist=" + std::to_string(nlist()) +
+         ",nprobe=" + std::to_string(options_.nprobe) +
+         ",n=" + std::to_string(count_) + ")";
+}
+
+}  // namespace proximity

@@ -1,0 +1,67 @@
+// Inverted-file index with exact residual scan (FAISS IVF-Flat analogue).
+//
+// Vectors are bucketed by their nearest coarse centroid; a query probes the
+// `nprobe` closest buckets only. One of the ANN substrates used by the
+// index-comparison bench (DESIGN.md row A-index).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace proximity {
+
+struct IvfFlatOptions {
+  Metric metric = Metric::kL2;
+  std::size_t nlist = 64;   // number of coarse clusters
+  std::size_t nprobe = 8;   // clusters scanned per query
+  std::uint64_t seed = 42;  // k-means seed
+};
+
+class IvfFlatIndex final : public VectorIndex {
+ public:
+  IvfFlatIndex(std::size_t dim, IvfFlatOptions options = {});
+
+  /// Trains the coarse quantizer on the given sample. Must be called
+  /// before Add. Throws std::logic_error if already trained.
+  void Train(const Matrix& sample);
+  bool trained() const noexcept { return trained_; }
+
+  std::size_t dim() const noexcept override { return dim_; }
+  Metric metric() const noexcept override { return options_.metric; }
+  std::size_t size() const noexcept override { return count_; }
+
+  VectorId Add(std::span<const float> vec) override;
+  std::vector<Neighbor> Search(std::span<const float> query,
+                               std::size_t k) const override;
+  std::string Describe() const override;
+
+  void SaveTo(std::ostream& os) const override;
+  static IvfFlatIndex LoadFrom(std::istream& is);
+
+  /// Changes the probe width at query time (recall/latency knob).
+  void set_nprobe(std::size_t nprobe) noexcept { options_.nprobe = nprobe; }
+  std::size_t nprobe() const noexcept { return options_.nprobe; }
+  std::size_t nlist() const noexcept { return centroids_.rows(); }
+
+  /// Number of vectors stored in list `l` (exposed for tests).
+  std::size_t ListSize(std::size_t l) const noexcept {
+    return lists_[l].ids.size();
+  }
+
+ private:
+  struct InvertedList {
+    std::vector<VectorId> ids;
+    std::vector<float> vectors;  // row-major, dim_ per entry
+  };
+
+  std::size_t dim_;
+  IvfFlatOptions options_;
+  bool trained_ = false;
+  Matrix centroids_;
+  std::vector<InvertedList> lists_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace proximity

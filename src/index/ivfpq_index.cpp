@@ -1,0 +1,170 @@
+#include "index/ivfpq_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/serde.h"
+#include "index/index_io.h"
+#include "index/kmeans.h"
+#include "vecmath/kernels.h"
+#include "vecmath/topk.h"
+
+namespace proximity {
+
+IvfPqIndex::IvfPqIndex(std::size_t dim, IvfPqOptions options)
+    : dim_(dim), options_(options), pq_(dim, options.pq),
+      raw_vectors_(0, dim) {
+  if (options_.metric != Metric::kL2) {
+    throw std::invalid_argument("IvfPqIndex: only L2 is supported (ADC)");
+  }
+  if (options_.nlist == 0) {
+    throw std::invalid_argument("IvfPqIndex: nlist must be > 0");
+  }
+}
+
+void IvfPqIndex::Train(const Matrix& sample) {
+  if (trained_) throw std::logic_error("IvfPqIndex: already trained");
+  if (sample.dim() != dim_) {
+    throw std::invalid_argument("IvfPqIndex::Train: dim mismatch");
+  }
+  KMeansOptions kopts;
+  kopts.seed = options_.seed;
+  centroids_ = RunKMeans(sample, options_.nlist, kopts).centroids;
+  lists_.resize(centroids_.rows());
+  pq_.Train(sample);
+  trained_ = true;
+}
+
+VectorId IvfPqIndex::Add(std::span<const float> vec) {
+  if (!trained_) throw std::logic_error("IvfPqIndex: train before Add");
+  CheckDim(vec);
+  const std::uint32_t list = NearestCentroid(centroids_, vec);
+  const VectorId id = static_cast<VectorId>(count_++);
+  auto& l = lists_[list];
+  l.ids.push_back(id);
+  const std::size_t off = l.codes.size();
+  l.codes.resize(off + pq_.code_size());
+  pq_.Encode(vec, l.codes.data() + off);
+  if (options_.refine_factor > 0) raw_vectors_.AppendRow(vec);
+  return id;
+}
+
+std::vector<Neighbor> IvfPqIndex::Search(std::span<const float> query,
+                                         std::size_t k) const {
+  if (!trained_) throw std::logic_error("IvfPqIndex: train before Search");
+  CheckDim(query);
+  if (k == 0 || count_ == 0) return {};
+
+  const std::size_t nprobe = std::min(options_.nprobe, centroids_.rows());
+  std::vector<Neighbor> probe_order =
+      SelectTopK(Metric::kL2, query, centroids_.data(), centroids_.rows(),
+                 dim_, nprobe);
+
+  const std::vector<float> table = pq_.ComputeDistanceTable(query);
+  const std::size_t code_size = pq_.code_size();
+
+  const std::size_t adc_k =
+      options_.refine_factor > 0 ? k * options_.refine_factor : k;
+  TopK top(adc_k);
+  for (const auto& probe : probe_order) {
+    const auto& list = lists_[static_cast<std::size_t>(probe.id)];
+    for (std::size_t r = 0; r < list.ids.size(); ++r) {
+      const float d = pq_.AdcDistance(table, list.codes.data() + r * code_size);
+      top.Push(list.ids[r], d);
+    }
+  }
+  auto candidates = top.Take();
+  if (options_.refine_factor == 0) return candidates;
+
+  // Exact re-ranking of the ADC shortlist against the raw vectors.
+  TopK refined(k);
+  for (const auto& cand : candidates) {
+    const float d = L2SquaredDistance(
+        query, raw_vectors_.Row(static_cast<std::size_t>(cand.id)));
+    refined.Push(cand.id, d);
+  }
+  return refined.Take();
+}
+
+void IvfPqIndex::SaveTo(std::ostream& os) const {
+  if (!trained_) throw std::logic_error("IvfPqIndex: train before SaveTo");
+  BinaryWriter w(os);
+  WriteHeader(w, io_magic::kIvfPq, /*version=*/1);
+  w.WriteU64(dim_);
+  w.WriteU64(options_.nlist);
+  w.WriteU64(options_.nprobe);
+  w.WriteU64(options_.seed);
+  w.WriteU64(options_.refine_factor);
+  w.WriteU64(count_);
+  WriteMatrix(w, centroids_);
+  if (options_.refine_factor > 0) WriteMatrix(w, raw_vectors_);
+  w.Finish();
+  // The product quantizer is a nested self-verifying block.
+  pq_.SaveTo(os);
+  BinaryWriter lists_writer(os);
+  for (const auto& list : lists_) {
+    lists_writer.WriteI64s(list.ids);
+    lists_writer.WriteU8s(list.codes);
+  }
+  lists_writer.Finish();
+}
+
+IvfPqIndex IvfPqIndex::LoadFrom(std::istream& is) {
+  BinaryReader r(is);
+  ReadHeader(r, io_magic::kIvfPq, /*max_version=*/1);
+  const std::uint64_t dim = r.ReadU64();
+  IvfPqOptions opts;
+  opts.nlist = r.ReadU64();
+  opts.nprobe = r.ReadU64();
+  opts.seed = r.ReadU64();
+  opts.refine_factor = r.ReadU64();
+  const std::uint64_t count = r.ReadU64();
+  Matrix centroids = ReadMatrix(r);
+  Matrix raw(0, dim);
+  if (opts.refine_factor > 0) {
+    raw = ReadMatrix(r);
+    if (raw.rows() != count) {
+      throw std::runtime_error("IvfPqIndex::LoadFrom: raw vector mismatch");
+    }
+  }
+  r.VerifyChecksum();
+
+  ProductQuantizer pq = ProductQuantizer::LoadFrom(is);
+  if (pq.dim() != dim) {
+    throw std::runtime_error("IvfPqIndex::LoadFrom: pq dimension mismatch");
+  }
+  opts.pq.m = pq.m();
+  opts.pq.ksub = pq.ksub();
+
+  IvfPqIndex index(dim, opts);
+  index.centroids_ = std::move(centroids);
+  index.raw_vectors_ = std::move(raw);
+  index.pq_ = std::move(pq);
+  index.lists_.resize(index.centroids_.rows());
+  BinaryReader lists_reader(is);
+  std::uint64_t restored = 0;
+  for (auto& list : index.lists_) {
+    list.ids = lists_reader.ReadI64s();
+    list.codes = lists_reader.ReadU8s();
+    if (list.codes.size() != list.ids.size() * index.pq_.code_size()) {
+      throw std::runtime_error("IvfPqIndex::LoadFrom: code size mismatch");
+    }
+    restored += list.ids.size();
+  }
+  if (restored != count) {
+    throw std::runtime_error("IvfPqIndex::LoadFrom: count mismatch");
+  }
+  index.count_ = count;
+  index.trained_ = true;
+  lists_reader.VerifyChecksum();
+  return index;
+}
+
+std::string IvfPqIndex::Describe() const {
+  return "ivf_pq(nlist=" + std::to_string(centroids_.rows()) +
+         ",nprobe=" + std::to_string(options_.nprobe) +
+         ",m=" + std::to_string(pq_.m()) + ",n=" + std::to_string(count_) +
+         ")";
+}
+
+}  // namespace proximity

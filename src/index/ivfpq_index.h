@@ -1,0 +1,71 @@
+// IVF-PQ: inverted file with product-quantized residual-free codes.
+//
+// Combines the coarse quantizer (kmeans.h) with ProductQuantizer for
+// memory-compact approximate search — the third ANN family compared in
+// the index benchmark (DESIGN.md row A-index).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/pq.h"
+#include "index/vector_index.h"
+
+namespace proximity {
+
+struct IvfPqOptions {
+  Metric metric = Metric::kL2;  // ADC is L2-based; kL2 is the supported metric
+  std::size_t nlist = 64;
+  std::size_t nprobe = 8;
+  PqOptions pq;
+  std::uint64_t seed = 42;
+  /// Exact re-ranking (FAISS "Refine"): when > 0, ADC search retrieves
+  /// refine_factor * k candidates which are then re-ranked with exact
+  /// distances against retained raw vectors. Trades the PQ memory savings
+  /// for recall; 0 disables refinement (raw vectors are not stored).
+  std::size_t refine_factor = 0;
+};
+
+class IvfPqIndex final : public VectorIndex {
+ public:
+  IvfPqIndex(std::size_t dim, IvfPqOptions options = {});
+
+  /// Trains the coarse quantizer and PQ codebooks on `sample`.
+  void Train(const Matrix& sample);
+  bool trained() const noexcept { return trained_; }
+
+  std::size_t dim() const noexcept override { return dim_; }
+  Metric metric() const noexcept override { return options_.metric; }
+  std::size_t size() const noexcept override { return count_; }
+
+  VectorId Add(std::span<const float> vec) override;
+  std::vector<Neighbor> Search(std::span<const float> query,
+                               std::size_t k) const override;
+  std::string Describe() const override;
+
+  void SaveTo(std::ostream& os) const override;
+  static IvfPqIndex LoadFrom(std::istream& is);
+
+  void set_nprobe(std::size_t nprobe) noexcept { options_.nprobe = nprobe; }
+
+  /// Bytes used per stored vector (code only), for the memory comparison.
+  std::size_t BytesPerVector() const noexcept { return pq_.code_size(); }
+
+ private:
+  struct InvertedList {
+    std::vector<VectorId> ids;
+    std::vector<std::uint8_t> codes;  // code_size bytes per entry
+  };
+
+  std::size_t dim_;
+  IvfPqOptions options_;
+  bool trained_ = false;
+  Matrix centroids_;
+  ProductQuantizer pq_;
+  std::vector<InvertedList> lists_;
+  /// Raw vectors by id, kept only when refine_factor > 0.
+  Matrix raw_vectors_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace proximity

@@ -1,0 +1,155 @@
+#include "index/pq.h"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "common/serde.h"
+#include "index/index_io.h"
+#include "index/kmeans.h"
+#include "vecmath/kernels.h"
+
+namespace proximity {
+
+ProductQuantizer::ProductQuantizer(std::size_t dim, PqOptions options)
+    : dim_(dim), options_(options) {
+  if (dim == 0) throw std::invalid_argument("ProductQuantizer: dim == 0");
+  if (options_.m == 0 || dim % options_.m != 0) {
+    throw std::invalid_argument("ProductQuantizer: m must divide dim");
+  }
+  if (options_.ksub == 0 || options_.ksub > 256) {
+    throw std::invalid_argument("ProductQuantizer: ksub must be in [1,256]");
+  }
+}
+
+void ProductQuantizer::Train(const Matrix& sample) {
+  if (trained_) throw std::logic_error("ProductQuantizer: already trained");
+  if (sample.dim() != dim_) {
+    throw std::invalid_argument("ProductQuantizer::Train: dim mismatch");
+  }
+  if (sample.rows() == 0) {
+    throw std::invalid_argument("ProductQuantizer::Train: empty sample");
+  }
+  const std::size_t ds = dsub();
+  codebooks_.reserve(options_.m);
+  for (std::size_t sub = 0; sub < options_.m; ++sub) {
+    // Slice out the sub-vectors for this subspace.
+    Matrix slice(sample.rows(), ds);
+    for (std::size_t r = 0; r < sample.rows(); ++r) {
+      const auto row = sample.Row(r);
+      auto dst = slice.MutableRow(r);
+      for (std::size_t j = 0; j < ds; ++j) dst[j] = row[sub * ds + j];
+    }
+    KMeansOptions kopts;
+    kopts.max_iterations = options_.train_iterations;
+    kopts.seed = options_.seed + sub;
+    codebooks_.push_back(RunKMeans(slice, options_.ksub, kopts).centroids);
+  }
+  trained_ = true;
+}
+
+std::span<const float> ProductQuantizer::Centroid(std::size_t sub,
+                                                  std::size_t c) const {
+  assert(trained_);
+  return codebooks_[sub].Row(c);
+}
+
+void ProductQuantizer::Encode(std::span<const float> vec,
+                              std::uint8_t* code) const {
+  if (!trained_) throw std::logic_error("ProductQuantizer: train first");
+  if (vec.size() != dim_) {
+    throw std::invalid_argument("ProductQuantizer::Encode: dim mismatch");
+  }
+  const std::size_t ds = dsub();
+  for (std::size_t sub = 0; sub < options_.m; ++sub) {
+    code[sub] = static_cast<std::uint8_t>(
+        NearestCentroid(codebooks_[sub], vec.subspan(sub * ds, ds)));
+  }
+}
+
+void ProductQuantizer::Decode(const std::uint8_t* code,
+                              std::span<float> out) const {
+  if (!trained_) throw std::logic_error("ProductQuantizer: train first");
+  assert(out.size() == dim_);
+  const std::size_t ds = dsub();
+  for (std::size_t sub = 0; sub < options_.m; ++sub) {
+    const auto centroid = codebooks_[sub].Row(code[sub]);
+    for (std::size_t j = 0; j < ds; ++j) out[sub * ds + j] = centroid[j];
+  }
+}
+
+std::vector<float> ProductQuantizer::ComputeDistanceTable(
+    std::span<const float> query) const {
+  if (!trained_) throw std::logic_error("ProductQuantizer: train first");
+  if (query.size() != dim_) {
+    throw std::invalid_argument("ProductQuantizer: dim mismatch");
+  }
+  const std::size_t ds = dsub();
+  const std::size_t ks = codebooks_[0].rows();
+  std::vector<float> table(options_.m * ks);
+  for (std::size_t sub = 0; sub < options_.m; ++sub) {
+    const auto q = query.subspan(sub * ds, ds);
+    for (std::size_t c = 0; c < ks; ++c) {
+      table[sub * ks + c] = L2SquaredDistance(q, codebooks_[sub].Row(c));
+    }
+  }
+  return table;
+}
+
+float ProductQuantizer::AdcDistance(const std::vector<float>& table,
+                                    const std::uint8_t* code) const noexcept {
+  const std::size_t ks = codebooks_[0].rows();
+  float acc = 0.f;
+  for (std::size_t sub = 0; sub < options_.m; ++sub) {
+    acc += table[sub * ks + code[sub]];
+  }
+  return acc;
+}
+
+void ProductQuantizer::SaveTo(std::ostream& os) const {
+  if (!trained_) throw std::logic_error("ProductQuantizer: train first");
+  BinaryWriter w(os);
+  WriteHeader(w, io_magic::kPq, /*version=*/1);
+  w.WriteU64(dim_);
+  w.WriteU64(options_.m);
+  w.WriteU64(options_.ksub);
+  w.WriteU64(options_.train_iterations);
+  w.WriteU64(options_.seed);
+  for (const auto& codebook : codebooks_) {
+    WriteMatrix(w, codebook);
+  }
+  w.Finish();
+}
+
+ProductQuantizer ProductQuantizer::LoadFrom(std::istream& is) {
+  BinaryReader r(is);
+  ReadHeader(r, io_magic::kPq, /*max_version=*/1);
+  const std::uint64_t dim = r.ReadU64();
+  PqOptions opts;
+  opts.m = r.ReadU64();
+  opts.ksub = r.ReadU64();
+  opts.train_iterations = r.ReadU64();
+  opts.seed = r.ReadU64();
+  ProductQuantizer pq(dim, opts);
+  pq.codebooks_.reserve(opts.m);
+  for (std::size_t sub = 0; sub < opts.m; ++sub) {
+    Matrix codebook = ReadMatrix(r);
+    if (codebook.dim() != pq.dsub()) {
+      throw std::runtime_error("ProductQuantizer::LoadFrom: dsub mismatch");
+    }
+    pq.codebooks_.push_back(std::move(codebook));
+  }
+  pq.trained_ = true;
+  r.VerifyChecksum();
+  return pq;
+}
+
+float ProductQuantizer::ReconstructionError(std::span<const float> vec) const {
+  std::vector<std::uint8_t> code(code_size());
+  Encode(vec, code.data());
+  std::vector<float> rec(dim_);
+  Decode(code.data(), rec);
+  return L2SquaredDistance(vec, rec);
+}
+
+}  // namespace proximity

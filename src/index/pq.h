@@ -1,0 +1,67 @@
+// Product quantization (Jégou et al., cited as [18] in §2.2).
+//
+// Splits each vector into m sub-vectors and quantizes each with its own
+// 256-entry codebook; asymmetric distance computation (ADC) then evaluates
+// approximate distances via per-subspace lookup tables.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "vecmath/matrix.h"
+
+namespace proximity {
+
+struct PqOptions {
+  std::size_t m = 8;          // number of subquantizers; must divide dim
+  std::size_t ksub = 256;     // centroids per subquantizer (codes are u8)
+  std::size_t train_iterations = 15;
+  std::uint64_t seed = 42;
+};
+
+class ProductQuantizer {
+ public:
+  ProductQuantizer(std::size_t dim, PqOptions options = {});
+
+  void Train(const Matrix& sample);
+  bool trained() const noexcept { return trained_; }
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t m() const noexcept { return options_.m; }
+  std::size_t ksub() const noexcept { return options_.ksub; }
+  std::size_t dsub() const noexcept { return dim_ / options_.m; }
+  std::size_t code_size() const noexcept { return options_.m; }
+
+  /// Encodes `vec` into m bytes (one centroid id per subspace).
+  void Encode(std::span<const float> vec, std::uint8_t* code) const;
+
+  /// Reconstructs an approximation of the encoded vector.
+  void Decode(const std::uint8_t* code, std::span<float> out) const;
+
+  /// Precomputes the query's squared-L2 distance to every centroid of every
+  /// subspace: table[sub * ksub + centroid]. ADC then sums m lookups.
+  std::vector<float> ComputeDistanceTable(std::span<const float> query) const;
+
+  /// ADC distance of one code against a precomputed table.
+  float AdcDistance(const std::vector<float>& table,
+                    const std::uint8_t* code) const noexcept;
+
+  /// Exact quantization error |x - decode(encode(x))|^2, for tests.
+  float ReconstructionError(std::span<const float> vec) const;
+
+  /// Centroid `c` of subquantizer `sub` (dsub floats).
+  std::span<const float> Centroid(std::size_t sub, std::size_t c) const;
+
+  void SaveTo(std::ostream& os) const;
+  static ProductQuantizer LoadFrom(std::istream& is);
+
+ private:
+  std::size_t dim_;
+  PqOptions options_;
+  bool trained_ = false;
+  // codebooks_[sub] is a (ksub x dsub) matrix.
+  std::vector<Matrix> codebooks_;
+};
+
+}  // namespace proximity

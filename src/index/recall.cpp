@@ -1,0 +1,52 @@
+#include "index/recall.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace proximity {
+
+double RecallAtK(std::span<const Neighbor> approx,
+                 std::span<const Neighbor> truth) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<VectorId> truth_ids;
+  truth_ids.reserve(truth.size());
+  for (const auto& n : truth) truth_ids.insert(n.id);
+  std::size_t hits = 0;
+  for (const auto& n : approx) {
+    if (truth_ids.contains(n.id)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double JaccardOverlap(std::span<const Neighbor> a,
+                      std::span<const Neighbor> b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::unordered_set<VectorId> ids_a;
+  ids_a.reserve(a.size());
+  for (const auto& n : a) ids_a.insert(n.id);
+  std::unordered_set<VectorId> ids_b;
+  ids_b.reserve(b.size());
+  for (const auto& n : b) ids_b.insert(n.id);
+  std::size_t inter = 0;
+  for (VectorId id : ids_a) {
+    if (ids_b.contains(id)) ++inter;
+  }
+  const std::size_t uni = ids_a.size() + ids_b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double MeanRecallAtK(const std::vector<std::vector<Neighbor>>& approx,
+                     const std::vector<std::vector<Neighbor>>& truth) {
+  if (approx.size() != truth.size()) {
+    throw std::invalid_argument("MeanRecallAtK: list length mismatch");
+  }
+  if (approx.empty()) return 1.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < approx.size(); ++i) {
+    total += RecallAtK(approx[i], truth[i]);
+  }
+  return total / static_cast<double>(approx.size());
+}
+
+}  // namespace proximity

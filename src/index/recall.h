@@ -1,0 +1,29 @@
+// Retrieval-quality measures: recall@k and rank-weighted overlap.
+//
+// Used (a) to validate the ANN indexes against exact ground truth and
+// (b) by the RAG answer model, which scores how relevant the served
+// (possibly cached) chunks are relative to the exact top-k.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace proximity {
+
+/// |approx ∩ truth| / |truth| over the id sets. Returns 1.0 when truth is
+/// empty.
+double RecallAtK(std::span<const Neighbor> approx,
+                 std::span<const Neighbor> truth);
+
+/// Id-set overlap of two result lists (Jaccard). Returns 1.0 if both empty.
+double JaccardOverlap(std::span<const Neighbor> a,
+                      std::span<const Neighbor> b);
+
+/// Mean recall across query result pairs; lists must be the same length.
+double MeanRecallAtK(
+    const std::vector<std::vector<Neighbor>>& approx,
+    const std::vector<std::vector<Neighbor>>& truth);
+
+}  // namespace proximity

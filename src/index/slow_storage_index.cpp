@@ -1,0 +1,31 @@
+#include "index/slow_storage_index.h"
+
+#include <stdexcept>
+
+namespace proximity {
+
+SlowStorageIndex::SlowStorageIndex(std::unique_ptr<VectorIndex> inner,
+                                   StorageModel model, VirtualClock* clock)
+    : inner_(std::move(inner)), model_(model), clock_(clock) {
+  if (!inner_) {
+    throw std::invalid_argument("SlowStorageIndex: inner index is null");
+  }
+  if (clock_ == nullptr) {
+    throw std::invalid_argument("SlowStorageIndex: clock is null");
+  }
+}
+
+std::vector<Neighbor> SlowStorageIndex::Search(std::span<const float> query,
+                                               std::size_t k) const {
+  auto results = inner_->Search(query, k);
+  clock_->Advance(model_.CostOf(results.size()));
+  return results;
+}
+
+std::string SlowStorageIndex::Describe() const {
+  return "slow_storage(fixed=" + std::to_string(model_.fixed_ns) +
+         "ns,per_result=" + std::to_string(model_.per_result_ns) + "ns," +
+         inner_->Describe() + ")";
+}
+
+}  // namespace proximity

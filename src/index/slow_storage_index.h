@@ -1,0 +1,57 @@
+// Storage-latency model: wraps any index and charges a deterministic
+// per-search delay to a VirtualClock.
+//
+// §4.3.3 of the paper remarks that "other database implementations such as
+// DISKANN (partially) store indices on the disk, which increases retrieval
+// latency … such implementations would highly benefit from the speedups
+// enabled by Proximity". This wrapper reproduces that regime without real
+// disks: the bench `diskann_sim` sweeps the delay model and shows the
+// cache's speedup growing with database latency.
+#pragma once
+
+#include <memory>
+
+#include "common/stopwatch.h"
+#include "index/vector_index.h"
+
+namespace proximity {
+
+struct StorageModel {
+  /// Fixed per-search latency (seek + index traversal), in nanoseconds.
+  Nanos fixed_ns = 0;
+  /// Additional latency charged per result candidate (page reads).
+  Nanos per_result_ns = 0;
+
+  Nanos CostOf(std::size_t results) const noexcept {
+    return fixed_ns + per_result_ns * static_cast<Nanos>(results);
+  }
+};
+
+class SlowStorageIndex final : public VectorIndex {
+ public:
+  /// Does not take ownership of `clock`; it must outlive the index.
+  SlowStorageIndex(std::unique_ptr<VectorIndex> inner, StorageModel model,
+                   VirtualClock* clock);
+
+  std::size_t dim() const noexcept override { return inner_->dim(); }
+  Metric metric() const noexcept override { return inner_->metric(); }
+  std::size_t size() const noexcept override { return inner_->size(); }
+
+  VectorId Add(std::span<const float> vec) override {
+    return inner_->Add(vec);
+  }
+
+  std::vector<Neighbor> Search(std::span<const float> query,
+                               std::size_t k) const override;
+  std::string Describe() const override;
+
+  const VectorIndex& inner() const noexcept { return *inner_; }
+  const StorageModel& model() const noexcept { return model_; }
+
+ private:
+  std::unique_ptr<VectorIndex> inner_;
+  StorageModel model_;
+  VirtualClock* clock_;
+};
+
+}  // namespace proximity

@@ -1,0 +1,109 @@
+#include "index/sq8_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "vecmath/kernels.h"
+#include "vecmath/topk.h"
+
+namespace proximity {
+
+Sq8Index::Sq8Index(std::size_t dim, Sq8Options options)
+    : dim_(dim), options_(options), raw_vectors_(0, dim) {
+  if (dim == 0) throw std::invalid_argument("Sq8Index: dim must be > 0");
+  if (options_.trim < 0.0 || options_.trim >= 0.5) {
+    throw std::invalid_argument("Sq8Index: trim must be in [0, 0.5)");
+  }
+}
+
+void Sq8Index::Train(const Matrix& sample) {
+  if (trained_) throw std::logic_error("Sq8Index: already trained");
+  if (sample.dim() != dim_) {
+    throw std::invalid_argument("Sq8Index::Train: dimension mismatch");
+  }
+  if (sample.rows() == 0) {
+    throw std::invalid_argument("Sq8Index::Train: empty sample");
+  }
+  vmin_.resize(dim_);
+  vscale_.resize(dim_);
+  std::vector<float> column(sample.rows());
+  const auto lo_idx = static_cast<std::size_t>(
+      options_.trim * static_cast<double>(sample.rows() - 1));
+  const std::size_t hi_idx = sample.rows() - 1 - lo_idx;
+  for (std::size_t j = 0; j < dim_; ++j) {
+    for (std::size_t r = 0; r < sample.rows(); ++r) {
+      column[r] = sample.Row(r)[j];
+    }
+    std::nth_element(column.begin(), column.begin() + lo_idx, column.end());
+    const float lo = column[lo_idx];
+    std::nth_element(column.begin(), column.begin() + hi_idx, column.end());
+    const float hi = column[hi_idx];
+    vmin_[j] = lo;
+    vscale_[j] = std::max((hi - lo) / 255.f, 1e-12f);
+  }
+  trained_ = true;
+}
+
+void Sq8Index::Encode(std::span<const float> vec, std::uint8_t* code) const {
+  if (!trained_) throw std::logic_error("Sq8Index: train first");
+  for (std::size_t j = 0; j < dim_; ++j) {
+    const float q = (vec[j] - vmin_[j]) / vscale_[j];
+    code[j] = static_cast<std::uint8_t>(
+        std::clamp(std::lround(q), 0L, 255L));
+  }
+}
+
+void Sq8Index::Decode(const std::uint8_t* code, std::span<float> out) const {
+  if (!trained_) throw std::logic_error("Sq8Index: train first");
+  for (std::size_t j = 0; j < dim_; ++j) {
+    out[j] = vmin_[j] + static_cast<float>(code[j]) * vscale_[j];
+  }
+}
+
+VectorId Sq8Index::Add(std::span<const float> vec) {
+  if (!trained_) throw std::logic_error("Sq8Index: train before Add");
+  CheckDim(vec);
+  const VectorId id = static_cast<VectorId>(count_++);
+  const std::size_t off = codes_.size();
+  codes_.resize(off + dim_);
+  Encode(vec, codes_.data() + off);
+  if (options_.refine_factor > 0) raw_vectors_.AppendRow(vec);
+  return id;
+}
+
+std::vector<Neighbor> Sq8Index::Search(std::span<const float> query,
+                                       std::size_t k) const {
+  if (!trained_) throw std::logic_error("Sq8Index: train before Search");
+  CheckDim(query);
+  if (k == 0 || count_ == 0) return {};
+
+  const std::size_t scan_k =
+      options_.refine_factor > 0 ? k * options_.refine_factor : k;
+  TopK top(scan_k);
+  std::vector<float> decoded(dim_);
+  for (std::size_t r = 0; r < count_; ++r) {
+    Decode(codes_.data() + r * dim_, decoded);
+    const float d = Distance(options_.metric, query, decoded);
+    top.Push(static_cast<VectorId>(r), d);
+  }
+  auto candidates = top.Take();
+  if (options_.refine_factor == 0) return candidates;
+
+  TopK refined(k);
+  for (const auto& cand : candidates) {
+    const float d = Distance(
+        options_.metric, query,
+        raw_vectors_.Row(static_cast<std::size_t>(cand.id)));
+    refined.Push(cand.id, d);
+  }
+  return refined.Take();
+}
+
+std::string Sq8Index::Describe() const {
+  return "sq8(" + std::string(MetricName(options_.metric)) +
+         ",refine=" + std::to_string(options_.refine_factor) +
+         ",n=" + std::to_string(count_) + ")";
+}
+
+}  // namespace proximity

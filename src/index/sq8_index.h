@@ -1,0 +1,66 @@
+// SQ8: flat index over 8-bit scalar-quantized vectors (FAISS
+// IndexScalarQuantizer analogue).
+//
+// Each dimension is affinely mapped to [0, 255] using per-dimension
+// min/max learned from a training sample; vectors are stored as one byte
+// per dimension (4x smaller than float32). Search scans the codes,
+// dequantizing on the fly; an optional exact re-ranking stage (requires
+// retaining raw vectors) removes the quantization error from the final
+// ranking. Another point on the §2.2 memory/recall/latency trade-off
+// curve, between FLAT and PQ.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace proximity {
+
+struct Sq8Options {
+  Metric metric = Metric::kL2;
+  /// When > 0, search scans codes for refine_factor * k candidates and
+  /// re-ranks them exactly against retained raw vectors.
+  std::size_t refine_factor = 0;
+  /// Quantile trimming for the per-dim range (0 = exact min/max). A small
+  /// trim (e.g. 0.01) makes the quantizer robust to outliers.
+  double trim = 0.0;
+};
+
+class Sq8Index final : public VectorIndex {
+ public:
+  Sq8Index(std::size_t dim, Sq8Options options = {});
+
+  /// Learns per-dimension ranges from the sample. Must precede Add.
+  void Train(const Matrix& sample);
+  bool trained() const noexcept { return trained_; }
+
+  std::size_t dim() const noexcept override { return dim_; }
+  Metric metric() const noexcept override { return options_.metric; }
+  std::size_t size() const noexcept override { return count_; }
+
+  VectorId Add(std::span<const float> vec) override;
+  std::vector<Neighbor> Search(std::span<const float> query,
+                               std::size_t k) const override;
+  std::string Describe() const override;
+
+  /// Quantize/dequantize one vector (exposed for tests).
+  void Encode(std::span<const float> vec, std::uint8_t* code) const;
+  void Decode(const std::uint8_t* code, std::span<float> out) const;
+
+  std::size_t BytesPerVector() const noexcept {
+    return dim_ + (options_.refine_factor > 0 ? dim_ * sizeof(float) : 0);
+  }
+
+ private:
+  std::size_t dim_;
+  Sq8Options options_;
+  bool trained_ = false;
+  std::vector<float> vmin_;    // per-dim lower bound
+  std::vector<float> vscale_;  // per-dim (max-min)/255, >= epsilon
+  std::vector<std::uint8_t> codes_;  // row-major, dim_ bytes per vector
+  Matrix raw_vectors_;               // only when refine_factor > 0
+  std::size_t count_ = 0;
+};
+
+}  // namespace proximity

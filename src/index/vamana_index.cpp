@@ -1,0 +1,341 @@
+#include "index/vamana_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "vecmath/kernels.h"
+
+namespace proximity {
+
+namespace {
+struct NeighborFartherFirst {
+  bool operator()(const Neighbor& a, const Neighbor& b) const noexcept {
+    return a.distance > b.distance;
+  }
+};
+struct NeighborCloserFirst {
+  bool operator()(const Neighbor& a, const Neighbor& b) const noexcept {
+    return a.distance < b.distance;
+  }
+};
+}  // namespace
+
+VamanaIndex::VamanaIndex(std::size_t dim, VamanaOptions options)
+    : options_(options), vectors_(0, dim) {
+  if (options_.max_degree < 2) {
+    throw std::invalid_argument("VamanaIndex: max_degree must be >= 2");
+  }
+  if (options_.alpha < 1.0f) {
+    throw std::invalid_argument("VamanaIndex: alpha must be >= 1");
+  }
+  if (options_.build_beam < options_.max_degree) {
+    options_.build_beam = options_.max_degree;
+  }
+}
+
+float VamanaIndex::Dist(std::span<const float> a, NodeId b) const noexcept {
+  return Distance(options_.metric, a, vectors_.Row(b));
+}
+
+std::vector<Neighbor> VamanaIndex::BeamSearch(
+    std::span<const float> query, std::size_t beam,
+    std::vector<Neighbor>* visited_out) const {
+  std::lock_guard lock(scratch_mu_);
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(visited_stamp_.begin(), visited_stamp_.end(), 0u);
+    epoch_ = 1;
+  }
+  if (visited_stamp_.size() < vectors_.rows()) {
+    visited_stamp_.resize(vectors_.rows(), 0u);
+  }
+
+  std::vector<Neighbor> frontier;  // min-heap (closest first)
+  std::vector<Neighbor> results;   // max-heap (worst first)
+
+  const float d0 = Dist(query, medoid_);
+  frontier.push_back({static_cast<VectorId>(medoid_), d0});
+  results.push_back({static_cast<VectorId>(medoid_), d0});
+  visited_stamp_[medoid_] = epoch_;
+  if (visited_out != nullptr) visited_out->push_back(frontier.front());
+
+  while (!frontier.empty()) {
+    std::pop_heap(frontier.begin(), frontier.end(), NeighborFartherFirst{});
+    const Neighbor cur = frontier.back();
+    frontier.pop_back();
+    if (results.size() >= beam && cur.distance > results.front().distance) {
+      break;
+    }
+    auto expand = [&](NodeId nb) {
+      if (visited_stamp_[nb] == epoch_) return;
+      visited_stamp_[nb] = epoch_;
+      const float d = Dist(query, nb);
+      if (visited_out != nullptr) {
+        visited_out->push_back({static_cast<VectorId>(nb), d});
+      }
+      if (results.size() < beam || d < results.front().distance) {
+        frontier.push_back({static_cast<VectorId>(nb), d});
+        std::push_heap(frontier.begin(), frontier.end(),
+                       NeighborFartherFirst{});
+        results.push_back({static_cast<VectorId>(nb), d});
+        std::push_heap(results.begin(), results.end(), NeighborCloserFirst{});
+        if (results.size() > beam) {
+          std::pop_heap(results.begin(), results.end(), NeighborCloserFirst{});
+          results.pop_back();
+        }
+      }
+    };
+    const auto cur_id = static_cast<std::size_t>(cur.id);
+    for (NodeId nb : adjacency_[cur_id]) expand(nb);
+    if (cur_id < long_links_.size()) {
+      for (NodeId nb : long_links_[cur_id]) expand(nb);
+    }
+  }
+  std::sort(results.begin(), results.end(), NeighborCloser{});
+  return results;
+}
+
+std::vector<VamanaIndex::NodeId> VamanaIndex::RobustPrune(
+    NodeId node, std::vector<Neighbor> candidates, float alpha) const {
+  // Drop self and duplicates, sort ascending by distance to `node`.
+  std::sort(candidates.begin(), candidates.end(), NeighborCloser{});
+  candidates.erase(
+      std::unique(candidates.begin(), candidates.end(),
+                  [](const Neighbor& a, const Neighbor& b) {
+                    return a.id == b.id;
+                  }),
+      candidates.end());
+
+  std::vector<NodeId> selected;
+  std::vector<bool> pruned(candidates.size(), false);
+  for (std::size_t i = 0;
+       i < candidates.size() && selected.size() < options_.max_degree; ++i) {
+    if (pruned[i]) continue;
+    const NodeId chosen = static_cast<NodeId>(candidates[i].id);
+    if (chosen == node) continue;
+    selected.push_back(chosen);
+    // Drop every remaining candidate that `chosen` dominates: a candidate
+    // v is redundant when α·d(chosen, v) <= d(node, v).
+    const auto chosen_vec = vectors_.Row(chosen);
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      if (pruned[j]) continue;
+      const float d_cv = Distance(options_.metric, chosen_vec,
+                                  vectors_.Row(static_cast<std::size_t>(
+                                      candidates[j].id)));
+      if (alpha * d_cv <= candidates[j].distance) {
+        pruned[j] = true;
+      }
+    }
+  }
+  return selected;
+}
+
+void VamanaIndex::BuildGraph() {
+  const std::size_t n = vectors_.rows();
+  adjacency_.assign(n, {});
+  if (n == 0) {
+    graph_dirty_ = false;
+    return;
+  }
+  if (n == 1) {
+    medoid_ = 0;
+    graph_dirty_ = false;
+    return;
+  }
+
+  Rng rng(SplitMix64(options_.seed ^ 0x7a3aULL));
+
+  // 0. Protected random shortcuts (never pruned; see VamanaOptions).
+  long_links_.assign(n, {});
+  if (options_.long_edges > 0 && n > 2) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& links = long_links_[i];
+      while (links.size() < std::min(options_.long_edges, n - 1)) {
+        const NodeId r = static_cast<NodeId>(rng.Below(n));
+        if (r == i) continue;
+        if (std::find(links.begin(), links.end(), r) == links.end()) {
+          links.push_back(r);
+        }
+      }
+    }
+  }
+
+  // 1. Random R-regular initialization: the long-range edges that make
+  //    the later passes able to route between distant regions.
+  const std::size_t init_degree =
+      std::min(options_.max_degree, n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& out = adjacency_[i];
+    out.reserve(init_degree);
+    while (out.size() < init_degree) {
+      const NodeId r = static_cast<NodeId>(rng.Below(n));
+      if (r == i) continue;
+      if (std::find(out.begin(), out.end(), r) == out.end()) {
+        out.push_back(r);
+      }
+    }
+  }
+
+  // 2. Medoid: the point closest to the dataset centroid.
+  std::vector<float> mean(vectors_.dim(), 0.f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = vectors_.Row(i);
+    for (std::size_t j = 0; j < mean.size(); ++j) mean[j] += row[j];
+  }
+  for (auto& x : mean) x /= static_cast<float>(n);
+  medoid_ = 0;
+  float best = Distance(options_.metric, mean, vectors_.Row(0));
+  for (std::size_t i = 1; i < n; ++i) {
+    const float d = Distance(options_.metric, mean, vectors_.Row(i));
+    if (d < best) {
+      best = d;
+      medoid_ = static_cast<NodeId>(i);
+    }
+  }
+
+  // 3. Two refinement passes over all nodes in random order: α = 1 builds
+  //    a tight navigable skeleton, α > 1 re-adds detour-resistant edges
+  //    (the DiskANN construction schedule).
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (float alpha : {1.0f, options_.alpha}) {
+    rng.Shuffle(order);
+    for (std::size_t i : order) {
+      const NodeId node = static_cast<NodeId>(i);
+      const auto query = vectors_.Row(i);
+      std::vector<Neighbor> visited;
+      BeamSearch(query, options_.build_beam, &visited);
+      // Candidates: beam-visited set plus current out-neighbors.
+      for (NodeId nb : adjacency_[i]) {
+        visited.push_back({static_cast<VectorId>(nb), Dist(query, nb)});
+      }
+      adjacency_[i] = RobustPrune(node, std::move(visited), alpha);
+      for (NodeId nb : adjacency_[i]) {
+        auto& reverse = adjacency_[nb];
+        if (std::find(reverse.begin(), reverse.end(), node) !=
+            reverse.end()) {
+          continue;
+        }
+        reverse.push_back(node);
+        if (reverse.size() > options_.max_degree) {
+          const auto nb_vec = vectors_.Row(nb);
+          std::vector<Neighbor> cands;
+          cands.reserve(reverse.size());
+          for (NodeId r : reverse) {
+            cands.push_back({static_cast<VectorId>(r), Dist(nb_vec, r)});
+          }
+          adjacency_[nb] = RobustPrune(nb, std::move(cands), alpha);
+        }
+      }
+    }
+  }
+  graph_dirty_ = false;
+}
+
+void VamanaIndex::InsertIntoGraph(NodeId id) {
+  // Assign the node's protected shortcuts first so it participates in
+  // long-range routing like bulk-built nodes.
+  if (long_links_.size() <= id) long_links_.resize(id + 1);
+  if (options_.long_edges > 0 && vectors_.rows() > 2) {
+    auto& links = long_links_[id];
+    while (links.size() <
+           std::min(options_.long_edges, vectors_.rows() - 1)) {
+      long_rng_state_ = SplitMix64(long_rng_state_ ^ options_.seed ^ id);
+      const NodeId r =
+          static_cast<NodeId>(long_rng_state_ % vectors_.rows());
+      if (r == id) continue;
+      if (std::find(links.begin(), links.end(), r) == links.end()) {
+        links.push_back(r);
+      }
+    }
+  }
+  const auto query = vectors_.Row(id);
+  std::vector<Neighbor> visited;
+  BeamSearch(query, options_.build_beam, &visited);
+  adjacency_[id] = RobustPrune(id, std::move(visited), options_.alpha);
+  for (NodeId nb : adjacency_[id]) {
+    auto& reverse = adjacency_[nb];
+    if (std::find(reverse.begin(), reverse.end(), id) == reverse.end()) {
+      reverse.push_back(id);
+    }
+    if (reverse.size() > options_.max_degree) {
+      const auto nb_vec = vectors_.Row(nb);
+      std::vector<Neighbor> candidates;
+      candidates.reserve(reverse.size());
+      for (NodeId r : reverse) {
+        candidates.push_back({static_cast<VectorId>(r), Dist(nb_vec, r)});
+      }
+      adjacency_[nb] =
+          RobustPrune(nb, std::move(candidates), options_.alpha);
+    }
+  }
+}
+
+VectorId VamanaIndex::Add(std::span<const float> vec) {
+  CheckDim(vec);
+  const NodeId id = static_cast<NodeId>(vectors_.rows());
+  vectors_.AppendRow(vec);
+  adjacency_.emplace_back();
+
+  if (id == 0) {
+    medoid_ = 0;
+    return 0;
+  }
+  if (options_.bulk_build && graph_dirty_) {
+    return static_cast<VectorId>(id);  // buffered; built on demand
+  }
+  if (options_.bulk_build && vectors_.rows() > 1 && adjacency_[0].empty()) {
+    // First insertions before any search: defer to the bulk build.
+    graph_dirty_ = true;
+    return static_cast<VectorId>(id);
+  }
+  InsertIntoGraph(id);
+  return static_cast<VectorId>(id);
+}
+
+void VamanaIndex::EnsureBuilt() const {
+  if (!graph_dirty_) return;
+  std::lock_guard lock(build_mu_);
+  if (graph_dirty_) {
+    const_cast<VamanaIndex*>(this)->BuildGraph();
+  }
+}
+
+void VamanaIndex::Build() { EnsureBuilt(); }
+
+const std::vector<std::uint32_t>& VamanaIndex::OutNeighbors(VectorId id) {
+  EnsureBuilt();
+  return adjacency_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<std::uint32_t>& VamanaIndex::LongLinks(VectorId id) {
+  EnsureBuilt();
+  if (static_cast<std::size_t>(id) >= long_links_.size()) {
+    static const std::vector<std::uint32_t> kEmpty;
+    return kEmpty;
+  }
+  return long_links_[static_cast<std::size_t>(id)];
+}
+
+std::vector<Neighbor> VamanaIndex::Search(std::span<const float> query,
+                                          std::size_t k) const {
+  CheckDim(query);
+  if (k == 0 || vectors_.rows() == 0) return {};
+  EnsureBuilt();
+  const std::size_t beam = std::max(options_.search_beam, k);
+  auto results = BeamSearch(query, beam, nullptr);
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+std::string VamanaIndex::Describe() const {
+  return "vamana(" + std::string(MetricName(options_.metric)) +
+         ",R=" + std::to_string(options_.max_degree) +
+         ",L=" + std::to_string(options_.search_beam) +
+         ",alpha=" + std::to_string(options_.alpha) +
+         ",n=" + std::to_string(size()) + ")";
+}
+
+}  // namespace proximity

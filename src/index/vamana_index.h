@@ -1,0 +1,122 @@
+// Vamana graph index — the in-memory core of DiskANN (Subramanya et al.,
+// cited as [22] in §4.3.3 of the paper).
+//
+// A single-layer navigable graph built with α-pruned (RobustPrune)
+// neighbor selection. Insertions follow the DiskANN "fresh" protocol:
+// greedy beam search from the medoid collects a visited set, RobustPrune
+// picks at most R diverse out-neighbors, and reverse edges are added with
+// re-pruning on overflow. Combined with SlowStorageIndex this models the
+// disk-resident regime where Proximity's speedups are largest.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace proximity {
+
+struct VamanaOptions {
+  Metric metric = Metric::kL2;
+  /// Maximum out-degree (R in the DiskANN paper).
+  std::size_t max_degree = 32;
+  /// Beam width during construction (L).
+  std::size_t build_beam = 64;
+  /// Beam width during search; raised to k if smaller.
+  std::size_t search_beam = 64;
+  /// Pruning slack: a candidate is dropped when an already-selected
+  /// neighbor is α× closer to it than the node is. α > 1 keeps long-range
+  /// edges that make greedy routing converge.
+  float alpha = 1.2f;
+  std::uint64_t seed = 42;
+  /// Bulk-build threshold: vectors added before the first search are
+  /// buffered and indexed with the full Vamana procedure (random
+  /// R-regular init + two α passes in random order). Vectors added after
+  /// the graph exists use the incremental fresh-insert path. The bulk
+  /// build is what provides long-range connectivity on clustered data —
+  /// pure incremental insertion can strand the medoid's neighborhood
+  /// inside one cluster.
+  bool bulk_build = true;
+  /// Protected random long-range shortcuts per node (Kleinberg-style),
+  /// stored outside the α-pruned degree budget and traversed by every
+  /// beam search. They guarantee inter-cluster navigability on data whose
+  /// distances concentrate (high-dimensional tight clusters), where
+  /// α-pruning alone keeps only nearest-neighborhood edges. 0 disables.
+  std::size_t long_edges = 2;
+};
+
+class VamanaIndex final : public VectorIndex {
+ public:
+  VamanaIndex(std::size_t dim, VamanaOptions options = {});
+
+  std::size_t dim() const noexcept override { return vectors_.dim(); }
+  Metric metric() const noexcept override { return options_.metric; }
+  std::size_t size() const noexcept override { return vectors_.rows(); }
+
+  /// Not thread-safe; build single-threaded, then Search freely. With
+  /// bulk_build (default), vectors are buffered until the first Search
+  /// (or an explicit Build()) triggers the full two-pass construction.
+  VectorId Add(std::span<const float> vec) override;
+
+  /// Runs the bulk build if the graph is stale. Idempotent.
+  void Build();
+
+  std::vector<Neighbor> Search(std::span<const float> query,
+                               std::size_t k) const override;
+  std::string Describe() const override;
+
+  void set_search_beam(std::size_t beam) noexcept {
+    options_.search_beam = beam;
+  }
+
+  /// Graph introspection for tests. OutNeighbors triggers Build() if the
+  /// graph is stale (it is only meaningful on a built graph).
+  const std::vector<std::uint32_t>& OutNeighbors(VectorId id);
+  /// The node's protected random shortcuts (see VamanaOptions::long_edges).
+  const std::vector<std::uint32_t>& LongLinks(VectorId id);
+  VectorId medoid() const noexcept { return medoid_; }
+
+ private:
+  using NodeId = std::uint32_t;
+
+  float Dist(std::span<const float> a, NodeId b) const noexcept;
+
+  /// Beam search from the medoid; returns the visited (expanded) nodes
+  /// with distances, closest first, capped at `beam` results.
+  std::vector<Neighbor> BeamSearch(std::span<const float> query,
+                                   std::size_t beam,
+                                   std::vector<Neighbor>* visited) const;
+
+  /// DiskANN Algorithm 2: selects at most max_degree diverse neighbors of
+  /// `node` from `candidates`, pruning with the given α.
+  std::vector<NodeId> RobustPrune(NodeId node,
+                                  std::vector<Neighbor> candidates,
+                                  float alpha) const;
+
+  /// Full two-pass Vamana construction over all buffered vectors.
+  void BuildGraph();
+
+  /// Incremental fresh-insert of node `id` into an existing graph.
+  void InsertIntoGraph(NodeId id);
+
+  void EnsureBuilt() const;
+
+  VamanaOptions options_;
+  Matrix vectors_;
+  // Graph state is rebuilt lazily from const Search, hence mutable.
+  mutable std::vector<std::vector<NodeId>> adjacency_;
+  mutable std::vector<std::vector<NodeId>> long_links_;
+  mutable NodeId medoid_ = 0;
+  mutable bool graph_dirty_ = false;
+  mutable std::mutex build_mu_;
+  std::uint64_t long_rng_state_ = 0;
+
+  // Epoch-stamped visited set, reused across searches (guarded: Search is
+  // const but the scratch is shared).
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::uint32_t> visited_stamp_;
+  mutable std::uint32_t epoch_ = 0;
+};
+
+}  // namespace proximity

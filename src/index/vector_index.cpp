@@ -1,0 +1,57 @@
+#include "index/vector_index.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace proximity {
+
+void VectorIndex::CheckDim(std::span<const float> v) const {
+  if (v.size() != dim()) {
+    throw std::invalid_argument("VectorIndex: expected dim " +
+                                std::to_string(dim()) + ", got " +
+                                std::to_string(v.size()));
+  }
+}
+
+VectorId VectorIndex::AddBatch(const Matrix& vectors) {
+  if (vectors.dim() != dim()) {
+    throw std::invalid_argument("VectorIndex::AddBatch: dimension mismatch");
+  }
+  const VectorId first = static_cast<VectorId>(size());
+  for (std::size_t r = 0; r < vectors.rows(); ++r) {
+    Add(vectors.Row(r));
+  }
+  return first;
+}
+
+void VectorIndex::SaveTo(std::ostream&) const {
+  throw std::logic_error("VectorIndex: " + Describe() +
+                         " does not support serialization");
+}
+
+std::vector<Neighbor> VectorIndex::SearchFiltered(
+    std::span<const float> query, std::size_t k, const Filter& filter) const {
+  if (!filter) return Search(query, k);
+  if (k == 0 || size() == 0) return {};
+
+  // Over-fetch with geometric widening until k survivors are found or the
+  // whole index has been requested.
+  std::size_t fetch = k;
+  for (;;) {
+    fetch = std::min(fetch, size());
+    auto candidates = Search(query, fetch);
+    std::vector<Neighbor> kept;
+    kept.reserve(k);
+    for (const auto& n : candidates) {
+      if (filter(n.id)) {
+        kept.push_back(n);
+        if (kept.size() == k) return kept;
+      }
+    }
+    if (fetch >= size()) return kept;  // fewer than k matches exist
+    fetch *= 4;
+  }
+}
+
+}  // namespace proximity

@@ -1,0 +1,73 @@
+// The vector-database abstraction the Proximity cache sits in front of.
+//
+// Per the paper (§3): "Proximity is agnostic of the specific vector
+// database being used but assumes that this database has a lookup function
+// that takes as input a query embedding and returns a sorted list of
+// indices of vectors that are close to the query."
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "vecmath/matrix.h"
+#include "vecmath/metric.h"
+
+namespace proximity {
+
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Embedding dimensionality accepted by Add/Search.
+  virtual std::size_t dim() const noexcept = 0;
+
+  /// The fixed similarity metric (§2.2). The cache adopts the same metric.
+  virtual Metric metric() const noexcept = 0;
+
+  /// Number of stored vectors.
+  virtual std::size_t size() const noexcept = 0;
+
+  /// Appends one vector; its id is the insertion position (size() before
+  /// the call). Throws std::invalid_argument on dimension mismatch.
+  virtual VectorId Add(std::span<const float> vec) = 0;
+
+  /// Appends all rows of `vectors`; returns the id of the first.
+  virtual VectorId AddBatch(const Matrix& vectors);
+
+  /// Returns up to k neighbors sorted closest-first. Thread-safe for
+  /// concurrent calls once construction has finished.
+  virtual std::vector<Neighbor> Search(std::span<const float> query,
+                                       std::size_t k) const = 0;
+
+  /// Predicate over vector ids (metadata filter). Must be pure.
+  using Filter = std::function<bool(VectorId)>;
+
+  /// Filtered search: the k closest vectors satisfying `filter`. The
+  /// default implementation over-fetches (k, 4k, 16k, ... up to size())
+  /// and post-filters — correct for any index, with graph/IVF indexes
+  /// paying extra traversal on selective filters. FlatIndex overrides
+  /// with a single predicated scan.
+  virtual std::vector<Neighbor> SearchFiltered(std::span<const float> query,
+                                               std::size_t k,
+                                               const Filter& filter) const;
+
+  /// Human-readable index description for logs/CSV ("flat", "hnsw", ...).
+  virtual std::string Describe() const = 0;
+
+  /// Serializes the index in the repo's versioned binary format (see
+  /// common/serde.h). Default implementation throws std::logic_error for
+  /// index types without a persistent form. Load back with LoadIndex()
+  /// from index/index_io.h.
+  virtual void SaveTo(std::ostream& os) const;
+
+ protected:
+  void CheckDim(std::span<const float> v) const;
+};
+
+}  // namespace proximity

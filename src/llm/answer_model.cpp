@@ -1,0 +1,85 @@
+#include "llm/answer_model.h"
+
+#include <algorithm>
+
+namespace proximity {
+
+ContextJudgment JudgeContext(std::span<const VectorId> served,
+                             const Question& question,
+                             const Workload& workload) {
+  ContextJudgment judgment;
+  if (served.empty()) return judgment;
+
+  std::size_t gold_hits = 0;
+  std::size_t misleading = 0;
+  for (VectorId id : served) {
+    if (id < 0 || static_cast<std::size_t>(id) >= workload.gold_for.size()) {
+      continue;  // foreign id (e.g. tests feeding synthetic lists)
+    }
+    const std::int32_t owner = workload.gold_for[static_cast<std::size_t>(id)];
+    if (owner < 0) continue;  // neutral distractor
+    const bool is_mine =
+        std::find(question.gold_ids.begin(), question.gold_ids.end(), id) !=
+        question.gold_ids.end();
+    if (is_mine) {
+      ++gold_hits;
+    } else {
+      ++misleading;
+    }
+  }
+
+  // Both fractions are normalized by the size of a full evidence set
+  // (min(k, golds)): relevance 1 means the LLM saw complete evidence;
+  // misleading 1 means it saw a complete set of plausible-but-wrong
+  // evidence for some other question.
+  const std::size_t denom =
+      std::min(served.size(), question.gold_ids.size());
+  if (denom != 0) {
+    judgment.relevance = std::min(
+        1.0, static_cast<double>(gold_hits) / static_cast<double>(denom));
+    judgment.misleading = std::min(
+        1.0, static_cast<double>(misleading) / static_cast<double>(denom));
+  }
+  return judgment;
+}
+
+AnswerModelParams MmluAnswerParams() noexcept {
+  // §4.3.1: accuracy 47.9-50.2% across the sweep; 48% without RAG; only a
+  // mild drop at large τ.
+  return AnswerModelParams{
+      .p_no_rag = 0.48, .p_full_rag = 0.502, .misleading_penalty = 0.003};
+}
+
+AnswerModelParams MedragAnswerParams() noexcept {
+  // §4.3.1: 57% without RAG, 88% with RAG, 37% at τ = 10 (misleading
+  // context is actively harmful).
+  return AnswerModelParams{
+      .p_no_rag = 0.57, .p_full_rag = 0.88, .misleading_penalty = 0.28};
+}
+
+std::vector<double> MakeDifficultyTable(std::size_t num_questions,
+                                        std::uint64_t seed) {
+  std::vector<double> table(num_questions);
+  for (std::size_t k = 0; k < num_questions; ++k) {
+    table[k] = (static_cast<double>(k) + 0.5) /
+               static_cast<double>(num_questions);
+  }
+  Rng rng(SplitMix64(seed ^ 0xd1f5c0de));
+  rng.Shuffle(table);
+  return table;
+}
+
+double AnswerModel::CorrectProbability(
+    const ContextJudgment& judgment) const noexcept {
+  const double base =
+      params_.p_no_rag +
+      (params_.p_full_rag - params_.p_no_rag) * judgment.relevance;
+  // Misleading evidence only sways the model when the real evidence is
+  // incomplete: with full relevance the confusers are drowned out.
+  const double penalized =
+      base - params_.misleading_penalty * judgment.misleading *
+                 (1.0 - judgment.relevance);
+  return std::clamp(penalized, 0.02, 0.98);
+}
+
+}  // namespace proximity

@@ -1,0 +1,37 @@
+// RAG prompt assembly (steps 3 and 7 of the workflow, Figure 1).
+//
+// The retrieved data chunks and the user query are combined into a single
+// prompt for the LLM. The simulated LLM does not parse this text — it
+// judges context ids directly — but the prompt builder keeps the pipeline
+// end-to-end faithful and is what an adopter would swap a real LLM into.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace proximity {
+
+struct PromptOptions {
+  std::string_view system_preamble =
+      "Answer the question using only the context passages below.";
+  /// Hard cap on total prompt characters; passages are truncated to fit
+  /// (mirrors a context-window limit).
+  std::size_t max_chars = 16384;
+};
+
+/// Builds the augmented prompt: preamble, numbered context passages, then
+/// the user question.
+std::string BuildPrompt(std::string_view question,
+                        const std::vector<std::string_view>& passages,
+                        const PromptOptions& options = {});
+
+/// Convenience overload resolving passage ids against a corpus.
+std::string BuildPrompt(std::string_view question,
+                        const std::vector<VectorId>& passage_ids,
+                        const std::vector<std::string>& corpus,
+                        const PromptOptions& options = {});
+
+}  // namespace proximity

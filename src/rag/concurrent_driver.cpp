@@ -1,0 +1,105 @@
+#include "rag/concurrent_driver.h"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/stats.h"
+#include "common/stopwatch.h"
+
+namespace proximity {
+
+ConcurrentRunResult RunStreamConcurrent(
+    const Workload& workload, const VectorIndex& index,
+    ConcurrentProximityCache& cache, const AnswerModel& answer_model,
+    std::uint64_t answer_seed, const std::vector<StreamEntry>& stream,
+    const Matrix& embeddings, std::size_t threads, std::size_t top_k) {
+  if (embeddings.rows() != stream.size()) {
+    throw std::invalid_argument(
+        "RunStreamConcurrent: embeddings/stream size mismatch");
+  }
+  if (threads == 0) {
+    throw std::invalid_argument("RunStreamConcurrent: threads must be > 0");
+  }
+  if (top_k == 0) {
+    throw std::invalid_argument("RunStreamConcurrent: top_k must be > 0");
+  }
+
+  const std::vector<double> difficulties =
+      MakeDifficultyTable(workload.questions.size(), answer_seed);
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> correct{0};
+  std::mutex agg_mu;
+  LatencyHistogram latencies;
+  double relevance_sum = 0.0;
+  double misleading_sum = 0.0;
+
+  auto worker = [&] {
+    LatencyHistogram local_latencies;
+    double local_relevance = 0.0, local_misleading = 0.0;
+    std::size_t local_correct = 0;
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= stream.size()) break;
+      const auto query = embeddings.Row(i);
+
+      Stopwatch watch;
+      const std::vector<VectorId> documents = cache.FetchOrRetrieve(
+          query, [&](std::span<const float> q) {
+            std::vector<VectorId> ids;
+            for (const auto& n : index.Search(q, top_k)) {
+              ids.push_back(n.id);
+            }
+            return ids;
+          });
+      local_latencies.Record(watch.ElapsedNanos());
+
+      const Question& question = workload.questions[stream[i].question];
+      const ContextJudgment judgment =
+          JudgeContext(documents, question, workload);
+      local_relevance += judgment.relevance;
+      local_misleading += judgment.misleading;
+      if (answer_model.AnswerCorrectly(judgment,
+                                       difficulties[stream[i].question])) {
+        ++local_correct;
+      }
+    }
+    correct.fetch_add(local_correct, std::memory_order_relaxed);
+    std::lock_guard lock(agg_mu);
+    latencies.Merge(local_latencies);
+    relevance_sum += local_relevance;
+    misleading_sum += local_misleading;
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  ConcurrentRunResult result;
+  result.cache_stats = cache.stats();
+  const double n = static_cast<double>(stream.size());
+  result.metrics.queries = stream.size();
+  if (!stream.empty()) {
+    result.metrics.accuracy = static_cast<double>(correct.load()) / n;
+    result.metrics.hit_rate =
+        n > 0 ? static_cast<double>(result.cache_stats.hits) /
+                    static_cast<double>(result.cache_stats.lookups)
+              : 0.0;
+    result.metrics.mean_latency_ms =
+        latencies.MeanNanos() / kNanosPerMilli;
+    result.metrics.p50_latency_ms =
+        latencies.QuantileNanos(0.5) / kNanosPerMilli;
+    result.metrics.p99_latency_ms =
+        latencies.QuantileNanos(0.99) / kNanosPerMilli;
+    result.metrics.total_latency_ms =
+        latencies.MeanNanos() * n / kNanosPerMilli;
+    result.metrics.mean_relevance = relevance_sum / n;
+    result.metrics.mean_misleading = misleading_sum / n;
+  }
+  return result;
+}
+
+}  // namespace proximity

@@ -1,0 +1,36 @@
+// Multi-threaded stream execution over a shared ConcurrentProximityCache.
+//
+// Models a deployment where many users query the RAG service at once:
+// worker threads race on the shared cache, and similar in-flight queries
+// coalesce onto one database retrieval (see cache/concurrent_cache.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/concurrent_cache.h"
+#include "embed/hash_embedder.h"
+#include "index/vector_index.h"
+#include "llm/answer_model.h"
+#include "rag/pipeline.h"
+#include "workload/query_stream.h"
+
+namespace proximity {
+
+struct ConcurrentRunResult {
+  RunMetrics metrics;
+  ConcurrentCacheStats cache_stats;
+};
+
+/// Processes `stream` with `threads` workers sharing `cache` over `index`.
+/// Entries are claimed from a shared atomic cursor, so the interleaving —
+/// and therefore the exact hit rate — is scheduling-dependent; the
+/// invariants (hit + retrieved + coalesced == queries, accuracy bounds)
+/// are not. Embeddings must hold one row per stream entry.
+ConcurrentRunResult RunStreamConcurrent(
+    const Workload& workload, const VectorIndex& index,
+    ConcurrentProximityCache& cache, const AnswerModel& answer_model,
+    std::uint64_t answer_seed, const std::vector<StreamEntry>& stream,
+    const Matrix& embeddings, std::size_t threads, std::size_t top_k = 10);
+
+}  // namespace proximity

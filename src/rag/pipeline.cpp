@@ -1,0 +1,93 @@
+#include "rag/pipeline.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace proximity {
+
+RagPipeline::RagPipeline(const Workload* workload,
+                         const HashEmbedder* embedder, Retriever* retriever,
+                         AnswerModel answer_model, std::uint64_t answer_seed)
+    : workload_(workload),
+      embedder_(embedder),
+      retriever_(retriever),
+      answer_model_(answer_model),
+      answer_seed_(answer_seed) {
+  if (workload_ == nullptr || embedder_ == nullptr || retriever_ == nullptr) {
+    throw std::invalid_argument("RagPipeline: null dependency");
+  }
+  difficulties_ =
+      MakeDifficultyTable(workload_->questions.size(), answer_seed);
+}
+
+QueryResult RagPipeline::ProcessQuery(const StreamEntry& entry,
+                                      std::span<const float> embedding,
+                                      std::size_t position) {
+  if (entry.question >= workload_->questions.size()) {
+    throw std::out_of_range("RagPipeline: bad question index");
+  }
+  QueryResult result;
+  auto outcome = retriever_->Retrieve(embedding);
+  result.cache_hit = outcome.cache_hit;
+  result.retrieval_latency_ns = outcome.latency_ns;
+
+  const Question& question = workload_->questions[entry.question];
+  result.judgment = JudgeContext(outcome.documents, question, *workload_);
+
+  // Deterministic LLM behaviour: the outcome depends on the question's
+  // fixed difficulty quantile and the served context only, never on the
+  // stream position — two runs over the same stream differ exactly where
+  // the served context differs.
+  (void)position;
+  result.correct = answer_model_.AnswerCorrectly(
+      result.judgment, difficulties_[entry.question]);
+  return result;
+}
+
+QueryResult RagPipeline::ProcessQueryText(const StreamEntry& entry,
+                                          std::size_t position) {
+  const std::vector<float> embedding = embedder_->Embed(entry.text);
+  return ProcessQuery(entry, embedding, position);
+}
+
+RunMetrics RagPipeline::RunStream(const std::vector<StreamEntry>& stream,
+                                  const Matrix& embeddings) {
+  if (embeddings.rows() != stream.size()) {
+    throw std::invalid_argument(
+        "RagPipeline::RunStream: embeddings/stream size mismatch");
+  }
+  RunMetrics metrics;
+  metrics.queries = stream.size();
+  if (stream.empty()) return metrics;
+
+  std::size_t correct = 0;
+  std::size_t hits = 0;
+  LatencyHistogram latencies;
+  double relevance_sum = 0.0;
+  double misleading_sum = 0.0;
+  double total_latency_ns = 0.0;
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const QueryResult r = ProcessQuery(stream[i], embeddings.Row(i), i);
+    correct += r.correct ? 1 : 0;
+    hits += r.cache_hit ? 1 : 0;
+    latencies.Record(r.retrieval_latency_ns);
+    total_latency_ns += static_cast<double>(r.retrieval_latency_ns);
+    relevance_sum += r.judgment.relevance;
+    misleading_sum += r.judgment.misleading;
+  }
+
+  const double n = static_cast<double>(stream.size());
+  metrics.accuracy = static_cast<double>(correct) / n;
+  metrics.hit_rate = static_cast<double>(hits) / n;
+  metrics.mean_latency_ms = latencies.MeanNanos() / kNanosPerMilli;
+  metrics.p50_latency_ms = latencies.QuantileNanos(0.5) / kNanosPerMilli;
+  metrics.p99_latency_ms = latencies.QuantileNanos(0.99) / kNanosPerMilli;
+  metrics.total_latency_ms = total_latency_ns / kNanosPerMilli;
+  metrics.mean_relevance = relevance_sum / n;
+  metrics.mean_misleading = misleading_sum / n;
+  return metrics;
+}
+
+}  // namespace proximity

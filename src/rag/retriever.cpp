@@ -1,0 +1,65 @@
+#include "rag/retriever.h"
+
+#include <stdexcept>
+
+namespace proximity {
+
+Retriever::Retriever(const VectorIndex* index, ProximityCache* cache,
+                     VirtualClock* clock, RetrieverOptions options)
+    : index_(index), cache_(cache), clock_(clock), options_(options) {
+  if (index_ == nullptr) {
+    throw std::invalid_argument("Retriever: index is null");
+  }
+  if (options_.top_k == 0) {
+    throw std::invalid_argument("Retriever: top_k must be > 0");
+  }
+  if (cache_ != nullptr && cache_->metric() != index_->metric()) {
+    // §3.1: the cache must use the same distance function as the database.
+    throw std::invalid_argument(
+        "Retriever: cache metric differs from index metric");
+  }
+  if (cache_ != nullptr && cache_->dim() != index_->dim()) {
+    throw std::invalid_argument(
+        "Retriever: cache dimension differs from index dimension");
+  }
+}
+
+RetrievalOutcome Retriever::Retrieve(std::span<const float> query) {
+  RetrievalOutcome outcome;
+  const Nanos virtual_before = clock_ != nullptr ? clock_->Now() : 0;
+  Stopwatch watch;
+
+  if (cache_ != nullptr) {
+    auto cached = cache_->Lookup(query);
+    if (cached.hit) {
+      outcome.documents.assign(cached.documents.begin(),
+                               cached.documents.end());
+      outcome.cache_hit = true;
+    } else {
+      auto neighbors = index_->Search(query, options_.top_k);
+      outcome.documents.reserve(neighbors.size());
+      for (const auto& n : neighbors) outcome.documents.push_back(n.id);
+      cache_->Insert(query, outcome.documents);
+    }
+  } else {
+    auto neighbors = index_->Search(query, options_.top_k);
+    outcome.documents.reserve(neighbors.size());
+    for (const auto& n : neighbors) outcome.documents.push_back(n.id);
+  }
+
+  const Nanos virtual_delta =
+      (clock_ != nullptr ? clock_->Now() : 0) - virtual_before;
+  outcome.latency_ns = watch.ElapsedNanos() + virtual_delta;
+
+  ++stats_.queries;
+  stats_.all.Record(outcome.latency_ns);
+  if (outcome.cache_hit) {
+    ++stats_.cache_hits;
+    stats_.hits.Record(outcome.latency_ns);
+  } else {
+    stats_.misses.Record(outcome.latency_ns);
+  }
+  return outcome;
+}
+
+}  // namespace proximity

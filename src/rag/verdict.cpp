@@ -1,0 +1,306 @@
+#include "rag/verdict.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <optional>
+
+namespace proximity {
+
+std::string_view ClaimStatusName(ClaimStatus status) noexcept {
+  switch (status) {
+    case ClaimStatus::kReproduced:
+      return "REPRODUCED";
+    case ClaimStatus::kPartial:
+      return "PARTIAL";
+    case ClaimStatus::kDeviation:
+      return "DEVIATION";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string Pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", v * 100.0);
+  return buf;
+}
+
+class Grid {
+ public:
+  explicit Grid(const std::vector<SweepCell>& cells) : cells_(cells) {}
+
+  std::optional<SweepCell> At(std::int64_t c, double tau) const {
+    for (const auto& cell : cells_) {
+      if (cell.capacity == c && cell.tolerance == tau) return cell;
+    }
+    return std::nullopt;
+  }
+
+  /// Largest capacity present in the grid.
+  std::int64_t MaxCapacity() const {
+    std::int64_t best = 0;
+    for (const auto& cell : cells_) best = std::max(best, cell.capacity);
+    return best;
+  }
+
+  std::pair<double, double> AccuracyRange() const {
+    double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+    for (const auto& cell : cells_) {
+      lo = std::min(lo, cell.mean.accuracy);
+      hi = std::max(hi, cell.mean.accuracy);
+    }
+    return {lo, hi};
+  }
+
+  bool empty() const { return cells_.empty(); }
+
+ private:
+  const std::vector<SweepCell>& cells_;
+};
+
+ClaimCheck Missing(std::string id, std::string description,
+                   std::string paper) {
+  return ClaimCheck{.id = std::move(id),
+                    .description = std::move(description),
+                    .paper = std::move(paper),
+                    .measured = "cell missing from sweep",
+                    .status = ClaimStatus::kDeviation};
+}
+
+/// Classifies a scalar against a target band (reproduced) and a wider
+/// sanity band (partial).
+ClaimStatus Band(double v, double lo, double hi, double slack) {
+  if (v >= lo && v <= hi) return ClaimStatus::kReproduced;
+  if (v >= lo - slack && v <= hi + slack) return ClaimStatus::kPartial;
+  return ClaimStatus::kDeviation;
+}
+
+/// Best latency reduction across capacities among cells that maintain
+/// accuracy (same guard as SweepRunner::LatencyReductionSummary).
+std::optional<double> BestGuardedReduction(
+    const std::vector<SweepCell>& cells) {
+  std::optional<double> best;
+  for (const auto& base : cells) {
+    if (base.tolerance != 0.0) continue;
+    for (const auto& cell : cells) {
+      if (cell.capacity != base.capacity || cell.tolerance == 0.0) continue;
+      if (cell.mean.accuracy < base.mean.accuracy - 0.01) continue;
+      if (base.mean.mean_latency_ms <= 0) continue;
+      const double reduction =
+          1.0 - cell.mean.mean_latency_ms / base.mean.mean_latency_ms;
+      if (!best || reduction > *best) best = reduction;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<ClaimCheck> CheckMmluClaims(const std::vector<SweepCell>& cells) {
+  std::vector<ClaimCheck> claims;
+  Grid grid(cells);
+  if (grid.empty()) {
+    claims.push_back(Missing("mmlu-empty", "sweep produced no cells", "-"));
+    return claims;
+  }
+  const std::int64_t cmax = grid.MaxCapacity();
+
+  {  // Accuracy stays in a narrow band across the grid (§4.3.1).
+    const auto [lo, hi] = grid.AccuracyRange();
+    ClaimCheck c;
+    c.id = "mmlu-acc-range";
+    c.description = "accuracy relatively stable across (c, tau)";
+    c.paper = "47.9% - 50.2%";
+    c.measured = Pct(lo) + " - " + Pct(hi);
+    const double spread = hi - lo;
+    c.status = (lo > 0.44 && hi < 0.54 && spread < 0.06)
+                   ? ClaimStatus::kReproduced
+                   : (spread < 0.12 ? ClaimStatus::kPartial
+                                    : ClaimStatus::kDeviation);
+    claims.push_back(c);
+  }
+
+  if (const auto base = grid.At(cmax, 0.0)) {  // tau = 0 anchor
+    ClaimCheck c;
+    c.id = "mmlu-acc-tau0";
+    c.description = "accuracy with exact retrieval (tau=0)";
+    c.paper = "~50.2%";
+    c.measured = Pct(base->mean.accuracy);
+    c.status = Band(base->mean.accuracy, 0.49, 0.515, 0.02);
+    claims.push_back(c);
+
+    ClaimCheck h;
+    h.id = "mmlu-hit-tau0";
+    h.description = "no cache hits at tau=0 (§4.3.2)";
+    h.paper = "0%";
+    h.measured = Pct(base->mean.hit_rate);
+    h.status = base->mean.hit_rate == 0.0 ? ClaimStatus::kReproduced
+                                          : ClaimStatus::kDeviation;
+    claims.push_back(h);
+  } else {
+    claims.push_back(
+        Missing("mmlu-acc-tau0", "accuracy at tau=0", "~50.2%"));
+  }
+
+  if (const auto big = grid.At(cmax, 10.0)) {  // tau = 10 degradation
+    ClaimCheck c;
+    c.id = "mmlu-acc-tau10";
+    c.description = "large tau degrades accuracy toward the no-RAG floor";
+    c.paper = "~48.1%";
+    c.measured = Pct(big->mean.accuracy);
+    c.status = Band(big->mean.accuracy, 0.46, 0.49, 0.02);
+    claims.push_back(c);
+  }
+
+  {  // hit rate grows with capacity at tau = 2 (6.1% -> 69.3%).
+    const auto small = grid.At(10, 2.0);
+    const auto large = grid.At(cmax, 2.0);
+    if (small && large) {
+      ClaimCheck c;
+      c.id = "mmlu-hit-capacity";
+      c.description = "hit rate at tau=2 grows strongly with capacity";
+      c.paper = "6.1% (c=10) -> 69.3% (c=300)";
+      c.measured =
+          Pct(small->mean.hit_rate) + " -> " + Pct(large->mean.hit_rate);
+      const bool grew = large->mean.hit_rate >
+                        std::max(0.25, 3.0 * small->mean.hit_rate);
+      const bool in_band = small->mean.hit_rate < 0.15 &&
+                           large->mean.hit_rate > 0.45;
+      c.status = grew && in_band
+                     ? ClaimStatus::kReproduced
+                     : (grew ? ClaimStatus::kPartial
+                             : ClaimStatus::kDeviation);
+      claims.push_back(c);
+    } else {
+      claims.push_back(Missing("mmlu-hit-capacity",
+                               "hit rate vs capacity at tau=2",
+                               "6.1% -> 69.3%"));
+    }
+  }
+
+  if (const auto loose = grid.At(cmax, 5.0)) {  // tau >= 5 hit rates
+    ClaimCheck c;
+    c.id = "mmlu-hit-tau5";
+    c.description = "hit rates reach ~93% for tau >= 5 (large c)";
+    c.paper = "~93%";
+    c.measured = Pct(loose->mean.hit_rate);
+    c.status = Band(loose->mean.hit_rate, 0.80, 1.0, 0.10);
+    claims.push_back(c);
+  }
+
+  {  // Headline: latency reduction while maintaining accuracy.
+    ClaimCheck c;
+    c.id = "mmlu-latency-reduction";
+    c.description =
+        "retrieval latency reduced while maintaining accuracy (abstract)";
+    c.paper = "up to 59%";
+    if (const auto best = BestGuardedReduction(cells)) {
+      c.measured = "up to " + Pct(*best);
+      c.status = Band(*best, 0.40, 0.90, 0.15);
+    } else {
+      c.measured = "no qualifying configuration";
+      c.status = ClaimStatus::kDeviation;
+    }
+    claims.push_back(c);
+  }
+  return claims;
+}
+
+std::vector<ClaimCheck> CheckMedragClaims(
+    const std::vector<SweepCell>& cells) {
+  std::vector<ClaimCheck> claims;
+  Grid grid(cells);
+  if (grid.empty()) {
+    claims.push_back(Missing("medrag-empty", "sweep produced no cells", "-"));
+    return claims;
+  }
+  const std::int64_t cmax = grid.MaxCapacity();
+
+  if (const auto base = grid.At(cmax, 0.0)) {
+    ClaimCheck c;
+    c.id = "medrag-acc-tau0";
+    c.description = "accuracy with exact retrieval";
+    c.paper = "~88%";
+    c.measured = Pct(base->mean.accuracy);
+    c.status = Band(base->mean.accuracy, 0.86, 0.90, 0.03);
+    claims.push_back(c);
+  } else {
+    claims.push_back(Missing("medrag-acc-tau0", "accuracy at tau=0", "~88%"));
+  }
+
+  if (const auto mid = grid.At(200, 5.0)) {
+    ClaimCheck c;
+    c.id = "medrag-sweet-spot";
+    c.description =
+        "tau=5, c=200: high hit rate sustains near-baseline accuracy";
+    c.paper = "hit 72.6%, accuracy ~88%";
+    c.measured =
+        "hit " + Pct(mid->mean.hit_rate) + ", accuracy " +
+        Pct(mid->mean.accuracy);
+    const bool hit_ok = mid->mean.hit_rate > 0.6 && mid->mean.hit_rate < 0.85;
+    const bool acc_ok = mid->mean.accuracy > 0.84;
+    c.status = hit_ok && acc_ok
+                   ? ClaimStatus::kReproduced
+                   : (acc_ok ? ClaimStatus::kPartial
+                             : ClaimStatus::kDeviation);
+    claims.push_back(c);
+  }
+
+  if (const auto cliff = grid.At(cmax, 10.0)) {
+    ClaimCheck c;
+    c.id = "medrag-acc-cliff";
+    c.description = "tau=10: misleading context collapses accuracy";
+    c.paper = "37%";
+    c.measured = Pct(cliff->mean.accuracy);
+    c.status = Band(cliff->mean.accuracy, 0.32, 0.45, 0.08);
+    claims.push_back(c);
+
+    ClaimCheck h;
+    h.id = "medrag-hit-tau10";
+    h.description = "tau=10 hit rate near saturation";
+    h.paper = "98.4%";
+    h.measured = Pct(cliff->mean.hit_rate);
+    h.status = Band(cliff->mean.hit_rate, 0.90, 1.0, 0.10);
+    claims.push_back(h);
+  }
+
+  {
+    ClaimCheck c;
+    c.id = "medrag-latency-reduction";
+    c.description =
+        "latency reduction while maintaining accuracy (abstract)";
+    c.paper = "up to 70.8%";
+    if (const auto best = BestGuardedReduction(cells)) {
+      c.measured = "up to " + Pct(*best);
+      c.status = Band(*best, 0.50, 0.95, 0.15);
+    } else {
+      c.measured = "no qualifying configuration";
+      c.status = ClaimStatus::kDeviation;
+    }
+    claims.push_back(c);
+  }
+  return claims;
+}
+
+std::string RenderClaims(const std::vector<ClaimCheck>& claims) {
+  std::string out;
+  for (const auto& claim : claims) {
+    out += '[';
+    out += ClaimStatusName(claim.status);
+    out += "] ";
+    out += claim.id;
+    out += ": ";
+    out += claim.description;
+    out += " (paper: ";
+    out += claim.paper;
+    out += " | measured: ";
+    out += claim.measured;
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace proximity

@@ -1,0 +1,46 @@
+// Reproduction verdicts: check measured Figure-3 sweeps against the
+// paper's anchor numbers.
+//
+// Each claim from §4.3 is encoded as a predicate over the sweep grid
+// with a tolerance band. The fig3 benches print the verdict table after
+// their CSV, so a reproduction run is self-checking: "who wins, by
+// roughly what factor, and where the crossovers fall" is asserted, not
+// eyeballed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rag/experiment.h"
+
+namespace proximity {
+
+enum class ClaimStatus {
+  kReproduced,  // inside the tolerance band
+  kPartial,     // right direction/shape, magnitude off
+  kDeviation,   // wrong direction or missing
+};
+
+std::string_view ClaimStatusName(ClaimStatus status) noexcept;
+
+struct ClaimCheck {
+  std::string id;           // e.g. "mmlu-acc-range"
+  std::string description;  // the paper's claim, quoted/condensed
+  std::string paper;        // the paper's value(s)
+  std::string measured;     // what this run produced
+  ClaimStatus status = ClaimStatus::kDeviation;
+};
+
+/// Evaluates the §4.3 MMLU-row claims against a measured sweep
+/// (expects the standard c x tau grid; missing cells degrade the
+/// affected claims to kDeviation with "cell missing").
+std::vector<ClaimCheck> CheckMmluClaims(const std::vector<SweepCell>& cells);
+
+/// Evaluates the §4.3 MedRAG-row claims.
+std::vector<ClaimCheck> CheckMedragClaims(
+    const std::vector<SweepCell>& cells);
+
+/// Renders "[STATUS] id: description (paper ... / measured ...)" lines.
+std::string RenderClaims(const std::vector<ClaimCheck>& claims);
+
+}  // namespace proximity

@@ -1,0 +1,65 @@
+#include "rag/warmup.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "index/kmeans.h"
+#include "vecmath/kernels.h"
+
+namespace proximity {
+
+WarmupReport WarmCacheFromHistory(
+    ProximityCache& cache, const Matrix& history,
+    const std::function<std::vector<VectorId>(std::span<const float>)>&
+        retrieve,
+    const WarmupOptions& options) {
+  WarmupReport report;
+  if (history.rows() == 0) return report;
+  if (history.dim() != cache.dim()) {
+    throw std::invalid_argument(
+        "WarmCacheFromHistory: history dimension mismatch");
+  }
+
+  const std::size_t budget =
+      std::min(options.budget, cache.capacity());
+  if (budget == 0) return report;
+
+  KMeansOptions kopts;
+  kopts.seed = options.seed;
+  kopts.max_iterations = options.kmeans_iterations;
+  const KMeansResult clusters = RunKMeans(history, budget, kopts);
+
+  // Seed the cache: one retrieval per centroid. Centroids are visited in
+  // descending cluster size so that, if the budget exceeds capacity, the
+  // high-traffic neighborhoods win the eviction race.
+  std::vector<std::size_t> cluster_size(clusters.centroids.rows(), 0);
+  for (std::uint32_t a : clusters.assignment) ++cluster_size[a];
+  std::vector<std::size_t> order(clusters.centroids.rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return cluster_size[a] > cluster_size[b];
+  });
+
+  for (std::size_t c : order) {
+    if (cluster_size[c] == 0) continue;  // re-seeded empty cluster
+    const auto centroid = clusters.centroids.Row(c);
+    cache.Insert(centroid, retrieve(centroid));
+    ++report.retrievals_performed;
+    ++report.entries_seeded;
+  }
+
+  // Coverage estimate: historical queries within tolerance of their own
+  // centroid (lower bound: the nearest seeded key can only be closer).
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < history.rows(); ++i) {
+    const auto centroid =
+        clusters.centroids.Row(clusters.assignment[i]);
+    const float d = Distance(cache.metric(), history.Row(i), centroid);
+    if (d <= cache.tolerance()) ++covered;
+  }
+  report.estimated_coverage =
+      static_cast<double>(covered) / static_cast<double>(history.rows());
+  return report;
+}
+
+}  // namespace proximity

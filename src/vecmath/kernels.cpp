@@ -1,0 +1,93 @@
+#include "vecmath/kernels.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace proximity {
+
+namespace {
+
+// Four independent accumulators break the FP dependency chain so the
+// compiler can keep multiple vector FMAs in flight.
+template <typename Accum>
+float UnrolledReduce(const float* a, const float* b, std::size_t n,
+                     Accum accum) noexcept {
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 = accum(acc0, a[i + 0], b[i + 0]);
+    acc1 = accum(acc1, a[i + 1], b[i + 1]);
+    acc2 = accum(acc2, a[i + 2], b[i + 2]);
+    acc3 = accum(acc3, a[i + 3], b[i + 3]);
+  }
+  for (; i < n; ++i) acc0 = accum(acc0, a[i], b[i]);
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+inline float L2Step(float acc, float x, float y) noexcept {
+  const float d = x - y;
+  return acc + d * d;
+}
+
+inline float IpStep(float acc, float x, float y) noexcept {
+  return acc + x * y;
+}
+
+}  // namespace
+
+float L2SquaredDistance(std::span<const float> a,
+                        std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  return UnrolledReduce(a.data(), b.data(), a.size(), L2Step);
+}
+
+float InnerProduct(std::span<const float> a,
+                   std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  return UnrolledReduce(a.data(), b.data(), a.size(), IpStep);
+}
+
+float SquaredNorm(std::span<const float> a) noexcept {
+  return UnrolledReduce(a.data(), a.data(), a.size(), IpStep);
+}
+
+float CosineDistance(std::span<const float> a,
+                     std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  // Single pass: dot, |a|^2, |b|^2.
+  float dot = 0.f, na = 0.f, nb = 0.f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += pa[i] * pb[i];
+    na += pa[i] * pa[i];
+    nb += pb[i] * pb[i];
+  }
+  const float denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom <= 0.f) return 1.f;
+  return 1.f - dot / denom;
+}
+
+float Distance(Metric metric, std::span<const float> a,
+               std::span<const float> b) noexcept {
+  switch (metric) {
+    case Metric::kL2:
+      return L2SquaredDistance(a, b);
+    case Metric::kInnerProduct:
+      return -InnerProduct(a, b);
+    case Metric::kCosine:
+      return CosineDistance(a, b);
+  }
+  return 0.f;
+}
+
+void BatchDistance(Metric metric, std::span<const float> query,
+                   const float* base, std::size_t count, std::size_t dim,
+                   float* out) noexcept {
+  assert(query.size() == dim);
+  for (std::size_t r = 0; r < count; ++r) {
+    out[r] = Distance(metric, query, {base + r * dim, dim});
+  }
+}
+
+}  // namespace proximity

@@ -1,0 +1,62 @@
+// Row-major float matrix: the storage type for corpora, centroids, and
+// cached query keys.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace proximity {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t dim)
+      : dim_(dim), data_(rows * dim, 0.f) {
+    if (dim == 0) throw std::invalid_argument("Matrix: dim must be > 0");
+  }
+
+  /// Wraps existing data; data.size() must be a multiple of dim.
+  Matrix(std::vector<float> data, std::size_t dim)
+      : dim_(dim), data_(std::move(data)) {
+    if (dim == 0) throw std::invalid_argument("Matrix: dim must be > 0");
+    if (data_.size() % dim != 0) {
+      throw std::invalid_argument("Matrix: data size not a multiple of dim");
+    }
+  }
+
+  std::size_t rows() const noexcept { return dim_ ? data_.size() / dim_ : 0; }
+  std::size_t dim() const noexcept { return dim_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  std::span<const float> Row(std::size_t r) const noexcept {
+    assert(r < rows());
+    return {data_.data() + r * dim_, dim_};
+  }
+
+  std::span<float> MutableRow(std::size_t r) noexcept {
+    assert(r < rows());
+    return {data_.data() + r * dim_, dim_};
+  }
+
+  void AppendRow(std::span<const float> row) {
+    if (row.size() != dim_) {
+      throw std::invalid_argument("Matrix::AppendRow: dimension mismatch");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+
+  void Reserve(std::size_t rows) { data_.reserve(rows * dim_); }
+
+  const float* data() const noexcept { return data_.data(); }
+  float* data() noexcept { return data_.data(); }
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace proximity

@@ -1,0 +1,73 @@
+#include "vecmath/topk.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "vecmath/kernels.h"
+
+namespace proximity {
+
+namespace {
+// Max-heap ordering: the *worst* (largest distance) neighbor at the root.
+struct NeighborFarther {
+  bool operator()(const Neighbor& a, const Neighbor& b) const noexcept {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+};
+}  // namespace
+
+TopK::TopK(std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("TopK: k must be > 0");
+  heap_.reserve(k);
+}
+
+float TopK::WorstDistance() const noexcept {
+  if (heap_.size() < k_) return std::numeric_limits<float>::infinity();
+  return heap_.front().distance;
+}
+
+void TopK::Push(VectorId id, float distance) noexcept {
+  if (heap_.size() < k_) {
+    heap_.push_back({id, distance});
+    std::push_heap(heap_.begin(), heap_.end(), NeighborFarther{});
+    return;
+  }
+  const Neighbor& worst = heap_.front();
+  if (distance > worst.distance ||
+      (distance == worst.distance && id >= worst.id)) {
+    return;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), NeighborFarther{});
+  heap_.back() = {id, distance};
+  std::push_heap(heap_.begin(), heap_.end(), NeighborFarther{});
+}
+
+std::vector<Neighbor> TopK::Take() {
+  std::sort(heap_.begin(), heap_.end(), NeighborCloser{});
+  std::vector<Neighbor> out = std::move(heap_);
+  heap_.clear();
+  heap_.reserve(k_);
+  return out;
+}
+
+std::vector<Neighbor> TopK::Sorted() const {
+  std::vector<Neighbor> out = heap_;
+  std::sort(out.begin(), out.end(), NeighborCloser{});
+  return out;
+}
+
+std::vector<Neighbor> SelectTopK(Metric metric, std::span<const float> query,
+                                 const float* base, std::size_t count,
+                                 std::size_t dim, std::size_t k,
+                                 VectorId base_id) {
+  TopK top(k);
+  for (std::size_t r = 0; r < count; ++r) {
+    const float d = Distance(metric, query, {base + r * dim, dim});
+    top.Push(base_id + static_cast<VectorId>(r), d);
+  }
+  return top.Take();
+}
+
+}  // namespace proximity

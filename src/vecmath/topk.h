@@ -1,0 +1,51 @@
+// Bounded top-k selection over (id, distance) streams.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "vecmath/metric.h"
+
+namespace proximity {
+
+/// Max-heap of the k closest neighbors seen so far.
+///
+/// Push is O(log k) and only allocates up front; Take() returns neighbors
+/// sorted ascending by distance (ties by id) — the "ranked list of indices"
+/// contract from §2.2 of the paper.
+class TopK {
+ public:
+  explicit TopK(std::size_t k);
+
+  std::size_t capacity() const noexcept { return k_; }
+  std::size_t size() const noexcept { return heap_.size(); }
+  bool full() const noexcept { return heap_.size() == k_; }
+
+  /// The largest (worst) distance currently kept; +inf while not full.
+  float WorstDistance() const noexcept;
+
+  /// Considers a candidate; keeps it iff it beats the current worst.
+  void Push(VectorId id, float distance) noexcept;
+
+  /// Returns the kept neighbors sorted closest-first and clears the heap.
+  std::vector<Neighbor> Take();
+
+  /// Sorted copy without clearing.
+  std::vector<Neighbor> Sorted() const;
+
+ private:
+  std::size_t k_;
+  std::vector<Neighbor> heap_;  // max-heap by (distance, id)
+};
+
+/// Convenience: selects the k closest rows of a contiguous row-major block.
+/// `base` holds `count` vectors of dimension `dim`; returned ids are
+/// base_id + row.
+std::vector<Neighbor> SelectTopK(Metric metric, std::span<const float> query,
+                                 const float* base, std::size_t count,
+                                 std::size_t dim, std::size_t k,
+                                 VectorId base_id = 0);
+
+}  // namespace proximity

@@ -1,0 +1,49 @@
+#include "workload/benchmark_spec.h"
+
+namespace proximity {
+
+WorkloadSpec MmluLikeSpec(std::size_t corpus_size, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.domain = 1;
+  spec.name = "mmlu_econometrics";
+  spec.num_questions = 131;  // the econometrics subset size (§4.2)
+  spec.num_clusters = 12;
+  spec.golds_per_question = 4;
+  spec.corpus_size = corpus_size;
+  spec.topical_fraction = 0.3;
+
+  // Tight subject: questions share many subject/cluster tokens, so
+  // same-cluster questions sit at moderate distance (τ = 5 reaches them)
+  // and even cross-cluster econometrics questions fall inside τ = 10.
+  spec.question_template_tokens = 6;
+  spec.question_subject_tokens = 6;
+  spec.question_cluster_tokens = 3;
+  spec.question_entity_tokens = 5;
+
+  spec.seed = seed;
+  return spec;
+}
+
+WorkloadSpec MedragLikeSpec(std::size_t corpus_size, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.domain = 2;
+  spec.name = "medrag_pubmedqa";
+  spec.num_questions = 200;  // 200 PubMedQA queries (§4.2)
+  spec.num_clusters = 25;
+  spec.golds_per_question = 4;
+  spec.corpus_size = corpus_size;
+  spec.topical_fraction = 0.3;
+
+  // Diverse questions: entity-heavy text pushes same-cluster questions
+  // beyond τ = 5 (variants still hit) while τ = 10 starts accepting
+  // cross-question matches, reproducing the MedRAG accuracy cliff.
+  spec.question_template_tokens = 4;
+  spec.question_subject_tokens = 2;
+  spec.question_cluster_tokens = 4;
+  spec.question_entity_tokens = 10;
+
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace proximity

@@ -1,0 +1,27 @@
+// The two evaluation workloads of the paper, pre-parameterized.
+//
+// §4.2: MMLU econometrics (131 questions, WIKI_DPR corpus, FAISS-HNSW) and
+// MedRAG/PubMedQA (200 questions, PubMed corpus, FAISS-FLAT). Corpus sizes
+// are scaled down from 21M/23.9M to harness scale; `corpus_size` can be
+// overridden from the command line of every bench.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/corpus.h"
+
+namespace proximity {
+
+/// MMLU-econometrics-like: one tight subject; questions cluster closely, so
+/// moderate tolerances already produce cross-question cache hits, and the
+/// RAG accuracy uplift over the no-RAG baseline is small (48% -> ~50.2%).
+WorkloadSpec MmluLikeSpec(std::size_t corpus_size = 50000,
+                          std::uint64_t seed = 42);
+
+/// PubMedQA-like: diverse medical questions; clusters are farther apart
+/// (high entity content), the RAG uplift is large (57% -> 88%), and
+/// misleading context is actively harmful (37% at τ = 10).
+WorkloadSpec MedragLikeSpec(std::size_t corpus_size = 20000,
+                            std::uint64_t seed = 42);
+
+}  // namespace proximity

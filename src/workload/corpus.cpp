@@ -1,0 +1,189 @@
+#include "workload/corpus.h"
+
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "workload/synth_text.h"
+
+namespace proximity {
+
+namespace {
+
+// Question scaffolding shared by every question of every domain; together
+// with the global vocabulary this is the "floor" similarity between any
+// two questions.
+constexpr std::array<std::string_view, 12> kTemplateWords = {
+    "which", "of",     "the",    "following", "statements", "about",
+    "is",    "correct", "given",  "that",      "why",        "how"};
+
+void AppendWord(std::string& text, std::string_view word) {
+  if (!text.empty()) text += ' ';
+  text += word;
+}
+
+std::string MakeQuestionText(const WorkloadSpec& spec, std::size_t qid,
+                             std::size_t cluster) {
+  // The non-entity part is deterministic per scope — every question of the
+  // domain shares the same template+subject word sequence, and every
+  // question of a cluster additionally shares the cluster sequence. Shared
+  // *sequences* (not just shared vocabulary) are what give same-cluster
+  // questions both common unigrams and common bigrams, placing them at the
+  // moderate embedding distance the τ sweep needs to discriminate.
+  std::string text;
+  for (std::size_t i = 0; i < spec.question_template_tokens; ++i) {
+    AppendWord(text, kTemplateWords[i % kTemplateWords.size()]);
+  }
+  for (std::size_t i = 0; i < spec.question_subject_tokens; ++i) {
+    AppendWord(text, SubjectWord(spec.domain, i));
+  }
+  for (std::size_t i = 0; i < spec.question_cluster_tokens; ++i) {
+    AppendWord(text, ClusterWord(spec.domain, cluster, i));
+  }
+  // Entity words are enumerated, not sampled: each question uses exactly
+  // its own entities 0..n-1, and its gold passages repeat the same set.
+  for (std::size_t i = 0; i < spec.question_entity_tokens; ++i) {
+    AppendWord(text, EntityWord(spec.domain, qid, i));
+  }
+  return text;
+}
+
+std::string MakeGoldPassage(const WorkloadSpec& spec, std::size_t qid,
+                            std::size_t cluster, Rng& rng) {
+  std::string text;
+  std::size_t budget = spec.passage_tokens;
+  // Repeat the question's entities so the passage dominates retrieval.
+  for (std::size_t rep = 0; rep < spec.gold_entity_repeats; ++rep) {
+    for (std::size_t i = 0; i < spec.question_entity_tokens && budget > 0;
+         ++i, --budget) {
+      AppendWord(text, EntityWord(spec.domain, qid, i));
+    }
+  }
+  // Fill with cluster, subject, and global words.
+  while (budget > 0) {
+    const std::uint64_t pick = rng.Below(10);
+    if (pick < 3) {
+      AppendWord(text, ClusterWord(spec.domain, cluster,
+                                   rng.Below(spec.cluster_vocab)));
+    } else if (pick < 6) {
+      AppendWord(text,
+                 SubjectWord(spec.domain, rng.Below(spec.subject_vocab)));
+    } else {
+      AppendWord(text, GlobalWord(rng.Below(spec.global_vocab)));
+    }
+    --budget;
+  }
+  return text;
+}
+
+std::string MakeTopicalDistractor(const WorkloadSpec& spec,
+                                  std::size_t cluster, Rng& rng) {
+  std::string text;
+  for (std::size_t i = 0; i < spec.passage_tokens; ++i) {
+    const std::uint64_t pick = rng.Below(10);
+    if (pick < 4) {
+      AppendWord(text, ClusterWord(spec.domain, cluster,
+                                   rng.Below(spec.cluster_vocab)));
+    } else if (pick < 7) {
+      AppendWord(text,
+                 SubjectWord(spec.domain, rng.Below(spec.subject_vocab)));
+    } else {
+      AppendWord(text, GlobalWord(rng.Below(spec.global_vocab)));
+    }
+  }
+  return text;
+}
+
+std::string MakeBackgroundPassage(const WorkloadSpec& spec, Rng& rng) {
+  // Background passages simulate the mass of the corpus that has nothing
+  // to do with the benchmark subject (e.g. the rest of Wikipedia). They
+  // borrow vocabulary from synthetic "foreign" domains.
+  std::string text;
+  const std::size_t foreign_domain =
+      90 + static_cast<std::size_t>(rng.Below(10));
+  const std::size_t foreign_cluster =
+      static_cast<std::size_t>(rng.Below(50));
+  for (std::size_t i = 0; i < spec.passage_tokens; ++i) {
+    const std::uint64_t pick = rng.Below(10);
+    if (pick < 3) {
+      AppendWord(text, ClusterWord(foreign_domain, foreign_cluster,
+                                   rng.Below(spec.cluster_vocab)));
+    } else if (pick < 5) {
+      AppendWord(text,
+                 SubjectWord(foreign_domain, rng.Below(spec.subject_vocab)));
+    } else {
+      AppendWord(text, GlobalWord(rng.Below(spec.global_vocab)));
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+Workload BuildWorkload(const WorkloadSpec& spec) {
+  if (spec.num_questions == 0) {
+    throw std::invalid_argument("BuildWorkload: num_questions must be > 0");
+  }
+  if (spec.num_clusters == 0) {
+    throw std::invalid_argument("BuildWorkload: num_clusters must be > 0");
+  }
+  const std::size_t gold_total =
+      spec.num_questions * spec.golds_per_question;
+  if (spec.corpus_size < gold_total) {
+    throw std::invalid_argument(
+        "BuildWorkload: corpus_size smaller than total gold passages");
+  }
+
+  Rng rng(spec.seed);
+  Rng passage_rng = rng.Fork(2);
+
+  Workload w;
+  w.spec = spec;
+  w.passages.reserve(spec.corpus_size);
+  w.passage_cluster.reserve(spec.corpus_size);
+  w.gold_for.reserve(spec.corpus_size);
+  w.questions.reserve(spec.num_questions);
+
+  // Questions, round-robin over clusters.
+  for (std::size_t q = 0; q < spec.num_questions; ++q) {
+    Question question;
+    question.cluster = q % spec.num_clusters;
+    question.text = MakeQuestionText(spec, q, question.cluster);
+    w.questions.push_back(std::move(question));
+  }
+
+  // Gold passages.
+  for (std::size_t q = 0; q < spec.num_questions; ++q) {
+    auto& question = w.questions[q];
+    for (std::size_t g = 0; g < spec.golds_per_question; ++g) {
+      const VectorId id = static_cast<VectorId>(w.passages.size());
+      w.passages.push_back(
+          MakeGoldPassage(spec, q, question.cluster, passage_rng));
+      w.passage_cluster.push_back(static_cast<std::int32_t>(question.cluster));
+      w.gold_for.push_back(static_cast<std::int32_t>(q));
+      question.gold_ids.push_back(id);
+    }
+  }
+
+  // Distractors: topical within the question clusters, plus unrelated
+  // background filling the rest of the corpus.
+  const std::size_t remaining = spec.corpus_size - w.passages.size();
+  const auto topical = static_cast<std::size_t>(
+      static_cast<double>(remaining) * spec.topical_fraction);
+  for (std::size_t i = 0; i < topical; ++i) {
+    const std::size_t cluster = i % spec.num_clusters;
+    w.passages.push_back(MakeTopicalDistractor(spec, cluster, passage_rng));
+    w.passage_cluster.push_back(static_cast<std::int32_t>(cluster));
+    w.gold_for.push_back(-1);
+  }
+  while (w.passages.size() < spec.corpus_size) {
+    w.passages.push_back(MakeBackgroundPassage(spec, passage_rng));
+    w.passage_cluster.push_back(-1);
+    w.gold_for.push_back(-1);
+  }
+
+  return w;
+}
+
+}  // namespace proximity

@@ -1,0 +1,87 @@
+// Synthetic RAG workload: clustered corpus + questions with gold passages.
+//
+// Stand-in for WIKI_DPR (21M Wikipedia passages) / PubMed (23.9M snippets)
+// and the MMLU-econometrics / PubMedQA question subsets of the paper
+// (§4.2). The generator reproduces the two properties the evaluation
+// depends on:
+//
+//  1. Embedding geometry. Question text is composed from four vocabulary
+//     scopes — template+global (shared by everything), subject (shared by
+//     the whole benchmark domain), cluster (shared within a concept
+//     cluster), entity (unique per question). The mixing ratios control
+//     the distances between prefix-variants, same-cluster questions and
+//     unrelated questions, i.e. where the paper's τ sweep bites.
+//
+//  2. Retrieval ground truth. Each question owns `golds_per_question` gold
+//     passages that repeat its entity words; exact NNS pulls them to the
+//     top. Every other passage is a topical or background distractor. The
+//     answer model scores LLM context quality by how many golds the served
+//     (possibly cached) indices contain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace proximity {
+
+struct WorkloadSpec {
+  /// Tag used in logs and as the vocabulary domain id.
+  std::size_t domain = 0;
+  std::string name = "workload";
+
+  std::size_t num_questions = 131;
+  /// Concept clusters the questions are spread over.
+  std::size_t num_clusters = 12;
+  std::size_t golds_per_question = 4;
+
+  /// Total corpus size (gold passages included). The remainder is filled
+  /// with same-cluster distractors and unrelated background passages.
+  std::size_t corpus_size = 20000;
+  /// Fraction of non-gold passages drawn from the question clusters (the
+  /// rest is unrelated background).
+  double topical_fraction = 0.3;
+
+  // --- question text composition (token counts per scope) ---
+  std::size_t question_template_tokens = 6;
+  std::size_t question_subject_tokens = 6;
+  std::size_t question_cluster_tokens = 3;
+  std::size_t question_entity_tokens = 5;
+
+  // --- passage text composition ---
+  std::size_t passage_tokens = 45;
+  /// How many times each entity word is repeated inside a gold passage.
+  std::size_t gold_entity_repeats = 3;
+
+  // --- vocabulary sizes ---
+  std::size_t global_vocab = 600;
+  std::size_t subject_vocab = 40;
+  std::size_t cluster_vocab = 30;
+
+  std::uint64_t seed = 42;
+};
+
+struct Question {
+  std::string text;
+  std::size_t cluster = 0;
+  /// Corpus ids of this question's gold passages.
+  std::vector<VectorId> gold_ids;
+};
+
+struct Workload {
+  WorkloadSpec spec;
+  /// Passage texts; index in this vector == VectorId in the index.
+  std::vector<std::string> passages;
+  /// Cluster of each passage; -1 for unrelated background.
+  std::vector<std::int32_t> passage_cluster;
+  /// Question the passage is gold for; -1 for distractors.
+  std::vector<std::int32_t> gold_for;
+  std::vector<Question> questions;
+};
+
+/// Builds the full workload deterministically from spec.seed.
+Workload BuildWorkload(const WorkloadSpec& spec);
+
+}  // namespace proximity

@@ -1,0 +1,62 @@
+#include "workload/query_stream.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "embed/perturb.h"
+
+namespace proximity {
+
+std::vector<StreamEntry> BuildQueryStream(const Workload& workload,
+                                          const QueryStreamOptions& options) {
+  if (options.variants_per_question == 0) {
+    throw std::invalid_argument(
+        "BuildQueryStream: variants_per_question must be > 0");
+  }
+  Rng rng(options.seed);
+  std::vector<StreamEntry> stream;
+
+  auto make_entry = [&](std::size_t q, std::size_t v) {
+    return StreamEntry{
+        .question = q,
+        .variant = v,
+        .text = MakeVariant(workload.questions[q].text, q, v, options.seed),
+    };
+  };
+
+  switch (options.order) {
+    case StreamOrder::kShuffled:
+    case StreamOrder::kGrouped: {
+      stream.reserve(workload.questions.size() *
+                     options.variants_per_question);
+      for (std::size_t q = 0; q < workload.questions.size(); ++q) {
+        for (std::size_t v = 0; v < options.variants_per_question; ++v) {
+          stream.push_back(make_entry(q, v));
+        }
+      }
+      if (options.order == StreamOrder::kShuffled) {
+        rng.Shuffle(stream);
+      }
+      break;
+    }
+    case StreamOrder::kZipf: {
+      ZipfSampler sampler(workload.questions.size(), options.zipf_exponent);
+      // Shuffle question identities so low ranks are not always the first
+      // generated questions.
+      std::vector<std::size_t> identity(workload.questions.size());
+      for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+      rng.Shuffle(identity);
+      stream.reserve(options.zipf_length);
+      for (std::size_t i = 0; i < options.zipf_length; ++i) {
+        const std::size_t q = identity[sampler.Sample(rng)];
+        const std::size_t v = static_cast<std::size_t>(
+            rng.Below(options.variants_per_question));
+        stream.push_back(make_entry(q, v));
+      }
+      break;
+    }
+  }
+  return stream;
+}
+
+}  // namespace proximity

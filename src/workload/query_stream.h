@@ -1,0 +1,49 @@
+// Query-stream construction: variants, shuffling, and locality patterns.
+//
+// §4.2: "we generate four variants of each question by adding some small
+// textual prefix to them and we randomize the order of the resulting 524
+// questions for MMLU and 800 for MedRAG." kShuffled reproduces that
+// protocol; the other orders are extensions used by the ablation benches
+// to vary temporal locality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/corpus.h"
+
+namespace proximity {
+
+enum class StreamOrder {
+  /// The paper's protocol: global random shuffle of all variants.
+  kShuffled,
+  /// All variants of a question arrive back to back (maximal temporal
+  /// locality; upper bound for the cache).
+  kGrouped,
+  /// Question popularity is Zipf-distributed and variants are sampled
+  /// with replacement (conversational-agent-style traffic, cf. [10]).
+  kZipf,
+};
+
+struct QueryStreamOptions {
+  std::size_t variants_per_question = 4;  // the paper's 4 variants
+  StreamOrder order = StreamOrder::kShuffled;
+  /// Stream length for kZipf (ignored otherwise: length is
+  /// questions x variants).
+  std::size_t zipf_length = 1000;
+  double zipf_exponent = 1.0;
+  std::uint64_t seed = 42;
+};
+
+struct StreamEntry {
+  std::size_t question = 0;  // index into Workload::questions
+  std::size_t variant = 0;   // 0 = verbatim question
+  std::string text;          // the perturbed query text
+};
+
+/// Builds the evaluation stream for `workload` under the given options.
+std::vector<StreamEntry> BuildQueryStream(const Workload& workload,
+                                          const QueryStreamOptions& options);
+
+}  // namespace proximity

@@ -1,0 +1,50 @@
+#include "workload/synth_text.h"
+
+#include <array>
+
+#include "common/rng.h"
+
+namespace proximity {
+
+namespace {
+constexpr std::array<char, 20> kConsonants = {
+    'b', 'c', 'd', 'f', 'g', 'h', 'j', 'k', 'l', 'm',
+    'n', 'p', 'q', 'r', 's', 't', 'v', 'w', 'x', 'z'};
+constexpr std::array<char, 5> kVowels = {'a', 'e', 'i', 'o', 'u'};
+constexpr std::uint64_t kSyllableBase = 100;  // 20 consonants x 5 vowels
+}  // namespace
+
+std::string SyllableWord(std::uint64_t n, std::size_t min_syllables) {
+  std::string out;
+  std::size_t count = 0;
+  do {
+    const std::uint64_t digit = n % kSyllableBase;
+    n /= kSyllableBase;
+    out += kConsonants[digit / kVowels.size()];
+    out += kVowels[digit % kVowels.size()];
+    ++count;
+  } while (n > 0 || count < min_syllables);
+  return out;
+}
+
+std::string GlobalWord(std::size_t i) {
+  return "ga" + SyllableWord(SplitMix64(0x6100 + i) % 1000000 * 1000 + i);
+}
+
+std::string SubjectWord(std::size_t domain, std::size_t i) {
+  return "su" + SyllableWord(domain, 1) + SyllableWord(i);
+}
+
+std::string ClusterWord(std::size_t domain, std::size_t cluster,
+                        std::size_t i) {
+  return "ke" + SyllableWord(domain, 1) + SyllableWord(cluster, 1) +
+         SyllableWord(i);
+}
+
+std::string EntityWord(std::size_t domain, std::size_t question,
+                       std::size_t i) {
+  return "en" + SyllableWord(domain, 1) + SyllableWord(question) +
+         SyllableWord(i, 1);
+}
+
+}  // namespace proximity

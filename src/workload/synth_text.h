@@ -1,0 +1,36 @@
+// Deterministic pseudo-word synthesis for the synthetic corpora.
+//
+// The corpus generator composes passages and questions from four word
+// categories with different sharing scopes; the categories control how
+// close questions land in embedding space (see corpus.h). Words are
+// pronounceable syllable strings, purely alphabetic so the tokenizer keeps
+// each one intact, and globally unique across categories via a leading
+// category tag.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace proximity {
+
+/// Pronounceable encoding of `n` as consonant-vowel syllables ("zu", "ka",
+/// ...), at least `min_syllables` long.
+std::string SyllableWord(std::uint64_t n, std::size_t min_syllables = 2);
+
+/// Background vocabulary shared by every passage and question.
+std::string GlobalWord(std::size_t i);
+
+/// Vocabulary shared by all questions/passages of one benchmark domain
+/// (e.g. econometrics as a whole).
+std::string SubjectWord(std::size_t domain, std::size_t i);
+
+/// Vocabulary shared within one concept cluster of a domain.
+std::string ClusterWord(std::size_t domain, std::size_t cluster,
+                        std::size_t i);
+
+/// Vocabulary unique to one question (its "entities"); gold passages embed
+/// these words, which is what makes them retrievable.
+std::string EntityWord(std::size_t domain, std::size_t question,
+                       std::size_t i);
+
+}  // namespace proximity

@@ -1,0 +1,71 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace proximity {
+
+void WriteTrace(std::ostream& os, const std::vector<StreamEntry>& stream) {
+  os << "# proximity query trace v1: question_id\tvariant\ttext\n";
+  for (const auto& entry : stream) {
+    if (entry.text.find('\t') != std::string::npos ||
+        entry.text.find('\n') != std::string::npos) {
+      throw std::invalid_argument(
+          "WriteTrace: query text contains tab/newline");
+    }
+    os << entry.question << '\t' << entry.variant << '\t' << entry.text
+       << '\n';
+  }
+  if (!os) throw std::runtime_error("WriteTrace: stream write failed");
+}
+
+std::vector<StreamEntry> ReadTrace(std::istream& is,
+                                   std::size_t max_question) {
+  std::vector<StreamEntry> stream;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto tab1 = line.find('\t');
+    const auto tab2 =
+        tab1 == std::string::npos ? std::string::npos
+                                  : line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos) {
+      throw std::runtime_error("ReadTrace: malformed line " +
+                               std::to_string(line_no));
+    }
+    StreamEntry entry;
+    try {
+      entry.question = std::stoull(line.substr(0, tab1));
+      entry.variant = std::stoull(line.substr(tab1 + 1, tab2 - tab1 - 1));
+    } catch (const std::exception&) {
+      throw std::runtime_error("ReadTrace: bad ids on line " +
+                               std::to_string(line_no));
+    }
+    entry.text = line.substr(tab2 + 1);
+    if (max_question != 0 && entry.question >= max_question) {
+      throw std::runtime_error("ReadTrace: question id out of range on line " +
+                               std::to_string(line_no));
+    }
+    stream.push_back(std::move(entry));
+  }
+  return stream;
+}
+
+void SaveTraceToFile(const std::vector<StreamEntry>& stream,
+                     const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("SaveTraceToFile: cannot open " + path);
+  WriteTrace(os, stream);
+}
+
+std::vector<StreamEntry> LoadTraceFromFile(const std::string& path,
+                                           std::size_t max_question) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("LoadTraceFromFile: cannot open " + path);
+  return ReadTrace(is, max_question);
+}
+
+}  // namespace proximity

@@ -1,0 +1,31 @@
+// Query-trace persistence: save and replay evaluation streams.
+//
+// A trace is a plain tab-separated text file, one query per line:
+//   <question_id> \t <variant> \t <query text>
+// with '#' comment lines. Traces make experiments portable — the exact
+// stream a result was produced with can be checked in, diffed, and
+// replayed against a modified cache.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/query_stream.h"
+
+namespace proximity {
+
+void WriteTrace(std::ostream& os, const std::vector<StreamEntry>& stream);
+
+/// Parses a trace. Throws std::runtime_error on malformed lines.
+/// If `max_question` is non-zero, question ids >= max_question are
+/// rejected (use workload.questions.size() to validate a replay target).
+std::vector<StreamEntry> ReadTrace(std::istream& is,
+                                   std::size_t max_question = 0);
+
+void SaveTraceToFile(const std::vector<StreamEntry>& stream,
+                     const std::string& path);
+std::vector<StreamEntry> LoadTraceFromFile(const std::string& path,
+                                           std::size_t max_question = 0);
+
+}  // namespace proximity

@@ -1,0 +1,554 @@
+// Unit tests for src/cache: eviction policies, the Proximity cache
+// (Algorithm 1 semantics), the exact-match baseline, and the adaptive-τ
+// controller.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "cache/adaptive_tau.h"
+#include "cache/eviction_policy.h"
+#include "cache/exact_cache.h"
+#include "cache/proximity_cache.h"
+#include "common/rng.h"
+
+namespace proximity {
+namespace {
+
+std::vector<float> Vec2(float x, float y) { return {x, y}; }
+
+// ------------------------------------------------------------ Policies --
+
+TEST(FifoPolicyTest, EvictsInInsertionOrder) {
+  FifoPolicy fifo;
+  fifo.OnInsert(3);
+  fifo.OnInsert(1);
+  fifo.OnInsert(2);
+  EXPECT_EQ(fifo.SelectVictim(), 3u);
+  EXPECT_EQ(fifo.SelectVictim(), 1u);
+  EXPECT_EQ(fifo.SelectVictim(), 2u);
+}
+
+TEST(FifoPolicyTest, AccessDoesNotChangeOrder) {
+  // §3.2.2: FIFO evicts the oldest "irrespective of how often or recently
+  // it has been accessed".
+  FifoPolicy fifo;
+  fifo.OnInsert(1);
+  fifo.OnInsert(2);
+  fifo.OnAccess(1);
+  fifo.OnAccess(1);
+  EXPECT_EQ(fifo.SelectVictim(), 1u);
+}
+
+TEST(LruPolicyTest, AccessRefreshesRecency) {
+  LruPolicy lru;
+  lru.OnInsert(1);
+  lru.OnInsert(2);
+  lru.OnInsert(3);
+  lru.OnAccess(1);  // 1 becomes most recent; 2 is now oldest
+  EXPECT_EQ(lru.SelectVictim(), 2u);
+  EXPECT_EQ(lru.SelectVictim(), 3u);
+  EXPECT_EQ(lru.SelectVictim(), 1u);
+}
+
+TEST(LruPolicyTest, WithoutAccessesBehavesLikeFifo) {
+  LruPolicy lru;
+  lru.OnInsert(5);
+  lru.OnInsert(6);
+  lru.OnInsert(7);
+  EXPECT_EQ(lru.SelectVictim(), 5u);
+  EXPECT_EQ(lru.SelectVictim(), 6u);
+}
+
+TEST(LfuPolicyTest, EvictsLeastFrequent) {
+  LfuPolicy lfu;
+  lfu.OnInsert(1);
+  lfu.OnInsert(2);
+  lfu.OnInsert(3);
+  lfu.OnAccess(1);
+  lfu.OnAccess(1);
+  lfu.OnAccess(3);
+  EXPECT_EQ(lfu.SelectVictim(), 2u);  // frequency 0
+  EXPECT_EQ(lfu.SelectVictim(), 3u);  // frequency 1
+  EXPECT_EQ(lfu.SelectVictim(), 1u);  // frequency 2
+}
+
+TEST(LfuPolicyTest, TieBrokenByAge) {
+  LfuPolicy lfu;
+  lfu.OnInsert(9);
+  lfu.OnInsert(4);
+  EXPECT_EQ(lfu.SelectVictim(), 9u);  // same frequency, 9 is older
+}
+
+TEST(RandomPolicyTest, VictimIsAlwaysLive) {
+  RandomPolicy random(7);
+  std::set<std::size_t> live;
+  for (std::size_t s = 0; s < 50; ++s) {
+    random.OnInsert(s);
+    live.insert(s);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t victim = random.SelectVictim();
+    EXPECT_TRUE(live.contains(victim));
+    live.erase(victim);
+  }
+  EXPECT_TRUE(live.empty());
+}
+
+TEST(RandomPolicyTest, DeterministicForSeed) {
+  RandomPolicy a(3), b(3);
+  for (std::size_t s = 0; s < 20; ++s) {
+    a.OnInsert(s);
+    b.OnInsert(s);
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.SelectVictim(), b.SelectVictim());
+  }
+}
+
+TEST(ClockPolicyTest, UnreferencedEvictsInFifoOrder) {
+  ClockPolicy clock;
+  clock.OnInsert(1);
+  clock.OnInsert(2);
+  clock.OnInsert(3);
+  EXPECT_EQ(clock.SelectVictim(), 1u);
+  EXPECT_EQ(clock.SelectVictim(), 2u);
+  EXPECT_EQ(clock.SelectVictim(), 3u);
+}
+
+TEST(ClockPolicyTest, ReferencedEntryGetsSecondChance) {
+  ClockPolicy clock;
+  clock.OnInsert(1);
+  clock.OnInsert(2);
+  clock.OnAccess(1);
+  // Hand passes 1 (referenced: cleared, re-queued), evicts 2.
+  EXPECT_EQ(clock.SelectVictim(), 2u);
+  // The reprieve is single-use: 1 goes next.
+  EXPECT_EQ(clock.SelectVictim(), 1u);
+}
+
+TEST(ClockPolicyTest, RepeatedAccessIsNotImmortal) {
+  ClockPolicy clock;
+  clock.OnInsert(1);
+  clock.OnInsert(2);
+  clock.OnAccess(1);
+  clock.OnAccess(2);
+  // Both referenced: the hand clears both and returns to evict slot 1.
+  EXPECT_EQ(clock.SelectVictim(), 1u);
+}
+
+TEST(EvictionFactoryTest, NamesRoundTrip) {
+  for (EvictionKind kind :
+       {EvictionKind::kFifo, EvictionKind::kLru, EvictionKind::kLfu,
+        EvictionKind::kRandom, EvictionKind::kClock}) {
+    EXPECT_EQ(EvictionFromName(EvictionName(kind)), kind);
+    EXPECT_EQ(MakeEvictionPolicy(kind)->kind(), kind);
+  }
+  EXPECT_THROW(EvictionFromName("arc"), std::invalid_argument);
+}
+
+// ------------------------------------------------------ ProximityCache --
+
+ProximityCacheOptions SmallCache(std::size_t capacity = 3,
+                                 float tolerance = 1.0f) {
+  ProximityCacheOptions opts;
+  opts.capacity = capacity;
+  opts.tolerance = tolerance;
+  return opts;
+}
+
+TEST(ProximityCacheTest, MissOnEmpty) {
+  ProximityCache cache(2, SmallCache());
+  const auto result = cache.Lookup(Vec2(0, 0));
+  EXPECT_FALSE(result.hit);
+  EXPECT_TRUE(std::isinf(result.best_distance));
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ProximityCacheTest, HitWithinTolerance) {
+  ProximityCache cache(2, SmallCache(3, 1.0f));
+  cache.Insert(Vec2(0, 0), {10, 20});
+  // Distance 0.25 <= 1.0 -> hit with the stored documents.
+  const auto result = cache.Lookup(Vec2(0.5f, 0));
+  ASSERT_TRUE(result.hit);
+  EXPECT_FLOAT_EQ(result.best_distance, 0.25f);
+  ASSERT_EQ(result.documents.size(), 2u);
+  EXPECT_EQ(result.documents[0], 10);
+  EXPECT_EQ(result.documents[1], 20);
+}
+
+TEST(ProximityCacheTest, MissBeyondTolerance) {
+  ProximityCache cache(2, SmallCache(3, 1.0f));
+  cache.Insert(Vec2(0, 0), {10});
+  const auto result = cache.Lookup(Vec2(2, 0));  // distance 4 > 1
+  EXPECT_FALSE(result.hit);
+  EXPECT_FLOAT_EQ(result.best_distance, 4.0f);
+}
+
+TEST(ProximityCacheTest, BoundaryDistanceEqualToTauHits) {
+  // Algorithm 1 line 4: "if min_dist <= tau" — inclusive.
+  ProximityCache cache(2, SmallCache(3, 4.0f));
+  cache.Insert(Vec2(0, 0), {1});
+  const auto result = cache.Lookup(Vec2(2, 0));  // distance exactly 4
+  EXPECT_TRUE(result.hit);
+}
+
+TEST(ProximityCacheTest, ZeroToleranceIsExactMatching) {
+  // §3.2.3: "tau = 0 is equivalent to using a cache with exact matching."
+  ProximityCache cache(2, SmallCache(3, 0.0f));
+  cache.Insert(Vec2(1, 1), {5});
+  EXPECT_FALSE(cache.Lookup(Vec2(1.0001f, 1)).hit);
+  EXPECT_TRUE(cache.Lookup(Vec2(1, 1)).hit);
+}
+
+TEST(ProximityCacheTest, ReturnsNearestKeyNotFirstKey) {
+  ProximityCache cache(2, SmallCache(3, 10.0f));
+  cache.Insert(Vec2(0, 0), {1});
+  cache.Insert(Vec2(5, 0), {2});
+  const auto result = cache.Lookup(Vec2(4, 0));  // closer to (5,0)
+  ASSERT_TRUE(result.hit);
+  EXPECT_EQ(result.documents[0], 2);
+}
+
+TEST(ProximityCacheTest, FifoEvictionAtCapacity) {
+  ProximityCache cache(2, SmallCache(2, 0.1f));
+  cache.Insert(Vec2(0, 0), {1});
+  cache.Insert(Vec2(10, 0), {2});
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Insert(Vec2(20, 0), {3});  // evicts (0,0)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.Lookup(Vec2(0, 0)).hit);
+  EXPECT_TRUE(cache.Lookup(Vec2(10, 0)).hit);
+  EXPECT_TRUE(cache.Lookup(Vec2(20, 0)).hit);
+}
+
+TEST(ProximityCacheTest, LruEvictionKeepsAccessedEntry) {
+  ProximityCacheOptions opts = SmallCache(2, 0.1f);
+  opts.eviction = EvictionKind::kLru;
+  ProximityCache cache(2, opts);
+  cache.Insert(Vec2(0, 0), {1});
+  cache.Insert(Vec2(10, 0), {2});
+  cache.Lookup(Vec2(0, 0));        // touch (0,0): now most recent
+  cache.Insert(Vec2(20, 0), {3});  // evicts (10,0), not (0,0)
+  EXPECT_TRUE(cache.Lookup(Vec2(0, 0)).hit);
+  EXPECT_FALSE(cache.Lookup(Vec2(10, 0)).hit);
+}
+
+TEST(ProximityCacheTest, StatsCountEverything) {
+  ProximityCache cache(2, SmallCache(2, 1.0f));
+  cache.Lookup(Vec2(0, 0));        // miss (empty)
+  cache.Insert(Vec2(0, 0), {1});
+  cache.Lookup(Vec2(0, 0));        // hit
+  cache.Lookup(Vec2(9, 9));        // miss
+  const auto& stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 1.0 / 3.0);
+  // keys_scanned: 0 (empty) + 1 + 1.
+  EXPECT_EQ(stats.keys_scanned, 2u);
+  cache.ResetStats();
+  EXPECT_EQ(cache.stats().lookups, 0u);
+}
+
+TEST(ProximityCacheTest, FetchOrRetrieveImplementsAlgorithm1) {
+  ProximityCache cache(2, SmallCache(3, 1.0f));
+  int db_calls = 0;
+  auto retrieve = [&db_calls](std::span<const float>) {
+    ++db_calls;
+    return std::vector<VectorId>{42, 43};
+  };
+  bool hit = true;
+  const auto r1 = cache.FetchOrRetrieve(Vec2(0, 0), retrieve, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(db_calls, 1);
+  EXPECT_EQ(r1, (std::vector<VectorId>{42, 43}));
+
+  const auto r2 = cache.FetchOrRetrieve(Vec2(0.1f, 0), retrieve, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(db_calls, 1);  // database bypassed
+  EXPECT_EQ(r2, r1);
+}
+
+TEST(ProximityCacheTest, ClearEmptiesCache) {
+  ProximityCache cache(2, SmallCache(3, 1.0f));
+  cache.Insert(Vec2(0, 0), {1});
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(Vec2(0, 0)).hit);
+  // Reinsertion works after clear (policy state reset too).
+  cache.Insert(Vec2(0, 0), {2});
+  EXPECT_TRUE(cache.Lookup(Vec2(0, 0)).hit);
+}
+
+TEST(ProximityCacheTest, SetToleranceTakesEffect) {
+  ProximityCache cache(2, SmallCache(3, 0.0f));
+  cache.Insert(Vec2(0, 0), {1});
+  EXPECT_FALSE(cache.Lookup(Vec2(1, 0)).hit);
+  cache.set_tolerance(2.0f);
+  EXPECT_TRUE(cache.Lookup(Vec2(1, 0)).hit);
+}
+
+TEST(ProximityCacheTest, IntrospectionAccessors) {
+  ProximityCache cache(2, SmallCache(3, 1.0f));
+  cache.Insert(Vec2(1, 2), {7, 8});
+  EXPECT_FLOAT_EQ(cache.KeyAt(0)[0], 1.f);
+  EXPECT_FLOAT_EQ(cache.KeyAt(0)[1], 2.f);
+  EXPECT_EQ(cache.ValueAt(0)[1], 8);
+  EXPECT_THROW(cache.KeyAt(1), std::out_of_range);
+  EXPECT_THROW(cache.ValueAt(1), std::out_of_range);
+}
+
+TEST(ProximityCacheTest, ValidatesArguments) {
+  EXPECT_THROW(ProximityCache(0, SmallCache()), std::invalid_argument);
+  EXPECT_THROW(ProximityCache(2, SmallCache(0)), std::invalid_argument);
+  ProximityCacheOptions neg = SmallCache();
+  neg.tolerance = -1.0f;
+  EXPECT_THROW(ProximityCache(2, neg), std::invalid_argument);
+  ProximityCache cache(2, SmallCache());
+  const std::vector<float> wrong = {1, 2, 3};
+  EXPECT_THROW(cache.Lookup(wrong), std::invalid_argument);
+  EXPECT_THROW(cache.Insert(wrong, {}), std::invalid_argument);
+}
+
+TEST(ProximityCacheTest, NegativeToleranceAllowedForInnerProduct) {
+  ProximityCacheOptions opts;
+  opts.capacity = 2;
+  opts.metric = Metric::kInnerProduct;
+  opts.tolerance = -0.5f;  // IP distances are negated similarities
+  ProximityCache cache(2, opts);
+  cache.Insert(Vec2(1, 0), {1});
+  // dot((1,0),(1,0)) = 1 -> distance -1 <= -0.5: hit.
+  EXPECT_TRUE(cache.Lookup(Vec2(1, 0)).hit);
+  // dot((0,1),(1,0)) = 0 -> distance 0 > -0.5: miss.
+  EXPECT_FALSE(cache.Lookup(Vec2(0, 1)).hit);
+}
+
+TEST(ProximityCacheTest, CosineMetricHits) {
+  ProximityCacheOptions opts;
+  opts.capacity = 2;
+  opts.metric = Metric::kCosine;
+  opts.tolerance = 0.01f;
+  ProximityCache cache(2, opts);
+  cache.Insert(Vec2(1, 0), {1});
+  EXPECT_TRUE(cache.Lookup(Vec2(5, 0)).hit);   // parallel: distance 0
+  EXPECT_FALSE(cache.Lookup(Vec2(0, 1)).hit);  // orthogonal: distance 1
+}
+
+TEST(ProximityCacheTest, SizeNeverExceedsCapacity) {
+  ProximityCache cache(4, SmallCache(5, 0.0f));
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<float> v(4);
+    for (auto& x : v) x = static_cast<float>(rng.Gaussian(0, 10));
+    cache.Insert(v, {static_cast<VectorId>(i)});
+    EXPECT_LE(cache.size(), 5u);
+  }
+  EXPECT_EQ(cache.size(), 5u);
+  EXPECT_EQ(cache.stats().evictions, 95u);
+}
+
+// ------------------------------------------------------------- Max age --
+
+TEST(ProximityCacheTtlTest, FreshEntryHitsStaleEntryMisses) {
+  ProximityCacheOptions opts = SmallCache(4, 1.0f);
+  opts.max_age = 3;  // expires after 3 cache operations
+  ProximityCache cache(2, opts);
+  cache.Insert(Vec2(0, 0), {1});  // op 1, birth 1
+  EXPECT_TRUE(cache.Lookup(Vec2(0, 0)).hit);   // op 2, age 1
+  EXPECT_TRUE(cache.Lookup(Vec2(0, 0)).hit);   // op 3, age 2
+  EXPECT_TRUE(cache.Lookup(Vec2(0, 0)).hit);   // op 4, age 3 (boundary)
+  EXPECT_FALSE(cache.Lookup(Vec2(0, 0)).hit);  // op 5, age 4 > 3: expired
+  EXPECT_EQ(cache.stats().expired_skips, 1u);
+}
+
+TEST(ProximityCacheTtlTest, ReinsertionRefreshesAge) {
+  ProximityCacheOptions opts = SmallCache(4, 1.0f);
+  opts.max_age = 2;
+  ProximityCache cache(2, opts);
+  cache.Insert(Vec2(0, 0), {1});
+  cache.Lookup(Vec2(9, 9));  // miss, ages the entry
+  cache.Lookup(Vec2(9, 9));  // entry now at the boundary
+  // The pipeline would now miss and refresh:
+  EXPECT_FALSE(cache.Lookup(Vec2(0, 0)).hit);
+  cache.Insert(Vec2(0, 0), {2});
+  const auto result = cache.Lookup(Vec2(0, 0));
+  ASSERT_TRUE(result.hit);
+  EXPECT_EQ(result.documents[0], 2);
+}
+
+TEST(ProximityCacheTtlTest, ExpiredEntryDoesNotShadowLiveOne) {
+  // An expired closer key must not hide a live farther key within tau.
+  ProximityCacheOptions opts = SmallCache(4, 9.0f);
+  opts.max_age = 4;
+  ProximityCache cache(2, opts);
+  cache.Insert(Vec2(0, 0), {1});   // will expire
+  cache.Lookup(Vec2(50, 50));      // age it
+  cache.Lookup(Vec2(50, 50));
+  cache.Lookup(Vec2(50, 50));
+  cache.Insert(Vec2(2, 0), {2});   // fresh, distance 4 from query below
+  // Query at (0,0): expired key at distance 0, live key at distance 4.
+  const auto result = cache.Lookup(Vec2(0, 0));
+  ASSERT_TRUE(result.hit);
+  EXPECT_EQ(result.documents[0], 2);
+  EXPECT_FLOAT_EQ(result.best_distance, 4.0f);
+}
+
+TEST(ProximityCacheTtlTest, ZeroMaxAgeDisablesExpiry) {
+  ProximityCache cache(2, SmallCache(4, 1.0f));  // max_age = 0 (default)
+  cache.Insert(Vec2(0, 0), {1});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(cache.Lookup(Vec2(0, 0)).hit);
+  }
+  EXPECT_EQ(cache.stats().expired_skips, 0u);
+}
+
+TEST(ProximityCacheTtlTest, MaxAgeSurvivesSerialization) {
+  ProximityCacheOptions opts = SmallCache(4, 1.0f);
+  opts.max_age = 7;
+  ProximityCache cache(2, opts);
+  cache.Insert(Vec2(1, 1), {3});
+  std::stringstream ss;
+  cache.SaveTo(ss);
+  ProximityCache back = ProximityCache::LoadFrom(ss);
+  EXPECT_TRUE(back.Lookup(Vec2(1, 1)).hit);
+  for (int i = 0; i < 10; ++i) back.Lookup(Vec2(9, 9));
+  EXPECT_FALSE(back.Lookup(Vec2(1, 1)).hit);  // expiry still enforced
+}
+
+// ----------------------------------------------------------- ExactCache --
+
+TEST(ExactCacheTest, HitsOnlyOnBitIdenticalKeys) {
+  ExactCache cache(2, 10);
+  cache.Insert(Vec2(1, 2), {5});
+  EXPECT_NE(cache.Lookup(Vec2(1, 2)), nullptr);
+  EXPECT_EQ(cache.Lookup(Vec2(1.0000001f, 2)), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().lookups, 2u);
+}
+
+TEST(ExactCacheTest, FifoEviction) {
+  ExactCache cache(2, 2);
+  cache.Insert(Vec2(1, 0), {1});
+  cache.Insert(Vec2(2, 0), {2});
+  cache.Insert(Vec2(3, 0), {3});  // evicts (1,0)
+  EXPECT_EQ(cache.Lookup(Vec2(1, 0)), nullptr);
+  EXPECT_NE(cache.Lookup(Vec2(2, 0)), nullptr);
+  EXPECT_NE(cache.Lookup(Vec2(3, 0)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ExactCacheTest, ReinsertReplacesValueWithoutSlot) {
+  ExactCache cache(2, 2);
+  cache.Insert(Vec2(1, 0), {1});
+  cache.Insert(Vec2(1, 0), {9});
+  EXPECT_EQ(cache.size(), 1u);
+  const auto* docs = cache.Lookup(Vec2(1, 0));
+  ASSERT_NE(docs, nullptr);
+  EXPECT_EQ((*docs)[0], 9);
+}
+
+TEST(ExactCacheTest, ClearResets) {
+  ExactCache cache(2, 2);
+  cache.Insert(Vec2(1, 0), {1});
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(Vec2(1, 0)), nullptr);
+}
+
+TEST(ExactCacheTest, ValidatesArguments) {
+  EXPECT_THROW(ExactCache(0, 2), std::invalid_argument);
+  EXPECT_THROW(ExactCache(2, 0), std::invalid_argument);
+  ExactCache cache(2, 2);
+  const std::vector<float> wrong = {1};
+  EXPECT_THROW(cache.Lookup(wrong), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- AdaptiveTau --
+
+TEST(AdaptiveTauTest, WidensWhenHitRateLow) {
+  AdaptiveTauOptions opts;
+  opts.target_hit_rate = 0.9;
+  opts.window = 8;
+  opts.period = 8;
+  opts.initial_tau = 1.0;
+  AdaptiveTau controller(opts);
+  for (int i = 0; i < 64; ++i) controller.Observe(false);
+  EXPECT_GT(controller.tau(), 1.0);
+}
+
+TEST(AdaptiveTauTest, TightensWhenHitRateHigh) {
+  AdaptiveTauOptions opts;
+  opts.target_hit_rate = 0.1;
+  opts.window = 8;
+  opts.period = 8;
+  opts.initial_tau = 1.0;
+  AdaptiveTau controller(opts);
+  for (int i = 0; i < 64; ++i) controller.Observe(true);
+  EXPECT_LT(controller.tau(), 1.0);
+}
+
+TEST(AdaptiveTauTest, RespectsBounds) {
+  AdaptiveTauOptions opts;
+  opts.target_hit_rate = 0.99;
+  opts.window = 4;
+  opts.period = 1;
+  opts.initial_tau = 1.0;
+  opts.max_tau = 2.0;
+  AdaptiveTau controller(opts);
+  for (int i = 0; i < 1000; ++i) controller.Observe(false);
+  EXPECT_LE(controller.tau(), 2.0);
+
+  AdaptiveTauOptions down = opts;
+  down.target_hit_rate = 0.01;
+  down.min_tau = 0.5;
+  AdaptiveTau tight(down);
+  for (int i = 0; i < 1000; ++i) tight.Observe(true);
+  EXPECT_GE(tight.tau(), 0.5);
+}
+
+TEST(AdaptiveTauTest, EscapesZeroTau) {
+  AdaptiveTauOptions opts;
+  opts.initial_tau = 0.0;
+  opts.target_hit_rate = 0.5;
+  opts.window = 4;
+  opts.period = 1;
+  AdaptiveTau controller(opts);
+  for (int i = 0; i < 64; ++i) controller.Observe(false);
+  EXPECT_GT(controller.tau(), 0.0);
+}
+
+TEST(AdaptiveTauTest, WindowedHitRateTracksRecentHistory) {
+  AdaptiveTauOptions opts;
+  opts.window = 4;
+  AdaptiveTau controller(opts);
+  controller.Observe(true);
+  controller.Observe(true);
+  controller.Observe(false);
+  controller.Observe(false);
+  EXPECT_DOUBLE_EQ(controller.WindowedHitRate(), 0.5);
+  // Two more misses push the hits out of the window.
+  controller.Observe(false);
+  controller.Observe(false);
+  EXPECT_DOUBLE_EQ(controller.WindowedHitRate(), 0.0);
+}
+
+TEST(AdaptiveTauTest, ValidatesOptions) {
+  AdaptiveTauOptions bad;
+  bad.window = 0;
+  EXPECT_THROW(AdaptiveTau{bad}, std::invalid_argument);
+  AdaptiveTauOptions bad2;
+  bad2.step = 1.0;
+  EXPECT_THROW(AdaptiveTau{bad2}, std::invalid_argument);
+  AdaptiveTauOptions bad3;
+  bad3.min_tau = 5;
+  bad3.max_tau = 1;
+  EXPECT_THROW(AdaptiveTau{bad3}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace proximity

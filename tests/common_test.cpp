@@ -1,0 +1,424 @@
+// Unit tests for src/common: rng, stats, csv, config, thread pool, clocks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+
+namespace proximity {
+namespace {
+
+// ------------------------------------------------------------------ Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Below(1), 0u);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.Below(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(11);
+  StreamingStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(rng.Gaussian(3.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.Bernoulli(0.3);
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  StreamingStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(3);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(RngTest, ForkGivesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  // Children differ from each other and from the parent stream.
+  EXPECT_NE(child.Next64(), child2.Next64());
+}
+
+TEST(RngTest, SplitMix64KnownValue) {
+  // splitmix64(0) from the reference implementation.
+  EXPECT_EQ(SplitMix64(0), 0xe220a8397b1dcdafULL);
+}
+
+TEST(ZipfSamplerTest, SkewsTowardLowRanks) {
+  Rng rng(21);
+  ZipfSampler zipf(100, 1.0);
+  std::array<int, 100> counts{};
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(ZipfSamplerTest, UniformWhenExponentZero) {
+  Rng rng(22);
+  ZipfSampler zipf(10, 0.0);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+// ---------------------------------------------------------------- Stats --
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStatsTest, SingleValue) {
+  StreamingStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(StreamingStatsTest, KnownSequence) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStatsTest, MergeEqualsSequential) {
+  StreamingStats a, b, all;
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Gaussian(0, 1);
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(LatencyHistogramTest, MeanAndCount) {
+  LatencyHistogram h;
+  h.Record(1000);
+  h.Record(2000);
+  h.Record(3000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.MeanNanos(), 2000.0);
+  EXPECT_EQ(h.MaxNanos(), 3000);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreOrdered) {
+  LatencyHistogram h;
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<Nanos>(rng.Below(1000000) + 1));
+  }
+  const double p10 = h.QuantileNanos(0.1);
+  const double p50 = h.QuantileNanos(0.5);
+  const double p99 = h.QuantileNanos(0.99);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p99);
+  // Uniform distribution: p50 should be near 500k within bucket error.
+  EXPECT_NEAR(p50, 500000, 50000);
+}
+
+TEST(LatencyHistogramTest, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  a.Record(100);
+  b.Record(200);
+  b.Record(300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.MaxNanos(), 300);
+}
+
+TEST(LatencyHistogramTest, SummaryMentionsCount) {
+  LatencyHistogram h;
+  h.Record(5000);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+TEST(FormatNanosTest, AdaptiveUnits) {
+  EXPECT_EQ(FormatNanos(500), "500ns");
+  EXPECT_EQ(FormatNanos(1500), "1.50us");
+  EXPECT_EQ(FormatNanos(2500000), "2.50ms");
+  EXPECT_EQ(FormatNanos(3.2e9), "3.20s");
+}
+
+// ------------------------------------------------------------------ CSV --
+
+TEST(CsvTest, HeaderAndRows) {
+  CsvTable t({"a", "b"});
+  t.AddRow({std::int64_t{1}, 2.5});
+  t.AddRow({std::string("x"), std::int64_t{3}});
+  EXPECT_EQ(t.ToString(), "a,b\n1,2.5\nx,3\n");
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  CsvTable t({"v"});
+  t.AddRow({std::string("hello, world")});
+  t.AddRow({std::string("say \"hi\"")});
+  EXPECT_EQ(t.ToString(), "v\n\"hello, world\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvTest, RejectsWrongWidth) {
+  CsvTable t({"a", "b"});
+  EXPECT_THROW(t.AddRow({std::int64_t{1}}), std::invalid_argument);
+}
+
+TEST(CsvTest, RejectsEmptyHeader) {
+  EXPECT_THROW(CsvTable({}), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- Config --
+
+TEST(ConfigTest, ParsesArgs) {
+  const char* argv[] = {"prog", "alpha=1", "beta=2.5", "name=test", "pos"};
+  Config cfg = Config::FromArgs(5, argv);
+  EXPECT_EQ(cfg.GetInt("alpha", 0), 1);
+  EXPECT_DOUBLE_EQ(cfg.GetDouble("beta", 0), 2.5);
+  EXPECT_EQ(cfg.GetString("name", ""), "test");
+  ASSERT_EQ(cfg.positional().size(), 1u);
+  EXPECT_EQ(cfg.positional()[0], "pos");
+}
+
+TEST(ConfigTest, FallbacksWhenMissing) {
+  Config cfg;
+  EXPECT_EQ(cfg.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg.GetDouble("missing", 1.5), 1.5);
+  EXPECT_TRUE(cfg.GetBool("missing", true));
+}
+
+TEST(ConfigTest, ParsesBools) {
+  Config cfg;
+  cfg.Set("t1", "true");
+  cfg.Set("t2", "1");
+  cfg.Set("t3", "ON");
+  cfg.Set("f1", "false");
+  cfg.Set("f2", "off");
+  EXPECT_TRUE(cfg.GetBool("t1", false));
+  EXPECT_TRUE(cfg.GetBool("t2", false));
+  EXPECT_TRUE(cfg.GetBool("t3", false));
+  EXPECT_FALSE(cfg.GetBool("f1", true));
+  EXPECT_FALSE(cfg.GetBool("f2", true));
+  cfg.Set("bad", "maybe");
+  EXPECT_THROW(cfg.GetBool("bad", true), std::invalid_argument);
+}
+
+TEST(ConfigTest, ParsesLists) {
+  Config cfg;
+  cfg.Set("taus", "0,0.5,1,2,5,10");
+  cfg.Set("caps", "10, 50, 100");
+  const auto taus = cfg.GetDoubleList("taus", {});
+  ASSERT_EQ(taus.size(), 6u);
+  EXPECT_DOUBLE_EQ(taus[1], 0.5);
+  const auto caps = cfg.GetIntList("caps", {});
+  ASSERT_EQ(caps.size(), 3u);
+  EXPECT_EQ(caps[2], 100);
+}
+
+TEST(ConfigTest, FromStringSkipsComments) {
+  Config cfg = Config::FromString("a=1\n# comment\n  b = 2 \n\n");
+  EXPECT_EQ(cfg.GetInt("a", 0), 1);
+  EXPECT_EQ(cfg.GetInt("b", 0), 2);
+}
+
+TEST(ConfigTest, RejectsEmptyKey) {
+  Config cfg;
+  EXPECT_THROW(cfg.Set("", "v"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- ThreadPool --
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelFor(0, 1000, [&](std::size_t i) { ++touched[i]; });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(0, 100,
+                                [](std::size_t i) {
+                                  if (i == 50) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([] { throw std::logic_error("bad"); });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(ThreadPoolTest, ChunkedCoversRangeOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(257);
+  pool.ParallelForChunked(0, 257, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++touched[i];
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+// --------------------------------------------------------------- Clocks --
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(w.ElapsedNanos(), 5 * 1000 * 1000);
+}
+
+TEST(VirtualClockTest, AdvanceAccumulates) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Now(), 0);
+  clock.Advance(100);
+  clock.Advance(250);
+  EXPECT_EQ(clock.Now(), 350);
+  clock.Reset();
+  EXPECT_EQ(clock.Now(), 0);
+}
+
+TEST(VirtualClockTest, ThreadSafeAdvance) {
+  VirtualClock clock;
+  ThreadPool pool(4);
+  pool.ParallelFor(0, 1000, [&](std::size_t) { clock.Advance(1); });
+  EXPECT_EQ(clock.Now(), 1000);
+}
+
+// ---------------------------------------------------------------- Types --
+
+TEST(NeighborTest, CloserOrdersByDistanceThenId) {
+  NeighborCloser closer;
+  EXPECT_TRUE(closer({1, 1.0f}, {2, 2.0f}));
+  EXPECT_FALSE(closer({2, 2.0f}, {1, 1.0f}));
+  EXPECT_TRUE(closer({1, 1.0f}, {2, 1.0f}));  // tie -> lower id first
+  EXPECT_FALSE(closer({2, 1.0f}, {1, 1.0f}));
+}
+
+}  // namespace
+}  // namespace proximity

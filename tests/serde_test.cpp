@@ -1,0 +1,331 @@
+// Tests for the binary persistence layer: primitive round-trips, index
+// and cache snapshots, and corruption detection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cache/proximity_cache.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/index_io.h"
+#include "index/ivf_flat_index.h"
+#include "index/ivfpq_index.h"
+#include "index/pq.h"
+
+namespace proximity {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t dim, std::uint64_t seed) {
+  Matrix m(rows, dim);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (auto& x : m.MutableRow(r)) {
+      x = static_cast<float>(rng.Gaussian(0, 1));
+    }
+  }
+  return m;
+}
+
+std::vector<float> RandomVec(std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(dim);
+  for (auto& x : v) x = static_cast<float>(rng.Gaussian(0, 1));
+  return v;
+}
+
+// ----------------------------------------------------------- Primitives --
+
+TEST(SerdeTest, PrimitiveRoundTrip) {
+  std::stringstream ss;
+  {
+    BinaryWriter w(ss);
+    w.WriteU32(0xdeadbeef);
+    w.WriteU64(1ULL << 62);
+    w.WriteI64(-42);
+    w.WriteF32(3.25f);
+    w.WriteF64(-1e100);
+    w.WriteString("hello");
+    w.WriteFloats(std::vector<float>{1, 2, 3});
+    w.WriteI64s(std::vector<std::int64_t>{-1, 0, 7});
+    w.WriteU8s(std::vector<std::uint8_t>{9, 8});
+    w.WriteU32s(std::vector<std::uint32_t>{5});
+    w.Finish();
+  }
+  BinaryReader r(ss);
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeef);
+  EXPECT_EQ(r.ReadU64(), 1ULL << 62);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_FLOAT_EQ(r.ReadF32(), 3.25f);
+  EXPECT_DOUBLE_EQ(r.ReadF64(), -1e100);
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadFloats(), (std::vector<float>{1, 2, 3}));
+  EXPECT_EQ(r.ReadI64s(), (std::vector<std::int64_t>{-1, 0, 7}));
+  EXPECT_EQ(r.ReadU8s(), (std::vector<std::uint8_t>{9, 8}));
+  EXPECT_EQ(r.ReadU32s(), (std::vector<std::uint32_t>{5}));
+  EXPECT_NO_THROW(r.VerifyChecksum());
+}
+
+TEST(SerdeTest, ChecksumDetectsCorruption) {
+  std::stringstream ss;
+  {
+    BinaryWriter w(ss);
+    w.WriteString("important payload");
+    w.Finish();
+  }
+  std::string buf = ss.str();
+  buf[10] ^= 0x01;  // flip one payload bit
+  std::stringstream corrupted(buf);
+  BinaryReader r(corrupted);
+  (void)r.ReadString();
+  EXPECT_THROW(r.VerifyChecksum(), std::runtime_error);
+}
+
+TEST(SerdeTest, TruncationDetected) {
+  std::stringstream ss;
+  {
+    BinaryWriter w(ss);
+    w.WriteFloats(std::vector<float>(100, 1.f));
+    w.Finish();
+  }
+  std::stringstream truncated(ss.str().substr(0, 50));
+  BinaryReader r(truncated);
+  EXPECT_THROW((void)r.ReadFloats(), std::runtime_error);
+}
+
+TEST(SerdeTest, HeaderValidation) {
+  std::stringstream ss;
+  {
+    BinaryWriter w(ss);
+    WriteHeader(w, 0x1234, 3);
+    w.Finish();
+  }
+  {
+    std::stringstream copy(ss.str());
+    BinaryReader r(copy);
+    EXPECT_EQ(ReadHeader(r, 0x1234, 5), 3u);
+  }
+  {
+    std::stringstream copy(ss.str());
+    BinaryReader r(copy);
+    EXPECT_THROW(ReadHeader(r, 0x9999, 5), std::runtime_error);
+  }
+  {
+    std::stringstream copy(ss.str());
+    BinaryReader r(copy);
+    EXPECT_THROW(ReadHeader(r, 0x1234, 2), std::runtime_error);  // too new
+  }
+}
+
+TEST(SerdeTest, MatrixRoundTrip) {
+  const Matrix m = RandomMatrix(17, 5, 1);
+  std::stringstream ss;
+  {
+    BinaryWriter w(ss);
+    WriteMatrix(w, m);
+    w.Finish();
+  }
+  BinaryReader r(ss);
+  const Matrix back = ReadMatrix(r);
+  ASSERT_EQ(back.rows(), m.rows());
+  ASSERT_EQ(back.dim(), m.dim());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.dim(); ++j) {
+      EXPECT_FLOAT_EQ(back.Row(i)[j], m.Row(i)[j]);
+    }
+  }
+}
+
+// ---------------------------------------------------------- Index round --
+
+TEST(IndexIoTest, FlatRoundTripPreservesSearch) {
+  FlatIndex index(16, {.metric = Metric::kCosine});
+  index.AddBatch(RandomMatrix(200, 16, 2));
+  std::stringstream ss;
+  index.SaveTo(ss);
+  const FlatIndex back = FlatIndex::LoadFrom(ss);
+  EXPECT_EQ(back.size(), index.size());
+  EXPECT_EQ(back.metric(), Metric::kCosine);
+  const auto q = RandomVec(16, 100);
+  EXPECT_EQ(back.Search(q, 10), index.Search(q, 10));
+}
+
+TEST(IndexIoTest, HnswRoundTripPreservesGraphAndSearch) {
+  HnswIndex index(8, {.M = 8, .ef_construction = 64, .seed = 3});
+  index.AddBatch(RandomMatrix(500, 8, 3));
+  std::stringstream ss;
+  index.SaveTo(ss);
+  const auto back = HnswIndex::LoadFrom(ss);
+  EXPECT_EQ(back->size(), index.size());
+  EXPECT_EQ(back->max_level(), index.max_level());
+  for (VectorId id = 0; id < 500; id += 37) {
+    EXPECT_EQ(back->NodeLevel(id), index.NodeLevel(id));
+    EXPECT_EQ(back->Links(id, 0), index.Links(id, 0));
+  }
+  const auto q = RandomVec(8, 101);
+  EXPECT_EQ(back->Search(q, 10), index.Search(q, 10));
+}
+
+TEST(IndexIoTest, HnswInsertsResumeIdenticallyAfterLoad) {
+  // The saved RNG state must make post-load inserts identical to an
+  // uninterrupted build.
+  const Matrix first = RandomMatrix(200, 8, 4);
+  const Matrix second = RandomMatrix(50, 8, 5);
+
+  HnswIndex continuous(8, {.seed = 7});
+  continuous.AddBatch(first);
+  std::stringstream ss;
+  continuous.SaveTo(ss);
+  continuous.AddBatch(second);
+
+  const auto resumed = HnswIndex::LoadFrom(ss);
+  resumed->AddBatch(second);
+
+  const auto q = RandomVec(8, 102);
+  EXPECT_EQ(resumed->Search(q, 10), continuous.Search(q, 10));
+}
+
+TEST(IndexIoTest, IvfFlatRoundTrip) {
+  const Matrix corpus = RandomMatrix(600, 8, 6);
+  IvfFlatIndex index(8, {.nlist = 8, .nprobe = 3, .seed = 11});
+  index.Train(corpus);
+  index.AddBatch(corpus);
+  std::stringstream ss;
+  index.SaveTo(ss);
+  const IvfFlatIndex back = IvfFlatIndex::LoadFrom(ss);
+  EXPECT_EQ(back.size(), index.size());
+  EXPECT_EQ(back.nprobe(), 3u);
+  const auto q = RandomVec(8, 103);
+  EXPECT_EQ(back.Search(q, 10), index.Search(q, 10));
+}
+
+TEST(IndexIoTest, PqRoundTrip) {
+  ProductQuantizer pq(16, {.m = 4, .ksub = 32});
+  pq.Train(RandomMatrix(500, 16, 7));
+  std::stringstream ss;
+  pq.SaveTo(ss);
+  const ProductQuantizer back = ProductQuantizer::LoadFrom(ss);
+  const auto v = RandomVec(16, 104);
+  std::vector<std::uint8_t> code_a(pq.code_size()), code_b(pq.code_size());
+  pq.Encode(v, code_a.data());
+  back.Encode(v, code_b.data());
+  EXPECT_EQ(code_a, code_b);
+}
+
+TEST(IndexIoTest, IvfPqRoundTrip) {
+  const Matrix corpus = RandomMatrix(800, 16, 8);
+  IvfPqIndex index(16, {.nlist = 8, .nprobe = 8, .pq = {.m = 4, .ksub = 32}});
+  index.Train(corpus);
+  index.AddBatch(corpus);
+  std::stringstream ss;
+  index.SaveTo(ss);
+  const IvfPqIndex back = IvfPqIndex::LoadFrom(ss);
+  EXPECT_EQ(back.size(), index.size());
+  const auto q = RandomVec(16, 105);
+  EXPECT_EQ(back.Search(q, 10), index.Search(q, 10));
+}
+
+TEST(IndexIoTest, IvfPqRefinedRoundTrip) {
+  const Matrix corpus = RandomMatrix(400, 16, 12);
+  IvfPqIndex index(16, {.nlist = 4, .nprobe = 4,
+                        .pq = {.m = 4, .ksub = 16}, .refine_factor = 4});
+  index.Train(corpus);
+  index.AddBatch(corpus);
+  std::stringstream ss;
+  index.SaveTo(ss);
+  const IvfPqIndex back = IvfPqIndex::LoadFrom(ss);
+  const auto q = RandomVec(16, 107);
+  EXPECT_EQ(back.Search(q, 5), index.Search(q, 5));
+}
+
+TEST(IndexIoTest, LoadIndexDispatchesByMagic) {
+  const Matrix corpus = RandomMatrix(100, 8, 9);
+  FlatIndex flat(8);
+  flat.AddBatch(corpus);
+  HnswIndex hnsw(8);
+  hnsw.AddBatch(corpus);
+
+  for (const VectorIndex* index :
+       std::initializer_list<const VectorIndex*>{&flat, &hnsw}) {
+    std::stringstream ss;
+    index->SaveTo(ss);
+    const auto back = LoadIndex(ss);
+    EXPECT_EQ(back->size(), 100u);
+    const auto q = RandomVec(8, 106);
+    EXPECT_EQ(back->Search(q, 5), index->Search(q, 5));
+  }
+}
+
+TEST(IndexIoTest, LoadIndexRejectsGarbage) {
+  std::stringstream ss("this is not an index file at all");
+  EXPECT_THROW(LoadIndex(ss), std::runtime_error);
+  std::stringstream empty;
+  EXPECT_THROW(LoadIndex(empty), std::runtime_error);
+}
+
+TEST(IndexIoTest, FileRoundTrip) {
+  FlatIndex index(4);
+  index.AddBatch(RandomMatrix(20, 4, 10));
+  const std::string path = ::testing::TempDir() + "/proximity_flat.bin";
+  SaveIndexToFile(index, path);
+  const auto back = LoadIndexFromFile(path);
+  EXPECT_EQ(back->size(), 20u);
+  EXPECT_THROW(LoadIndexFromFile("/nonexistent/dir/x.bin"),
+               std::runtime_error);
+}
+
+TEST(IndexIoTest, UntrainedIndexRefusesToSave) {
+  IvfFlatIndex index(8);
+  std::stringstream ss;
+  EXPECT_THROW(index.SaveTo(ss), std::logic_error);
+}
+
+// ---------------------------------------------------------- Cache round --
+
+TEST(CacheIoTest, RoundTripPreservesEntriesAndOptions) {
+  ProximityCacheOptions opts;
+  opts.capacity = 8;
+  opts.tolerance = 2.5f;
+  opts.metric = Metric::kCosine;
+  opts.eviction = EvictionKind::kLru;
+  ProximityCache cache(4, opts);
+  Rng rng(11);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<float> key(4);
+    for (auto& x : key) x = static_cast<float>(rng.Gaussian(0, 1));
+    cache.Insert(key, {i, i + 100});
+  }
+
+  std::stringstream ss;
+  cache.SaveTo(ss);
+  ProximityCache back = ProximityCache::LoadFrom(ss);
+  EXPECT_EQ(back.size(), 5u);
+  EXPECT_EQ(back.capacity(), 8u);
+  EXPECT_FLOAT_EQ(back.tolerance(), 2.5f);
+  EXPECT_EQ(back.metric(), Metric::kCosine);
+  EXPECT_EQ(back.eviction(), EvictionKind::kLru);
+  EXPECT_EQ(back.stats().insertions, 0u);  // reconstruction is not usage
+  for (std::size_t slot = 0; slot < 5; ++slot) {
+    EXPECT_EQ(back.ValueAt(slot)[0], cache.ValueAt(slot)[0]);
+    EXPECT_FLOAT_EQ(back.KeyAt(slot)[0], cache.KeyAt(slot)[0]);
+  }
+  // A lookup that hit before still hits after.
+  const auto key0 = std::vector<float>(cache.KeyAt(0).begin(),
+                                       cache.KeyAt(0).end());
+  EXPECT_TRUE(back.Lookup(key0).hit);
+}
+
+TEST(CacheIoTest, CorruptSnapshotRejected) {
+  ProximityCache cache(4, {});
+  cache.Insert(std::vector<float>{1, 2, 3, 4}, {1});
+  std::stringstream ss;
+  cache.SaveTo(ss);
+  std::string buf = ss.str();
+  buf[buf.size() / 2] ^= 0xff;
+  std::stringstream corrupted(buf);
+  EXPECT_THROW(ProximityCache::LoadFrom(corrupted), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace proximity

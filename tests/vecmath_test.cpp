@@ -1,0 +1,285 @@
+// Unit tests for src/vecmath: kernels, matrix, ops, top-k selection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "common/rng.h"
+#include "vecmath/kernels.h"
+#include "vecmath/matrix.h"
+#include "vecmath/metric.h"
+#include "vecmath/ops.h"
+#include "vecmath/topk.h"
+
+namespace proximity {
+namespace {
+
+std::vector<float> RandomVector(Rng& rng, std::size_t dim) {
+  std::vector<float> v(dim);
+  for (auto& x : v) x = static_cast<float>(rng.Gaussian(0, 1));
+  return v;
+}
+
+// -------------------------------------------------------------- Kernels --
+
+TEST(KernelsTest, L2SquaredKnownValues) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {4, 6, 3};
+  EXPECT_FLOAT_EQ(L2SquaredDistance(a, b), 9 + 16 + 0);
+  EXPECT_FLOAT_EQ(L2SquaredDistance(a, a), 0.f);
+}
+
+TEST(KernelsTest, InnerProductKnownValues) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {4, -5, 6};
+  EXPECT_FLOAT_EQ(InnerProduct(a, b), 4 - 10 + 18);
+}
+
+TEST(KernelsTest, SquaredNormMatchesInnerProduct) {
+  Rng rng(1);
+  const auto v = RandomVector(rng, 77);
+  EXPECT_NEAR(SquaredNorm(v), InnerProduct(v, v), 1e-4);
+}
+
+TEST(KernelsTest, CosineOfParallelVectorsIsZero) {
+  const std::vector<float> a = {1, 2, 3, 4};
+  std::vector<float> b = a;
+  for (auto& x : b) x *= 2.5f;
+  EXPECT_NEAR(CosineDistance(a, b), 0.f, 1e-6);
+}
+
+TEST(KernelsTest, CosineOfOrthogonalVectorsIsOne) {
+  const std::vector<float> a = {1, 0, 0, 0};
+  const std::vector<float> b = {0, 1, 0, 0};
+  EXPECT_NEAR(CosineDistance(a, b), 1.f, 1e-6);
+}
+
+TEST(KernelsTest, CosineOfOppositeVectorsIsTwo) {
+  const std::vector<float> a = {1, 2};
+  const std::vector<float> b = {-1, -2};
+  EXPECT_NEAR(CosineDistance(a, b), 2.f, 1e-6);
+}
+
+TEST(KernelsTest, CosineWithZeroVectorIsOne) {
+  const std::vector<float> a = {0, 0, 0};
+  const std::vector<float> b = {1, 2, 3};
+  EXPECT_FLOAT_EQ(CosineDistance(a, b), 1.f);
+}
+
+TEST(KernelsTest, UnrolledMatchesNaiveOnOddSizes) {
+  Rng rng(2);
+  for (std::size_t dim : {1u, 2u, 3u, 5u, 7u, 15u, 33u, 127u, 768u}) {
+    const auto a = RandomVector(rng, dim);
+    const auto b = RandomVector(rng, dim);
+    float naive = 0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      naive += (a[i] - b[i]) * (a[i] - b[i]);
+    }
+    EXPECT_NEAR(L2SquaredDistance(a, b), naive, 1e-3 * dim)
+        << "dim=" << dim;
+  }
+}
+
+TEST(KernelsTest, DistanceDispatchesMetric) {
+  const std::vector<float> a = {1, 0};
+  const std::vector<float> b = {0, 1};
+  EXPECT_FLOAT_EQ(Distance(Metric::kL2, a, b), 2.f);
+  EXPECT_FLOAT_EQ(Distance(Metric::kInnerProduct, a, b), 0.f);
+  EXPECT_FLOAT_EQ(Distance(Metric::kCosine, a, b), 1.f);
+  // Inner product distance is negated: closer = smaller.
+  EXPECT_FLOAT_EQ(Distance(Metric::kInnerProduct, a, a), -1.f);
+}
+
+TEST(KernelsTest, BatchDistanceMatchesScalar) {
+  Rng rng(3);
+  constexpr std::size_t kDim = 16, kCount = 9;
+  const auto query = RandomVector(rng, kDim);
+  std::vector<float> base;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const auto v = RandomVector(rng, kDim);
+    base.insert(base.end(), v.begin(), v.end());
+  }
+  std::vector<float> out(kCount);
+  BatchDistance(Metric::kL2, query, base.data(), kCount, kDim, out.data());
+  for (std::size_t i = 0; i < kCount; ++i) {
+    std::span<const float> row(base.data() + i * kDim, kDim);
+    EXPECT_FLOAT_EQ(out[i], L2SquaredDistance(query, row));
+  }
+}
+
+TEST(MetricTest, NamesRoundTrip) {
+  for (Metric m : {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+    EXPECT_EQ(MetricFromName(MetricName(m)), m);
+  }
+  EXPECT_THROW(MetricFromName("nope"), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- Matrix --
+
+TEST(MatrixTest, ConstructAndAccess) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.dim(), 4u);
+  m.MutableRow(1)[2] = 7.f;
+  EXPECT_FLOAT_EQ(m.Row(1)[2], 7.f);
+  EXPECT_FLOAT_EQ(m.Row(0)[0], 0.f);
+}
+
+TEST(MatrixTest, AppendRow) {
+  Matrix m(0, 3);
+  const std::vector<float> row = {1, 2, 3};
+  m.AppendRow(row);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_FLOAT_EQ(m.Row(0)[1], 2.f);
+}
+
+TEST(MatrixTest, AppendRejectsWrongDim) {
+  Matrix m(0, 3);
+  const std::vector<float> row = {1, 2};
+  EXPECT_THROW(m.AppendRow(row), std::invalid_argument);
+}
+
+TEST(MatrixTest, WrapExistingData) {
+  Matrix m(std::vector<float>{1, 2, 3, 4, 5, 6}, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_FLOAT_EQ(m.Row(1)[0], 4.f);
+  EXPECT_THROW(Matrix(std::vector<float>{1, 2, 3}, 2), std::invalid_argument);
+  EXPECT_THROW(Matrix(std::vector<float>{1}, 0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ Ops --
+
+TEST(OpsTest, NormalizeL2MakesUnitNorm) {
+  std::vector<float> v = {3, 4};
+  NormalizeL2(v);
+  EXPECT_NEAR(std::sqrt(SquaredNorm(v)), 1.f, 1e-6);
+  EXPECT_NEAR(v[0], 0.6f, 1e-6);
+}
+
+TEST(OpsTest, NormalizeZeroVectorIsNoop) {
+  std::vector<float> v = {0, 0, 0};
+  NormalizeL2(v);
+  for (float x : v) EXPECT_EQ(x, 0.f);
+}
+
+TEST(OpsTest, AxpyAccumulates) {
+  const std::vector<float> x = {1, 2};
+  std::vector<float> y = {10, 20};
+  Axpy(2.f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.f);
+  EXPECT_FLOAT_EQ(y[1], 24.f);
+}
+
+TEST(OpsTest, ScaleMultiplies) {
+  std::vector<float> v = {1, -2, 3};
+  Scale(v, -2.f);
+  EXPECT_FLOAT_EQ(v[0], -2.f);
+  EXPECT_FLOAT_EQ(v[1], 4.f);
+  EXPECT_FLOAT_EQ(v[2], -6.f);
+}
+
+TEST(OpsTest, MeanOfRows) {
+  const std::vector<float> a = {1, 2};
+  const std::vector<float> b = {3, 6};
+  std::vector<std::span<const float>> rows = {a, b};
+  std::vector<float> mean(2);
+  MeanOf(rows, mean);
+  EXPECT_FLOAT_EQ(mean[0], 2.f);
+  EXPECT_FLOAT_EQ(mean[1], 4.f);
+}
+
+// ----------------------------------------------------------------- TopK --
+
+TEST(TopKTest, KeepsClosestK) {
+  TopK top(3);
+  for (VectorId id = 0; id < 10; ++id) {
+    top.Push(id, static_cast<float>(10 - id));  // id 9 closest
+  }
+  const auto result = top.Take();
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].id, 9);
+  EXPECT_EQ(result[1].id, 8);
+  EXPECT_EQ(result[2].id, 7);
+}
+
+TEST(TopKTest, FewerThanKCandidates) {
+  TopK top(5);
+  top.Push(1, 0.5f);
+  top.Push(2, 0.1f);
+  const auto result = top.Take();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 2);
+}
+
+TEST(TopKTest, TieBrokenByLowerId) {
+  TopK top(2);
+  top.Push(5, 1.0f);
+  top.Push(3, 1.0f);
+  top.Push(8, 1.0f);
+  const auto result = top.Take();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 3);
+  EXPECT_EQ(result[1].id, 5);
+}
+
+TEST(TopKTest, WorstDistanceTracksHeap) {
+  TopK top(2);
+  EXPECT_TRUE(std::isinf(top.WorstDistance()));
+  top.Push(1, 5.f);
+  EXPECT_TRUE(std::isinf(top.WorstDistance()));
+  top.Push(2, 3.f);
+  EXPECT_FLOAT_EQ(top.WorstDistance(), 5.f);
+  top.Push(3, 1.f);  // evicts 5
+  EXPECT_FLOAT_EQ(top.WorstDistance(), 3.f);
+}
+
+TEST(TopKTest, RejectsZeroK) {
+  EXPECT_THROW(TopK(0), std::invalid_argument);
+}
+
+TEST(TopKTest, SortedDoesNotClear) {
+  TopK top(2);
+  top.Push(1, 2.f);
+  top.Push(2, 1.f);
+  const auto sorted = top.Sorted();
+  EXPECT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(TopKTest, MatchesFullSortOnRandomData) {
+  Rng rng(9);
+  std::vector<Neighbor> all;
+  TopK top(10);
+  for (VectorId id = 0; id < 500; ++id) {
+    const float d = rng.NextFloat();
+    all.push_back({id, d});
+    top.Push(id, d);
+  }
+  std::sort(all.begin(), all.end(), NeighborCloser{});
+  all.resize(10);
+  EXPECT_EQ(top.Take(), all);
+}
+
+TEST(SelectTopKTest, FindsNearestRow) {
+  // Three 2-d points; query at origin.
+  const std::vector<float> base = {5, 5, 1, 1, 3, 3};
+  const std::vector<float> query = {0, 0};
+  const auto result =
+      SelectTopK(Metric::kL2, query, base.data(), 3, 2, 2);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 1);
+  EXPECT_EQ(result[1].id, 2);
+}
+
+TEST(SelectTopKTest, BaseIdOffset) {
+  const std::vector<float> base = {1, 1, 0, 0};
+  const std::vector<float> query = {0, 0};
+  const auto result =
+      SelectTopK(Metric::kL2, query, base.data(), 2, 2, 1, /*base_id=*/100);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 101);
+}
+
+}  // namespace
+}  // namespace proximity

@@ -1,0 +1,133 @@
+// Tests for the reproduction-verdict module: synthetic sweep grids that
+// match or violate the paper's anchors.
+#include <gtest/gtest.h>
+
+#include "rag/verdict.h"
+
+namespace proximity {
+namespace {
+
+SweepCell Cell(std::int64_t c, double tau, double acc, double hit,
+               double lat_ms) {
+  SweepCell cell;
+  cell.capacity = c;
+  cell.tolerance = tau;
+  cell.mean.accuracy = acc;
+  cell.mean.hit_rate = hit;
+  cell.mean.mean_latency_ms = lat_ms;
+  return cell;
+}
+
+/// A grid that matches the paper's MMLU anchors.
+std::vector<SweepCell> GoodMmluGrid() {
+  return {
+      Cell(10, 0, 0.502, 0.00, 0.70),   Cell(10, 2, 0.502, 0.05, 0.67),
+      Cell(10, 5, 0.49, 0.33, 0.45),    Cell(10, 10, 0.475, 0.99, 0.01),
+      Cell(300, 0, 0.502, 0.00, 0.70),  Cell(300, 2, 0.501, 0.62, 0.28),
+      Cell(300, 5, 0.485, 0.90, 0.10),  Cell(300, 10, 0.475, 0.99, 0.01),
+  };
+}
+
+std::vector<SweepCell> GoodMedragGrid() {
+  return {
+      Cell(200, 0, 0.88, 0.00, 1.1),  Cell(200, 5, 0.88, 0.73, 0.3),
+      Cell(200, 10, 0.40, 0.93, 0.04),
+      Cell(300, 0, 0.88, 0.00, 1.1),  Cell(300, 5, 0.88, 0.75, 0.25),
+      Cell(300, 10, 0.38, 0.96, 0.03),
+  };
+}
+
+ClaimStatus StatusOf(const std::vector<ClaimCheck>& claims,
+                     std::string_view id) {
+  for (const auto& claim : claims) {
+    if (claim.id == id) return claim.status;
+  }
+  ADD_FAILURE() << "claim not found: " << id;
+  return ClaimStatus::kDeviation;
+}
+
+TEST(VerdictTest, GoodMmluGridReproducesEverything) {
+  const auto claims = CheckMmluClaims(GoodMmluGrid());
+  for (const auto& claim : claims) {
+    EXPECT_EQ(claim.status, ClaimStatus::kReproduced)
+        << claim.id << ": " << claim.measured;
+  }
+}
+
+TEST(VerdictTest, GoodMedragGridReproducesEverything) {
+  const auto claims = CheckMedragClaims(GoodMedragGrid());
+  for (const auto& claim : claims) {
+    EXPECT_EQ(claim.status, ClaimStatus::kReproduced)
+        << claim.id << ": " << claim.measured;
+  }
+}
+
+TEST(VerdictTest, FlatHitRateFailsCapacityClaim) {
+  auto grid = GoodMmluGrid();
+  for (auto& cell : grid) {
+    if (cell.tolerance == 2.0) cell.mean.hit_rate = 0.10;  // no growth
+  }
+  EXPECT_EQ(StatusOf(CheckMmluClaims(grid), "mmlu-hit-capacity"),
+            ClaimStatus::kDeviation);
+}
+
+TEST(VerdictTest, HitsAtTauZeroAreADeviation) {
+  auto grid = GoodMmluGrid();
+  for (auto& cell : grid) {
+    if (cell.tolerance == 0.0) cell.mean.hit_rate = 0.05;  // impossible
+  }
+  EXPECT_EQ(StatusOf(CheckMmluClaims(grid), "mmlu-hit-tau0"),
+            ClaimStatus::kDeviation);
+}
+
+TEST(VerdictTest, MissingAccuracyCliffDetected) {
+  auto grid = GoodMedragGrid();
+  for (auto& cell : grid) {
+    if (cell.tolerance == 10.0) cell.mean.accuracy = 0.88;  // no cliff
+  }
+  EXPECT_EQ(StatusOf(CheckMedragClaims(grid), "medrag-acc-cliff"),
+            ClaimStatus::kDeviation);
+}
+
+TEST(VerdictTest, NoLatencyWinIsADeviation) {
+  auto grid = GoodMmluGrid();
+  for (auto& cell : grid) cell.mean.mean_latency_ms = 1.0;  // flat latency
+  EXPECT_EQ(StatusOf(CheckMmluClaims(grid), "mmlu-latency-reduction"),
+            ClaimStatus::kDeviation);
+}
+
+TEST(VerdictTest, AccuracyCollapseExcludedFromReductionClaim) {
+  // The only fast cell loses 10pp accuracy: the guard must ignore it.
+  std::vector<SweepCell> grid = {
+      Cell(10, 0, 0.50, 0.0, 1.0),
+      Cell(10, 10, 0.40, 0.99, 0.01),
+  };
+  EXPECT_EQ(StatusOf(CheckMmluClaims(grid), "mmlu-latency-reduction"),
+            ClaimStatus::kDeviation);
+}
+
+TEST(VerdictTest, EmptyGridReportsMissing) {
+  const auto claims = CheckMmluClaims({});
+  ASSERT_EQ(claims.size(), 1u);
+  EXPECT_EQ(claims[0].status, ClaimStatus::kDeviation);
+}
+
+TEST(VerdictTest, PartialBandClassification) {
+  auto grid = GoodMedragGrid();
+  for (auto& cell : grid) {
+    if (cell.tolerance == 10.0) cell.mean.accuracy = 0.48;  // shallow cliff
+  }
+  EXPECT_EQ(StatusOf(CheckMedragClaims(grid), "medrag-acc-cliff"),
+            ClaimStatus::kPartial);
+}
+
+TEST(VerdictTest, RenderContainsStatusAndValues) {
+  const auto claims = CheckMmluClaims(GoodMmluGrid());
+  const std::string text = RenderClaims(claims);
+  EXPECT_NE(text.find("[REPRODUCED]"), std::string::npos);
+  EXPECT_NE(text.find("paper: ~50.2%"), std::string::npos);
+  EXPECT_NE(text.find("measured:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace proximity

@@ -1,0 +1,334 @@
+// Unit tests for src/workload: pseudo-word synthesis, corpus generation,
+// benchmark specs, and query-stream construction.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/benchmark_spec.h"
+#include "workload/corpus.h"
+#include "workload/query_stream.h"
+#include "workload/synth_text.h"
+#include "workload/trace.h"
+
+#include <sstream>
+
+namespace proximity {
+namespace {
+
+WorkloadSpec TinySpec() {
+  WorkloadSpec spec;
+  spec.num_questions = 10;
+  spec.num_clusters = 3;
+  spec.golds_per_question = 2;
+  spec.corpus_size = 100;
+  spec.seed = 42;
+  return spec;
+}
+
+// ------------------------------------------------------------ SynthText --
+
+TEST(SynthTextTest, SyllableWordsAreAlphabetic) {
+  for (std::uint64_t n : {0ull, 1ull, 99ull, 100ull, 12345ull}) {
+    const std::string w = SyllableWord(n);
+    EXPECT_GE(w.size(), 4u);  // at least 2 syllables
+    for (char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+    }
+  }
+}
+
+TEST(SynthTextTest, SyllableWordsInjective) {
+  std::set<std::string> seen;
+  for (std::uint64_t n = 0; n < 5000; ++n) {
+    EXPECT_TRUE(seen.insert(SyllableWord(n)).second) << n;
+  }
+}
+
+TEST(SynthTextTest, CategoriesNeverCollide) {
+  std::set<std::string> all;
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_TRUE(all.insert(GlobalWord(i)).second);
+    EXPECT_TRUE(all.insert(SubjectWord(1, i)).second);
+    EXPECT_TRUE(all.insert(ClusterWord(1, 2, i)).second);
+    EXPECT_TRUE(all.insert(EntityWord(1, 7, i % 16)).second || i >= 16);
+  }
+}
+
+TEST(SynthTextTest, EntityWordsUniquePerQuestion) {
+  std::set<std::string> seen;
+  for (std::size_t q = 0; q < 200; ++q) {
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_TRUE(seen.insert(EntityWord(1, q, i)).second)
+          << "q=" << q << " i=" << i;
+    }
+  }
+}
+
+// --------------------------------------------------------------- Corpus --
+
+TEST(CorpusTest, SizesMatchSpec) {
+  const Workload w = BuildWorkload(TinySpec());
+  EXPECT_EQ(w.questions.size(), 10u);
+  EXPECT_EQ(w.passages.size(), 100u);
+  EXPECT_EQ(w.passage_cluster.size(), 100u);
+  EXPECT_EQ(w.gold_for.size(), 100u);
+}
+
+TEST(CorpusTest, GoldMappingIsConsistent) {
+  const Workload w = BuildWorkload(TinySpec());
+  for (std::size_t q = 0; q < w.questions.size(); ++q) {
+    EXPECT_EQ(w.questions[q].gold_ids.size(), 2u);
+    for (VectorId id : w.questions[q].gold_ids) {
+      ASSERT_GE(id, 0);
+      ASSERT_LT(static_cast<std::size_t>(id), w.passages.size());
+      EXPECT_EQ(w.gold_for[static_cast<std::size_t>(id)],
+                static_cast<std::int32_t>(q));
+      EXPECT_EQ(w.passage_cluster[static_cast<std::size_t>(id)],
+                static_cast<std::int32_t>(w.questions[q].cluster));
+    }
+  }
+}
+
+TEST(CorpusTest, GoldCountMatchesTotal) {
+  const Workload w = BuildWorkload(TinySpec());
+  std::size_t golds = 0;
+  for (auto owner : w.gold_for) {
+    if (owner >= 0) ++golds;
+  }
+  EXPECT_EQ(golds, 10u * 2u);
+}
+
+TEST(CorpusTest, QuestionsSpreadOverClusters) {
+  const Workload w = BuildWorkload(TinySpec());
+  std::set<std::size_t> clusters;
+  for (const auto& q : w.questions) clusters.insert(q.cluster);
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(CorpusTest, GoldPassagesContainEntityWords) {
+  const WorkloadSpec spec = TinySpec();
+  const Workload w = BuildWorkload(spec);
+  for (std::size_t q = 0; q < w.questions.size(); ++q) {
+    const std::string entity = EntityWord(spec.domain, q, 0);
+    for (VectorId id : w.questions[q].gold_ids) {
+      EXPECT_NE(w.passages[static_cast<std::size_t>(id)].find(entity),
+                std::string::npos)
+          << "gold passage missing entity of question " << q;
+    }
+    EXPECT_NE(w.questions[q].text.find(entity), std::string::npos);
+  }
+}
+
+TEST(CorpusTest, DeterministicForSeed) {
+  const Workload a = BuildWorkload(TinySpec());
+  const Workload b = BuildWorkload(TinySpec());
+  EXPECT_EQ(a.passages, b.passages);
+  for (std::size_t q = 0; q < a.questions.size(); ++q) {
+    EXPECT_EQ(a.questions[q].text, b.questions[q].text);
+  }
+}
+
+TEST(CorpusTest, DifferentSeedsChangePassages) {
+  WorkloadSpec other = TinySpec();
+  other.seed = 43;
+  const Workload a = BuildWorkload(TinySpec());
+  const Workload b = BuildWorkload(other);
+  EXPECT_NE(a.passages, b.passages);
+}
+
+TEST(CorpusTest, SameClusterQuestionsShareClusterWords) {
+  const WorkloadSpec spec = TinySpec();
+  const Workload w = BuildWorkload(spec);
+  // Questions 0 and 3 share cluster 0 (round-robin assignment).
+  EXPECT_EQ(w.questions[0].cluster, w.questions[3].cluster);
+  const std::string cluster_word = ClusterWord(spec.domain, 0, 0);
+  EXPECT_NE(w.questions[0].text.find(cluster_word), std::string::npos);
+  EXPECT_NE(w.questions[3].text.find(cluster_word), std::string::npos);
+}
+
+TEST(CorpusTest, ValidatesSpec) {
+  WorkloadSpec bad = TinySpec();
+  bad.corpus_size = 5;  // smaller than 10*2 golds
+  EXPECT_THROW(BuildWorkload(bad), std::invalid_argument);
+  WorkloadSpec zero = TinySpec();
+  zero.num_questions = 0;
+  EXPECT_THROW(BuildWorkload(zero), std::invalid_argument);
+  WorkloadSpec noclusters = TinySpec();
+  noclusters.num_clusters = 0;
+  EXPECT_THROW(BuildWorkload(noclusters), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Specs --
+
+TEST(BenchmarkSpecTest, MmluMatchesPaperSetup) {
+  const WorkloadSpec spec = MmluLikeSpec(30000, 42);
+  EXPECT_EQ(spec.num_questions, 131u);  // econometrics subset (§4.2)
+  EXPECT_EQ(spec.corpus_size, 30000u);
+  EXPECT_EQ(spec.name, "mmlu_econometrics");
+}
+
+TEST(BenchmarkSpecTest, MedragMatchesPaperSetup) {
+  const WorkloadSpec spec = MedragLikeSpec(20000, 42);
+  EXPECT_EQ(spec.num_questions, 200u);  // PubMedQA subset (§4.2)
+  EXPECT_EQ(spec.name, "medrag_pubmedqa");
+  // MedRAG questions are entity-heavier than MMLU's (diverse questions).
+  EXPECT_GT(spec.question_entity_tokens,
+            MmluLikeSpec(1000, 42).question_entity_tokens);
+}
+
+// --------------------------------------------------------- QueryStream --
+
+TEST(QueryStreamTest, ShuffledCoversEveryVariantOnce) {
+  const Workload w = BuildWorkload(TinySpec());
+  QueryStreamOptions opts;
+  opts.variants_per_question = 4;
+  opts.seed = 1;
+  const auto stream = BuildQueryStream(w, opts);
+  EXPECT_EQ(stream.size(), 40u);  // 10 questions x 4 variants
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (const auto& e : stream) {
+    EXPECT_TRUE(seen.insert({e.question, e.variant}).second);
+  }
+}
+
+TEST(QueryStreamTest, ShuffleChangesOrderAcrossSeeds) {
+  const Workload w = BuildWorkload(TinySpec());
+  QueryStreamOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  const auto sa = BuildQueryStream(w, a);
+  const auto sb = BuildQueryStream(w, b);
+  bool differs = false;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].question != sb[i].question || sa[i].variant != sb[i].variant) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(QueryStreamTest, GroupedKeepsVariantsTogether) {
+  const Workload w = BuildWorkload(TinySpec());
+  QueryStreamOptions opts;
+  opts.order = StreamOrder::kGrouped;
+  const auto stream = BuildQueryStream(w, opts);
+  for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+    if (stream[i].question == stream[i + 1].question) {
+      EXPECT_EQ(stream[i].variant + 1, stream[i + 1].variant);
+    }
+  }
+}
+
+TEST(QueryStreamTest, VariantZeroIsQuestionText) {
+  const Workload w = BuildWorkload(TinySpec());
+  QueryStreamOptions opts;
+  opts.order = StreamOrder::kGrouped;
+  const auto stream = BuildQueryStream(w, opts);
+  for (const auto& e : stream) {
+    if (e.variant == 0) {
+      EXPECT_EQ(e.text, w.questions[e.question].text);
+    } else {
+      EXPECT_NE(e.text, w.questions[e.question].text);
+      EXPECT_NE(e.text.find(w.questions[e.question].text),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(QueryStreamTest, ZipfStreamHasRequestedLength) {
+  const Workload w = BuildWorkload(TinySpec());
+  QueryStreamOptions opts;
+  opts.order = StreamOrder::kZipf;
+  opts.zipf_length = 333;
+  const auto stream = BuildQueryStream(w, opts);
+  EXPECT_EQ(stream.size(), 333u);
+}
+
+TEST(QueryStreamTest, ZipfSkewsPopularity) {
+  const Workload w = BuildWorkload(TinySpec());
+  QueryStreamOptions opts;
+  opts.order = StreamOrder::kZipf;
+  opts.zipf_length = 5000;
+  opts.zipf_exponent = 1.2;
+  const auto stream = BuildQueryStream(w, opts);
+  std::map<std::size_t, std::size_t> counts;
+  for (const auto& e : stream) ++counts[e.question];
+  std::vector<std::size_t> sorted;
+  for (const auto& [_, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  // The most popular question dominates the least popular by a wide
+  // margin under a 1.2-exponent Zipf.
+  EXPECT_GT(sorted.front(), sorted.back() * 3);
+}
+
+// ---------------------------------------------------------------- Trace --
+
+TEST(TraceTest, RoundTripPreservesStream) {
+  const Workload w = BuildWorkload(TinySpec());
+  QueryStreamOptions opts;
+  opts.seed = 3;
+  const auto stream = BuildQueryStream(w, opts);
+
+  std::stringstream ss;
+  WriteTrace(ss, stream);
+  const auto replayed = ReadTrace(ss, w.questions.size());
+  ASSERT_EQ(replayed.size(), stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(replayed[i].question, stream[i].question);
+    EXPECT_EQ(replayed[i].variant, stream[i].variant);
+    EXPECT_EQ(replayed[i].text, stream[i].text);
+  }
+}
+
+TEST(TraceTest, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# header\n\n0\t1\tsome question text\n# tail\n");
+  const auto stream = ReadTrace(ss);
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream[0].question, 0u);
+  EXPECT_EQ(stream[0].variant, 1u);
+  EXPECT_EQ(stream[0].text, "some question text");
+}
+
+TEST(TraceTest, RejectsMalformedLines) {
+  std::stringstream missing_tab("0 1 text without tabs\n");
+  EXPECT_THROW(ReadTrace(missing_tab), std::runtime_error);
+  std::stringstream bad_id("x\t1\ttext\n");
+  EXPECT_THROW(ReadTrace(bad_id), std::runtime_error);
+}
+
+TEST(TraceTest, ValidatesQuestionRange) {
+  std::stringstream ss("99\t0\ttext\n");
+  EXPECT_THROW(ReadTrace(ss, /*max_question=*/10), std::runtime_error);
+  std::stringstream ok("9\t0\ttext\n");
+  EXPECT_EQ(ReadTrace(ok, 10).size(), 1u);
+}
+
+TEST(TraceTest, RejectsTabsInQueryText) {
+  std::vector<StreamEntry> stream(1);
+  stream[0].text = "has\ttab";
+  std::stringstream ss;
+  EXPECT_THROW(WriteTrace(ss, stream), std::invalid_argument);
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  const Workload w = BuildWorkload(TinySpec());
+  QueryStreamOptions opts;
+  const auto stream = BuildQueryStream(w, opts);
+  const std::string path = ::testing::TempDir() + "/proximity_trace.tsv";
+  SaveTraceToFile(stream, path);
+  const auto replayed = LoadTraceFromFile(path, w.questions.size());
+  EXPECT_EQ(replayed.size(), stream.size());
+  EXPECT_THROW(LoadTraceFromFile("/no/such/file.tsv"), std::runtime_error);
+}
+
+TEST(QueryStreamTest, RejectsZeroVariants) {
+  const Workload w = BuildWorkload(TinySpec());
+  QueryStreamOptions opts;
+  opts.variants_per_question = 0;
+  EXPECT_THROW(BuildQueryStream(w, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace proximity

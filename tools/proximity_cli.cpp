@@ -1,0 +1,265 @@
+// proximity_cli — command-line front end for the library.
+//
+// Subcommands:
+//   sweep      grid sweep (capacity x tolerance) over a workload; the
+//              generalized form of the Figure-3 benches
+//   run        one pipeline configuration
+//   adaptive   one run under the adaptive-tau controller
+//   trace-gen  write a query trace (TSV) for a workload to a file
+//   replay     run one configuration over a previously saved trace
+//   info       effective defaults and build information
+//
+// All parameters are key=value pairs; `proximity_cli <cmd> help=true`
+// lists the knobs of a subcommand.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/config.h"
+#include "common/log.h"
+#include "embed/hash_embedder.h"
+#include "index/index_factory.h"
+#include "llm/answer_model.h"
+#include "rag/experiment.h"
+#include "rag/pipeline.h"
+#include "workload/benchmark_spec.h"
+#include "workload/trace.h"
+
+namespace proximity {
+namespace {
+
+WorkloadSpec SpecFor(const std::string& name, std::size_t corpus,
+                     std::uint64_t seed) {
+  if (name == "mmlu") return MmluLikeSpec(corpus, seed);
+  if (name == "medrag") return MedragLikeSpec(corpus, seed);
+  throw std::invalid_argument("unknown workload '" + name +
+                              "' (use mmlu or medrag)");
+}
+
+AnswerModelParams AnswerParamsFor(const std::string& name) {
+  return name == "medrag" ? MedragAnswerParams() : MmluAnswerParams();
+}
+
+SweepConfig ConfigFrom(const Config& cfg) {
+  const std::string workload = cfg.GetString("workload", "mmlu");
+  SweepConfig sc;
+  sc.workload_spec = SpecFor(
+      workload, static_cast<std::size_t>(cfg.GetInt("corpus", 10000)),
+      static_cast<std::uint64_t>(cfg.GetInt("workload_seed", 42)));
+  sc.answer_params = AnswerParamsFor(workload);
+  sc.index_spec.kind =
+      cfg.GetString("index", workload == "medrag" ? "flat" : "hnsw");
+  sc.index_spec.hnsw_ef_construction =
+      static_cast<std::size_t>(cfg.GetInt("ef_construction", 100));
+  sc.index_spec.hnsw_ef_search =
+      static_cast<std::size_t>(cfg.GetInt("ef_search", 64));
+  sc.index_spec.ivf_nprobe =
+      static_cast<std::size_t>(cfg.GetInt("nprobe", 8));
+  sc.capacities = cfg.GetIntList("capacities", {10, 50, 100, 200, 300});
+  sc.tolerances =
+      cfg.GetDoubleList("tolerances", workload == "medrag"
+                                          ? std::vector<double>{0, 2, 5, 10}
+                                          : std::vector<double>{0, 0.5, 1, 2,
+                                                                5, 10});
+  sc.num_seeds = static_cast<std::size_t>(cfg.GetInt("seeds", 3));
+  sc.top_k = static_cast<std::size_t>(cfg.GetInt("top_k", 10));
+  sc.variants_per_question =
+      static_cast<std::size_t>(cfg.GetInt("variants", 4));
+  sc.eviction = EvictionFromName(cfg.GetString("eviction", "fifo"));
+  if (cfg.GetInt("storage_delay_us", 0) > 0) {
+    sc.storage = StorageModel{
+        .fixed_ns = cfg.GetInt("storage_delay_us", 0) * 1000,
+        .per_result_ns = 0};
+  }
+  return sc;
+}
+
+int CmdSweep(const Config& cfg) {
+  if (cfg.GetBool("help", false)) {
+    std::puts(
+        "sweep knobs: workload=mmlu|medrag corpus=N seeds=N\n"
+        "  capacities=10,50,... tolerances=0,0.5,... index=flat|hnsw|...\n"
+        "  eviction=fifo|lru|lfu|random top_k=N variants=N\n"
+        "  storage_delay_us=N (slow-storage model) quiet=true");
+    return 0;
+  }
+  SweepRunner runner(ConfigFrom(cfg));
+  const auto cells = runner.Run();
+  SweepRunner::ToCsv(cells).Write(std::cout);
+  std::printf("\n");
+  SweepRunner::LatencyReductionSummary(cells).Write(std::cout);
+  return 0;
+}
+
+int CmdRun(const Config& cfg) {
+  if (cfg.GetBool("help", false)) {
+    std::puts(
+        "run knobs: workload, corpus, capacity=N tau=X seed=N plus the\n"
+        "  sweep knobs that configure index/workload");
+    return 0;
+  }
+  SweepConfig sc = ConfigFrom(cfg);
+  sc.capacities = {cfg.GetInt("capacity", 100)};
+  sc.tolerances = {cfg.GetDouble("tau", 2.0)};
+  sc.num_seeds = 1;
+  SweepRunner runner(sc);
+  const RunMetrics m = runner.RunOne(
+      sc.capacities[0], sc.tolerances[0],
+      static_cast<std::uint64_t>(cfg.GetInt("seed", 1)) == 0
+          ? 1
+          : static_cast<std::uint64_t>(cfg.GetInt("seed", 1)));
+  std::printf("queries=%zu accuracy=%.4f hit_rate=%.4f "
+              "mean_latency_ms=%.4f p50=%.4f p99=%.4f relevance=%.3f "
+              "misleading=%.3f\n",
+              m.queries, m.accuracy, m.hit_rate, m.mean_latency_ms,
+              m.p50_latency_ms, m.p99_latency_ms, m.mean_relevance,
+              m.mean_misleading);
+  return 0;
+}
+
+int CmdAdaptive(const Config& cfg) {
+  if (cfg.GetBool("help", false)) {
+    std::puts(
+        "adaptive knobs: target=0.6 window=N period=N step=X capacity=N\n"
+        "  plus the sweep knobs");
+    return 0;
+  }
+  SweepConfig sc = ConfigFrom(cfg);
+  sc.num_seeds = 1;
+  SweepRunner runner(sc);
+  AdaptiveTauOptions opts;
+  opts.target_hit_rate = cfg.GetDouble("target", 0.6);
+  opts.window = static_cast<std::size_t>(cfg.GetInt("window", 64));
+  opts.period = static_cast<std::size_t>(cfg.GetInt("period", 8));
+  opts.step = cfg.GetDouble("step", 1.25);
+  opts.initial_tau = cfg.GetDouble("initial_tau", 0.5);
+  opts.max_tau = cfg.GetDouble("max_tau", 20.0);
+  const auto result =
+      runner.RunAdaptive(cfg.GetInt("capacity", 200), opts, 1);
+  std::printf("accuracy=%.4f hit_rate=%.4f mean_latency_ms=%.4f "
+              "final_tau=%.3f mean_tau=%.3f adjustments=%llu\n",
+              result.metrics.accuracy, result.metrics.hit_rate,
+              result.metrics.mean_latency_ms, result.final_tau,
+              result.mean_tau,
+              static_cast<unsigned long long>(result.adjustments));
+  return 0;
+}
+
+int CmdTraceGen(const Config& cfg) {
+  if (cfg.GetBool("help", false)) {
+    std::puts(
+        "trace-gen knobs: workload=mmlu|medrag corpus=N out=PATH\n"
+        "  order=shuffled|grouped|zipf variants=N stream_seed=N\n"
+        "  zipf_length=N zipf_exponent=X");
+    return 0;
+  }
+  const std::string out = cfg.GetString("out", "");
+  if (out.empty()) {
+    std::fputs("trace-gen: out=PATH is required\n", stderr);
+    return 2;
+  }
+  const Workload workload = BuildWorkload(SpecFor(
+      cfg.GetString("workload", "mmlu"),
+      static_cast<std::size_t>(cfg.GetInt("corpus", 10000)),
+      static_cast<std::uint64_t>(cfg.GetInt("workload_seed", 42))));
+  QueryStreamOptions sopts;
+  const std::string order = cfg.GetString("order", "shuffled");
+  sopts.order = order == "grouped"  ? StreamOrder::kGrouped
+                : order == "zipf"   ? StreamOrder::kZipf
+                                    : StreamOrder::kShuffled;
+  sopts.variants_per_question =
+      static_cast<std::size_t>(cfg.GetInt("variants", 4));
+  sopts.zipf_length =
+      static_cast<std::size_t>(cfg.GetInt("zipf_length", 2000));
+  sopts.zipf_exponent = cfg.GetDouble("zipf_exponent", 1.0);
+  sopts.seed = static_cast<std::uint64_t>(cfg.GetInt("stream_seed", 1));
+  const auto stream = BuildQueryStream(workload, sopts);
+  SaveTraceToFile(stream, out);
+  std::printf("wrote %zu queries -> %s\n", stream.size(), out.c_str());
+  return 0;
+}
+
+int CmdReplay(const Config& cfg) {
+  if (cfg.GetBool("help", false)) {
+    std::puts(
+        "replay knobs: trace=PATH plus the run knobs (workload, corpus,\n"
+        "  capacity, tau, index, ...). The workload parameters must match\n"
+        "  the ones the trace was generated with.");
+    return 0;
+  }
+  const std::string path = cfg.GetString("trace", "");
+  if (path.empty()) {
+    std::fputs("replay: trace=PATH is required\n", stderr);
+    return 2;
+  }
+  const std::string workload_name = cfg.GetString("workload", "mmlu");
+  const Workload workload = BuildWorkload(SpecFor(
+      workload_name, static_cast<std::size_t>(cfg.GetInt("corpus", 10000)),
+      static_cast<std::uint64_t>(cfg.GetInt("workload_seed", 42))));
+  const auto stream = LoadTraceFromFile(path, workload.questions.size());
+
+  HashEmbedder embedder;
+  IndexSpec ispec;
+  ispec.kind =
+      cfg.GetString("index", workload_name == "medrag" ? "flat" : "hnsw");
+  ispec.hnsw_ef_construction =
+      static_cast<std::size_t>(cfg.GetInt("ef_construction", 100));
+  auto index = BuildIndex(ispec, embedder.EmbedBatch(workload.passages));
+
+  std::vector<std::string> texts;
+  for (const auto& e : stream) texts.push_back(e.text);
+  const Matrix embeddings = embedder.EmbedBatch(texts);
+
+  ProximityCacheOptions copts;
+  copts.capacity = static_cast<std::size_t>(cfg.GetInt("capacity", 100));
+  copts.tolerance = static_cast<float>(cfg.GetDouble("tau", 2.0));
+  copts.metric = index->metric();
+  ProximityCache cache(embedder.dim(), copts);
+  Retriever retriever(index.get(), &cache, nullptr,
+                      {.top_k = static_cast<std::size_t>(
+                           cfg.GetInt("top_k", 10))});
+  RagPipeline pipeline(&workload, &embedder, &retriever,
+                       AnswerModel(AnswerParamsFor(workload_name)),
+                       static_cast<std::uint64_t>(cfg.GetInt("seed", 1)));
+  const RunMetrics m = pipeline.RunStream(stream, embeddings);
+  std::printf("replayed %zu queries: accuracy=%.4f hit_rate=%.4f "
+              "mean_latency_ms=%.4f\n",
+              m.queries, m.accuracy, m.hit_rate, m.mean_latency_ms);
+  return 0;
+}
+
+int CmdInfo() {
+  std::puts("proximity_cli — Proximity approximate RAG cache (C++ repro)");
+  std::puts("workloads: mmlu (131 q, HNSW), medrag (200 q, FLAT)");
+  std::puts("indexes:   flat hnsw vamana ivf_flat ivf_pq");
+  std::puts("eviction:  fifo (paper) lru lfu random clock");
+  std::puts("subcommands: sweep run adaptive trace-gen replay info");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const Config cfg = Config::FromArgs(argc, argv);
+  if (cfg.GetBool("quiet", false)) SetLogLevel(LogLevel::kWarn);
+  const std::string cmd =
+      cfg.positional().empty() ? "info" : cfg.positional().front();
+  if (cmd == "sweep") return CmdSweep(cfg);
+  if (cmd == "run") return CmdRun(cfg);
+  if (cmd == "adaptive") return CmdAdaptive(cfg);
+  if (cmd == "trace-gen") return CmdTraceGen(cfg);
+  if (cmd == "replay") return CmdReplay(cfg);
+  if (cmd == "info" || cmd == "help") return CmdInfo();
+  std::fprintf(stderr, "unknown subcommand '%s' (try: info)\n", cmd.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace proximity
+
+int main(int argc, char** argv) {
+  try {
+    return proximity::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
