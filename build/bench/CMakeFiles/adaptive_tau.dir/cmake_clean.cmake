@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_tau.dir/adaptive_tau.cpp.o"
+  "CMakeFiles/adaptive_tau.dir/adaptive_tau.cpp.o.d"
+  "adaptive_tau"
+  "adaptive_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

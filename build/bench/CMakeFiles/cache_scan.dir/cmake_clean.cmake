@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_scan.dir/cache_scan.cpp.o"
+  "CMakeFiles/cache_scan.dir/cache_scan.cpp.o.d"
+  "cache_scan"
+  "cache_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

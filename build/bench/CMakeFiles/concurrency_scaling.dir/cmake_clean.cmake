@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_scaling.dir/concurrency_scaling.cpp.o"
+  "CMakeFiles/concurrency_scaling.dir/concurrency_scaling.cpp.o.d"
+  "concurrency_scaling"
+  "concurrency_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

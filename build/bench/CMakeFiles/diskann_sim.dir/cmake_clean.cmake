@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diskann_sim.dir/diskann_sim.cpp.o"
+  "CMakeFiles/diskann_sim.dir/diskann_sim.cpp.o.d"
+  "diskann_sim"
+  "diskann_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diskann_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_kernels.dir/distance_kernels.cpp.o"
+  "CMakeFiles/distance_kernels.dir/distance_kernels.cpp.o.d"
+  "distance_kernels"
+  "distance_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

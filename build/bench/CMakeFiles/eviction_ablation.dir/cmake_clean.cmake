@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eviction_ablation.dir/eviction_ablation.cpp.o"
+  "CMakeFiles/eviction_ablation.dir/eviction_ablation.cpp.o.d"
+  "eviction_ablation"
+  "eviction_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eviction_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

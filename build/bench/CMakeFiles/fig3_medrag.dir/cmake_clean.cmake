@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_medrag.dir/fig3_medrag.cpp.o"
+  "CMakeFiles/fig3_medrag.dir/fig3_medrag.cpp.o.d"
+  "fig3_medrag"
+  "fig3_medrag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_medrag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mmlu.dir/fig3_mmlu.cpp.o"
+  "CMakeFiles/fig3_mmlu.dir/fig3_mmlu.cpp.o.d"
+  "fig3_mmlu"
+  "fig3_mmlu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mmlu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

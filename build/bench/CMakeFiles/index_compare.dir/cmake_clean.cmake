@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_compare.dir/index_compare.cpp.o"
+  "CMakeFiles/index_compare.dir/index_compare.cpp.o.d"
+  "index_compare"
+  "index_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_sweep.dir/locality_sweep.cpp.o"
+  "CMakeFiles/locality_sweep.dir/locality_sweep.cpp.o.d"
+  "locality_sweep"
+  "locality_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

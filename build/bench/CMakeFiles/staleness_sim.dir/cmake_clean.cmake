@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleness_sim.dir/staleness_sim.cpp.o"
+  "CMakeFiles/staleness_sim.dir/staleness_sim.cpp.o.d"
+  "staleness_sim"
+  "staleness_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleness_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warmup_effect.dir/warmup_effect.cpp.o"
+  "CMakeFiles/warmup_effect.dir/warmup_effect.cpp.o.d"
+  "warmup_effect"
+  "warmup_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warmup_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_service.dir/concurrent_service.cpp.o"
+  "CMakeFiles/concurrent_service.dir/concurrent_service.cpp.o.d"
+  "concurrent_service"
+  "concurrent_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filtered_rag.dir/filtered_rag.cpp.o"
+  "CMakeFiles/filtered_rag.dir/filtered_rag.cpp.o.d"
+  "filtered_rag"
+  "filtered_rag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filtered_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

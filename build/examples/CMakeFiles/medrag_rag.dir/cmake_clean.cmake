@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medrag_rag.dir/medrag_rag.cpp.o"
+  "CMakeFiles/medrag_rag.dir/medrag_rag.cpp.o.d"
+  "medrag_rag"
+  "medrag_rag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medrag_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlu_rag.dir/mmlu_rag.cpp.o"
+  "CMakeFiles/mmlu_rag.dir/mmlu_rag.cpp.o.d"
+  "mmlu_rag"
+  "mmlu_rag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlu_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/adaptive_tau.cpp" "src/cache/CMakeFiles/proximity_cache.dir/adaptive_tau.cpp.o" "gcc" "src/cache/CMakeFiles/proximity_cache.dir/adaptive_tau.cpp.o.d"
+  "/root/repo/src/cache/concurrent_cache.cpp" "src/cache/CMakeFiles/proximity_cache.dir/concurrent_cache.cpp.o" "gcc" "src/cache/CMakeFiles/proximity_cache.dir/concurrent_cache.cpp.o.d"
+  "/root/repo/src/cache/eviction_policy.cpp" "src/cache/CMakeFiles/proximity_cache.dir/eviction_policy.cpp.o" "gcc" "src/cache/CMakeFiles/proximity_cache.dir/eviction_policy.cpp.o.d"
+  "/root/repo/src/cache/exact_cache.cpp" "src/cache/CMakeFiles/proximity_cache.dir/exact_cache.cpp.o" "gcc" "src/cache/CMakeFiles/proximity_cache.dir/exact_cache.cpp.o.d"
+  "/root/repo/src/cache/filtered_router.cpp" "src/cache/CMakeFiles/proximity_cache.dir/filtered_router.cpp.o" "gcc" "src/cache/CMakeFiles/proximity_cache.dir/filtered_router.cpp.o.d"
+  "/root/repo/src/cache/proximity_cache.cpp" "src/cache/CMakeFiles/proximity_cache.dir/proximity_cache.cpp.o" "gcc" "src/cache/CMakeFiles/proximity_cache.dir/proximity_cache.cpp.o.d"
+  "/root/repo/src/cache/tiered_cache.cpp" "src/cache/CMakeFiles/proximity_cache.dir/tiered_cache.cpp.o" "gcc" "src/cache/CMakeFiles/proximity_cache.dir/tiered_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vecmath/CMakeFiles/proximity_vecmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proximity_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_cache.dir/adaptive_tau.cpp.o"
+  "CMakeFiles/proximity_cache.dir/adaptive_tau.cpp.o.d"
+  "CMakeFiles/proximity_cache.dir/concurrent_cache.cpp.o"
+  "CMakeFiles/proximity_cache.dir/concurrent_cache.cpp.o.d"
+  "CMakeFiles/proximity_cache.dir/eviction_policy.cpp.o"
+  "CMakeFiles/proximity_cache.dir/eviction_policy.cpp.o.d"
+  "CMakeFiles/proximity_cache.dir/exact_cache.cpp.o"
+  "CMakeFiles/proximity_cache.dir/exact_cache.cpp.o.d"
+  "CMakeFiles/proximity_cache.dir/filtered_router.cpp.o"
+  "CMakeFiles/proximity_cache.dir/filtered_router.cpp.o.d"
+  "CMakeFiles/proximity_cache.dir/proximity_cache.cpp.o"
+  "CMakeFiles/proximity_cache.dir/proximity_cache.cpp.o.d"
+  "CMakeFiles/proximity_cache.dir/tiered_cache.cpp.o"
+  "CMakeFiles/proximity_cache.dir/tiered_cache.cpp.o.d"
+  "libproximity_cache.a"
+  "libproximity_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

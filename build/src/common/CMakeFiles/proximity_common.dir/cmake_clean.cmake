@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/proximity_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/proximity_common.dir/config.cpp.o"
+  "CMakeFiles/proximity_common.dir/config.cpp.o.d"
+  "CMakeFiles/proximity_common.dir/csv.cpp.o"
+  "CMakeFiles/proximity_common.dir/csv.cpp.o.d"
+  "CMakeFiles/proximity_common.dir/log.cpp.o"
+  "CMakeFiles/proximity_common.dir/log.cpp.o.d"
+  "CMakeFiles/proximity_common.dir/rng.cpp.o"
+  "CMakeFiles/proximity_common.dir/rng.cpp.o.d"
+  "CMakeFiles/proximity_common.dir/serde.cpp.o"
+  "CMakeFiles/proximity_common.dir/serde.cpp.o.d"
+  "CMakeFiles/proximity_common.dir/stats.cpp.o"
+  "CMakeFiles/proximity_common.dir/stats.cpp.o.d"
+  "CMakeFiles/proximity_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/proximity_common.dir/thread_pool.cpp.o.d"
+  "libproximity_common.a"
+  "libproximity_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

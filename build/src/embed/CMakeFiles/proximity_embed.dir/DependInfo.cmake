@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/hash_embedder.cpp" "src/embed/CMakeFiles/proximity_embed.dir/hash_embedder.cpp.o" "gcc" "src/embed/CMakeFiles/proximity_embed.dir/hash_embedder.cpp.o.d"
+  "/root/repo/src/embed/perturb.cpp" "src/embed/CMakeFiles/proximity_embed.dir/perturb.cpp.o" "gcc" "src/embed/CMakeFiles/proximity_embed.dir/perturb.cpp.o.d"
+  "/root/repo/src/embed/tokenizer.cpp" "src/embed/CMakeFiles/proximity_embed.dir/tokenizer.cpp.o" "gcc" "src/embed/CMakeFiles/proximity_embed.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vecmath/CMakeFiles/proximity_vecmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proximity_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_embed.dir/hash_embedder.cpp.o"
+  "CMakeFiles/proximity_embed.dir/hash_embedder.cpp.o.d"
+  "CMakeFiles/proximity_embed.dir/perturb.cpp.o"
+  "CMakeFiles/proximity_embed.dir/perturb.cpp.o.d"
+  "CMakeFiles/proximity_embed.dir/tokenizer.cpp.o"
+  "CMakeFiles/proximity_embed.dir/tokenizer.cpp.o.d"
+  "libproximity_embed.a"
+  "libproximity_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

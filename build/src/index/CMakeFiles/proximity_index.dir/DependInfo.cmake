@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/flat_index.cpp" "src/index/CMakeFiles/proximity_index.dir/flat_index.cpp.o" "gcc" "src/index/CMakeFiles/proximity_index.dir/flat_index.cpp.o.d"
+  "/root/repo/src/index/hnsw_index.cpp" "src/index/CMakeFiles/proximity_index.dir/hnsw_index.cpp.o" "gcc" "src/index/CMakeFiles/proximity_index.dir/hnsw_index.cpp.o.d"
+  "/root/repo/src/index/index_factory.cpp" "src/index/CMakeFiles/proximity_index.dir/index_factory.cpp.o" "gcc" "src/index/CMakeFiles/proximity_index.dir/index_factory.cpp.o.d"
+  "/root/repo/src/index/index_io.cpp" "src/index/CMakeFiles/proximity_index.dir/index_io.cpp.o" "gcc" "src/index/CMakeFiles/proximity_index.dir/index_io.cpp.o.d"
+  "/root/repo/src/index/ivf_flat_index.cpp" "src/index/CMakeFiles/proximity_index.dir/ivf_flat_index.cpp.o" "gcc" "src/index/CMakeFiles/proximity_index.dir/ivf_flat_index.cpp.o.d"
+  "/root/repo/src/index/ivfpq_index.cpp" "src/index/CMakeFiles/proximity_index.dir/ivfpq_index.cpp.o" "gcc" "src/index/CMakeFiles/proximity_index.dir/ivfpq_index.cpp.o.d"
+  "/root/repo/src/index/kmeans.cpp" "src/index/CMakeFiles/proximity_index.dir/kmeans.cpp.o" "gcc" "src/index/CMakeFiles/proximity_index.dir/kmeans.cpp.o.d"
+  "/root/repo/src/index/pq.cpp" "src/index/CMakeFiles/proximity_index.dir/pq.cpp.o" "gcc" "src/index/CMakeFiles/proximity_index.dir/pq.cpp.o.d"
+  "/root/repo/src/index/recall.cpp" "src/index/CMakeFiles/proximity_index.dir/recall.cpp.o" "gcc" "src/index/CMakeFiles/proximity_index.dir/recall.cpp.o.d"
+  "/root/repo/src/index/slow_storage_index.cpp" "src/index/CMakeFiles/proximity_index.dir/slow_storage_index.cpp.o" "gcc" "src/index/CMakeFiles/proximity_index.dir/slow_storage_index.cpp.o.d"
+  "/root/repo/src/index/sq8_index.cpp" "src/index/CMakeFiles/proximity_index.dir/sq8_index.cpp.o" "gcc" "src/index/CMakeFiles/proximity_index.dir/sq8_index.cpp.o.d"
+  "/root/repo/src/index/vamana_index.cpp" "src/index/CMakeFiles/proximity_index.dir/vamana_index.cpp.o" "gcc" "src/index/CMakeFiles/proximity_index.dir/vamana_index.cpp.o.d"
+  "/root/repo/src/index/vector_index.cpp" "src/index/CMakeFiles/proximity_index.dir/vector_index.cpp.o" "gcc" "src/index/CMakeFiles/proximity_index.dir/vector_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vecmath/CMakeFiles/proximity_vecmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proximity_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

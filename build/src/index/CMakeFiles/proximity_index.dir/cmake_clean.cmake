@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_index.dir/flat_index.cpp.o"
+  "CMakeFiles/proximity_index.dir/flat_index.cpp.o.d"
+  "CMakeFiles/proximity_index.dir/hnsw_index.cpp.o"
+  "CMakeFiles/proximity_index.dir/hnsw_index.cpp.o.d"
+  "CMakeFiles/proximity_index.dir/index_factory.cpp.o"
+  "CMakeFiles/proximity_index.dir/index_factory.cpp.o.d"
+  "CMakeFiles/proximity_index.dir/index_io.cpp.o"
+  "CMakeFiles/proximity_index.dir/index_io.cpp.o.d"
+  "CMakeFiles/proximity_index.dir/ivf_flat_index.cpp.o"
+  "CMakeFiles/proximity_index.dir/ivf_flat_index.cpp.o.d"
+  "CMakeFiles/proximity_index.dir/ivfpq_index.cpp.o"
+  "CMakeFiles/proximity_index.dir/ivfpq_index.cpp.o.d"
+  "CMakeFiles/proximity_index.dir/kmeans.cpp.o"
+  "CMakeFiles/proximity_index.dir/kmeans.cpp.o.d"
+  "CMakeFiles/proximity_index.dir/pq.cpp.o"
+  "CMakeFiles/proximity_index.dir/pq.cpp.o.d"
+  "CMakeFiles/proximity_index.dir/recall.cpp.o"
+  "CMakeFiles/proximity_index.dir/recall.cpp.o.d"
+  "CMakeFiles/proximity_index.dir/slow_storage_index.cpp.o"
+  "CMakeFiles/proximity_index.dir/slow_storage_index.cpp.o.d"
+  "CMakeFiles/proximity_index.dir/sq8_index.cpp.o"
+  "CMakeFiles/proximity_index.dir/sq8_index.cpp.o.d"
+  "CMakeFiles/proximity_index.dir/vamana_index.cpp.o"
+  "CMakeFiles/proximity_index.dir/vamana_index.cpp.o.d"
+  "CMakeFiles/proximity_index.dir/vector_index.cpp.o"
+  "CMakeFiles/proximity_index.dir/vector_index.cpp.o.d"
+  "libproximity_index.a"
+  "libproximity_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/answer_model.cpp" "src/llm/CMakeFiles/proximity_llm.dir/answer_model.cpp.o" "gcc" "src/llm/CMakeFiles/proximity_llm.dir/answer_model.cpp.o.d"
+  "/root/repo/src/llm/prompt.cpp" "src/llm/CMakeFiles/proximity_llm.dir/prompt.cpp.o" "gcc" "src/llm/CMakeFiles/proximity_llm.dir/prompt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/proximity_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proximity_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/proximity_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecmath/CMakeFiles/proximity_vecmath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

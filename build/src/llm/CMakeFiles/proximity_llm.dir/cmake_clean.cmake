@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_llm.dir/answer_model.cpp.o"
+  "CMakeFiles/proximity_llm.dir/answer_model.cpp.o.d"
+  "CMakeFiles/proximity_llm.dir/prompt.cpp.o"
+  "CMakeFiles/proximity_llm.dir/prompt.cpp.o.d"
+  "libproximity_llm.a"
+  "libproximity_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

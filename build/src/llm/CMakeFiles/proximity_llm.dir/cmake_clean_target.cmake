@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libproximity_llm.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_rag.dir/concurrent_driver.cpp.o"
+  "CMakeFiles/proximity_rag.dir/concurrent_driver.cpp.o.d"
+  "CMakeFiles/proximity_rag.dir/experiment.cpp.o"
+  "CMakeFiles/proximity_rag.dir/experiment.cpp.o.d"
+  "CMakeFiles/proximity_rag.dir/pipeline.cpp.o"
+  "CMakeFiles/proximity_rag.dir/pipeline.cpp.o.d"
+  "CMakeFiles/proximity_rag.dir/retriever.cpp.o"
+  "CMakeFiles/proximity_rag.dir/retriever.cpp.o.d"
+  "CMakeFiles/proximity_rag.dir/verdict.cpp.o"
+  "CMakeFiles/proximity_rag.dir/verdict.cpp.o.d"
+  "CMakeFiles/proximity_rag.dir/warmup.cpp.o"
+  "CMakeFiles/proximity_rag.dir/warmup.cpp.o.d"
+  "libproximity_rag.a"
+  "libproximity_rag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_vecmath.dir/kernels.cpp.o"
+  "CMakeFiles/proximity_vecmath.dir/kernels.cpp.o.d"
+  "CMakeFiles/proximity_vecmath.dir/ops.cpp.o"
+  "CMakeFiles/proximity_vecmath.dir/ops.cpp.o.d"
+  "CMakeFiles/proximity_vecmath.dir/topk.cpp.o"
+  "CMakeFiles/proximity_vecmath.dir/topk.cpp.o.d"
+  "libproximity_vecmath.a"
+  "libproximity_vecmath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_vecmath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

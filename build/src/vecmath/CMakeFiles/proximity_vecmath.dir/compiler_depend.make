@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for proximity_vecmath.
+# This may be replaced when dependencies are built.

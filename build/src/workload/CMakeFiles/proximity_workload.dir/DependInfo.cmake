@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmark_spec.cpp" "src/workload/CMakeFiles/proximity_workload.dir/benchmark_spec.cpp.o" "gcc" "src/workload/CMakeFiles/proximity_workload.dir/benchmark_spec.cpp.o.d"
+  "/root/repo/src/workload/corpus.cpp" "src/workload/CMakeFiles/proximity_workload.dir/corpus.cpp.o" "gcc" "src/workload/CMakeFiles/proximity_workload.dir/corpus.cpp.o.d"
+  "/root/repo/src/workload/query_stream.cpp" "src/workload/CMakeFiles/proximity_workload.dir/query_stream.cpp.o" "gcc" "src/workload/CMakeFiles/proximity_workload.dir/query_stream.cpp.o.d"
+  "/root/repo/src/workload/synth_text.cpp" "src/workload/CMakeFiles/proximity_workload.dir/synth_text.cpp.o" "gcc" "src/workload/CMakeFiles/proximity_workload.dir/synth_text.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/proximity_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/proximity_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/embed/CMakeFiles/proximity_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecmath/CMakeFiles/proximity_vecmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proximity_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_workload.dir/benchmark_spec.cpp.o"
+  "CMakeFiles/proximity_workload.dir/benchmark_spec.cpp.o.d"
+  "CMakeFiles/proximity_workload.dir/corpus.cpp.o"
+  "CMakeFiles/proximity_workload.dir/corpus.cpp.o.d"
+  "CMakeFiles/proximity_workload.dir/query_stream.cpp.o"
+  "CMakeFiles/proximity_workload.dir/query_stream.cpp.o.d"
+  "CMakeFiles/proximity_workload.dir/synth_text.cpp.o"
+  "CMakeFiles/proximity_workload.dir/synth_text.cpp.o.d"
+  "CMakeFiles/proximity_workload.dir/trace.cpp.o"
+  "CMakeFiles/proximity_workload.dir/trace.cpp.o.d"
+  "libproximity_workload.a"
+  "libproximity_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_sq8_test.dir/filter_sq8_test.cpp.o"
+  "CMakeFiles/filter_sq8_test.dir/filter_sq8_test.cpp.o.d"
+  "filter_sq8_test"
+  "filter_sq8_test.pdb"
+  "filter_sq8_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_sq8_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecmath_test.dir/vecmath_test.cpp.o"
+  "CMakeFiles/vecmath_test.dir/vecmath_test.cpp.o.d"
+  "vecmath_test"
+  "vecmath_test.pdb"
+  "vecmath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecmath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verdict_test.dir/verdict_test.cpp.o"
+  "CMakeFiles/verdict_test.dir/verdict_test.cpp.o.d"
+  "verdict_test"
+  "verdict_test.pdb"
+  "verdict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verdict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/proximity_cli.cpp" "tools/CMakeFiles/proximity_cli.dir/proximity_cli.cpp.o" "gcc" "tools/CMakeFiles/proximity_cli.dir/proximity_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rag/CMakeFiles/proximity_rag.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/proximity_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/proximity_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/proximity_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/proximity_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/proximity_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecmath/CMakeFiles/proximity_vecmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proximity_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

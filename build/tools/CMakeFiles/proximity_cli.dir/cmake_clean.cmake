@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_cli.dir/proximity_cli.cpp.o"
+  "CMakeFiles/proximity_cli.dir/proximity_cli.cpp.o.d"
+  "proximity_cli"
+  "proximity_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
