@@ -2,7 +2,22 @@
 // the flat index scan and the cache key scan are built on (§2.2 premise:
 // NNS cost is dominated by distance evaluations; §4.1: the original uses
 // Rust Portable-SIMD for the same purpose).
+//
+// The binary has two halves:
+//   1. A portable-vs-dispatched comparison sweep (per metric, dims
+//      64/128/768, batch sizes 1/64/4096) that writes machine-readable
+//      results to BENCH_kernels.json (path override: --json=PATH).
+//   2. The google-benchmark suite below, run on whatever remaining CLI
+//      flags google-benchmark understands.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "vecmath/kernels.h"
@@ -50,10 +65,26 @@ void BM_Cosine(benchmark::State& state) {
 }
 BENCHMARK(BM_Cosine)->Arg(64)->Arg(768)->Arg(1536);
 
-// The batched scan used by FlatIndex and the cache (row-major block).
+// The level the dispatcher picked at startup, pinned before any benchmark
+// or sweep toggles the active table.
+SimdLevel DefaultDispatchLevel() {
+  static const SimdLevel level = ActiveSimdLevel();
+  return level;
+}
+
+// The batched scan used by FlatIndex and the cache (row-major block),
+// parameterized by SIMD level: range(0) = rows, range(1) = SimdLevel
+// (-1 = whatever the dispatcher picked at startup).
 void BM_BatchDistance(benchmark::State& state) {
   constexpr std::size_t kDim = 768;
   const auto rows = static_cast<std::size_t>(state.range(0));
+  const SimdLevel level = state.range(1) < 0
+                              ? DefaultDispatchLevel()
+                              : static_cast<SimdLevel>(state.range(1));
+  if (!SetActiveSimdLevel(level)) {
+    state.SkipWithError("SIMD level unsupported on this host");
+    return;
+  }
   Rng rng(7);
   std::vector<float> base(rows * kDim);
   for (auto& x : base) x = static_cast<float>(rng.Gaussian(0, 1));
@@ -65,8 +96,194 @@ void BM_BatchDistance(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(rows));
+  state.SetLabel(std::string(SimdLevelName(level)));
 }
-BENCHMARK(BM_BatchDistance)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_BatchDistance)
+    ->ArgsProduct({{100, 1000, 10000},
+                   {static_cast<std::int64_t>(SimdLevel::kPortable), -1}});
+
+// ---------------------------------------------------------------------------
+// Portable-vs-dispatched sweep + BENCH_kernels.json emission.
+// ---------------------------------------------------------------------------
+
+struct SweepResult {
+  const char* metric;
+  std::size_t dim;
+  std::size_t batch;
+  double portable_ns;
+  double dispatched_ns;
+  double speedup;
+};
+
+double NowNs() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::nano>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+// One timed run of `iters` back-to-back batch scans, in ns per call.
+double TimedRun(Metric metric, const std::vector<float>& query,
+                const std::vector<float>& base, std::size_t batch,
+                std::size_t dim, std::vector<float>& out, std::size_t iters) {
+  const double t0 = NowNs();
+  for (std::size_t i = 0; i < iters; ++i) {
+    BatchDistance(metric, query, base.data(), batch, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  return (NowNs() - t0) / static_cast<double>(iters);
+}
+
+// Iteration count that makes one timed run last >= 25ms, so the steady
+// clock resolves well above its granularity.
+std::size_t CalibrateIters(Metric metric, const std::vector<float>& query,
+                           const std::vector<float>& base, std::size_t batch,
+                           std::size_t dim, std::vector<float>& out) {
+  std::size_t iters = 1;
+  for (;;) {
+    const double per_call = TimedRun(metric, query, base, batch, dim, out,
+                                     iters);
+    if (per_call * static_cast<double>(iters) >= 2.5e7 ||
+        iters >= (1ull << 28)) {
+      return iters;
+    }
+    iters *= 4;
+  }
+}
+
+struct PairedTimes {
+  double portable_ns;
+  double dispatched_ns;
+  double speedup;
+};
+
+// Portable and dispatched runs alternate back-to-back, so scheduler noise
+// on a shared machine hits both sides of each pair roughly equally; the
+// reported speedup is the median of the per-pair ratios.
+PairedTimes MeasurePair(Metric metric, SimdLevel dispatched_level,
+                        const std::vector<float>& query,
+                        const std::vector<float>& base, std::size_t batch,
+                        std::size_t dim, std::vector<float>& out) {
+  SetActiveSimdLevel(SimdLevel::kPortable);
+  const std::size_t p_iters =
+      CalibrateIters(metric, query, base, batch, dim, out);
+  SetActiveSimdLevel(dispatched_level);
+  const std::size_t d_iters =
+      CalibrateIters(metric, query, base, batch, dim, out);
+
+  constexpr int kReps = 11;
+  double p[kReps], d[kReps], ratio[kReps];
+  for (int rep = 0; rep < kReps; ++rep) {
+    SetActiveSimdLevel(SimdLevel::kPortable);
+    p[rep] = TimedRun(metric, query, base, batch, dim, out, p_iters);
+    SetActiveSimdLevel(dispatched_level);
+    d[rep] = TimedRun(metric, query, base, batch, dim, out, d_iters);
+    ratio[rep] = d[rep] > 0.0 ? p[rep] / d[rep] : 0.0;
+  }
+  std::sort(p, p + kReps);
+  std::sort(d, d + kReps);
+  std::sort(ratio, ratio + kReps);
+  return {p[kReps / 2], d[kReps / 2], ratio[kReps / 2]};
+}
+
+std::vector<SweepResult> RunSweep() {
+  struct MetricCase {
+    Metric metric;
+    const char* name;
+  };
+  const MetricCase metrics[] = {{Metric::kL2, "l2"},
+                                {Metric::kInnerProduct, "ip"},
+                                {Metric::kCosine, "cosine"}};
+  const std::size_t dims[] = {64, 128, 768};
+  const std::size_t batches[] = {1, 64, 4096};
+
+  const SimdLevel best = DefaultDispatchLevel();
+  std::vector<SweepResult> results;
+  for (const auto& mc : metrics) {
+    for (const std::size_t dim : dims) {
+      Rng rng(11);
+      const auto query = RandomVec(dim, 12);
+      for (const std::size_t batch : batches) {
+        std::vector<float> base(batch * dim);
+        for (auto& x : base) x = static_cast<float>(rng.Gaussian(0, 1));
+        std::vector<float> out(batch);
+
+        const PairedTimes t =
+            MeasurePair(mc.metric, best, query, base, batch, dim, out);
+
+        SweepResult r;
+        r.metric = mc.name;
+        r.dim = dim;
+        r.batch = batch;
+        r.portable_ns = t.portable_ns;
+        r.dispatched_ns = t.dispatched_ns;
+        r.speedup = t.speedup;
+        results.push_back(r);
+        std::printf("%-6s dim=%-4zu batch=%-5zu portable=%10.1fns "
+                    "dispatched=%10.1fns speedup=%5.2fx\n",
+                    mc.name, dim, batch, t.portable_ns, t.dispatched_ns,
+                    r.speedup);
+      }
+    }
+  }
+  SetActiveSimdLevel(best);
+  return results;
+}
+
+void WriteJson(const std::string& path, const std::vector<SweepResult>& rs) {
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"distance_kernels\",\n"
+     << "  \"dispatched_level\": \"" << SimdLevelName(ActiveSimdLevel())
+     << "\",\n  \"supported_levels\": [";
+  bool first = true;
+  const SimdLevel all[] = {SimdLevel::kPortable, SimdLevel::kNeon,
+                           SimdLevel::kAvx2, SimdLevel::kAvx512};
+  for (const SimdLevel lvl : all) {
+    if (!SimdLevelSupported(lvl)) continue;
+    if (!first) os << ", ";
+    os << '"' << SimdLevelName(lvl) << '"';
+    first = false;
+  }
+  os << "],\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& r = rs[i];
+    os << "    {\"metric\": \"" << r.metric << "\", \"dim\": " << r.dim
+       << ", \"batch\": " << r.batch << ", \"portable_ns_per_call\": "
+       << r.portable_ns << ", \"dispatched_ns_per_call\": " << r.dispatched_ns
+       << ", \"speedup_vs_portable\": " << r.speedup << "}"
+       << (i + 1 < rs.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
 
 }  // namespace
 }  // namespace proximity
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_kernels.json";
+  bool sweep = true;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--no-sweep") == 0) {
+      sweep = false;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  const std::string level_name(
+      proximity::SimdLevelName(proximity::DefaultDispatchLevel()));
+  std::printf("active SIMD level: %s\n", level_name.c_str());
+  if (sweep) {
+    const auto results = proximity::RunSweep();
+    proximity::WriteJson(json_path, results);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

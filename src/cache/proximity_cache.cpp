@@ -31,6 +31,9 @@ ProximityCache::ProximityCache(std::size_t dim, ProximityCacheOptions options)
   }
   keys_.Reserve(options_.capacity);
   values_.reserve(options_.capacity);
+  // Cosine scans reuse stored per-key squared norms (bit-identical to the
+  // single-pair kernel), so every Lookup skips the per-key norm pass.
+  if (options_.metric == Metric::kCosine) keys_.EnableNormCache();
 }
 
 std::optional<std::pair<std::size_t, float>> ProximityCache::ScanKeys(
@@ -38,8 +41,8 @@ std::optional<std::pair<std::size_t, float>> ProximityCache::ScanKeys(
   const std::size_t n = keys_.rows();
   if (n == 0) return std::nullopt;
   scan_buffer_.resize(n);
-  BatchDistance(options_.metric, query, keys_.data(), n, dim_,
-                scan_buffer_.data());
+  BatchDistanceWithNorms(options_.metric, query, keys_.data(),
+                         keys_.RowNorms(), n, dim_, scan_buffer_.data());
   std::optional<std::size_t> best;
   for (std::size_t i = 0; i < n; ++i) {
     if (options_.max_age != 0 && op_tick_ - birth_[i] > options_.max_age) {
@@ -96,8 +99,7 @@ void ProximityCache::Insert(std::span<const float> query,
   } else {
     slot = policy_->SelectVictim();
     ++stats_.evictions;
-    auto dst = keys_.MutableRow(slot);
-    std::copy(query.begin(), query.end(), dst.begin());
+    keys_.SetRow(slot, query);  // keeps the norm cache in sync
     values_[slot] = std::move(documents);
     birth_[slot] = op_tick_;
   }
@@ -124,6 +126,7 @@ std::vector<VectorId> ProximityCache::FetchOrRetrieve(
 void ProximityCache::Clear() {
   keys_ = Matrix(0, dim_);
   keys_.Reserve(options_.capacity);
+  if (options_.metric == Metric::kCosine) keys_.EnableNormCache();
   values_.clear();
   birth_.clear();
   op_tick_ = 0;

@@ -12,7 +12,11 @@
 namespace proximity {
 
 FlatIndex::FlatIndex(std::size_t dim, FlatIndexOptions options)
-    : options_(options), vectors_(0, dim) {}
+    : options_(options), vectors_(0, dim) {
+  // Cosine scans use the pre-normalized batch path: keep per-row squared
+  // norms so every Search skips the per-row norm pass.
+  if (options_.metric == Metric::kCosine) vectors_.EnableNormCache();
+}
 
 VectorId FlatIndex::Add(std::span<const float> vec) {
   CheckDim(vec);
@@ -28,8 +32,10 @@ std::vector<Neighbor> FlatIndex::Search(std::span<const float> query,
   const std::size_t n = vectors_.rows();
   const std::size_t d = vectors_.dim();
 
+  const float* norms = vectors_.RowNorms();
   if (options_.parallel_threshold == 0 || n <= options_.parallel_threshold) {
-    return SelectTopK(options_.metric, query, vectors_.data(), n, d, k);
+    return SelectTopK(options_.metric, query, vectors_.data(), n, d, k,
+                      /*base_id=*/0, norms);
   }
 
   // Parallel scan: each chunk selects its local top-k, then merge.
@@ -42,7 +48,8 @@ std::vector<Neighbor> FlatIndex::Search(std::span<const float> query,
     if (lo >= n) return;
     const std::size_t hi = std::min(n, lo + chunk);
     partial[p] = SelectTopK(options_.metric, query, vectors_.data() + lo * d,
-                            hi - lo, d, k, static_cast<VectorId>(lo));
+                            hi - lo, d, k, static_cast<VectorId>(lo),
+                            norms != nullptr ? norms + lo : nullptr);
   });
 
   TopK merged(k);
@@ -58,11 +65,31 @@ std::vector<Neighbor> FlatIndex::SearchFiltered(std::span<const float> query,
   if (!filter) return Search(query, k);
   CheckDim(query);
   if (k == 0 || vectors_.rows() == 0) return {};
+  // Predicated scan through the gather kernel: evaluate the filter tile by
+  // tile, then batch-compute distances for the passing rows only.
+  const std::size_t n = vectors_.rows();
+  const std::size_t d = vectors_.dim();
   TopK top(k);
-  for (std::size_t r = 0; r < vectors_.rows(); ++r) {
-    const auto id = static_cast<VectorId>(r);
-    if (!filter(id)) continue;
-    top.Push(id, Distance(options_.metric, query, vectors_.Row(r)));
+  constexpr std::size_t kTile = 4096;
+  std::vector<std::uint32_t> sel;
+  std::vector<float> dist;
+  sel.reserve(std::min(n, kTile));
+  dist.reserve(std::min(n, kTile));
+  for (std::size_t lo = 0; lo < n; lo += kTile) {
+    const std::size_t hi = std::min(n, lo + kTile);
+    sel.clear();
+    for (std::size_t r = lo; r < hi; ++r) {
+      if (filter(static_cast<VectorId>(r))) {
+        sel.push_back(static_cast<std::uint32_t>(r - lo));
+      }
+    }
+    if (sel.empty()) continue;
+    dist.resize(sel.size());
+    GatherDistance(options_.metric, query, vectors_.data() + lo * d, d,
+                   sel.data(), sel.size(), dist.data());
+    for (std::size_t j = 0; j < sel.size(); ++j) {
+      top.Push(static_cast<VectorId>(lo + sel[j]), dist[j]);
+    }
   }
   return top.Take();
 }
@@ -91,6 +118,7 @@ FlatIndex FlatIndex::LoadFrom(std::istream& is) {
   r.VerifyChecksum();
   FlatIndex index(vectors.dim(), opts);
   index.vectors_ = std::move(vectors);
+  if (opts.metric == Metric::kCosine) index.vectors_.EnableNormCache();
   return index;
 }
 

@@ -70,14 +70,20 @@ void HnswIndex::ReleaseVisited(std::vector<std::uint32_t>* v) const {
 
 void HnswIndex::GreedyStep(std::span<const float> query, NodeId& entry,
                            float& entry_dist, int level) const {
+  std::vector<float> dist;
   bool improved = true;
   while (improved) {
     improved = false;
-    for (NodeId nb : links_[entry][static_cast<std::size_t>(level)]) {
-      const float d = Dist(query, nb);
-      if (d < entry_dist) {
-        entry_dist = d;
-        entry = nb;
+    const auto& nbrs = links_[entry][static_cast<std::size_t>(level)];
+    if (nbrs.empty()) return;
+    // One fused gather per hop instead of a scalar distance per neighbor.
+    dist.resize(nbrs.size());
+    GatherDistance(options_.metric, query, vectors_.data(), vectors_.dim(),
+                   nbrs.data(), nbrs.size(), dist.data());
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      if (dist[j] < entry_dist) {
+        entry_dist = dist[j];
+        entry = nbrs[j];
         improved = true;
       }
     }
@@ -90,6 +96,8 @@ std::vector<Neighbor> HnswIndex::SearchLayer(
     std::uint32_t epoch) const {
   std::vector<Neighbor> frontier;   // min-heap: closest candidate first
   std::vector<Neighbor> results;    // max-heap: worst result first
+  std::vector<NodeId> fresh;        // unvisited neighbors of the popped node
+  std::vector<float> fresh_dist;
 
   visited[entry] = epoch;
   frontier.push_back({static_cast<VectorId>(entry), entry_dist});
@@ -104,13 +112,25 @@ std::vector<Neighbor> HnswIndex::SearchLayer(
       break;  // closest unexplored candidate is worse than the worst result
     }
 
+    // Expansion is the hot loop of HNSW search: collect the unvisited
+    // neighbors first, then compute their distances in one fused gather
+    // (prefetched, bit-identical to the per-neighbor kernel).
     const auto& nbrs =
         links_[static_cast<std::size_t>(cur.id)][static_cast<std::size_t>(
             level)];
+    fresh.clear();
     for (NodeId nb : nbrs) {
       if (visited[nb] == epoch) continue;
       visited[nb] = epoch;
-      const float d = Dist(query, nb);
+      fresh.push_back(nb);
+    }
+    if (fresh.empty()) continue;
+    fresh_dist.resize(fresh.size());
+    GatherDistance(options_.metric, query, vectors_.data(), vectors_.dim(),
+                   fresh.data(), fresh.size(), fresh_dist.data());
+    for (std::size_t j = 0; j < fresh.size(); ++j) {
+      const NodeId nb = fresh[j];
+      const float d = fresh_dist[j];
       if (results.size() < ef || d < results.front().distance) {
         frontier.push_back({static_cast<VectorId>(nb), d});
         std::push_heap(frontier.begin(), frontier.end(),

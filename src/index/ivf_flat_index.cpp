@@ -57,14 +57,19 @@ std::vector<Neighbor> IvfFlatIndex::Search(std::span<const float> query,
       SelectTopK(Metric::kL2, query, centroids_.data(), centroids_.rows(),
                  dim_, nprobe);
 
+  // Posting lists are contiguous row-major blocks: scan each probed list
+  // with the fused batch kernels, reusing one distance buffer across probes.
   TopK top(k);
+  std::vector<float> dist;
   for (const auto& probe : probe_order) {
     const auto& list = lists_[static_cast<std::size_t>(probe.id)];
     const std::size_t entries = list.ids.size();
+    if (entries == 0) continue;
+    dist.resize(entries);
+    BatchDistance(options_.metric, query, list.vectors.data(), entries, dim_,
+                  dist.data());
     for (std::size_t r = 0; r < entries; ++r) {
-      const float d = Distance(options_.metric, query,
-                               {list.vectors.data() + r * dim_, dim_});
-      top.Push(list.ids[r], d);
+      top.Push(list.ids[r], dist[r]);
     }
   }
   return top.Take();

@@ -1,0 +1,31 @@
+// Runtime CPU feature detection for the kernel-dispatch layer.
+//
+// x86: uses the compiler's CPUID helpers (__builtin_cpu_supports), which
+// read the feature bits once at startup. AArch64: Advanced SIMD (NEON) is
+// architecturally mandatory, so detection is a compile-time fact. Every
+// other platform reports no SIMD and falls back to the portable kernels.
+#pragma once
+
+namespace proximity {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool neon = false;
+};
+
+inline CpuFeatures DetectCpuFeatures() noexcept {
+  CpuFeatures f;
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+#elif defined(__aarch64__) || defined(_M_ARM64)
+  f.neon = true;
+#endif
+  return f;
+}
+
+}  // namespace proximity

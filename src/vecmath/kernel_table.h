@@ -1,0 +1,64 @@
+// Internal contract between the dispatch layer (dispatch.cpp) and the
+// per-ISA kernel translation units (kernels.cpp portable reference,
+// simd_avx2.cpp, simd_avx512.cpp, simd_neon.cpp).
+//
+// Every implementation of a slot must be a drop-in numeric replacement:
+// the batch kernels of a table are required to be bit-identical to that
+// same table's single-pair kernels (callers rely on it for exact top-k
+// parity between the scan paths), while tables at different SIMD levels
+// may differ by summation order (bounded by ~1e-6 relative).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace proximity::detail {
+
+namespace internal {
+
+inline float SqrtNonNeg(float x) noexcept {
+  return x > 0.f ? std::sqrt(x) : 0.f;
+}
+
+/// Shared cosine epilogue so every table finishes with identical math:
+/// 1 - dot/(|q||row|), and 1 when either norm is zero.
+inline float FinishCosine(float dot, float query_norm,
+                          float row_sqnorm) noexcept {
+  const float denom = query_norm * SqrtNonNeg(row_sqnorm);
+  if (denom <= 0.f) return 1.f;
+  return 1.f - dot / denom;
+}
+
+}  // namespace internal
+
+struct KernelTable {
+  const char* name;  // matches SimdLevelName of the owning level
+
+  /// Single-pair reductions over n floats.
+  float (*l2)(const float* a, const float* b, std::size_t n);
+  float (*ip)(const float* a, const float* b, std::size_t n);
+  float (*sqnorm)(const float* a, std::size_t n);
+
+  /// Fused batch kernels: one query against `count` contiguous row-major
+  /// rows of dimension `dim`, results in `out`. Raw values — metric
+  /// semantics (inner-product negation) are applied by the dispatch layer.
+  void (*batch_l2)(const float* q, const float* base, std::size_t count,
+                   std::size_t dim, float* out);
+  void (*batch_ip)(const float* q, const float* base, std::size_t count,
+                   std::size_t dim, float* out);
+  /// Cosine distance 1 - <q,row>/(|q||row|); 1 when either norm is zero.
+  void (*batch_cos)(const float* q, const float* base, std::size_t count,
+                    std::size_t dim, float* out);
+};
+
+/// Portable reference (auto-vectorized unrolled loops); always present.
+extern const KernelTable kPortableTable;
+
+/// ISA tables; each returns nullptr when its translation unit was not
+/// compiled in (CMake option PROXIMITY_NATIVE_SIMD / wrong architecture).
+/// Fallback definitions for absent ISAs live in dispatch.cpp.
+const KernelTable* Avx2Table() noexcept;
+const KernelTable* Avx512Table() noexcept;
+const KernelTable* NeonTable() noexcept;
+
+}  // namespace proximity::detail

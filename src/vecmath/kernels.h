@@ -1,17 +1,47 @@
-// Scalar-product / distance kernels.
+// Scalar-product / distance kernels behind a runtime-dispatched SIMD layer.
 //
 // The original implementation uses Rust Portable-SIMD for vector
-// comparisons (§4.1). Here the kernels are written as 4x-unrolled
-// accumulator loops that GCC/Clang auto-vectorize at -O3; this is the
-// portable-C++ equivalent (verified to emit packed FMA on x86-64).
+// comparisons (§4.1). Here every kernel exists in explicit AVX2, AVX-512,
+// and NEON variants plus a portable 4x-unrolled fallback; the best level
+// the CPU supports is selected once at startup (CPUID / compile-time on
+// aarch64) and all callers upgrade transparently through this header.
+//
+// Guarantees:
+//  - The batch kernels are bit-identical to the single-pair kernels of the
+//    active level, so routing a scan through BatchDistance/GatherDistance
+//    never changes top-k results.
+//  - Levels differ from each other only by floating-point summation order
+//    (~1e-6 relative); the portable table is the reference.
+//  - `PROXIMITY_SIMD=portable|avx2|avx512|neon` in the environment pins the
+//    startup choice (ignored when the level is unavailable).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <string_view>
 
 #include "vecmath/metric.h"
 
 namespace proximity {
+
+/// Kernel implementation tiers, worst to best.
+enum class SimdLevel { kPortable = 0, kNeon, kAvx2, kAvx512 };
+
+/// Name used in logs, benches, and the PROXIMITY_SIMD env override.
+std::string_view SimdLevelName(SimdLevel level) noexcept;
+
+/// True when `level` is both compiled in and supported by this CPU.
+bool SimdLevelSupported(SimdLevel level) noexcept;
+
+/// The level all kernels below currently dispatch to. Resolved once at
+/// first use: the best supported level, unless PROXIMITY_SIMD pins one.
+SimdLevel ActiveSimdLevel() noexcept;
+
+/// Forces the active level (tests / benches); returns false and leaves the
+/// dispatch untouched when the level is unsupported. Not thread-safe with
+/// concurrent searches — switch only at startup or in single-threaded code.
+bool SetActiveSimdLevel(SimdLevel level) noexcept;
 
 /// Squared L2 distance between a and b. Sizes must match.
 float L2SquaredDistance(std::span<const float> a,
@@ -35,9 +65,31 @@ float Distance(Metric metric, std::span<const float> a,
 /// Computes distances from `query` to `count` contiguous row-major vectors
 /// starting at `base` (each of dimension `dim`), writing into `out`
 /// (length `count`). This is the hot loop of both FlatIndex and the
-/// Proximity cache's linear key scan.
+/// Proximity cache's linear key scan; it runs the fused multi-row SIMD
+/// kernels of the active level.
 void BatchDistance(Metric metric, std::span<const float> query,
                    const float* base, std::size_t count, std::size_t dim,
                    float* out) noexcept;
+
+/// BatchDistance with precomputed per-row squared norms (`row_norms[i]` =
+/// SquaredNorm of row i, e.g. from Matrix::RowNorms()). For kCosine this
+/// skips the per-row norm pass (pre-normalized cosine: one fused inner
+/// product per row). For kL2 it uses the decomposition
+/// ||q-b||^2 = ||q||^2 + ||b||^2 - 2<q,b> (clamped at 0) — cheaper but not
+/// bit-identical to the direct kernel, so exactness-critical callers keep
+/// the plain BatchDistance for L2. kInnerProduct ignores the norms.
+void BatchDistanceWithNorms(Metric metric, std::span<const float> query,
+                            const float* base, const float* row_norms,
+                            std::size_t count, std::size_t dim,
+                            float* out) noexcept;
+
+/// Distances from `query` to the scattered rows base[ids[j]*dim .. +dim)
+/// for j in [0, count), with software prefetch of upcoming rows. Results
+/// are bit-identical to Distance() at the active level. This is the batch
+/// path for HNSW neighbor expansion and filtered flat scans.
+void GatherDistance(Metric metric, std::span<const float> query,
+                    const float* base, std::size_t dim,
+                    const std::uint32_t* ids, std::size_t count,
+                    float* out) noexcept;
 
 }  // namespace proximity

@@ -1,5 +1,6 @@
 // Row-major float matrix: the storage type for corpora, centroids, and
-// cached query keys.
+// cached query keys. Optionally maintains per-row squared L2 norms for the
+// norm-assisted batch kernels (BatchDistanceWithNorms).
 #pragma once
 
 #include <cassert>
@@ -7,6 +8,8 @@
 #include <span>
 #include <stdexcept>
 #include <vector>
+
+#include "vecmath/kernels.h"
 
 namespace proximity {
 
@@ -37,8 +40,11 @@ class Matrix {
     return {data_.data() + r * dim_, dim_};
   }
 
+  /// Mutable row access. Bypasses the norm cache, which is therefore
+  /// dropped; prefer SetRow for whole-row overwrites.
   std::span<float> MutableRow(std::size_t r) noexcept {
     assert(r < rows());
+    DropNormCache();
     return {data_.data() + r * dim_, dim_};
   }
 
@@ -47,16 +53,62 @@ class Matrix {
       throw std::invalid_argument("Matrix::AppendRow: dimension mismatch");
     }
     data_.insert(data_.end(), row.begin(), row.end());
+    if (norm_cache_) norms_.push_back(SquaredNorm(row));
   }
 
-  void Reserve(std::size_t rows) { data_.reserve(rows * dim_); }
+  /// Overwrites row r in place, keeping the norm cache consistent.
+  void SetRow(std::size_t r, std::span<const float> row) {
+    if (row.size() != dim_) {
+      throw std::invalid_argument("Matrix::SetRow: dimension mismatch");
+    }
+    if (r >= rows()) throw std::out_of_range("Matrix::SetRow: bad row");
+    std::copy(row.begin(), row.end(), data_.begin() + r * dim_);
+    if (norm_cache_) norms_[r] = SquaredNorm(row);
+  }
+
+  /// Starts maintaining per-row squared L2 norms: computes them for every
+  /// current row and keeps them fresh across AppendRow/SetRow. MutableRow
+  /// and mutable data() drop the cache (call EnableNormCache again after
+  /// bulk writes). Norms are computed with the active SIMD level's sqnorm
+  /// kernel, which BatchDistanceWithNorms relies on for exact cosine
+  /// parity with the single-pair kernels.
+  void EnableNormCache() {
+    norms_.resize(rows());
+    for (std::size_t r = 0; r < rows(); ++r) norms_[r] = SquaredNorm(Row(r));
+    norm_cache_ = true;
+  }
+
+  /// Per-row squared norms, or nullptr when the cache is not maintained.
+  const float* RowNorms() const noexcept {
+    return norm_cache_ ? norms_.data() : nullptr;
+  }
+
+  bool norm_cache_enabled() const noexcept { return norm_cache_; }
+
+  void Reserve(std::size_t rows) {
+    data_.reserve(rows * dim_);
+    if (norm_cache_) norms_.reserve(rows);
+  }
 
   const float* data() const noexcept { return data_.data(); }
-  float* data() noexcept { return data_.data(); }
+
+  /// Mutable raw access; drops the norm cache (see MutableRow).
+  float* data() noexcept {
+    DropNormCache();
+    return data_.data();
+  }
 
  private:
+  void DropNormCache() noexcept {
+    norm_cache_ = false;
+    norms_.clear();
+  }
+
   std::size_t dim_ = 0;
   std::vector<float> data_;
+  // Squared L2 norm per row, maintained only while norm_cache_ is set.
+  bool norm_cache_ = false;
+  std::vector<float> norms_;
 };
 
 }  // namespace proximity

@@ -1,0 +1,331 @@
+// AVX2+FMA kernels. Compiled with -mavx2 -mfma (see vecmath/CMakeLists.txt);
+// only reached when CPUID reports both features at runtime.
+//
+// Shared chunk pattern for every reduction in this file: 16 floats per
+// iteration into two 8-lane accumulators, one 8-wide mop-up into acc0, and
+// a scalar fmaf tail. The fused batch kernels replicate this per-row order
+// exactly, which makes batch results bit-identical to the single-pair
+// kernels (the KernelTable contract).
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "vecmath/kernel_table.h"
+
+namespace proximity::detail {
+
+namespace {
+
+inline float Hsum(__m256 v) noexcept {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_movehdup_ps(s));
+  return _mm_cvtss_f32(s);
+}
+
+inline void PrefetchRow(const float* p) noexcept {
+  _mm_prefetch(reinterpret_cast<const char*>(p), _MM_HINT_T0);
+  _mm_prefetch(reinterpret_cast<const char*>(p) + 64, _MM_HINT_T0);
+}
+
+// In-loop prefetch distance for the fused cores, in floats (1 KiB). Each
+// main-loop iteration consumes exactly one cacheline per row, so a single
+// prefetch per row covers every line. Rows of a batch are contiguous, so
+// running past a row's end prefetches the next group's data; prefetch
+// hints never fault, so overshooting the block at the very end is harmless.
+constexpr std::size_t kPfAhead = 256;
+
+// ------------------------------------------------------- single-pair ----
+
+float L2One(const float* a, const float* b, std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  if (i + 8 <= n) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+    i += 8;
+  }
+  float tail = 0.f;
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    tail = std::fmaf(d, d, tail);
+  }
+  return Hsum(_mm256_add_ps(acc0, acc1)) + tail;
+}
+
+float IpOne(const float* a, const float* b, std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  if (i + 8 <= n) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    i += 8;
+  }
+  float tail = 0.f;
+  for (; i < n; ++i) tail = std::fmaf(a[i], b[i], tail);
+  return Hsum(_mm256_add_ps(acc0, acc1)) + tail;
+}
+
+float SqNormOne(const float* a, std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 v0 = _mm256_loadu_ps(a + i);
+    acc0 = _mm256_fmadd_ps(v0, v0, acc0);
+    const __m256 v1 = _mm256_loadu_ps(a + i + 8);
+    acc1 = _mm256_fmadd_ps(v1, v1, acc1);
+  }
+  if (i + 8 <= n) {
+    const __m256 v = _mm256_loadu_ps(a + i);
+    acc0 = _mm256_fmadd_ps(v, v, acc0);
+    i += 8;
+  }
+  float tail = 0.f;
+  for (; i < n; ++i) tail = std::fmaf(a[i], a[i], tail);
+  return Hsum(_mm256_add_ps(acc0, acc1)) + tail;
+}
+
+// ------------------------------------------------- fused batch cores ----
+// Four rows in flight sharing the query loads; per-row accumulator order
+// matches the single-pair kernels above exactly.
+
+void L2Rows4(const float* q, const float* r0, const float* r1,
+             const float* r2, const float* r3, std::size_t n, float* out) {
+  __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+  __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+  __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
+  __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(r0 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r1 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r2 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r3 + i + kPfAhead),
+                 _MM_HINT_T0);
+    const __m256 q0 = _mm256_loadu_ps(q + i);
+    const __m256 q1 = _mm256_loadu_ps(q + i + 8);
+    __m256 d;
+    d = _mm256_sub_ps(q0, _mm256_loadu_ps(r0 + i));
+    a00 = _mm256_fmadd_ps(d, d, a00);
+    d = _mm256_sub_ps(q1, _mm256_loadu_ps(r0 + i + 8));
+    a01 = _mm256_fmadd_ps(d, d, a01);
+    d = _mm256_sub_ps(q0, _mm256_loadu_ps(r1 + i));
+    a10 = _mm256_fmadd_ps(d, d, a10);
+    d = _mm256_sub_ps(q1, _mm256_loadu_ps(r1 + i + 8));
+    a11 = _mm256_fmadd_ps(d, d, a11);
+    d = _mm256_sub_ps(q0, _mm256_loadu_ps(r2 + i));
+    a20 = _mm256_fmadd_ps(d, d, a20);
+    d = _mm256_sub_ps(q1, _mm256_loadu_ps(r2 + i + 8));
+    a21 = _mm256_fmadd_ps(d, d, a21);
+    d = _mm256_sub_ps(q0, _mm256_loadu_ps(r3 + i));
+    a30 = _mm256_fmadd_ps(d, d, a30);
+    d = _mm256_sub_ps(q1, _mm256_loadu_ps(r3 + i + 8));
+    a31 = _mm256_fmadd_ps(d, d, a31);
+  }
+  if (i + 8 <= n) {
+    const __m256 q0 = _mm256_loadu_ps(q + i);
+    __m256 d;
+    d = _mm256_sub_ps(q0, _mm256_loadu_ps(r0 + i));
+    a00 = _mm256_fmadd_ps(d, d, a00);
+    d = _mm256_sub_ps(q0, _mm256_loadu_ps(r1 + i));
+    a10 = _mm256_fmadd_ps(d, d, a10);
+    d = _mm256_sub_ps(q0, _mm256_loadu_ps(r2 + i));
+    a20 = _mm256_fmadd_ps(d, d, a20);
+    d = _mm256_sub_ps(q0, _mm256_loadu_ps(r3 + i));
+    a30 = _mm256_fmadd_ps(d, d, a30);
+    i += 8;
+  }
+  float t0 = 0.f, t1 = 0.f, t2 = 0.f, t3 = 0.f;
+  for (; i < n; ++i) {
+    const float qa = q[i];
+    float d = qa - r0[i];
+    t0 = std::fmaf(d, d, t0);
+    d = qa - r1[i];
+    t1 = std::fmaf(d, d, t1);
+    d = qa - r2[i];
+    t2 = std::fmaf(d, d, t2);
+    d = qa - r3[i];
+    t3 = std::fmaf(d, d, t3);
+  }
+  out[0] = Hsum(_mm256_add_ps(a00, a01)) + t0;
+  out[1] = Hsum(_mm256_add_ps(a10, a11)) + t1;
+  out[2] = Hsum(_mm256_add_ps(a20, a21)) + t2;
+  out[3] = Hsum(_mm256_add_ps(a30, a31)) + t3;
+}
+
+void IpRows4(const float* q, const float* r0, const float* r1,
+             const float* r2, const float* r3, std::size_t n, float* out) {
+  __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+  __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+  __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
+  __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(r0 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r1 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r2 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r3 + i + kPfAhead),
+                 _MM_HINT_T0);
+    const __m256 q0 = _mm256_loadu_ps(q + i);
+    const __m256 q1 = _mm256_loadu_ps(q + i + 8);
+    a00 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(r0 + i), a00);
+    a01 = _mm256_fmadd_ps(q1, _mm256_loadu_ps(r0 + i + 8), a01);
+    a10 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(r1 + i), a10);
+    a11 = _mm256_fmadd_ps(q1, _mm256_loadu_ps(r1 + i + 8), a11);
+    a20 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(r2 + i), a20);
+    a21 = _mm256_fmadd_ps(q1, _mm256_loadu_ps(r2 + i + 8), a21);
+    a30 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(r3 + i), a30);
+    a31 = _mm256_fmadd_ps(q1, _mm256_loadu_ps(r3 + i + 8), a31);
+  }
+  if (i + 8 <= n) {
+    const __m256 q0 = _mm256_loadu_ps(q + i);
+    a00 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(r0 + i), a00);
+    a10 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(r1 + i), a10);
+    a20 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(r2 + i), a20);
+    a30 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(r3 + i), a30);
+    i += 8;
+  }
+  float t0 = 0.f, t1 = 0.f, t2 = 0.f, t3 = 0.f;
+  for (; i < n; ++i) {
+    const float qa = q[i];
+    t0 = std::fmaf(qa, r0[i], t0);
+    t1 = std::fmaf(qa, r1[i], t1);
+    t2 = std::fmaf(qa, r2[i], t2);
+    t3 = std::fmaf(qa, r3[i], t3);
+  }
+  out[0] = Hsum(_mm256_add_ps(a00, a01)) + t0;
+  out[1] = Hsum(_mm256_add_ps(a10, a11)) + t1;
+  out[2] = Hsum(_mm256_add_ps(a20, a21)) + t2;
+  out[3] = Hsum(_mm256_add_ps(a30, a31)) + t3;
+}
+
+// Two rows in flight, accumulating dot and row-norm together (one pass per
+// row). dot order matches IpOne; norm order matches SqNormOne.
+void CosRows2(const float* q, const float* r0, const float* r1,
+              std::size_t n, float* dot_out, float* norm_out) {
+  __m256 d00 = _mm256_setzero_ps(), d01 = _mm256_setzero_ps();
+  __m256 d10 = _mm256_setzero_ps(), d11 = _mm256_setzero_ps();
+  __m256 n00 = _mm256_setzero_ps(), n01 = _mm256_setzero_ps();
+  __m256 n10 = _mm256_setzero_ps(), n11 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(r0 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r1 + i + kPfAhead),
+                 _MM_HINT_T0);
+    const __m256 q0 = _mm256_loadu_ps(q + i);
+    const __m256 q1 = _mm256_loadu_ps(q + i + 8);
+    const __m256 r0c0 = _mm256_loadu_ps(r0 + i);
+    d00 = _mm256_fmadd_ps(q0, r0c0, d00);
+    n00 = _mm256_fmadd_ps(r0c0, r0c0, n00);
+    const __m256 r0c1 = _mm256_loadu_ps(r0 + i + 8);
+    d01 = _mm256_fmadd_ps(q1, r0c1, d01);
+    n01 = _mm256_fmadd_ps(r0c1, r0c1, n01);
+    const __m256 r1c0 = _mm256_loadu_ps(r1 + i);
+    d10 = _mm256_fmadd_ps(q0, r1c0, d10);
+    n10 = _mm256_fmadd_ps(r1c0, r1c0, n10);
+    const __m256 r1c1 = _mm256_loadu_ps(r1 + i + 8);
+    d11 = _mm256_fmadd_ps(q1, r1c1, d11);
+    n11 = _mm256_fmadd_ps(r1c1, r1c1, n11);
+  }
+  if (i + 8 <= n) {
+    const __m256 q0 = _mm256_loadu_ps(q + i);
+    const __m256 r0c = _mm256_loadu_ps(r0 + i);
+    d00 = _mm256_fmadd_ps(q0, r0c, d00);
+    n00 = _mm256_fmadd_ps(r0c, r0c, n00);
+    const __m256 r1c = _mm256_loadu_ps(r1 + i);
+    d10 = _mm256_fmadd_ps(q0, r1c, d10);
+    n10 = _mm256_fmadd_ps(r1c, r1c, n10);
+    i += 8;
+  }
+  float td0 = 0.f, td1 = 0.f, tn0 = 0.f, tn1 = 0.f;
+  for (; i < n; ++i) {
+    const float qa = q[i];
+    const float x0 = r0[i];
+    td0 = std::fmaf(qa, x0, td0);
+    tn0 = std::fmaf(x0, x0, tn0);
+    const float x1 = r1[i];
+    td1 = std::fmaf(qa, x1, td1);
+    tn1 = std::fmaf(x1, x1, tn1);
+  }
+  dot_out[0] = Hsum(_mm256_add_ps(d00, d01)) + td0;
+  dot_out[1] = Hsum(_mm256_add_ps(d10, d11)) + td1;
+  norm_out[0] = Hsum(_mm256_add_ps(n00, n01)) + tn0;
+  norm_out[1] = Hsum(_mm256_add_ps(n10, n11)) + tn1;
+}
+
+// ----------------------------------------------------- batch drivers ----
+
+void BatchL2(const float* q, const float* base, std::size_t count,
+             std::size_t dim, float* out) {
+  std::size_t r = 0;
+  for (; r + 4 <= count; r += 4) {
+    if (r + 8 <= count) PrefetchRow(base + (r + 4) * dim);
+    L2Rows4(q, base + r * dim, base + (r + 1) * dim, base + (r + 2) * dim,
+            base + (r + 3) * dim, dim, out + r);
+  }
+  for (; r < count; ++r) out[r] = L2One(q, base + r * dim, dim);
+}
+
+void BatchIp(const float* q, const float* base, std::size_t count,
+             std::size_t dim, float* out) {
+  std::size_t r = 0;
+  for (; r + 4 <= count; r += 4) {
+    if (r + 8 <= count) PrefetchRow(base + (r + 4) * dim);
+    IpRows4(q, base + r * dim, base + (r + 1) * dim, base + (r + 2) * dim,
+            base + (r + 3) * dim, dim, out + r);
+  }
+  for (; r < count; ++r) out[r] = IpOne(q, base + r * dim, dim);
+}
+
+void BatchCos(const float* q, const float* base, std::size_t count,
+              std::size_t dim, float* out) {
+  const float qnorm = internal::SqrtNonNeg(SqNormOne(q, dim));
+  std::size_t r = 0;
+  float dots[2], norms[2];
+  for (; r + 2 <= count; r += 2) {
+    if (r + 4 <= count) PrefetchRow(base + (r + 2) * dim);
+    CosRows2(q, base + r * dim, base + (r + 1) * dim, dim, dots, norms);
+    out[r] = internal::FinishCosine(dots[0], qnorm, norms[0]);
+    out[r + 1] = internal::FinishCosine(dots[1], qnorm, norms[1]);
+  }
+  for (; r < count; ++r) {
+    const float* row = base + r * dim;
+    out[r] = internal::FinishCosine(IpOne(q, row, dim), qnorm,
+                                    SqNormOne(row, dim));
+  }
+}
+
+}  // namespace
+
+const KernelTable* Avx2Table() noexcept {
+  static const KernelTable table = {
+      "avx2", L2One, IpOne, SqNormOne, BatchL2, BatchIp, BatchCos,
+  };
+  return &table;
+}
+
+}  // namespace proximity::detail

@@ -1,0 +1,465 @@
+// AVX-512F kernels. Compiled with -mavx512f (see vecmath/CMakeLists.txt);
+// only reached when CPUID reports AVX-512 Foundation at runtime.
+//
+// Shared chunk pattern: 32 floats per iteration into two 16-lane
+// accumulators, one 16-wide mop-up into acc0, and a masked tail into acc1
+// (masked-off lanes contribute exact zeros, so no scalar tail is needed).
+// The fused batch kernels replicate this per-row order exactly, making
+// batch results bit-identical to the single-pair kernels.
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "vecmath/kernel_table.h"
+
+namespace proximity::detail {
+
+namespace {
+
+inline __mmask16 TailMask(std::size_t rem) noexcept {
+  return static_cast<__mmask16>((1u << rem) - 1u);
+}
+
+inline void PrefetchRow(const float* p) noexcept {
+  _mm_prefetch(reinterpret_cast<const char*>(p), _MM_HINT_T0);
+  _mm_prefetch(reinterpret_cast<const char*>(p) + 64, _MM_HINT_T0);
+}
+
+// In-loop prefetch distance for the fused cores, in floats (1 KiB). Rows of
+// a batch are contiguous, so running past a row's end prefetches the next
+// group's data; prefetch hints never fault, so overshooting the block at
+// the very end is harmless.
+constexpr std::size_t kPfAhead = 256;
+
+// ------------------------------------------------------- single-pair ----
+
+float L2One(const float* a, const float* b, std::size_t n) {
+  __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m512 d0 =
+        _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+    const __m512 d1 = _mm512_sub_ps(_mm512_loadu_ps(a + i + 16),
+                                    _mm512_loadu_ps(b + i + 16));
+    acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+  }
+  if (i + 16 <= n) {
+    const __m512 d =
+        _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+    i += 16;
+  }
+  if (i < n) {
+    const __mmask16 m = TailMask(n - i);
+    const __m512 d = _mm512_sub_ps(_mm512_maskz_loadu_ps(m, a + i),
+                                   _mm512_maskz_loadu_ps(m, b + i));
+    acc1 = _mm512_fmadd_ps(d, d, acc1);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+float IpOne(const float* a, const float* b, std::size_t n) {
+  __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                           _mm512_loadu_ps(b + i + 16), acc1);
+  }
+  if (i + 16 <= n) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    i += 16;
+  }
+  if (i < n) {
+    const __mmask16 m = TailMask(n - i);
+    acc1 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, a + i),
+                           _mm512_maskz_loadu_ps(m, b + i), acc1);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+float SqNormOne(const float* a, std::size_t n) {
+  __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m512 v0 = _mm512_loadu_ps(a + i);
+    acc0 = _mm512_fmadd_ps(v0, v0, acc0);
+    const __m512 v1 = _mm512_loadu_ps(a + i + 16);
+    acc1 = _mm512_fmadd_ps(v1, v1, acc1);
+  }
+  if (i + 16 <= n) {
+    const __m512 v = _mm512_loadu_ps(a + i);
+    acc0 = _mm512_fmadd_ps(v, v, acc0);
+    i += 16;
+  }
+  if (i < n) {
+    const __m512 v = _mm512_maskz_loadu_ps(TailMask(n - i), a + i);
+    acc1 = _mm512_fmadd_ps(v, v, acc1);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+// ------------------------------------------------- fused batch cores ----
+// Four rows in flight sharing the query loads; per-row accumulator order
+// matches the single-pair kernels above exactly.
+
+void L2Rows4(const float* q, const float* r0, const float* r1,
+             const float* r2, const float* r3, std::size_t n, float* out) {
+  __m512 a00 = _mm512_setzero_ps(), a01 = _mm512_setzero_ps();
+  __m512 a10 = _mm512_setzero_ps(), a11 = _mm512_setzero_ps();
+  __m512 a20 = _mm512_setzero_ps(), a21 = _mm512_setzero_ps();
+  __m512 a30 = _mm512_setzero_ps(), a31 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    _mm_prefetch(reinterpret_cast<const char*>(r0 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r0 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r1 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r1 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r2 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r2 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r3 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r3 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    const __m512 q0 = _mm512_loadu_ps(q + i);
+    const __m512 q1 = _mm512_loadu_ps(q + i + 16);
+    __m512 d;
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r0 + i));
+    a00 = _mm512_fmadd_ps(d, d, a00);
+    d = _mm512_sub_ps(q1, _mm512_loadu_ps(r0 + i + 16));
+    a01 = _mm512_fmadd_ps(d, d, a01);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r1 + i));
+    a10 = _mm512_fmadd_ps(d, d, a10);
+    d = _mm512_sub_ps(q1, _mm512_loadu_ps(r1 + i + 16));
+    a11 = _mm512_fmadd_ps(d, d, a11);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r2 + i));
+    a20 = _mm512_fmadd_ps(d, d, a20);
+    d = _mm512_sub_ps(q1, _mm512_loadu_ps(r2 + i + 16));
+    a21 = _mm512_fmadd_ps(d, d, a21);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r3 + i));
+    a30 = _mm512_fmadd_ps(d, d, a30);
+    d = _mm512_sub_ps(q1, _mm512_loadu_ps(r3 + i + 16));
+    a31 = _mm512_fmadd_ps(d, d, a31);
+  }
+  if (i + 16 <= n) {
+    const __m512 q0 = _mm512_loadu_ps(q + i);
+    __m512 d;
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r0 + i));
+    a00 = _mm512_fmadd_ps(d, d, a00);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r1 + i));
+    a10 = _mm512_fmadd_ps(d, d, a10);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r2 + i));
+    a20 = _mm512_fmadd_ps(d, d, a20);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r3 + i));
+    a30 = _mm512_fmadd_ps(d, d, a30);
+    i += 16;
+  }
+  if (i < n) {
+    const __mmask16 m = TailMask(n - i);
+    const __m512 q0 = _mm512_maskz_loadu_ps(m, q + i);
+    __m512 d;
+    d = _mm512_sub_ps(q0, _mm512_maskz_loadu_ps(m, r0 + i));
+    a01 = _mm512_fmadd_ps(d, d, a01);
+    d = _mm512_sub_ps(q0, _mm512_maskz_loadu_ps(m, r1 + i));
+    a11 = _mm512_fmadd_ps(d, d, a11);
+    d = _mm512_sub_ps(q0, _mm512_maskz_loadu_ps(m, r2 + i));
+    a21 = _mm512_fmadd_ps(d, d, a21);
+    d = _mm512_sub_ps(q0, _mm512_maskz_loadu_ps(m, r3 + i));
+    a31 = _mm512_fmadd_ps(d, d, a31);
+  }
+  out[0] = _mm512_reduce_add_ps(_mm512_add_ps(a00, a01));
+  out[1] = _mm512_reduce_add_ps(_mm512_add_ps(a10, a11));
+  out[2] = _mm512_reduce_add_ps(_mm512_add_ps(a20, a21));
+  out[3] = _mm512_reduce_add_ps(_mm512_add_ps(a30, a31));
+}
+
+// Six rows in flight for the L2 batch scan: 12 zmm accumulators plus two
+// query registers, fully unrolled so nothing spills. More row streams keep
+// more L3 misses in flight in the large-batch regime. Per-row accumulator
+// order is unchanged, so results stay bit-identical to L2One.
+void L2Rows6(const float* q, const float* r0, const float* r1,
+             const float* r2, const float* r3, const float* r4,
+             const float* r5, std::size_t n, float* out) {
+  __m512 a00 = _mm512_setzero_ps(), a01 = _mm512_setzero_ps();
+  __m512 a10 = _mm512_setzero_ps(), a11 = _mm512_setzero_ps();
+  __m512 a20 = _mm512_setzero_ps(), a21 = _mm512_setzero_ps();
+  __m512 a30 = _mm512_setzero_ps(), a31 = _mm512_setzero_ps();
+  __m512 a40 = _mm512_setzero_ps(), a41 = _mm512_setzero_ps();
+  __m512 a50 = _mm512_setzero_ps(), a51 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    _mm_prefetch(reinterpret_cast<const char*>(r0 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r0 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r1 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r1 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r2 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r2 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r3 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r3 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r4 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r4 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r5 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r5 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    const __m512 q0 = _mm512_loadu_ps(q + i);
+    const __m512 q1 = _mm512_loadu_ps(q + i + 16);
+    __m512 d;
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r0 + i));
+    a00 = _mm512_fmadd_ps(d, d, a00);
+    d = _mm512_sub_ps(q1, _mm512_loadu_ps(r0 + i + 16));
+    a01 = _mm512_fmadd_ps(d, d, a01);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r1 + i));
+    a10 = _mm512_fmadd_ps(d, d, a10);
+    d = _mm512_sub_ps(q1, _mm512_loadu_ps(r1 + i + 16));
+    a11 = _mm512_fmadd_ps(d, d, a11);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r2 + i));
+    a20 = _mm512_fmadd_ps(d, d, a20);
+    d = _mm512_sub_ps(q1, _mm512_loadu_ps(r2 + i + 16));
+    a21 = _mm512_fmadd_ps(d, d, a21);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r3 + i));
+    a30 = _mm512_fmadd_ps(d, d, a30);
+    d = _mm512_sub_ps(q1, _mm512_loadu_ps(r3 + i + 16));
+    a31 = _mm512_fmadd_ps(d, d, a31);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r4 + i));
+    a40 = _mm512_fmadd_ps(d, d, a40);
+    d = _mm512_sub_ps(q1, _mm512_loadu_ps(r4 + i + 16));
+    a41 = _mm512_fmadd_ps(d, d, a41);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r5 + i));
+    a50 = _mm512_fmadd_ps(d, d, a50);
+    d = _mm512_sub_ps(q1, _mm512_loadu_ps(r5 + i + 16));
+    a51 = _mm512_fmadd_ps(d, d, a51);
+  }
+  if (i + 16 <= n) {
+    const __m512 q0 = _mm512_loadu_ps(q + i);
+    __m512 d;
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r0 + i));
+    a00 = _mm512_fmadd_ps(d, d, a00);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r1 + i));
+    a10 = _mm512_fmadd_ps(d, d, a10);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r2 + i));
+    a20 = _mm512_fmadd_ps(d, d, a20);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r3 + i));
+    a30 = _mm512_fmadd_ps(d, d, a30);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r4 + i));
+    a40 = _mm512_fmadd_ps(d, d, a40);
+    d = _mm512_sub_ps(q0, _mm512_loadu_ps(r5 + i));
+    a50 = _mm512_fmadd_ps(d, d, a50);
+    i += 16;
+  }
+  if (i < n) {
+    const __mmask16 m = TailMask(n - i);
+    const __m512 q0 = _mm512_maskz_loadu_ps(m, q + i);
+    __m512 d;
+    d = _mm512_sub_ps(q0, _mm512_maskz_loadu_ps(m, r0 + i));
+    a01 = _mm512_fmadd_ps(d, d, a01);
+    d = _mm512_sub_ps(q0, _mm512_maskz_loadu_ps(m, r1 + i));
+    a11 = _mm512_fmadd_ps(d, d, a11);
+    d = _mm512_sub_ps(q0, _mm512_maskz_loadu_ps(m, r2 + i));
+    a21 = _mm512_fmadd_ps(d, d, a21);
+    d = _mm512_sub_ps(q0, _mm512_maskz_loadu_ps(m, r3 + i));
+    a31 = _mm512_fmadd_ps(d, d, a31);
+    d = _mm512_sub_ps(q0, _mm512_maskz_loadu_ps(m, r4 + i));
+    a41 = _mm512_fmadd_ps(d, d, a41);
+    d = _mm512_sub_ps(q0, _mm512_maskz_loadu_ps(m, r5 + i));
+    a51 = _mm512_fmadd_ps(d, d, a51);
+  }
+  out[0] = _mm512_reduce_add_ps(_mm512_add_ps(a00, a01));
+  out[1] = _mm512_reduce_add_ps(_mm512_add_ps(a10, a11));
+  out[2] = _mm512_reduce_add_ps(_mm512_add_ps(a20, a21));
+  out[3] = _mm512_reduce_add_ps(_mm512_add_ps(a30, a31));
+  out[4] = _mm512_reduce_add_ps(_mm512_add_ps(a40, a41));
+  out[5] = _mm512_reduce_add_ps(_mm512_add_ps(a50, a51));
+}
+
+void IpRows4(const float* q, const float* r0, const float* r1,
+             const float* r2, const float* r3, std::size_t n, float* out) {
+  __m512 a00 = _mm512_setzero_ps(), a01 = _mm512_setzero_ps();
+  __m512 a10 = _mm512_setzero_ps(), a11 = _mm512_setzero_ps();
+  __m512 a20 = _mm512_setzero_ps(), a21 = _mm512_setzero_ps();
+  __m512 a30 = _mm512_setzero_ps(), a31 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    _mm_prefetch(reinterpret_cast<const char*>(r0 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r0 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r1 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r1 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r2 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r2 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r3 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r3 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    const __m512 q0 = _mm512_loadu_ps(q + i);
+    const __m512 q1 = _mm512_loadu_ps(q + i + 16);
+    a00 = _mm512_fmadd_ps(q0, _mm512_loadu_ps(r0 + i), a00);
+    a01 = _mm512_fmadd_ps(q1, _mm512_loadu_ps(r0 + i + 16), a01);
+    a10 = _mm512_fmadd_ps(q0, _mm512_loadu_ps(r1 + i), a10);
+    a11 = _mm512_fmadd_ps(q1, _mm512_loadu_ps(r1 + i + 16), a11);
+    a20 = _mm512_fmadd_ps(q0, _mm512_loadu_ps(r2 + i), a20);
+    a21 = _mm512_fmadd_ps(q1, _mm512_loadu_ps(r2 + i + 16), a21);
+    a30 = _mm512_fmadd_ps(q0, _mm512_loadu_ps(r3 + i), a30);
+    a31 = _mm512_fmadd_ps(q1, _mm512_loadu_ps(r3 + i + 16), a31);
+  }
+  if (i + 16 <= n) {
+    const __m512 q0 = _mm512_loadu_ps(q + i);
+    a00 = _mm512_fmadd_ps(q0, _mm512_loadu_ps(r0 + i), a00);
+    a10 = _mm512_fmadd_ps(q0, _mm512_loadu_ps(r1 + i), a10);
+    a20 = _mm512_fmadd_ps(q0, _mm512_loadu_ps(r2 + i), a20);
+    a30 = _mm512_fmadd_ps(q0, _mm512_loadu_ps(r3 + i), a30);
+    i += 16;
+  }
+  if (i < n) {
+    const __mmask16 m = TailMask(n - i);
+    const __m512 q0 = _mm512_maskz_loadu_ps(m, q + i);
+    a01 = _mm512_fmadd_ps(q0, _mm512_maskz_loadu_ps(m, r0 + i), a01);
+    a11 = _mm512_fmadd_ps(q0, _mm512_maskz_loadu_ps(m, r1 + i), a11);
+    a21 = _mm512_fmadd_ps(q0, _mm512_maskz_loadu_ps(m, r2 + i), a21);
+    a31 = _mm512_fmadd_ps(q0, _mm512_maskz_loadu_ps(m, r3 + i), a31);
+  }
+  out[0] = _mm512_reduce_add_ps(_mm512_add_ps(a00, a01));
+  out[1] = _mm512_reduce_add_ps(_mm512_add_ps(a10, a11));
+  out[2] = _mm512_reduce_add_ps(_mm512_add_ps(a20, a21));
+  out[3] = _mm512_reduce_add_ps(_mm512_add_ps(a30, a31));
+}
+
+// Two rows in flight, accumulating dot and row-norm together (one pass per
+// row). dot order matches IpOne; norm order matches SqNormOne.
+void CosRows2(const float* q, const float* r0, const float* r1,
+              std::size_t n, float* dot_out, float* norm_out) {
+  __m512 d00 = _mm512_setzero_ps(), d01 = _mm512_setzero_ps();
+  __m512 d10 = _mm512_setzero_ps(), d11 = _mm512_setzero_ps();
+  __m512 n00 = _mm512_setzero_ps(), n01 = _mm512_setzero_ps();
+  __m512 n10 = _mm512_setzero_ps(), n11 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    _mm_prefetch(reinterpret_cast<const char*>(r0 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r0 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r1 + i + kPfAhead),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(r1 + i + kPfAhead + 16),
+                 _MM_HINT_T0);
+    const __m512 q0 = _mm512_loadu_ps(q + i);
+    const __m512 q1 = _mm512_loadu_ps(q + i + 16);
+    const __m512 r0c0 = _mm512_loadu_ps(r0 + i);
+    d00 = _mm512_fmadd_ps(q0, r0c0, d00);
+    n00 = _mm512_fmadd_ps(r0c0, r0c0, n00);
+    const __m512 r0c1 = _mm512_loadu_ps(r0 + i + 16);
+    d01 = _mm512_fmadd_ps(q1, r0c1, d01);
+    n01 = _mm512_fmadd_ps(r0c1, r0c1, n01);
+    const __m512 r1c0 = _mm512_loadu_ps(r1 + i);
+    d10 = _mm512_fmadd_ps(q0, r1c0, d10);
+    n10 = _mm512_fmadd_ps(r1c0, r1c0, n10);
+    const __m512 r1c1 = _mm512_loadu_ps(r1 + i + 16);
+    d11 = _mm512_fmadd_ps(q1, r1c1, d11);
+    n11 = _mm512_fmadd_ps(r1c1, r1c1, n11);
+  }
+  if (i + 16 <= n) {
+    const __m512 q0 = _mm512_loadu_ps(q + i);
+    const __m512 r0c = _mm512_loadu_ps(r0 + i);
+    d00 = _mm512_fmadd_ps(q0, r0c, d00);
+    n00 = _mm512_fmadd_ps(r0c, r0c, n00);
+    const __m512 r1c = _mm512_loadu_ps(r1 + i);
+    d10 = _mm512_fmadd_ps(q0, r1c, d10);
+    n10 = _mm512_fmadd_ps(r1c, r1c, n10);
+    i += 16;
+  }
+  if (i < n) {
+    const __mmask16 m = TailMask(n - i);
+    const __m512 q0 = _mm512_maskz_loadu_ps(m, q + i);
+    const __m512 r0c = _mm512_maskz_loadu_ps(m, r0 + i);
+    d01 = _mm512_fmadd_ps(q0, r0c, d01);
+    n01 = _mm512_fmadd_ps(r0c, r0c, n01);
+    const __m512 r1c = _mm512_maskz_loadu_ps(m, r1 + i);
+    d11 = _mm512_fmadd_ps(q0, r1c, d11);
+    n11 = _mm512_fmadd_ps(r1c, r1c, n11);
+  }
+  dot_out[0] = _mm512_reduce_add_ps(_mm512_add_ps(d00, d01));
+  dot_out[1] = _mm512_reduce_add_ps(_mm512_add_ps(d10, d11));
+  norm_out[0] = _mm512_reduce_add_ps(_mm512_add_ps(n00, n01));
+  norm_out[1] = _mm512_reduce_add_ps(_mm512_add_ps(n10, n11));
+}
+
+// ----------------------------------------------------- batch drivers ----
+
+void BatchL2(const float* q, const float* base, std::size_t count,
+             std::size_t dim, float* out) {
+  std::size_t r = 0;
+  for (; r + 6 <= count; r += 6) {
+    L2Rows6(q, base + r * dim, base + (r + 1) * dim, base + (r + 2) * dim,
+            base + (r + 3) * dim, base + (r + 4) * dim, base + (r + 5) * dim,
+            dim, out + r);
+  }
+  for (; r + 4 <= count; r += 4) {
+    L2Rows4(q, base + r * dim, base + (r + 1) * dim, base + (r + 2) * dim,
+            base + (r + 3) * dim, dim, out + r);
+  }
+  for (; r < count; ++r) out[r] = L2One(q, base + r * dim, dim);
+}
+
+void BatchIp(const float* q, const float* base, std::size_t count,
+             std::size_t dim, float* out) {
+  std::size_t r = 0;
+  for (; r + 4 <= count; r += 4) {
+    if (r + 8 <= count) PrefetchRow(base + (r + 4) * dim);
+    IpRows4(q, base + r * dim, base + (r + 1) * dim, base + (r + 2) * dim,
+            base + (r + 3) * dim, dim, out + r);
+  }
+  for (; r < count; ++r) out[r] = IpOne(q, base + r * dim, dim);
+}
+
+void BatchCos(const float* q, const float* base, std::size_t count,
+              std::size_t dim, float* out) {
+  const float qnorm = internal::SqrtNonNeg(SqNormOne(q, dim));
+  std::size_t r = 0;
+  float dots[2], norms[2];
+  for (; r + 2 <= count; r += 2) {
+    if (r + 4 <= count) PrefetchRow(base + (r + 2) * dim);
+    CosRows2(q, base + r * dim, base + (r + 1) * dim, dim, dots, norms);
+    out[r] = internal::FinishCosine(dots[0], qnorm, norms[0]);
+    out[r + 1] = internal::FinishCosine(dots[1], qnorm, norms[1]);
+  }
+  for (; r < count; ++r) {
+    const float* row = base + r * dim;
+    out[r] = internal::FinishCosine(IpOne(q, row, dim), qnorm,
+                                    SqNormOne(row, dim));
+  }
+}
+
+}  // namespace
+
+const KernelTable* Avx512Table() noexcept {
+  static const KernelTable table = {
+      "avx512", L2One, IpOne, SqNormOne, BatchL2, BatchIp, BatchCos,
+  };
+  return &table;
+}
+
+}  // namespace proximity::detail

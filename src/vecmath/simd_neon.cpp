@@ -1,0 +1,291 @@
+// AArch64 Advanced-SIMD (NEON) kernels. NEON is architecturally mandatory
+// on aarch64, so this translation unit needs no extra compile flags and no
+// runtime check beyond being compiled in (see vecmath/CMakeLists.txt).
+//
+// Shared chunk pattern: 8 floats per iteration into two 4-lane
+// accumulators, one 4-wide mop-up into acc0, and a scalar fmaf tail. The
+// fused batch kernels replicate this per-row order exactly, making batch
+// results bit-identical to the single-pair kernels.
+#include <arm_neon.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "vecmath/kernel_table.h"
+
+namespace proximity::detail {
+
+namespace {
+
+inline void PrefetchRow(const float* p) noexcept {
+  __builtin_prefetch(p, 0, 3);
+  __builtin_prefetch(reinterpret_cast<const char*>(p) + 64, 0, 3);
+}
+
+// ------------------------------------------------------- single-pair ----
+
+float L2One(const float* a, const float* b, std::size_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.f), acc1 = vdupq_n_f32(0.f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const float32x4_t d0 = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    acc0 = vfmaq_f32(acc0, d0, d0);
+    const float32x4_t d1 =
+        vsubq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+    acc1 = vfmaq_f32(acc1, d1, d1);
+  }
+  if (i + 4 <= n) {
+    const float32x4_t d = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    acc0 = vfmaq_f32(acc0, d, d);
+    i += 4;
+  }
+  float tail = 0.f;
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    tail = std::fmaf(d, d, tail);
+  }
+  return vaddvq_f32(vaddq_f32(acc0, acc1)) + tail;
+}
+
+float IpOne(const float* a, const float* b, std::size_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.f), acc1 = vdupq_n_f32(0.f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+  }
+  if (i + 4 <= n) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+    i += 4;
+  }
+  float tail = 0.f;
+  for (; i < n; ++i) tail = std::fmaf(a[i], b[i], tail);
+  return vaddvq_f32(vaddq_f32(acc0, acc1)) + tail;
+}
+
+float SqNormOne(const float* a, std::size_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.f), acc1 = vdupq_n_f32(0.f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const float32x4_t v0 = vld1q_f32(a + i);
+    acc0 = vfmaq_f32(acc0, v0, v0);
+    const float32x4_t v1 = vld1q_f32(a + i + 4);
+    acc1 = vfmaq_f32(acc1, v1, v1);
+  }
+  if (i + 4 <= n) {
+    const float32x4_t v = vld1q_f32(a + i);
+    acc0 = vfmaq_f32(acc0, v, v);
+    i += 4;
+  }
+  float tail = 0.f;
+  for (; i < n; ++i) tail = std::fmaf(a[i], a[i], tail);
+  return vaddvq_f32(vaddq_f32(acc0, acc1)) + tail;
+}
+
+// ------------------------------------------------- fused batch cores ----
+// Four rows in flight sharing the query loads; per-row accumulator order
+// matches the single-pair kernels above exactly.
+
+void L2Rows4(const float* q, const float* r0, const float* r1,
+             const float* r2, const float* r3, std::size_t n, float* out) {
+  float32x4_t a00 = vdupq_n_f32(0.f), a01 = vdupq_n_f32(0.f);
+  float32x4_t a10 = vdupq_n_f32(0.f), a11 = vdupq_n_f32(0.f);
+  float32x4_t a20 = vdupq_n_f32(0.f), a21 = vdupq_n_f32(0.f);
+  float32x4_t a30 = vdupq_n_f32(0.f), a31 = vdupq_n_f32(0.f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const float32x4_t q0 = vld1q_f32(q + i);
+    const float32x4_t q1 = vld1q_f32(q + i + 4);
+    float32x4_t d;
+    d = vsubq_f32(q0, vld1q_f32(r0 + i));
+    a00 = vfmaq_f32(a00, d, d);
+    d = vsubq_f32(q1, vld1q_f32(r0 + i + 4));
+    a01 = vfmaq_f32(a01, d, d);
+    d = vsubq_f32(q0, vld1q_f32(r1 + i));
+    a10 = vfmaq_f32(a10, d, d);
+    d = vsubq_f32(q1, vld1q_f32(r1 + i + 4));
+    a11 = vfmaq_f32(a11, d, d);
+    d = vsubq_f32(q0, vld1q_f32(r2 + i));
+    a20 = vfmaq_f32(a20, d, d);
+    d = vsubq_f32(q1, vld1q_f32(r2 + i + 4));
+    a21 = vfmaq_f32(a21, d, d);
+    d = vsubq_f32(q0, vld1q_f32(r3 + i));
+    a30 = vfmaq_f32(a30, d, d);
+    d = vsubq_f32(q1, vld1q_f32(r3 + i + 4));
+    a31 = vfmaq_f32(a31, d, d);
+  }
+  if (i + 4 <= n) {
+    const float32x4_t q0 = vld1q_f32(q + i);
+    float32x4_t d;
+    d = vsubq_f32(q0, vld1q_f32(r0 + i));
+    a00 = vfmaq_f32(a00, d, d);
+    d = vsubq_f32(q0, vld1q_f32(r1 + i));
+    a10 = vfmaq_f32(a10, d, d);
+    d = vsubq_f32(q0, vld1q_f32(r2 + i));
+    a20 = vfmaq_f32(a20, d, d);
+    d = vsubq_f32(q0, vld1q_f32(r3 + i));
+    a30 = vfmaq_f32(a30, d, d);
+    i += 4;
+  }
+  float t0 = 0.f, t1 = 0.f, t2 = 0.f, t3 = 0.f;
+  for (; i < n; ++i) {
+    const float qa = q[i];
+    float d = qa - r0[i];
+    t0 = std::fmaf(d, d, t0);
+    d = qa - r1[i];
+    t1 = std::fmaf(d, d, t1);
+    d = qa - r2[i];
+    t2 = std::fmaf(d, d, t2);
+    d = qa - r3[i];
+    t3 = std::fmaf(d, d, t3);
+  }
+  out[0] = vaddvq_f32(vaddq_f32(a00, a01)) + t0;
+  out[1] = vaddvq_f32(vaddq_f32(a10, a11)) + t1;
+  out[2] = vaddvq_f32(vaddq_f32(a20, a21)) + t2;
+  out[3] = vaddvq_f32(vaddq_f32(a30, a31)) + t3;
+}
+
+void IpRows4(const float* q, const float* r0, const float* r1,
+             const float* r2, const float* r3, std::size_t n, float* out) {
+  float32x4_t a00 = vdupq_n_f32(0.f), a01 = vdupq_n_f32(0.f);
+  float32x4_t a10 = vdupq_n_f32(0.f), a11 = vdupq_n_f32(0.f);
+  float32x4_t a20 = vdupq_n_f32(0.f), a21 = vdupq_n_f32(0.f);
+  float32x4_t a30 = vdupq_n_f32(0.f), a31 = vdupq_n_f32(0.f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const float32x4_t q0 = vld1q_f32(q + i);
+    const float32x4_t q1 = vld1q_f32(q + i + 4);
+    a00 = vfmaq_f32(a00, q0, vld1q_f32(r0 + i));
+    a01 = vfmaq_f32(a01, q1, vld1q_f32(r0 + i + 4));
+    a10 = vfmaq_f32(a10, q0, vld1q_f32(r1 + i));
+    a11 = vfmaq_f32(a11, q1, vld1q_f32(r1 + i + 4));
+    a20 = vfmaq_f32(a20, q0, vld1q_f32(r2 + i));
+    a21 = vfmaq_f32(a21, q1, vld1q_f32(r2 + i + 4));
+    a30 = vfmaq_f32(a30, q0, vld1q_f32(r3 + i));
+    a31 = vfmaq_f32(a31, q1, vld1q_f32(r3 + i + 4));
+  }
+  if (i + 4 <= n) {
+    const float32x4_t q0 = vld1q_f32(q + i);
+    a00 = vfmaq_f32(a00, q0, vld1q_f32(r0 + i));
+    a10 = vfmaq_f32(a10, q0, vld1q_f32(r1 + i));
+    a20 = vfmaq_f32(a20, q0, vld1q_f32(r2 + i));
+    a30 = vfmaq_f32(a30, q0, vld1q_f32(r3 + i));
+    i += 4;
+  }
+  float t0 = 0.f, t1 = 0.f, t2 = 0.f, t3 = 0.f;
+  for (; i < n; ++i) {
+    const float qa = q[i];
+    t0 = std::fmaf(qa, r0[i], t0);
+    t1 = std::fmaf(qa, r1[i], t1);
+    t2 = std::fmaf(qa, r2[i], t2);
+    t3 = std::fmaf(qa, r3[i], t3);
+  }
+  out[0] = vaddvq_f32(vaddq_f32(a00, a01)) + t0;
+  out[1] = vaddvq_f32(vaddq_f32(a10, a11)) + t1;
+  out[2] = vaddvq_f32(vaddq_f32(a20, a21)) + t2;
+  out[3] = vaddvq_f32(vaddq_f32(a30, a31)) + t3;
+}
+
+// Two rows in flight, accumulating dot and row-norm together (one pass per
+// row). dot order matches IpOne; norm order matches SqNormOne.
+void CosRows2(const float* q, const float* r0, const float* r1,
+              std::size_t n, float* dot_out, float* norm_out) {
+  float32x4_t d00 = vdupq_n_f32(0.f), d01 = vdupq_n_f32(0.f);
+  float32x4_t d10 = vdupq_n_f32(0.f), d11 = vdupq_n_f32(0.f);
+  float32x4_t n00 = vdupq_n_f32(0.f), n01 = vdupq_n_f32(0.f);
+  float32x4_t n10 = vdupq_n_f32(0.f), n11 = vdupq_n_f32(0.f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const float32x4_t q0 = vld1q_f32(q + i);
+    const float32x4_t q1 = vld1q_f32(q + i + 4);
+    const float32x4_t r0c0 = vld1q_f32(r0 + i);
+    d00 = vfmaq_f32(d00, q0, r0c0);
+    n00 = vfmaq_f32(n00, r0c0, r0c0);
+    const float32x4_t r0c1 = vld1q_f32(r0 + i + 4);
+    d01 = vfmaq_f32(d01, q1, r0c1);
+    n01 = vfmaq_f32(n01, r0c1, r0c1);
+    const float32x4_t r1c0 = vld1q_f32(r1 + i);
+    d10 = vfmaq_f32(d10, q0, r1c0);
+    n10 = vfmaq_f32(n10, r1c0, r1c0);
+    const float32x4_t r1c1 = vld1q_f32(r1 + i + 4);
+    d11 = vfmaq_f32(d11, q1, r1c1);
+    n11 = vfmaq_f32(n11, r1c1, r1c1);
+  }
+  if (i + 4 <= n) {
+    const float32x4_t q0 = vld1q_f32(q + i);
+    const float32x4_t r0c = vld1q_f32(r0 + i);
+    d00 = vfmaq_f32(d00, q0, r0c);
+    n00 = vfmaq_f32(n00, r0c, r0c);
+    const float32x4_t r1c = vld1q_f32(r1 + i);
+    d10 = vfmaq_f32(d10, q0, r1c);
+    n10 = vfmaq_f32(n10, r1c, r1c);
+    i += 4;
+  }
+  float td0 = 0.f, td1 = 0.f, tn0 = 0.f, tn1 = 0.f;
+  for (; i < n; ++i) {
+    const float qa = q[i];
+    const float x0 = r0[i];
+    td0 = std::fmaf(qa, x0, td0);
+    tn0 = std::fmaf(x0, x0, tn0);
+    const float x1 = r1[i];
+    td1 = std::fmaf(qa, x1, td1);
+    tn1 = std::fmaf(x1, x1, tn1);
+  }
+  dot_out[0] = vaddvq_f32(vaddq_f32(d00, d01)) + td0;
+  dot_out[1] = vaddvq_f32(vaddq_f32(d10, d11)) + td1;
+  norm_out[0] = vaddvq_f32(vaddq_f32(n00, n01)) + tn0;
+  norm_out[1] = vaddvq_f32(vaddq_f32(n10, n11)) + tn1;
+}
+
+// ----------------------------------------------------- batch drivers ----
+
+void BatchL2(const float* q, const float* base, std::size_t count,
+             std::size_t dim, float* out) {
+  std::size_t r = 0;
+  for (; r + 4 <= count; r += 4) {
+    if (r + 8 <= count) PrefetchRow(base + (r + 4) * dim);
+    L2Rows4(q, base + r * dim, base + (r + 1) * dim, base + (r + 2) * dim,
+            base + (r + 3) * dim, dim, out + r);
+  }
+  for (; r < count; ++r) out[r] = L2One(q, base + r * dim, dim);
+}
+
+void BatchIp(const float* q, const float* base, std::size_t count,
+             std::size_t dim, float* out) {
+  std::size_t r = 0;
+  for (; r + 4 <= count; r += 4) {
+    if (r + 8 <= count) PrefetchRow(base + (r + 4) * dim);
+    IpRows4(q, base + r * dim, base + (r + 1) * dim, base + (r + 2) * dim,
+            base + (r + 3) * dim, dim, out + r);
+  }
+  for (; r < count; ++r) out[r] = IpOne(q, base + r * dim, dim);
+}
+
+void BatchCos(const float* q, const float* base, std::size_t count,
+              std::size_t dim, float* out) {
+  const float qnorm = internal::SqrtNonNeg(SqNormOne(q, dim));
+  std::size_t r = 0;
+  float dots[2], norms[2];
+  for (; r + 2 <= count; r += 2) {
+    if (r + 4 <= count) PrefetchRow(base + (r + 2) * dim);
+    CosRows2(q, base + r * dim, base + (r + 1) * dim, dim, dots, norms);
+    out[r] = internal::FinishCosine(dots[0], qnorm, norms[0]);
+    out[r + 1] = internal::FinishCosine(dots[1], qnorm, norms[1]);
+  }
+  for (; r < count; ++r) {
+    const float* row = base + r * dim;
+    out[r] = internal::FinishCosine(IpOne(q, row, dim), qnorm,
+                                    SqNormOne(row, dim));
+  }
+}
+
+}  // namespace
+
+const KernelTable* NeonTable() noexcept {
+  static const KernelTable table = {
+      "neon", L2One, IpOne, SqNormOne, BatchL2, BatchIp, BatchCos,
+  };
+  return &table;
+}
+
+}  // namespace proximity::detail

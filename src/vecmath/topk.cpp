@@ -61,11 +61,26 @@ std::vector<Neighbor> TopK::Sorted() const {
 std::vector<Neighbor> SelectTopK(Metric metric, std::span<const float> query,
                                  const float* base, std::size_t count,
                                  std::size_t dim, std::size_t k,
-                                 VectorId base_id) {
+                                 VectorId base_id, const float* row_norms) {
+  // The L2 decomposition is not bit-identical to the direct kernel, so only
+  // cosine (where stored norms reproduce the single-pair math exactly)
+  // takes the norm-assisted path.
+  if (metric != Metric::kCosine) row_norms = nullptr;
+
   TopK top(k);
-  for (std::size_t r = 0; r < count; ++r) {
-    const float d = Distance(metric, query, {base + r * dim, dim});
-    top.Push(base_id + static_cast<VectorId>(r), d);
+  constexpr std::size_t kTile = 4096;
+  std::vector<float> dist(std::min(count, kTile));
+  for (std::size_t lo = 0; lo < count; lo += kTile) {
+    const std::size_t m = std::min(kTile, count - lo);
+    if (row_norms != nullptr) {
+      BatchDistanceWithNorms(metric, query, base + lo * dim, row_norms + lo,
+                             m, dim, dist.data());
+    } else {
+      BatchDistance(metric, query, base + lo * dim, m, dim, dist.data());
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      top.Push(base_id + static_cast<VectorId>(lo + r), dist[r]);
+    }
   }
   return top.Take();
 }

@@ -42,10 +42,14 @@ class TopK {
 
 /// Convenience: selects the k closest rows of a contiguous row-major block.
 /// `base` holds `count` vectors of dimension `dim`; returned ids are
-/// base_id + row.
+/// base_id + row. Distances run through the fused batch kernels tile by
+/// tile. `row_norms` (per-row squared norms, e.g. Matrix::RowNorms())
+/// enables the pre-normalized cosine path; it is ignored for L2, which
+/// keeps the direct kernel for exact parity with Distance().
 std::vector<Neighbor> SelectTopK(Metric metric, std::span<const float> query,
                                  const float* base, std::size_t count,
                                  std::size_t dim, std::size_t k,
-                                 VectorId base_id = 0);
+                                 VectorId base_id = 0,
+                                 const float* row_norms = nullptr);
 
 }  // namespace proximity

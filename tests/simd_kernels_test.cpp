@@ -1,0 +1,295 @@
+// Parity tests for the runtime-dispatched SIMD kernel layer (vecmath/
+// kernels.h). Every compiled-in level must agree with a double-precision
+// scalar reference within a small relative tolerance, and the fused batch /
+// gather kernels must be bit-identical to the single-pair kernels of the
+// same level — that contract is what lets the indexes and the cache route
+// their scans through the batch path without changing any top-k result.
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/flat_index.h"
+#include "vecmath/kernels.h"
+#include "vecmath/matrix.h"
+
+namespace proximity {
+namespace {
+
+constexpr double kRelTol = 1e-4;
+
+std::vector<SimdLevel> SupportedLevels() {
+  std::vector<SimdLevel> levels;
+  for (const SimdLevel lvl : {SimdLevel::kPortable, SimdLevel::kNeon,
+                              SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (SimdLevelSupported(lvl)) levels.push_back(lvl);
+  }
+  return levels;
+}
+
+std::vector<float> RandomVec(std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(dim);
+  for (auto& x : v) x = static_cast<float>(rng.Gaussian(0, 1));
+  return v;
+}
+
+// Double-precision references; the float kernels may differ only by
+// summation order.
+double RefL2(const std::vector<float>& a, const std::vector<float>& b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    s += d * d;
+  }
+  return s;
+}
+
+double RefIp(const std::vector<float>& a, const std::vector<float>& b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return s;
+}
+
+double RefCos(const std::vector<float>& a, const std::vector<float>& b) {
+  const double dot = RefIp(a, b);
+  const double denom = std::sqrt(RefIp(a, a)) * std::sqrt(RefIp(b, b));
+  if (denom <= 0) return 1.0;
+  return 1.0 - dot / denom;
+}
+
+void ExpectNear(double expected, float actual, double scale) {
+  EXPECT_NEAR(expected, static_cast<double>(actual),
+              kRelTol * std::max(1.0, std::abs(scale)));
+}
+
+// Saves + restores the active dispatch level around each test, so a failing
+// assertion can't leak a pinned level into later tests.
+class SimdKernelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = ActiveSimdLevel(); }
+  void TearDown() override { SetActiveSimdLevel(saved_); }
+
+ private:
+  SimdLevel saved_ = SimdLevel::kPortable;
+};
+
+TEST_F(SimdKernelsTest, PortableIsAlwaysSupported) {
+  EXPECT_TRUE(SimdLevelSupported(SimdLevel::kPortable));
+  EXPECT_FALSE(SimdLevelName(ActiveSimdLevel()).empty());
+}
+
+TEST_F(SimdKernelsTest, SetActiveRejectsUnsupportedLevels) {
+  for (const SimdLevel lvl : {SimdLevel::kNeon, SimdLevel::kAvx2,
+                              SimdLevel::kAvx512}) {
+    if (SimdLevelSupported(lvl)) continue;
+    const SimdLevel before = ActiveSimdLevel();
+    EXPECT_FALSE(SetActiveSimdLevel(lvl));
+    EXPECT_EQ(before, ActiveSimdLevel());
+  }
+}
+
+// Every level, every dim in 1..768 (all tail shapes included), all three
+// metrics against the double reference.
+TEST_F(SimdKernelsTest, AllLevelsMatchScalarReferenceAcrossDims) {
+  for (const SimdLevel lvl : SupportedLevels()) {
+    ASSERT_TRUE(SetActiveSimdLevel(lvl));
+    for (std::size_t dim = 1; dim <= 768;
+         dim = dim < 40 ? dim + 1 : dim + 29) {
+      SCOPED_TRACE(testing::Message() << "level=" << SimdLevelName(lvl)
+                                      << " dim=" << dim);
+      const auto a = RandomVec(dim, 1000 + dim);
+      const auto b = RandomVec(dim, 2000 + dim);
+      ExpectNear(RefL2(a, b), L2SquaredDistance(a, b), RefL2(a, b));
+      ExpectNear(RefIp(a, b), InnerProduct(a, b), RefIp(a, a));
+      ExpectNear(RefCos(a, b), CosineDistance(a, b), 1.0);
+      ExpectNear(RefIp(a, a), SquaredNorm(a), RefIp(a, a));
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, ZeroVectorsAreExactAtEveryLevel) {
+  for (const SimdLevel lvl : SupportedLevels()) {
+    ASSERT_TRUE(SetActiveSimdLevel(lvl));
+    for (const std::size_t dim : {1u, 7u, 16u, 33u, 768u}) {
+      const std::vector<float> zero(dim, 0.f);
+      const auto v = RandomVec(dim, 77);
+      EXPECT_EQ(0.f, L2SquaredDistance(zero, zero));
+      EXPECT_EQ(0.f, InnerProduct(zero, v));
+      EXPECT_EQ(0.f, SquaredNorm(zero));
+      // Cosine with a zero vector is defined as 1 (maximally distant).
+      EXPECT_EQ(1.f, CosineDistance(zero, v));
+      EXPECT_EQ(1.f, CosineDistance(v, zero));
+      // Self-distance must be exactly zero: the cache's tau=0 self-hit
+      // semantics depend on it.
+      EXPECT_EQ(0.f, L2SquaredDistance(v, v));
+    }
+  }
+}
+
+// The KernelTable contract: batch results are bit-identical to the
+// single-pair kernels of the same level, odd tails included.
+TEST_F(SimdKernelsTest, BatchIsBitIdenticalToSinglePairAtEveryLevel) {
+  for (const SimdLevel lvl : SupportedLevels()) {
+    ASSERT_TRUE(SetActiveSimdLevel(lvl));
+    for (const std::size_t dim : {1u, 5u, 16u, 31u, 64u, 100u, 768u}) {
+      constexpr std::size_t kRows = 13;  // exercises group remainders
+      Rng rng(31 + dim);
+      std::vector<float> base(kRows * dim);
+      for (auto& x : base) x = static_cast<float>(rng.Gaussian(0, 1));
+      const auto query = RandomVec(dim, 55 + dim);
+      std::vector<float> out(kRows);
+      for (const Metric metric :
+           {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+        BatchDistance(metric, query, base.data(), kRows, dim, out.data());
+        for (std::size_t r = 0; r < kRows; ++r) {
+          const std::span<const float> row(base.data() + r * dim, dim);
+          EXPECT_FLOAT_EQ(Distance(metric, query, row), out[r])
+              << "level=" << SimdLevelName(lvl) << " metric="
+              << MetricName(metric) << " dim=" << dim << " row=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, GatherIsBitIdenticalToSinglePairAtEveryLevel) {
+  constexpr std::size_t kDim = 48, kRows = 64;
+  Rng rng(91);
+  std::vector<float> base(kRows * kDim);
+  for (auto& x : base) x = static_cast<float>(rng.Gaussian(0, 1));
+  const auto query = RandomVec(kDim, 92);
+  const std::vector<std::uint32_t> ids = {63, 0, 17, 17, 41, 2, 59};
+  std::vector<float> out(ids.size());
+  for (const SimdLevel lvl : SupportedLevels()) {
+    ASSERT_TRUE(SetActiveSimdLevel(lvl));
+    for (const Metric metric :
+         {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+      GatherDistance(metric, query, base.data(), kDim, ids.data(), ids.size(),
+                     out.data());
+      for (std::size_t j = 0; j < ids.size(); ++j) {
+        const std::span<const float> row(base.data() + ids[j] * kDim, kDim);
+        EXPECT_FLOAT_EQ(Distance(metric, query, row), out[j])
+            << "level=" << SimdLevelName(lvl) << " metric="
+            << MetricName(metric) << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, NormAssistedBatchMatchesPlainBatch) {
+  constexpr std::size_t kDim = 96, kRows = 21;
+  Rng rng(123);
+  Matrix m(0, kDim);
+  m.EnableNormCache();
+  std::vector<float> row(kDim);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (auto& x : row) x = static_cast<float>(rng.Gaussian(0, 1));
+    m.AppendRow(row);
+  }
+  const auto query = RandomVec(kDim, 124);
+  std::vector<float> plain(kRows), assisted(kRows);
+  for (const SimdLevel lvl : SupportedLevels()) {
+    ASSERT_TRUE(SetActiveSimdLevel(lvl));
+    // Cosine with stored norms is bit-identical to the plain path (the
+    // norms come from the same sqnorm kernel).
+    BatchDistance(Metric::kCosine, query, m.data(), kRows, kDim,
+                  plain.data());
+    BatchDistanceWithNorms(Metric::kCosine, query, m.data(), m.RowNorms(),
+                           kRows, kDim, assisted.data());
+    for (std::size_t r = 0; r < kRows; ++r) {
+      EXPECT_FLOAT_EQ(plain[r], assisted[r]) << "cosine row " << r;
+    }
+    // The L2 decomposition ||q-b||^2 = ||q||^2 + ||b||^2 - 2<q,b> is only
+    // approximately equal to the direct kernel.
+    BatchDistance(Metric::kL2, query, m.data(), kRows, kDim, plain.data());
+    BatchDistanceWithNorms(Metric::kL2, query, m.data(), m.RowNorms(), kRows,
+                           kDim, assisted.data());
+    for (std::size_t r = 0; r < kRows; ++r) {
+      EXPECT_NEAR(plain[r], assisted[r],
+                  kRelTol * std::max(1.f, plain[r]))
+          << "l2 row " << r;
+      EXPECT_GE(assisted[r], 0.f);  // decomposition is clamped at zero
+    }
+    // Null norms fall back to the plain batch path exactly.
+    BatchDistanceWithNorms(Metric::kL2, query, m.data(), nullptr, kRows,
+                           kDim, assisted.data());
+    for (std::size_t r = 0; r < kRows; ++r) {
+      EXPECT_FLOAT_EQ(plain[r], assisted[r]) << "null-norms row " << r;
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, MatrixNormCacheTracksMutations) {
+  Matrix m(0, 4);
+  EXPECT_EQ(nullptr, m.RowNorms());
+  m.AppendRow(std::vector<float>{1, 2, 3, 4});
+  m.EnableNormCache();
+  ASSERT_NE(nullptr, m.RowNorms());
+  EXPECT_FLOAT_EQ(SquaredNorm(m.Row(0)), m.RowNorms()[0]);
+
+  m.AppendRow(std::vector<float>{0, 0, 2, 0});
+  ASSERT_NE(nullptr, m.RowNorms());
+  EXPECT_FLOAT_EQ(4.f, m.RowNorms()[1]);
+
+  m.SetRow(0, std::vector<float>{5, 0, 0, 0});
+  EXPECT_FLOAT_EQ(25.f, m.RowNorms()[0]);
+
+  // Handing out mutable access invalidates the cache conservatively.
+  m.MutableRow(1);
+  EXPECT_EQ(nullptr, m.RowNorms());
+  m.EnableNormCache();
+  ASSERT_NE(nullptr, m.RowNorms());
+  EXPECT_FLOAT_EQ(4.f, m.RowNorms()[1]);
+}
+
+// Top-k results must be identical at every level and with every routing
+// (serial batch, filtered gather) — the "fused batch path never changes
+// search results" guarantee the indexes rely on.
+TEST_F(SimdKernelsTest, FlatIndexTopKIdenticalAcrossLevelsAndRoutings) {
+  constexpr std::size_t kDim = 33, kCount = 500, kK = 10;
+  for (const Metric metric :
+       {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+    FlatIndexOptions opts;
+    opts.metric = metric;
+    FlatIndex index(kDim, opts);
+    Rng rng(7);
+    std::vector<float> v(kDim);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      for (auto& x : v) x = static_cast<float>(rng.Gaussian(0, 1));
+      index.Add(v);
+    }
+    const auto query = RandomVec(kDim, 8);
+
+    ASSERT_TRUE(SetActiveSimdLevel(SimdLevel::kPortable));
+    const auto expected = index.Search(query, kK);
+    ASSERT_EQ(kK, expected.size());
+    const auto expected_filtered =
+        index.SearchFiltered(query, kK, [](VectorId id) { return id % 2 == 0; });
+
+    for (const SimdLevel lvl : SupportedLevels()) {
+      ASSERT_TRUE(SetActiveSimdLevel(lvl));
+      const auto got = index.Search(query, kK);
+      ASSERT_EQ(expected.size(), got.size()) << SimdLevelName(lvl);
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i].id, got[i].id)
+            << "level=" << SimdLevelName(lvl) << " metric="
+            << MetricName(metric) << " rank=" << i;
+      }
+      const auto got_filtered = index.SearchFiltered(
+          query, kK, [](VectorId id) { return id % 2 == 0; });
+      ASSERT_EQ(expected_filtered.size(), got_filtered.size());
+      for (std::size_t i = 0; i < expected_filtered.size(); ++i) {
+        EXPECT_EQ(expected_filtered[i].id, got_filtered[i].id);
+        EXPECT_EQ(0u, got_filtered[i].id % 2);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proximity
