@@ -2,9 +2,19 @@
 
 #include <stdexcept>
 
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
 #include "vecmath/kernels.h"
 
 namespace proximity {
+
+namespace {
+// Wrapper-level telemetry (the inner ProximityCache reports `cache.*`).
+const obs::CounterHandle kObsLookups("ccache.lookups");
+const obs::CounterHandle kObsHits("ccache.hits");
+const obs::CounterHandle kObsCoalesced("ccache.coalesced");
+const obs::CounterHandle kObsRetrievals("ccache.retrievals");
+}  // namespace
 
 ConcurrentProximityCache::ConcurrentProximityCache(
     std::size_t dim, ProximityCacheOptions options)
@@ -12,11 +22,16 @@ ConcurrentProximityCache::ConcurrentProximityCache(
 
 std::optional<std::vector<VectorId>> ConcurrentProximityCache::Lookup(
     std::span<const float> query) {
+  // The span covers lock acquisition too, so cache_lookup latency under
+  // the concurrent driver includes contention on the cache mutex.
+  const obs::Span span(obs::Stage::kCacheLookup);
   std::lock_guard lock(mu_);
   ++stats_.lookups;
+  kObsLookups.Inc();
   const auto result = cache_.Lookup(query);
   if (!result.hit) return std::nullopt;
   ++stats_.hits;
+  kObsHits.Inc();
   return std::vector<VectorId>(result.documents.begin(),
                                result.documents.end());
 }
@@ -48,18 +63,23 @@ std::vector<VectorId> ConcurrentProximityCache::FetchOrRetrieve(
   bool i_retrieve = false;
 
   {
+    const obs::Span span(obs::Stage::kCacheLookup);
     std::lock_guard lock(mu_);
     ++stats_.lookups;
+    kObsLookups.Inc();
     const auto cached = cache_.Lookup(query);
     if (cached.hit) {
       ++stats_.hits;
+      kObsHits.Inc();
       return {cached.documents.begin(), cached.documents.end()};
     }
     if (const Flight* flight = FindFlight(query)) {
       ++stats_.coalesced;
+      kObsCoalesced.Inc();
       wait_on = flight->future;
     } else {
       ++stats_.retrievals;
+      kObsRetrievals.Inc();
       i_retrieve = true;
       flights_.push_front(Flight{
           .key = {query.begin(), query.end()},
@@ -76,6 +96,7 @@ std::vector<VectorId> ConcurrentProximityCache::FetchOrRetrieve(
       // The flight owner failed; fall back to a retrieval of our own.
       std::lock_guard lock(mu_);
       ++stats_.retrievals;
+      kObsRetrievals.Inc();
       i_retrieve = true;
       flights_.push_front(Flight{
           .key = {query.begin(), query.end()},

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "common/serde.h"
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
 #include "vecmath/kernels.h"
 
 // Cache snapshot magic tag (see index/index_io.h for the index tags).
@@ -13,6 +15,25 @@ constexpr std::uint32_t kCacheMagic = 0x48434350;  // "PCCH"
 }
 
 namespace proximity {
+
+namespace {
+// Telemetry mirrors of the hot ProximityCacheStats counters. The struct
+// fields stay plain (this class is single-threaded by contract; the
+// concurrent wrapper serializes access under its mutex — see the
+// lost-update audit in DESIGN.md §7), while these registry counters are
+// per-thread relaxed atomics, safe under any interleaving and visible to
+// the exporters. Gauges are process-level: with several cache instances
+// the last writer wins.
+const obs::CounterHandle kObsLookups("cache.lookups");
+const obs::CounterHandle kObsHits("cache.hits");
+const obs::CounterHandle kObsMisses("cache.misses");
+const obs::CounterHandle kObsInsertions("cache.insertions");
+const obs::CounterHandle kObsEvictions("cache.evictions");
+const obs::CounterHandle kObsKeysScanned("cache.keys_scanned");
+const obs::CounterHandle kObsExpiredSkips("cache.expired_skips");
+const obs::GaugeHandle kObsOccupancy("cache.occupancy");
+const obs::GaugeHandle kObsCapacity("cache.capacity");
+}  // namespace
 
 ProximityCache::ProximityCache(std::size_t dim, ProximityCacheOptions options)
     : dim_(dim),
@@ -40,6 +61,7 @@ std::optional<std::pair<std::size_t, float>> ProximityCache::ScanKeys(
     std::span<const float> query) {
   const std::size_t n = keys_.rows();
   if (n == 0) return std::nullopt;
+  const obs::Span span(obs::Stage::kCacheScan);
   scan_buffer_.resize(n);
   BatchDistanceWithNorms(options_.metric, query, keys_.data(),
                          keys_.RowNorms(), n, dim_, scan_buffer_.data());
@@ -48,7 +70,10 @@ std::optional<std::pair<std::size_t, float>> ProximityCache::ScanKeys(
     if (options_.max_age != 0 && op_tick_ - birth_[i] > options_.max_age) {
       // Expired entries are invisible to lookups; count only the ones
       // that would otherwise have matched, so the stat is meaningful.
-      if (scan_buffer_[i] <= options_.tolerance) ++stats_.expired_skips;
+      if (scan_buffer_[i] <= options_.tolerance) {
+        ++stats_.expired_skips;
+        kObsExpiredSkips.Inc();
+      }
       continue;
     }
     if (!best || scan_buffer_[i] < scan_buffer_[*best]) best = i;
@@ -65,11 +90,14 @@ ProximityCache::LookupResult ProximityCache::Lookup(
   ++stats_.lookups;
   ++op_tick_;
   stats_.keys_scanned += keys_.rows();
+  kObsLookups.Inc();
+  kObsKeysScanned.Inc(keys_.rows());
 
   LookupResult result;
   const auto best = ScanKeys(query);
   if (!best) {
     ++stats_.misses;
+    kObsMisses.Inc();
     return result;
   }
   result.best_distance = best->second;
@@ -77,9 +105,11 @@ ProximityCache::LookupResult ProximityCache::Lookup(
     result.hit = true;
     result.documents = values_[best->first];
     ++stats_.hits;
+    kObsHits.Inc();
     policy_->OnAccess(best->first);
   } else {
     ++stats_.misses;
+    kObsMisses.Inc();
   }
   return result;
 }
@@ -90,6 +120,7 @@ void ProximityCache::Insert(std::span<const float> query,
     throw std::invalid_argument("ProximityCache::Insert: dim mismatch");
   }
   ++op_tick_;
+  const obs::Span span(obs::Stage::kInsert);
   std::size_t slot;
   if (keys_.rows() < options_.capacity) {
     slot = keys_.rows();
@@ -97,13 +128,18 @@ void ProximityCache::Insert(std::span<const float> query,
     values_.emplace_back(std::move(documents));
     birth_.push_back(op_tick_);
   } else {
+    const obs::Span evict_span(obs::Stage::kEvict);
     slot = policy_->SelectVictim();
     ++stats_.evictions;
+    kObsEvictions.Inc();
     keys_.SetRow(slot, query);  // keeps the norm cache in sync
     values_[slot] = std::move(documents);
     birth_[slot] = op_tick_;
   }
   ++stats_.insertions;
+  kObsInsertions.Inc();
+  kObsOccupancy.Set(static_cast<double>(keys_.rows()));
+  kObsCapacity.Set(static_cast<double>(options_.capacity));
   policy_->OnInsert(slot);
 }
 

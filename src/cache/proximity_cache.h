@@ -57,6 +57,15 @@ struct ProximityCacheOptions {
 
 /// Counters exposed for the evaluation (§4.2: cache hit rate is
 /// hits / lookups).
+///
+/// Concurrency audit (ISSUE 2): these fields are plain integers and are
+/// safe exactly because every mutation path is serialized — ProximityCache
+/// is single-threaded by contract, and ConcurrentProximityCache only
+/// touches the inner cache under its mutex. Do NOT mutate them from a
+/// lock-free path; the hot counters are mirrored into the obs
+/// MetricsRegistry (per-thread relaxed atomics, names `cache.*`), which is
+/// the safe-under-contention, exporter-visible copy. concurrent_test
+/// verifies both stay exact under contention.
 struct ProximityCacheStats {
   std::uint64_t lookups = 0;
   std::uint64_t hits = 0;

@@ -1,16 +1,29 @@
 #include "cache/tiered_cache.h"
 
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
+
 namespace proximity {
+
+namespace {
+const obs::CounterHandle kObsLookups("tcache.lookups");
+const obs::CounterHandle kObsL1Hits("tcache.l1_hits");
+const obs::CounterHandle kObsL2Hits("tcache.l2_hits");
+const obs::CounterHandle kObsMisses("tcache.misses");
+}  // namespace
 
 TieredCache::TieredCache(std::size_t dim, TieredCacheOptions options)
     : l1_(dim, options.l1_capacity), l2_(dim, options.l2) {}
 
 TieredCache::LookupResult TieredCache::Lookup(std::span<const float> query) {
+  const obs::Span span(obs::Stage::kCacheLookup);
   ++stats_.lookups;
+  kObsLookups.Inc();
   LookupResult result;
 
   if (const auto* docs = l1_.Lookup(query)) {
     ++stats_.l1_hits;
+    kObsL1Hits.Inc();
     result.source = Source::kL1;
     result.documents = *docs;
     return result;
@@ -19,6 +32,7 @@ TieredCache::LookupResult TieredCache::Lookup(std::span<const float> query) {
   const auto l2_result = l2_.Lookup(query);
   if (l2_result.hit) {
     ++stats_.l2_hits;
+    kObsL2Hits.Inc();
     result.source = Source::kL2;
     // Promote under the exact query key: an identical repeat now costs a
     // hash probe instead of the L2 scan. The promoted copy is what we
@@ -31,6 +45,7 @@ TieredCache::LookupResult TieredCache::Lookup(std::span<const float> query) {
   }
 
   ++stats_.misses;
+  kObsMisses.Inc();
   return result;
 }
 

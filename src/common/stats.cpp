@@ -44,16 +44,9 @@ double StreamingStats::variance() const noexcept {
 
 double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
 
-namespace {
-// 64 buckets per decade over 12 decades: 1ns .. 10^12 ns.
-constexpr std::size_t kBucketsPerDecade = 64;
-constexpr std::size_t kDecades = 12;
-constexpr std::size_t kNumBuckets = kBucketsPerDecade * kDecades;
-}  // namespace
-
 LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
 
-std::size_t LatencyHistogram::BucketOf(Nanos ns) const noexcept {
+std::size_t LatencyHistogram::BucketIndex(Nanos ns) noexcept {
   if (ns < 1) ns = 1;
   const double b = std::log10(static_cast<double>(ns)) * kBucketsPerDecade;
   auto idx = static_cast<std::size_t>(b);
@@ -65,19 +58,38 @@ double LatencyHistogram::BucketLow(std::size_t b) const noexcept {
 }
 
 void LatencyHistogram::Record(Nanos ns) noexcept {
-  ++buckets_[BucketOf(ns)];
+  ++buckets_[BucketIndex(ns)];
+  min_ = total_ ? std::min(min_, ns) : ns;
   ++total_;
   sum_ += static_cast<double>(ns);
   max_ = std::max(max_, ns);
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) noexcept {
+  if (other.total_ == 0) return;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }
+  min_ = total_ ? std::min(min_, other.min_) : other.min_;
   total_ += other.total_;
   sum_ += other.sum_;
   max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::MergeBuckets(const std::uint64_t* counts, std::size_t n,
+                                    double sum_ns, Nanos min_ns,
+                                    Nanos max_ns) noexcept {
+  n = std::min(n, buckets_.size());
+  std::uint64_t added = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    buckets_[i] += counts[i];
+    added += counts[i];
+  }
+  if (added == 0) return;
+  min_ = total_ ? std::min(min_, min_ns) : min_ns;
+  total_ += added;
+  sum_ += sum_ns;
+  max_ = std::max(max_, max_ns);
 }
 
 double LatencyHistogram::MeanNanos() const noexcept {
@@ -86,15 +98,19 @@ double LatencyHistogram::MeanNanos() const noexcept {
 
 double LatencyHistogram::QuantileNanos(double q) const noexcept {
   if (total_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return static_cast<double>(MinNanos());
+  if (q >= 1.0) return static_cast<double>(max_);
   const auto target = static_cast<std::uint64_t>(
       q * static_cast<double>(total_ - 1));
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     seen += buckets_[b];
     if (seen > target) {
-      // Midpoint of the bucket in log space.
-      return std::sqrt(BucketLow(b) * BucketLow(b + 1));
+      // Midpoint of the bucket in log space, clamped so the bucket-low
+      // approximation can never undershoot the true min (or overshoot max).
+      const double mid = std::sqrt(BucketLow(b) * BucketLow(b + 1));
+      return std::clamp(mid, static_cast<double>(MinNanos()),
+                        static_cast<double>(max_));
     }
   }
   return static_cast<double>(max_);

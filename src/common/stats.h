@@ -39,27 +39,52 @@ class StreamingStats {
 /// summaries printed by the benches.
 class LatencyHistogram {
  public:
+  /// Bucket layout, shared with the obs metric shards (obs/metrics_registry)
+  /// so their raw per-thread bucket arrays merge losslessly via
+  /// MergeBuckets().
+  static constexpr std::size_t kBucketsPerDecade = 64;
+  static constexpr std::size_t kDecades = 12;  // 1ns .. 10^12 ns
+  static constexpr std::size_t kNumBuckets = kBucketsPerDecade * kDecades;
+
+  /// Bucket index a sample falls into (samples < 1ns clamp to bucket 0).
+  static std::size_t BucketIndex(Nanos ns) noexcept;
+
   LatencyHistogram();
 
   void Record(Nanos ns) noexcept;
   void Merge(const LatencyHistogram& other) noexcept;
 
+  /// Folds in raw bucket counts recorded externally with BucketIndex()
+  /// (the obs shard-merge path). `counts` must hold `n <= kNumBuckets`
+  /// entries; `sum_ns`/`min_ns`/`max_ns` describe the same sample set.
+  /// No-op when the external set is empty (count sum of zero).
+  void MergeBuckets(const std::uint64_t* counts, std::size_t n, double sum_ns,
+                    Nanos min_ns, Nanos max_ns) noexcept;
+
   std::uint64_t count() const noexcept { return total_; }
   double MeanNanos() const noexcept;
   /// q in [0, 1]; returns an approximate quantile in nanoseconds.
+  ///
+  /// Edge behavior: an empty histogram returns 0 for every q; q <= 0
+  /// returns the exact minimum (MinNanos) and q >= 1 the exact maximum
+  /// (MaxNanos). Interior quantiles are log-space bucket midpoints clamped
+  /// to [MinNanos, MaxNanos], so no quantile can undershoot the smallest
+  /// recorded sample or overshoot the largest.
   double QuantileNanos(double q) const noexcept;
   Nanos MaxNanos() const noexcept { return max_; }
+  /// Exact smallest recorded sample (0 when empty), mirroring MaxNanos().
+  Nanos MinNanos() const noexcept { return total_ ? min_ : 0; }
 
   /// "p50=… p99=… max=…" one-line summary in adaptive units.
   std::string Summary() const;
 
  private:
-  std::size_t BucketOf(Nanos ns) const noexcept;
   double BucketLow(std::size_t b) const noexcept;
 
   std::vector<std::uint64_t> buckets_;
   std::uint64_t total_ = 0;
   double sum_ = 0.0;
+  Nanos min_ = 0;  // meaningful only when total_ > 0
   Nanos max_ = 0;
 };
 

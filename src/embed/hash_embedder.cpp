@@ -71,10 +71,14 @@ std::vector<float> HashEmbedder::Embed(std::string_view text) const {
 
 Matrix HashEmbedder::EmbedBatch(const std::vector<std::string>& texts) const {
   Matrix result(texts.size(), options_.dim);
+  // Take the mutable pointer once, on this thread: MutableRow from the
+  // workers would hit the norm-cache drop concurrently.
+  float* out = result.data();
+  const std::size_t dim = options_.dim;
   ThreadPool::Shared().ParallelForChunked(
       0, texts.size(), [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-          EmbedInto(texts[i], result.MutableRow(i));
+          EmbedInto(texts[i], {out + i * dim, dim});
         }
       });
   return result;

@@ -6,6 +6,7 @@
 #include "common/serde.h"
 #include "common/thread_pool.h"
 #include "index/index_io.h"
+#include "obs/span.h"
 #include "vecmath/kernels.h"
 #include "vecmath/topk.h"
 
@@ -29,6 +30,7 @@ std::vector<Neighbor> FlatIndex::Search(std::span<const float> query,
                                         std::size_t k) const {
   CheckDim(query);
   if (k == 0 || vectors_.rows() == 0) return {};
+  const obs::Span span(obs::Stage::kIndexSearch);
   const std::size_t n = vectors_.rows();
   const std::size_t d = vectors_.dim();
 
@@ -65,6 +67,7 @@ std::vector<Neighbor> FlatIndex::SearchFiltered(std::span<const float> query,
   if (!filter) return Search(query, k);
   CheckDim(query);
   if (k == 0 || vectors_.rows() == 0) return {};
+  const obs::Span span(obs::Stage::kIndexSearch);
   // Predicated scan through the gather kernel: evaluate the filter tile by
   // tile, then batch-compute distances for the passing rows only.
   const std::size_t n = vectors_.rows();

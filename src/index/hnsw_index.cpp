@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/serde.h"
 #include "index/index_io.h"
+#include "obs/span.h"
 #include "vecmath/kernels.h"
 #include "vecmath/topk.h"
 
@@ -269,6 +270,7 @@ std::vector<Neighbor> HnswIndex::Search(std::span<const float> query,
                                         std::size_t k) const {
   CheckDim(query);
   if (k == 0 || vectors_.rows() == 0) return {};
+  const obs::Span span(obs::Stage::kIndexSearch);
 
   NodeId cur = entry_point_;
   float cur_dist = Dist(query, cur);

@@ -6,6 +6,7 @@
 #include "common/serde.h"
 #include "index/index_io.h"
 #include "index/kmeans.h"
+#include "obs/span.h"
 #include "vecmath/kernels.h"
 #include "vecmath/topk.h"
 
@@ -50,6 +51,7 @@ std::vector<Neighbor> IvfFlatIndex::Search(std::span<const float> query,
   if (!trained_) throw std::logic_error("IvfFlatIndex: train before Search");
   CheckDim(query);
   if (k == 0 || count_ == 0) return {};
+  const obs::Span span(obs::Stage::kIndexSearch);
 
   // Rank coarse centroids by distance to the query.
   const std::size_t nprobe = std::min(options_.nprobe, centroids_.rows());

@@ -6,6 +6,7 @@
 #include "common/serde.h"
 #include "index/index_io.h"
 #include "index/kmeans.h"
+#include "obs/span.h"
 #include "vecmath/kernels.h"
 #include "vecmath/topk.h"
 
@@ -54,6 +55,7 @@ std::vector<Neighbor> IvfPqIndex::Search(std::span<const float> query,
   if (!trained_) throw std::logic_error("IvfPqIndex: train before Search");
   CheckDim(query);
   if (k == 0 || count_ == 0) return {};
+  const obs::Span span(obs::Stage::kIndexSearch);
 
   const std::size_t nprobe = std::min(options_.nprobe, centroids_.rows());
   std::vector<Neighbor> probe_order =

@@ -1,0 +1,118 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace proximity::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void AppendSummary(std::string& out, const std::string& pname,
+                   const LatencyHistogram& h) {
+  out += "# TYPE " + pname + " summary\n";
+  for (double q : {0.5, 0.9, 0.99}) {
+    out += pname + "{quantile=\"" + FormatDouble(q) + "\"} " +
+           FormatDouble(h.QuantileNanos(q)) + "\n";
+  }
+  out += pname + "_sum " +
+         FormatDouble(h.MeanNanos() * static_cast<double>(h.count())) + "\n";
+  out += pname + "_count " + std::to_string(h.count()) + "\n";
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "proximity_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string pname = PrometheusName(c.name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string pname = PrometheusName(g.name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + FormatDouble(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    AppendSummary(out, PrometheusName(h.name), h.histogram);
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(c.name) + "\": " + std::to_string(c.value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(g.name) + "\": " + FormatDouble(g.value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    const LatencyHistogram& hist = h.histogram;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(h.name) + "\": {";
+    out += "\"count\": " + std::to_string(hist.count());
+    out += ", \"mean_ns\": " + FormatDouble(hist.MeanNanos());
+    out += ", \"p50_ns\": " + FormatDouble(hist.QuantileNanos(0.5));
+    out += ", \"p90_ns\": " + FormatDouble(hist.QuantileNanos(0.9));
+    out += ", \"p99_ns\": " + FormatDouble(hist.QuantileNanos(0.99));
+    out += ", \"min_ns\": " + std::to_string(hist.MinNanos());
+    out += ", \"max_ns\": " + std::to_string(hist.MaxNanos());
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void WriteSnapshotFile(const MetricsSnapshot& snapshot,
+                       const std::string& path) {
+  const bool prom = path.ends_with(".prom") || path.ends_with(".txt");
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("WriteSnapshotFile: cannot open " + path);
+  }
+  os << (prom ? ToPrometheusText(snapshot) : ToJson(snapshot));
+  if (!os) {
+    throw std::runtime_error("WriteSnapshotFile: write failed for " + path);
+  }
+}
+
+}  // namespace proximity::obs

@@ -1,0 +1,31 @@
+// Snapshot exporters: Prometheus text exposition and JSON.
+//
+// Histograms are exported Prometheus-style as summaries (quantile-labeled
+// series plus _sum/_count) rather than 768 raw log buckets — the bucket
+// layout is an implementation detail; the quantiles are the contract.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace proximity::obs {
+
+/// Prometheus text exposition format (version 0.0.4). Metric names are
+/// sanitized ("cache.hits" -> "proximity_cache_hits").
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+/// {name: {count, mean_ns, p50_ns, p90_ns, p99_ns, min_ns, max_ns}}}.
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+/// Writes the snapshot to `path`; the extension picks the format
+/// (".prom"/".txt" -> Prometheus text, anything else -> JSON).
+/// Throws std::runtime_error when the file cannot be written.
+void WriteSnapshotFile(const MetricsSnapshot& snapshot,
+                       const std::string& path);
+
+/// "cache.hits" -> "proximity_cache_hits" (exposed for tests).
+std::string PrometheusName(std::string_view name);
+
+}  // namespace proximity::obs

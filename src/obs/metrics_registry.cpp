@@ -1,0 +1,231 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+
+namespace proximity::obs {
+
+namespace {
+
+/// Monotone registry uids; never reused, so a stale thread-local shard
+/// entry for a destroyed registry can never alias a new one.
+std::atomic<std::uint64_t> g_next_registry_uid{1};
+
+template <typename T>
+void AtomicMin(std::atomic<T>& slot, T value) noexcept {
+  T cur = slot.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+template <typename T>
+void AtomicMax(std::atomic<T>& slot, T value) noexcept {
+  T cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+MetricsRegistry::Shard::~Shard() {
+  for (auto& slot : hists) delete slot.load(std::memory_order_acquire);
+}
+
+MetricsRegistry::MetricsRegistry()
+    : uid_(g_next_registry_uid.fetch_add(1, std::memory_order_relaxed)) {
+  // Pre-register the span stage histograms so RecordStage is a plain
+  // array index on the hot path.
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    std::string name = "stage.";
+    name += StageName(static_cast<Stage>(s));
+    name += "_ns";
+    stage_hists_[s] = Histogram(name);
+  }
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricId MetricsRegistry::RegisterIn(std::vector<std::string>& names,
+                                     std::size_t capacity,
+                                     std::string_view name) {
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<MetricId>(i);
+  }
+  if (names.size() >= capacity) return kInvalidMetric;
+  names.emplace_back(name);
+  return static_cast<MetricId>(names.size() - 1);
+}
+
+MetricId MetricsRegistry::Counter(std::string_view name) {
+  return RegisterIn(counter_names_, kMaxCounters, name);
+}
+
+MetricId MetricsRegistry::Gauge(std::string_view name) {
+  return RegisterIn(gauge_names_, kMaxGauges, name);
+}
+
+MetricId MetricsRegistry::Histogram(std::string_view name) {
+  return RegisterIn(hist_names_, kMaxHistograms, name);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::LocalShard() noexcept {
+  struct TlsEntry {
+    std::uint64_t registry_uid;
+    Shard* shard;
+  };
+  thread_local std::vector<TlsEntry> tls_shards;
+  for (const auto& e : tls_shards) {
+    if (e.registry_uid == uid_) return *e.shard;
+  }
+  Shard* shard;
+  {
+    std::lock_guard lock(mu_);
+    shards_.push_back(std::make_unique<Shard>());
+    shard = shards_.back().get();
+  }
+  tls_shards.push_back({uid_, shard});
+  return *shard;
+}
+
+void MetricsRegistry::Add(MetricId counter, std::uint64_t delta) noexcept {
+  if (counter >= kMaxCounters) return;
+  LocalShard().counters[counter].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Record(MetricId histogram, Nanos ns) noexcept {
+  if (histogram >= kMaxHistograms) return;
+  if (ns < 0) ns = 0;
+  Shard& shard = LocalShard();
+  HistShard* h = shard.hists[histogram].load(std::memory_order_relaxed);
+  if (h == nullptr) {
+    // Only the owning thread writes this slot; release pairs with the
+    // acquire load in Snapshot().
+    h = new HistShard();
+    shard.hists[histogram].store(h, std::memory_order_release);
+  }
+  h->buckets[LatencyHistogram::BucketIndex(ns)].fetch_add(
+      1, std::memory_order_relaxed);
+  h->sum_ns.fetch_add(static_cast<std::uint64_t>(ns),
+                      std::memory_order_relaxed);
+  AtomicMin(h->min_ns, ns);
+  AtomicMax(h->max_ns, ns);
+}
+
+void MetricsRegistry::RecordStage(Stage stage, Nanos ns) noexcept {
+  Record(stage_hists_[static_cast<std::size_t>(stage)], ns);
+}
+
+void MetricsRegistry::GaugeSet(MetricId gauge, double value) noexcept {
+  if (gauge >= kMaxGauges) return;
+  gauges_[gauge].store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::GaugeAdd(MetricId gauge, double delta) noexcept {
+  if (gauge >= kMaxGauges) return;
+  double cur = gauges_[gauge].load(std::memory_order_relaxed);
+  while (!gauges_[gauge].compare_exchange_weak(cur, cur + delta,
+                                               std::memory_order_relaxed)) {
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mu_);
+
+  snap.counters.resize(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    snap.counters[i].name = counter_names_[i];
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters[i].value = total;
+  }
+
+  snap.gauges.resize(gauge_names_.size());
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    snap.gauges[i].name = gauge_names_[i];
+    snap.gauges[i].value = gauges_[i].load(std::memory_order_relaxed);
+  }
+
+  snap.histograms.resize(hist_names_.size());
+  std::array<std::uint64_t, LatencyHistogram::kNumBuckets> buckets;
+  for (std::size_t i = 0; i < hist_names_.size(); ++i) {
+    snap.histograms[i].name = hist_names_[i];
+    for (const auto& shard : shards_) {
+      const HistShard* h = shard->hists[i].load(std::memory_order_acquire);
+      if (h == nullptr) continue;
+      for (std::size_t b = 0; b < buckets.size(); ++b) {
+        buckets[b] = h->buckets[b].load(std::memory_order_relaxed);
+      }
+      snap.histograms[i].histogram.MergeBuckets(
+          buckets.data(), buckets.size(),
+          static_cast<double>(h->sum_ns.load(std::memory_order_relaxed)),
+          h->min_ns.load(std::memory_order_relaxed),
+          h->max_ns.load(std::memory_order_relaxed));
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() noexcept {
+  std::lock_guard lock(mu_);
+  for (const auto& shard : shards_) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& slot : shard->hists) {
+      HistShard* h = slot.load(std::memory_order_acquire);
+      if (h == nullptr) continue;
+      for (auto& b : h->buckets) b.store(0, std::memory_order_relaxed);
+      h->sum_ns.store(0, std::memory_order_relaxed);
+      h->min_ns.store(std::numeric_limits<Nanos>::max(),
+                      std::memory_order_relaxed);
+      h->max_ns.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+std::uint64_t MetricsSnapshot::CounterValue(
+    std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::GaugeValue(std::string_view name) const noexcept {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0.0;
+}
+
+const LatencyHistogram* MetricsSnapshot::FindHistogram(
+    std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h.histogram;
+  }
+  return nullptr;
+}
+
+bool MetricsSnapshot::Empty() const noexcept {
+  for (const auto& c : counters) {
+    if (c.value != 0) return false;
+  }
+  for (const auto& g : gauges) {
+    if (g.value != 0.0) return false;
+  }
+  for (const auto& h : histograms) {
+    if (h.histogram.count() != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace proximity::obs

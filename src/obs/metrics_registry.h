@@ -1,0 +1,225 @@
+// Process-wide metrics registry with a lock-free record path.
+//
+// Design (DESIGN.md §7): the registry owns one Shard per recording thread.
+// Counters and histogram buckets are plain relaxed atomics inside the
+// calling thread's shard — the record path takes no lock and shares no
+// cache line with other writers, so it can sit inside the SIMD-hot cache
+// scan and index search loops without perturbing them. Snapshot() merges
+// all shards under the registry mutex; totals are exact once recording
+// threads have quiesced (joined or stopped issuing queries) and
+// monotonically approximate while they are still running.
+//
+// Histograms reuse the LatencyHistogram bucket layout from common/stats.h
+// (64 log buckets per decade), so shard buckets merge losslessly into a
+// LatencyHistogram via MergeBuckets().
+//
+// Compile-time gating: the `PROXIMITY_OBS` CMake option sets
+// PROXIMITY_OBS_ENABLED. When 0, the instrumentation vehicles — Span and
+// the Counter/Gauge/Histogram handles below — compile to no-ops, so the
+// instrumented hot paths carry zero overhead; the registry class itself
+// still links and returns empty snapshots.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "obs/stage.h"
+
+#ifndef PROXIMITY_OBS_ENABLED
+#define PROXIMITY_OBS_ENABLED 1
+#endif
+
+namespace proximity::obs {
+
+using MetricId = std::uint32_t;
+
+/// Returned when a registry is full; recording against it is a no-op.
+inline constexpr MetricId kInvalidMetric = ~MetricId{0};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  LatencyHistogram histogram;
+};
+
+/// Point-in-time merge of every shard, in registration order.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Lookup helpers; counters/gauges return 0 and histograms null when the
+  /// name was never registered.
+  std::uint64_t CounterValue(std::string_view name) const noexcept;
+  double GaugeValue(std::string_view name) const noexcept;
+  const LatencyHistogram* FindHistogram(std::string_view name) const noexcept;
+
+  /// True when no metric holds a recorded value (all counters zero, all
+  /// gauges zero, all histograms empty) — the PROXIMITY_OBS=OFF shape.
+  bool Empty() const noexcept;
+};
+
+class MetricsRegistry {
+ public:
+  /// Shards are fixed-capacity so the record path never reallocates under
+  /// a concurrent Snapshot(). Registration past these limits returns
+  /// kInvalidMetric (recording against it is a safe no-op).
+  static constexpr std::size_t kMaxCounters = 192;
+  static constexpr std::size_t kMaxGauges = 64;
+  static constexpr std::size_t kMaxHistograms = 96;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Name -> id registration; idempotent per name (cold path, mutex).
+  MetricId Counter(std::string_view name);
+  MetricId Gauge(std::string_view name);
+  MetricId Histogram(std::string_view name);
+
+  /// Record paths: lock-free, relaxed atomics in the caller's shard.
+  void Add(MetricId counter, std::uint64_t delta = 1) noexcept;
+  void Record(MetricId histogram, Nanos ns) noexcept;
+  /// Convenience for the pre-registered `stage.<name>_ns` histograms.
+  void RecordStage(Stage stage, Nanos ns) noexcept;
+
+  /// Gauges are process-level set-semantics values (occupancy, τ); they
+  /// live in the registry, not in shards (last write wins).
+  void GaugeSet(MetricId gauge, double value) noexcept;
+  void GaugeAdd(MetricId gauge, double delta) noexcept;
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every counter, gauge and histogram (metric names survive).
+  /// Exact only once recording threads have quiesced.
+  void Reset() noexcept;
+
+  MetricId StageHistogramId(Stage stage) const noexcept {
+    return stage_hists_[static_cast<std::size_t>(stage)];
+  }
+
+  /// The process-wide registry every Span and handle records into.
+  static MetricsRegistry& Default();
+
+ private:
+  struct HistShard {
+    std::array<std::atomic<std::uint64_t>, LatencyHistogram::kNumBuckets>
+        buckets{};
+    std::atomic<std::uint64_t> sum_ns{0};
+    std::atomic<Nanos> min_ns{std::numeric_limits<Nanos>::max()};
+    std::atomic<Nanos> max_ns{0};
+  };
+
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    /// Allocated lazily by the owning thread on first record; read by
+    /// Snapshot() with acquire loads.
+    std::array<std::atomic<HistShard*>, kMaxHistograms> hists{};
+    ~Shard();
+  };
+
+  Shard& LocalShard() noexcept;
+  MetricId RegisterIn(std::vector<std::string>& names, std::size_t capacity,
+                      std::string_view name);
+
+  const std::uint64_t uid_;  // never reused; keys the thread-local cache
+
+  mutable std::mutex mu_;  // guards names and the shard list (cold paths)
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> hist_names_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::array<std::atomic<double>, kMaxGauges> gauges_{};
+  std::array<MetricId, kNumStages> stage_hists_{};
+};
+
+/// Instrumentation handles: name-resolved once (thread-safe static-local
+/// friendly), recording into the default registry. With
+/// PROXIMITY_OBS_ENABLED=0 they are empty structs and every call inlines
+/// to nothing — the testable zero-cost claim.
+#if PROXIMITY_OBS_ENABLED
+
+class CounterHandle {
+ public:
+  explicit CounterHandle(std::string_view name)
+      : id_(MetricsRegistry::Default().Counter(name)) {}
+  void Inc(std::uint64_t delta = 1) const noexcept {
+    MetricsRegistry::Default().Add(id_, delta);
+  }
+
+ private:
+  MetricId id_;
+};
+
+class GaugeHandle {
+ public:
+  explicit GaugeHandle(std::string_view name)
+      : id_(MetricsRegistry::Default().Gauge(name)) {}
+  void Set(double value) const noexcept {
+    MetricsRegistry::Default().GaugeSet(id_, value);
+  }
+  void Add(double delta) const noexcept {
+    MetricsRegistry::Default().GaugeAdd(id_, delta);
+  }
+
+ private:
+  MetricId id_;
+};
+
+class HistogramHandle {
+ public:
+  explicit HistogramHandle(std::string_view name)
+      : id_(MetricsRegistry::Default().Histogram(name)) {}
+  void Record(Nanos ns) const noexcept {
+    MetricsRegistry::Default().Record(id_, ns);
+  }
+
+ private:
+  MetricId id_;
+};
+
+#else  // PROXIMITY_OBS_ENABLED == 0: no-op handles
+
+class CounterHandle {
+ public:
+  explicit CounterHandle(std::string_view) noexcept {}
+  void Inc(std::uint64_t = 1) const noexcept {}
+};
+
+class GaugeHandle {
+ public:
+  explicit GaugeHandle(std::string_view) noexcept {}
+  void Set(double) const noexcept {}
+  void Add(double) const noexcept {}
+};
+
+class HistogramHandle {
+ public:
+  explicit HistogramHandle(std::string_view) noexcept {}
+  void Record(Nanos) const noexcept {}
+};
+
+#endif  // PROXIMITY_OBS_ENABLED
+
+}  // namespace proximity::obs

@@ -1,0 +1,174 @@
+#include "obs/run_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/ascii_plot.h"
+#include "obs/export.h"
+#include "obs/stage.h"
+
+namespace proximity::obs {
+
+namespace {
+
+StageRow RowFrom(std::string name, const LatencyHistogram& h) {
+  StageRow row;
+  row.name = std::move(name);
+  row.count = h.count();
+  row.mean_ns = h.MeanNanos();
+  row.p50_ns = h.QuantileNanos(0.5);
+  row.p90_ns = h.QuantileNanos(0.9);
+  row.p99_ns = h.QuantileNanos(0.99);
+  row.min_ns = h.MinNanos();
+  row.max_ns = h.MaxNanos();
+  return row;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<StageRow> StageBreakdown(const MetricsSnapshot& snapshot) {
+  std::vector<StageRow> rows;
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    const char* name = StageName(static_cast<Stage>(s));
+    const auto* h =
+        snapshot.FindHistogram("stage." + std::string(name) + "_ns");
+    if (h != nullptr && h->count() > 0) rows.push_back(RowFrom(name, *h));
+  }
+  // The paper's headline contrast: served-from-cache vs database-miss
+  // retrieval latency (Figure 5).
+  if (const auto* h = snapshot.FindHistogram("retrieve.hit_ns");
+      h != nullptr && h->count() > 0) {
+    rows.push_back(RowFrom("retrieve.hit", *h));
+  }
+  if (const auto* h = snapshot.FindHistogram("retrieve.miss_ns");
+      h != nullptr && h->count() > 0) {
+    rows.push_back(RowFrom("retrieve.miss", *h));
+  }
+  return rows;
+}
+
+std::string RenderStageTable(const MetricsSnapshot& snapshot) {
+  const std::vector<StageRow> rows = StageBreakdown(snapshot);
+  if (rows.empty()) return "";
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-14s %10s %10s %10s %10s %10s %10s\n",
+                "stage", "count", "mean", "p50", "p90", "p99", "max");
+  out += line;
+  for (const auto& r : rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-14s %10llu %10s %10s %10s %10s %10s\n", r.name.c_str(),
+                  static_cast<unsigned long long>(r.count),
+                  FormatNanos(r.mean_ns).c_str(),
+                  FormatNanos(r.p50_ns).c_str(),
+                  FormatNanos(r.p90_ns).c_str(),
+                  FormatNanos(r.p99_ns).c_str(),
+                  FormatNanos(static_cast<double>(r.max_ns)).c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string RenderStagePlot(const MetricsSnapshot& snapshot) {
+  std::vector<StageRow> rows = StageBreakdown(snapshot);
+  if (rows.empty()) return "";
+  // Hit/miss split leads (the paper's contrast), then the busiest stages,
+  // capped at six series (one glyph each).
+  std::stable_partition(rows.begin(), rows.end(), [](const StageRow& r) {
+    return r.name.starts_with("retrieve.");
+  });
+  if (rows.size() > 6) rows.resize(6);
+
+  std::vector<PlotSeries> series;
+  for (const auto& r : rows) {
+    PlotSeries s;
+    s.label = r.name;
+    const auto log_ns = [](double ns) {
+      return std::log10(std::max(ns, 1.0));
+    };
+    s.points = {{0.50, log_ns(r.p50_ns)},
+                {0.90, log_ns(r.p90_ns)},
+                {0.99, log_ns(r.p99_ns)}};
+    series.push_back(std::move(s));
+  }
+  PlotOptions opts;
+  opts.title = "per-stage latency quantiles";
+  opts.x_label = "quantile";
+  opts.y_label = "log10(ns)";
+  opts.width = 48;
+  opts.height = 12;
+  return RenderAsciiPlot(series, opts);
+}
+
+std::string RunReportToJson(const RunReport& report) {
+  std::string out = "{\n";
+  out += "  \"command\": \"" + report.command + "\",\n";
+  out += "  \"workload\": \"" + report.workload + "\",\n";
+  out += "  \"index\": \"" + report.index_kind + "\",\n";
+  out += "  \"queries\": " + std::to_string(report.queries) + ",\n";
+  out += "  \"accuracy\": " + FormatDouble(report.accuracy) + ",\n";
+  out += "  \"hit_rate\": " + FormatDouble(report.hit_rate) + ",\n";
+  out += "  \"mean_latency_ms\": " + FormatDouble(report.mean_latency_ms) +
+         ",\n";
+  out += "  \"p50_latency_ms\": " + FormatDouble(report.p50_latency_ms) +
+         ",\n";
+  out += "  \"p99_latency_ms\": " + FormatDouble(report.p99_latency_ms) +
+         ",\n";
+
+  out += "  \"tau_trajectory\": [";
+  for (std::size_t i = 0; i < report.tau_trajectory.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(report.tau_trajectory[i]);
+  }
+  out += "],\n";
+
+  out += "  \"stages\": [";
+  const std::vector<StageRow> rows = StageBreakdown(report.snapshot);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const StageRow& r = rows[i];
+    out += i > 0 ? ",\n    " : "\n    ";
+    out += "{\"stage\": \"" + r.name + "\"";
+    out += ", \"count\": " + std::to_string(r.count);
+    out += ", \"mean_ns\": " + FormatDouble(r.mean_ns);
+    out += ", \"p50_ns\": " + FormatDouble(r.p50_ns);
+    out += ", \"p90_ns\": " + FormatDouble(r.p90_ns);
+    out += ", \"p99_ns\": " + FormatDouble(r.p99_ns);
+    out += ", \"min_ns\": " + std::to_string(r.min_ns);
+    out += ", \"max_ns\": " + std::to_string(r.max_ns);
+    out += "}";
+  }
+  out += rows.empty() ? "],\n" : "\n  ],\n";
+
+  // Full snapshot nested last (it is itself a JSON object).
+  std::string snap = ToJson(report.snapshot);
+  out += "  \"metrics\": " + snap;
+  if (!snap.empty() && snap.back() == '\n') out.pop_back();
+  out += "\n}\n";
+  return out;
+}
+
+void WriteRunReport(const RunReport& report, const std::string& path) {
+  if (path.ends_with(".prom") || path.ends_with(".txt")) {
+    WriteSnapshotFile(report.snapshot, path);
+    return;
+  }
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("WriteRunReport: cannot open " + path);
+  }
+  os << RunReportToJson(report);
+  if (!os) {
+    throw std::runtime_error("WriteRunReport: write failed for " + path);
+  }
+}
+
+}  // namespace proximity::obs

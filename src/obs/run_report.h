@@ -1,0 +1,68 @@
+// Per-run report: joins the run-level metric triple with the per-stage
+// latency breakdown (the Figure-5-style decomposition), the cache-hit vs
+// database-miss latency split, the adaptive-τ trajectory, and the raw
+// metric snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace proximity::obs {
+
+/// One row of the stage-breakdown table.
+struct StageRow {
+  std::string name;
+  std::uint64_t count = 0;
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+  Nanos min_ns = 0;
+  Nanos max_ns = 0;
+};
+
+struct RunReport {
+  /// Context of the run (free-form; the CLI fills command/workload/index).
+  std::string command;
+  std::string workload;
+  std::string index_kind;
+
+  /// The paper's run-level metrics (§4.2); zero when not applicable
+  /// (e.g. a sweep aggregates many runs).
+  std::size_t queries = 0;
+  double accuracy = 0.0;
+  double hit_rate = 0.0;
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+
+  /// τ after each query of an adaptive run (empty otherwise).
+  std::vector<double> tau_trajectory;
+
+  MetricsSnapshot snapshot;
+};
+
+/// Rows for every non-empty stage histogram, then the retrieval hit/miss
+/// split ("retrieve.hit"/"retrieve.miss") when present.
+std::vector<StageRow> StageBreakdown(const MetricsSnapshot& snapshot);
+
+/// Fixed-width text table of StageBreakdown (ends in '\n'; empty string
+/// when there is no stage data, e.g. PROXIMITY_OBS=OFF).
+std::string RenderStageTable(const MetricsSnapshot& snapshot);
+
+/// ascii_plot chart of per-stage latency quantiles: x = quantile,
+/// y = log10(latency ns), one series per stage (hit/miss split first).
+std::string RenderStagePlot(const MetricsSnapshot& snapshot);
+
+/// JSON document: run fields + tau trajectory + StageBreakdown + the full
+/// snapshot (counters/gauges/histogram summaries).
+std::string RunReportToJson(const RunReport& report);
+
+/// Writes the report to `path`: ".prom"/".txt" -> Prometheus exposition of
+/// the snapshot, anything else -> RunReportToJson.
+void WriteRunReport(const RunReport& report, const std::string& path);
+
+}  // namespace proximity::obs

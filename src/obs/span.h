@@ -1,0 +1,69 @@
+// RAII span tracing: tag a scope with a Stage; on destruction the span's
+// wall duration is recorded into the stage's histogram in the default
+// MetricsRegistry and appended to a bounded per-thread ring buffer of
+// recent span events (the lightweight "what just happened" trace).
+//
+// With PROXIMITY_OBS_ENABLED=0 the Span constructor/destructor are empty
+// inline functions and the compiler erases them — the instrumented hot
+// paths (cache scan, index search) pay nothing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics_registry.h"
+#include "obs/stage.h"
+
+namespace proximity::obs {
+
+/// One completed span, as kept in the per-thread ring.
+struct SpanEvent {
+  Stage stage = Stage::kEmbed;
+  /// Nesting depth at open time (0 = outermost on this thread).
+  std::uint16_t depth = 0;
+  /// Open timestamp relative to the process trace epoch.
+  Nanos start_ns = 0;
+  Nanos duration_ns = 0;
+};
+
+/// Ring capacity per thread; older events are overwritten.
+inline constexpr std::size_t kSpanRingCapacity = 256;
+
+/// Copies the *calling thread's* ring, oldest event first. Empty when
+/// tracing is compiled out. Spans close inner-first, so a nested span
+/// appears before its parent.
+std::vector<SpanEvent> ThreadRecentSpans();
+
+/// Clears the calling thread's ring (test isolation).
+void ClearThreadSpans();
+
+#if PROXIMITY_OBS_ENABLED
+
+class Span {
+ public:
+  explicit Span(Stage stage) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Stage stage_;
+  std::uint16_t depth_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#else  // PROXIMITY_OBS_ENABLED == 0: spans compile to nothing
+
+class Span {
+ public:
+  explicit Span(Stage) noexcept {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+#endif  // PROXIMITY_OBS_ENABLED
+
+}  // namespace proximity::obs

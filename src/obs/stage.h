@@ -1,0 +1,42 @@
+// Pipeline stage taxonomy for span tracing (Figure 5 / §4.3: the paper's
+// latency decomposition attributes end-to-end RAG time to embedding, cache
+// lookup, vector-database search, and generation; the cache-internal
+// stages make the Proximity-specific work visible too).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace proximity::obs {
+
+/// One stage of the RAG request path. Every Span is tagged with a stage
+/// and feeds the pre-registered `stage.<name>_ns` histogram.
+enum class Stage : std::uint8_t {
+  kEmbed = 0,     // query text -> embedding
+  kCacheLookup,   // full cache probe (lock + scan + policy bookkeeping)
+  kCacheScan,     // the linear key scan inside the proximity cache (§3.2.1)
+  kIndexSearch,   // vector-database search (flat/HNSW/IVF/...)
+  kPrompt,        // prompt assembly / context judging
+  kGenerate,      // answer generation (the simulated LLM)
+  kEvict,         // victim selection + slot overwrite on a full cache
+  kInsert,        // cache insertion (includes kEvict when the cache is full)
+};
+
+inline constexpr std::size_t kNumStages = 8;
+
+/// Short lowercase stage name ("embed", "cache_lookup", ...).
+constexpr const char* StageName(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kEmbed: return "embed";
+    case Stage::kCacheLookup: return "cache_lookup";
+    case Stage::kCacheScan: return "cache_scan";
+    case Stage::kIndexSearch: return "index_search";
+    case Stage::kPrompt: return "prompt";
+    case Stage::kGenerate: return "generate";
+    case Stage::kEvict: return "evict";
+    case Stage::kInsert: return "insert";
+  }
+  return "unknown";
+}
+
+}  // namespace proximity::obs

@@ -7,8 +7,20 @@
 
 #include "common/stats.h"
 #include "common/stopwatch.h"
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
 
 namespace proximity {
+
+namespace {
+const obs::CounterHandle kObsQueries("driver.queries");
+const obs::GaugeHandle kObsThreads("driver.threads");
+// Same split the sequential Retriever reports: a query that piggybacked on
+// a coalesced in-flight retrieval counts as a miss (it paid the database
+// wait, not the cache fast path).
+const obs::HistogramHandle kObsHitLatency("retrieve.hit_ns");
+const obs::HistogramHandle kObsMissLatency("retrieve.miss_ns");
+}  // namespace
 
 ConcurrentRunResult RunStreamConcurrent(
     const Workload& workload, const VectorIndex& index,
@@ -46,21 +58,36 @@ ConcurrentRunResult RunStreamConcurrent(
       const auto query = embeddings.Row(i);
 
       Stopwatch watch;
+      bool retrieved = false;
       const std::vector<VectorId> documents = cache.FetchOrRetrieve(
           query, [&](std::span<const float> q) {
+            retrieved = true;
             std::vector<VectorId> ids;
             for (const auto& n : index.Search(q, top_k)) {
               ids.push_back(n.id);
             }
             return ids;
           });
-      local_latencies.Record(watch.ElapsedNanos());
+      const Nanos latency = watch.ElapsedNanos();
+      local_latencies.Record(latency);
+      kObsQueries.Inc();
+      // `retrieved` only marks the flight owner; approximate the coalesced
+      // waiters as misses by latency (they waited on the same retrieval).
+      if (retrieved) {
+        kObsMissLatency.Record(latency);
+      } else {
+        kObsHitLatency.Record(latency);
+      }
 
       const Question& question = workload.questions[stream[i].question];
-      const ContextJudgment judgment =
-          JudgeContext(documents, question, workload);
+      ContextJudgment judgment;
+      {
+        const obs::Span prompt_span(obs::Stage::kPrompt);
+        judgment = JudgeContext(documents, question, workload);
+      }
       local_relevance += judgment.relevance;
       local_misleading += judgment.misleading;
+      const obs::Span generate_span(obs::Stage::kGenerate);
       if (answer_model.AnswerCorrectly(judgment,
                                        difficulties[stream[i].question])) {
         ++local_correct;
@@ -72,6 +99,8 @@ ConcurrentRunResult RunStreamConcurrent(
     relevance_sum += local_relevance;
     misleading_sum += local_misleading;
   };
+
+  kObsThreads.Set(static_cast<double>(threads));
 
   std::vector<std::thread> pool;
   pool.reserve(threads);

@@ -119,12 +119,14 @@ SweepRunner::AdaptiveRunResult SweepRunner::RunAdaptive(
   AdaptiveTau controller(controller_options);
 
   AdaptiveRunResult result;
+  result.tau_trajectory.reserve(stream.size());
   std::size_t correct = 0, hits = 0;
   LatencyHistogram latencies;
   double relevance_sum = 0.0, misleading_sum = 0.0, tau_sum = 0.0;
   for (std::size_t i = 0; i < stream.size(); ++i) {
     cache.set_tolerance(static_cast<float>(controller.tau()));
     tau_sum += controller.tau();
+    result.tau_trajectory.push_back(controller.tau());
     const QueryResult r = pipeline.ProcessQuery(stream[i], embeddings.Row(i), i);
     controller.Observe(r.cache_hit);
     correct += r.correct ? 1 : 0;

@@ -80,6 +80,9 @@ class SweepRunner {
     double final_tau = 0.0;
     double mean_tau = 0.0;
     std::uint64_t adjustments = 0;
+    /// τ as seen by query i (controller value applied before the lookup);
+    /// one entry per stream position — the run report's τ trajectory.
+    std::vector<double> tau_trajectory;
   };
 
   /// Runs one stream with the adaptive-τ controller (§3.2.3 future work):

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/rng.h"
+#include "obs/span.h"
 
 namespace proximity {
 
@@ -33,21 +34,31 @@ QueryResult RagPipeline::ProcessQuery(const StreamEntry& entry,
   result.retrieval_latency_ns = outcome.latency_ns;
 
   const Question& question = workload_->questions[entry.question];
-  result.judgment = JudgeContext(outcome.documents, question, *workload_);
+  {
+    const obs::Span prompt_span(obs::Stage::kPrompt);
+    result.judgment = JudgeContext(outcome.documents, question, *workload_);
+  }
 
   // Deterministic LLM behaviour: the outcome depends on the question's
   // fixed difficulty quantile and the served context only, never on the
   // stream position — two runs over the same stream differ exactly where
   // the served context differs.
   (void)position;
-  result.correct = answer_model_.AnswerCorrectly(
-      result.judgment, difficulties_[entry.question]);
+  {
+    const obs::Span generate_span(obs::Stage::kGenerate);
+    result.correct = answer_model_.AnswerCorrectly(
+        result.judgment, difficulties_[entry.question]);
+  }
   return result;
 }
 
 QueryResult RagPipeline::ProcessQueryText(const StreamEntry& entry,
                                           std::size_t position) {
-  const std::vector<float> embedding = embedder_->Embed(entry.text);
+  std::vector<float> embedding;
+  {
+    const obs::Span embed_span(obs::Stage::kEmbed);
+    embedding = embedder_->Embed(entry.text);
+  }
   return ProcessQuery(entry, embedding, position);
 }
 

@@ -2,7 +2,20 @@
 
 #include <stdexcept>
 
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
+
 namespace proximity {
+
+namespace {
+const obs::CounterHandle kObsQueries("retriever.queries");
+const obs::CounterHandle kObsHits("retriever.hits");
+// The paper's Figure-5 contrast: retrieval latency split by whether the
+// query was served from the cache or fell through to the database (both
+// include any simulated storage delay charged on the virtual clock).
+const obs::HistogramHandle kObsHitLatency("retrieve.hit_ns");
+const obs::HistogramHandle kObsMissLatency("retrieve.miss_ns");
+}  // namespace
 
 Retriever::Retriever(const VectorIndex* index, ProximityCache* cache,
                      VirtualClock* clock, RetrieverOptions options)
@@ -30,7 +43,11 @@ RetrievalOutcome Retriever::Retrieve(std::span<const float> query) {
   Stopwatch watch;
 
   if (cache_ != nullptr) {
-    auto cached = cache_->Lookup(query);
+    ProximityCache::LookupResult cached;
+    {
+      const obs::Span lookup_span(obs::Stage::kCacheLookup);
+      cached = cache_->Lookup(query);
+    }
     if (cached.hit) {
       outcome.documents.assign(cached.documents.begin(),
                                cached.documents.end());
@@ -53,11 +70,15 @@ RetrievalOutcome Retriever::Retrieve(std::span<const float> query) {
 
   ++stats_.queries;
   stats_.all.Record(outcome.latency_ns);
+  kObsQueries.Inc();
   if (outcome.cache_hit) {
     ++stats_.cache_hits;
     stats_.hits.Record(outcome.latency_ns);
+    kObsHits.Inc();
+    kObsHitLatency.Record(outcome.latency_ns);
   } else {
     stats_.misses.Record(outcome.latency_ns);
+    kObsMissLatency.Record(outcome.latency_ns);
   }
   return outcome;
 }

@@ -100,6 +100,10 @@ class Matrix {
 
  private:
   void DropNormCache() noexcept {
+    // No-op (and in particular no write) when the cache is already off:
+    // parallel writers may take MutableRow on disjoint rows of a
+    // cache-less matrix, and an unconditional clear() would race.
+    if (!norm_cache_) return;
     norm_cache_ = false;
     norms_.clear();
   }

@@ -244,6 +244,85 @@ TEST(LatencyHistogramTest, SummaryMentionsCount) {
   EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
 }
 
+TEST(LatencyHistogramTest, EmptyHistogramEdges) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.MinNanos(), 0);
+  EXPECT_EQ(h.MaxNanos(), 0);
+  EXPECT_DOUBLE_EQ(h.QuantileNanos(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.QuantileNanos(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.QuantileNanos(1.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantileExtremesAreExactMinMax) {
+  LatencyHistogram h;
+  h.Record(123);
+  h.Record(456789);
+  h.Record(7);
+  EXPECT_EQ(h.MinNanos(), 7);
+  EXPECT_EQ(h.MaxNanos(), 456789);
+  // q <= 0 is the exact minimum, q >= 1 the exact maximum — not bucket
+  // midpoints.
+  EXPECT_DOUBLE_EQ(h.QuantileNanos(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.QuantileNanos(-0.5), 7.0);
+  EXPECT_DOUBLE_EQ(h.QuantileNanos(1.0), 456789.0);
+  EXPECT_DOUBLE_EQ(h.QuantileNanos(1.5), 456789.0);
+}
+
+TEST(LatencyHistogramTest, InteriorQuantilesClampToObservedRange) {
+  LatencyHistogram h;
+  // A single sample: every quantile must report exactly that sample even
+  // though its bucket midpoint differs from the raw value.
+  h.Record(999);
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.QuantileNanos(q), 999.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeTracksMinAcrossHistograms) {
+  LatencyHistogram a, b, empty;
+  a.Record(5000);
+  b.Record(40);
+  a.Merge(b);
+  EXPECT_EQ(a.MinNanos(), 40);
+  a.Merge(empty);  // merging an empty histogram must not disturb min/max
+  EXPECT_EQ(a.MinNanos(), 40);
+  EXPECT_EQ(a.MaxNanos(), 5000);
+  empty.Merge(a);
+  EXPECT_EQ(empty.MinNanos(), 40);
+}
+
+TEST(LatencyHistogramTest, MergeBucketsMatchesDirectRecords) {
+  // Externally-maintained buckets (the obs shard path) fold in exactly.
+  std::uint64_t counts[LatencyHistogram::kNumBuckets] = {};
+  const Nanos samples[] = {12, 3400, 560000, 78000000};
+  double sum = 0.0;
+  for (Nanos s : samples) {
+    counts[LatencyHistogram::BucketIndex(s)] += 1;
+    sum += static_cast<double>(s);
+  }
+  LatencyHistogram merged;
+  merged.Record(999);  // pre-existing content
+  merged.MergeBuckets(counts, LatencyHistogram::kNumBuckets, sum, 12,
+                      78000000);
+
+  LatencyHistogram direct;
+  direct.Record(999);
+  for (Nanos s : samples) direct.Record(s);
+
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.MinNanos(), direct.MinNanos());
+  EXPECT_EQ(merged.MaxNanos(), direct.MaxNanos());
+  EXPECT_DOUBLE_EQ(merged.MeanNanos(), direct.MeanNanos());
+  EXPECT_DOUBLE_EQ(merged.QuantileNanos(0.5), direct.QuantileNanos(0.5));
+
+  // An all-zero external set is a no-op.
+  std::uint64_t zeros[LatencyHistogram::kNumBuckets] = {};
+  LatencyHistogram before = merged;
+  merged.MergeBuckets(zeros, LatencyHistogram::kNumBuckets, 0.0, 0, 0);
+  EXPECT_EQ(merged.count(), before.count());
+  EXPECT_EQ(merged.MinNanos(), before.MinNanos());
+}
+
 TEST(FormatNanosTest, AdaptiveUnits) {
   EXPECT_EQ(FormatNanos(500), "500ns");
   EXPECT_EQ(FormatNanos(1500), "1.50us");

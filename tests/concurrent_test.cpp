@@ -12,6 +12,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "index/flat_index.h"
+#include "obs/metrics_registry.h"
 #include "rag/concurrent_driver.h"
 #include "workload/benchmark_spec.h"
 
@@ -163,6 +164,66 @@ TEST(ConcurrentCacheTest, ParallelHammeringKeepsInvariants) {
   EXPECT_EQ(stats.hits + stats.coalesced + stats.retrievals, stats.lookups);
   EXPECT_EQ(stats.retrievals, retrievals.load());
   EXPECT_LE(cache.size(), 32u);
+}
+
+// The ProximityCacheStats lost-update audit, exercised: the plain stats
+// fields are mutated only under the cache mutex, so raw integer counters
+// must stay exact under heavy contention — and the lock-free registry
+// mirrors (`ccache.*`, inner `cache.*`) must agree with them.
+TEST(ConcurrentCacheTest, StatsStayExactUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kOpsPerThread;
+
+#if PROXIMITY_OBS_ENABLED
+  const auto before = obs::MetricsRegistry::Default().Snapshot();
+#endif
+
+  ConcurrentProximityCache cache(8, CacheOpts(64, 1.0f));
+  std::barrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) * 7919 + 1);
+      barrier.arrive_and_wait();
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        std::vector<float> q(8);
+        for (auto& x : q) x = static_cast<float>(rng.Gaussian(0, 4));
+        cache.FetchOrRetrieve(q, [](std::span<const float>) {
+          return std::vector<VectorId>{1};
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Plain counters: no lost updates despite kThreads racing writers.
+  const ConcurrentCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, total);
+  EXPECT_EQ(stats.hits + stats.coalesced + stats.retrievals, total);
+
+  // Every FetchOrRetrieve probes the inner cache exactly once; every
+  // owned retrieval inserts exactly once.
+  const ProximityCacheStats inner = cache.inner_stats();
+  EXPECT_EQ(inner.lookups, total);
+  EXPECT_EQ(inner.hits, stats.hits);
+  EXPECT_EQ(inner.insertions, stats.retrievals);
+
+#if PROXIMITY_OBS_ENABLED
+  // Registry mirrors recorded through per-thread shards reconcile with
+  // the mutex-serialized plain counters.
+  const auto after = obs::MetricsRegistry::Default().Snapshot();
+  const auto delta = [&](const char* name) {
+    return after.CounterValue(name) - before.CounterValue(name);
+  };
+  EXPECT_EQ(delta("ccache.lookups"), total);
+  EXPECT_EQ(delta("ccache.hits"), stats.hits);
+  EXPECT_EQ(delta("ccache.coalesced"), stats.coalesced);
+  EXPECT_EQ(delta("ccache.retrievals"), stats.retrievals);
+  EXPECT_EQ(delta("cache.lookups"), inner.lookups);
+  EXPECT_EQ(delta("cache.insertions"), inner.insertions);
+#endif
 }
 
 // ----------------------------------------------------------- The driver --

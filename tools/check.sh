@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Telemetry-layer verification matrix (ISSUE PR 2):
+#   1. PROXIMITY_OBS=ON  — full obs + concurrent suites, the default shape.
+#   2. PROXIMITY_OBS=OFF — the no-op contract: the same suites must build
+#      and pass with spans/handles compiled out.
+#   3. ThreadSanitizer   — the lock-free record path (per-thread shards,
+#      relaxed atomics, lazy HistShard publication) under the contention
+#      tests.
+#
+# Usage: tools/check.sh [--fast]
+#   --fast skips the TSan configuration (the slowest build).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S . "$@" >/dev/null
+  cmake --build "$build_dir" -j "$(nproc)" \
+    --target obs_test concurrent_test common_test cache_test proximity_cli
+  (cd "$build_dir" && ctest -L obs --output-on-failure)
+  (cd "$build_dir" && ctest -R 'Concurrent|LatencyHistogram' \
+    --output-on-failure)
+}
+
+echo "== [1/3] PROXIMITY_OBS=ON =="
+run_suite build-obs-on -DPROXIMITY_OBS=ON
+
+echo "== [2/3] PROXIMITY_OBS=OFF =="
+run_suite build-obs-off -DPROXIMITY_OBS=OFF
+# The OFF binary must still accept the flag and produce (empty) exports.
+(cd build-obs-off && ./tools/proximity_cli info | grep -q "compiled OFF")
+
+if [[ "$FAST" == "0" ]]; then
+  echo "== [3/3] ThreadSanitizer =="
+  cmake -B build-tsan -S . -DPROXIMITY_OBS=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target obs_test concurrent_test
+  (cd build-tsan && ctest -L obs --output-on-failure)
+  (cd build-tsan && ctest -R 'Concurrent' --output-on-failure)
+else
+  echo "== [3/3] ThreadSanitizer skipped (--fast) =="
+fi
+
+echo "check.sh: all configurations passed"

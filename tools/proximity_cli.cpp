@@ -10,16 +10,24 @@
 //   info       effective defaults and build information
 //
 // All parameters are key=value pairs; `proximity_cli <cmd> help=true`
-// lists the knobs of a subcommand.
+// lists the knobs of a subcommand. The one exception is telemetry:
+// `--metrics-out FILE` (or `metrics_out=FILE`) writes the end-of-run
+// metric snapshot; a `.prom`/`.txt` extension selects Prometheus text
+// exposition, anything else the JSON run report. Several files may be
+// given comma-separated to get both formats from one run.
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/config.h"
 #include "common/log.h"
 #include "embed/hash_embedder.h"
 #include "index/index_factory.h"
 #include "llm/answer_model.h"
+#include "obs/metrics_registry.h"
+#include "obs/run_report.h"
 #include "rag/experiment.h"
 #include "rag/pipeline.h"
 #include "workload/benchmark_spec.h"
@@ -38,6 +46,54 @@ WorkloadSpec SpecFor(const std::string& name, std::size_t corpus,
 
 AnswerModelParams AnswerParamsFor(const std::string& name) {
   return name == "medrag" ? MedragAnswerParams() : MmluAnswerParams();
+}
+
+// Run-level results mirrored into the registry so a `.prom` export carries
+// the paper's metric triple next to the stage histograms.
+const obs::GaugeHandle kRunQueries("run.queries");
+const obs::GaugeHandle kRunAccuracy("run.accuracy");
+const obs::GaugeHandle kRunHitRate("run.hit_rate");
+const obs::GaugeHandle kRunMeanLatencyMs("run.mean_latency_ms");
+
+obs::RunReport MakeReport(const Config& cfg, const std::string& command) {
+  obs::RunReport report;
+  report.command = command;
+  report.workload = cfg.GetString("workload", "mmlu");
+  report.index_kind = cfg.GetString(
+      "index", report.workload == "medrag" ? "flat" : "hnsw");
+  return report;
+}
+
+// Snapshots the process-wide registry, prints the stage breakdown (unless
+// quiet=true) and writes each comma-separated metrics_out path.
+void EmitTelemetry(const Config& cfg, obs::RunReport report) {
+  kRunQueries.Set(static_cast<double>(report.queries));
+  kRunAccuracy.Set(report.accuracy);
+  kRunHitRate.Set(report.hit_rate);
+  kRunMeanLatencyMs.Set(report.mean_latency_ms);
+  report.snapshot = obs::MetricsRegistry::Default().Snapshot();
+
+  if (!cfg.GetBool("quiet", false)) {
+    const std::string table = obs::RenderStageTable(report.snapshot);
+    if (!table.empty()) {
+      std::fputs("\n-- stage breakdown --\n", stdout);
+      std::fputs(table.c_str(), stdout);
+      std::fputs(obs::RenderStagePlot(report.snapshot).c_str(), stdout);
+    }
+  }
+
+  const std::string out = cfg.GetString("metrics_out", "");
+  std::size_t start = 0;
+  while (start < out.size()) {
+    std::size_t comma = out.find(',', start);
+    if (comma == std::string::npos) comma = out.size();
+    const std::string path = out.substr(start, comma - start);
+    if (!path.empty()) {
+      obs::WriteRunReport(report, path);
+      LogInfo("metrics written -> {}", path);
+    }
+    start = comma + 1;
+  }
 }
 
 SweepConfig ConfigFrom(const Config& cfg) {
@@ -80,7 +136,8 @@ int CmdSweep(const Config& cfg) {
         "sweep knobs: workload=mmlu|medrag corpus=N seeds=N\n"
         "  capacities=10,50,... tolerances=0,0.5,... index=flat|hnsw|...\n"
         "  eviction=fifo|lru|lfu|random top_k=N variants=N\n"
-        "  storage_delay_us=N (slow-storage model) quiet=true");
+        "  storage_delay_us=N (slow-storage model) quiet=true\n"
+        "  --metrics-out FILE[.prom|.json][,FILE...]");
     return 0;
   }
   SweepRunner runner(ConfigFrom(cfg));
@@ -88,6 +145,9 @@ int CmdSweep(const Config& cfg) {
   SweepRunner::ToCsv(cells).Write(std::cout);
   std::printf("\n");
   SweepRunner::LatencyReductionSummary(cells).Write(std::cout);
+  // A sweep aggregates many runs; the run-level triple stays zero and the
+  // snapshot carries the cross-run stage totals.
+  EmitTelemetry(cfg, MakeReport(cfg, "sweep"));
   return 0;
 }
 
@@ -95,7 +155,8 @@ int CmdRun(const Config& cfg) {
   if (cfg.GetBool("help", false)) {
     std::puts(
         "run knobs: workload, corpus, capacity=N tau=X seed=N plus the\n"
-        "  sweep knobs that configure index/workload");
+        "  sweep knobs that configure index/workload\n"
+        "  --metrics-out FILE[.prom|.json][,FILE...]");
     return 0;
   }
   SweepConfig sc = ConfigFrom(cfg);
@@ -114,6 +175,14 @@ int CmdRun(const Config& cfg) {
               m.queries, m.accuracy, m.hit_rate, m.mean_latency_ms,
               m.p50_latency_ms, m.p99_latency_ms, m.mean_relevance,
               m.mean_misleading);
+  obs::RunReport report = MakeReport(cfg, "run");
+  report.queries = m.queries;
+  report.accuracy = m.accuracy;
+  report.hit_rate = m.hit_rate;
+  report.mean_latency_ms = m.mean_latency_ms;
+  report.p50_latency_ms = m.p50_latency_ms;
+  report.p99_latency_ms = m.p99_latency_ms;
+  EmitTelemetry(cfg, std::move(report));
   return 0;
 }
 
@@ -121,7 +190,9 @@ int CmdAdaptive(const Config& cfg) {
   if (cfg.GetBool("help", false)) {
     std::puts(
         "adaptive knobs: target=0.6 window=N period=N step=X capacity=N\n"
-        "  plus the sweep knobs");
+        "  plus the sweep knobs\n"
+        "  --metrics-out FILE[.prom|.json][,FILE...] (JSON includes the\n"
+        "  per-query tau trajectory)");
     return 0;
   }
   SweepConfig sc = ConfigFrom(cfg);
@@ -142,6 +213,15 @@ int CmdAdaptive(const Config& cfg) {
               result.metrics.mean_latency_ms, result.final_tau,
               result.mean_tau,
               static_cast<unsigned long long>(result.adjustments));
+  obs::RunReport report = MakeReport(cfg, "adaptive");
+  report.queries = result.metrics.queries;
+  report.accuracy = result.metrics.accuracy;
+  report.hit_rate = result.metrics.hit_rate;
+  report.mean_latency_ms = result.metrics.mean_latency_ms;
+  report.p50_latency_ms = result.metrics.p50_latency_ms;
+  report.p99_latency_ms = result.metrics.p99_latency_ms;
+  report.tau_trajectory = result.tau_trajectory;
+  EmitTelemetry(cfg, std::move(report));
   return 0;
 }
 
@@ -225,6 +305,14 @@ int CmdReplay(const Config& cfg) {
   std::printf("replayed %zu queries: accuracy=%.4f hit_rate=%.4f "
               "mean_latency_ms=%.4f\n",
               m.queries, m.accuracy, m.hit_rate, m.mean_latency_ms);
+  obs::RunReport report = MakeReport(cfg, "replay");
+  report.queries = m.queries;
+  report.accuracy = m.accuracy;
+  report.hit_rate = m.hit_rate;
+  report.mean_latency_ms = m.mean_latency_ms;
+  report.p50_latency_ms = m.p50_latency_ms;
+  report.p99_latency_ms = m.p99_latency_ms;
+  EmitTelemetry(cfg, std::move(report));
   return 0;
 }
 
@@ -234,11 +322,36 @@ int CmdInfo() {
   std::puts("indexes:   flat hnsw vamana ivf_flat ivf_pq");
   std::puts("eviction:  fifo (paper) lru lfu random clock");
   std::puts("subcommands: sweep run adaptive trace-gen replay info");
+  std::puts("telemetry:  --metrics-out FILE (.prom/.txt -> Prometheus,");
+  std::puts("            else JSON run report; comma-separate for both)");
+#if PROXIMITY_OBS_ENABLED
+  std::puts("obs:        compiled ON (spans + stage histograms active)");
+#else
+  std::puts("obs:        compiled OFF (spans are no-ops)");
+#endif
   return 0;
 }
 
 int Main(int argc, char** argv) {
-  const Config cfg = Config::FromArgs(argc, argv);
+  // Everything else is key=value, but the telemetry flag follows the
+  // conventional CLI spelling; rewrite it before parsing.
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    constexpr std::string_view kPrefix = "--metrics-out=";
+    if (arg == "--metrics-out" && i + 1 < argc) {
+      arg = std::string("metrics_out=") + argv[++i];
+    } else if (arg.rfind(kPrefix, 0) == 0) {
+      arg = "metrics_out=" + arg.substr(kPrefix.size());
+    }
+    args.push_back(std::move(arg));
+  }
+  std::vector<char*> argp;
+  argp.reserve(args.size());
+  for (auto& a : args) argp.push_back(a.data());
+  const Config cfg =
+      Config::FromArgs(static_cast<int>(argp.size()), argp.data());
   if (cfg.GetBool("quiet", false)) SetLogLevel(LogLevel::kWarn);
   const std::string cmd =
       cfg.positional().empty() ? "info" : cfg.positional().front();
