@@ -76,7 +76,8 @@ inline int RunFig3(const char* figure_label, Fig3Row row, SweepConfig sc,
 
   std::printf("# %s\n", figure_label);
   std::printf("# columns mirror Figure 3: accuracy (left panel), hit_rate\n");
-  std::printf("# (middle panel), mean_latency_ms (right panel), per (c, tau)\n");
+  std::printf(
+      "# (middle panel), mean_latency_ms (right panel), per (c, tau)\n");
   SweepRunner::ToCsv(cells).Write(std::cout);
 
   std::printf("\n# Latency-reduction summary (cf. abstract: up to 59%% for\n");

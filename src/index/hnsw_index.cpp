@@ -228,8 +228,9 @@ VectorId HnswIndex::Add(std::span<const float> vec) {
   std::uint32_t epoch = epoch0;
 
   for (int l = std::min(level, max_level_); l >= 0; --l) {
-    auto candidates = SearchLayer(query, cur, cur_dist, options_.ef_construction,
-                                  l, *visited, epoch);
+    auto candidates = SearchLayer(query, cur, cur_dist,
+                                  options_.ef_construction, l, *visited,
+                                  epoch);
     // Each layer needs a fresh visited epoch; bump locally (safe: epochs are
     // only compared for equality within this search).
     {

@@ -27,7 +27,9 @@ Nanos ToNanos(std::chrono::steady_clock::duration d) noexcept {
 }  // namespace
 
 Span::Span(Stage stage) noexcept
-    : stage_(stage), depth_(t_depth++), start_(std::chrono::steady_clock::now()) {}
+    : stage_(stage),
+      depth_(t_depth++),
+      start_(std::chrono::steady_clock::now()) {}
 
 Span::~Span() {
   const auto end = std::chrono::steady_clock::now();

@@ -127,7 +127,8 @@ SweepRunner::AdaptiveRunResult SweepRunner::RunAdaptive(
     cache.set_tolerance(static_cast<float>(controller.tau()));
     tau_sum += controller.tau();
     result.tau_trajectory.push_back(controller.tau());
-    const QueryResult r = pipeline.ProcessQuery(stream[i], embeddings.Row(i), i);
+    const QueryResult r =
+        pipeline.ProcessQuery(stream[i], embeddings.Row(i), i);
     controller.Observe(r.cache_hit);
     correct += r.correct ? 1 : 0;
     hits += r.cache_hit ? 1 : 0;

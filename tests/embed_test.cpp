@@ -135,7 +135,8 @@ TEST(PerturbTest, NonZeroVariantsHavePrefix) {
   const std::string v = MakeVariant("my question", 3, 1, 42);
   EXPECT_NE(v, "my question");
   EXPECT_NE(v.find("my question"), std::string::npos);
-  EXPECT_EQ(v.find("my question"), v.size() - std::string("my question").size());
+  EXPECT_EQ(v.find("my question"),
+            v.size() - std::string("my question").size());
 }
 
 TEST(PerturbTest, VariantsOfSameQuestionDiffer) {

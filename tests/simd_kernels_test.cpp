@@ -268,8 +268,8 @@ TEST_F(SimdKernelsTest, FlatIndexTopKIdenticalAcrossLevelsAndRoutings) {
     ASSERT_TRUE(SetActiveSimdLevel(SimdLevel::kPortable));
     const auto expected = index.Search(query, kK);
     ASSERT_EQ(kK, expected.size());
-    const auto expected_filtered =
-        index.SearchFiltered(query, kK, [](VectorId id) { return id % 2 == 0; });
+    const auto expected_filtered = index.SearchFiltered(
+        query, kK, [](VectorId id) { return id % 2 == 0; });
 
     for (const SimdLevel lvl : SupportedLevels()) {
       ASSERT_TRUE(SetActiveSimdLevel(lvl));
