@@ -25,6 +25,11 @@
 namespace proximity {
 namespace {
 
+// --quick: reduced calibration budget, fewer reps, and a sweep
+// restricted to the l2 cells the CI smoke gate checks (dim 768,
+// batches 64/4096). Keeps tools/bench_smoke.sh under a minute.
+bool g_quick = false;
+
 std::vector<float> RandomVec(std::size_t dim, std::uint64_t seed) {
   Rng rng(seed);
   std::vector<float> v(dim);
@@ -143,7 +148,7 @@ std::size_t CalibrateIters(Metric metric, const std::vector<float>& query,
   for (;;) {
     const double per_call = TimedRun(metric, query, base, batch, dim, out,
                                      iters);
-    if (per_call * static_cast<double>(iters) >= 2.5e7 ||
+    if (per_call * static_cast<double>(iters) >= (g_quick ? 2.5e6 : 2.5e7) ||
         iters >= (1ull << 28)) {
       return iters;
     }
@@ -171,8 +176,9 @@ PairedTimes MeasurePair(Metric metric, SimdLevel dispatched_level,
   const std::size_t d_iters =
       CalibrateIters(metric, query, base, batch, dim, out);
 
-  constexpr int kReps = 11;
-  double p[kReps], d[kReps], ratio[kReps];
+  constexpr int kMaxReps = 11;
+  const int kReps = g_quick ? 5 : kMaxReps;
+  double p[kMaxReps], d[kMaxReps], ratio[kMaxReps];
   for (int rep = 0; rep < kReps; ++rep) {
     SetActiveSimdLevel(SimdLevel::kPortable);
     p[rep] = TimedRun(metric, query, base, batch, dim, out, p_iters);
@@ -191,11 +197,17 @@ std::vector<SweepResult> RunSweep() {
     Metric metric;
     const char* name;
   };
-  const MetricCase metrics[] = {{Metric::kL2, "l2"},
-                                {Metric::kInnerProduct, "ip"},
-                                {Metric::kCosine, "cosine"}};
-  const std::size_t dims[] = {64, 128, 768};
-  const std::size_t batches[] = {1, 64, 4096};
+  const std::vector<MetricCase> metrics =
+      g_quick ? std::vector<MetricCase>{{Metric::kL2, "l2"}}
+              : std::vector<MetricCase>{{Metric::kL2, "l2"},
+                                        {Metric::kInnerProduct, "ip"},
+                                        {Metric::kCosine, "cosine"}};
+  const std::vector<std::size_t> dims =
+      g_quick ? std::vector<std::size_t>{768}
+              : std::vector<std::size_t>{64, 128, 768};
+  const std::vector<std::size_t> batches =
+      g_quick ? std::vector<std::size_t>{64, 4096}
+              : std::vector<std::size_t>{1, 64, 4096};
 
   const SimdLevel best = DefaultDispatchLevel();
   std::vector<SweepResult> results;
@@ -270,6 +282,8 @@ int main(int argc, char** argv) {
       json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--no-sweep") == 0) {
       sweep = false;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      proximity::g_quick = true;
     } else {
       passthrough.push_back(argv[i]);
     }

@@ -1,0 +1,171 @@
+// A-shard (DESIGN.md §8): throughput of the sharded scatter-gather layer.
+//
+// Sweeps shard count × microbatch size over a synthetic corpus and
+// reports queries/sec of ShardedIndex::SearchBatch — the grouped-miss
+// path the serving driver issues. On a multi-core host throughput should
+// rise monotonically from 1 to 4 shards (the acceptance gate recorded in
+// BENCH_shard.json as "monotonic_1_to_4"); on fewer cores the field
+// records "cores<4" instead of a verdict.
+//
+// Flags: --json=PATH --rows=N --dim=N --queries=N --k=N --quick
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "index/flat_index.h"
+#include "index/sharded_index.h"
+#include "vecmath/matrix.h"
+
+namespace proximity {
+namespace {
+
+double NowNs() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::nano>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+Matrix RandomMatrix(std::size_t rows, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(0, dim);
+  m.Reserve(rows);
+  std::vector<float> row(dim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (auto& x : row) x = static_cast<float>(rng.Gaussian(0, 1));
+    m.AppendRow(row);
+  }
+  return m;
+}
+
+struct Cell {
+  std::size_t shards = 0;
+  std::size_t batch = 0;
+  double qps = 0.0;
+  double ns_per_query = 0.0;
+};
+
+// Runs all queries through SearchBatch in chunks of `batch`; returns the
+// median-of-3 qps so one scheduler hiccup does not distort a cell.
+double MeasureQps(const ShardedIndex& index, const Matrix& queries,
+                  std::size_t batch, std::size_t k) {
+  const std::size_t q_total = queries.rows();
+  double runs[3];
+  for (double& run : runs) {
+    const double t0 = NowNs();
+    for (std::size_t lo = 0; lo < q_total; lo += batch) {
+      const std::size_t hi = std::min(q_total, lo + batch);
+      Matrix chunk(0, queries.dim());
+      chunk.Reserve(hi - lo);
+      for (std::size_t q = lo; q < hi; ++q) chunk.AppendRow(queries.Row(q));
+      const auto results = index.SearchBatch(chunk, k);
+      if (results.size() != hi - lo) std::abort();  // keep results alive
+    }
+    const double elapsed_ns = NowNs() - t0;
+    run = static_cast<double>(q_total) / (elapsed_ns * 1e-9);
+  }
+  std::sort(runs, runs + 3);
+  return runs[1];
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path = "BENCH_shard.json";
+  std::size_t rows = 100000;
+  std::size_t dim = 64;
+  std::size_t num_queries = 256;
+  std::size_t k = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      rows = static_cast<std::size_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--dim=", 6) == 0) {
+      dim = static_cast<std::size_t>(std::atoll(argv[i] + 6));
+    } else if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      num_queries = static_cast<std::size_t>(std::atoll(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--k=", 4) == 0) {
+      k = static_cast<std::size_t>(std::atoll(argv[i] + 4));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      rows = 20000;
+      num_queries = 64;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const std::size_t cores = std::thread::hardware_concurrency();
+  std::printf("shard_scaling: rows=%zu dim=%zu queries=%zu k=%zu "
+              "cores=%zu pool=%zu\n",
+              rows, dim, num_queries, k, cores,
+              ThreadPool::Shared().size());
+
+  const Matrix corpus = RandomMatrix(rows, dim, 101);
+  const Matrix queries = RandomMatrix(num_queries, dim, 202);
+
+  const std::size_t shard_counts[] = {1, 2, 4, 8};
+  const std::size_t batch_sizes[] = {1, 8, 32, 128};
+  IndexSpec spec;
+  spec.kind = "flat";
+
+  std::vector<Cell> cells;
+  for (const std::size_t S : shard_counts) {
+    ShardedIndexOptions opts;
+    opts.num_shards = S;
+    const auto index = BuildShardedIndex(spec, corpus, opts);
+    for (const std::size_t B : batch_sizes) {
+      Cell cell;
+      cell.shards = S;
+      cell.batch = B;
+      cell.qps = MeasureQps(*index, queries, B, k);
+      cell.ns_per_query = 1e9 / cell.qps;
+      cells.push_back(cell);
+      std::printf("shards=%zu batch=%-4zu qps=%10.1f ns/query=%10.1f\n", S,
+                  B, cell.qps, cell.ns_per_query);
+    }
+  }
+
+  // Acceptance check at the largest batch: qps(1) < qps(2) < qps(4).
+  // Only meaningful with >= 4 cores to scale onto.
+  double qps_by_shards[3] = {0, 0, 0};
+  for (const auto& c : cells) {
+    if (c.batch != batch_sizes[3]) continue;
+    if (c.shards == 1) qps_by_shards[0] = c.qps;
+    if (c.shards == 2) qps_by_shards[1] = c.qps;
+    if (c.shards == 4) qps_by_shards[2] = c.qps;
+  }
+  const bool monotonic = qps_by_shards[0] < qps_by_shards[1] &&
+                         qps_by_shards[1] < qps_by_shards[2];
+  const char* verdict =
+      cores >= 4 ? (monotonic ? "true" : "false") : "\"cores<4\"";
+  std::printf("monotonic 1->4 shards at batch=%zu: %s\n", batch_sizes[3],
+              verdict);
+
+  std::ofstream os(json_path);
+  os << "{\n  \"bench\": \"shard_scaling\",\n"
+     << "  \"rows\": " << rows << ",\n  \"dim\": " << dim
+     << ",\n  \"queries\": " << num_queries << ",\n  \"k\": " << k
+     << ",\n  \"cores\": " << cores << ",\n  \"monotonic_1_to_4\": "
+     << verdict << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    os << "    {\"shards\": " << c.shards << ", \"batch\": " << c.batch
+       << ", \"qps\": " << c.qps << ", \"ns_per_query\": " << c.ns_per_query
+       << "}" << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace proximity
+
+int main(int argc, char** argv) { return proximity::Main(argc, argv); }

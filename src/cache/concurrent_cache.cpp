@@ -20,6 +20,11 @@ ConcurrentProximityCache::ConcurrentProximityCache(
     std::size_t dim, ProximityCacheOptions options)
     : dim_(dim), cache_(dim, options) {}
 
+float ConcurrentProximityCache::tolerance() const {
+  std::lock_guard lock(mu_);
+  return cache_.tolerance();
+}
+
 std::optional<std::vector<VectorId>> ConcurrentProximityCache::Lookup(
     std::span<const float> query) {
   // The span covers lock acquisition too, so cache_lookup latency under

@@ -45,6 +45,13 @@ class ConcurrentProximityCache {
 
   std::size_t dim() const noexcept { return dim_; }
 
+  /// The inner cache's metric (fixed at construction).
+  Metric metric() const noexcept { return cache_.metric(); }
+
+  /// The inner cache's current similarity tolerance τ. Takes the cache
+  /// lock: τ may be adjusted at runtime by the adaptive controller.
+  float tolerance() const;
+
   /// Thread-safe cache probe; returns a copy of the cached documents on a
   /// hit (spans would dangle across concurrent insertions).
   std::optional<std::vector<VectorId>> Lookup(std::span<const float> query);

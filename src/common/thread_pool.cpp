@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 namespace proximity {
@@ -34,6 +35,18 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   }
   cv_.notify_one();
   return fut;
+}
+
+bool ThreadPool::TryRunOne() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard lock(mu_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();  // packaged_task captures exceptions into the future
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -82,6 +95,14 @@ void ThreadPool::ParallelForChunked(
 
   std::exception_ptr first_error;
   for (auto& f : futures) {
+    // Help-while-waiting: a chunk that is still queued can only be stuck
+    // behind other queued work, so run that work here instead of blocking.
+    // Once the queue is empty the chunk is either running or done, and a
+    // plain wait cannot deadlock.
+    while (f.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!TryRunOne()) f.wait();
+    }
     try {
       f.get();
     } catch (...) {

@@ -31,9 +31,19 @@ class ThreadPool {
   /// propagates exceptions.
   std::future<void> Submit(std::function<void()> task);
 
+  /// Pops and runs one queued task on the calling thread. Returns false
+  /// when the queue is empty. This is the help-while-waiting primitive
+  /// that makes nested ParallelFor calls deadlock-free: a blocked caller
+  /// drains the queue instead of occupying a worker slot idle (the
+  /// sharded index fans per-shard searches onto the pool while a large
+  /// flat shard may fan its scan onto the same pool underneath).
+  bool TryRunOne();
+
   /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks
   /// across the pool plus the calling thread. Blocks until all iterations
-  /// complete. Rethrows the first exception raised by any chunk.
+  /// complete; while blocked the caller helps drain the queue (see
+  /// TryRunOne), so ParallelFor may be called from inside pool tasks.
+  /// Rethrows the first exception raised by any chunk.
   void ParallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t)>& fn);
 

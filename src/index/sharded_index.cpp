@@ -1,0 +1,233 @@
+#include "index/sharded_index.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
+
+namespace proximity {
+
+namespace {
+const obs::CounterHandle kObsSearches("shard.searches");
+const obs::CounterHandle kObsBatchQueries("shard.batch_queries");
+// One sample per (shard, query) search leg; the scatter-gather fan-out
+// cost the serving layer pays per grouped miss.
+const obs::HistogramHandle kObsSearchNs("shard.search_ns");
+}  // namespace
+
+ShardedIndex::ShardedIndex(std::vector<std::unique_ptr<VectorIndex>> shards,
+                           std::vector<std::vector<VectorId>> global_ids,
+                           ShardedIndexOptions options)
+    : options_(options),
+      shards_(std::move(shards)),
+      global_ids_(std::move(global_ids)) {
+  if (shards_.empty()) {
+    throw std::invalid_argument("ShardedIndex: needs at least one shard");
+  }
+  if (global_ids_.size() != shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedIndex: one global-id list per shard required");
+  }
+  dim_ = shards_[0]->dim();
+  metric_ = shards_[0]->metric();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->dim() != dim_ || shards_[s]->metric() != metric_) {
+      throw std::invalid_argument(
+          "ShardedIndex: shards disagree on dim/metric");
+    }
+    if (global_ids_[s].size() != shards_[s]->size()) {
+      throw std::invalid_argument(
+          "ShardedIndex: global-id list size mismatch for shard " +
+          std::to_string(s));
+    }
+    total_ += shards_[s]->size();
+  }
+}
+
+VectorId ShardedIndex::Add(std::span<const float> vec) {
+  CheckDim(vec);
+  std::size_t target = 0;
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    if (shards_[s]->size() < shards_[target]->size()) target = s;
+  }
+  const VectorId global = static_cast<VectorId>(total_);
+  shards_[target]->Add(vec);
+  global_ids_[target].push_back(global);
+  ++total_;
+  return global;
+}
+
+void ShardedIndex::ToGlobal(std::size_t shard,
+                            std::vector<Neighbor>& neighbors) const {
+  const auto& ids = global_ids_[shard];
+  for (auto& n : neighbors) {
+    n.id = ids[static_cast<std::size_t>(n.id)];
+  }
+}
+
+std::vector<Neighbor> ShardedIndex::MergeSorted(
+    std::vector<std::vector<Neighbor>>& parts, std::size_t k) {
+  // Exact k-way heap merge. Each part is sorted by (distance, id); the
+  // heap pops globally smallest first, so ties across shards resolve by
+  // id exactly as the unsharded index's TopK does.
+  struct Head {
+    Neighbor n;
+    std::size_t part;
+    std::size_t pos;
+  };
+  struct HeadLater {
+    bool operator()(const Head& a, const Head& b) const noexcept {
+      return NeighborCloser{}(b.n, a.n);  // min-heap by (distance, id)
+    }
+  };
+  std::priority_queue<Head, std::vector<Head>, HeadLater> heap;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    if (!parts[p].empty()) heap.push({parts[p][0], p, 0});
+  }
+  std::vector<Neighbor> merged;
+  merged.reserve(k);
+  while (merged.size() < k && !heap.empty()) {
+    Head head = heap.top();
+    heap.pop();
+    merged.push_back(head.n);
+    if (head.pos + 1 < parts[head.part].size()) {
+      ++head.pos;
+      head.n = parts[head.part][head.pos];
+      heap.push(head);
+    }
+  }
+  return merged;
+}
+
+std::vector<Neighbor> ShardedIndex::Search(std::span<const float> query,
+                                           std::size_t k) const {
+  CheckDim(query);
+  if (k == 0 || total_ == 0) return {};
+  const obs::Span span(obs::Stage::kIndexSearch);
+  const std::size_t S = shards_.size();
+  std::vector<std::vector<Neighbor>> parts(S);
+  auto search_shard = [&](std::size_t s) {
+    Stopwatch watch;
+    parts[s] = shards_[s]->Search(query, k);
+    ToGlobal(s, parts[s]);
+    kObsSearchNs.Record(watch.ElapsedNanos());
+    kObsSearches.Inc();
+  };
+  if (options_.parallel && S > 1) {
+    ThreadPool::Shared().ParallelFor(0, S, search_shard);
+  } else {
+    for (std::size_t s = 0; s < S; ++s) search_shard(s);
+  }
+  return MergeSorted(parts, k);
+}
+
+std::vector<std::vector<Neighbor>> ShardedIndex::SearchBatch(
+    const Matrix& queries, std::size_t k) const {
+  const std::size_t Q = queries.rows();
+  if (Q == 0) return {};
+  if (queries.dim() != dim_) {
+    throw std::invalid_argument("ShardedIndex::SearchBatch: dim mismatch");
+  }
+  std::vector<std::vector<Neighbor>> results(Q);
+  if (k == 0 || total_ == 0) return results;
+  const obs::Span span(obs::Stage::kIndexSearch);
+  const std::size_t S = shards_.size();
+  kObsBatchQueries.Inc(Q);
+
+  // One wave of shard×query tasks (shard-major, so a chunk stays on one
+  // shard's rows), then a per-query merge.
+  std::vector<std::vector<Neighbor>> parts(S * Q);
+  auto search_leg = [&](std::size_t t) {
+    const std::size_t s = t / Q;
+    const std::size_t q = t % Q;
+    Stopwatch watch;
+    parts[t] = shards_[s]->Search(queries.Row(q), k);
+    ToGlobal(s, parts[t]);
+    kObsSearchNs.Record(watch.ElapsedNanos());
+    kObsSearches.Inc();
+  };
+  if (options_.parallel && S * Q > 1) {
+    ThreadPool::Shared().ParallelFor(0, S * Q, search_leg);
+  } else {
+    for (std::size_t t = 0; t < S * Q; ++t) search_leg(t);
+  }
+  std::vector<std::vector<Neighbor>> per_query(S);
+  for (std::size_t q = 0; q < Q; ++q) {
+    for (std::size_t s = 0; s < S; ++s) {
+      per_query[s] = std::move(parts[s * Q + q]);
+    }
+    results[q] = MergeSorted(per_query, k);
+  }
+  return results;
+}
+
+std::vector<Neighbor> ShardedIndex::SearchFiltered(
+    std::span<const float> query, std::size_t k, const Filter& filter) const {
+  if (!filter) return Search(query, k);
+  CheckDim(query);
+  if (k == 0 || total_ == 0) return {};
+  const obs::Span span(obs::Stage::kIndexSearch);
+  const std::size_t S = shards_.size();
+  std::vector<std::vector<Neighbor>> parts(S);
+  auto search_shard = [&](std::size_t s) {
+    const auto& ids = global_ids_[s];
+    Stopwatch watch;
+    parts[s] = shards_[s]->SearchFiltered(
+        query, k, [&](VectorId local) {
+          return filter(ids[static_cast<std::size_t>(local)]);
+        });
+    ToGlobal(s, parts[s]);
+    kObsSearchNs.Record(watch.ElapsedNanos());
+    kObsSearches.Inc();
+  };
+  if (options_.parallel && S > 1) {
+    ThreadPool::Shared().ParallelFor(0, S, search_shard);
+  } else {
+    for (std::size_t s = 0; s < S; ++s) search_shard(s);
+  }
+  return MergeSorted(parts, k);
+}
+
+std::string ShardedIndex::Describe() const {
+  return "sharded(" + shards_[0]->Describe() +
+         ",shards=" + std::to_string(shards_.size()) +
+         ",n=" + std::to_string(total_) + ")";
+}
+
+std::unique_ptr<ShardedIndex> BuildShardedIndex(const IndexSpec& spec,
+                                                const Matrix& corpus,
+                                                ShardedIndexOptions options) {
+  const std::size_t rows = corpus.rows();
+  std::size_t S = options.num_shards != 0 ? options.num_shards
+                                          : ThreadPool::Shared().size();
+  S = std::max<std::size_t>(1, std::min(S, std::max<std::size_t>(1, rows)));
+  options.num_shards = S;
+
+  const std::size_t chunk = (rows + S - 1) / S;
+  std::vector<std::unique_ptr<VectorIndex>> shards(S);
+  std::vector<std::vector<VectorId>> global_ids(S);
+  // Shards build in parallel: construction of distinct indexes is
+  // independent, and any nested pool use (k-means, flat scans) is safe
+  // because blocked ParallelFor callers help drain the queue.
+  ThreadPool::Shared().ParallelFor(0, S, [&](std::size_t s) {
+    const std::size_t lo = std::min(rows, s * chunk);
+    const std::size_t hi = std::min(rows, lo + chunk);
+    Matrix stripe(0, corpus.dim());
+    stripe.Reserve(hi - lo);
+    for (std::size_t r = lo; r < hi; ++r) stripe.AppendRow(corpus.Row(r));
+    shards[s] = BuildIndex(spec, stripe);
+    global_ids[s].reserve(hi - lo);
+    for (std::size_t r = lo; r < hi; ++r) {
+      global_ids[s].push_back(static_cast<VectorId>(r));
+    }
+  });
+  return std::make_unique<ShardedIndex>(std::move(shards),
+                                        std::move(global_ids), options);
+}
+
+}  // namespace proximity

@@ -1,0 +1,96 @@
+// Sharded scatter-gather adapter over any VectorIndex.
+//
+// Partitions a corpus into N sub-indexes ("shards") searched in parallel
+// on the shared ThreadPool, then merges the per-shard top-k lists with an
+// exact heap merge ordered by (distance, id) — the same tie-break every
+// index uses (NeighborCloser) — so for exact indexes (FlatIndex) the
+// sharded result is bit-identical to the unsharded one. For approximate
+// indexes (HNSW/IVF) each shard runs its full search over a smaller
+// sub-corpus, which preserves (typically improves) recall at the cost of
+// per-shard fixed overhead.
+//
+// This is the database-side scaling substrate for the serving layer
+// (DESIGN.md §8): the batching driver groups cache misses and issues them
+// as one SearchBatch call, fanning shard×query tasks across the pool so
+// the fused batch kernels see real batch shapes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "index/index_factory.h"
+#include "index/vector_index.h"
+
+namespace proximity {
+
+struct ShardedIndexOptions {
+  /// Number of shards; 0 selects the shared thread-pool width.
+  std::size_t num_shards = 0;
+  /// Scatter per-shard (and per-query, for SearchBatch) searches across
+  /// the shared ThreadPool; false searches shards on the calling thread.
+  bool parallel = true;
+};
+
+class ShardedIndex final : public VectorIndex {
+ public:
+  /// Wraps externally built shards. `global_ids[s][j]` is the global
+  /// corpus id of shard s's local vector j; sizes must match the shards.
+  /// All shards must share dim and metric. Prefer BuildShardedIndex below
+  /// for the common build-from-corpus path.
+  ShardedIndex(std::vector<std::unique_ptr<VectorIndex>> shards,
+               std::vector<std::vector<VectorId>> global_ids,
+               ShardedIndexOptions options = {});
+
+  std::size_t dim() const noexcept override { return dim_; }
+  Metric metric() const noexcept override { return metric_; }
+  std::size_t size() const noexcept override { return total_; }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  const VectorIndex& shard(std::size_t s) const { return *shards_[s]; }
+
+  /// Appends to the currently smallest shard; the id is the global
+  /// insertion position (size() before the call), as for any VectorIndex.
+  VectorId Add(std::span<const float> vec) override;
+
+  std::vector<Neighbor> Search(std::span<const float> query,
+                               std::size_t k) const override;
+
+  /// Grouped scatter-gather: fans shard×query tasks across the pool in
+  /// one wave, then merges per query. This is the batch shape the serving
+  /// driver issues grouped cache misses through.
+  std::vector<std::vector<Neighbor>> SearchBatch(
+      const Matrix& queries, std::size_t k) const override;
+
+  /// Filtered scatter-gather; the filter sees global ids.
+  std::vector<Neighbor> SearchFiltered(std::span<const float> query,
+                                       std::size_t k,
+                                       const Filter& filter) const override;
+
+  std::string Describe() const override;
+
+ private:
+  /// Rewrites shard-local ids in `neighbors` to global ids.
+  void ToGlobal(std::size_t shard, std::vector<Neighbor>& neighbors) const;
+
+  /// Exact k-way merge of per-shard sorted lists, ordered by
+  /// (distance, id).
+  static std::vector<Neighbor> MergeSorted(
+      std::vector<std::vector<Neighbor>>& parts, std::size_t k);
+
+  std::size_t dim_ = 0;
+  Metric metric_ = Metric::kL2;
+  ShardedIndexOptions options_;
+  std::vector<std::unique_ptr<VectorIndex>> shards_;
+  std::vector<std::vector<VectorId>> global_ids_;
+  std::size_t total_ = 0;
+};
+
+/// Partitions `corpus` into contiguous stripes and builds one sub-index
+/// per stripe according to `spec` (shards build in parallel on the shared
+/// pool). `options.num_shards` is clamped to the corpus size so no shard
+/// is empty.
+std::unique_ptr<ShardedIndex> BuildShardedIndex(
+    const IndexSpec& spec, const Matrix& corpus,
+    ShardedIndexOptions options = {});
+
+}  // namespace proximity

@@ -25,6 +25,18 @@ VectorId VectorIndex::AddBatch(const Matrix& vectors) {
   return first;
 }
 
+std::vector<std::vector<Neighbor>> VectorIndex::SearchBatch(
+    const Matrix& queries, std::size_t k) const {
+  if (queries.rows() > 0 && queries.dim() != dim()) {
+    throw std::invalid_argument("VectorIndex::SearchBatch: dimension mismatch");
+  }
+  std::vector<std::vector<Neighbor>> results(queries.rows());
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    results[q] = Search(queries.Row(q), k);
+  }
+  return results;
+}
+
 void VectorIndex::SaveTo(std::ostream&) const {
   throw std::logic_error("VectorIndex: " + Describe() +
                          " does not support serialization");

@@ -45,6 +45,13 @@ class VectorIndex {
   virtual std::vector<Neighbor> Search(std::span<const float> query,
                                        std::size_t k) const = 0;
 
+  /// Searches every row of `queries` and returns one result list per row.
+  /// The default implementation loops over Search; ShardedIndex overrides
+  /// it with a grouped scatter-gather over its shards so batched callers
+  /// (the microbatching serving driver) amortize fan-out overhead.
+  virtual std::vector<std::vector<Neighbor>> SearchBatch(
+      const Matrix& queries, std::size_t k) const;
+
   /// Predicate over vector ids (metadata filter). Must be pure.
   using Filter = std::function<bool(VectorId)>;
 

@@ -1,0 +1,384 @@
+#include "rag/batching_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+#include "common/stats.h"
+#include "common/stopwatch.h"
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
+#include "vecmath/kernels.h"
+
+namespace proximity {
+
+namespace {
+const obs::CounterHandle kObsSubmitted("serve.submitted");
+const obs::CounterHandle kObsHits("serve.hits");
+const obs::CounterHandle kObsRetrieved("serve.retrieved");
+const obs::CounterHandle kObsCoalesced("serve.coalesced");
+const obs::CounterHandle kObsBatches("serve.batches");
+// Values are batch sizes (unitless), not nanoseconds; the log-bucket
+// histogram just needs a monotone integer scale.
+const obs::HistogramHandle kObsBatchSize("serve.batch_size");
+const obs::HistogramHandle kObsQueueWait("serve.queue_wait_ns");
+}  // namespace
+
+BatchingDriver::BatchingDriver(const VectorIndex& index,
+                               ConcurrentProximityCache& cache,
+                               const HashEmbedder* embedder,
+                               BatchingDriverOptions options)
+    : index_(index), cache_(cache), embedder_(embedder), options_(options) {
+  if (options_.max_batch == 0) {
+    throw std::invalid_argument("BatchingDriver: max_batch must be > 0");
+  }
+  if (options_.top_k == 0) {
+    throw std::invalid_argument("BatchingDriver: top_k must be > 0");
+  }
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+BatchingDriver::~BatchingDriver() { Shutdown(); }
+
+std::future<std::vector<VectorId>> BatchingDriver::Submit(
+    std::vector<float> embedding) {
+  if (embedding.size() != index_.dim()) {
+    throw std::invalid_argument("BatchingDriver::Submit: dim mismatch");
+  }
+  Pending entry;
+  entry.embedding = std::move(embedding);
+  entry.enqueued = std::chrono::steady_clock::now();
+  auto future = entry.promise.get_future();
+  {
+    std::lock_guard lock(mu_);
+    if (stop_) {
+      throw std::runtime_error("BatchingDriver: Submit after Shutdown");
+    }
+    pending_.push_back(std::move(entry));
+    ++stats_.submitted;
+  }
+  kObsSubmitted.Inc();
+  cv_.notify_all();
+  return future;
+}
+
+std::future<std::vector<VectorId>> BatchingDriver::SubmitText(
+    std::string text) {
+  if (embedder_ == nullptr) {
+    throw std::logic_error("BatchingDriver::SubmitText: no embedder");
+  }
+  if (text.empty()) {
+    // Empty text embeds to the zero vector; route it through the
+    // embedding path so the flush loop can key the text path on
+    // non-emptiness.
+    return Submit(std::vector<float>(index_.dim(), 0.0f));
+  }
+  Pending entry;
+  entry.text = std::move(text);
+  entry.enqueued = std::chrono::steady_clock::now();
+  auto future = entry.promise.get_future();
+  {
+    std::lock_guard lock(mu_);
+    if (stop_) {
+      throw std::runtime_error("BatchingDriver: Submit after Shutdown");
+    }
+    pending_.push_back(std::move(entry));
+    ++stats_.submitted;
+  }
+  kObsSubmitted.Inc();
+  cv_.notify_all();
+  return future;
+}
+
+std::vector<VectorId> BatchingDriver::Query(std::span<const float> embedding) {
+  return Submit({embedding.begin(), embedding.end()}).get();
+}
+
+void BatchingDriver::Flush() {
+  std::unique_lock lock(mu_);
+  ++drain_requested_;
+  cv_.notify_all();
+  // Wait until the flusher has taken everything that was pending; the
+  // caller's futures observe completion of the actual processing.
+  cv_.wait(lock, [&] { return pending_.empty(); });
+}
+
+void BatchingDriver::Shutdown() {
+  std::lock_guard shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+BatchingDriverStats BatchingDriver::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void BatchingDriver::FlusherLoop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (pending_.empty()) {
+      drain_served_ = drain_requested_;  // nothing left to drain
+      if (stop_) return;
+      cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      cv_.notify_all();  // wake any Flush() waiting on an empty queue
+      continue;
+    }
+
+    const auto deadline =
+        pending_.front().enqueued +
+        std::chrono::microseconds(options_.max_wait_us);
+    cv_.wait_until(lock, deadline, [&] {
+      return stop_ || drain_requested_ > drain_served_ ||
+             pending_.size() >= options_.max_batch;
+    });
+
+    if (pending_.empty()) continue;
+    const bool full = pending_.size() >= options_.max_batch;
+    const bool drain = stop_ || drain_requested_ > drain_served_;
+    if (!full && !drain &&
+        std::chrono::steady_clock::now() < deadline) {
+      continue;  // spurious wakeup
+    }
+    if (full) {
+      ++stats_.flushes_on_full;
+    } else if (drain) {
+      ++stats_.flushes_on_drain;
+    } else {
+      ++stats_.flushes_on_timer;
+    }
+
+    const std::size_t take = std::min(pending_.size(), options_.max_batch);
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    ++stats_.batches;
+    if (pending_.empty()) {
+      drain_served_ = drain_requested_;
+      cv_.notify_all();  // unblock Flush()
+    }
+
+    lock.unlock();
+    ProcessBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
+  kObsBatches.Inc();
+  kObsBatchSize.Record(static_cast<Nanos>(batch.size()));
+  const auto flush_start = std::chrono::steady_clock::now();
+  for (const auto& entry : batch) {
+    kObsQueueWait.Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             flush_start - entry.enqueued)
+                             .count());
+  }
+
+  std::uint64_t hits = 0, retrieved = 0, coalesced = 0, completed = 0;
+  std::vector<bool> done(batch.size(), false);
+  try {
+    // 1. Embed queued text in one batch call.
+    std::vector<std::size_t> text_ids;
+    std::vector<std::string> texts;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!batch[i].text.empty()) {
+        text_ids.push_back(i);
+        texts.push_back(batch[i].text);
+      }
+    }
+    if (!texts.empty()) {
+      const obs::Span span(obs::Stage::kEmbed);
+      const Matrix embedded = embedder_->EmbedBatch(texts);
+      for (std::size_t j = 0; j < text_ids.size(); ++j) {
+        const auto row = embedded.Row(j);
+        batch[text_ids[j]].embedding.assign(row.begin(), row.end());
+      }
+    }
+
+    // 2. Probe the shared cache.
+    std::vector<std::size_t> misses;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (auto cached = cache_.Lookup(batch[i].embedding)) {
+        batch[i].promise.set_value(std::move(*cached));
+        done[i] = true;
+        ++hits;
+        ++completed;
+      } else {
+        misses.push_back(i);
+      }
+    }
+
+    // 3. Coalesce τ-similar misses onto one leader retrieval per
+    //    neighborhood (the in-batch analogue of single-flight).
+    std::vector<std::size_t> leaders;
+    std::vector<std::size_t> leader_of(batch.size(), 0);
+    const float tolerance = cache_.tolerance();
+    const Metric metric = cache_.metric();
+    for (const std::size_t i : misses) {
+      bool joined = false;
+      if (options_.coalesce) {
+        for (std::size_t rank = 0; rank < leaders.size(); ++rank) {
+          if (Distance(metric, batch[i].embedding,
+                       batch[leaders[rank]].embedding) <= tolerance) {
+            leader_of[i] = rank;
+            joined = true;
+            break;
+          }
+        }
+      }
+      if (!joined) {
+        leader_of[i] = leaders.size();
+        leaders.push_back(i);
+      }
+    }
+
+    // 4. One grouped sharded search for all leaders.
+    std::vector<std::vector<VectorId>> leader_docs(leaders.size());
+    if (!leaders.empty()) {
+      Matrix queries(0, index_.dim());
+      queries.Reserve(leaders.size());
+      for (const std::size_t i : leaders) {
+        queries.AppendRow(batch[i].embedding);
+      }
+      const auto results = index_.SearchBatch(queries, options_.top_k);
+      for (std::size_t rank = 0; rank < leaders.size(); ++rank) {
+        leader_docs[rank].reserve(results[rank].size());
+        for (const auto& n : results[rank]) {
+          leader_docs[rank].push_back(n.id);
+        }
+        cache_.Insert(batch[leaders[rank]].embedding, leader_docs[rank]);
+      }
+    }
+
+    // 5. Complete misses: leaders own a retrieval, followers share it.
+    for (const std::size_t i : misses) {
+      const std::size_t rank = leader_of[i];
+      if (leaders[rank] == i) {
+        ++retrieved;
+      } else {
+        ++coalesced;
+      }
+      batch[i].promise.set_value(leader_docs[rank]);
+      done[i] = true;
+      ++completed;
+    }
+  } catch (...) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (done[i]) continue;
+      batch[i].promise.set_exception(std::current_exception());
+      done[i] = true;
+      ++completed;
+    }
+  }
+
+  kObsHits.Inc(hits);
+  kObsRetrieved.Inc(retrieved);
+  kObsCoalesced.Inc(coalesced);
+  std::lock_guard lock(mu_);
+  stats_.hits += hits;
+  stats_.retrieved += retrieved;
+  stats_.coalesced += coalesced;
+  stats_.completed += completed;
+}
+
+ConcurrentRunResult RunStreamBatched(
+    const Workload& workload, const VectorIndex& index,
+    ConcurrentProximityCache& cache, const AnswerModel& answer_model,
+    std::uint64_t answer_seed, const std::vector<StreamEntry>& stream,
+    const Matrix& embeddings, std::size_t threads,
+    const BatchingDriverOptions& options,
+    BatchingDriverStats* driver_stats) {
+  if (embeddings.rows() != stream.size()) {
+    throw std::invalid_argument(
+        "RunStreamBatched: embeddings/stream size mismatch");
+  }
+  if (threads == 0) {
+    throw std::invalid_argument("RunStreamBatched: threads must be > 0");
+  }
+
+  const std::vector<double> difficulties =
+      MakeDifficultyTable(workload.questions.size(), answer_seed);
+
+  BatchingDriver driver(index, cache, nullptr, options);
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> correct{0};
+  std::mutex agg_mu;
+  LatencyHistogram latencies;
+  double relevance_sum = 0.0;
+  double misleading_sum = 0.0;
+
+  auto worker = [&] {
+    LatencyHistogram local_latencies;
+    double local_relevance = 0.0, local_misleading = 0.0;
+    std::size_t local_correct = 0;
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= stream.size()) break;
+
+      Stopwatch watch;
+      const std::vector<VectorId> documents =
+          driver.Query(embeddings.Row(i));
+      local_latencies.Record(watch.ElapsedNanos());
+
+      const Question& question = workload.questions[stream[i].question];
+      ContextJudgment judgment;
+      {
+        const obs::Span prompt_span(obs::Stage::kPrompt);
+        judgment = JudgeContext(documents, question, workload);
+      }
+      local_relevance += judgment.relevance;
+      local_misleading += judgment.misleading;
+      const obs::Span generate_span(obs::Stage::kGenerate);
+      if (answer_model.AnswerCorrectly(judgment,
+                                       difficulties[stream[i].question])) {
+        ++local_correct;
+      }
+    }
+    correct.fetch_add(local_correct, std::memory_order_relaxed);
+    std::lock_guard lock(agg_mu);
+    latencies.Merge(local_latencies);
+    relevance_sum += local_relevance;
+    misleading_sum += local_misleading;
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) clients.emplace_back(worker);
+  for (auto& t : clients) t.join();
+  driver.Shutdown();
+  if (driver_stats != nullptr) *driver_stats = driver.stats();
+
+  ConcurrentRunResult result;
+  result.cache_stats = cache.stats();
+  const double n = static_cast<double>(stream.size());
+  result.metrics.queries = stream.size();
+  if (!stream.empty()) {
+    result.metrics.accuracy = static_cast<double>(correct.load()) / n;
+    result.metrics.hit_rate =
+        result.cache_stats.lookups > 0
+            ? static_cast<double>(result.cache_stats.hits) /
+                  static_cast<double>(result.cache_stats.lookups)
+            : 0.0;
+    result.metrics.mean_latency_ms = latencies.MeanNanos() / kNanosPerMilli;
+    result.metrics.p50_latency_ms =
+        latencies.QuantileNanos(0.5) / kNanosPerMilli;
+    result.metrics.p99_latency_ms =
+        latencies.QuantileNanos(0.99) / kNanosPerMilli;
+    result.metrics.total_latency_ms =
+        latencies.MeanNanos() * n / kNanosPerMilli;
+    result.metrics.mean_relevance = relevance_sum / n;
+    result.metrics.mean_misleading = misleading_sum / n;
+  }
+  return result;
+}
+
+}  // namespace proximity

@@ -1,0 +1,144 @@
+// Dynamic microbatching serving driver (DESIGN.md §8).
+//
+// RunStreamConcurrent hands every worker thread one query at a time, so
+// the database side only ever sees batch size 1. This driver replaces
+// that claim loop with an admission queue: callers Submit queries (text
+// or pre-computed embeddings) and get a future; a flusher thread drains
+// the queue whenever `max_batch` queries are pending or the oldest has
+// waited `max_wait_us` (flush-on-full / flush-on-timer), embeds queued
+// text in one EmbedBatch call, probes the shared concurrent cache, and
+// issues the remaining misses as ONE grouped SearchBatch against the
+// index — which, for a ShardedIndex, fans shard×query legs across the
+// thread pool so the fused batch kernels see real batch shapes.
+//
+// Within a flush, misses that are τ-similar to an earlier miss of the
+// same batch coalesce onto that leader's retrieval (the in-batch
+// analogue of ConcurrentProximityCache's single-flight). Every submitted
+// query is exactly one of {hit, retrieved, coalesced}; Shutdown drains
+// the queue, so no query is dropped mid-batch.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/concurrent_cache.h"
+#include "embed/hash_embedder.h"
+#include "index/vector_index.h"
+#include "rag/concurrent_driver.h"
+#include "workload/query_stream.h"
+
+namespace proximity {
+
+struct BatchingDriverOptions {
+  /// Flush as soon as this many queries are pending.
+  std::size_t max_batch = 32;
+  /// Flush when the oldest pending query has waited this long.
+  std::uint64_t max_wait_us = 200;
+  /// Documents fetched per query (top-k of the NNS).
+  std::size_t top_k = 10;
+  /// Coalesce τ-similar misses within a batch onto one retrieval.
+  bool coalesce = true;
+};
+
+/// Counters over the driver's lifetime. After Shutdown (queue drained,
+/// flusher joined): completed == submitted and
+/// hits + retrieved + coalesced == completed — no query is dropped.
+struct BatchingDriverStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t retrieved = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t flushes_on_full = 0;
+  std::uint64_t flushes_on_timer = 0;
+  /// Batches flushed by Shutdown/Flush rather than size or timer.
+  std::uint64_t flushes_on_drain = 0;
+};
+
+class BatchingDriver {
+ public:
+  /// `index` and `cache` are not owned and must outlive the driver.
+  /// `embedder` may be null when only the embedding Submit path is used.
+  BatchingDriver(const VectorIndex& index, ConcurrentProximityCache& cache,
+                 const HashEmbedder* embedder,
+                 BatchingDriverOptions options = {});
+  ~BatchingDriver();
+
+  BatchingDriver(const BatchingDriver&) = delete;
+  BatchingDriver& operator=(const BatchingDriver&) = delete;
+
+  /// Queues a pre-computed query embedding. Throws std::runtime_error
+  /// after Shutdown.
+  std::future<std::vector<VectorId>> Submit(std::vector<float> embedding);
+
+  /// Queues raw query text; the flush embeds all queued text in one
+  /// EmbedBatch call. Requires an embedder.
+  std::future<std::vector<VectorId>> SubmitText(std::string text);
+
+  /// Synchronous convenience: Submit + wait.
+  std::vector<VectorId> Query(std::span<const float> embedding);
+
+  /// Flushes everything currently pending without stopping the driver.
+  void Flush();
+
+  /// Drains the queue (every pending future completes) and stops the
+  /// flusher. Idempotent; called by the destructor.
+  void Shutdown();
+
+  BatchingDriverStats stats() const;
+  const BatchingDriverOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Pending {
+    std::string text;              // non-empty: embed at flush
+    std::vector<float> embedding;  // used when text is empty
+    std::promise<std::vector<VectorId>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void FlusherLoop();
+  /// Processes one batch outside the queue lock.
+  void ProcessBatch(std::vector<Pending> batch);
+
+  const VectorIndex& index_;
+  ConcurrentProximityCache& cache_;
+  const HashEmbedder* embedder_;
+  BatchingDriverOptions options_;
+
+  mutable std::mutex mu_;
+  std::mutex shutdown_mu_;  // serializes concurrent Shutdown callers
+  std::condition_variable cv_;
+  std::deque<Pending> pending_;
+  bool stop_ = false;
+  // Drain requests outstanding: Flush() bumps `requested`; the flusher
+  // copies it into `served` once the queue empties. A counter pair (not
+  // an epoch captured at wait entry) so a request issued while the
+  // flusher is between waits is never lost.
+  std::uint64_t drain_requested_ = 0;
+  std::uint64_t drain_served_ = 0;
+  BatchingDriverStats stats_;
+
+  std::thread flusher_;
+};
+
+/// RunStreamConcurrent's batched counterpart: `threads` client workers
+/// claim stream entries and submit them to one shared BatchingDriver over
+/// `index`, so concurrent in-flight queries group into real microbatches.
+/// `driver_stats`, if non-null, receives the driver counters.
+ConcurrentRunResult RunStreamBatched(
+    const Workload& workload, const VectorIndex& index,
+    ConcurrentProximityCache& cache, const AnswerModel& answer_model,
+    std::uint64_t answer_seed, const std::vector<StreamEntry>& stream,
+    const Matrix& embeddings, std::size_t threads,
+    const BatchingDriverOptions& options = {},
+    BatchingDriverStats* driver_stats = nullptr);
+
+}  // namespace proximity

@@ -455,6 +455,40 @@ TEST(ThreadPoolTest, SubmitPropagatesException) {
   EXPECT_THROW(f.get(), std::logic_error);
 }
 
+// Nested ParallelFor must not deadlock even when the inner fan-out
+// exceeds the pool width: blocked callers help drain the queue
+// (TryRunOne), so a 1-thread pool still completes the full grid. The
+// ShardedIndex scatter path relies on this (shard legs that themselves
+// call ParallelFor inside FlatIndex).
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  for (const std::size_t width : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(width);
+    constexpr std::size_t kOuter = 8;
+    constexpr std::size_t kInner = 64;
+    std::vector<std::atomic<int>> touched(kOuter * kInner);
+    pool.ParallelFor(0, kOuter, [&](std::size_t o) {
+      pool.ParallelFor(0, kInner, [&](std::size_t i) {
+        ++touched[o * kInner + i];
+      });
+    });
+    for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesInnerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 4,
+                       [&](std::size_t o) {
+                         pool.ParallelFor(0, 16, [&](std::size_t i) {
+                           if (o == 2 && i == 7) {
+                             throw std::runtime_error("inner boom");
+                           }
+                         });
+                       }),
+      std::runtime_error);
+}
+
 TEST(ThreadPoolTest, ChunkedCoversRangeOnce) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> touched(257);

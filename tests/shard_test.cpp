@@ -1,0 +1,399 @@
+// Sharded scatter-gather layer + batching driver (DESIGN.md §8).
+//
+// The load-bearing claim: for exact indexes, sharding is invisible —
+// ShardedIndex over FlatIndex returns bit-identical top-k to the
+// unsharded index for any shard count, because the batch kernels are
+// bit-identical per pair and the merge uses the same (distance, id)
+// order as every index's TopK. Approximate indexes get a recall-parity
+// bound instead. The BatchingDriver tests pin the serving invariant:
+// every submitted query is exactly one of {hit, retrieved, coalesced}
+// and none is dropped, even when Shutdown lands mid-batch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "cache/concurrent_cache.h"
+#include "common/rng.h"
+#include "embed/hash_embedder.h"
+#include "index/flat_index.h"
+#include "index/index_factory.h"
+#include "index/sharded_index.h"
+#include "rag/batching_driver.h"
+#include "vecmath/matrix.h"
+
+namespace proximity {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(0, dim);
+  m.Reserve(rows);
+  std::vector<float> row(dim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (auto& x : row) x = static_cast<float>(rng.Gaussian(0, 1));
+    m.AppendRow(row);
+  }
+  return m;
+}
+
+void ExpectBitIdentical(const std::vector<Neighbor>& a,
+                        const std::vector<Neighbor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << "rank " << i;
+    // Bit equality, not approximate: the kernels guarantee the same
+    // float for the same pair regardless of batch position.
+    EXPECT_EQ(a[i].distance, b[i].distance) << "rank " << i;
+  }
+}
+
+double RecallAtK(const std::vector<Neighbor>& got,
+                 const std::vector<Neighbor>& truth) {
+  std::set<VectorId> truth_ids;
+  for (const auto& n : truth) truth_ids.insert(n.id);
+  std::size_t found = 0;
+  for (const auto& n : got) found += truth_ids.count(n.id);
+  return truth.empty() ? 1.0
+                       : static_cast<double>(found) /
+                             static_cast<double>(truth.size());
+}
+
+// ---------------------------------------------------- exactness (flat) --
+
+// Acceptance gate: shards ∈ {1, 2, 8} over a >=100k-vector corpus must
+// reproduce the unsharded FlatIndex top-k bit for bit, Search and
+// SearchBatch alike.
+TEST(ShardedIndexTest, FlatBitIdenticalAcrossShardCounts) {
+  constexpr std::size_t kRows = 100000;
+  constexpr std::size_t kDim = 32;
+  constexpr std::size_t kK = 10;
+  const Matrix corpus = RandomMatrix(kRows, kDim, 7);
+  const Matrix queries = RandomMatrix(16, kDim, 8);
+
+  IndexSpec spec;
+  spec.kind = "flat";
+  const auto unsharded = BuildIndex(spec, corpus);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{8}}) {
+    ShardedIndexOptions opts;
+    opts.num_shards = shards;
+    const auto sharded = BuildShardedIndex(spec, corpus, opts);
+    ASSERT_EQ(sharded->num_shards(), shards);
+    ASSERT_EQ(sharded->size(), kRows);
+
+    const auto batch = sharded->SearchBatch(queries, kK);
+    ASSERT_EQ(batch.size(), queries.rows());
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+      const auto truth = unsharded->Search(queries.Row(q), kK);
+      const auto single = sharded->Search(queries.Row(q), kK);
+      ExpectBitIdentical(single, truth);
+      ExpectBitIdentical(batch[q], truth);
+    }
+  }
+}
+
+// The sequential fallback (parallel=false) must agree with the
+// scattered path — the pool is an execution detail, not a semantic one.
+TEST(ShardedIndexTest, SequentialMatchesParallel) {
+  const Matrix corpus = RandomMatrix(5000, 16, 11);
+  const Matrix queries = RandomMatrix(8, 16, 12);
+  IndexSpec spec;
+  spec.kind = "flat";
+
+  ShardedIndexOptions par;
+  par.num_shards = 4;
+  ShardedIndexOptions seq = par;
+  seq.parallel = false;
+  const auto a = BuildShardedIndex(spec, corpus, par);
+  const auto b = BuildShardedIndex(spec, corpus, seq);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    ExpectBitIdentical(a->Search(queries.Row(q), 5),
+                       b->Search(queries.Row(q), 5));
+  }
+}
+
+TEST(ShardedIndexTest, FilteredSearchSeesGlobalIds) {
+  const Matrix corpus = RandomMatrix(2000, 8, 21);
+  IndexSpec spec;
+  spec.kind = "flat";
+  ShardedIndexOptions opts;
+  opts.num_shards = 4;
+  const auto sharded = BuildShardedIndex(spec, corpus, opts);
+  const auto unsharded = BuildIndex(spec, corpus);
+
+  // Keep only even global ids; results must match the unsharded
+  // filtered search and contain no odd id.
+  const VectorIndex::Filter even = [](VectorId id) { return id % 2 == 0; };
+  const auto query = RandomMatrix(1, 8, 22);
+  const auto got = sharded->SearchFiltered(query.Row(0), 10, even);
+  const auto truth = unsharded->SearchFiltered(query.Row(0), 10, even);
+  for (const auto& n : got) EXPECT_EQ(n.id % 2, 0u);
+  ExpectBitIdentical(got, truth);
+}
+
+// ------------------------------------------------- merge determinism --
+
+// Duplicate vectors spread across shards produce equal distances; the
+// merge must order ties by ascending global id, exactly as a single
+// index's TopK would.
+TEST(ShardedIndexTest, MergeBreaksTiesById) {
+  constexpr std::size_t kDim = 4;
+  const std::vector<float> v{1.0f, 2.0f, 3.0f, 4.0f};
+
+  // Interleave the same vector across two shards: shard 0 holds global
+  // ids {0, 2}, shard 1 holds {1, 3}.
+  std::vector<std::unique_ptr<VectorIndex>> shards;
+  std::vector<std::vector<VectorId>> global_ids;
+  for (int s = 0; s < 2; ++s) {
+    auto flat = std::make_unique<FlatIndex>(kDim);
+    flat->Add(v);
+    flat->Add(v);
+    shards.push_back(std::move(flat));
+    global_ids.push_back({static_cast<VectorId>(s),
+                          static_cast<VectorId>(s + 2)});
+  }
+  const ShardedIndex index(std::move(shards), std::move(global_ids));
+
+  const auto got = index.Search(v, 4);
+  ASSERT_EQ(got.size(), 4u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, i);
+    EXPECT_EQ(got[i].distance, 0.0f);
+  }
+}
+
+TEST(ShardedIndexTest, AddRoutesToSmallestShardWithGlobalId) {
+  constexpr std::size_t kDim = 4;
+  std::vector<std::unique_ptr<VectorIndex>> shards;
+  std::vector<std::vector<VectorId>> global_ids;
+  // Uneven start: shard 0 has two vectors, shard 1 has one.
+  auto s0 = std::make_unique<FlatIndex>(kDim);
+  s0->Add(std::vector<float>{0, 0, 0, 0});
+  s0->Add(std::vector<float>{1, 0, 0, 0});
+  auto s1 = std::make_unique<FlatIndex>(kDim);
+  s1->Add(std::vector<float>{0, 1, 0, 0});
+  shards.push_back(std::move(s0));
+  shards.push_back(std::move(s1));
+  global_ids.push_back({0, 1});
+  global_ids.push_back({2});
+  ShardedIndex index(std::move(shards), std::move(global_ids));
+
+  // Next insertion gets the next global id regardless of target shard.
+  const std::vector<float> added{9, 9, 9, 9};
+  EXPECT_EQ(index.Add(added), 3u);
+  EXPECT_EQ(index.size(), 4u);
+  // The smaller shard (1) received it.
+  EXPECT_EQ(index.shard(1).size(), 2u);
+
+  const auto got = index.Search(added, 1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 3u);
+  EXPECT_EQ(got[0].distance, 0.0f);
+}
+
+// -------------------------------------------- recall parity (approx) --
+
+// Approximate indexes are not bit-stable under sharding, but each shard
+// runs its full search over a smaller sub-corpus, so recall must stay
+// in the same band as the unsharded index.
+TEST(ShardedIndexTest, ApproximateRecallParity) {
+  constexpr std::size_t kRows = 2000;
+  constexpr std::size_t kDim = 16;
+  constexpr std::size_t kK = 10;
+  const Matrix corpus = RandomMatrix(kRows, kDim, 31);
+  const Matrix queries = RandomMatrix(32, kDim, 32);
+
+  IndexSpec flat_spec;
+  flat_spec.kind = "flat";
+  const auto exact = BuildIndex(flat_spec, corpus);
+
+  for (const char* kind : {"hnsw", "ivf_flat"}) {
+    IndexSpec spec;
+    spec.kind = kind;
+    const auto unsharded = BuildIndex(spec, corpus);
+    ShardedIndexOptions opts;
+    opts.num_shards = 4;
+    const auto sharded = BuildShardedIndex(spec, corpus, opts);
+
+    double base = 0.0, shard = 0.0;
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+      const auto truth = exact->Search(queries.Row(q), kK);
+      base += RecallAtK(unsharded->Search(queries.Row(q), kK), truth);
+      shard += RecallAtK(sharded->Search(queries.Row(q), kK), truth);
+    }
+    base /= static_cast<double>(queries.rows());
+    shard /= static_cast<double>(queries.rows());
+    // Parity with slack for partition boundary effects.
+    EXPECT_GE(shard, base - 0.05) << kind;
+    EXPECT_GE(shard, 0.7) << kind;
+  }
+}
+
+// ------------------------------------------------------ batching driver --
+
+ProximityCacheOptions SmallCache() {
+  ProximityCacheOptions opts;
+  opts.capacity = 64;
+  opts.tolerance = 2.0f;
+  return opts;
+}
+
+// The serving invariant, under real contention: every query completes
+// and is counted exactly once as hit, retrieved, or coalesced.
+TEST(BatchingDriverTest, ConcurrentSubmitsAccountForEveryQuery) {
+  constexpr std::size_t kDim = 16;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 64;
+  const Matrix corpus = RandomMatrix(1000, kDim, 41);
+  IndexSpec spec;
+  spec.kind = "flat";
+  ShardedIndexOptions sopts;
+  sopts.num_shards = 2;
+  const auto index = BuildShardedIndex(spec, corpus, sopts);
+  ConcurrentProximityCache cache(kDim, SmallCache());
+
+  BatchingDriverOptions opts;
+  opts.max_batch = 8;
+  opts.max_wait_us = 500;
+  opts.top_k = 5;
+  BatchingDriver driver(*index, cache, nullptr, opts);
+
+  // A small pool of distinct queries so later submits hit the cache.
+  const Matrix pool = RandomMatrix(24, kDim, 42);
+  std::atomic<std::size_t> empty_results{0};
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const auto row = pool.Row((t * kPerThread + i) % pool.rows());
+        const auto docs = driver.Query(row);
+        if (docs.size() != opts.top_k) empty_results.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  driver.Shutdown();
+
+  EXPECT_EQ(empty_results.load(), 0u);
+  const auto stats = driver.stats();
+  EXPECT_EQ(stats.submitted, kThreads * kPerThread);
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.hits + stats.retrieved + stats.coalesced,
+            stats.completed);
+  EXPECT_GT(stats.batches, 0u);
+  // 24 distinct queries, 256 submits: the cache must absorb repeats.
+  EXPECT_GT(stats.hits, 0u);
+}
+
+// Shutdown mid-batch: with flush-on-full and flush-on-timer both out of
+// reach, only the drain path can complete these queries.
+TEST(BatchingDriverTest, ShutdownDrainsPendingQueries) {
+  constexpr std::size_t kDim = 8;
+  const Matrix corpus = RandomMatrix(200, kDim, 51);
+  FlatIndex index(kDim);
+  for (std::size_t r = 0; r < corpus.rows(); ++r) index.Add(corpus.Row(r));
+  ConcurrentProximityCache cache(kDim, SmallCache());
+
+  BatchingDriverOptions opts;
+  opts.max_batch = 1000;                 // never fills
+  opts.max_wait_us = 60ull * 1000000ull; // never times out
+  opts.top_k = 3;
+  BatchingDriver driver(index, cache, nullptr, opts);
+
+  const Matrix queries = RandomMatrix(10, kDim, 52);
+  std::vector<std::future<std::vector<VectorId>>> futures;
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    const auto row = queries.Row(q);
+    futures.push_back(
+        driver.Submit(std::vector<float>(row.begin(), row.end())));
+  }
+  driver.Shutdown();
+
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(f.get().size(), opts.top_k);
+  }
+  const auto stats = driver.stats();
+  EXPECT_EQ(stats.completed, queries.rows());
+  EXPECT_EQ(stats.hits + stats.retrieved + stats.coalesced,
+            stats.completed);
+  EXPECT_GT(stats.flushes_on_drain, 0u);
+  EXPECT_EQ(stats.flushes_on_full, 0u);
+
+  EXPECT_THROW(driver.Submit(std::vector<float>(kDim, 0.0f)),
+               std::runtime_error);
+}
+
+// Identical embeddings within one flush coalesce onto a single
+// retrieval instead of issuing duplicate searches.
+TEST(BatchingDriverTest, IdenticalMissesCoalesceWithinBatch) {
+  constexpr std::size_t kDim = 8;
+  const Matrix corpus = RandomMatrix(200, kDim, 61);
+  FlatIndex index(kDim);
+  for (std::size_t r = 0; r < corpus.rows(); ++r) index.Add(corpus.Row(r));
+  ConcurrentProximityCache cache(kDim, SmallCache());
+
+  BatchingDriverOptions opts;
+  opts.max_batch = 1000;
+  opts.max_wait_us = 60ull * 1000000ull;
+  opts.top_k = 4;
+  BatchingDriver driver(index, cache, nullptr, opts);
+
+  const std::vector<float> q(kDim, 0.25f);
+  std::vector<std::future<std::vector<VectorId>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(driver.Submit(q));
+  }
+  driver.Flush();
+
+  std::vector<VectorId> first;
+  for (auto& f : futures) {
+    const auto docs = f.get();
+    if (first.empty()) first = docs;
+    EXPECT_EQ(docs, first);  // followers get the leader's documents
+  }
+  driver.Shutdown();
+
+  const auto stats = driver.stats();
+  EXPECT_EQ(stats.retrieved, 1u);
+  EXPECT_EQ(stats.coalesced + stats.hits, 5u);
+}
+
+TEST(BatchingDriverTest, SubmitTextMatchesEmbeddedSubmit) {
+  HashEmbedderOptions eopts;
+  eopts.dim = 32;
+  const HashEmbedder embedder(eopts);
+
+  const std::vector<std::string> docs_text{
+      "the cache returns approximate neighbors",
+      "vector databases scale with shards",
+      "retrieval augmented generation pipeline",
+      "microbatching amortizes embedding calls",
+      "thread pools scatter and gather work",
+      "similarity tolerance controls hit rate",
+  };
+  const Matrix corpus = embedder.EmbedBatch(docs_text);
+  FlatIndex index(eopts.dim);
+  for (std::size_t r = 0; r < corpus.rows(); ++r) index.Add(corpus.Row(r));
+  ConcurrentProximityCache cache(eopts.dim, SmallCache());
+
+  BatchingDriverOptions opts;
+  opts.top_k = 3;
+  BatchingDriver driver(index, cache, &embedder, opts);
+
+  const std::string query = "approximate cache neighbors";
+  auto via_text = driver.SubmitText(query);
+  auto via_embed = driver.Submit(embedder.Embed(query));
+  EXPECT_EQ(via_text.get(), via_embed.get());
+  driver.Shutdown();
+}
+
+}  // namespace
+}  // namespace proximity

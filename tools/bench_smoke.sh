@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Bench smoke: fast regression gates over the two self-measuring benches.
+#
+#   1. obs_overhead      — exits non-zero by itself if the span + counter
+#                          overhead on the 768-d batch scan exceeds 2%.
+#   2. distance_kernels  — --quick sweep; this script fails if the
+#                          dispatched l2 dim=768 batch=4096 kernel is not
+#                          at least as fast as the portable one
+#                          (speedup_vs_portable >= 1.0).
+#
+# Emits BENCH_obs.json and BENCH_kernels.json into --out (default:
+# the build dir), which CI uploads as artifacts. Timing gates on shared
+# runners are noisy, so CI marks this job non-blocking; locally it is a
+# quick sanity check that the perf story still holds.
+#
+# Usage: tools/bench_smoke.sh [--build-dir DIR] [--out DIR]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+OUT_DIR=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out) OUT_DIR="$2"; shift 2 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+OUT_DIR="${OUT_DIR:-$BUILD_DIR}"
+mkdir -p "$OUT_DIR"
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target obs_overhead distance_kernels
+
+echo "== bench_smoke: obs_overhead (2% telemetry gate) =="
+"$BUILD_DIR/bench/obs_overhead" --json="$OUT_DIR/BENCH_obs.json"
+
+echo "== bench_smoke: distance_kernels --quick (speedup gate) =="
+# The filter matches no gbench case, so only the sweep runs; an
+# unmatched filter is not an error for the benchmark library.
+"$BUILD_DIR/bench/distance_kernels" --quick \
+  --json="$OUT_DIR/BENCH_kernels.json" \
+  --benchmark_filter=__skip_gbench__
+
+SPEEDUP=$(awk -F'"speedup_vs_portable": ' '
+  /"dim": 768, "batch": 4096/ { split($2, a, "}"); print a[1]; exit }
+' "$OUT_DIR/BENCH_kernels.json")
+
+if [[ -z "$SPEEDUP" ]]; then
+  echo "bench_smoke: FAIL — l2/768/4096 cell missing from BENCH_kernels.json" >&2
+  exit 1
+fi
+echo "l2 dim=768 batch=4096 speedup_vs_portable=$SPEEDUP"
+if ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 1.0) }'; then
+  echo "bench_smoke: FAIL — dispatched kernel slower than portable" >&2
+  exit 1
+fi
+
+echo "bench_smoke: all gates passed"

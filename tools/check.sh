@@ -1,31 +1,61 @@
 #!/usr/bin/env bash
-# Telemetry-layer verification matrix (ISSUE PR 2):
-#   1. PROXIMITY_OBS=ON  — full obs + concurrent suites, the default shape.
+# Concurrency/telemetry verification matrix:
+#   1. PROXIMITY_OBS=ON  — obs + concurrent + shard suites, default shape.
 #   2. PROXIMITY_OBS=OFF — the no-op contract: the same suites must build
 #      and pass with spans/handles compiled out.
-#   3. ThreadSanitizer   — the lock-free record path (per-thread shards,
-#      relaxed atomics, lazy HistShard publication) under the contention
-#      tests.
+#   3. ThreadSanitizer   — every suite labeled `tsan` (lock-free obs
+#      record path, concurrent cache, thread pool, sharded scatter-gather
+#      + batching driver) under contention.
 #
-# Usage: tools/check.sh [--fast]
-#   --fast skips the TSan configuration (the slowest build).
+# Suites are selected by ctest label (see tests/CMakeLists.txt), so new
+# tests join the matrix by labeling, not by editing this script.
+#
+# Usage: tools/check.sh [--fast|--tsan-only]
+#   --fast       skips the TSan configuration (the slowest build).
+#   --tsan-only  runs only the TSan configuration (CI runs the ON/OFF
+#                matrix as separate jobs).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+MODE=full
+case "${1:-}" in
+  --fast) MODE=fast ;;
+  --tsan-only) MODE=tsan ;;
+  "") ;;
+  *) echo "unknown flag: $1" >&2; exit 2 ;;
+esac
+
+# Suites with cross-thread behavior plus the histogram/stats substrate
+# they report through.
+LABELS='^(obs|concurrent|shard|common)$'
 
 run_suite() {
   local build_dir="$1"
   shift
   cmake -B "$build_dir" -S . "$@" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" \
-    --target obs_test concurrent_test common_test cache_test proximity_cli
-  (cd "$build_dir" && ctest -L obs --output-on-failure)
-  (cd "$build_dir" && ctest -R 'Concurrent|LatencyHistogram' \
-    --output-on-failure)
+    --target obs_test concurrent_test common_test cache_test shard_test \
+    proximity_cli
+  (cd "$build_dir" && ctest -L "$LABELS" --no-tests=error --output-on-failure)
 }
+
+run_tsan() {
+  echo "== ThreadSanitizer =="
+  cmake -B build-tsan -S . -DPROXIMITY_OBS=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  cmake --build build-tsan -j "$(nproc)" \
+    --target obs_test concurrent_test common_test shard_test
+  (cd build-tsan && ctest -L '^tsan$' --no-tests=error --output-on-failure)
+}
+
+if [[ "$MODE" == "tsan" ]]; then
+  run_tsan
+  echo "check.sh: TSan configuration passed"
+  exit 0
+fi
 
 echo "== [1/3] PROXIMITY_OBS=ON =="
 run_suite build-obs-on -DPROXIMITY_OBS=ON
@@ -35,15 +65,9 @@ run_suite build-obs-off -DPROXIMITY_OBS=OFF
 # The OFF binary must still accept the flag and produce (empty) exports.
 (cd build-obs-off && ./tools/proximity_cli info | grep -q "compiled OFF")
 
-if [[ "$FAST" == "0" ]]; then
+if [[ "$MODE" == "full" ]]; then
   echo "== [3/3] ThreadSanitizer =="
-  cmake -B build-tsan -S . -DPROXIMITY_OBS=ON \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
-    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
-  cmake --build build-tsan -j "$(nproc)" --target obs_test concurrent_test
-  (cd build-tsan && ctest -L obs --output-on-failure)
-  (cd build-tsan && ctest -R 'Concurrent' --output-on-failure)
+  run_tsan
 else
   echo "== [3/3] ThreadSanitizer skipped (--fast) =="
 fi

@@ -5,6 +5,8 @@
 //              generalized form of the Figure-3 benches
 //   run        one pipeline configuration
 //   adaptive   one run under the adaptive-tau controller
+//   serve      concurrent serving over a sharded index with dynamic
+//              microbatching (DESIGN.md §8)
 //   trace-gen  write a query trace (TSV) for a workload to a file
 //   replay     run one configuration over a previously saved trace
 //   info       effective defaults and build information
@@ -23,11 +25,14 @@
 
 #include "common/config.h"
 #include "common/log.h"
+#include "common/stopwatch.h"
 #include "embed/hash_embedder.h"
 #include "index/index_factory.h"
+#include "index/sharded_index.h"
 #include "llm/answer_model.h"
 #include "obs/metrics_registry.h"
 #include "obs/run_report.h"
+#include "rag/batching_driver.h"
 #include "rag/experiment.h"
 #include "rag/pipeline.h"
 #include "workload/benchmark_spec.h"
@@ -225,6 +230,104 @@ int CmdAdaptive(const Config& cfg) {
   return 0;
 }
 
+int CmdServe(const Config& cfg) {
+  if (cfg.GetBool("help", false)) {
+    std::puts(
+        "serve knobs: workload=mmlu|medrag corpus=N capacity=N tau=X\n"
+        "  index=flat|hnsw|... shards=N (0 = one per core) threads=N\n"
+        "  max_batch=N max_wait_us=N coalesce=true|false top_k=N\n"
+        "  variants=N order=shuffled|grouped|zipf seed=N\n"
+        "  --metrics-out FILE[.prom|.json][,FILE...]");
+    return 0;
+  }
+  const std::string workload_name = cfg.GetString("workload", "mmlu");
+  const Workload workload = BuildWorkload(SpecFor(
+      workload_name, static_cast<std::size_t>(cfg.GetInt("corpus", 10000)),
+      static_cast<std::uint64_t>(cfg.GetInt("workload_seed", 42))));
+
+  QueryStreamOptions sopts;
+  const std::string order = cfg.GetString("order", "shuffled");
+  sopts.order = order == "grouped"  ? StreamOrder::kGrouped
+                : order == "zipf"   ? StreamOrder::kZipf
+                                    : StreamOrder::kShuffled;
+  sopts.variants_per_question =
+      static_cast<std::size_t>(cfg.GetInt("variants", 4));
+  sopts.seed = static_cast<std::uint64_t>(cfg.GetInt("stream_seed", 1));
+  const auto stream = BuildQueryStream(workload, sopts);
+
+  HashEmbedder embedder;
+  std::vector<std::string> texts;
+  texts.reserve(stream.size());
+  for (const auto& e : stream) texts.push_back(e.text);
+  const Matrix embeddings = embedder.EmbedBatch(texts);
+
+  IndexSpec ispec;
+  ispec.kind =
+      cfg.GetString("index", workload_name == "medrag" ? "flat" : "hnsw");
+  ispec.hnsw_ef_construction =
+      static_cast<std::size_t>(cfg.GetInt("ef_construction", 100));
+  ispec.hnsw_ef_search =
+      static_cast<std::size_t>(cfg.GetInt("ef_search", 64));
+  ispec.ivf_nprobe = static_cast<std::size_t>(cfg.GetInt("nprobe", 8));
+  ShardedIndexOptions shard_opts;
+  shard_opts.num_shards =
+      static_cast<std::size_t>(cfg.GetInt("shards", 0));
+  const auto index = BuildShardedIndex(
+      ispec, embedder.EmbedBatch(workload.passages), shard_opts);
+  LogInfo("serving over {}", index->Describe());
+
+  ProximityCacheOptions copts;
+  copts.capacity = static_cast<std::size_t>(cfg.GetInt("capacity", 200));
+  copts.tolerance = static_cast<float>(cfg.GetDouble("tau", 2.0));
+  copts.metric = index->metric();
+  ConcurrentProximityCache cache(embedder.dim(), copts);
+
+  BatchingDriverOptions dopts;
+  dopts.max_batch = static_cast<std::size_t>(cfg.GetInt("max_batch", 32));
+  dopts.max_wait_us =
+      static_cast<std::uint64_t>(cfg.GetInt("max_wait_us", 200));
+  dopts.top_k = static_cast<std::size_t>(cfg.GetInt("top_k", 10));
+  dopts.coalesce = cfg.GetBool("coalesce", true);
+  const std::size_t threads =
+      static_cast<std::size_t>(cfg.GetInt("threads", 8));
+
+  BatchingDriverStats dstats;
+  Stopwatch wall;
+  const ConcurrentRunResult result = RunStreamBatched(
+      workload, *index, cache, AnswerModel(AnswerParamsFor(workload_name)),
+      static_cast<std::uint64_t>(cfg.GetInt("seed", 1)), stream, embeddings,
+      threads, dopts, &dstats);
+  const double wall_ms = wall.ElapsedMillis();
+  const double qps =
+      wall_ms > 0 ? static_cast<double>(stream.size()) / (wall_ms / 1e3)
+                  : 0.0;
+
+  std::printf("queries=%zu threads=%zu qps=%.1f accuracy=%.4f "
+              "hit_rate=%.4f mean_latency_ms=%.4f p99=%.4f\n",
+              result.metrics.queries, threads, qps, result.metrics.accuracy,
+              result.metrics.hit_rate, result.metrics.mean_latency_ms,
+              result.metrics.p99_latency_ms);
+  std::printf("driver: batches=%llu hits=%llu retrieved=%llu "
+              "coalesced=%llu flushes(full/timer/drain)=%llu/%llu/%llu\n",
+              static_cast<unsigned long long>(dstats.batches),
+              static_cast<unsigned long long>(dstats.hits),
+              static_cast<unsigned long long>(dstats.retrieved),
+              static_cast<unsigned long long>(dstats.coalesced),
+              static_cast<unsigned long long>(dstats.flushes_on_full),
+              static_cast<unsigned long long>(dstats.flushes_on_timer),
+              static_cast<unsigned long long>(dstats.flushes_on_drain));
+
+  obs::RunReport report = MakeReport(cfg, "serve");
+  report.queries = result.metrics.queries;
+  report.accuracy = result.metrics.accuracy;
+  report.hit_rate = result.metrics.hit_rate;
+  report.mean_latency_ms = result.metrics.mean_latency_ms;
+  report.p50_latency_ms = result.metrics.p50_latency_ms;
+  report.p99_latency_ms = result.metrics.p99_latency_ms;
+  EmitTelemetry(cfg, std::move(report));
+  return 0;
+}
+
 int CmdTraceGen(const Config& cfg) {
   if (cfg.GetBool("help", false)) {
     std::puts(
@@ -321,7 +424,7 @@ int CmdInfo() {
   std::puts("workloads: mmlu (131 q, HNSW), medrag (200 q, FLAT)");
   std::puts("indexes:   flat hnsw vamana ivf_flat ivf_pq");
   std::puts("eviction:  fifo (paper) lru lfu random clock");
-  std::puts("subcommands: sweep run adaptive trace-gen replay info");
+  std::puts("subcommands: sweep run adaptive serve trace-gen replay info");
   std::puts("telemetry:  --metrics-out FILE (.prom/.txt -> Prometheus,");
   std::puts("            else JSON run report; comma-separate for both)");
 #if PROXIMITY_OBS_ENABLED
@@ -358,6 +461,7 @@ int Main(int argc, char** argv) {
   if (cmd == "sweep") return CmdSweep(cfg);
   if (cmd == "run") return CmdRun(cfg);
   if (cmd == "adaptive") return CmdAdaptive(cfg);
+  if (cmd == "serve") return CmdServe(cfg);
   if (cmd == "trace-gen") return CmdTraceGen(cfg);
   if (cmd == "replay") return CmdReplay(cfg);
   if (cmd == "info" || cmd == "help") return CmdInfo();
