@@ -112,9 +112,21 @@ void ThreadPool::ParallelForChunked(
   if (first_error) std::rethrow_exception(first_error);
 }
 
+namespace {
+std::atomic<std::size_t> g_shared_size{0};
+std::atomic<bool> g_shared_built{false};
+}  // namespace
+
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool pool;
+  g_shared_built.store(true);
+  static ThreadPool pool(g_shared_size.load());
   return pool;
+}
+
+bool ThreadPool::SetSharedSize(std::size_t threads) {
+  if (g_shared_built.load()) return false;
+  g_shared_size.store(threads);
+  return true;
 }
 
 }  // namespace proximity

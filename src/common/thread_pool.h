@@ -56,6 +56,12 @@ class ThreadPool {
   /// Shared process-wide pool sized to the host.
   static ThreadPool& Shared();
 
+  /// Overrides the size the shared pool is built with (0 = host width).
+  /// Must run before the first Shared() call; returns false (and changes
+  /// nothing) once the pool exists. Benches use this to emulate wider
+  /// hosts (`shard_scaling --threads N`) on small machines.
+  static bool SetSharedSize(std::size_t threads);
+
  private:
   void WorkerLoop();
 

@@ -22,6 +22,35 @@ using Nanos = std::int64_t;
 inline constexpr double kNanosPerMilli = 1e6;
 inline constexpr double kNanosPerMicro = 1e3;
 
+/// Terminal status of a served request. Shared by the batching driver
+/// (which decides the outcome) and the net layer (which carries it on
+/// the wire), so the codes never need translating between the two.
+enum class RequestStatus : std::uint8_t {
+  kOk = 0,
+  /// The request's deadline passed before (or while) it was served.
+  kDeadlineExceeded = 1,
+  /// Shed at admission: the bounded queue was full.
+  kResourceExhausted = 2,
+  /// The serving component is shutting down / draining.
+  kUnavailable = 3,
+  /// Malformed request (bad frame, empty query, oversized payload).
+  kInvalidArgument = 4,
+  /// The pipeline threw while serving the request.
+  kInternal = 5,
+};
+
+constexpr const char* RequestStatusName(RequestStatus status) noexcept {
+  switch (status) {
+    case RequestStatus::kOk: return "OK";
+    case RequestStatus::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case RequestStatus::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case RequestStatus::kUnavailable: return "UNAVAILABLE";
+    case RequestStatus::kInvalidArgument: return "INVALID_ARGUMENT";
+    case RequestStatus::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
 /// A (vector id, distance) pair returned from nearest-neighbor searches.
 struct Neighbor {
   VectorId id = kInvalidVector;

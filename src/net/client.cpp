@@ -1,0 +1,109 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <utility>
+
+namespace proximity::net {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), rbuf_(std::move(other.rbuf_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    rbuf_ = std::move(other.rbuf_);
+  }
+  return *this;
+}
+
+bool Client::Connect(const std::string& host, std::uint16_t port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  rbuf_.clear();
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+bool Client::Send(const Request& request) {
+  if (fd_ < 0) return false;
+  std::vector<std::uint8_t> frame;
+  AppendFrame(frame, request);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    // MSG_NOSIGNAL: a dead server surfaces as a failed Send, not a
+    // SIGPIPE that kills the client process.
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::Recv(Response* response) {
+  if (fd_ < 0) return false;
+  std::array<std::uint8_t, 65536> chunk;
+  for (;;) {
+    std::size_t consumed = 0;
+    const ParseResult parsed = ParseFrame(
+        std::span<const std::uint8_t>(rbuf_), &consumed, response);
+    if (parsed == ParseResult::kOk) {
+      rbuf_.erase(rbuf_.begin(),
+                  rbuf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+      return true;
+    }
+    if (parsed == ParseResult::kError) {
+      Close();
+      return false;
+    }
+    const ssize_t n = ::read(fd_, chunk.data(), chunk.size());
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), chunk.data(), chunk.data() + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();  // EOF or a hard read error
+    return false;
+  }
+}
+
+bool Client::Call(const Request& request, Response* response) {
+  return Send(request) && Recv(response);
+}
+
+}  // namespace proximity::net

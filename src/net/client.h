@@ -1,0 +1,55 @@
+// Minimal blocking client for the net protocol (DESIGN.md §9).
+//
+// One TCP connection, synchronous Call() = Send + Recv. The client is
+// deliberately simple — load generators that need concurrency open many
+// clients (one per simulated connection) rather than multiplexing; that
+// mirrors how the paper's serving experiments drive the system and keeps
+// per-connection latency attribution exact.
+//
+// Send/Recv are usable separately for pipelining: queue several Send()s
+// and then Recv() the responses in order. Responses carry the request id,
+// so callers can correlate out-of-order completions if the server ever
+// reorders (the current server answers per-connection in completion
+// order, which batching can permute).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace proximity::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to host:port (numeric IPv4). Returns false on failure.
+  bool Connect(const std::string& host, std::uint16_t port);
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  void Close();
+
+  /// Writes one framed request (blocking until fully written).
+  bool Send(const Request& request);
+
+  /// Blocks until one complete response arrives. Returns false on EOF
+  /// or a protocol error (the connection is closed in either case).
+  bool Recv(Response* response);
+
+  /// Send + Recv. Returns false when either side fails.
+  bool Call(const Request& request, Response* response);
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> rbuf_;
+};
+
+}  // namespace proximity::net

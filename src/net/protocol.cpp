@@ -1,0 +1,150 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace proximity::net {
+namespace {
+
+// Little-endian append/read helpers over flat byte buffers. serde's
+// BinaryReader/Writer work on iostreams with a checksum trailer — the
+// right contract for files, the wrong one for per-message frames.
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto n = out.size();
+  out.resize(n + sizeof(v));
+  std::memcpy(out.data() + n, &v, sizeof(v));
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const auto n = out.size();
+  out.resize(n + sizeof(v));
+  std::memcpy(out.data() + n, &v, sizeof(v));
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> buf) : buf_(buf) {}
+
+  bool ReadU32(std::uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU64(std::uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadI64(std::int64_t* v) { return ReadRaw(v, sizeof(*v)); }
+
+  bool ReadBytes(std::size_t n, std::string* out) {
+    if (buf_.size() - pos_ < n) return false;
+    out->assign(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  bool AtEnd() const noexcept { return pos_ == buf_.size(); }
+
+ private:
+  bool ReadRaw(void* v, std::size_t n) {
+    if (buf_.size() - pos_ < n) return false;
+    std::memcpy(v, buf_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+// Patches the length prefix once the payload size is known.
+void FinishFrame(std::vector<std::uint8_t>& out, std::size_t len_at) {
+  const std::uint32_t payload =
+      static_cast<std::uint32_t>(out.size() - len_at - sizeof(std::uint32_t));
+  std::memcpy(out.data() + len_at, &payload, sizeof(payload));
+}
+
+// Extracts the payload of the first frame, common to both directions.
+ParseResult FramePayload(std::span<const std::uint8_t> buf,
+                         std::size_t* consumed,
+                         std::span<const std::uint8_t>* payload) {
+  if (buf.size() < sizeof(std::uint32_t)) return ParseResult::kNeedMore;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf.data(), sizeof(len));
+  if (len > kMaxFrameBytes) return ParseResult::kError;
+  if (buf.size() - sizeof(len) < len) return ParseResult::kNeedMore;
+  *payload = buf.subspan(sizeof(len), len);
+  *consumed = sizeof(len) + len;
+  return ParseResult::kOk;
+}
+
+}  // namespace
+
+void AppendFrame(std::vector<std::uint8_t>& out, const Request& request) {
+  const std::size_t len_at = out.size();
+  PutU32(out, 0);  // patched by FinishFrame
+  PutU32(out, kRequestMagic);
+  PutU64(out, request.id);
+  PutU32(out, request.flags);
+  PutU64(out, request.deadline_us);
+  PutU32(out, static_cast<std::uint32_t>(request.text.size()));
+  out.insert(out.end(), request.text.begin(), request.text.end());
+  FinishFrame(out, len_at);
+}
+
+void AppendFrame(std::vector<std::uint8_t>& out, const Response& response) {
+  const std::size_t len_at = out.size();
+  PutU32(out, 0);
+  PutU32(out, kResponseMagic);
+  PutU64(out, response.id);
+  PutU32(out, static_cast<std::uint32_t>(response.status));
+  PutU32(out, response.flags);
+  PutU64(out, response.queue_ns);
+  PutU64(out, response.server_ns);
+  PutU32(out, static_cast<std::uint32_t>(response.documents.size()));
+  for (const VectorId id : response.documents) {
+    PutU64(out, static_cast<std::uint64_t>(id));
+  }
+  FinishFrame(out, len_at);
+}
+
+ParseResult ParseFrame(std::span<const std::uint8_t> buf,
+                       std::size_t* consumed, Request* out) {
+  std::span<const std::uint8_t> payload;
+  const ParseResult framed = FramePayload(buf, consumed, &payload);
+  if (framed != ParseResult::kOk) return framed;
+
+  Cursor c(payload);
+  std::uint32_t magic = 0, text_len = 0;
+  if (!c.ReadU32(&magic) || magic != kRequestMagic) return ParseResult::kError;
+  if (!c.ReadU64(&out->id) || !c.ReadU32(&out->flags) ||
+      !c.ReadU64(&out->deadline_us) || !c.ReadU32(&text_len) ||
+      !c.ReadBytes(text_len, &out->text) || !c.AtEnd()) {
+    return ParseResult::kError;
+  }
+  return ParseResult::kOk;
+}
+
+ParseResult ParseFrame(std::span<const std::uint8_t> buf,
+                       std::size_t* consumed, Response* out) {
+  std::span<const std::uint8_t> payload;
+  const ParseResult framed = FramePayload(buf, consumed, &payload);
+  if (framed != ParseResult::kOk) return framed;
+
+  Cursor c(payload);
+  std::uint32_t magic = 0, status = 0, ndocs = 0;
+  if (!c.ReadU32(&magic) || magic != kResponseMagic) {
+    return ParseResult::kError;
+  }
+  if (!c.ReadU64(&out->id) || !c.ReadU32(&status) ||
+      !c.ReadU32(&out->flags) || !c.ReadU64(&out->queue_ns) ||
+      !c.ReadU64(&out->server_ns) || !c.ReadU32(&ndocs)) {
+    return ParseResult::kError;
+  }
+  if (status > static_cast<std::uint32_t>(RequestStatus::kInternal)) {
+    return ParseResult::kError;
+  }
+  out->status = static_cast<RequestStatus>(status);
+  out->documents.clear();
+  out->documents.reserve(ndocs);
+  for (std::uint32_t i = 0; i < ndocs; ++i) {
+    std::int64_t id = 0;
+    if (!c.ReadI64(&id)) return ParseResult::kError;
+    out->documents.push_back(id);
+  }
+  return c.AtEnd() ? ParseResult::kOk : ParseResult::kError;
+}
+
+}  // namespace proximity::net

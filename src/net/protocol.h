@@ -1,0 +1,89 @@
+// Wire protocol of the RPC serving front-end (DESIGN.md §9).
+//
+// Both directions speak length-prefixed binary frames over TCP:
+//
+//   [u32 payload_len][payload]            (little-endian, len <= 1 MiB)
+//
+// Request payload:
+//   [u32 magic 'PRXQ'] [u64 request_id] [u32 flags] [u64 deadline_us]
+//   [u32 text_len] [text bytes]
+//
+// Response payload:
+//   [u32 magic 'PRXR'] [u64 request_id] [u32 status] [u32 flags]
+//   [u64 queue_ns] [u64 server_ns] [u32 ndocs] [i64 doc_id]*
+//
+// `deadline_us` is a relative budget from server receipt (0 = none);
+// `status` is a RequestStatus code; response flag bits record whether the
+// answer came from the approximate cache or coalesced onto a τ-similar
+// neighbor's retrieval — the client-observed hit/miss latency split
+// (PAPER §3, Figure 5) keys off these. `queue_ns`/`server_ns` are the
+// per-stage server timings (admission-queue wait, receipt→completion).
+//
+// Framing is deliberately stateless per message: a parser needs only a
+// byte buffer, so partial reads concatenate and pipelined requests
+// separate for free. Anything malformed (bad magic, oversized length)
+// is a protocol error and the server closes the connection — there is
+// no way to resynchronize a corrupt length-prefixed stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace proximity::net {
+
+inline constexpr std::uint32_t kRequestMagic = 0x51585250;   // "PRXQ"
+inline constexpr std::uint32_t kResponseMagic = 0x52585250;  // "PRXR"
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/// Response flag bits.
+inline constexpr std::uint32_t kFlagCacheHit = 1u << 0;
+inline constexpr std::uint32_t kFlagCoalesced = 1u << 1;
+
+struct Request {
+  std::uint64_t id = 0;
+  std::uint32_t flags = 0;
+  /// Relative deadline budget in microseconds from server receipt;
+  /// 0 means no deadline.
+  std::uint64_t deadline_us = 0;
+  std::string text;
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  RequestStatus status = RequestStatus::kOk;
+  std::uint32_t flags = 0;
+  /// Time the request waited in the admission queue.
+  std::uint64_t queue_ns = 0;
+  /// Server-side wall time, receipt to response serialization.
+  std::uint64_t server_ns = 0;
+  std::vector<VectorId> documents;
+
+  bool cache_hit() const noexcept { return (flags & kFlagCacheHit) != 0; }
+  bool coalesced() const noexcept { return (flags & kFlagCoalesced) != 0; }
+};
+
+/// Appends one framed message to `out` (length prefix included).
+void AppendFrame(std::vector<std::uint8_t>& out, const Request& request);
+void AppendFrame(std::vector<std::uint8_t>& out, const Response& response);
+
+enum class ParseResult {
+  /// The buffer holds no complete frame yet; read more bytes.
+  kNeedMore,
+  /// One message decoded; *consumed bytes were used.
+  kOk,
+  /// The stream is corrupt (bad magic / oversized frame / truncated
+  /// payload fields); the connection cannot be resynchronized.
+  kError,
+};
+
+/// Decodes the first complete frame of `buf`, if any.
+ParseResult ParseFrame(std::span<const std::uint8_t> buf,
+                       std::size_t* consumed, Request* out);
+ParseResult ParseFrame(std::span<const std::uint8_t> buf,
+                       std::size_t* consumed, Response* out);
+
+}  // namespace proximity::net

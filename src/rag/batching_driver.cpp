@@ -18,6 +18,8 @@ const obs::CounterHandle kObsSubmitted("serve.submitted");
 const obs::CounterHandle kObsHits("serve.hits");
 const obs::CounterHandle kObsRetrieved("serve.retrieved");
 const obs::CounterHandle kObsCoalesced("serve.coalesced");
+const obs::CounterHandle kObsShed("serve.shed");
+const obs::CounterHandle kObsExpired("serve.expired");
 const obs::CounterHandle kObsBatches("serve.batches");
 // Values are batch sizes (unitless), not nanoseconds; the log-bucket
 // histogram just needs a monotone integer scale.
@@ -41,25 +43,72 @@ BatchingDriver::BatchingDriver(const VectorIndex& index,
 
 BatchingDriver::~BatchingDriver() { Shutdown(); }
 
+namespace {
+
+// Adapts the future API onto the callback path: non-OK outcomes become
+// exceptions on the future.
+BatchCallback PromiseCallback(
+    std::shared_ptr<std::promise<std::vector<VectorId>>> promise) {
+  return [promise = std::move(promise)](BatchResult result) {
+    if (result.status == RequestStatus::kOk) {
+      promise->set_value(std::move(result.documents));
+    } else {
+      promise->set_exception(std::make_exception_ptr(std::runtime_error(
+          std::string("BatchingDriver: ") +
+          RequestStatusName(result.status))));
+    }
+  };
+}
+
+}  // namespace
+
+void BatchingDriver::Fail(Pending& entry, RequestStatus status,
+                          Nanos queue_wait_ns) {
+  BatchResult result;
+  result.status = status;
+  result.queue_wait_ns = queue_wait_ns;
+  entry.done(std::move(result));
+}
+
+bool BatchingDriver::Enqueue(Pending&& entry) {
+  entry.enqueued = std::chrono::steady_clock::now();
+  bool shed = false;
+  {
+    std::lock_guard lock(mu_);
+    if (stop_) return false;
+    ++stats_.submitted;
+    if (options_.queue_bound != 0 &&
+        pending_.size() >= options_.queue_bound) {
+      ++stats_.shed;
+      shed = true;
+    } else {
+      pending_.push_back(std::move(entry));
+    }
+  }
+  kObsSubmitted.Inc();
+  if (shed) {
+    kObsShed.Inc();
+    Fail(entry, RequestStatus::kResourceExhausted, 0);
+    return true;
+  }
+  cv_.notify_all();
+  return true;
+}
+
 std::future<std::vector<VectorId>> BatchingDriver::Submit(
     std::vector<float> embedding) {
   if (embedding.size() != index_.dim()) {
     throw std::invalid_argument("BatchingDriver::Submit: dim mismatch");
   }
+  auto promise = std::make_shared<std::promise<std::vector<VectorId>>>();
+  auto future = promise->get_future();
   Pending entry;
   entry.embedding = std::move(embedding);
-  entry.enqueued = std::chrono::steady_clock::now();
-  auto future = entry.promise.get_future();
-  {
-    std::lock_guard lock(mu_);
-    if (stop_) {
-      throw std::runtime_error("BatchingDriver: Submit after Shutdown");
-    }
-    pending_.push_back(std::move(entry));
-    ++stats_.submitted;
+  entry.done = PromiseCallback(std::move(promise));
+  entry.deadline = std::chrono::steady_clock::time_point::max();
+  if (!Enqueue(std::move(entry))) {
+    throw std::runtime_error("BatchingDriver: Submit after Shutdown");
   }
-  kObsSubmitted.Inc();
-  cv_.notify_all();
   return future;
 }
 
@@ -74,21 +123,51 @@ std::future<std::vector<VectorId>> BatchingDriver::SubmitText(
     // non-emptiness.
     return Submit(std::vector<float>(index_.dim(), 0.0f));
   }
+  auto promise = std::make_shared<std::promise<std::vector<VectorId>>>();
+  auto future = promise->get_future();
   Pending entry;
   entry.text = std::move(text);
-  entry.enqueued = std::chrono::steady_clock::now();
-  auto future = entry.promise.get_future();
-  {
-    std::lock_guard lock(mu_);
-    if (stop_) {
-      throw std::runtime_error("BatchingDriver: Submit after Shutdown");
-    }
-    pending_.push_back(std::move(entry));
-    ++stats_.submitted;
+  entry.done = PromiseCallback(std::move(promise));
+  entry.deadline = std::chrono::steady_clock::time_point::max();
+  if (!Enqueue(std::move(entry))) {
+    throw std::runtime_error("BatchingDriver: Submit after Shutdown");
   }
-  kObsSubmitted.Inc();
-  cv_.notify_all();
   return future;
+}
+
+void BatchingDriver::SubmitAsync(std::vector<float> embedding,
+                                 const SubmitOptions& opts,
+                                 BatchCallback done) {
+  Pending entry;
+  entry.done = std::move(done);
+  entry.deadline = opts.deadline;
+  if (embedding.size() != index_.dim()) {
+    Fail(entry, RequestStatus::kInvalidArgument, 0);
+    return;
+  }
+  entry.embedding = std::move(embedding);
+  if (!Enqueue(std::move(entry))) {
+    Fail(entry, RequestStatus::kUnavailable, 0);
+  }
+}
+
+void BatchingDriver::SubmitTextAsync(std::string text,
+                                     const SubmitOptions& opts,
+                                     BatchCallback done) {
+  if (embedder_ == nullptr) {
+    throw std::logic_error("BatchingDriver::SubmitTextAsync: no embedder");
+  }
+  Pending entry;
+  entry.done = std::move(done);
+  entry.deadline = opts.deadline;
+  if (text.empty()) {
+    entry.embedding.assign(index_.dim(), 0.0f);
+  } else {
+    entry.text = std::move(text);
+  }
+  if (!Enqueue(std::move(entry))) {
+    Fail(entry, RequestStatus::kUnavailable, 0);
+  }
 }
 
 std::vector<VectorId> BatchingDriver::Query(std::span<const float> embedding) {
@@ -176,19 +255,38 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
   kObsBatches.Inc();
   kObsBatchSize.Record(static_cast<Nanos>(batch.size()));
   const auto flush_start = std::chrono::steady_clock::now();
-  for (const auto& entry : batch) {
-    kObsQueueWait.Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                             flush_start - entry.enqueued)
-                             .count());
+  std::vector<Nanos> waited(batch.size(), 0);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    waited[i] = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    flush_start - batch[i].enqueued)
+                    .count();
+    kObsQueueWait.Record(waited[i]);
   }
 
-  std::uint64_t hits = 0, retrieved = 0, coalesced = 0, completed = 0;
+  std::uint64_t hits = 0, retrieved = 0, coalesced = 0, expired = 0,
+                completed = 0;
   std::vector<bool> done(batch.size(), false);
   try {
+    // 0. Deadline check before any work: an entry whose deadline passed
+    //    while queued completes with DEADLINE_EXCEEDED and is excluded
+    //    from the embed/probe/search below — it is never run.
+    std::vector<std::size_t> live;
+    live.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].deadline < flush_start) {
+        Fail(batch[i], RequestStatus::kDeadlineExceeded, waited[i]);
+        done[i] = true;
+        ++expired;
+        ++completed;
+      } else {
+        live.push_back(i);
+      }
+    }
+
     // 1. Embed queued text in one batch call.
     std::vector<std::size_t> text_ids;
     std::vector<std::string> texts;
-    for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (const std::size_t i : live) {
       if (!batch[i].text.empty()) {
         text_ids.push_back(i);
         texts.push_back(batch[i].text);
@@ -205,9 +303,13 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
 
     // 2. Probe the shared cache.
     std::vector<std::size_t> misses;
-    for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (const std::size_t i : live) {
       if (auto cached = cache_.Lookup(batch[i].embedding)) {
-        batch[i].promise.set_value(std::move(*cached));
+        BatchResult result;
+        result.documents = std::move(*cached);
+        result.cache_hit = true;
+        result.queue_wait_ns = waited[i];
+        batch[i].done(std::move(result));
         done[i] = true;
         ++hits;
         ++completed;
@@ -261,19 +363,23 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
     // 5. Complete misses: leaders own a retrieval, followers share it.
     for (const std::size_t i : misses) {
       const std::size_t rank = leader_of[i];
+      BatchResult result;
+      result.documents = leader_docs[rank];
+      result.queue_wait_ns = waited[i];
       if (leaders[rank] == i) {
         ++retrieved;
       } else {
+        result.coalesced = true;
         ++coalesced;
       }
-      batch[i].promise.set_value(leader_docs[rank]);
+      batch[i].done(std::move(result));
       done[i] = true;
       ++completed;
     }
   } catch (...) {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (done[i]) continue;
-      batch[i].promise.set_exception(std::current_exception());
+      Fail(batch[i], RequestStatus::kInternal, waited[i]);
       done[i] = true;
       ++completed;
     }
@@ -282,10 +388,12 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
   kObsHits.Inc(hits);
   kObsRetrieved.Inc(retrieved);
   kObsCoalesced.Inc(coalesced);
+  kObsExpired.Inc(expired);
   std::lock_guard lock(mu_);
   stats_.hits += hits;
   stats_.retrieved += retrieved;
   stats_.coalesced += coalesced;
+  stats_.expired += expired;
   stats_.completed += completed;
 }
 
@@ -295,7 +403,7 @@ ConcurrentRunResult RunStreamBatched(
     std::uint64_t answer_seed, const std::vector<StreamEntry>& stream,
     const Matrix& embeddings, std::size_t threads,
     const BatchingDriverOptions& options,
-    BatchingDriverStats* driver_stats) {
+    BatchingDriverStats* driver_stats, const std::atomic<bool>* stop) {
   if (embeddings.rows() != stream.size()) {
     throw std::invalid_argument(
         "RunStreamBatched: embeddings/stream size mismatch");
@@ -310,6 +418,7 @@ ConcurrentRunResult RunStreamBatched(
   BatchingDriver driver(index, cache, nullptr, options);
 
   std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> processed{0};
   std::atomic<std::size_t> correct{0};
   std::mutex agg_mu;
   LatencyHistogram latencies;
@@ -321,6 +430,7 @@ ConcurrentRunResult RunStreamBatched(
     double local_relevance = 0.0, local_misleading = 0.0;
     std::size_t local_correct = 0;
     for (;;) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) break;
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= stream.size()) break;
 
@@ -342,6 +452,7 @@ ConcurrentRunResult RunStreamBatched(
                                        difficulties[stream[i].question])) {
         ++local_correct;
       }
+      processed.fetch_add(1, std::memory_order_relaxed);
     }
     correct.fetch_add(local_correct, std::memory_order_relaxed);
     std::lock_guard lock(agg_mu);
@@ -359,9 +470,12 @@ ConcurrentRunResult RunStreamBatched(
 
   ConcurrentRunResult result;
   result.cache_stats = cache.stats();
-  const double n = static_cast<double>(stream.size());
-  result.metrics.queries = stream.size();
-  if (!stream.empty()) {
+  // An interrupted run (stop flag) reports over the queries it actually
+  // served, so partial metrics stay meaningful instead of diluted.
+  const std::size_t served = processed.load();
+  const double n = static_cast<double>(served);
+  result.metrics.queries = served;
+  if (served > 0) {
     result.metrics.accuracy = static_cast<double>(correct.load()) / n;
     result.metrics.hit_rate =
         result.cache_stats.lookups > 0

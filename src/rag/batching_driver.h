@@ -14,14 +14,24 @@
 // Within a flush, misses that are τ-similar to an earlier miss of the
 // same batch coalesce onto that leader's retrieval (the in-batch
 // analogue of ConcurrentProximityCache's single-flight). Every submitted
-// query is exactly one of {hit, retrieved, coalesced}; Shutdown drains
-// the queue, so no query is dropped mid-batch.
+// query is exactly one of {hit, retrieved, coalesced, shed, expired};
+// Shutdown drains the queue, so no query is dropped mid-batch.
+//
+// The driver is also the admission queue of the network front-end
+// (DESIGN.md §9): SubmitAsync/SubmitTextAsync attach a completion
+// callback instead of a future (the epoll loop must never block on
+// one), `queue_bound` sheds over-admitted work with RESOURCE_EXHAUSTED
+// instead of queueing without bound, and per-request deadlines are
+// enforced at flush time — an entry whose deadline has already passed
+// completes with DEADLINE_EXCEEDED without being embedded or searched.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <string>
@@ -29,6 +39,7 @@
 #include <vector>
 
 #include "cache/concurrent_cache.h"
+#include "common/types.h"
 #include "embed/hash_embedder.h"
 #include "index/vector_index.h"
 #include "rag/concurrent_driver.h"
@@ -45,22 +56,57 @@ struct BatchingDriverOptions {
   std::size_t top_k = 10;
   /// Coalesce τ-similar misses within a batch onto one retrieval.
   bool coalesce = true;
+  /// Admission-queue bound; submissions beyond it are shed with
+  /// RESOURCE_EXHAUSTED instead of queueing without bound. 0 = unbounded.
+  std::size_t queue_bound = 0;
 };
 
 /// Counters over the driver's lifetime. After Shutdown (queue drained,
-/// flusher joined): completed == submitted and
-/// hits + retrieved + coalesced == completed — no query is dropped.
+/// flusher joined):
+///   hits + retrieved + coalesced + shed + expired == submitted
+/// and completed == submitted - shed (shed entries finish inline at
+/// Submit, everything else through a flush) — no query is dropped.
 struct BatchingDriverStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t hits = 0;
   std::uint64_t retrieved = 0;
   std::uint64_t coalesced = 0;
+  /// Shed at admission by `queue_bound` (RESOURCE_EXHAUSTED).
+  std::uint64_t shed = 0;
+  /// Deadline passed while queued (DEADLINE_EXCEEDED, never searched).
+  std::uint64_t expired = 0;
   std::uint64_t batches = 0;
   std::uint64_t flushes_on_full = 0;
   std::uint64_t flushes_on_timer = 0;
   /// Batches flushed by Shutdown/Flush rather than size or timer.
   std::uint64_t flushes_on_drain = 0;
+};
+
+/// Outcome of one submission, delivered to the SubmitAsync callback.
+struct BatchResult {
+  RequestStatus status = RequestStatus::kOk;
+  /// Top-k document ids; empty unless status == kOk.
+  std::vector<VectorId> documents;
+  /// kOk only: served from the cache without touching the index.
+  bool cache_hit = false;
+  /// kOk only: shared a τ-similar leader's retrieval within the batch.
+  bool coalesced = false;
+  /// Time spent in the admission queue before its batch flushed.
+  Nanos queue_wait_ns = 0;
+};
+
+/// Completion callback; invoked exactly once, from the flusher thread
+/// (or inline from Submit* on shed/shutdown). Must not block: the net
+/// front-end completes futures back onto the event loop from here.
+using BatchCallback = std::function<void(BatchResult)>;
+
+struct SubmitOptions {
+  /// Absolute deadline; max() means none. Entries whose deadline has
+  /// passed when their batch flushes complete with kDeadlineExceeded
+  /// without being embedded or searched.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 class BatchingDriver {
@@ -76,12 +122,24 @@ class BatchingDriver {
   BatchingDriver& operator=(const BatchingDriver&) = delete;
 
   /// Queues a pre-computed query embedding. Throws std::runtime_error
-  /// after Shutdown.
+  /// after Shutdown; the returned future carries an exception when the
+  /// entry is shed or expires (see BatchResult statuses).
   std::future<std::vector<VectorId>> Submit(std::vector<float> embedding);
 
   /// Queues raw query text; the flush embeds all queued text in one
   /// EmbedBatch call. Requires an embedder.
   std::future<std::vector<VectorId>> SubmitText(std::string text);
+
+  /// Callback flavor for event-loop callers: never throws for
+  /// flow-control reasons. `done` is invoked exactly once — inline with
+  /// kResourceExhausted when the bounded queue is full, inline with
+  /// kUnavailable after Shutdown, otherwise from the flusher thread.
+  void SubmitAsync(std::vector<float> embedding, const SubmitOptions& opts,
+                   BatchCallback done);
+
+  /// Text flavor; requires an embedder.
+  void SubmitTextAsync(std::string text, const SubmitOptions& opts,
+                       BatchCallback done);
 
   /// Synchronous convenience: Submit + wait.
   std::vector<VectorId> Query(std::span<const float> embedding);
@@ -100,13 +158,22 @@ class BatchingDriver {
   struct Pending {
     std::string text;              // non-empty: embed at flush
     std::vector<float> embedding;  // used when text is empty
-    std::promise<std::vector<VectorId>> promise;
+    BatchCallback done;
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;
   };
+
+  /// Shared admission path. Returns false after Shutdown — the entry is
+  /// left intact (not consumed, callback not invoked) so the caller
+  /// picks throw vs callback. Invokes the callback inline with
+  /// kResourceExhausted when the bounded queue sheds the entry.
+  bool Enqueue(Pending&& entry);
 
   void FlusherLoop();
   /// Processes one batch outside the queue lock.
   void ProcessBatch(std::vector<Pending> batch);
+  /// Completes `entry` with a non-OK status.
+  static void Fail(Pending& entry, RequestStatus status, Nanos queue_wait_ns);
 
   const VectorIndex& index_;
   ConcurrentProximityCache& cache_;
@@ -132,13 +199,17 @@ class BatchingDriver {
 /// RunStreamConcurrent's batched counterpart: `threads` client workers
 /// claim stream entries and submit them to one shared BatchingDriver over
 /// `index`, so concurrent in-flight queries group into real microbatches.
-/// `driver_stats`, if non-null, receives the driver counters.
+/// `driver_stats`, if non-null, receives the driver counters. A non-null
+/// `stop` flag makes workers stop claiming entries once it reads true
+/// (the SIGINT/SIGTERM drain path: in-flight queries still complete and
+/// the partial metrics are returned, not lost).
 ConcurrentRunResult RunStreamBatched(
     const Workload& workload, const VectorIndex& index,
     ConcurrentProximityCache& cache, const AnswerModel& answer_model,
     std::uint64_t answer_seed, const std::vector<StreamEntry>& stream,
     const Matrix& embeddings, std::size_t threads,
     const BatchingDriverOptions& options = {},
-    BatchingDriverStats* driver_stats = nullptr);
+    BatchingDriverStats* driver_stats = nullptr,
+    const std::atomic<bool>* stop = nullptr);
 
 }  // namespace proximity

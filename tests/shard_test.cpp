@@ -366,6 +366,88 @@ TEST(BatchingDriverTest, IdenticalMissesCoalesceWithinBatch) {
   EXPECT_EQ(stats.coalesced + stats.hits, 5u);
 }
 
+// Post-shutdown submissions fail fast — exception from the future path,
+// kUnavailable callback from the async path — and never deadlock. The
+// concurrent variant races Submit against Shutdown from many threads
+// (the TSan workout): every submission either completes with documents
+// or fails with the shutdown error; none hangs, none is dropped.
+TEST(BatchingDriverTest, SubmitAfterShutdownFailsFast) {
+  constexpr std::size_t kDim = 8;
+  FlatIndex index(kDim);
+  const Matrix corpus = RandomMatrix(50, kDim, 71);
+  for (std::size_t r = 0; r < corpus.rows(); ++r) index.Add(corpus.Row(r));
+  ConcurrentProximityCache cache(kDim, SmallCache());
+
+  HashEmbedderOptions eopts;
+  eopts.dim = kDim;
+  const HashEmbedder embedder(eopts);
+  BatchingDriver driver(index, cache, &embedder, {});
+  driver.Shutdown();
+
+  EXPECT_THROW(driver.Submit(std::vector<float>(kDim, 0.1f)),
+               std::runtime_error);
+  EXPECT_THROW(driver.SubmitText("after shutdown"), std::runtime_error);
+
+  // The async path reports kUnavailable through the callback instead.
+  RequestStatus got = RequestStatus::kOk;
+  driver.SubmitAsync(std::vector<float>(kDim, 0.1f), {},
+                     [&](BatchResult r) { got = r.status; });
+  EXPECT_EQ(got, RequestStatus::kUnavailable);
+  got = RequestStatus::kOk;
+  driver.SubmitTextAsync("also after shutdown", {},
+                         [&](BatchResult r) { got = r.status; });
+  EXPECT_EQ(got, RequestStatus::kUnavailable);
+}
+
+TEST(BatchingDriverTest, ConcurrentSubmitVersusShutdownNeverDeadlocks) {
+  constexpr std::size_t kDim = 8;
+  FlatIndex index(kDim);
+  const Matrix corpus = RandomMatrix(50, kDim, 72);
+  for (std::size_t r = 0; r < corpus.rows(); ++r) index.Add(corpus.Row(r));
+  ConcurrentProximityCache cache(kDim, SmallCache());
+
+  BatchingDriverOptions opts;
+  opts.max_batch = 4;
+  opts.top_k = 2;
+  BatchingDriver driver(index, cache, nullptr, opts);
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 64;
+  std::atomic<std::uint64_t> completed{0}, rejected{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        std::vector<float> q(kDim);
+        for (auto& x : q) x = static_cast<float>(rng.Gaussian(0, 1));
+        try {
+          auto fut = driver.Submit(std::move(q));
+          // The future resolves either with documents or with the
+          // drain-time rejection — but always resolves.
+          try {
+            if (!fut.get().empty()) ++completed;
+          } catch (const std::exception&) {
+            ++rejected;
+          }
+        } catch (const std::runtime_error&) {
+          ++rejected;  // Submit itself refused: driver already stopped
+        }
+      }
+    });
+  }
+  // Land Shutdown mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  driver.Shutdown();
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(completed.load() + rejected.load(), kThreads * kPerThread);
+  const auto stats = driver.stats();
+  EXPECT_EQ(stats.hits + stats.retrieved + stats.coalesced + stats.shed +
+                stats.expired,
+            stats.completed);
+}
+
 TEST(BatchingDriverTest, SubmitTextMatchesEmbeddedSubmit) {
   HashEmbedderOptions eopts;
   eopts.dim = 32;

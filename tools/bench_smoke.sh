@@ -7,11 +7,20 @@
 #                          dispatched l2 dim=768 batch=4096 kernel is not
 #                          at least as fast as the portable one
 #                          (speedup_vs_portable >= 1.0).
+#   3. shard_scaling     — --quick sweep; on hosts with < 4 cores the
+#                          monotonic-qps gate is forced to run anyway via
+#                          --threads=4 (the bench records the pool size
+#                          and a machine-readable skip_reason when the
+#                          gate genuinely cannot run).
+#   4. serve_load        — --quick closed/open-loop sweep against the
+#                          epoll serving front-end over loopback; fails
+#                          by itself if any request goes unanswered.
 #
-# Emits BENCH_obs.json and BENCH_kernels.json into --out (default:
-# the build dir), which CI uploads as artifacts. Timing gates on shared
-# runners are noisy, so CI marks this job non-blocking; locally it is a
-# quick sanity check that the perf story still holds.
+# Emits BENCH_obs.json, BENCH_kernels.json, BENCH_shard.json and
+# BENCH_net.json into --out (default: the build dir), which CI uploads
+# as artifacts. Timing gates on shared runners are noisy, so CI marks
+# this job non-blocking; locally it is a quick sanity check that the
+# perf story still holds.
 #
 # Usage: tools/bench_smoke.sh [--build-dir DIR] [--out DIR]
 set -euo pipefail
@@ -31,7 +40,7 @@ OUT_DIR="${OUT_DIR:-$BUILD_DIR}"
 mkdir -p "$OUT_DIR"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target obs_overhead distance_kernels
+  --target obs_overhead distance_kernels shard_scaling serve_load
 
 echo "== bench_smoke: obs_overhead (2% telemetry gate) =="
 "$BUILD_DIR/bench/obs_overhead" --json="$OUT_DIR/BENCH_obs.json"
@@ -56,5 +65,27 @@ if ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 1.0) }'; then
   echo "bench_smoke: FAIL — dispatched kernel slower than portable" >&2
   exit 1
 fi
+
+echo "== bench_smoke: shard_scaling --quick (monotonic-qps gate) =="
+# Small hosts force a 4-thread pool so the gate still runs; the verdict
+# is informational here (timing on loaded runners is noisy) but the
+# bench must complete and the JSON must carry either a verdict or a
+# machine-readable skip_reason.
+SHARD_ARGS=(--quick "--json=$OUT_DIR/BENCH_shard.json")
+if [[ "$(nproc)" -lt 4 ]]; then
+  SHARD_ARGS+=(--threads=4)
+fi
+"$BUILD_DIR/bench/shard_scaling" "${SHARD_ARGS[@]}"
+if ! grep -q '"monotonic_1_to_4": \(true\|false\)' \
+    "$OUT_DIR/BENCH_shard.json"; then
+  echo "bench_smoke: FAIL — shard gate neither ran nor recorded a" \
+       "skip_reason" >&2
+  grep -q '"skip_reason": "' "$OUT_DIR/BENCH_shard.json" || exit 1
+fi
+
+echo "== bench_smoke: serve_load --quick (net front-end) =="
+# serve_load exits non-zero by itself when any request goes unanswered
+# or the driver's conservation equation breaks.
+"$BUILD_DIR/bench/serve_load" --quick --json="$OUT_DIR/BENCH_net.json"
 
 echo "bench_smoke: all gates passed"

@@ -27,8 +27,9 @@ case "${1:-}" in
 esac
 
 # Suites with cross-thread behavior plus the histogram/stats substrate
-# they report through.
-LABELS='^(obs|concurrent|shard|common)$'
+# they report through; `net` adds the epoll front-end (unit suite + the
+# serve_smoke loopback drain check).
+LABELS='^(obs|concurrent|shard|common|net)$'
 
 run_suite() {
   local build_dir="$1"
@@ -36,7 +37,7 @@ run_suite() {
   cmake -B "$build_dir" -S . "$@" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" \
     --target obs_test concurrent_test common_test cache_test shard_test \
-    proximity_cli
+    net_test proximity_cli
   (cd "$build_dir" && ctest -L "$LABELS" --no-tests=error --output-on-failure)
 }
 
@@ -47,7 +48,7 @@ run_tsan() {
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
-    --target obs_test concurrent_test common_test shard_test
+    --target obs_test concurrent_test common_test shard_test net_test
   (cd build-tsan && ctest -L '^tsan$' --no-tests=error --output-on-failure)
 }
 

@@ -6,10 +6,16 @@
 //   run        one pipeline configuration
 //   adaptive   one run under the adaptive-tau controller
 //   serve      concurrent serving over a sharded index with dynamic
-//              microbatching (DESIGN.md §8)
+//              microbatching (DESIGN.md §8); with listen=HOST:PORT the
+//              same stack fronts the epoll RPC server (DESIGN.md §9)
+//   client     closed-loop RPC client against a `serve listen=` server
 //   trace-gen  write a query trace (TSV) for a workload to a file
 //   replay     run one configuration over a previously saved trace
 //   info       effective defaults and build information
+//
+// SIGINT/SIGTERM during `serve` trigger a graceful drain in both modes:
+// in-flight work completes, partial metrics are reported, and
+// --metrics-out files are still written.
 //
 // All parameters are key=value pairs; `proximity_cli <cmd> help=true`
 // lists the knobs of a subcommand. The one exception is telemetry:
@@ -17,22 +23,33 @@
 // metric snapshot; a `.prom`/`.txt` extension selects Prometheus text
 // exposition, anything else the JSON run report. Several files may be
 // given comma-separated to get both formats from one run.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/config.h"
 #include "common/log.h"
+#include "common/stats.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "embed/hash_embedder.h"
 #include "index/index_factory.h"
 #include "index/sharded_index.h"
 #include "llm/answer_model.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/metrics_registry.h"
 #include "obs/run_report.h"
 #include "rag/batching_driver.h"
+#include "vecmath/kernels.h"
 #include "rag/experiment.h"
 #include "rag/pipeline.h"
 #include "workload/benchmark_spec.h"
@@ -230,6 +247,53 @@ int CmdAdaptive(const Config& cfg) {
   return 0;
 }
 
+// SIGINT/SIGTERM stop flag for the synthetic (non-listening) serve mode:
+// workers stop claiming stream entries, in-flight batches complete, and
+// the partial run still reaches --metrics-out. The handler only stores an
+// atomic, which is async-signal-safe; the network mode routes the same
+// signals to net::Server::RequestDrain via net::InstallSignalDrain.
+std::atomic<bool> g_serve_stop{false};
+
+void ServeStopHandler(int /*signum*/) { g_serve_stop.store(true); }
+
+void InstallServeStop(bool install) {
+  struct sigaction sa{};
+  sa.sa_handler = install ? ServeStopHandler : SIG_DFL;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+/// Splits "HOST:PORT" (numeric IPv4). Throws on a malformed spec.
+std::pair<std::string, std::uint16_t> ParseHostPort(
+    const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    throw std::invalid_argument("expected HOST:PORT, got '" + spec + "'");
+  }
+  const int port = std::stoi(spec.substr(colon + 1));
+  if (port < 0 || port > 65535) {
+    throw std::invalid_argument("port out of range in '" + spec + "'");
+  }
+  return {spec.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+void PrintDriverStats(const BatchingDriverStats& dstats) {
+  std::printf("driver: batches=%llu hits=%llu retrieved=%llu "
+              "coalesced=%llu shed=%llu expired=%llu "
+              "flushes(full/timer/drain)=%llu/%llu/%llu\n",
+              static_cast<unsigned long long>(dstats.batches),
+              static_cast<unsigned long long>(dstats.hits),
+              static_cast<unsigned long long>(dstats.retrieved),
+              static_cast<unsigned long long>(dstats.coalesced),
+              static_cast<unsigned long long>(dstats.shed),
+              static_cast<unsigned long long>(dstats.expired),
+              static_cast<unsigned long long>(dstats.flushes_on_full),
+              static_cast<unsigned long long>(dstats.flushes_on_timer),
+              static_cast<unsigned long long>(dstats.flushes_on_drain));
+}
+
 int CmdServe(const Config& cfg) {
   if (cfg.GetBool("help", false)) {
     std::puts(
@@ -237,7 +301,12 @@ int CmdServe(const Config& cfg) {
         "  index=flat|hnsw|... shards=N (0 = one per core) threads=N\n"
         "  max_batch=N max_wait_us=N coalesce=true|false top_k=N\n"
         "  variants=N order=shuffled|grouped|zipf seed=N\n"
-        "  --metrics-out FILE[.prom|.json][,FILE...]");
+        "  --metrics-out FILE[.prom|.json][,FILE...]\n"
+        "network mode (--listen HOST:PORT or listen=HOST:PORT):\n"
+        "  port_file=PATH (write the bound port; useful with :0)\n"
+        "  queue_bound=N (driver admission bound, 0 = unbounded)\n"
+        "  max_connections=N max_inflight=N default_deadline_us=N\n"
+        "  drain_timeout_ms=N; SIGINT/SIGTERM drain gracefully");
     return 0;
   }
   const std::string workload_name = cfg.GetString("workload", "mmlu");
@@ -288,34 +357,92 @@ int CmdServe(const Config& cfg) {
       static_cast<std::uint64_t>(cfg.GetInt("max_wait_us", 200));
   dopts.top_k = static_cast<std::size_t>(cfg.GetInt("top_k", 10));
   dopts.coalesce = cfg.GetBool("coalesce", true);
+  dopts.queue_bound =
+      static_cast<std::size_t>(cfg.GetInt("queue_bound", 0));
   const std::size_t threads =
       static_cast<std::size_t>(cfg.GetInt("threads", 8));
 
+  const std::string listen = cfg.GetString("listen", "");
+  if (!listen.empty()) {
+    // Network mode: the microbatching stack fronts the epoll RPC server.
+    const auto [host, port] = ParseHostPort(listen);
+    BatchingDriver driver(*index, cache, &embedder, dopts);
+    net::ServerOptions nopts;
+    nopts.host = host;
+    nopts.port = port;
+    nopts.max_connections =
+        static_cast<std::size_t>(cfg.GetInt("max_connections", 256));
+    nopts.max_inflight =
+        static_cast<std::size_t>(cfg.GetInt("max_inflight", 1024));
+    nopts.default_deadline_us = static_cast<std::uint64_t>(
+        cfg.GetInt("default_deadline_us", 0));
+    nopts.drain_timeout_ms = static_cast<std::uint64_t>(
+        cfg.GetInt("drain_timeout_ms", 10000));
+    net::Server server(driver, nopts);
+    server.Start();
+    const std::string port_file = cfg.GetString("port_file", "");
+    if (!port_file.empty()) {
+      // Scripts binding :0 read the ephemeral port from here.
+      std::ofstream pf(port_file);
+      pf << server.port() << "\n";
+    }
+    net::InstallSignalDrain(&server);
+    LogInfo("serve: ready on {}:{} (SIGINT/SIGTERM drains)", host,
+            server.port());
+    server.Join();
+    net::InstallSignalDrain(nullptr);
+    driver.Shutdown();
+
+    const net::ServerStats ns = server.stats();
+    const BatchingDriverStats dstats = driver.stats();
+    std::printf("net: accepted=%llu requests=%llu responses=%llu "
+                "shed=%llu unavailable=%llu deadline_exceeded=%llu "
+                "abandoned=%llu protocol_errors=%llu\n",
+                static_cast<unsigned long long>(ns.accepted),
+                static_cast<unsigned long long>(ns.requests),
+                static_cast<unsigned long long>(ns.responses),
+                static_cast<unsigned long long>(ns.shed),
+                static_cast<unsigned long long>(ns.unavailable),
+                static_cast<unsigned long long>(ns.deadline_exceeded),
+                static_cast<unsigned long long>(ns.abandoned),
+                static_cast<unsigned long long>(ns.protocol_errors));
+    PrintDriverStats(dstats);
+
+    obs::RunReport report = MakeReport(cfg, "serve");
+    report.queries = dstats.completed;
+    report.hit_rate = dstats.completed > 0
+                          ? static_cast<double>(dstats.hits) /
+                                static_cast<double>(dstats.completed)
+                          : 0.0;
+    EmitTelemetry(cfg, std::move(report));
+    return 0;
+  }
+
   BatchingDriverStats dstats;
+  InstallServeStop(true);
   Stopwatch wall;
   const ConcurrentRunResult result = RunStreamBatched(
       workload, *index, cache, AnswerModel(AnswerParamsFor(workload_name)),
       static_cast<std::uint64_t>(cfg.GetInt("seed", 1)), stream, embeddings,
-      threads, dopts, &dstats);
+      threads, dopts, &dstats, &g_serve_stop);
   const double wall_ms = wall.ElapsedMillis();
+  InstallServeStop(false);
+  if (g_serve_stop.load()) {
+    LogWarn("serve: interrupted after {} of {} queries; partial metrics "
+            "follow",
+            result.metrics.queries, stream.size());
+  }
   const double qps =
-      wall_ms > 0 ? static_cast<double>(stream.size()) / (wall_ms / 1e3)
-                  : 0.0;
+      wall_ms > 0
+          ? static_cast<double>(result.metrics.queries) / (wall_ms / 1e3)
+          : 0.0;
 
   std::printf("queries=%zu threads=%zu qps=%.1f accuracy=%.4f "
               "hit_rate=%.4f mean_latency_ms=%.4f p99=%.4f\n",
               result.metrics.queries, threads, qps, result.metrics.accuracy,
               result.metrics.hit_rate, result.metrics.mean_latency_ms,
               result.metrics.p99_latency_ms);
-  std::printf("driver: batches=%llu hits=%llu retrieved=%llu "
-              "coalesced=%llu flushes(full/timer/drain)=%llu/%llu/%llu\n",
-              static_cast<unsigned long long>(dstats.batches),
-              static_cast<unsigned long long>(dstats.hits),
-              static_cast<unsigned long long>(dstats.retrieved),
-              static_cast<unsigned long long>(dstats.coalesced),
-              static_cast<unsigned long long>(dstats.flushes_on_full),
-              static_cast<unsigned long long>(dstats.flushes_on_timer),
-              static_cast<unsigned long long>(dstats.flushes_on_drain));
+  PrintDriverStats(dstats);
 
   obs::RunReport report = MakeReport(cfg, "serve");
   report.queries = result.metrics.queries;
@@ -326,6 +453,131 @@ int CmdServe(const Config& cfg) {
   report.p99_latency_ms = result.metrics.p99_latency_ms;
   EmitTelemetry(cfg, std::move(report));
   return 0;
+}
+
+int CmdClient(const Config& cfg) {
+  if (cfg.GetBool("help", false)) {
+    std::puts(
+        "client knobs: connect=HOST:PORT n=200 conns=4 deadline_us=0\n"
+        "  workload=mmlu|medrag corpus=N variants=N order=... (the text\n"
+        "  source; match the server's workload for meaningful hits)\n"
+        "Closed loop: each connection sends its next request as soon as\n"
+        "the previous response arrives. Prints client-observed latency\n"
+        "percentiles split by cache hit vs miss.");
+    return 0;
+  }
+  const std::string connect = cfg.GetString("connect", "");
+  if (connect.empty()) {
+    std::fputs("client: connect=HOST:PORT is required\n", stderr);
+    return 2;
+  }
+  const auto [host, port] = ParseHostPort(connect);
+  const std::size_t total = static_cast<std::size_t>(cfg.GetInt("n", 200));
+  const std::size_t conns =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   cfg.GetInt("conns", 4)));
+  const std::uint64_t deadline_us =
+      static_cast<std::uint64_t>(cfg.GetInt("deadline_us", 0));
+
+  const Workload workload = BuildWorkload(SpecFor(
+      cfg.GetString("workload", "mmlu"),
+      static_cast<std::size_t>(cfg.GetInt("corpus", 10000)),
+      static_cast<std::uint64_t>(cfg.GetInt("workload_seed", 42))));
+  QueryStreamOptions sopts;
+  const std::string order = cfg.GetString("order", "shuffled");
+  sopts.order = order == "grouped"  ? StreamOrder::kGrouped
+                : order == "zipf"   ? StreamOrder::kZipf
+                                    : StreamOrder::kShuffled;
+  sopts.variants_per_question =
+      static_cast<std::size_t>(cfg.GetInt("variants", 4));
+  sopts.seed = static_cast<std::uint64_t>(cfg.GetInt("stream_seed", 1));
+  const auto stream = BuildQueryStream(workload, sopts);
+  if (stream.empty()) {
+    std::fputs("client: empty query stream\n", stderr);
+    return 2;
+  }
+
+  struct ConnResult {
+    LatencyHistogram all, hit, miss;
+    std::uint64_t ok = 0, deadline = 0, shed = 0, unavailable = 0,
+                  other = 0, transport = 0;
+  };
+  std::vector<ConnResult> results(conns);
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  Stopwatch wall;
+  for (std::size_t c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      ConnResult& r = results[c];
+      net::Client client;
+      if (!client.Connect(host, port)) {
+        r.transport = total / conns + 1;
+        return;
+      }
+      // Static request partition; ids are globally unique across conns.
+      for (std::size_t i = c; i < total; i += conns) {
+        net::Request req;
+        req.id = static_cast<std::uint64_t>(i) + 1;
+        req.deadline_us = deadline_us;
+        req.text = stream[i % stream.size()].text;
+        net::Response resp;
+        Stopwatch sw;
+        if (!client.Call(req, &resp)) {
+          ++r.transport;
+          break;  // connection is gone; stop this loop
+        }
+        const auto ns = static_cast<Nanos>(sw.ElapsedNanos());
+        r.all.Record(ns);
+        switch (resp.status) {
+          case RequestStatus::kOk:
+            ++r.ok;
+            (resp.cache_hit() ? r.hit : r.miss).Record(ns);
+            break;
+          case RequestStatus::kDeadlineExceeded: ++r.deadline; break;
+          case RequestStatus::kResourceExhausted: ++r.shed; break;
+          case RequestStatus::kUnavailable: ++r.unavailable; break;
+          default: ++r.other; break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_ms = wall.ElapsedMillis();
+
+  ConnResult merged;
+  for (const auto& r : results) {
+    merged.all.Merge(r.all);
+    merged.hit.Merge(r.hit);
+    merged.miss.Merge(r.miss);
+    merged.ok += r.ok;
+    merged.deadline += r.deadline;
+    merged.shed += r.shed;
+    merged.unavailable += r.unavailable;
+    merged.other += r.other;
+    merged.transport += r.transport;
+  }
+  const double qps =
+      wall_ms > 0
+          ? static_cast<double>(merged.all.count()) / (wall_ms / 1e3)
+          : 0.0;
+  std::printf("client: sent=%llu ok=%llu deadline_exceeded=%llu "
+              "shed=%llu unavailable=%llu other=%llu transport_errors=%llu "
+              "qps=%.1f\n",
+              static_cast<unsigned long long>(merged.all.count()),
+              static_cast<unsigned long long>(merged.ok),
+              static_cast<unsigned long long>(merged.deadline),
+              static_cast<unsigned long long>(merged.shed),
+              static_cast<unsigned long long>(merged.unavailable),
+              static_cast<unsigned long long>(merged.other),
+              static_cast<unsigned long long>(merged.transport), qps);
+  std::printf("latency all:  %s\n", merged.all.Summary().c_str());
+  if (merged.hit.count() > 0) {
+    std::printf("latency hit:  %s\n", merged.hit.Summary().c_str());
+  }
+  if (merged.miss.count() > 0) {
+    std::printf("latency miss: %s\n", merged.miss.Summary().c_str());
+  }
+  return merged.transport == 0 ? 0 : 1;
 }
 
 int CmdTraceGen(const Config& cfg) {
@@ -424,9 +676,17 @@ int CmdInfo() {
   std::puts("workloads: mmlu (131 q, HNSW), medrag (200 q, FLAT)");
   std::puts("indexes:   flat hnsw vamana ivf_flat ivf_pq");
   std::puts("eviction:  fifo (paper) lru lfu random clock");
-  std::puts("subcommands: sweep run adaptive serve trace-gen replay info");
+  std::puts("subcommands: sweep run adaptive serve client trace-gen "
+            "replay info");
   std::puts("telemetry:  --metrics-out FILE (.prom/.txt -> Prometheus,");
   std::puts("            else JSON run report; comma-separate for both)");
+  std::puts("net:        serve --listen HOST:PORT / client connect=...");
+  // The resolved runtime environment: which SIMD tier the dispatcher
+  // actually picked on this host, and the parallelism it will use.
+  std::printf("simd:       %s (runtime-dispatched)\n",
+              std::string(SimdLevelName(ActiveSimdLevel())).c_str());
+  std::printf("cores:      %u hardware threads\n",
+              std::thread::hardware_concurrency());
 #if PROXIMITY_OBS_ENABLED
   std::puts("obs:        compiled ON (spans + stage histograms active)");
 #else
@@ -442,11 +702,16 @@ int Main(int argc, char** argv) {
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
-    constexpr std::string_view kPrefix = "--metrics-out=";
+    constexpr std::string_view kMetricsPrefix = "--metrics-out=";
+    constexpr std::string_view kListenPrefix = "--listen=";
     if (arg == "--metrics-out" && i + 1 < argc) {
       arg = std::string("metrics_out=") + argv[++i];
-    } else if (arg.rfind(kPrefix, 0) == 0) {
-      arg = "metrics_out=" + arg.substr(kPrefix.size());
+    } else if (arg.rfind(kMetricsPrefix, 0) == 0) {
+      arg = "metrics_out=" + arg.substr(kMetricsPrefix.size());
+    } else if (arg == "--listen" && i + 1 < argc) {
+      arg = std::string("listen=") + argv[++i];
+    } else if (arg.rfind(kListenPrefix, 0) == 0) {
+      arg = "listen=" + arg.substr(kListenPrefix.size());
     }
     args.push_back(std::move(arg));
   }
@@ -462,6 +727,7 @@ int Main(int argc, char** argv) {
   if (cmd == "run") return CmdRun(cfg);
   if (cmd == "adaptive") return CmdAdaptive(cfg);
   if (cmd == "serve") return CmdServe(cfg);
+  if (cmd == "client") return CmdClient(cfg);
   if (cmd == "trace-gen") return CmdTraceGen(cfg);
   if (cmd == "replay") return CmdReplay(cfg);
   if (cmd == "info" || cmd == "help") return CmdInfo();

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Serve smoke: end-to-end check of the net serving front-end.
+#
+#   1. Boots `proximity_cli serve --listen 127.0.0.1:0` (ephemeral port,
+#      published through port_file=) with a small corpus.
+#   2. Runs a short closed-loop load with `proximity_cli client`.
+#   3. SIGTERMs the server and asserts the drain is clean:
+#        - the client saw every request answered (ok == sent, zero
+#          transport errors),
+#        - the server answered every frame (requests == responses,
+#          nothing abandoned, no protocol errors),
+#        - the interrupted run still wrote its --metrics-out report.
+#
+# Registered as a ctest test labeled `net` (tools/CMakeLists.txt), so it
+# runs in `ctest -L net`, the default ctest sweep, and tools/check.sh.
+#
+# Usage: tools/serve_smoke.sh [--build-dir DIR]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+CLI="$BUILD_DIR/tools/proximity_cli"
+if [[ ! -x "$CLI" ]]; then
+  echo "serve_smoke: $CLI not built" >&2
+  exit 2
+fi
+
+N=200
+CONNS=4
+CORPUS=2000
+
+TMP=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== serve_smoke: starting server on an ephemeral port =="
+"$CLI" serve --listen 127.0.0.1:0 "port_file=$TMP/port" \
+  "corpus=$CORPUS" quiet=true \
+  --metrics-out "$TMP/metrics.json" >"$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+
+# Corpus + index build can be slow on a loaded host, so the window is
+# generous; a dead server process fails immediately instead.
+for _ in $(seq 1 1200); do
+  [[ -s "$TMP/port" ]] && break
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "serve_smoke: FAIL — server exited before publishing its port" >&2
+    cat "$TMP/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ ! -s "$TMP/port" ]]; then
+  echo "serve_smoke: FAIL — server never published its port" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+fi
+PORT=$(cat "$TMP/port")
+echo "server up on 127.0.0.1:$PORT"
+
+echo "== serve_smoke: closed-loop load ($N requests, $CONNS conns) =="
+"$CLI" client "connect=127.0.0.1:$PORT" "n=$N" "conns=$CONNS" \
+  "corpus=$CORPUS" quiet=true | tee "$TMP/client.log"
+
+echo "== serve_smoke: SIGTERM drain =="
+kill -TERM "$SERVE_PID"
+SERVE_RC=0
+wait "$SERVE_PID" || SERVE_RC=$?
+SERVE_PID=""
+cat "$TMP/serve.log"
+if [[ "$SERVE_RC" -ne 0 ]]; then
+  echo "serve_smoke: FAIL — server exited $SERVE_RC after SIGTERM" >&2
+  exit 1
+fi
+
+fail=0
+if ! grep -q "sent=$N ok=$N " "$TMP/client.log"; then
+  echo "serve_smoke: FAIL — client did not see $N OK answers" >&2
+  fail=1
+fi
+if ! grep -q "transport_errors=0" "$TMP/client.log"; then
+  echo "serve_smoke: FAIL — client hit transport errors" >&2
+  fail=1
+fi
+if ! grep -q "requests=$N responses=$N " "$TMP/serve.log"; then
+  echo "serve_smoke: FAIL — server dropped responses" >&2
+  fail=1
+fi
+if ! grep -q "abandoned=0 protocol_errors=0" "$TMP/serve.log"; then
+  echo "serve_smoke: FAIL — abandoned work or protocol errors" >&2
+  fail=1
+fi
+if [[ ! -s "$TMP/metrics.json" ]]; then
+  echo "serve_smoke: FAIL — drained run did not write --metrics-out" >&2
+  fail=1
+fi
+# net.* counters only exist when telemetry is compiled in; an OBS=OFF
+# build still writes the (empty) report, which is checked above.
+if "$CLI" info | grep -q "compiled OFF"; then
+  echo "serve_smoke: PROXIMITY_OBS=OFF build — skipping net.* check"
+elif ! grep -q '"net.requests"' "$TMP/metrics.json"; then
+  echo "serve_smoke: FAIL — net.* counters missing from the report" >&2
+  fail=1
+fi
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+
+echo "serve_smoke: clean drain, zero dropped responses"
