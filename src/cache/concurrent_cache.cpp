@@ -25,6 +25,11 @@ float ConcurrentProximityCache::tolerance() const {
   return cache_.tolerance();
 }
 
+void ConcurrentProximityCache::set_tolerance(float tolerance) {
+  std::lock_guard lock(mu_);
+  cache_.set_tolerance(tolerance);
+}
+
 std::optional<std::vector<VectorId>> ConcurrentProximityCache::Lookup(
     std::span<const float> query) {
   // The span covers lock acquisition too, so cache_lookup latency under

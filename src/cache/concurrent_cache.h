@@ -52,6 +52,10 @@ class ConcurrentProximityCache {
   /// lock: τ may be adjusted at runtime by the adaptive controller.
   float tolerance() const;
 
+  /// Re-tunes τ at runtime (the per-tenant adaptive controller steers it
+  /// between lookups). Thread-safe; applies to subsequent lookups only.
+  void set_tolerance(float tolerance);
+
   /// Thread-safe cache probe; returns a copy of the cached documents on a
   /// hit (spans would dangle across concurrent insertions).
   std::optional<std::vector<VectorId>> Lookup(std::span<const float> query);

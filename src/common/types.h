@@ -16,6 +16,14 @@ inline constexpr VectorId kInvalidVector = -1;
 /// Monotonically increasing query sequence number.
 using QuerySeq = std::uint64_t;
 
+/// Identifier of a serving tenant (user/app stream sharing the server).
+/// Carried on the wire as a u32, so the type is fixed-width.
+using TenantId = std::uint32_t;
+
+/// Tenant assumed when a request does not name one (v1 protocol frames,
+/// single-tenant deployments).
+inline constexpr TenantId kDefaultTenant = 0;
+
 /// Duration in nanoseconds; all latency accounting in the repo uses this unit.
 using Nanos = std::int64_t;
 

@@ -73,12 +73,19 @@ ParseResult FramePayload(std::span<const std::uint8_t> buf,
 }  // namespace
 
 void AppendFrame(std::vector<std::uint8_t>& out, const Request& request) {
+  // The tenant field is emitted only when needed, so a default-tenant
+  // frame stays byte-identical to protocol v1.
+  const bool has_tenant = request.tenant != kDefaultTenant ||
+                          (request.flags & kReqFlagHasTenant) != 0;
+  std::uint32_t flags = request.flags;
+  if (has_tenant) flags |= kReqFlagHasTenant;
   const std::size_t len_at = out.size();
   PutU32(out, 0);  // patched by FinishFrame
   PutU32(out, kRequestMagic);
   PutU64(out, request.id);
-  PutU32(out, request.flags);
+  PutU32(out, flags);
   PutU64(out, request.deadline_us);
+  if (has_tenant) PutU32(out, request.tenant);
   PutU32(out, static_cast<std::uint32_t>(request.text.size()));
   out.insert(out.end(), request.text.begin(), request.text.end());
   FinishFrame(out, len_at);
@@ -110,8 +117,15 @@ ParseResult ParseFrame(std::span<const std::uint8_t> buf,
   std::uint32_t magic = 0, text_len = 0;
   if (!c.ReadU32(&magic) || magic != kRequestMagic) return ParseResult::kError;
   if (!c.ReadU64(&out->id) || !c.ReadU32(&out->flags) ||
-      !c.ReadU64(&out->deadline_us) || !c.ReadU32(&text_len) ||
-      !c.ReadBytes(text_len, &out->text) || !c.AtEnd()) {
+      !c.ReadU64(&out->deadline_us)) {
+    return ParseResult::kError;
+  }
+  out->tenant = kDefaultTenant;
+  if ((out->flags & kReqFlagHasTenant) != 0 && !c.ReadU32(&out->tenant)) {
+    return ParseResult::kError;
+  }
+  if (!c.ReadU32(&text_len) || !c.ReadBytes(text_len, &out->text) ||
+      !c.AtEnd()) {
     return ParseResult::kError;
   }
   return ParseResult::kOk;

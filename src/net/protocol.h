@@ -4,9 +4,17 @@
 //
 //   [u32 payload_len][payload]            (little-endian, len <= 1 MiB)
 //
-// Request payload:
+// Request payload (v2):
 //   [u32 magic 'PRXQ'] [u64 request_id] [u32 flags] [u64 deadline_us]
+//   ([u32 tenant_id] iff flags & kReqFlagHasTenant)
 //   [u32 text_len] [text bytes]
+//
+// v2 grew the optional tenant-id field, gated on a request flag bit so
+// every v1 frame (bit clear, no field) still parses and maps to the
+// default tenant — the golden-frame regression test in
+// tests/protocol_compat_test.cpp pins this byte-exactly. A writer emits
+// the field only when the tenant is set, so v2 clients talking to
+// their own tenant 0 stay byte-identical to v1.
 //
 // Response payload:
 //   [u32 magic 'PRXR'] [u64 request_id] [u32 status] [u32 flags]
@@ -39,6 +47,13 @@ inline constexpr std::uint32_t kRequestMagic = 0x51585250;   // "PRXQ"
 inline constexpr std::uint32_t kResponseMagic = 0x52585250;  // "PRXR"
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
 
+/// Wire protocol version: v2 added the optional request tenant-id
+/// field. v1 frames remain parseable (see the header comment).
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+/// Request flag bits.
+inline constexpr std::uint32_t kReqFlagHasTenant = 1u << 0;
+
 /// Response flag bits.
 inline constexpr std::uint32_t kFlagCacheHit = 1u << 0;
 inline constexpr std::uint32_t kFlagCoalesced = 1u << 1;
@@ -49,6 +64,9 @@ struct Request {
   /// Relative deadline budget in microseconds from server receipt;
   /// 0 means no deadline.
   std::uint64_t deadline_us = 0;
+  /// Submitting tenant; serialized only when != kDefaultTenant (or the
+  /// kReqFlagHasTenant bit is pre-set). v1 frames parse to the default.
+  TenantId tenant = kDefaultTenant;
   std::string text;
 };
 

@@ -359,6 +359,7 @@ void Server::HandleRequest(Conn& conn, Request request,
   ++conn.inflight;
   SubmitOptions sopts;
   sopts.deadline = deadline;
+  sopts.tenant = request.tenant;
   // The callback runs on the flusher thread (or inline right here when
   // the driver sheds): it only posts to the completion queue and rings
   // the eventfd, so neither thread ever blocks on the other.

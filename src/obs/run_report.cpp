@@ -33,7 +33,23 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+// Run-level results mirrored into the registry so a `.prom` export
+// carries the paper's metric triple next to the stage histograms. The
+// handles live in the library (not the CLI) so every stack user —
+// including the docs_sync test — registers the same `run.*` names.
+const GaugeHandle kRunQueries("run.queries");
+const GaugeHandle kRunAccuracy("run.accuracy");
+const GaugeHandle kRunHitRate("run.hit_rate");
+const GaugeHandle kRunMeanLatencyMs("run.mean_latency_ms");
+
 }  // namespace
+
+void PublishRunGauges(const RunReport& report) {
+  kRunQueries.Set(static_cast<double>(report.queries));
+  kRunAccuracy.Set(report.accuracy);
+  kRunHitRate.Set(report.hit_rate);
+  kRunMeanLatencyMs.Set(report.mean_latency_ms);
+}
 
 std::vector<StageRow> StageBreakdown(const MetricsSnapshot& snapshot) {
   std::vector<StageRow> rows;

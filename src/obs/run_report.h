@@ -45,6 +45,11 @@ struct RunReport {
   MetricsSnapshot snapshot;
 };
 
+/// Mirrors the run-level result triple into the `run.*` gauges of the
+/// default registry, so a `.prom` export carries the paper's metrics
+/// next to the stage histograms. Call before taking the snapshot.
+void PublishRunGauges(const RunReport& report);
+
 /// Rows for every non-empty stage histogram, then the retrieval hit/miss
 /// split ("retrieve.hit"/"retrieve.miss") when present.
 std::vector<StageRow> StageBreakdown(const MetricsSnapshot& snapshot);

@@ -20,6 +20,7 @@ const obs::CounterHandle kObsRetrieved("serve.retrieved");
 const obs::CounterHandle kObsCoalesced("serve.coalesced");
 const obs::CounterHandle kObsShed("serve.shed");
 const obs::CounterHandle kObsExpired("serve.expired");
+const obs::CounterHandle kObsQuotaShed("serve.quota_shed");
 const obs::CounterHandle kObsBatches("serve.batches");
 // Values are batch sizes (unitless), not nanoseconds; the log-bucket
 // histogram just needs a monotone integer scale.
@@ -31,12 +32,38 @@ BatchingDriver::BatchingDriver(const VectorIndex& index,
                                ConcurrentProximityCache& cache,
                                const HashEmbedder* embedder,
                                BatchingDriverOptions options)
-    : index_(index), cache_(cache), embedder_(embedder), options_(options) {
+    : index_(index),
+      cache_(&cache),
+      registry_(nullptr),
+      embedder_(embedder),
+      options_(options) {
   if (options_.max_batch == 0) {
     throw std::invalid_argument("BatchingDriver: max_batch must be > 0");
   }
   if (options_.top_k == 0) {
     throw std::invalid_argument("BatchingDriver: top_k must be > 0");
+  }
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+BatchingDriver::BatchingDriver(const VectorIndex& index,
+                               TenantRegistry& registry,
+                               const HashEmbedder* embedder,
+                               BatchingDriverOptions options)
+    : index_(index),
+      cache_(nullptr),
+      registry_(&registry),
+      embedder_(embedder),
+      options_(options) {
+  if (options_.max_batch == 0) {
+    throw std::invalid_argument("BatchingDriver: max_batch must be > 0");
+  }
+  if (options_.top_k == 0) {
+    throw std::invalid_argument("BatchingDriver: top_k must be > 0");
+  }
+  if (registry.dim() != index.dim()) {
+    throw std::invalid_argument(
+        "BatchingDriver: registry/index dim mismatch");
   }
   flusher_ = std::thread([this] { FlusherLoop(); });
 }
@@ -70,24 +97,65 @@ void BatchingDriver::Fail(Pending& entry, RequestStatus status,
   entry.done(std::move(result));
 }
 
+ConcurrentProximityCache& BatchingDriver::CacheFor(TenantId tenant) {
+  return registry_ != nullptr ? registry_->CacheFor(tenant) : *cache_;
+}
+
 bool BatchingDriver::Enqueue(Pending&& entry) {
   entry.enqueued = std::chrono::steady_clock::now();
-  bool shed = false;
+  enum class Outcome { kQueued, kShed, kQuotaShed };
+  Outcome outcome = Outcome::kQueued;
+  TenantId tenant = kDefaultTenant;
   {
     std::lock_guard lock(mu_);
     if (stop_) return false;
-    ++stats_.submitted;
-    if (options_.queue_bound != 0 &&
-        pending_.size() >= options_.queue_bound) {
-      ++stats_.shed;
-      shed = true;
+    // Resolve the tenant while the entry is still cheap to refuse:
+    // quota runs before any embedding/search work is spent on it.
+    if (registry_ != nullptr) {
+      entry.tenant = registry_->Resolve(entry.tenant);
     } else {
-      pending_.push_back(std::move(entry));
+      entry.tenant = kDefaultTenant;
+    }
+    tenant = entry.tenant;
+    ++stats_.submitted;
+    BatchingDriverStats& tstats = tenant_stats_[tenant];
+    ++tstats.submitted;
+    bool admitted = true;
+    if (registry_ != nullptr &&
+        registry_->Admit(tenant) != Admission::kAdmitted) {
+      admitted = false;
+      ++stats_.quota_shed;
+      ++tstats.quota_shed;
+      outcome = Outcome::kQuotaShed;
+    }
+    if (admitted) {
+      if (options_.queue_bound != 0 &&
+          total_pending_ >= options_.queue_bound) {
+        ++stats_.shed;
+        ++tstats.shed;
+        outcome = Outcome::kShed;
+        // The quota token stays spent (rate counts admission attempts)
+        // but the inflight slot is released: the entry never runs.
+        if (registry_ != nullptr) registry_->OnDone(tenant);
+      } else {
+        entry.seq = next_seq_++;
+        TenantQueue& tq = queues_[tenant];
+        if (tq.queue.empty()) rr_.push_back(tenant);
+        tq.queue.push_back(std::move(entry));
+        ++total_pending_;
+      }
     }
   }
   kObsSubmitted.Inc();
-  if (shed) {
-    kObsShed.Inc();
+  if (registry_ != nullptr) {
+    TenantCounters delta;
+    delta.submitted = 1;
+    if (outcome == Outcome::kShed) delta.shed = 1;
+    if (outcome == Outcome::kQuotaShed) delta.quota_shed = 1;
+    registry_->Record(tenant, delta);
+  }
+  if (outcome != Outcome::kQueued) {
+    (outcome == Outcome::kShed ? kObsShed : kObsQuotaShed).Inc();
     Fail(entry, RequestStatus::kResourceExhausted, 0);
     return true;
   }
@@ -141,6 +209,7 @@ void BatchingDriver::SubmitAsync(std::vector<float> embedding,
   Pending entry;
   entry.done = std::move(done);
   entry.deadline = opts.deadline;
+  entry.tenant = opts.tenant;
   if (embedding.size() != index_.dim()) {
     Fail(entry, RequestStatus::kInvalidArgument, 0);
     return;
@@ -160,6 +229,7 @@ void BatchingDriver::SubmitTextAsync(std::string text,
   Pending entry;
   entry.done = std::move(done);
   entry.deadline = opts.deadline;
+  entry.tenant = opts.tenant;
   if (text.empty()) {
     entry.embedding.assign(index_.dim(), 0.0f);
   } else {
@@ -180,7 +250,7 @@ void BatchingDriver::Flush() {
   cv_.notify_all();
   // Wait until the flusher has taken everything that was pending; the
   // caller's futures observe completion of the actual processing.
-  cv_.wait(lock, [&] { return pending_.empty(); });
+  cv_.wait(lock, [&] { return total_pending_ == 0; });
 }
 
 void BatchingDriver::Shutdown() {
@@ -198,27 +268,96 @@ BatchingDriverStats BatchingDriver::stats() const {
   return stats_;
 }
 
+std::map<TenantId, BatchingDriverStats> BatchingDriver::tenant_stats()
+    const {
+  std::lock_guard lock(mu_);
+  return tenant_stats_;
+}
+
+std::chrono::steady_clock::time_point BatchingDriver::OldestEnqueued()
+    const {
+  auto oldest = std::chrono::steady_clock::time_point::max();
+  for (const auto& [id, tq] : queues_) {
+    if (!tq.queue.empty()) {
+      oldest = std::min(oldest, tq.queue.front().enqueued);
+    }
+  }
+  return oldest;
+}
+
+std::vector<BatchingDriver::Pending> BatchingDriver::TakeBatch(
+    std::size_t take) {
+  std::vector<Pending> batch;
+  batch.reserve(take);
+  if (!options_.fair || queues_.size() <= 1) {
+    // Strict global FIFO: repeatedly pop the smallest arrival seq
+    // across queue fronts (each queue is itself in arrival order).
+    while (batch.size() < take && total_pending_ > 0) {
+      TenantQueue* best = nullptr;
+      TenantId best_id = kDefaultTenant;
+      for (auto& [id, tq] : queues_) {
+        if (tq.queue.empty()) continue;
+        if (best == nullptr ||
+            tq.queue.front().seq < best->queue.front().seq) {
+          best = &tq;
+          best_id = id;
+        }
+      }
+      batch.push_back(std::move(best->queue.front()));
+      best->queue.pop_front();
+      --total_pending_;
+      if (best->queue.empty()) {
+        rr_.erase(std::find(rr_.begin(), rr_.end(), best_id));
+      }
+    }
+    return batch;
+  }
+  // Weighted deficit-round-robin: each visit credits the tenant its
+  // weight; one credit buys one batch slot. Leftover credit carries to
+  // the tenant's next visit (and is forfeited when its queue empties),
+  // so over time every backlogged tenant gets batch slots proportional
+  // to its weight no matter how hard another tenant floods.
+  while (batch.size() < take && total_pending_ > 0) {
+    const TenantId id = rr_.front();
+    rr_.pop_front();
+    TenantQueue& tq = queues_[id];
+    tq.deficit += registry_ != nullptr ? registry_->WeightFor(id) : 1.0;
+    while (tq.deficit >= 1.0 && !tq.queue.empty() &&
+           batch.size() < take) {
+      batch.push_back(std::move(tq.queue.front()));
+      tq.queue.pop_front();
+      tq.deficit -= 1.0;
+      --total_pending_;
+    }
+    if (tq.queue.empty()) {
+      tq.deficit = 0.0;
+    } else {
+      rr_.push_back(id);
+    }
+  }
+  return batch;
+}
+
 void BatchingDriver::FlusherLoop() {
   std::unique_lock lock(mu_);
   for (;;) {
-    if (pending_.empty()) {
+    if (total_pending_ == 0) {
       drain_served_ = drain_requested_;  // nothing left to drain
       if (stop_) return;
-      cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      cv_.wait(lock, [&] { return stop_ || total_pending_ > 0; });
       cv_.notify_all();  // wake any Flush() waiting on an empty queue
       continue;
     }
 
     const auto deadline =
-        pending_.front().enqueued +
-        std::chrono::microseconds(options_.max_wait_us);
+        OldestEnqueued() + std::chrono::microseconds(options_.max_wait_us);
     cv_.wait_until(lock, deadline, [&] {
       return stop_ || drain_requested_ > drain_served_ ||
-             pending_.size() >= options_.max_batch;
+             total_pending_ >= options_.max_batch;
     });
 
-    if (pending_.empty()) continue;
-    const bool full = pending_.size() >= options_.max_batch;
+    if (total_pending_ == 0) continue;
+    const bool full = total_pending_ >= options_.max_batch;
     const bool drain = stop_ || drain_requested_ > drain_served_;
     if (!full && !drain &&
         std::chrono::steady_clock::now() < deadline) {
@@ -232,15 +371,10 @@ void BatchingDriver::FlusherLoop() {
       ++stats_.flushes_on_timer;
     }
 
-    const std::size_t take = std::min(pending_.size(), options_.max_batch);
-    std::vector<Pending> batch;
-    batch.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(pending_.front()));
-      pending_.pop_front();
-    }
+    std::vector<Pending> batch =
+        TakeBatch(std::min(total_pending_, options_.max_batch));
     ++stats_.batches;
-    if (pending_.empty()) {
+    if (total_pending_ == 0) {
       drain_served_ = drain_requested_;
       cv_.notify_all();  // unblock Flush()
     }
@@ -265,6 +399,14 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
 
   std::uint64_t hits = 0, retrieved = 0, coalesced = 0, expired = 0,
                 completed = 0;
+  // Per-tenant view of the same outcome deltas (merged under mu_ at the
+  // end, mirrored into tenant.<label>.* via the registry).
+  std::map<TenantId, TenantCounters> deltas;
+  // Outcomes are buffered and delivered only AFTER the stats merge: a
+  // caller that has seen its completion must find the entry already
+  // accounted in stats()/tenant_stats() — bench/serve_load reads the
+  // counters the moment its last response lands.
+  std::vector<BatchResult> results(batch.size());
   std::vector<bool> done(batch.size(), false);
   try {
     // 0. Deadline check before any work: an entry whose deadline passed
@@ -274,16 +416,19 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
     live.reserve(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (batch[i].deadline < flush_start) {
-        Fail(batch[i], RequestStatus::kDeadlineExceeded, waited[i]);
+        results[i].status = RequestStatus::kDeadlineExceeded;
+        results[i].queue_wait_ns = waited[i];
         done[i] = true;
         ++expired;
         ++completed;
+        ++deltas[batch[i].tenant].expired;
       } else {
         live.push_back(i);
       }
     }
 
-    // 1. Embed queued text in one batch call.
+    // 1. Embed queued text in one batch call — one fused EmbedBatch
+    //    across every tenant in the flush.
     std::vector<std::size_t> text_ids;
     std::vector<std::string> texts;
     for (const std::size_t i : live) {
@@ -301,35 +446,57 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
       }
     }
 
-    // 2. Probe the shared cache.
+    // 2. Probe each entry's tenant cache (the tenant's private cache in
+    //    registry mode; the one shared cache otherwise).
     std::vector<std::size_t> misses;
     for (const std::size_t i : live) {
-      if (auto cached = cache_.Lookup(batch[i].embedding)) {
-        BatchResult result;
-        result.documents = std::move(*cached);
-        result.cache_hit = true;
-        result.queue_wait_ns = waited[i];
-        batch[i].done(std::move(result));
+      const TenantId tenant = batch[i].tenant;
+      auto cached = CacheFor(tenant).Lookup(batch[i].embedding);
+      if (registry_ != nullptr) {
+        registry_->ObserveLookup(tenant, cached.has_value());
+      }
+      if (cached) {
+        results[i].documents = std::move(*cached);
+        results[i].cache_hit = true;
+        results[i].queue_wait_ns = waited[i];
         done[i] = true;
         ++hits;
         ++completed;
+        ++deltas[tenant].hits;
       } else {
         misses.push_back(i);
       }
     }
 
     // 3. Coalesce τ-similar misses onto one leader retrieval per
-    //    neighborhood (the in-batch analogue of single-flight).
+    //    neighborhood (the in-batch analogue of single-flight). Only
+    //    entries of the SAME tenant may share a leader — a cross-tenant
+    //    join would leak one tenant's approximate answer to another —
+    //    and similarity is judged by the leader tenant's own τ.
     std::vector<std::size_t> leaders;
     std::vector<std::size_t> leader_of(batch.size(), 0);
-    const float tolerance = cache_.tolerance();
-    const Metric metric = cache_.metric();
+    std::map<TenantId, float> tolerances;
+    const auto tolerance_of = [&](TenantId tenant) {
+      auto it = tolerances.find(tenant);
+      if (it == tolerances.end()) {
+        it = tolerances.emplace(tenant, CacheFor(tenant).tolerance())
+                 .first;
+      }
+      return it->second;
+    };
+    const Metric metric =
+        registry_ != nullptr
+            ? registry_->CacheFor(kDefaultTenant).metric()
+            : cache_->metric();
     for (const std::size_t i : misses) {
       bool joined = false;
       if (options_.coalesce) {
         for (std::size_t rank = 0; rank < leaders.size(); ++rank) {
+          const std::size_t leader = leaders[rank];
+          if (batch[leader].tenant != batch[i].tenant) continue;
           if (Distance(metric, batch[i].embedding,
-                       batch[leaders[rank]].embedding) <= tolerance) {
+                       batch[leader].embedding) <=
+              tolerance_of(batch[leader].tenant)) {
             leader_of[i] = rank;
             joined = true;
             break;
@@ -342,7 +509,9 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
       }
     }
 
-    // 4. One grouped sharded search for all leaders.
+    // 4. One grouped sharded search for all leaders — still a single
+    //    fused SearchBatch across tenants; isolation is a cache/queue
+    //    property, not a compute partition.
     std::vector<std::vector<VectorId>> leader_docs(leaders.size());
     if (!leaders.empty()) {
       Matrix queries(0, index_.dim());
@@ -356,30 +525,33 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
         for (const auto& n : results[rank]) {
           leader_docs[rank].push_back(n.id);
         }
-        cache_.Insert(batch[leaders[rank]].embedding, leader_docs[rank]);
+        CacheFor(batch[leaders[rank]].tenant)
+            .Insert(batch[leaders[rank]].embedding, leader_docs[rank]);
       }
     }
 
     // 5. Complete misses: leaders own a retrieval, followers share it.
     for (const std::size_t i : misses) {
       const std::size_t rank = leader_of[i];
-      BatchResult result;
-      result.documents = leader_docs[rank];
-      result.queue_wait_ns = waited[i];
+      results[i].documents = leader_docs[rank];
+      results[i].queue_wait_ns = waited[i];
       if (leaders[rank] == i) {
         ++retrieved;
+        ++deltas[batch[i].tenant].retrieved;
       } else {
-        result.coalesced = true;
+        results[i].coalesced = true;
         ++coalesced;
+        ++deltas[batch[i].tenant].coalesced;
       }
-      batch[i].done(std::move(result));
       done[i] = true;
       ++completed;
     }
   } catch (...) {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (done[i]) continue;
-      Fail(batch[i], RequestStatus::kInternal, waited[i]);
+      results[i] = BatchResult{};
+      results[i].status = RequestStatus::kInternal;
+      results[i].queue_wait_ns = waited[i];
       done[i] = true;
       ++completed;
     }
@@ -389,12 +561,40 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
   kObsRetrieved.Inc(retrieved);
   kObsCoalesced.Inc(coalesced);
   kObsExpired.Inc(expired);
-  std::lock_guard lock(mu_);
-  stats_.hits += hits;
-  stats_.retrieved += retrieved;
-  stats_.coalesced += coalesced;
-  stats_.expired += expired;
-  stats_.completed += completed;
+  if (registry_ != nullptr) {
+    for (const auto& [tenant, delta] : deltas) {
+      registry_->Record(tenant, delta);
+    }
+    // Every batch entry was admitted at Enqueue; release the inflight
+    // slots now that each has completed (whatever the status).
+    for (const Pending& entry : batch) {
+      registry_->OnDone(entry.tenant);
+    }
+  }
+  {
+    std::lock_guard lock(mu_);
+    stats_.hits += hits;
+    stats_.retrieved += retrieved;
+    stats_.coalesced += coalesced;
+    stats_.expired += expired;
+    stats_.completed += completed;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ++tenant_stats_[batch[i].tenant].completed;
+    }
+    for (const auto& [tenant, delta] : deltas) {
+      BatchingDriverStats& tstats = tenant_stats_[tenant];
+      tstats.hits += delta.hits;
+      tstats.retrieved += delta.retrieved;
+      tstats.coalesced += delta.coalesced;
+      tstats.expired += delta.expired;
+    }
+  }
+
+  // Deliver completions last (outside mu_ — callbacks must not run
+  // under the queue lock).
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].done(std::move(results[i]));
+  }
 }
 
 ConcurrentRunResult RunStreamBatched(

@@ -1,4 +1,4 @@
-// Dynamic microbatching serving driver (DESIGN.md §8).
+// Dynamic microbatching serving driver (DESIGN.md §8, §10).
 //
 // RunStreamConcurrent hands every worker thread one query at a time, so
 // the database side only ever sees batch size 1. This driver replaces
@@ -6,16 +6,17 @@
 // or pre-computed embeddings) and get a future; a flusher thread drains
 // the queue whenever `max_batch` queries are pending or the oldest has
 // waited `max_wait_us` (flush-on-full / flush-on-timer), embeds queued
-// text in one EmbedBatch call, probes the shared concurrent cache, and
-// issues the remaining misses as ONE grouped SearchBatch against the
-// index — which, for a ShardedIndex, fans shard×query legs across the
-// thread pool so the fused batch kernels see real batch shapes.
+// text in one EmbedBatch call, probes the concurrent cache, and issues
+// the remaining misses as ONE grouped SearchBatch against the index —
+// which, for a ShardedIndex, fans shard×query legs across the thread
+// pool so the fused batch kernels see real batch shapes.
 //
 // Within a flush, misses that are τ-similar to an earlier miss of the
 // same batch coalesce onto that leader's retrieval (the in-batch
 // analogue of ConcurrentProximityCache's single-flight). Every submitted
-// query is exactly one of {hit, retrieved, coalesced, shed, expired};
-// Shutdown drains the queue, so no query is dropped mid-batch.
+// query is exactly one of {hit, retrieved, coalesced, shed, expired,
+// quota_shed}; Shutdown drains the queue, so no query is dropped
+// mid-batch.
 //
 // The driver is also the admission queue of the network front-end
 // (DESIGN.md §9): SubmitAsync/SubmitTextAsync attach a completion
@@ -24,6 +25,17 @@
 // instead of queueing without bound, and per-request deadlines are
 // enforced at flush time — an entry whose deadline has already passed
 // completes with DEADLINE_EXCEEDED without being embedded or searched.
+//
+// Multi-tenant mode (DESIGN.md §10): constructed over a TenantRegistry,
+// the driver keeps one admission queue per tenant and flushes them with
+// weighted deficit-round-robin, so a flooding tenant cannot starve the
+// others of batch slots — while embedding and search still run as one
+// fused batch across tenants. Cache probes/inserts route to the
+// submitting tenant's private cache, τ-coalescing only joins entries of
+// the SAME tenant (cross-tenant reuse of approximate answers is an
+// isolation leak, not a hit), and the registry's token-bucket quota is
+// consulted at Enqueue — over-quota work completes RESOURCE_EXHAUSTED
+// before any embedding is spent on it (`quota_shed`).
 #pragma once
 
 #include <atomic>
@@ -33,6 +45,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -43,6 +56,7 @@
 #include "embed/hash_embedder.h"
 #include "index/vector_index.h"
 #include "rag/concurrent_driver.h"
+#include "tenant/tenant_registry.h"
 #include "workload/query_stream.h"
 
 namespace proximity {
@@ -54,18 +68,26 @@ struct BatchingDriverOptions {
   std::uint64_t max_wait_us = 200;
   /// Documents fetched per query (top-k of the NNS).
   std::size_t top_k = 10;
-  /// Coalesce τ-similar misses within a batch onto one retrieval.
+  /// Coalesce τ-similar same-tenant misses within a batch onto one
+  /// retrieval.
   bool coalesce = true;
-  /// Admission-queue bound; submissions beyond it are shed with
-  /// RESOURCE_EXHAUSTED instead of queueing without bound. 0 = unbounded.
+  /// Admission-queue bound (total across tenants); submissions beyond
+  /// it are shed with RESOURCE_EXHAUSTED. 0 = unbounded.
   std::size_t queue_bound = 0;
+  /// Batch composition across tenants: true = weighted deficit-round-
+  /// robin over per-tenant queues (a flooding tenant cannot starve the
+  /// rest); false = strict global FIFO by arrival (the pre-tenancy
+  /// behavior, kept for the noisy-neighbor contrast bench).
+  bool fair = true;
 };
 
 /// Counters over the driver's lifetime. After Shutdown (queue drained,
 /// flusher joined):
-///   hits + retrieved + coalesced + shed + expired == submitted
-/// and completed == submitted - shed (shed entries finish inline at
-/// Submit, everything else through a flush) — no query is dropped.
+///   hits + retrieved + coalesced + shed + expired + quota_shed
+///       == submitted
+/// and completed == submitted - shed - quota_shed (both shed kinds
+/// finish inline at Submit, everything else through a flush) — no query
+/// is dropped. The same invariant holds per tenant (tenant_stats()).
 struct BatchingDriverStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
@@ -76,6 +98,9 @@ struct BatchingDriverStats {
   std::uint64_t shed = 0;
   /// Deadline passed while queued (DEADLINE_EXCEEDED, never searched).
   std::uint64_t expired = 0;
+  /// Refused by the tenant's token-bucket/inflight quota before any
+  /// embedding or search work (RESOURCE_EXHAUSTED).
+  std::uint64_t quota_shed = 0;
   std::uint64_t batches = 0;
   std::uint64_t flushes_on_full = 0;
   std::uint64_t flushes_on_timer = 0;
@@ -107,15 +132,29 @@ struct SubmitOptions {
   /// without being embedded or searched.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Submitting tenant; ignored (treated as default) unless the driver
+  /// was constructed over a TenantRegistry.
+  TenantId tenant = kDefaultTenant;
 };
 
 class BatchingDriver {
  public:
-  /// `index` and `cache` are not owned and must outlive the driver.
-  /// `embedder` may be null when only the embedding Submit path is used.
+  /// Single-tenant mode: every submission shares `cache`. `index` and
+  /// `cache` are not owned and must outlive the driver. `embedder` may
+  /// be null when only the embedding Submit path is used.
   BatchingDriver(const VectorIndex& index, ConcurrentProximityCache& cache,
                  const HashEmbedder* embedder,
                  BatchingDriverOptions options = {});
+
+  /// Multi-tenant mode: submissions carry SubmitOptions::tenant, cache
+  /// probes/inserts route to that tenant's cache in `registry`, the
+  /// registry's quotas gate admission, and the flush schedules across
+  /// per-tenant queues (options.fair). `registry` must outlive the
+  /// driver.
+  BatchingDriver(const VectorIndex& index, TenantRegistry& registry,
+                 const HashEmbedder* embedder,
+                 BatchingDriverOptions options = {});
+
   ~BatchingDriver();
 
   BatchingDriver(const BatchingDriver&) = delete;
@@ -132,8 +171,9 @@ class BatchingDriver {
 
   /// Callback flavor for event-loop callers: never throws for
   /// flow-control reasons. `done` is invoked exactly once — inline with
-  /// kResourceExhausted when the bounded queue is full, inline with
-  /// kUnavailable after Shutdown, otherwise from the flusher thread.
+  /// kResourceExhausted when the bounded queue or the tenant quota
+  /// sheds the entry, inline with kUnavailable after Shutdown,
+  /// otherwise from the flusher thread.
   void SubmitAsync(std::vector<float> embedding, const SubmitOptions& opts,
                    BatchCallback done);
 
@@ -152,6 +192,10 @@ class BatchingDriver {
   void Shutdown();
 
   BatchingDriverStats stats() const;
+  /// Per-tenant view of the same counters; the conservation invariant
+  /// holds for every entry. Single-tenant drivers report everything
+  /// under kDefaultTenant.
+  std::map<TenantId, BatchingDriverStats> tenant_stats() const;
   const BatchingDriverOptions& options() const noexcept { return options_; }
 
  private:
@@ -161,29 +205,53 @@ class BatchingDriver {
     BatchCallback done;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;
+    TenantId tenant = kDefaultTenant;
+    std::uint64_t seq = 0;  // global arrival order (FIFO mode)
+  };
+
+  /// One tenant's admission queue plus its deficit-round-robin credit.
+  struct TenantQueue {
+    std::deque<Pending> queue;
+    double deficit = 0.0;
   };
 
   /// Shared admission path. Returns false after Shutdown — the entry is
   /// left intact (not consumed, callback not invoked) so the caller
   /// picks throw vs callback. Invokes the callback inline with
-  /// kResourceExhausted when the bounded queue sheds the entry.
+  /// kResourceExhausted when the bounded queue or the tenant quota
+  /// sheds the entry.
   bool Enqueue(Pending&& entry);
 
   void FlusherLoop();
+  /// Pops up to `take` entries — DRR across tenant queues in fair mode,
+  /// global arrival order otherwise. Caller must hold mu_.
+  std::vector<Pending> TakeBatch(std::size_t take);
+  /// Earliest enqueue time across queue fronts. Caller must hold mu_;
+  /// total_pending_ must be > 0.
+  std::chrono::steady_clock::time_point OldestEnqueued() const;
+  /// The cache serving `tenant` (the tenant's own in registry mode).
+  ConcurrentProximityCache& CacheFor(TenantId tenant);
   /// Processes one batch outside the queue lock.
   void ProcessBatch(std::vector<Pending> batch);
   /// Completes `entry` with a non-OK status.
   static void Fail(Pending& entry, RequestStatus status, Nanos queue_wait_ns);
 
   const VectorIndex& index_;
-  ConcurrentProximityCache& cache_;
+  ConcurrentProximityCache* cache_;  // single-tenant mode; else null
+  TenantRegistry* registry_;         // multi-tenant mode; else null
   const HashEmbedder* embedder_;
   BatchingDriverOptions options_;
 
   mutable std::mutex mu_;
   std::mutex shutdown_mu_;  // serializes concurrent Shutdown callers
   std::condition_variable cv_;
-  std::deque<Pending> pending_;
+  // Per-tenant queues; `rr_` lists each tenant with a non-empty queue
+  // exactly once, in round-robin service order. `total_pending_` is the
+  // sum of queue sizes (the queue_bound denominator).
+  std::map<TenantId, TenantQueue> queues_;
+  std::deque<TenantId> rr_;
+  std::size_t total_pending_ = 0;
+  std::uint64_t next_seq_ = 0;
   bool stop_ = false;
   // Drain requests outstanding: Flush() bumps `requested`; the flusher
   // copies it into `served` once the queue empties. A counter pair (not
@@ -192,6 +260,7 @@ class BatchingDriver {
   std::uint64_t drain_requested_ = 0;
   std::uint64_t drain_served_ = 0;
   BatchingDriverStats stats_;
+  std::map<TenantId, BatchingDriverStats> tenant_stats_;
 
   std::thread flusher_;
 };

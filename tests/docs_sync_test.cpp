@@ -1,0 +1,203 @@
+// Documentation that cannot drift: docs/METRICS.md is a machine-checked
+// contract. This test instantiates every instrumented subsystem (which
+// links their translation units, so every namespace-scope metric handle
+// registers), snapshots the default registry, and diffs the registered
+// names against the tables in docs/METRICS.md — in BOTH directions. A
+// metric added without a doc row fails; a doc row whose metric was
+// removed or renamed fails.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/proximity_cache.h"
+#include "cache/tiered_cache.h"
+#include "common/rng.h"
+#include "embed/hash_embedder.h"
+#include "index/flat_index.h"
+#include "index/sharded_index.h"
+#include "net/server.h"
+#include "obs/metrics_registry.h"
+#include "obs/run_report.h"
+#include "rag/batching_driver.h"
+#include "rag/concurrent_driver.h"
+#include "rag/retriever.h"
+#include "tenant/tenant_registry.h"
+#include "vecmath/matrix.h"
+
+namespace proximity {
+namespace {
+
+constexpr std::size_t kDim = 8;
+
+/// A documented metric: name plus its documented type column.
+using MetricTable = std::map<std::string, std::string>;
+
+/// Parses the tables of docs/METRICS.md: rows are
+/// `| \`name\` | counter|gauge|histogram | ... |`.
+MetricTable ParseMetricsDoc(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  MetricTable table;
+  const std::regex row(R"(^\|\s*`([^`]+)`\s*\|\s*(\w+)\s*\|)");
+  std::string line;
+  while (std::getline(in, line)) {
+    std::smatch m;
+    if (!std::regex_search(line, m, row)) continue;
+    const std::string type = m[2];
+    if (type != "counter" && type != "gauge" && type != "histogram") {
+      continue;  // header or separator row
+    }
+    EXPECT_TRUE(table.emplace(m[1], type).second)
+        << "duplicate row for " << m[1];
+  }
+  return table;
+}
+
+/// Collapses per-tenant families onto the documented placeholder:
+/// `tenant.search.hits` -> `tenant.<tenant>.hits`. `tenant.registered`
+/// has no second dot and passes through unchanged.
+std::string Normalize(const std::string& name) {
+  static const std::regex tenant(R"(^tenant\.([^.]+)\.(.+)$)");
+  return std::regex_replace(name, tenant, "tenant.<tenant>.$2");
+}
+
+/// Touches every instrumented subsystem so each translation unit with
+/// namespace-scope metric handles is linked into this binary, and the
+/// runtime-registered families (per-tenant) actually register.
+void InstantiateTheStack() {
+  Rng rng(5);
+  std::vector<float> vec(kDim);
+  for (auto& x : vec) x = static_cast<float>(rng.Gaussian(0, 1));
+
+  // cache.* — and via ShardedIndex, shard.*.
+  FlatIndex index(kDim);
+  index.Add(vec);
+  ProximityCache cache(kDim, {});
+  cache.Insert(vec, {1});
+  (void)cache.Lookup(vec);
+
+  // tcache.*
+  TieredCache tiered(kDim, {});
+  (void)tiered.Lookup(vec);
+
+  // retriever.* / retrieve.*
+  Retriever retriever(&index, &cache, nullptr, {});
+  (void)retriever.Retrieve(vec);
+
+  // driver.* (RunStreamConcurrent's TU; odr-used, not run — the
+  // volatile store keeps the discarded address from being elided,
+  // which would drop the relocation and skip the archive member).
+  volatile auto drive = static_cast<ConcurrentRunResult (*)(
+      const Workload&, const VectorIndex&, ConcurrentProximityCache&,
+      const AnswerModel&, std::uint64_t, const std::vector<StreamEntry>&,
+      const Matrix&, std::size_t, std::size_t)>(&RunStreamConcurrent);
+  (void)drive;
+
+  // shard.*
+  std::vector<std::unique_ptr<VectorIndex>> shards;
+  auto shard = std::make_unique<FlatIndex>(kDim);
+  shard->Add(vec);
+  shards.push_back(std::move(shard));
+  ShardedIndex sharded(std::move(shards), {{0}});
+  (void)sharded.Search(vec, 1);
+
+  // tenant.* — enough tenants to cross the cardinality cap, so the
+  // shared `tenant.other.*` family registers too; ccache.* rides along
+  // (every tenant cache is a ConcurrentProximityCache).
+  TenantRegistryOptions topts;
+  topts.max_obs_tenants = 2;
+  TenantRegistry registry(kDim, topts);
+  for (TenantId id = 1; id <= 3; ++id) {
+    TenantSpec spec;
+    spec.id = id;
+    if (id == 1) spec.name = "search";
+    registry.Register(spec);
+    registry.Record(id, {});
+  }
+  (void)registry.CacheFor(kDefaultTenant).Lookup(vec);
+
+  // serve.* (+ net.* via the server TU's handles).
+  BatchingDriverOptions dopts;
+  dopts.max_batch = 4;
+  dopts.top_k = 1;
+  BatchingDriver driver(index, registry, nullptr, dopts);
+  (void)driver.Query(vec);
+  driver.Shutdown();
+  volatile auto drain =
+      static_cast<void (*)(net::Server*)>(&net::InstallSignalDrain);
+  (void)drain;
+
+  // run.*
+  obs::PublishRunGauges(obs::RunReport{});
+}
+
+TEST(DocsSyncTest, MetricsDocMatchesRegistryExactly) {
+#if !PROXIMITY_OBS_ENABLED
+  GTEST_SKIP() << "metrics are compiled out under PROXIMITY_OBS=OFF";
+#else
+  InstantiateTheStack();
+
+  const MetricTable documented =
+      ParseMetricsDoc(std::string(PROXIMITY_DOCS_DIR) + "/METRICS.md");
+  ASSERT_FALSE(documented.empty()) << "no metric rows parsed";
+
+  MetricTable registered;
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::Default().Snapshot();
+  for (const auto& c : snap.counters) {
+    registered.emplace(Normalize(c.name), "counter");
+  }
+  for (const auto& g : snap.gauges) {
+    registered.emplace(Normalize(g.name), "gauge");
+  }
+  for (const auto& h : snap.histograms) {
+    registered.emplace(Normalize(h.name), "histogram");
+  }
+
+  for (const auto& [name, type] : registered) {
+    const auto it = documented.find(name);
+    if (it == documented.end()) {
+      ADD_FAILURE() << "metric `" << name << "` (" << type
+                    << ") is registered but missing from "
+                       "docs/METRICS.md — add a table row for it";
+    } else {
+      EXPECT_EQ(it->second, type)
+          << "docs/METRICS.md documents `" << name << "` as "
+          << it->second << " but it registers as a " << type;
+    }
+  }
+  for (const auto& [name, type] : documented) {
+    if (!registered.count(name)) {
+      ADD_FAILURE() << "docs/METRICS.md documents `" << name << "` ("
+                    << type
+                    << ") but nothing registers it — the metric was "
+                       "removed or renamed; update the doc";
+    }
+  }
+#endif
+}
+
+// The doc promises fixed registry capacities stay comfortably above the
+// registered population; a silent kInvalidMetric overflow would make
+// new metrics vanish without failing the sync above.
+TEST(DocsSyncTest, RegistryCapacityHasHeadroom) {
+#if !PROXIMITY_OBS_ENABLED
+  GTEST_SKIP() << "metrics are compiled out under PROXIMITY_OBS=OFF";
+#else
+  InstantiateTheStack();
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::Default().Snapshot();
+  EXPECT_LT(snap.counters.size(), obs::MetricsRegistry::kMaxCounters);
+  EXPECT_LT(snap.gauges.size(), obs::MetricsRegistry::kMaxGauges);
+  EXPECT_LT(snap.histograms.size(), obs::MetricsRegistry::kMaxHistograms);
+#endif
+}
+
+}  // namespace
+}  // namespace proximity

@@ -1,0 +1,131 @@
+// Wire-compatibility regression suite for the PRXQ/PRXR framing.
+//
+// The golden files under tests/golden/ are byte-exact protocol-v1
+// frames, generated when v1 was current and NEVER regenerated: a parser
+// change that breaks them breaks every deployed v1 client. The v2
+// tenant extension is additive — the tenant id travels only when
+// `kReqFlagHasTenant` is set, so a default-tenant v2 writer emits
+// byte-identical v1 frames (pinned here against the same goldens).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace proximity {
+namespace {
+
+std::vector<std::uint8_t> ReadGolden(const std::string& name) {
+  const std::string path = std::string(PROXIMITY_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing golden file " << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+// The canonical v1 request: the exact struct the golden bytes encode.
+net::Request GoldenRequest() {
+  net::Request req;
+  req.id = 0x0123456789ABCDEFull;
+  req.flags = 0;
+  req.deadline_us = 250000;
+  req.text = "hello tenant";
+  return req;
+}
+
+net::Response GoldenResponse() {
+  net::Response resp;
+  resp.id = 0x0123456789ABCDEFull;
+  resp.status = RequestStatus::kOk;
+  resp.flags = net::kFlagCacheHit;
+  resp.queue_ns = 1111;
+  resp.server_ns = 2222;
+  resp.documents = {3, 1, 4};
+  return resp;
+}
+
+TEST(ProtocolCompatTest, ParsesGoldenV1Request) {
+  const auto wire = ReadGolden("request_v1.bin");
+  ASSERT_FALSE(wire.empty());
+  net::Request out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::ParseFrame(wire, &consumed, &out), net::ParseResult::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  const net::Request want = GoldenRequest();
+  EXPECT_EQ(out.id, want.id);
+  EXPECT_EQ(out.flags, want.flags);
+  EXPECT_EQ(out.deadline_us, want.deadline_us);
+  EXPECT_EQ(out.text, want.text);
+  // A v1 frame names no tenant: it lands on the default tenant.
+  EXPECT_EQ(out.tenant, kDefaultTenant);
+}
+
+TEST(ProtocolCompatTest, DefaultTenantWriterEmitsByteExactV1Frame) {
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, GoldenRequest());
+  EXPECT_EQ(wire, ReadGolden("request_v1.bin"));
+}
+
+TEST(ProtocolCompatTest, ParsesGoldenV1Response) {
+  const auto wire = ReadGolden("response_v1.bin");
+  ASSERT_FALSE(wire.empty());
+  net::Response out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::ParseFrame(wire, &consumed, &out), net::ParseResult::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  const net::Response want = GoldenResponse();
+  EXPECT_EQ(out.id, want.id);
+  EXPECT_EQ(out.status, want.status);
+  EXPECT_EQ(out.flags, want.flags);
+  EXPECT_TRUE(out.cache_hit());
+  EXPECT_EQ(out.queue_ns, want.queue_ns);
+  EXPECT_EQ(out.server_ns, want.server_ns);
+  EXPECT_EQ(out.documents, want.documents);
+}
+
+TEST(ProtocolCompatTest, ResponseWriterEmitsByteExactV1Frame) {
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, GoldenResponse());
+  EXPECT_EQ(wire, ReadGolden("response_v1.bin"));
+}
+
+TEST(ProtocolCompatTest, TenantFieldIsExactlyFourAddedBytes) {
+  net::Request req = GoldenRequest();
+  req.tenant = 7;
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, req);
+  EXPECT_EQ(wire.size(), ReadGolden("request_v1.bin").size() + 4);
+
+  net::Request out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::ParseFrame(wire, &consumed, &out), net::ParseResult::kOk);
+  EXPECT_EQ(out.tenant, 7u);
+  EXPECT_TRUE((out.flags & net::kReqFlagHasTenant) != 0);
+  EXPECT_EQ(out.text, req.text);
+  EXPECT_EQ(out.deadline_us, req.deadline_us);
+}
+
+TEST(ProtocolCompatTest, TenantFlagWithoutTenantBytesIsAProtocolError) {
+  // Take the golden v1 frame and flip the has-tenant flag bit without
+  // adding the four tenant bytes: the text length is then consumed as
+  // the tenant id and the frame no longer adds up.
+  auto wire = ReadGolden("request_v1.bin");
+  ASSERT_GT(wire.size(), 17u);
+  wire[16] |= static_cast<std::uint8_t>(net::kReqFlagHasTenant);
+  net::Request out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(net::ParseFrame(wire, &consumed, &out),
+            net::ParseResult::kError);
+}
+
+TEST(ProtocolCompatTest, ProtocolVersionIsBumpedForTheTenantField) {
+  // Documentation pin: OPERATIONS.md and `proximity_cli info` both cite
+  // v2; keep the constant honest.
+  EXPECT_EQ(net::kProtocolVersion, 2u);
+}
+
+}  // namespace
+}  // namespace proximity

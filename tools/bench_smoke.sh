@@ -15,10 +15,15 @@
 #   4. serve_load        — --quick closed/open-loop sweep against the
 #                          epoll serving front-end over loopback; fails
 #                          by itself if any request goes unanswered.
+#   5. tenant_isolation  — --quick noisy-neighbor sweep; fails by itself
+#                          if the compliant tenant's p99 under a quota'd
+#                          DRR flood exceeds 2x its solo baseline, if
+#                          the flood never trips the quota, or if any
+#                          per-tenant conservation equation breaks.
 #
-# Emits BENCH_obs.json, BENCH_kernels.json, BENCH_shard.json and
-# BENCH_net.json into --out (default: the build dir), which CI uploads
-# as artifacts. Timing gates on shared runners are noisy, so CI marks
+# Emits BENCH_obs.json, BENCH_kernels.json, BENCH_shard.json,
+# BENCH_net.json and BENCH_tenant.json into --out (default: the build
+# dir), which CI uploads as artifacts. Timing gates on shared runners are noisy, so CI marks
 # this job non-blocking; locally it is a quick sanity check that the
 # perf story still holds.
 #
@@ -40,7 +45,8 @@ OUT_DIR="${OUT_DIR:-$BUILD_DIR}"
 mkdir -p "$OUT_DIR"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target obs_overhead distance_kernels shard_scaling serve_load
+  --target obs_overhead distance_kernels shard_scaling serve_load \
+  tenant_isolation
 
 echo "== bench_smoke: obs_overhead (2% telemetry gate) =="
 "$BUILD_DIR/bench/obs_overhead" --json="$OUT_DIR/BENCH_obs.json"
@@ -87,5 +93,12 @@ echo "== bench_smoke: serve_load --quick (net front-end) =="
 # serve_load exits non-zero by itself when any request goes unanswered
 # or the driver's conservation equation breaks.
 "$BUILD_DIR/bench/serve_load" --quick --json="$OUT_DIR/BENCH_net.json"
+
+echo "== bench_smoke: tenant_isolation --quick (noisy-neighbor gate) =="
+# tenant_isolation exits non-zero by itself when the compliant tenant's
+# p99 under the fair-mode flood exceeds 2x solo, the quota never fires,
+# or per-tenant conservation breaks.
+"$BUILD_DIR/bench/tenant_isolation" --quick \
+  --json="$OUT_DIR/BENCH_tenant.json"
 
 echo "bench_smoke: all gates passed"

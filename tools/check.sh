@@ -28,8 +28,9 @@ esac
 
 # Suites with cross-thread behavior plus the histogram/stats substrate
 # they report through; `net` adds the epoll front-end (unit suite + the
-# serve_smoke loopback drain check).
-LABELS='^(obs|concurrent|shard|common|net)$'
+# serve_smoke loopback drain check), `tenant` the multi-tenant registry
+# and fair batching.
+LABELS='^(obs|concurrent|shard|common|net|tenant)$'
 
 run_suite() {
   local build_dir="$1"
@@ -37,7 +38,7 @@ run_suite() {
   cmake -B "$build_dir" -S . "$@" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" \
     --target obs_test concurrent_test common_test cache_test shard_test \
-    net_test proximity_cli
+    net_test tenant_test proximity_cli
   (cd "$build_dir" && ctest -L "$LABELS" --no-tests=error --output-on-failure)
 }
 
@@ -48,7 +49,8 @@ run_tsan() {
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
-    --target obs_test concurrent_test common_test shard_test net_test
+    --target obs_test concurrent_test common_test shard_test net_test \
+    tenant_test
   (cd build-tsan && ctest -L '^tsan$' --no-tests=error --output-on-failure)
 }
 

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Markdown hygiene, enforced by CI (the markdown-hygiene job):
+#
+#   1. Link rot: every relative link or image target in a tracked *.md
+#      file must exist on disk (anchors stripped; external http(s)/
+#      mailto links are out of scope — no network in CI).
+#   2. Line length: docs/*.md stays within 80 columns, same budget as
+#      the code. Only docs/ is checked: the root markdown files predate
+#      the budget and carry wide tables/URLs.
+#
+# docs/METRICS.md has a stronger guard than either check — the
+# docs_sync test diffs it against the live metrics registry — but that
+# runs under ctest; this script is pure text hygiene, no build needed.
+#
+# Usage: tools/md_check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. relative-link existence over all tracked markdown ------------
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  # Targets of [text](target) and ![alt](target), one per line. Ignore
+  # external schemes and pure in-page anchors.
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"          # strip an anchor suffix
+    [[ -z "$path" ]] && continue
+    if [[ "$path" = /* ]]; then
+      resolved=".$path"           # repo-absolute link
+    else
+      resolved="$dir/$path"
+    fi
+    # Links that climb out of the repo address the hosting site (the
+    # README's CI badge: ../../actions/...), not the tree — skip them.
+    if [[ "$(realpath -m "$resolved")" != "$PWD"/* ]]; then
+      continue
+    fi
+    if [[ ! -e "$resolved" ]]; then
+      echo "md_check: $md: broken link -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done < <(git ls-files '*.md')
+
+# --- 2. 80-column budget over docs/ ----------------------------------
+while IFS= read -r md; do
+  if over=$(awk 'length > 80 { printf "%s:%d\n", FILENAME, FNR }' "$md");
+  then
+    if [[ -n "$over" ]]; then
+      echo "md_check: lines over 80 columns:" >&2
+      echo "$over" >&2
+      fail=1
+    fi
+  fi
+done < <(git ls-files 'docs/*.md')
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "md_check: FAILED" >&2
+  exit 1
+fi
+echo "md_check: all markdown checks passed"

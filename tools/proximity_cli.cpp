@@ -30,6 +30,8 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -49,6 +51,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/run_report.h"
 #include "rag/batching_driver.h"
+#include "tenant/tenant_registry.h"
 #include "vecmath/kernels.h"
 #include "rag/experiment.h"
 #include "rag/pipeline.h"
@@ -70,13 +73,6 @@ AnswerModelParams AnswerParamsFor(const std::string& name) {
   return name == "medrag" ? MedragAnswerParams() : MmluAnswerParams();
 }
 
-// Run-level results mirrored into the registry so a `.prom` export carries
-// the paper's metric triple next to the stage histograms.
-const obs::GaugeHandle kRunQueries("run.queries");
-const obs::GaugeHandle kRunAccuracy("run.accuracy");
-const obs::GaugeHandle kRunHitRate("run.hit_rate");
-const obs::GaugeHandle kRunMeanLatencyMs("run.mean_latency_ms");
-
 obs::RunReport MakeReport(const Config& cfg, const std::string& command) {
   obs::RunReport report;
   report.command = command;
@@ -89,10 +85,7 @@ obs::RunReport MakeReport(const Config& cfg, const std::string& command) {
 // Snapshots the process-wide registry, prints the stage breakdown (unless
 // quiet=true) and writes each comma-separated metrics_out path.
 void EmitTelemetry(const Config& cfg, obs::RunReport report) {
-  kRunQueries.Set(static_cast<double>(report.queries));
-  kRunAccuracy.Set(report.accuracy);
-  kRunHitRate.Set(report.hit_rate);
-  kRunMeanLatencyMs.Set(report.mean_latency_ms);
+  obs::PublishRunGauges(report);
   report.snapshot = obs::MetricsRegistry::Default().Snapshot();
 
   if (!cfg.GetBool("quiet", false)) {
@@ -281,7 +274,7 @@ std::pair<std::string, std::uint16_t> ParseHostPort(
 
 void PrintDriverStats(const BatchingDriverStats& dstats) {
   std::printf("driver: batches=%llu hits=%llu retrieved=%llu "
-              "coalesced=%llu shed=%llu expired=%llu "
+              "coalesced=%llu shed=%llu expired=%llu quota_shed=%llu "
               "flushes(full/timer/drain)=%llu/%llu/%llu\n",
               static_cast<unsigned long long>(dstats.batches),
               static_cast<unsigned long long>(dstats.hits),
@@ -289,9 +282,28 @@ void PrintDriverStats(const BatchingDriverStats& dstats) {
               static_cast<unsigned long long>(dstats.coalesced),
               static_cast<unsigned long long>(dstats.shed),
               static_cast<unsigned long long>(dstats.expired),
+              static_cast<unsigned long long>(dstats.quota_shed),
               static_cast<unsigned long long>(dstats.flushes_on_full),
               static_cast<unsigned long long>(dstats.flushes_on_timer),
               static_cast<unsigned long long>(dstats.flushes_on_drain));
+}
+
+// One line per tenant, printed after the global driver stats in the
+// multi-tenant serve mode.
+void PrintTenantStats(
+    const std::map<TenantId, BatchingDriverStats>& per_tenant) {
+  for (const auto& [id, s] : per_tenant) {
+    std::printf("tenant %u: submitted=%llu hits=%llu retrieved=%llu "
+                "coalesced=%llu shed=%llu expired=%llu quota_shed=%llu\n",
+                static_cast<unsigned>(id),
+                static_cast<unsigned long long>(s.submitted),
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.retrieved),
+                static_cast<unsigned long long>(s.coalesced),
+                static_cast<unsigned long long>(s.shed),
+                static_cast<unsigned long long>(s.expired),
+                static_cast<unsigned long long>(s.quota_shed));
+  }
 }
 
 int CmdServe(const Config& cfg) {
@@ -306,7 +318,11 @@ int CmdServe(const Config& cfg) {
         "  port_file=PATH (write the bound port; useful with :0)\n"
         "  queue_bound=N (driver admission bound, 0 = unbounded)\n"
         "  max_connections=N max_inflight=N default_deadline_us=N\n"
-        "  drain_timeout_ms=N; SIGINT/SIGTERM drain gracefully");
+        "  drain_timeout_ms=N; SIGINT/SIGTERM drain gracefully\n"
+        "multi-tenant (network mode): --tenants FILE (tenant roster:\n"
+        "  one `id=N name=S qps=X burst=N max_inflight=N capacity=N\n"
+        "  tau=X weight=X adaptive=true target_hit_rate=X` per line);\n"
+        "  fair=true|false (weighted deficit-round-robin vs FIFO)");
     return 0;
   }
   const std::string workload_name = cfg.GetString("workload", "mmlu");
@@ -359,14 +375,35 @@ int CmdServe(const Config& cfg) {
   dopts.coalesce = cfg.GetBool("coalesce", true);
   dopts.queue_bound =
       static_cast<std::size_t>(cfg.GetInt("queue_bound", 0));
+  dopts.fair = cfg.GetBool("fair", true);
   const std::size_t threads =
       static_cast<std::size_t>(cfg.GetInt("threads", 8));
 
   const std::string listen = cfg.GetString("listen", "");
   if (!listen.empty()) {
     // Network mode: the microbatching stack fronts the epoll RPC server.
+    // Requests are routed through a TenantRegistry: per-tenant caches,
+    // quotas, and fair batching (DESIGN.md §10). Without a roster every
+    // request lands on the always-present default tenant, which keeps the
+    // single-tenant behaviour.
     const auto [host, port] = ParseHostPort(listen);
-    BatchingDriver driver(*index, cache, &embedder, dopts);
+    TenantRegistryOptions topts;
+    topts.cache_defaults = copts;
+    const std::string roster = cfg.GetString("tenants", "");
+    // With an explicit roster, unknown tenant ids fall back to the
+    // default tenant instead of minting unbounded per-tenant state.
+    topts.unknown_policy = roster.empty()
+                               ? UnknownTenantPolicy::kAutoRegister
+                               : UnknownTenantPolicy::kMapToDefault;
+    TenantRegistry registry(embedder.dim(), topts);
+    if (!roster.empty()) {
+      for (const auto& spec : LoadTenantSpecs(roster)) {
+        registry.Register(spec);
+      }
+      LogInfo("serve: {} tenants registered (unknown ids -> tenant 0)",
+              registry.tenant_count());
+    }
+    BatchingDriver driver(*index, registry, &embedder, dopts);
     net::ServerOptions nopts;
     nopts.host = host;
     nopts.port = port;
@@ -407,6 +444,8 @@ int CmdServe(const Config& cfg) {
                 static_cast<unsigned long long>(ns.abandoned),
                 static_cast<unsigned long long>(ns.protocol_errors));
     PrintDriverStats(dstats);
+    const auto per_tenant = driver.tenant_stats();
+    if (per_tenant.size() > 1) PrintTenantStats(per_tenant);
 
     obs::RunReport report = MakeReport(cfg, "serve");
     report.queries = dstats.completed;
@@ -459,6 +498,7 @@ int CmdClient(const Config& cfg) {
   if (cfg.GetBool("help", false)) {
     std::puts(
         "client knobs: connect=HOST:PORT n=200 conns=4 deadline_us=0\n"
+        "  --tenant ID (tenant id stamped on every request; 0 = default)\n"
         "  workload=mmlu|medrag corpus=N variants=N order=... (the text\n"
         "  source; match the server's workload for meaningful hits)\n"
         "Closed loop: each connection sends its next request as soon as\n"
@@ -478,6 +518,7 @@ int CmdClient(const Config& cfg) {
                                    cfg.GetInt("conns", 4)));
   const std::uint64_t deadline_us =
       static_cast<std::uint64_t>(cfg.GetInt("deadline_us", 0));
+  const auto tenant = static_cast<TenantId>(cfg.GetInt("tenant", 0));
 
   const Workload workload = BuildWorkload(SpecFor(
       cfg.GetString("workload", "mmlu"),
@@ -519,6 +560,7 @@ int CmdClient(const Config& cfg) {
         net::Request req;
         req.id = static_cast<std::uint64_t>(i) + 1;
         req.deadline_us = deadline_us;
+        req.tenant = tenant;
         req.text = stream[i % stream.size()].text;
         net::Response resp;
         Stopwatch sw;
@@ -671,7 +713,7 @@ int CmdReplay(const Config& cfg) {
   return 0;
 }
 
-int CmdInfo() {
+int CmdInfo(const Config& cfg) {
   std::puts("proximity_cli — Proximity approximate RAG cache (C++ repro)");
   std::puts("workloads: mmlu (131 q, HNSW), medrag (200 q, FLAT)");
   std::puts("indexes:   flat hnsw vamana ivf_flat ivf_pq");
@@ -681,6 +723,20 @@ int CmdInfo() {
   std::puts("telemetry:  --metrics-out FILE (.prom/.txt -> Prometheus,");
   std::puts("            else JSON run report; comma-separate for both)");
   std::puts("net:        serve --listen HOST:PORT / client connect=...");
+  std::printf("protocol:   v%u (length-prefixed PRXQ/PRXR; v1 frames "
+              "accepted)\n",
+              static_cast<unsigned>(net::kProtocolVersion));
+  // With `--tenants FILE` the roster is parsed (not served) so operators
+  // can validate a config and see the resulting tenant count up front.
+  std::size_t tenants = 1;  // the default tenant always exists
+  const std::string roster = cfg.GetString("tenants", "");
+  if (!roster.empty()) {
+    std::set<TenantId> ids{kDefaultTenant};
+    for (const auto& spec : LoadTenantSpecs(roster)) ids.insert(spec.id);
+    tenants = ids.size();
+  }
+  std::printf("tenants:    %zu registered (default tenant 0%s)\n", tenants,
+              roster.empty() ? "" : ", roster validated");
   // The resolved runtime environment: which SIMD tier the dispatcher
   // actually picked on this host, and the parallelism it will use.
   std::printf("simd:       %s (runtime-dispatched)\n",
@@ -704,6 +760,8 @@ int Main(int argc, char** argv) {
     std::string arg = argv[i];
     constexpr std::string_view kMetricsPrefix = "--metrics-out=";
     constexpr std::string_view kListenPrefix = "--listen=";
+    constexpr std::string_view kTenantsPrefix = "--tenants=";
+    constexpr std::string_view kTenantPrefix = "--tenant=";
     if (arg == "--metrics-out" && i + 1 < argc) {
       arg = std::string("metrics_out=") + argv[++i];
     } else if (arg.rfind(kMetricsPrefix, 0) == 0) {
@@ -712,6 +770,14 @@ int Main(int argc, char** argv) {
       arg = std::string("listen=") + argv[++i];
     } else if (arg.rfind(kListenPrefix, 0) == 0) {
       arg = "listen=" + arg.substr(kListenPrefix.size());
+    } else if (arg == "--tenants" && i + 1 < argc) {
+      arg = std::string("tenants=") + argv[++i];
+    } else if (arg.rfind(kTenantsPrefix, 0) == 0) {
+      arg = "tenants=" + arg.substr(kTenantsPrefix.size());
+    } else if (arg == "--tenant" && i + 1 < argc) {
+      arg = std::string("tenant=") + argv[++i];
+    } else if (arg.rfind(kTenantPrefix, 0) == 0) {
+      arg = "tenant=" + arg.substr(kTenantPrefix.size());
     }
     args.push_back(std::move(arg));
   }
@@ -730,7 +796,7 @@ int Main(int argc, char** argv) {
   if (cmd == "client") return CmdClient(cfg);
   if (cmd == "trace-gen") return CmdTraceGen(cfg);
   if (cmd == "replay") return CmdReplay(cfg);
-  if (cmd == "info" || cmd == "help") return CmdInfo();
+  if (cmd == "info" || cmd == "help") return CmdInfo(cfg);
   std::fprintf(stderr, "unknown subcommand '%s' (try: info)\n", cmd.c_str());
   return 2;
 }
