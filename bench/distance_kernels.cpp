@@ -118,6 +118,10 @@ struct SweepResult {
   double portable_ns;
   double dispatched_ns;
   double speedup;
+  // Effective scan bandwidth (base rows + one query read per call,
+  // decimal GB/s): how close each kernel gets to memory-bound.
+  double portable_gbps;
+  double dispatched_gbps;
 };
 
 double NowNs() {
@@ -230,11 +234,17 @@ std::vector<SweepResult> RunSweep() {
         r.portable_ns = t.portable_ns;
         r.dispatched_ns = t.dispatched_ns;
         r.speedup = t.speedup;
+        const double bytes =
+            static_cast<double>((batch + 1) * dim * sizeof(float));
+        r.portable_gbps = t.portable_ns > 0 ? bytes / t.portable_ns : 0.0;
+        r.dispatched_gbps =
+            t.dispatched_ns > 0 ? bytes / t.dispatched_ns : 0.0;
         results.push_back(r);
         std::printf("%-6s dim=%-4zu batch=%-5zu portable=%10.1fns "
-                    "dispatched=%10.1fns speedup=%5.2fx\n",
+                    "dispatched=%10.1fns speedup=%5.2fx "
+                    "(%5.1f -> %5.1f GB/s)\n",
                     mc.name, dim, batch, t.portable_ns, t.dispatched_ns,
-                    r.speedup);
+                    r.speedup, r.portable_gbps, r.dispatched_gbps);
       }
     }
   }
@@ -262,7 +272,9 @@ void WriteJson(const std::string& path, const std::vector<SweepResult>& rs) {
     os << "    {\"metric\": \"" << r.metric << "\", \"dim\": " << r.dim
        << ", \"batch\": " << r.batch << ", \"portable_ns_per_call\": "
        << r.portable_ns << ", \"dispatched_ns_per_call\": " << r.dispatched_ns
-       << ", \"speedup_vs_portable\": " << r.speedup << "}"
+       << ", \"speedup_vs_portable\": " << r.speedup
+       << ", \"portable_gbps\": " << r.portable_gbps
+       << ", \"dispatched_gbps\": " << r.dispatched_gbps << "}"
        << (i + 1 < rs.size() ? ",\n" : "\n");
   }
   os << "  ]\n}\n";

@@ -6,6 +6,7 @@
 
 #include "common/serde.h"
 #include "obs/metrics_registry.h"
+#include "obs/scan_stats.h"
 #include "obs/span.h"
 #include "vecmath/kernels.h"
 
@@ -65,6 +66,9 @@ std::optional<std::pair<std::size_t, float>> ProximityCache::ScanKeys(
   scan_buffer_.resize(n);
   BatchDistanceWithNorms(options_.metric, query, keys_.data(),
                          keys_.RowNorms(), n, dim_, scan_buffer_.data());
+  // Cache key scans are float primary scans: they feed the same scan.*
+  // bandwidth accounting as the index scans (docs/METRICS.md).
+  obs::ScanPrimaryBytes(n * dim_ * sizeof(float));
   std::optional<std::size_t> best;
   for (std::size_t i = 0; i < n; ++i) {
     if (options_.max_age != 0 && op_tick_ - birth_[i] > options_.max_age) {

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "index/vector_index.h"
+#include "vecmath/compressed_store.h"
 
 namespace proximity {
 
@@ -14,6 +15,14 @@ struct FlatIndexOptions {
   /// Scans with more than this many vectors are split across the shared
   /// thread pool; 0 disables parallel scan.
   std::size_t parallel_threshold = 65536;
+  /// Primary-scan representation (DESIGN.md §11). kFloat32 keeps the
+  /// exact single-level scan; sq8/sq4 scan cache-line-blocked quantized
+  /// codes first and rerank the survivors against the float rows.
+  StorageLayout storage = StorageLayout::kFloat32;
+  /// Over-fetch multiplier for the quantized primary scan: the
+  /// compressed pass keeps rerank_factor * k candidates before the
+  /// full-precision rerank. Ignored for kFloat32.
+  std::size_t rerank_factor = 4;
 };
 
 class FlatIndex final : public VectorIndex {
@@ -44,9 +53,25 @@ class FlatIndex final : public VectorIndex {
 
   const Matrix& vectors() const noexcept { return vectors_; }
 
+  StorageLayout storage() const noexcept { return options_.storage; }
+  /// The compressed primary store (empty for kFloat32); tests only.
+  const CompressedStore& compressed() const noexcept { return store_; }
+
  private:
+  bool quantized() const noexcept {
+    return options_.storage != StorageLayout::kFloat32;
+  }
+
+  /// Compressed scan of rows [lo, hi) keeping the best `fetch` rows.
+  std::vector<Neighbor> ScanCompressed(std::span<const float> query,
+                                       std::size_t lo, std::size_t hi,
+                                       std::size_t fetch) const;
+
   FlatIndexOptions options_;
   Matrix vectors_;
+  // Quantized mirror of vectors_ (primary scan representation); rows are
+  // appended in lockstep with vectors_ when storage != kFloat32.
+  CompressedStore store_;
 };
 
 }  // namespace proximity

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/serde.h"
 #include "index/index_io.h"
+#include "obs/scan_stats.h"
 #include "obs/span.h"
 #include "vecmath/kernels.h"
 #include "vecmath/topk.h"
@@ -39,10 +40,28 @@ HnswIndex::HnswIndex(std::size_t dim, HnswOptions options)
   if (options_.ef_construction < options_.M) {
     options_.ef_construction = options_.M;
   }
+  if (quantized()) store_ = CompressedStore(dim, options_.storage);
 }
 
 float HnswIndex::Dist(std::span<const float> a, NodeId b) const noexcept {
   return Distance(options_.metric, a, vectors_.Row(b));
+}
+
+float HnswIndex::TraversalDist(std::span<const float> query, NodeId b) const {
+  return quantized() ? store_.RowDistance(options_.metric, query, b)
+                     : Dist(query, b);
+}
+
+void HnswIndex::ExpandDistances(std::span<const float> query,
+                                const NodeId* ids, std::size_t count,
+                                float* out) const {
+  if (quantized()) {
+    store_.GatherScan(options_.metric, query, ids, count, out);
+    obs::ScanPrimaryBytes(count * store_.block_stride());
+  } else {
+    GatherDistance(options_.metric, query, vectors_.data(), vectors_.dim(),
+                   ids, count, out);
+  }
 }
 
 std::pair<std::vector<std::uint32_t>*, std::uint32_t>
@@ -79,8 +98,7 @@ void HnswIndex::GreedyStep(std::span<const float> query, NodeId& entry,
     if (nbrs.empty()) return;
     // One fused gather per hop instead of a scalar distance per neighbor.
     dist.resize(nbrs.size());
-    GatherDistance(options_.metric, query, vectors_.data(), vectors_.dim(),
-                   nbrs.data(), nbrs.size(), dist.data());
+    ExpandDistances(query, nbrs.data(), nbrs.size(), dist.data());
     for (std::size_t j = 0; j < nbrs.size(); ++j) {
       if (dist[j] < entry_dist) {
         entry_dist = dist[j];
@@ -127,8 +145,7 @@ std::vector<Neighbor> HnswIndex::SearchLayer(
     }
     if (fresh.empty()) continue;
     fresh_dist.resize(fresh.size());
-    GatherDistance(options_.metric, query, vectors_.data(), vectors_.dim(),
-                   fresh.data(), fresh.size(), fresh_dist.data());
+    ExpandDistances(query, fresh.data(), fresh.size(), fresh_dist.data());
     for (std::size_t j = 0; j < fresh.size(); ++j) {
       const NodeId nb = fresh[j];
       const float d = fresh_dist[j];
@@ -199,6 +216,9 @@ VectorId HnswIndex::Add(std::span<const float> vec) {
   CheckDim(vec);
   const NodeId id = static_cast<NodeId>(vectors_.rows());
   vectors_.AppendRow(vec);
+  // Quantized traversal mirror; the float row stays authoritative for
+  // neighbor selection and the final rerank.
+  if (quantized()) store_.AppendRow(vec);
 
   // Geometric level assignment: floor(-ln(U) * mult).
   level_rng_state_ = SplitMix64(level_rng_state_);
@@ -217,7 +237,7 @@ VectorId HnswIndex::Add(std::span<const float> vec) {
 
   const auto query = vectors_.Row(id);
   NodeId cur = entry_point_;
-  float cur_dist = Dist(query, cur);
+  float cur_dist = TraversalDist(query, cur);
 
   // Greedy descent through layers above the new node's level.
   for (int l = max_level_; l > level; --l) {
@@ -274,7 +294,7 @@ std::vector<Neighbor> HnswIndex::Search(std::span<const float> query,
   const obs::Span span(obs::Stage::kIndexSearch);
 
   NodeId cur = entry_point_;
-  float cur_dist = Dist(query, cur);
+  float cur_dist = TraversalDist(query, cur);
   for (int l = max_level_; l >= 1; --l) {
     GreedyStep(query, cur, cur_dist, l);
   }
@@ -284,6 +304,27 @@ std::vector<Neighbor> HnswIndex::Search(std::span<const float> query,
   auto results = SearchLayer(query, cur, cur_dist, ef, 0, *visited, epoch);
   ReleaseVisited(visited);
 
+  if (quantized()) {
+    // The beam ran on compressed codes; rerank the surviving ef
+    // candidates against the float rows before the final cut. The
+    // over-fetch is ef itself (DESIGN.md §11).
+    std::vector<NodeId> ids;
+    ids.reserve(results.size());
+    for (const auto& nb : results) {
+      ids.push_back(static_cast<NodeId>(nb.id));
+    }
+    std::vector<float> exact(ids.size());
+    GatherDistance(options_.metric, query, vectors_.data(), vectors_.dim(),
+                   ids.data(), ids.size(), exact.data());
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      results[j].distance = exact[j];
+    }
+    obs::ScanRerankBytes(ids.size() * vectors_.dim() * sizeof(float));
+    obs::ScanCandidates(ids.size());
+    obs::ScanQuery(static_cast<double>(ids.size()) /
+                   static_cast<double>(vectors_.rows()));
+  }
+
   std::sort(results.begin(), results.end(), NeighborCloser{});
   if (results.size() > k) results.resize(k);
   return results;
@@ -291,12 +332,17 @@ std::vector<Neighbor> HnswIndex::Search(std::span<const float> query,
 
 void HnswIndex::SaveTo(std::ostream& os) const {
   BinaryWriter w(os);
-  WriteHeader(w, io_magic::kHnswIndex, /*version=*/1);
+  // Version 2 appends the storage layout; float32 graphs keep writing
+  // byte-exact version-1 files. Codes are re-derived on load.
+  WriteHeader(w, io_magic::kHnswIndex, /*version=*/quantized() ? 2 : 1);
   w.WriteU32(static_cast<std::uint32_t>(options_.metric));
   w.WriteU64(options_.M);
   w.WriteU64(options_.ef_construction);
   w.WriteU64(options_.ef_search);
   w.WriteU64(options_.seed);
+  if (quantized()) {
+    w.WriteU32(static_cast<std::uint32_t>(options_.storage));
+  }
   w.WriteU64(level_rng_state_);
   w.WriteU32(entry_point_);
   w.WriteI64(max_level_);
@@ -314,13 +360,17 @@ void HnswIndex::SaveTo(std::ostream& os) const {
 
 std::unique_ptr<HnswIndex> HnswIndex::LoadFrom(std::istream& is) {
   BinaryReader r(is);
-  ReadHeader(r, io_magic::kHnswIndex, /*max_version=*/1);
+  const std::uint32_t version =
+      ReadHeader(r, io_magic::kHnswIndex, /*max_version=*/2);
   HnswOptions opts;
   opts.metric = static_cast<Metric>(r.ReadU32());
   opts.M = r.ReadU64();
   opts.ef_construction = r.ReadU64();
   opts.ef_search = r.ReadU64();
   opts.seed = r.ReadU64();
+  if (version >= 2) {
+    opts.storage = static_cast<StorageLayout>(r.ReadU32());
+  }
   const std::uint64_t rng_state = r.ReadU64();
   const NodeId entry = r.ReadU32();
   const auto max_level = static_cast<int>(r.ReadI64());
@@ -330,6 +380,12 @@ std::unique_ptr<HnswIndex> HnswIndex::LoadFrom(std::istream& is) {
   index->level_rng_state_ = rng_state;
   index->entry_point_ = entry;
   index->max_level_ = max_level;
+  if (index->quantized()) {
+    // Deterministic re-encode: the file carries no code payload.
+    for (std::size_t row = 0; row < vectors.rows(); ++row) {
+      index->store_.AppendRow(vectors.Row(row));
+    }
+  }
   index->vectors_ = std::move(vectors);
 
   const std::uint64_t n = r.ReadU64();
@@ -362,11 +418,14 @@ std::unique_ptr<HnswIndex> HnswIndex::LoadFrom(std::istream& is) {
 }
 
 std::string HnswIndex::Describe() const {
-  return "hnsw(" + std::string(MetricName(options_.metric)) +
-         ",M=" + std::to_string(options_.M) +
-         ",efc=" + std::to_string(options_.ef_construction) +
-         ",efs=" + std::to_string(options_.ef_search) +
-         ",n=" + std::to_string(size()) + ")";
+  std::string desc = "hnsw(" + std::string(MetricName(options_.metric)) +
+                     ",M=" + std::to_string(options_.M) +
+                     ",efc=" + std::to_string(options_.ef_construction) +
+                     ",efs=" + std::to_string(options_.ef_search);
+  if (quantized()) {
+    desc += ",storage=" + std::string(StorageLayoutName(options_.storage));
+  }
+  return desc + ",n=" + std::to_string(size()) + ")";
 }
 
 }  // namespace proximity

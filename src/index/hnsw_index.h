@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "index/vector_index.h"
+#include "vecmath/compressed_store.h"
 
 namespace proximity {
 
@@ -25,6 +26,11 @@ struct HnswOptions {
   /// Default beam width during search (raised to k if smaller).
   std::size_t ef_search = 64;
   std::uint64_t seed = 42;
+  /// Representation driving graph traversal (DESIGN.md §11): sq8/sq4
+  /// expand neighbors from quantized codes and rerank the final ef
+  /// candidates against the float vectors; kFloat32 is the classic
+  /// all-float walk. The over-fetch is ef itself, so no rerank factor.
+  StorageLayout storage = StorageLayout::kFloat32;
 };
 
 class HnswIndex final : public VectorIndex {
@@ -50,6 +56,7 @@ class HnswIndex final : public VectorIndex {
 
   void set_ef_search(std::size_t ef) noexcept { options_.ef_search = ef; }
   std::size_t ef_search() const noexcept { return options_.ef_search; }
+  StorageLayout storage() const noexcept { return options_.storage; }
 
   /// Graph introspection for tests.
   int max_level() const noexcept { return max_level_; }
@@ -65,6 +72,19 @@ class HnswIndex final : public VectorIndex {
   using NodeId = std::uint32_t;
 
   float Dist(std::span<const float> a, NodeId b) const noexcept;
+
+  bool quantized() const noexcept {
+    return options_.storage != StorageLayout::kFloat32;
+  }
+
+  /// Traversal distance of one node: quantized codes when enabled,
+  /// float row otherwise. Entry points of greedy descent / beam search.
+  float TraversalDist(std::span<const float> query, NodeId b) const;
+
+  /// Fused neighbor-expansion distances: compressed GatherScan when
+  /// quantized, float GatherDistance otherwise.
+  void ExpandDistances(std::span<const float> query, const NodeId* ids,
+                       std::size_t count, float* out) const;
 
   /// Best-first search on one layer; returns up to ef closest nodes,
   /// unsorted (heap order). `visited` must be a fresh epoch.
@@ -97,6 +117,9 @@ class HnswIndex final : public VectorIndex {
 
   HnswOptions options_;
   Matrix vectors_;
+  // Quantized mirror of vectors_ for graph traversal (empty for
+  // kFloat32); appended in lockstep with vectors_.
+  CompressedStore store_;
   std::vector<int> levels_;
   // links_[node][level] -> neighbor ids; sized to node's level + 1.
   std::vector<std::vector<std::vector<NodeId>>> links_;

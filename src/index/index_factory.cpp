@@ -37,9 +37,17 @@ std::unique_ptr<VectorIndex> BuildIndex(const IndexSpec& spec,
   const std::size_t dim = corpus.dim();
   std::unique_ptr<VectorIndex> index;
 
+  StorageLayout storage = StorageLayout::kFloat32;
+  if (!ParseStorageLayout(spec.storage, &storage)) {
+    throw std::invalid_argument("BuildIndex: unknown storage layout '" +
+                                spec.storage + "'");
+  }
+
   if (spec.kind == "flat") {
     FlatIndexOptions opts;
     opts.metric = spec.metric;
+    opts.storage = storage;
+    opts.rerank_factor = spec.rerank_factor;
     index = std::make_unique<FlatIndex>(dim, opts);
   } else if (spec.kind == "hnsw") {
     HnswOptions opts;
@@ -48,6 +56,7 @@ std::unique_ptr<VectorIndex> BuildIndex(const IndexSpec& spec,
     opts.ef_construction = spec.hnsw_ef_construction;
     opts.ef_search = spec.hnsw_ef_search;
     opts.seed = spec.seed;
+    opts.storage = storage;
     index = std::make_unique<HnswIndex>(dim, opts);
   } else if (spec.kind == "ivf_flat") {
     IvfFlatOptions opts;
@@ -55,6 +64,8 @@ std::unique_ptr<VectorIndex> BuildIndex(const IndexSpec& spec,
     opts.nlist = spec.ivf_nlist;
     opts.nprobe = spec.ivf_nprobe;
     opts.seed = spec.seed;
+    opts.storage = storage;
+    opts.rerank_factor = spec.rerank_factor;
     auto ivf = std::make_unique<IvfFlatIndex>(dim, opts);
     ivf->Train(TrainingSample(corpus, std::max<std::size_t>(spec.ivf_nlist * 64,
                                                             4096),
@@ -82,6 +93,7 @@ std::unique_ptr<VectorIndex> BuildIndex(const IndexSpec& spec,
     opts.search_beam = spec.vamana_beam;
     opts.alpha = spec.vamana_alpha;
     opts.seed = spec.seed;
+    opts.storage = storage;
     index = std::make_unique<VamanaIndex>(dim, opts);
   } else {
     throw std::invalid_argument("BuildIndex: unknown index kind '" +

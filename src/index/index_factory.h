@@ -15,6 +15,14 @@ struct IndexSpec {
   Metric metric = Metric::kL2;
   std::uint64_t seed = 42;
 
+  /// Primary storage layout: "float32" (default), "sq8", or "sq4".
+  /// Quantized layouts run the compressed two-level scan (DESIGN.md §11)
+  /// on flat, ivf_flat, hnsw, and vamana; ivf_pq ignores it (PQ is its
+  /// own compression scheme).
+  std::string storage = "float32";
+  /// Over-fetch multiplier for quantized flat/ivf_flat scans.
+  std::size_t rerank_factor = 4;
+
   // HNSW knobs.
   std::size_t hnsw_m = 16;
   std::size_t hnsw_ef_construction = 200;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "index/vector_index.h"
+#include "vecmath/compressed_store.h"
 
 namespace proximity {
 
@@ -17,6 +18,14 @@ struct IvfFlatOptions {
   std::size_t nlist = 64;   // number of coarse clusters
   std::size_t nprobe = 8;   // clusters scanned per query
   std::uint64_t seed = 42;  // k-means seed
+  /// Primary representation of the posting scans (DESIGN.md §11):
+  /// kFloat32 keeps the exact fused batch scan; sq8/sq4 scan quantized
+  /// codes per probed list and rerank the survivors against the float
+  /// entries.
+  StorageLayout storage = StorageLayout::kFloat32;
+  /// Over-fetch multiplier for the quantized posting scan (ignored for
+  /// kFloat32).
+  std::size_t rerank_factor = 4;
 };
 
 class IvfFlatIndex final : public VectorIndex {
@@ -50,11 +59,20 @@ class IvfFlatIndex final : public VectorIndex {
     return lists_[l].ids.size();
   }
 
+  StorageLayout storage() const noexcept { return options_.storage; }
+
  private:
   struct InvertedList {
     std::vector<VectorId> ids;
     std::vector<float> vectors;  // row-major, dim_ per entry
+    // Quantized mirror of `vectors` (primary posting-scan codes);
+    // populated only when options_.storage != kFloat32.
+    CompressedStore codes;
   };
+
+  bool quantized() const noexcept {
+    return options_.storage != StorageLayout::kFloat32;
+  }
 
   std::size_t dim_;
   IvfFlatOptions options_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/rng.h"
+#include "obs/scan_stats.h"
 #include "vecmath/kernels.h"
 
 namespace proximity {
@@ -33,10 +34,17 @@ VamanaIndex::VamanaIndex(std::size_t dim, VamanaOptions options)
   if (options_.build_beam < options_.max_degree) {
     options_.build_beam = options_.max_degree;
   }
+  if (quantized()) store_ = CompressedStore(dim, options_.storage);
 }
 
 float VamanaIndex::Dist(std::span<const float> a, NodeId b) const noexcept {
   return Distance(options_.metric, a, vectors_.Row(b));
+}
+
+float VamanaIndex::TraversalDist(std::span<const float> query,
+                                 NodeId b) const {
+  return quantized() ? store_.RowDistance(options_.metric, query, b)
+                     : Dist(query, b);
 }
 
 std::vector<Neighbor> VamanaIndex::BeamSearch(
@@ -55,11 +63,12 @@ std::vector<Neighbor> VamanaIndex::BeamSearch(
   std::vector<Neighbor> frontier;  // min-heap (closest first)
   std::vector<Neighbor> results;   // max-heap (worst first)
 
-  const float d0 = Dist(query, medoid_);
+  const float d0 = TraversalDist(query, medoid_);
   frontier.push_back({static_cast<VectorId>(medoid_), d0});
   results.push_back({static_cast<VectorId>(medoid_), d0});
   visited_stamp_[medoid_] = epoch_;
   if (visited_out != nullptr) visited_out->push_back(frontier.front());
+  std::uint64_t expanded = 1;
 
   while (!frontier.empty()) {
     std::pop_heap(frontier.begin(), frontier.end(), NeighborFartherFirst{});
@@ -71,7 +80,8 @@ std::vector<Neighbor> VamanaIndex::BeamSearch(
     auto expand = [&](NodeId nb) {
       if (visited_stamp_[nb] == epoch_) return;
       visited_stamp_[nb] = epoch_;
-      const float d = Dist(query, nb);
+      ++expanded;
+      const float d = TraversalDist(query, nb);
       if (visited_out != nullptr) {
         visited_out->push_back({static_cast<VectorId>(nb), d});
       }
@@ -93,6 +103,7 @@ std::vector<Neighbor> VamanaIndex::BeamSearch(
       for (NodeId nb : long_links_[cur_id]) expand(nb);
     }
   }
+  if (quantized()) obs::ScanPrimaryBytes(expanded * store_.block_stride());
   std::sort(results.begin(), results.end(), NeighborCloser{});
   return results;
 }
@@ -207,9 +218,11 @@ void VamanaIndex::BuildGraph() {
       const auto query = vectors_.Row(i);
       std::vector<Neighbor> visited;
       BeamSearch(query, options_.build_beam, &visited);
-      // Candidates: beam-visited set plus current out-neighbors.
+      // Candidates: beam-visited set plus current out-neighbors
+      // (traversal distances, so the candidate ordering is consistent).
       for (NodeId nb : adjacency_[i]) {
-        visited.push_back({static_cast<VectorId>(nb), Dist(query, nb)});
+        visited.push_back({static_cast<VectorId>(nb),
+                           TraversalDist(query, nb)});
       }
       adjacency_[i] = RobustPrune(node, std::move(visited), alpha);
       for (NodeId nb : adjacency_[i]) {
@@ -277,6 +290,9 @@ VectorId VamanaIndex::Add(std::span<const float> vec) {
   CheckDim(vec);
   const NodeId id = static_cast<NodeId>(vectors_.rows());
   vectors_.AppendRow(vec);
+  // Quantized traversal mirror; the float row stays authoritative for
+  // RobustPrune and the final rerank.
+  if (quantized()) store_.AppendRow(vec);
   adjacency_.emplace_back();
 
   if (id == 0) {
@@ -326,16 +342,31 @@ std::vector<Neighbor> VamanaIndex::Search(std::span<const float> query,
   EnsureBuilt();
   const std::size_t beam = std::max(options_.search_beam, k);
   auto results = BeamSearch(query, beam, nullptr);
+  if (quantized()) {
+    // The beam ran on compressed codes; rerank the surviving candidates
+    // against the float rows before the final cut (DESIGN.md §11).
+    for (auto& nb : results) {
+      nb.distance = Dist(query, static_cast<NodeId>(nb.id));
+    }
+    obs::ScanRerankBytes(results.size() * vectors_.dim() * sizeof(float));
+    obs::ScanCandidates(results.size());
+    obs::ScanQuery(static_cast<double>(results.size()) /
+                   static_cast<double>(vectors_.rows()));
+    std::sort(results.begin(), results.end(), NeighborCloser{});
+  }
   if (results.size() > k) results.resize(k);
   return results;
 }
 
 std::string VamanaIndex::Describe() const {
-  return "vamana(" + std::string(MetricName(options_.metric)) +
-         ",R=" + std::to_string(options_.max_degree) +
-         ",L=" + std::to_string(options_.search_beam) +
-         ",alpha=" + std::to_string(options_.alpha) +
-         ",n=" + std::to_string(size()) + ")";
+  std::string desc = "vamana(" + std::string(MetricName(options_.metric)) +
+                     ",R=" + std::to_string(options_.max_degree) +
+                     ",L=" + std::to_string(options_.search_beam) +
+                     ",alpha=" + std::to_string(options_.alpha);
+  if (quantized()) {
+    desc += ",storage=" + std::string(StorageLayoutName(options_.storage));
+  }
+  return desc + ",n=" + std::to_string(size()) + ")";
 }
 
 }  // namespace proximity

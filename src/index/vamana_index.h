@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "index/vector_index.h"
+#include "vecmath/compressed_store.h"
 
 namespace proximity {
 
@@ -44,6 +45,11 @@ struct VamanaOptions {
   /// distances concentrate (high-dimensional tight clusters), where
   /// α-pruning alone keeps only nearest-neighborhood edges. 0 disables.
   std::size_t long_edges = 2;
+  /// Representation driving beam traversal (DESIGN.md §11): sq8/sq4
+  /// expand nodes from quantized codes and rerank the final beam against
+  /// the float rows; pruning always uses float distances. The over-fetch
+  /// is the beam width itself, so no rerank factor.
+  StorageLayout storage = StorageLayout::kFloat32;
 };
 
 class VamanaIndex final : public VectorIndex {
@@ -76,11 +82,20 @@ class VamanaIndex final : public VectorIndex {
   /// The node's protected random shortcuts (see VamanaOptions::long_edges).
   const std::vector<std::uint32_t>& LongLinks(VectorId id);
   VectorId medoid() const noexcept { return medoid_; }
+  StorageLayout storage() const noexcept { return options_.storage; }
 
  private:
   using NodeId = std::uint32_t;
 
   float Dist(std::span<const float> a, NodeId b) const noexcept;
+
+  bool quantized() const noexcept {
+    return options_.storage != StorageLayout::kFloat32;
+  }
+
+  /// Traversal distance of one node: quantized codes when enabled,
+  /// float row otherwise. Drives every beam expansion.
+  float TraversalDist(std::span<const float> query, NodeId b) const;
 
   /// Beam search from the medoid; returns the visited (expanded) nodes
   /// with distances, closest first, capped at `beam` results.
@@ -104,6 +119,9 @@ class VamanaIndex final : public VectorIndex {
 
   VamanaOptions options_;
   Matrix vectors_;
+  // Quantized mirror of vectors_ for beam traversal (empty for
+  // kFloat32); appended in lockstep with vectors_.
+  CompressedStore store_;
   // Graph state is rebuilt lazily from const Search, hence mutable.
   mutable std::vector<std::vector<NodeId>> adjacency_;
   mutable std::vector<std::vector<NodeId>> long_links_;

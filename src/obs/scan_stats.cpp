@@ -1,0 +1,30 @@
+#include "obs/scan_stats.h"
+
+#include "obs/metrics_registry.h"
+
+namespace proximity::obs {
+
+namespace {
+const CounterHandle kPrimaryBytes("scan.primary_bytes");
+const CounterHandle kRerankBytes("scan.rerank_bytes");
+const CounterHandle kCandidates("scan.candidates");
+const CounterHandle kQueries("scan.queries");
+const GaugeHandle kRerankRatio("scan.rerank_ratio");
+}  // namespace
+
+void ScanPrimaryBytes(std::uint64_t bytes) noexcept {
+  kPrimaryBytes.Inc(bytes);
+}
+
+void ScanRerankBytes(std::uint64_t bytes) noexcept {
+  kRerankBytes.Inc(bytes);
+}
+
+void ScanCandidates(std::uint64_t count) noexcept { kCandidates.Inc(count); }
+
+void ScanQuery(double rerank_ratio) noexcept {
+  kQueries.Inc();
+  kRerankRatio.Set(rerank_ratio);
+}
+
+}  // namespace proximity::obs

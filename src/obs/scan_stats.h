@@ -1,0 +1,34 @@
+// scan.* metric family: accounting for the vector-scan data plane
+// (docs/METRICS.md "Scan"). The two-level compressed search path
+// (DESIGN.md §11) reports how many bytes its primary (compressed) scans
+// and float rerank passes touch, and how many candidates survive the
+// primary scan; the cache's linear key scan reports its float bytes
+// through the same primary counter.
+//
+// These are free functions rather than exposed handles so call sites in
+// index/ and cache/ stay one line and the metric names live in exactly
+// one translation unit (scan_stats.cpp — linked whenever any scan path
+// is, which is what keeps docs_sync_test honest). Under
+// PROXIMITY_OBS=OFF every call compiles down to the no-op handles.
+#pragma once
+
+#include <cstdint>
+
+namespace proximity::obs {
+
+/// Bytes read by a primary scan: compressed blocks (block_stride per
+/// row) on the quantized paths, float rows on the cache key scan.
+void ScanPrimaryBytes(std::uint64_t bytes) noexcept;
+
+/// Bytes of full-precision vectors touched by a rerank pass.
+void ScanRerankBytes(std::uint64_t bytes) noexcept;
+
+/// Candidates handed from a primary scan to the rerank pass.
+void ScanCandidates(std::uint64_t count) noexcept;
+
+/// One completed two-level query; `rerank_ratio` is candidates scanned
+/// in full precision divided by rows scanned compressed (the over-fetch
+/// fraction — small is good).
+void ScanQuery(double rerank_ratio) noexcept;
+
+}  // namespace proximity::obs

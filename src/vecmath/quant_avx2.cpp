@@ -1,0 +1,176 @@
+// AVX2+FMA quantized-scan kernels. Compiled with -mavx2 -mfma (see
+// vecmath/CMakeLists.txt); only reached when CPUID reports both.
+//
+// Decode stays fused in the accumulation: 16 codes per iteration are
+// widened u8 -> i32 -> f32, dequantized with one fmadd against the
+// per-vector scale/bias, and accumulated into two 8-lane registers —
+// the codes never hit a decoded buffer. 4-bit rows run the half-split
+// nibble planes (quant_kernel_table.h) so each plane keeps contiguous
+// query loads.
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "vecmath/quant_kernel_table.h"
+
+namespace proximity::detail {
+
+namespace {
+
+inline float Hsum(__m256 v) noexcept {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_movehdup_ps(s));
+  return _mm_cvtss_f32(s);
+}
+
+/// Dequantizes 8 widened codes: bias + scale * c.
+inline __m256 Dequant8(__m256i c, __m256 vscale, __m256 vbias) noexcept {
+  return _mm256_fmadd_ps(vscale, _mm256_cvtepi32_ps(c), vbias);
+}
+
+// --------------------------------------------------------- 8-bit rows ----
+
+float L2U8(const float* q, const std::uint8_t* codes, std::size_t n,
+           float scale, float bias) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 vbias = _mm256_set1_ps(bias);
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    const __m256 x0 = Dequant8(_mm256_cvtepu8_epi32(b), vscale, vbias);
+    const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(q + i), x0);
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    const __m256 x1 =
+        Dequant8(_mm256_cvtepu8_epi32(_mm_srli_si128(b, 8)), vscale, vbias);
+    const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(q + i + 8), x1);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  if (i + 8 <= n) {
+    const __m128i b =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + i));
+    const __m256 x = Dequant8(_mm256_cvtepu8_epi32(b), vscale, vbias);
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(q + i), x);
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+    i += 8;
+  }
+  float tail = 0.f;
+  for (; i < n; ++i) {
+    const float d = q[i] - std::fmaf(scale, static_cast<float>(codes[i]), bias);
+    tail = std::fmaf(d, d, tail);
+  }
+  return Hsum(_mm256_add_ps(acc0, acc1)) + tail;
+}
+
+float IpU8(const float* q, const std::uint8_t* codes, std::size_t n,
+           float scale, float bias) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 vbias = _mm256_set1_ps(bias);
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(q + i),
+                           Dequant8(_mm256_cvtepu8_epi32(b), vscale, vbias),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(
+        _mm256_loadu_ps(q + i + 8),
+        Dequant8(_mm256_cvtepu8_epi32(_mm_srli_si128(b, 8)), vscale, vbias),
+        acc1);
+  }
+  if (i + 8 <= n) {
+    const __m128i b =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + i));
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(q + i),
+                           Dequant8(_mm256_cvtepu8_epi32(b), vscale, vbias),
+                           acc0);
+    i += 8;
+  }
+  float tail = 0.f;
+  for (; i < n; ++i) {
+    tail = std::fmaf(q[i], std::fmaf(scale, static_cast<float>(codes[i]), bias),
+                     tail);
+  }
+  return Hsum(_mm256_add_ps(acc0, acc1)) + tail;
+}
+
+// --------------------------------------------------------- 4-bit rows ----
+// One plane: `len` dims whose codes are the low (kHigh=false) or high
+// (kHigh=true) nibbles of codes[0..len); `q` is already offset to the
+// plane's first dimension.
+
+template <bool kHigh, bool kL2>
+float Plane(const float* q, const std::uint8_t* codes, std::size_t len,
+            __m256 vscale, __m256 vbias, float scale, float bias) {
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 16 <= len; j += 16) {
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + j));
+    if constexpr (kHigh) {
+      b = _mm_and_si128(_mm_srli_epi16(b, 4), mask);
+    } else {
+      b = _mm_and_si128(b, mask);
+    }
+    const __m256 x0 = Dequant8(_mm256_cvtepu8_epi32(b), vscale, vbias);
+    const __m256 x1 =
+        Dequant8(_mm256_cvtepu8_epi32(_mm_srli_si128(b, 8)), vscale, vbias);
+    if constexpr (kL2) {
+      const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(q + j), x0);
+      acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+      const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(q + j + 8), x1);
+      acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+    } else {
+      acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(q + j), x0, acc0);
+      acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(q + j + 8), x1, acc1);
+    }
+  }
+  float tail = 0.f;
+  for (; j < len; ++j) {
+    const float c = static_cast<float>(kHigh ? (codes[j] >> 4)
+                                             : (codes[j] & 0x0F));
+    const float x = std::fmaf(scale, c, bias);
+    if constexpr (kL2) {
+      const float d = q[j] - x;
+      tail = std::fmaf(d, d, tail);
+    } else {
+      tail = std::fmaf(q[j], x, tail);
+    }
+  }
+  return Hsum(_mm256_add_ps(acc0, acc1)) + tail;
+}
+
+float L2U4(const float* q, const std::uint8_t* codes, std::size_t n,
+           float scale, float bias) {
+  const std::size_t h = (n + 1) / 2;
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 vbias = _mm256_set1_ps(bias);
+  return Plane<false, true>(q, codes, h, vscale, vbias, scale, bias) +
+         Plane<true, true>(q + h, codes, n - h, vscale, vbias, scale, bias);
+}
+
+float IpU4(const float* q, const std::uint8_t* codes, std::size_t n,
+           float scale, float bias) {
+  const std::size_t h = (n + 1) / 2;
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 vbias = _mm256_set1_ps(bias);
+  return Plane<false, false>(q, codes, h, vscale, vbias, scale, bias) +
+         Plane<true, false>(q + h, codes, n - h, vscale, vbias, scale, bias);
+}
+
+}  // namespace
+
+const QuantKernelTable* QuantAvx2Table() noexcept {
+  static const QuantKernelTable table = {
+      "avx2", L2U8, IpU8, L2U4, IpU4,
+  };
+  return &table;
+}
+
+}  // namespace proximity::detail

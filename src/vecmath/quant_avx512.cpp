@@ -1,0 +1,172 @@
+// AVX-512F quantized-scan kernels: 32 codes per iteration into two
+// 16-lane accumulators, same fused dequantize-and-accumulate shape as
+// quant_avx2.cpp. Compiled with -mavx512f; only reached when CPUID
+// reports AVX-512F.
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "vecmath/quant_kernel_table.h"
+
+namespace proximity::detail {
+
+namespace {
+
+/// Dequantizes 16 widened codes: bias + scale * c.
+inline __m512 Dequant16(__m512i c, __m512 vscale, __m512 vbias) noexcept {
+  return _mm512_fmadd_ps(vscale, _mm512_cvtepi32_ps(c), vbias);
+}
+
+inline __m512i Widen16(const std::uint8_t* p) noexcept {
+  return _mm512_cvtepu8_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+// --------------------------------------------------------- 8-bit rows ----
+
+float L2U8(const float* q, const std::uint8_t* codes, std::size_t n,
+           float scale, float bias) {
+  const __m512 vscale = _mm512_set1_ps(scale);
+  const __m512 vbias = _mm512_set1_ps(bias);
+  // Four independent chains: the accumulating FMA is the only serial
+  // dependency, so two chains leave the FMA units idle most cycles.
+  __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+  __m512 acc2 = _mm512_setzero_ps(), acc3 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512 d0 = _mm512_sub_ps(_mm512_loadu_ps(q + i),
+                                    Dequant16(Widen16(codes + i), vscale,
+                                              vbias));
+    acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+    const __m512 d1 = _mm512_sub_ps(_mm512_loadu_ps(q + i + 16),
+                                    Dequant16(Widen16(codes + i + 16), vscale,
+                                              vbias));
+    acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+    const __m512 d2 = _mm512_sub_ps(_mm512_loadu_ps(q + i + 32),
+                                    Dequant16(Widen16(codes + i + 32), vscale,
+                                              vbias));
+    acc2 = _mm512_fmadd_ps(d2, d2, acc2);
+    const __m512 d3 = _mm512_sub_ps(_mm512_loadu_ps(q + i + 48),
+                                    Dequant16(Widen16(codes + i + 48), vscale,
+                                              vbias));
+    acc3 = _mm512_fmadd_ps(d3, d3, acc3);
+  }
+  acc0 = _mm512_add_ps(_mm512_add_ps(acc0, acc2), acc3);
+  for (; i + 16 <= n; i += 16) {
+    const __m512 d = _mm512_sub_ps(_mm512_loadu_ps(q + i),
+                                   Dequant16(Widen16(codes + i), vscale,
+                                             vbias));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+  }
+  float tail = 0.f;
+  for (; i < n; ++i) {
+    const float d = q[i] - std::fmaf(scale, static_cast<float>(codes[i]), bias);
+    tail = std::fmaf(d, d, tail);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1)) + tail;
+}
+
+float IpU8(const float* q, const std::uint8_t* codes, std::size_t n,
+           float scale, float bias) {
+  const __m512 vscale = _mm512_set1_ps(scale);
+  const __m512 vbias = _mm512_set1_ps(bias);
+  // Four chains, as in L2U8.
+  __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+  __m512 acc2 = _mm512_setzero_ps(), acc3 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(q + i),
+                           Dequant16(Widen16(codes + i), vscale, vbias), acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(q + i + 16),
+                           Dequant16(Widen16(codes + i + 16), vscale, vbias),
+                           acc1);
+    acc2 = _mm512_fmadd_ps(_mm512_loadu_ps(q + i + 32),
+                           Dequant16(Widen16(codes + i + 32), vscale, vbias),
+                           acc2);
+    acc3 = _mm512_fmadd_ps(_mm512_loadu_ps(q + i + 48),
+                           Dequant16(Widen16(codes + i + 48), vscale, vbias),
+                           acc3);
+  }
+  acc0 = _mm512_add_ps(_mm512_add_ps(acc0, acc2), acc3);
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(q + i),
+                           Dequant16(Widen16(codes + i), vscale, vbias), acc0);
+  }
+  float tail = 0.f;
+  for (; i < n; ++i) {
+    tail = std::fmaf(q[i], std::fmaf(scale, static_cast<float>(codes[i]), bias),
+                     tail);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1)) + tail;
+}
+
+// --------------------------------------------------------- 4-bit rows ----
+// Half-split nibble planes (quant_kernel_table.h), 16 codes per
+// iteration from a 128-bit nibble extraction.
+
+template <bool kHigh, bool kL2>
+float Plane(const float* q, const std::uint8_t* codes, std::size_t len,
+            __m512 vscale, __m512 vbias, float scale, float bias) {
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  __m512 acc = _mm512_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 16 <= len; j += 16) {
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + j));
+    if constexpr (kHigh) {
+      b = _mm_and_si128(_mm_srli_epi16(b, 4), mask);
+    } else {
+      b = _mm_and_si128(b, mask);
+    }
+    const __m512 x = Dequant16(_mm512_cvtepu8_epi32(b), vscale, vbias);
+    if constexpr (kL2) {
+      const __m512 d = _mm512_sub_ps(_mm512_loadu_ps(q + j), x);
+      acc = _mm512_fmadd_ps(d, d, acc);
+    } else {
+      acc = _mm512_fmadd_ps(_mm512_loadu_ps(q + j), x, acc);
+    }
+  }
+  float tail = 0.f;
+  for (; j < len; ++j) {
+    const float c = static_cast<float>(kHigh ? (codes[j] >> 4)
+                                             : (codes[j] & 0x0F));
+    const float x = std::fmaf(scale, c, bias);
+    if constexpr (kL2) {
+      const float d = q[j] - x;
+      tail = std::fmaf(d, d, tail);
+    } else {
+      tail = std::fmaf(q[j], x, tail);
+    }
+  }
+  return _mm512_reduce_add_ps(acc) + tail;
+}
+
+float L2U4(const float* q, const std::uint8_t* codes, std::size_t n,
+           float scale, float bias) {
+  const std::size_t h = (n + 1) / 2;
+  const __m512 vscale = _mm512_set1_ps(scale);
+  const __m512 vbias = _mm512_set1_ps(bias);
+  return Plane<false, true>(q, codes, h, vscale, vbias, scale, bias) +
+         Plane<true, true>(q + h, codes, n - h, vscale, vbias, scale, bias);
+}
+
+float IpU4(const float* q, const std::uint8_t* codes, std::size_t n,
+           float scale, float bias) {
+  const std::size_t h = (n + 1) / 2;
+  const __m512 vscale = _mm512_set1_ps(scale);
+  const __m512 vbias = _mm512_set1_ps(bias);
+  return Plane<false, false>(q, codes, h, vscale, vbias, scale, bias) +
+         Plane<true, false>(q + h, codes, n - h, vscale, vbias, scale, bias);
+}
+
+}  // namespace
+
+const QuantKernelTable* QuantAvx512Table() noexcept {
+  static const QuantKernelTable table = {
+      "avx512", L2U8, IpU8, L2U4, IpU4,
+  };
+  return &table;
+}
+
+}  // namespace proximity::detail

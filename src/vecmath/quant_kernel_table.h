@@ -1,0 +1,63 @@
+// Internal contract between the compressed-storage dispatch layer
+// (compressed_store.cpp) and the per-ISA quantized kernel translation
+// units (quant_avx2.cpp, quant_avx512.cpp, quant_neon.cpp; the portable
+// reference lives in compressed_store.cpp).
+//
+// Every slot decodes scalar-quantized codes and accumulates a distance
+// against a float query in one pass — codes never round-trip through a
+// decoded float buffer. Dequantization is the affine map
+//   x̂[j] = bias + scale * c[j]
+// with per-vector scale/bias (LVQ-style; see DESIGN.md §11).
+//
+// Within one table the scan loop drives these single-row kernels
+// directly, so there is no batch/single parity obligation like the float
+// KernelTable has; tables at different SIMD levels may differ by
+// floating-point summation order only (~1e-6 relative), with the
+// portable table as the reference.
+//
+// 4-bit codes use the half-split nibble plan of CompressedStore: byte j
+// of a row's code area holds dim j in its low nibble and dim j+h (where
+// h = ceil(n/2)) in its high nibble. Vector kernels can therefore run
+// the low-nibble plane against q[0..h) and the high-nibble plane
+// against q[h..n) without any lane shuffling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace proximity::detail {
+
+struct QuantKernelTable {
+  const char* name;  // matches SimdLevelName of the owning level
+
+  /// Squared L2 / inner product between a float query and one row of
+  /// 8-bit codes (`n` dimensions, one code byte per dimension).
+  float (*l2_u8)(const float* q, const std::uint8_t* codes, std::size_t n,
+                 float scale, float bias);
+  float (*ip_u8)(const float* q, const std::uint8_t* codes, std::size_t n,
+                 float scale, float bias);
+
+  /// Same reductions over 4-bit codes (`(n+1)/2` code bytes, half-split
+  /// nibble layout). Tables without a native implementation point these
+  /// at the portable functions.
+  float (*l2_u4)(const float* q, const std::uint8_t* codes, std::size_t n,
+                 float scale, float bias);
+  float (*ip_u4)(const float* q, const std::uint8_t* codes, std::size_t n,
+                 float scale, float bias);
+};
+
+/// Portable reference (scalar fmaf loops); always present.
+extern const QuantKernelTable kPortableQuantTable;
+
+/// ISA tables; each returns nullptr when its translation unit was not
+/// compiled in. Fallback definitions for absent ISAs live in
+/// compressed_store.cpp, mirroring the float-kernel dispatch.
+const QuantKernelTable* QuantAvx2Table() noexcept;
+const QuantKernelTable* QuantAvx512Table() noexcept;
+const QuantKernelTable* QuantNeonTable() noexcept;
+
+/// The table matching ActiveSimdLevel(), with fallback toward portable
+/// when a level has no quantized TU (e.g. PROXIMITY_NATIVE_SIMD=OFF).
+const QuantKernelTable* ActiveQuantTable() noexcept;
+
+}  // namespace proximity::detail

@@ -1,0 +1,143 @@
+// AArch64 Advanced-SIMD (NEON) quantized-scan kernels: 8 codes per
+// iteration widened u8 -> u16 -> u32 -> f32 into two 4-lane
+// accumulators, same fused dequantize-and-accumulate shape as the x86
+// quant kernels. No extra compile flags needed on aarch64.
+#include <arm_neon.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "vecmath/quant_kernel_table.h"
+
+namespace proximity::detail {
+
+namespace {
+
+/// Widens 8 code bytes and dequantizes both 4-lane halves.
+struct Dequant8x {
+  float32x4_t lo;
+  float32x4_t hi;
+};
+
+inline Dequant8x Dequant8(uint8x8_t codes, float32x4_t vscale,
+                          float32x4_t vbias) noexcept {
+  const uint16x8_t w = vmovl_u8(codes);
+  const float32x4_t c0 = vcvtq_f32_u32(vmovl_u16(vget_low_u16(w)));
+  const float32x4_t c1 = vcvtq_f32_u32(vmovl_u16(vget_high_u16(w)));
+  return {vfmaq_f32(vbias, vscale, c0), vfmaq_f32(vbias, vscale, c1)};
+}
+
+// --------------------------------------------------------- 8-bit rows ----
+
+float L2U8(const float* q, const std::uint8_t* codes, std::size_t n,
+           float scale, float bias) {
+  const float32x4_t vscale = vdupq_n_f32(scale);
+  const float32x4_t vbias = vdupq_n_f32(bias);
+  float32x4_t acc0 = vdupq_n_f32(0.f), acc1 = vdupq_n_f32(0.f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const Dequant8x x = Dequant8(vld1_u8(codes + i), vscale, vbias);
+    const float32x4_t d0 = vsubq_f32(vld1q_f32(q + i), x.lo);
+    acc0 = vfmaq_f32(acc0, d0, d0);
+    const float32x4_t d1 = vsubq_f32(vld1q_f32(q + i + 4), x.hi);
+    acc1 = vfmaq_f32(acc1, d1, d1);
+  }
+  float tail = 0.f;
+  for (; i < n; ++i) {
+    const float d = q[i] - std::fmaf(scale, static_cast<float>(codes[i]), bias);
+    tail = std::fmaf(d, d, tail);
+  }
+  return vaddvq_f32(vaddq_f32(acc0, acc1)) + tail;
+}
+
+float IpU8(const float* q, const std::uint8_t* codes, std::size_t n,
+           float scale, float bias) {
+  const float32x4_t vscale = vdupq_n_f32(scale);
+  const float32x4_t vbias = vdupq_n_f32(bias);
+  float32x4_t acc0 = vdupq_n_f32(0.f), acc1 = vdupq_n_f32(0.f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const Dequant8x x = Dequant8(vld1_u8(codes + i), vscale, vbias);
+    acc0 = vfmaq_f32(acc0, vld1q_f32(q + i), x.lo);
+    acc1 = vfmaq_f32(acc1, vld1q_f32(q + i + 4), x.hi);
+  }
+  float tail = 0.f;
+  for (; i < n; ++i) {
+    tail = std::fmaf(q[i], std::fmaf(scale, static_cast<float>(codes[i]), bias),
+                     tail);
+  }
+  return vaddvq_f32(vaddq_f32(acc0, acc1)) + tail;
+}
+
+// --------------------------------------------------------- 4-bit rows ----
+// Half-split nibble planes (quant_kernel_table.h): 8 codes per
+// iteration from an 8-byte nibble extraction.
+
+template <bool kHigh, bool kL2>
+float Plane(const float* q, const std::uint8_t* codes, std::size_t len,
+            float32x4_t vscale, float32x4_t vbias, float scale, float bias) {
+  const uint8x8_t mask = vdup_n_u8(0x0F);
+  float32x4_t acc0 = vdupq_n_f32(0.f), acc1 = vdupq_n_f32(0.f);
+  std::size_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    uint8x8_t b = vld1_u8(codes + j);
+    if constexpr (kHigh) {
+      b = vshr_n_u8(b, 4);
+    } else {
+      b = vand_u8(b, mask);
+    }
+    const Dequant8x x = Dequant8(b, vscale, vbias);
+    if constexpr (kL2) {
+      const float32x4_t d0 = vsubq_f32(vld1q_f32(q + j), x.lo);
+      acc0 = vfmaq_f32(acc0, d0, d0);
+      const float32x4_t d1 = vsubq_f32(vld1q_f32(q + j + 4), x.hi);
+      acc1 = vfmaq_f32(acc1, d1, d1);
+    } else {
+      acc0 = vfmaq_f32(acc0, vld1q_f32(q + j), x.lo);
+      acc1 = vfmaq_f32(acc1, vld1q_f32(q + j + 4), x.hi);
+    }
+  }
+  float tail = 0.f;
+  for (; j < len; ++j) {
+    const float c = static_cast<float>(kHigh ? (codes[j] >> 4)
+                                             : (codes[j] & 0x0F));
+    const float x = std::fmaf(scale, c, bias);
+    if constexpr (kL2) {
+      const float d = q[j] - x;
+      tail = std::fmaf(d, d, tail);
+    } else {
+      tail = std::fmaf(q[j], x, tail);
+    }
+  }
+  return vaddvq_f32(vaddq_f32(acc0, acc1)) + tail;
+}
+
+float L2U4(const float* q, const std::uint8_t* codes, std::size_t n,
+           float scale, float bias) {
+  const std::size_t h = (n + 1) / 2;
+  const float32x4_t vscale = vdupq_n_f32(scale);
+  const float32x4_t vbias = vdupq_n_f32(bias);
+  return Plane<false, true>(q, codes, h, vscale, vbias, scale, bias) +
+         Plane<true, true>(q + h, codes, n - h, vscale, vbias, scale, bias);
+}
+
+float IpU4(const float* q, const std::uint8_t* codes, std::size_t n,
+           float scale, float bias) {
+  const std::size_t h = (n + 1) / 2;
+  const float32x4_t vscale = vdupq_n_f32(scale);
+  const float32x4_t vbias = vdupq_n_f32(bias);
+  return Plane<false, false>(q, codes, h, vscale, vbias, scale, bias) +
+         Plane<true, false>(q + h, codes, n - h, vscale, vbias, scale, bias);
+}
+
+}  // namespace
+
+const QuantKernelTable* QuantNeonTable() noexcept {
+  static const QuantKernelTable table = {
+      "neon", L2U8, IpU8, L2U4, IpU4,
+  };
+  return &table;
+}
+
+}  // namespace proximity::detail

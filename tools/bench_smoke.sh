@@ -20,10 +20,15 @@
 #                          DRR flood exceeds 2x its solo baseline, if
 #                          the flood never trips the quota, or if any
 #                          per-tenant conservation equation breaks.
+#   6. quantized_scan    — --quick (100k x 768-d) compressed-vector fast
+#                          path; this script fails if the sq8 two-level
+#                          search is not >= 1.5x faster than the float32
+#                          scan or its recall@10 vs float drops below
+#                          0.95 (DESIGN.md §11; the full 1M gate is 2x).
 #
 # Emits BENCH_obs.json, BENCH_kernels.json, BENCH_shard.json,
-# BENCH_net.json and BENCH_tenant.json into --out (default: the build
-# dir), which CI uploads as artifacts. Timing gates on shared runners are noisy, so CI marks
+# BENCH_net.json, BENCH_tenant.json and BENCH_quant.json into --out
+# (default: the build dir), which CI uploads as artifacts. Timing gates on shared runners are noisy, so CI marks
 # this job non-blocking; locally it is a quick sanity check that the
 # perf story still holds.
 #
@@ -46,7 +51,7 @@ mkdir -p "$OUT_DIR"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target obs_overhead distance_kernels shard_scaling serve_load \
-  tenant_isolation
+  tenant_isolation quantized_scan
 
 echo "== bench_smoke: obs_overhead (2% telemetry gate) =="
 "$BUILD_DIR/bench/obs_overhead" --json="$OUT_DIR/BENCH_obs.json"
@@ -100,5 +105,30 @@ echo "== bench_smoke: tenant_isolation --quick (noisy-neighbor gate) =="
 # or per-tenant conservation breaks.
 "$BUILD_DIR/bench/tenant_isolation" --quick \
   --json="$OUT_DIR/BENCH_tenant.json"
+
+echo "== bench_smoke: quantized_scan --quick (compressed fast-path gate) =="
+"$BUILD_DIR/bench/quantized_scan" --quick \
+  --json="$OUT_DIR/BENCH_quant.json"
+
+QUANT=$(awk -F'"speedup_vs_float": ' '
+  /"storage": "sq8"/ { split($2, a, "}"); print a[1]; exit }
+' "$OUT_DIR/BENCH_quant.json")
+QRECALL=$(awk -F'"recall_at_k": ' '
+  /"storage": "sq8"/ { split($2, a, ","); print a[1]; exit }
+' "$OUT_DIR/BENCH_quant.json")
+
+if [[ -z "$QUANT" || -z "$QRECALL" ]]; then
+  echo "bench_smoke: FAIL — sq8 row missing from BENCH_quant.json" >&2
+  exit 1
+fi
+echo "sq8 speedup_vs_float=$QUANT recall@10=$QRECALL"
+if ! awk -v s="$QUANT" 'BEGIN { exit !(s >= 1.5) }'; then
+  echo "bench_smoke: FAIL — sq8 two-level search < 1.5x over float scan" >&2
+  exit 1
+fi
+if ! awk -v r="$QRECALL" 'BEGIN { exit !(r >= 0.95) }'; then
+  echo "bench_smoke: FAIL — sq8 recall@10 vs float below 0.95" >&2
+  exit 1
+fi
 
 echo "bench_smoke: all gates passed"

@@ -52,7 +52,9 @@
 #include "obs/run_report.h"
 #include "rag/batching_driver.h"
 #include "tenant/tenant_registry.h"
+#include "vecmath/compressed_store.h"
 #include "vecmath/kernels.h"
+#include "vecmath/quant_kernel_table.h"
 #include "rag/experiment.h"
 #include "rag/pipeline.h"
 #include "workload/benchmark_spec.h"
@@ -126,6 +128,9 @@ SweepConfig ConfigFrom(const Config& cfg) {
       static_cast<std::size_t>(cfg.GetInt("ef_search", 64));
   sc.index_spec.ivf_nprobe =
       static_cast<std::size_t>(cfg.GetInt("nprobe", 8));
+  sc.index_spec.storage = cfg.GetString("storage", "float32");
+  sc.index_spec.rerank_factor =
+      static_cast<std::size_t>(cfg.GetInt("rerank", 4));
   sc.capacities = cfg.GetIntList("capacities", {10, 50, 100, 200, 300});
   sc.tolerances =
       cfg.GetDoubleList("tolerances", workload == "medrag"
@@ -150,6 +155,7 @@ int CmdSweep(const Config& cfg) {
     std::puts(
         "sweep knobs: workload=mmlu|medrag corpus=N seeds=N\n"
         "  capacities=10,50,... tolerances=0,0.5,... index=flat|hnsw|...\n"
+        "  storage=float32|sq8|sq4 rerank=N (compressed primary scan)\n"
         "  eviction=fifo|lru|lfu|random top_k=N variants=N\n"
         "  storage_delay_us=N (slow-storage model) quiet=true\n"
         "  --metrics-out FILE[.prom|.json][,FILE...]");
@@ -311,6 +317,7 @@ int CmdServe(const Config& cfg) {
     std::puts(
         "serve knobs: workload=mmlu|medrag corpus=N capacity=N tau=X\n"
         "  index=flat|hnsw|... shards=N (0 = one per core) threads=N\n"
+        "  storage=float32|sq8|sq4 rerank=N (compressed primary scan)\n"
         "  max_batch=N max_wait_us=N coalesce=true|false top_k=N\n"
         "  variants=N order=shuffled|grouped|zipf seed=N\n"
         "  --metrics-out FILE[.prom|.json][,FILE...]\n"
@@ -354,6 +361,8 @@ int CmdServe(const Config& cfg) {
   ispec.hnsw_ef_search =
       static_cast<std::size_t>(cfg.GetInt("ef_search", 64));
   ispec.ivf_nprobe = static_cast<std::size_t>(cfg.GetInt("nprobe", 8));
+  ispec.storage = cfg.GetString("storage", "float32");
+  ispec.rerank_factor = static_cast<std::size_t>(cfg.GetInt("rerank", 4));
   ShardedIndexOptions shard_opts;
   shard_opts.num_shards =
       static_cast<std::size_t>(cfg.GetInt("shards", 0));
@@ -681,6 +690,8 @@ int CmdReplay(const Config& cfg) {
       cfg.GetString("index", workload_name == "medrag" ? "flat" : "hnsw");
   ispec.hnsw_ef_construction =
       static_cast<std::size_t>(cfg.GetInt("ef_construction", 100));
+  ispec.storage = cfg.GetString("storage", "float32");
+  ispec.rerank_factor = static_cast<std::size_t>(cfg.GetInt("rerank", 4));
   auto index = BuildIndex(ispec, embedder.EmbedBatch(workload.passages));
 
   std::vector<std::string> texts;
@@ -741,6 +752,18 @@ int CmdInfo(const Config& cfg) {
   // actually picked on this host, and the parallelism it will use.
   std::printf("simd:       %s (runtime-dispatched)\n",
               std::string(SimdLevelName(ActiveSimdLevel())).c_str());
+  // Active storage layout: what `storage=` resolves to for this
+  // invocation, plus the quantized-kernel tier the dispatcher picked
+  // (tracks the SIMD tier above, including PROXIMITY_SIMD overrides).
+  {
+    const std::string storage = cfg.GetString("storage", "float32");
+    StorageLayout layout = StorageLayout::kFloat32;
+    const std::string name = ParseStorageLayout(storage, &layout)
+                                 ? std::string(StorageLayoutName(layout))
+                                 : "unknown";
+    std::printf("storage:    %s layout (quant kernels: %s)\n", name.c_str(),
+                detail::ActiveQuantTable()->name);
+  }
   std::printf("cores:      %u hardware threads\n",
               std::thread::hardware_concurrency());
 #if PROXIMITY_OBS_ENABLED
