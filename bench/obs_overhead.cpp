@@ -50,16 +50,26 @@ constexpr std::size_t kRows = 1024;
 
 const obs::CounterHandle kBenchScans("bench.obs_overhead_scans");
 
-// One batch scan, bare.
-template <bool kInstrumented>
+// Measurement variants: bare scan, span+counter (what ScanKeys carries),
+// and span+counter under an active trace context (what the same scan
+// costs while serving a tail-sampled request: the Span additionally
+// joins the trace and emits a trace-ring record on exit).
+enum class ScanMode { kBare, kSpans, kTraced };
+
+template <ScanMode kMode>
 double TimedScans(const std::vector<float>& query,
                   const std::vector<float>& base, std::vector<float>& out,
                   std::size_t iters) {
   const double t0 = NowNs();
   for (std::size_t i = 0; i < iters; ++i) {
-    if constexpr (kInstrumented) {
-      // Mirrors the per-call instrumentation ScanKeys carries: one span
-      // (stage histogram + ring append) and one counter increment.
+    if constexpr (kMode == ScanMode::kSpans) {
+      const obs::Span span(obs::Stage::kCacheScan);
+      kBenchScans.Inc();
+      BatchDistance(Metric::kL2, query, base.data(), kRows, kDim,
+                    out.data());
+    } else if constexpr (kMode == ScanMode::kTraced) {
+      const obs::ScopedTraceContext scope(
+          obs::TraceContext{obs::NewTraceId(), 0});
       const obs::Span span(obs::Stage::kCacheScan);
       kBenchScans.Inc();
       BatchDistance(Metric::kL2, query, base.data(), kRows, kDim,
@@ -73,14 +83,13 @@ double TimedScans(const std::vector<float>& query,
   return (NowNs() - t0) / static_cast<double>(iters);
 }
 
-template <bool kInstrumented>
+template <ScanMode kMode>
 std::size_t CalibrateIters(const std::vector<float>& query,
                            const std::vector<float>& base,
                            std::vector<float>& out) {
   std::size_t iters = 1;
   for (;;) {
-    const double per_call = TimedScans<kInstrumented>(query, base, out,
-                                                      iters);
+    const double per_call = TimedScans<kMode>(query, base, out, iters);
     if (per_call * static_cast<double>(iters) >= 2.5e7 ||
         iters >= (1ull << 24)) {
       return iters;
@@ -92,7 +101,11 @@ std::size_t CalibrateIters(const std::vector<float>& query,
 struct OverheadResult {
   double base_ns = 0.0;
   double instr_ns = 0.0;
+  double traced_ns = 0.0;
+  /// Span + counter over the bare scan.
   double overhead_pct = 0.0;
+  /// Active trace context over spans-only (the tracing increment).
+  double trace_overhead_pct = 0.0;
 };
 
 OverheadResult MeasureScanOverhead() {
@@ -102,24 +115,34 @@ OverheadResult MeasureScanOverhead() {
   for (auto& x : base) x = static_cast<float>(rng.Gaussian(0, 1));
   std::vector<float> out(kRows);
 
-  const std::size_t b_iters = CalibrateIters<false>(query, base, out);
-  const std::size_t i_iters = CalibrateIters<true>(query, base, out);
+  const std::size_t b_iters = CalibrateIters<ScanMode::kBare>(query, base,
+                                                              out);
+  const std::size_t i_iters = CalibrateIters<ScanMode::kSpans>(query, base,
+                                                               out);
+  const std::size_t t_iters = CalibrateIters<ScanMode::kTraced>(query, base,
+                                                                out);
 
   constexpr int kReps = 11;
-  double b[kReps], in[kReps], ratio[kReps];
+  double b[kReps], in[kReps], tr[kReps], ratio[kReps], tratio[kReps];
   for (int rep = 0; rep < kReps; ++rep) {
-    b[rep] = TimedScans<false>(query, base, out, b_iters);
-    in[rep] = TimedScans<true>(query, base, out, i_iters);
+    b[rep] = TimedScans<ScanMode::kBare>(query, base, out, b_iters);
+    in[rep] = TimedScans<ScanMode::kSpans>(query, base, out, i_iters);
+    tr[rep] = TimedScans<ScanMode::kTraced>(query, base, out, t_iters);
     ratio[rep] = b[rep] > 0.0 ? in[rep] / b[rep] : 1.0;
+    tratio[rep] = in[rep] > 0.0 ? tr[rep] / in[rep] : 1.0;
   }
   std::sort(b, b + kReps);
   std::sort(in, in + kReps);
+  std::sort(tr, tr + kReps);
   std::sort(ratio, ratio + kReps);
+  std::sort(tratio, tratio + kReps);
 
   OverheadResult r;
   r.base_ns = b[kReps / 2];
   r.instr_ns = in[kReps / 2];
+  r.traced_ns = tr[kReps / 2];
   r.overhead_pct = (ratio[kReps / 2] - 1.0) * 100.0;
+  r.trace_overhead_pct = (tratio[kReps / 2] - 1.0) * 100.0;
   return r;
 }
 
@@ -195,12 +218,15 @@ void WriteJson(const std::string& path, const OverheadResult& scan,
                 "  \"scan_dim\": %zu,\n"
                 "  \"scan_base_ns\": %.1f,\n"
                 "  \"scan_instr_ns\": %.1f,\n"
+                "  \"scan_traced_ns\": %.1f,\n"
                 "  \"scan_overhead_pct\": %.3f,\n"
+                "  \"trace_overhead_pct\": %.3f,\n"
                 "  \"cache_lookup_ns\": %.1f,\n"
                 "  \"flat_search_ns\": %.1f\n"
                 "}\n",
                 PROXIMITY_OBS_ENABLED ? "true" : "false", kRows, kDim,
-                scan.base_ns, scan.instr_ns, scan.overhead_pct,
+                scan.base_ns, scan.instr_ns, scan.traced_ns,
+                scan.overhead_pct, scan.trace_overhead_pct,
                 cache_lookup_ns, flat_search_ns);
   os << buf;
 }
@@ -219,6 +245,9 @@ int Main(int argc, char** argv) {
   std::printf("batch scan %zux%zu: base=%.1fns instrumented=%.1fns "
               "overhead=%.3f%%\n",
               kRows, kDim, scan.base_ns, scan.instr_ns, scan.overhead_pct);
+  std::printf("batch scan traced: %.1fns trace_overhead=%.3f%% "
+              "(over spans-only)\n",
+              scan.traced_ns, scan.trace_overhead_pct);
   std::printf("cache lookup (512 keys, instrumented): %.1fns\n", lookup_ns);
   std::printf("flat search (10k rows, instrumented):  %.1fns\n", search_ns);
 
@@ -230,6 +259,14 @@ int Main(int argc, char** argv) {
   if (scan.overhead_pct > 2.0) {
     std::fprintf(stderr, "FAIL: obs overhead %.3f%% exceeds 2%% budget\n",
                  scan.overhead_pct);
+    return 1;
+  }
+  // Tracing gate: joining an active trace (context save/restore plus one
+  // seqlock ring append per span) must stay within 2% of spans-only.
+  if (scan.trace_overhead_pct > 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: trace overhead %.3f%% exceeds 2%% budget\n",
+                 scan.trace_overhead_pct);
     return 1;
   }
   return 0;

@@ -28,6 +28,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "index/sharded_index.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/trace.h"
 #include "rag/batching_driver.h"
 #include "workload/benchmark_spec.h"
 #include "workload/query_stream.h"
@@ -153,7 +155,16 @@ ClosedCell RunClosedLoop(const Stack& stack, std::size_t conns,
         req.text = stack.stream[i % stack.stream.size()].text;
         net::Response resp;
         const auto sent = SteadyClock::now();
-        if (!client.Call(req, &resp)) {
+        bool called;
+        {
+          // Fresh trace per request: client call + server spans land in
+          // the same in-process rings, so the tail sampler keeps whole
+          // cross-side traces (exported via --trace-out).
+          const obs::ScopedTraceContext scope(
+              obs::TraceContext{obs::NewTraceId(), 0});
+          called = client.Call(req, &resp);
+        }
+        if (!called) {
           ++s.transport;
           return;
         }
@@ -278,12 +289,15 @@ void EmitStatsJson(std::ofstream& os, const LoadStats& s, double wall_s) {
 
 int Main(int argc, char** argv) {
   std::string json_path = "BENCH_net.json";
+  std::string trace_out;
   std::size_t corpus = 10000;
   std::size_t requests = 2000;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--corpus=", 9) == 0) {
       corpus = static_cast<std::size_t>(std::atoll(argv[i] + 9));
     } else if (std::strncmp(argv[i], "--requests=", 11) == 0) {
@@ -358,6 +372,50 @@ int Main(int argc, char** argv) {
   const net::ServerStats ns = stack.server->stats();
   const BatchingDriverStats ds = stack.driver->stats();
   stack.Teardown();
+
+  // --trace-out: export the slowest tail-sampled trace of the run as
+  // Chrome/Perfetto trace_event JSON (client call + server spans, one
+  // process). An empty document is still written when nothing was
+  // sampled (PROXIMITY_OBS=OFF) so artifact uploads never break.
+  if (!trace_out.empty()) {
+    const auto sampled = obs::TraceCollector::Default().Sampled();
+    std::ofstream ts(trace_out);
+    if (sampled.empty()) {
+      ts << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": []}\n";
+      std::printf("wrote %s (no sampled traces)\n", trace_out.c_str());
+    } else {
+      // Prefer the slowest trace that still has its client-call span in
+      // the rings (closed-loop requests; the open loop sends raw frames)
+      // so the artifact shows both sides of the wire.
+      const auto has_client_side = [](const obs::SampledTrace& t) {
+        return std::any_of(t.spans.begin(), t.spans.end(),
+                           [](const obs::TraceSpanRecord& s) {
+                             return s.op == obs::TraceOp::kClientCall;
+                           });
+      };
+      std::optional<obs::SampledTrace> best;
+      bool best_client = false;
+      for (const auto& t : sampled) {
+        auto full = obs::TraceCollector::Default().Find(t.trace_id);
+        if (!full.has_value()) full = t;
+        const bool client_side = has_client_side(*full);
+        const bool better =
+            !best.has_value() || (client_side && !best_client) ||
+            (client_side == best_client &&
+             full->duration_ns > best->duration_ns);
+        if (better) {
+          best = std::move(full);
+          best_client = client_side;
+        }
+      }
+      const auto& trace = *best;
+      ts << obs::ToTraceEventJson(trace);
+      std::printf("wrote %s (trace 0x%016llx, %zu spans)\n",
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(trace.trace_id),
+                  trace.spans.size());
+    }
+  }
 
   std::ofstream os(json_path);
   os << "{\n  \"bench\": \"serve_load\",\n  \"corpus\": " << corpus

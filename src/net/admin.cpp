@@ -1,0 +1,332 @@
+#include "net/admin.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace proximity::net {
+
+namespace {
+
+const obs::CounterHandle kObsAdminRequests("admin.requests");
+const obs::CounterHandle kObsAdminErrors("admin.errors");
+
+// Tiny requests, tiny responses: one read cap keeps a misbehaving
+// client from buffering the admin plane into the ground.
+constexpr std::size_t kMaxHeaderBytes = 8192;
+
+const char* StatusText(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+std::string FrameHttp(const AdminResponse& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    StatusText(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+/// "id=abc&x=1" -> value of `key`, or "" when absent.
+std::string QueryParam(const std::string& query, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(pos, end - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    pos = end + 1;
+  }
+  return {};
+}
+
+}  // namespace
+
+struct AdminServer::Conn {
+  int fd = -1;
+  std::string rbuf;
+  std::string wbuf;
+  std::size_t woff = 0;
+  bool responded = false;
+};
+
+struct AdminServer::ConnTable {
+  std::unordered_map<int, Conn> by_fd;
+};
+
+AdminServer::AdminServer(AdminHooks hooks, AdminOptions options)
+    : hooks_(std::move(hooks)),
+      options_(std::move(options)),
+      conns_(std::make_unique<ConnTable>()) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error("net::AdminServer: Start called twice");
+  }
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("net::AdminServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::invalid_argument("net::AdminServer: bad host '" +
+                                options_.host + "' (numeric IPv4 only)");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(
+        std::string("net::AdminServer: bind/listen on ") + options_.host +
+        " failed: " + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                &bound_len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw std::runtime_error("net::AdminServer: epoll setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+
+  loop_ = std::thread([this] { Loop(); });
+  LogInfo("admin: listening on {}:{}", options_.host, bound_port_);
+}
+
+void AdminServer::Stop() {
+  if (!started_.load()) return;
+  stop_.store(true, std::memory_order_release);
+  if (loop_.joinable()) loop_.join();
+  for (auto& [fd, conn] : conns_->by_fd) ::close(fd);
+  conns_->by_fd.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+}
+
+AdminResponse AdminServer::Handle(const std::string& target) const {
+  kObsAdminRequests.Inc();
+  std::string path = target;
+  std::string query;
+  const std::size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    path = target.substr(0, qmark);
+    query = target.substr(qmark + 1);
+  }
+
+  AdminResponse resp;
+  if (path == "/healthz") {
+    const HealthState state =
+        hooks_.health ? hooks_.health() : HealthState::kServing;
+    resp.status = state == HealthState::kServing ? 200 : 503;
+    resp.body = std::string(HealthStateName(state)) + "\n";
+    return resp;
+  }
+  if (path == "/metrics") {
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body =
+        obs::ToPrometheusText(obs::MetricsRegistry::Default().Snapshot());
+    return resp;
+  }
+  if (path == "/statusz") {
+    resp.body = "proximity statusz\n";
+    if (hooks_.health) {
+      resp.body += std::string("health: ") +
+                   HealthStateName(hooks_.health()) + "\n";
+    }
+    if (hooks_.statusz) resp.body += hooks_.statusz();
+    return resp;
+  }
+  if (path == "/tracez") {
+    resp.content_type = "application/json";
+    const std::string id_hex = QueryParam(query, "id");
+    if (id_hex.empty()) {
+      resp.body =
+          obs::ToTraceListJson(obs::TraceCollector::Default().Sampled());
+      return resp;
+    }
+    const std::uint64_t id =
+        std::strtoull(id_hex.c_str(), nullptr, 16);  // accepts 0x prefix
+    auto trace = obs::TraceCollector::Default().Find(id);
+    if (!trace.has_value()) {
+      kObsAdminErrors.Inc();
+      resp.status = 404;
+      resp.content_type = "text/plain; charset=utf-8";
+      resp.body = "trace not found (dropped by the tail sampler?)\n";
+      return resp;
+    }
+    resp.body = obs::ToTraceEventJson(*trace);
+    return resp;
+  }
+  if (path == "/") {
+    resp.body =
+        "proximity admin endpoints:\n"
+        "  /metrics  Prometheus text exposition (live)\n"
+        "  /healthz  serving | draining | unavailable\n"
+        "  /statusz  build + serving configuration\n"
+        "  /tracez   sampled traces; ?id=<hex> -> trace_event JSON\n";
+    return resp;
+  }
+  kObsAdminErrors.Inc();
+  resp.status = 404;
+  resp.body = "not found\n";
+  return resp;
+}
+
+void AdminServer::Loop() {
+  std::array<epoll_event, 16> events;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        for (;;) {
+          const int cfd = ::accept4(listen_fd_, nullptr, nullptr,
+                                    SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (cfd < 0) break;
+          const int one = 1;
+          ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.fd = cfd;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &ev);
+          conns_->by_fd.emplace(cfd, Conn{cfd, {}, {}, 0, false});
+        }
+        continue;
+      }
+      auto it = conns_->by_fd.find(fd);
+      if (it == conns_->by_fd.end()) continue;
+      Conn& conn = it->second;
+      const auto close_conn = [&] {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+        ::close(fd);
+        conns_->by_fd.erase(fd);
+      };
+
+      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0 &&
+          !conn.responded) {
+        std::array<char, 4096> chunk;
+        bool dead = false;
+        for (;;) {
+          const ssize_t r = ::read(fd, chunk.data(), chunk.size());
+          if (r > 0) {
+            conn.rbuf.append(chunk.data(), static_cast<std::size_t>(r));
+            continue;
+          }
+          if (r == 0) dead = true;
+          if (r < 0 && errno == EINTR) continue;
+          if (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK) dead = true;
+          break;
+        }
+        const std::size_t header_end = conn.rbuf.find("\r\n\r\n");
+        if (header_end != std::string::npos) {
+          // "GET <target> HTTP/1.x" — everything else is a 405/400.
+          AdminResponse resp;
+          const std::size_t line_end = conn.rbuf.find("\r\n");
+          const std::string line = conn.rbuf.substr(0, line_end);
+          if (line.rfind("GET ", 0) == 0) {
+            const std::size_t sp = line.find(' ', 4);
+            const std::string target =
+                sp != std::string::npos ? line.substr(4, sp - 4)
+                                        : line.substr(4);
+            resp = Handle(target);
+          } else {
+            kObsAdminErrors.Inc();
+            resp.status = line.find(' ') != std::string::npos ? 405 : 400;
+            resp.body = "admin plane speaks GET only\n";
+          }
+          conn.wbuf = FrameHttp(resp);
+          conn.responded = true;
+        } else if (conn.rbuf.size() > kMaxHeaderBytes || dead) {
+          close_conn();
+          continue;
+        }
+      }
+
+      if (conn.responded) {
+        bool failed = false;
+        while (conn.woff < conn.wbuf.size()) {
+          const ssize_t w =
+              ::send(fd, conn.wbuf.data() + conn.woff,
+                     conn.wbuf.size() - conn.woff, MSG_NOSIGNAL);
+          if (w > 0) {
+            conn.woff += static_cast<std::size_t>(w);
+            continue;
+          }
+          if (w < 0 && errno == EINTR) continue;
+          if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            epoll_event ev{};
+            ev.events = EPOLLIN | EPOLLOUT;
+            ev.data.fd = fd;
+            ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+            break;
+          }
+          failed = true;
+          break;
+        }
+        if (failed || conn.woff >= conn.wbuf.size()) {
+          close_conn();  // Connection: close — one request per socket
+          continue;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace proximity::net

@@ -1,0 +1,105 @@
+// Live introspection plane (DESIGN.md §12): a minimal HTTP/1.1 GET
+// server on its own epoll loop and port (`--admin HOST:PORT`), serving
+//
+//   /metrics  Prometheus text exposition of the live MetricsRegistry
+//   /healthz  drain-FSM-aware health: serving / draining / unavailable
+//   /statusz  build + serving configuration, quotas, queue depths
+//   /tracez   recent tail-sampled traces; ?id=<hex> returns one trace
+//             as Chrome/Perfetto trace_event JSON
+//
+// The handler speaks just enough HTTP for curl, a Prometheus scraper
+// and a browser: GET only, Connection: close, no keep-alive, headers
+// capped at 8 KiB. Routing lives in Handle() so tests exercise every
+// endpoint without sockets; the epoll loop only frames bytes.
+//
+// The admin plane compiles unconditionally — /healthz must answer even
+// with PROXIMITY_OBS=OFF (then /metrics exposes an empty registry and
+// /tracez an empty list).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace proximity::net {
+
+/// What /healthz reports; mapped to 200 (serving) or 503 (otherwise).
+enum class HealthState { kServing, kDraining, kUnavailable };
+
+constexpr const char* HealthStateName(HealthState state) noexcept {
+  switch (state) {
+    case HealthState::kServing: return "serving";
+    case HealthState::kDraining: return "draining";
+    case HealthState::kUnavailable: return "unavailable";
+  }
+  return "unavailable";
+}
+
+struct AdminOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the result from port().
+  std::uint16_t port = 0;
+};
+
+/// Wiring into the serving stack. Both hooks are optional and called
+/// from the admin thread — they must be thread-safe and non-blocking
+/// (the serving stack's accessors here are atomics or short mutexes).
+struct AdminHooks {
+  /// Drain-FSM state for /healthz; defaults to kServing when unset.
+  std::function<HealthState()> health;
+  /// Extra body appended to /statusz (per-tenant quotas, queue depths,
+  /// build info — assembled by the owner, who knows the stack).
+  std::function<std::string()> statusz;
+};
+
+/// One routed response, before HTTP framing.
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class AdminServer {
+ public:
+  explicit AdminServer(AdminHooks hooks = {}, AdminOptions options = {});
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds, listens and starts the admin loop thread. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void Start();
+
+  /// Stops the loop and closes every connection. Idempotent.
+  void Stop();
+
+  /// The bound TCP port (after Start).
+  std::uint16_t port() const noexcept { return bound_port_; }
+
+  /// Routes one request target ("/healthz", "/tracez?id=..."), exactly
+  /// as the socket path does — exposed so tests cover every endpoint
+  /// without a live socket.
+  AdminResponse Handle(const std::string& target) const;
+
+ private:
+  void Loop();
+
+  AdminHooks hooks_;
+  AdminOptions options_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::thread loop_;
+
+  struct Conn;
+  struct ConnTable;
+  std::unique_ptr<ConnTable> conns_;
+};
+
+}  // namespace proximity::net

@@ -10,6 +10,8 @@
 #include <cerrno>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace proximity::net {
 
 Client::~Client() { Close(); }
@@ -103,7 +105,30 @@ bool Client::Recv(Response* response) {
 }
 
 bool Client::Call(const Request& request, Response* response) {
-  return Send(request) && Recv(response);
+  // When the calling thread carries an active trace and the request is
+  // not already stamped, propagate the context on the wire: the call
+  // span becomes the parent of the server's root span, so both sides
+  // stitch into one trace. Untraced callers pay nothing and their
+  // frames stay byte-identical.
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (!ctx.active() || request.trace_id != 0) {
+    return Send(request) && Recv(response);
+  }
+  Request traced = request;
+  traced.trace_id = ctx.trace_id;
+  const std::uint64_t call_span = obs::NewSpanId();
+  traced.trace_parent = call_span;
+  const Nanos start_ns = obs::TraceNowNs();
+  const bool ok = Send(traced) && Recv(response);
+  obs::TraceSpanRecord record;
+  record.trace_id = ctx.trace_id;
+  record.span_id = call_span;
+  record.parent_id = ctx.span_id;
+  record.op = obs::TraceOp::kClientCall;
+  record.start_ns = start_ns;
+  record.duration_ns = obs::TraceNowNs() - start_ns;
+  obs::EmitTraceSpan(record);
+  return ok;
 }
 
 }  // namespace proximity::net

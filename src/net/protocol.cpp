@@ -77,8 +77,11 @@ void AppendFrame(std::vector<std::uint8_t>& out, const Request& request) {
   // frame stays byte-identical to protocol v1.
   const bool has_tenant = request.tenant != kDefaultTenant ||
                           (request.flags & kReqFlagHasTenant) != 0;
+  const bool has_trace = request.trace_id != 0 ||
+                         (request.flags & kReqFlagHasTrace) != 0;
   std::uint32_t flags = request.flags;
   if (has_tenant) flags |= kReqFlagHasTenant;
+  if (has_trace) flags |= kReqFlagHasTrace;
   const std::size_t len_at = out.size();
   PutU32(out, 0);  // patched by FinishFrame
   PutU32(out, kRequestMagic);
@@ -86,6 +89,10 @@ void AppendFrame(std::vector<std::uint8_t>& out, const Request& request) {
   PutU32(out, flags);
   PutU64(out, request.deadline_us);
   if (has_tenant) PutU32(out, request.tenant);
+  if (has_trace) {
+    PutU64(out, request.trace_id);
+    PutU64(out, request.trace_parent);
+  }
   PutU32(out, static_cast<std::uint32_t>(request.text.size()));
   out.insert(out.end(), request.text.begin(), request.text.end());
   FinishFrame(out, len_at);
@@ -122,6 +129,12 @@ ParseResult ParseFrame(std::span<const std::uint8_t> buf,
   }
   out->tenant = kDefaultTenant;
   if ((out->flags & kReqFlagHasTenant) != 0 && !c.ReadU32(&out->tenant)) {
+    return ParseResult::kError;
+  }
+  out->trace_id = 0;
+  out->trace_parent = 0;
+  if ((out->flags & kReqFlagHasTrace) != 0 &&
+      (!c.ReadU64(&out->trace_id) || !c.ReadU64(&out->trace_parent))) {
     return ParseResult::kError;
   }
   if (!c.ReadU32(&text_len) || !c.ReadBytes(text_len, &out->text) ||

@@ -4,17 +4,24 @@
 //
 //   [u32 payload_len][payload]            (little-endian, len <= 1 MiB)
 //
-// Request payload (v2):
+// Request payload (v3):
 //   [u32 magic 'PRXQ'] [u64 request_id] [u32 flags] [u64 deadline_us]
 //   ([u32 tenant_id] iff flags & kReqFlagHasTenant)
+//   ([u64 trace_id] [u64 trace_parent] iff flags & kReqFlagHasTrace)
 //   [u32 text_len] [text bytes]
 //
-// v2 grew the optional tenant-id field, gated on a request flag bit so
-// every v1 frame (bit clear, no field) still parses and maps to the
-// default tenant — the golden-frame regression test in
+// v2 grew the optional tenant-id field, v3 the optional trace-context
+// field; both are gated on request flag bits so every v1 frame (bits
+// clear, no fields) still parses and maps to the default tenant with no
+// trace — the golden-frame regression test in
 // tests/protocol_compat_test.cpp pins this byte-exactly. A writer emits
-// the field only when the tenant is set, so v2 clients talking to
-// their own tenant 0 stay byte-identical to v1.
+// each field only when it is set, so clients that use neither tenancy
+// nor tracing stay byte-identical to v1.
+//
+// The trace field carries the client's 64-bit trace id plus the span id
+// of the client-side call span, so the server's root span nests under
+// the client's — client -> server -> driver stitch into one trace
+// (obs/trace.h) without any out-of-band correlation.
 //
 // Response payload:
 //   [u32 magic 'PRXR'] [u64 request_id] [u32 status] [u32 flags]
@@ -48,11 +55,13 @@ inline constexpr std::uint32_t kResponseMagic = 0x52585250;  // "PRXR"
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
 
 /// Wire protocol version: v2 added the optional request tenant-id
-/// field. v1 frames remain parseable (see the header comment).
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// field, v3 the optional trace-context field. v1/v2 frames remain
+/// parseable (see the header comment).
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /// Request flag bits.
 inline constexpr std::uint32_t kReqFlagHasTenant = 1u << 0;
+inline constexpr std::uint32_t kReqFlagHasTrace = 1u << 1;
 
 /// Response flag bits.
 inline constexpr std::uint32_t kFlagCacheHit = 1u << 0;
@@ -67,6 +76,12 @@ struct Request {
   /// Submitting tenant; serialized only when != kDefaultTenant (or the
   /// kReqFlagHasTenant bit is pre-set). v1 frames parse to the default.
   TenantId tenant = kDefaultTenant;
+  /// Distributed-tracing context: the client's trace id and the span id
+  /// of its call span (the server roots under it). Serialized only when
+  /// trace_id != 0 (or kReqFlagHasTrace is pre-set); untraced frames
+  /// stay byte-identical to v1/v2.
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_parent = 0;
   std::string text;
 };
 

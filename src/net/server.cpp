@@ -140,6 +140,17 @@ void Server::Stop() {
   Join();
 }
 
+ServerHealth Server::health() const noexcept {
+  if (loop_exited_.load(std::memory_order_acquire)) {
+    return ServerHealth::kStopped;
+  }
+  if (!started_.load(std::memory_order_acquire)) {
+    return ServerHealth::kStopped;
+  }
+  return draining_.load(std::memory_order_acquire) ? ServerHealth::kDraining
+                                                   : ServerHealth::kServing;
+}
+
 ServerStats Server::stats() const {
   ServerStats s;
   s.accepted = stats_.accepted.load();
@@ -233,7 +244,7 @@ void Server::Loop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  loop_exited_ = true;
+  loop_exited_.store(true, std::memory_order_release);
 }
 
 void Server::HandleAccept() {
@@ -329,11 +340,38 @@ void Server::HandleRequest(Conn& conn, Request request,
   stats_.requests.fetch_add(1);
   kObsRequests.Inc();
 
+  // Every request gets a trace: a propagated client context is adopted
+  // (client -> server stitch into one trace), otherwise a fresh id is
+  // minted. Whether the trace survives is decided at completion time by
+  // the tail sampler; with PROXIMITY_OBS=OFF the ids stay 0 and every
+  // emission below is a no-op.
+  obs::TraceContext trace;
+  trace.trace_id =
+      request.trace_id != 0 ? request.trace_id : obs::NewTraceId();
+  if (trace.trace_id != 0) trace.span_id = obs::NewSpanId();
+  const std::uint64_t trace_parent = request.trace_parent;
+  // Requests answered inline (drain, shed) never reach the driver, but
+  // the tail sampler must still see them: shed/unavailable outcomes are
+  // always kept.
+  const auto complete_inline = [&](RequestStatus status) {
+    if (!trace.active()) return;
+    obs::TraceSpanRecord rec;
+    rec.trace_id = trace.trace_id;
+    rec.span_id = trace.span_id;
+    rec.parent_id = trace_parent;
+    rec.op = obs::TraceOp::kRequest;
+    rec.start_ns = obs::TraceRelNanos(received);
+    rec.duration_ns = obs::TraceNowNs() - rec.start_ns;
+    obs::EmitTraceSpan(rec);
+    obs::TraceCollector::Default().Complete(trace, status, rec.duration_ns);
+  };
+
   if (draining_.load(std::memory_order_acquire)) {
     Response resp;
     resp.id = request.id;
     resp.status = RequestStatus::kUnavailable;
     stats_.unavailable.fetch_add(1);
+    complete_inline(resp.status);
     QueueResponse(conn, resp);
     return;
   }
@@ -343,6 +381,7 @@ void Server::HandleRequest(Conn& conn, Request request,
     resp.status = RequestStatus::kResourceExhausted;
     stats_.shed.fetch_add(1);
     kObsShed.Inc();
+    complete_inline(resp.status);
     QueueResponse(conn, resp);
     return;
   }
@@ -360,17 +399,19 @@ void Server::HandleRequest(Conn& conn, Request request,
   SubmitOptions sopts;
   sopts.deadline = deadline;
   sopts.tenant = request.tenant;
+  sopts.trace = trace;
   // The callback runs on the flusher thread (or inline right here when
   // the driver sheds): it only posts to the completion queue and rings
   // the eventfd, so neither thread ever blocks on the other.
   driver_.SubmitTextAsync(
       std::move(request.text), sopts,
       [this, conn_id = conn.id, request_id = request.id, received,
-       deadline](BatchResult result) {
+       deadline, trace, trace_parent](BatchResult result) {
         {
           std::lock_guard lock(completions_mu_);
           completions_.push_back(Completion{conn_id, request_id, received,
-                                            deadline, std::move(result)});
+                                            deadline, trace, trace_parent,
+                                            std::move(result)});
         }
         const std::uint64_t one = 1;
         [[maybe_unused]] const auto n =
@@ -432,6 +473,21 @@ void Server::ProcessCompletions() {
         break;
     }
     kObsRequestNs.Record(static_cast<Nanos>(resp.server_ns));
+    // The request's root span closes here (receipt -> serialization);
+    // only now is the outcome known, so this is also where the trace
+    // meets the tail sampler.
+    if (c.trace.active()) {
+      obs::TraceSpanRecord rec;
+      rec.trace_id = c.trace.trace_id;
+      rec.span_id = c.trace.span_id;
+      rec.parent_id = c.trace_parent;
+      rec.op = obs::TraceOp::kRequest;
+      rec.start_ns = obs::TraceRelNanos(c.received);
+      rec.duration_ns = static_cast<Nanos>(resp.server_ns);
+      obs::EmitTraceSpan(rec);
+      obs::TraceCollector::Default().Complete(c.trace, resp.status,
+                                              rec.duration_ns);
+    }
     QueueResponse(conn, resp);
   }
 }

@@ -35,9 +35,13 @@
 #include <vector>
 
 #include "net/protocol.h"
+#include "obs/trace.h"
 #include "rag/batching_driver.h"
 
 namespace proximity::net {
+
+/// The drain FSM as seen by /healthz: running -> draining -> stopped.
+enum class ServerHealth { kServing, kDraining, kStopped };
 
 struct ServerOptions {
   std::string host = "127.0.0.1";
@@ -104,6 +108,11 @@ class Server {
 
   ServerStats stats() const;
 
+  /// Drain-FSM state, readable from any thread (the admin plane's
+  /// /healthz hook): kServing until RequestDrain, kDraining while the
+  /// loop flushes in-flight work, kStopped once the loop has exited.
+  ServerHealth health() const noexcept;
+
  private:
   struct Conn {
     int fd = -1;
@@ -120,6 +129,12 @@ class Server {
     std::uint64_t request_id = 0;
     std::chrono::steady_clock::time_point received;
     std::chrono::steady_clock::time_point deadline;
+    /// Request trace: trace id + this request's root span, with the
+    /// client-side span (if propagated) as the root's parent. The root
+    /// span is emitted and the trace completed into the tail sampler
+    /// when the response is serialized.
+    obs::TraceContext trace;
+    std::uint64_t trace_parent = 0;
     BatchResult result;
   };
 
@@ -150,7 +165,7 @@ class Server {
   std::thread loop_;
   std::atomic<bool> draining_{false};
   std::atomic<bool> started_{false};
-  bool loop_exited_ = false;  // loop thread only
+  std::atomic<bool> loop_exited_{false};
   std::chrono::steady_clock::time_point drain_started_;
 
   // Event-loop-owned state (no lock needed).

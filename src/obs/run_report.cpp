@@ -53,21 +53,38 @@ void PublishRunGauges(const RunReport& report) {
 
 std::vector<StageRow> StageBreakdown(const MetricsSnapshot& snapshot) {
   std::vector<StageRow> rows;
+  std::vector<std::string> consumed;
+  const auto take = [&](const std::string& histogram_name,
+                        std::string row_name) {
+    const auto* h = snapshot.FindHistogram(histogram_name);
+    consumed.push_back(histogram_name);
+    if (h != nullptr && h->count() > 0) {
+      rows.push_back(RowFrom(std::move(row_name), *h));
+    }
+  };
   for (std::size_t s = 0; s < kNumStages; ++s) {
     const char* name = StageName(static_cast<Stage>(s));
-    const auto* h =
-        snapshot.FindHistogram("stage." + std::string(name) + "_ns");
-    if (h != nullptr && h->count() > 0) rows.push_back(RowFrom(name, *h));
+    take("stage." + std::string(name) + "_ns", name);
   }
   // The paper's headline contrast: served-from-cache vs database-miss
   // retrieval latency (Figure 5).
-  if (const auto* h = snapshot.FindHistogram("retrieve.hit_ns");
-      h != nullptr && h->count() > 0) {
-    rows.push_back(RowFrom("retrieve.hit", *h));
-  }
-  if (const auto* h = snapshot.FindHistogram("retrieve.miss_ns");
-      h != nullptr && h->count() > 0) {
-    rows.push_back(RowFrom("retrieve.miss", *h));
+  take("retrieve.hit_ns", "retrieve.hit");
+  take("retrieve.miss_ns", "retrieve.miss");
+  // Every other non-empty latency family (net.*, serve.*, shard.*, ...)
+  // in registration order, so the table audits the whole stack and new
+  // histograms cannot silently miss the report (docs_sync_test pins
+  // this invariant).
+  for (const auto& hs : snapshot.histograms) {
+    if (hs.histogram.count() == 0) continue;
+    if (std::find(consumed.begin(), consumed.end(), hs.name) !=
+        consumed.end()) {
+      continue;
+    }
+    std::string name = hs.name;
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0) {
+      name.resize(name.size() - 3);
+    }
+    rows.push_back(RowFrom(std::move(name), hs.histogram));
   }
   return rows;
 }

@@ -15,11 +15,6 @@ struct Ring {
 thread_local Ring t_ring;
 thread_local std::uint16_t t_depth = 0;
 
-std::chrono::steady_clock::time_point TraceEpoch() noexcept {
-  static const auto epoch = std::chrono::steady_clock::now();
-  return epoch;
-}
-
 Nanos ToNanos(std::chrono::steady_clock::duration d) noexcept {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
 }
@@ -29,7 +24,13 @@ Nanos ToNanos(std::chrono::steady_clock::duration d) noexcept {
 Span::Span(Stage stage) noexcept
     : stage_(stage),
       depth_(t_depth++),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(std::chrono::steady_clock::now()),
+      trace_parent_(CurrentTraceContext()) {
+  if (trace_parent_.active()) {
+    trace_span_ = NewSpanId();
+    SetCurrentTraceContext({trace_parent_.trace_id, trace_span_});
+  }
+}
 
 Span::~Span() {
   const auto end = std::chrono::steady_clock::now();
@@ -41,11 +42,23 @@ Span::~Span() {
   ring.events[ring.next] = SpanEvent{
       .stage = stage_,
       .depth = depth_,
-      .start_ns = ToNanos(start_ - TraceEpoch()),
+      .start_ns = TraceRelNanos(start_),
       .duration_ns = duration,
   };
   ring.next = (ring.next + 1) % kSpanRingCapacity;
   if (ring.count < kSpanRingCapacity) ++ring.count;
+
+  if (trace_parent_.active()) {
+    TraceSpanRecord record;
+    record.trace_id = trace_parent_.trace_id;
+    record.span_id = trace_span_;
+    record.parent_id = trace_parent_.span_id;
+    record.op = TraceOpFromStage(stage_);
+    record.start_ns = TraceRelNanos(start_);
+    record.duration_ns = duration;
+    EmitTraceSpan(record);
+    SetCurrentTraceContext(trace_parent_);
+  }
 }
 
 std::vector<SpanEvent> ThreadRecentSpans() {

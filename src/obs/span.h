@@ -3,6 +3,11 @@
 // MetricsRegistry and appended to a bounded per-thread ring buffer of
 // recent span events (the lightweight "what just happened" trace).
 //
+// When the opening thread carries an active TraceContext (obs/trace.h),
+// the span additionally joins that request's end-to-end trace as a
+// causally-linked child — existing instrumentation sites become trace
+// emitters with no changes at the call site.
+//
 // With PROXIMITY_OBS_ENABLED=0 the Span constructor/destructor are empty
 // inline functions and the compiler erases them — the instrumented hot
 // paths (cache scan, index search) pay nothing.
@@ -15,6 +20,7 @@
 #include "common/types.h"
 #include "obs/metrics_registry.h"
 #include "obs/stage.h"
+#include "obs/trace.h"
 
 namespace proximity::obs {
 
@@ -53,6 +59,12 @@ class Span {
   Stage stage_;
   std::uint16_t depth_;
   std::chrono::steady_clock::time_point start_;
+  /// When the opening thread carried an active TraceContext, the span
+  /// also joins that trace: `trace_parent_` is the inherited context,
+  /// `trace_span_` this span's own id (pushed as the thread context so
+  /// nested spans parent under it; restored in the destructor).
+  TraceContext trace_parent_;
+  std::uint64_t trace_span_ = 0;
 };
 
 #else  // PROXIMITY_OBS_ENABLED == 0: spans compile to nothing

@@ -1,0 +1,418 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <random>
+#include <sstream>
+
+#include "common/stats.h"
+#include "obs/metrics_registry.h"
+
+namespace proximity::obs {
+
+namespace {
+
+const CounterHandle kObsSpans("trace.spans");
+const CounterHandle kObsCompleted("trace.completed");
+const CounterHandle kObsSampled("trace.sampled");
+const GaugeHandle kObsThreshold("trace.slow_threshold_ns");
+
+}  // namespace
+
+#if PROXIMITY_OBS_ENABLED
+
+namespace {
+
+// One seqlock-protected ring slot. Every field is an atomic accessed
+// with relaxed ordering; the version counter (odd = write in progress)
+// plus fences give readers a consistent record or a clean skip — no
+// torn span can ever be observed, and TSan sees only atomic accesses.
+struct Slot {
+  std::atomic<std::uint64_t> version{0};
+  std::atomic<std::uint64_t> trace_id{0};
+  std::atomic<std::uint64_t> span_id{0};
+  std::atomic<std::uint64_t> parent_id{0};
+  std::atomic<std::uint32_t> op{0};
+  std::atomic<Nanos> start_ns{0};
+  std::atomic<Nanos> duration_ns{0};
+};
+
+struct TraceRing {
+  std::uint32_t thread = 0;
+  // Writer-only cursors; readers scan every slot.
+  std::uint64_t next = 0;
+  std::uint64_t span_counter = 0;
+  Slot slots[kTraceRingCapacity];
+};
+
+// Rings are owned by the store and intentionally leaked at process
+// exit: a collector may scan them after the emitting thread has died,
+// and thread_local destruction order must not matter. Memory stays
+// bounded — one fixed-capacity ring per emitting thread, ever.
+struct TraceStore {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceRing>> rings;
+
+  TraceRing* Acquire() {
+    std::lock_guard lock(mu);
+    rings.push_back(std::make_unique<TraceRing>());
+    rings.back()->thread = static_cast<std::uint32_t>(rings.size());
+    return rings.back().get();
+  }
+
+  static TraceStore& Get() {
+    static TraceStore* store = new TraceStore;
+    return *store;
+  }
+};
+
+TraceRing& LocalRing() noexcept {
+  thread_local TraceRing* ring = TraceStore::Get().Acquire();
+  return *ring;
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Pin the epoch at process start (static init), not at the first traced
+// request: timestamps captured before the first emission (e.g. a request
+// received while the stack warms up) must still export as non-negative.
+const auto g_epoch_pin = TraceEpoch();
+
+std::uint64_t Splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+// Per-process entropy mixed into trace and span ids. Traces cross the
+// wire between processes that each number their threads and counters
+// identically from zero — without this, the server's first span id
+// collides with the client's first span id and parent links cross.
+std::uint64_t ProcessSeed() noexcept {
+  static const std::uint64_t seed = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) |
+           static_cast<std::uint64_t>(rd());
+  }();
+  return seed;
+}
+
+thread_local TraceContext t_ctx;
+
+// Reads one slot; false when the slot is empty, mid-write or was
+// overwritten during the read (the seqlock retry is a skip: a span
+// being overwritten is by definition old enough to drop).
+bool ReadSlot(const Slot& slot, TraceSpanRecord* out) noexcept {
+  const std::uint64_t v1 = slot.version.load(std::memory_order_acquire);
+  if (v1 == 0 || (v1 & 1) != 0) return false;
+  out->trace_id = slot.trace_id.load(std::memory_order_relaxed);
+  out->span_id = slot.span_id.load(std::memory_order_relaxed);
+  out->parent_id = slot.parent_id.load(std::memory_order_relaxed);
+  const std::uint32_t meta = slot.op.load(std::memory_order_relaxed);
+  out->op = static_cast<TraceOp>(meta & 0xFF);
+  out->thread = meta >> 8;
+  out->start_ns = slot.start_ns.load(std::memory_order_relaxed);
+  out->duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return slot.version.load(std::memory_order_relaxed) == v1;
+}
+
+}  // namespace
+
+std::uint64_t NewTraceId() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  // splitmix64 so consecutive ids do not look consecutive on the wire.
+  return Splitmix64(counter.fetch_add(1, std::memory_order_relaxed) ^
+                    ProcessSeed()) |
+         1;  // an active trace id is never 0
+}
+
+std::uint64_t NewSpanId() noexcept {
+  TraceRing& ring = LocalRing();
+  // Thread ring index in the high bits keeps ids process-unique with a
+  // plain (writer-owned) counter; XOR with the process seed (bijective,
+  // so uniqueness is preserved) keeps them distinct across processes.
+  return ((static_cast<std::uint64_t>(ring.thread) << 40) |
+          ++ring.span_counter) ^
+         ProcessSeed();
+}
+
+Nanos TraceRelNanos(std::chrono::steady_clock::time_point tp) noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp - TraceEpoch())
+      .count();
+}
+
+Nanos TraceNowNs() noexcept {
+  return TraceRelNanos(std::chrono::steady_clock::now());
+}
+
+TraceContext CurrentTraceContext() noexcept { return t_ctx; }
+
+void SetCurrentTraceContext(TraceContext ctx) noexcept { t_ctx = ctx; }
+
+void EmitTraceSpan(TraceSpanRecord record) noexcept {
+  if (record.trace_id == 0) return;
+  TraceRing& ring = LocalRing();
+  Slot& slot = ring.slots[ring.next % kTraceRingCapacity];
+  ++ring.next;
+  const std::uint64_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.trace_id.store(record.trace_id, std::memory_order_relaxed);
+  slot.span_id.store(record.span_id, std::memory_order_relaxed);
+  slot.parent_id.store(record.parent_id, std::memory_order_relaxed);
+  slot.op.store(static_cast<std::uint32_t>(record.op) |
+                    (ring.thread << 8),
+                std::memory_order_relaxed);
+  slot.start_ns.store(record.start_ns, std::memory_order_relaxed);
+  slot.duration_ns.store(record.duration_ns, std::memory_order_relaxed);
+  slot.version.store(v + 2, std::memory_order_release);
+  kObsSpans.Inc();
+}
+
+std::uint64_t EmitChildSpan(const TraceContext& parent, TraceOp op,
+                            Nanos start_ns, Nanos duration_ns) noexcept {
+  if (!parent.active()) return 0;
+  TraceSpanRecord record;
+  record.trace_id = parent.trace_id;
+  record.span_id = NewSpanId();
+  record.parent_id = parent.span_id;
+  record.op = op;
+  record.start_ns = start_ns;
+  record.duration_ns = duration_ns;
+  EmitTraceSpan(record);
+  return record.span_id;
+}
+
+std::vector<TraceSpanRecord> CollectTraceSpans(std::uint64_t trace_id) {
+  std::vector<TraceSpanRecord> out;
+  if (trace_id == 0) return out;
+  TraceStore& store = TraceStore::Get();
+  std::lock_guard lock(store.mu);
+  for (const auto& ring : store.rings) {
+    for (const Slot& slot : ring->slots) {
+      TraceSpanRecord record;
+      if (ReadSlot(slot, &record) && record.trace_id == trace_id) {
+        out.push_back(record);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpanRecord& a, const TraceSpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+#endif  // PROXIMITY_OBS_ENABLED
+
+struct TraceCollector::Impl {
+  TraceCollectorOptions options;
+  mutable std::mutex mu;
+  LatencyHistogram durations;
+  std::uint64_t completed = 0;
+  std::uint64_t sampled = 0;
+  std::deque<SampledTrace> kept;  // newest first
+  std::atomic<Nanos> threshold_ns{std::numeric_limits<Nanos>::max()};
+};
+
+TraceCollector::TraceCollector(TraceCollectorOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+  if (impl_->options.keep == 0) impl_->options.keep = 1;
+  if (impl_->options.recompute_every == 0) impl_->options.recompute_every = 1;
+}
+
+TraceCollector::~TraceCollector() = default;
+
+bool TraceCollector::Complete(const TraceContext& ctx, RequestStatus status,
+                              Nanos duration_ns) {
+#if PROXIMITY_OBS_ENABLED
+  if (!ctx.active()) return false;
+  kObsCompleted.Inc();
+  std::lock_guard lock(impl_->mu);
+  ++impl_->completed;
+  impl_->durations.Record(duration_ns);
+  if (impl_->completed % impl_->options.recompute_every == 0) {
+    const Nanos threshold = static_cast<Nanos>(
+        impl_->durations.QuantileNanos(impl_->options.slow_quantile));
+    impl_->threshold_ns.store(threshold, std::memory_order_relaxed);
+    kObsThreshold.Set(static_cast<double>(threshold));
+  }
+  // Tail-based decision: errors/sheds/expiries always, plus the slow
+  // tail of OK completions. Everything else is dropped right here.
+  bool keep = status != RequestStatus::kOk;
+  if (!keep) {
+    if (impl_->completed <= impl_->options.bootstrap_keep) {
+      keep = true;
+    } else if (duration_ns >=
+               impl_->threshold_ns.load(std::memory_order_relaxed)) {
+      keep = true;
+    }
+  }
+  if (!keep) return false;
+  SampledTrace trace;
+  trace.trace_id = ctx.trace_id;
+  trace.status = status;
+  trace.duration_ns = duration_ns;
+  trace.spans = CollectTraceSpans(ctx.trace_id);
+  impl_->kept.push_front(std::move(trace));
+  while (impl_->kept.size() > impl_->options.keep) impl_->kept.pop_back();
+  ++impl_->sampled;
+  kObsSampled.Inc();
+  return true;
+#else
+  (void)ctx;
+  (void)status;
+  (void)duration_ns;
+  return false;
+#endif
+}
+
+std::vector<SampledTrace> TraceCollector::Sampled() const {
+  std::lock_guard lock(impl_->mu);
+  return {impl_->kept.begin(), impl_->kept.end()};
+}
+
+std::optional<SampledTrace> TraceCollector::Find(std::uint64_t trace_id) {
+  std::lock_guard lock(impl_->mu);
+  for (SampledTrace& trace : impl_->kept) {
+    if (trace.trace_id != trace_id) continue;
+    // Refresh from the rings: spans emitted after the completion (the
+    // client-side Call span lands only once the response was parsed)
+    // are merged in, keyed by span id.
+    for (TraceSpanRecord& fresh : CollectTraceSpans(trace_id)) {
+      const bool known =
+          std::any_of(trace.spans.begin(), trace.spans.end(),
+                      [&](const TraceSpanRecord& have) {
+                        return have.span_id == fresh.span_id;
+                      });
+      if (!known) trace.spans.push_back(fresh);
+    }
+    std::sort(trace.spans.begin(), trace.spans.end(),
+              [](const TraceSpanRecord& a, const TraceSpanRecord& b) {
+                if (a.start_ns != b.start_ns) {
+                  return a.start_ns < b.start_ns;
+                }
+                return a.span_id < b.span_id;
+              });
+    return trace;
+  }
+  return std::nullopt;
+}
+
+Nanos TraceCollector::slow_threshold_ns() const noexcept {
+  return impl_->threshold_ns.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceCollector::completed() const noexcept {
+  std::lock_guard lock(impl_->mu);
+  return impl_->completed;
+}
+
+std::uint64_t TraceCollector::sampled() const noexcept {
+  std::lock_guard lock(impl_->mu);
+  return impl_->sampled;
+}
+
+void TraceCollector::Reset() {
+  std::lock_guard lock(impl_->mu);
+  impl_->durations = LatencyHistogram{};
+  impl_->completed = 0;
+  impl_->sampled = 0;
+  impl_->kept.clear();
+  impl_->threshold_ns.store(std::numeric_limits<Nanos>::max(),
+                            std::memory_order_relaxed);
+}
+
+TraceCollector& TraceCollector::Default() {
+  static TraceCollector* collector = new TraceCollector;
+  return *collector;
+}
+
+namespace {
+
+void AppendHexId(std::string& out, std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, id);
+  out += buf;
+}
+
+void AppendMicros(std::string& out, Nanos ns) {
+  // Microseconds with nanosecond precision, the trace_event time unit.
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(ns) / 1000.0);
+  out += buf;
+}
+
+}  // namespace
+
+std::string ToTraceEventJson(const SampledTrace& trace) {
+  std::string out;
+  out.reserve(256 + trace.spans.size() * 192);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"proximity trace 0x";
+  AppendHexId(out, trace.trace_id);
+  out += " (";
+  out += RequestStatusName(trace.status);
+  out += ")\"}}";
+  for (const TraceSpanRecord& span : trace.spans) {
+    out += ",{\"name\":\"";
+    out += TraceOpName(span.op);
+    out += "\",\"cat\":\"proximity\",\"ph\":\"X\",\"ts\":";
+    AppendMicros(out, span.start_ns);
+    out += ",\"dur\":";
+    // Perfetto drops zero-width slices; clamp to 1ns-as-µs.
+    AppendMicros(out, span.duration_ns > 0 ? span.duration_ns : 1);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(span.thread);
+    out += ",\"args\":{\"span_id\":\"0x";
+    AppendHexId(out, span.span_id);
+    out += "\",\"parent_id\":\"0x";
+    AppendHexId(out, span.parent_id);
+    out += "\"}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ToTraceListJson(const std::vector<SampledTrace>& traces) {
+  std::string out = "{\"traces\":[";
+  bool first = true;
+  for (const SampledTrace& trace : traces) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":\"0x";
+    AppendHexId(out, trace.trace_id);
+    out += "\",\"status\":\"";
+    out += RequestStatusName(trace.status);
+    out += "\",\"duration_ms\":";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(trace.duration_ns) / 1e6);
+    out += buf;
+    out += ",\"spans\":";
+    out += std::to_string(trace.spans.size());
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace proximity::obs

@@ -1,0 +1,249 @@
+// End-to-end request tracing (DESIGN.md §12).
+//
+// A TraceContext (64-bit trace id + parent span id) rides along with a
+// request from the client through the net front-end, the BatchingDriver's
+// tenant queues and batch stages, down to the cache probes and index
+// scans. Every obs::Span whose thread carries an active context also
+// emits a TraceSpanRecord — a causally-linked span reusing the 8-stage
+// taxonomy — into a per-thread lock-free ring buffer (seqlock slots, so
+// a collector on another thread reads them without tearing and without
+// TSan complaints). Batch-wide work (one EmbedBatch / SearchBatch call
+// serving many requests) is attributed to each live request explicitly
+// via EmitChildSpan with the shared timings.
+//
+// Sampling is tail-based: the decision happens at COMPLETION time, when
+// the outcome is known. Every shed/expired/error request is kept, plus
+// the slowest ~1% of OK completions (threshold = a running quantile of
+// completion durations); the boring majority is dropped without ever
+// being assembled. Kept traces are bounded (a small deque) and exported
+// as Chrome/Perfetto `trace_event` JSON so a capture opens directly in
+// ui.perfetto.dev.
+//
+// With PROXIMITY_OBS_ENABLED=0 every function here is an inline no-op
+// (ids stay 0, contexts never activate, the collector keeps nothing),
+// so the traced hot paths pay exactly what they paid before.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/stage.h"
+
+#ifndef PROXIMITY_OBS_ENABLED
+#define PROXIMITY_OBS_ENABLED 1
+#endif
+
+namespace proximity::obs {
+
+/// Operation taxonomy of trace spans: the 8 pipeline stages (same values
+/// as obs::Stage) plus the request-scoped pseudo-stages only traces see.
+enum class TraceOp : std::uint8_t {
+  kEmbed = 0,
+  kCacheLookup,
+  kCacheScan,
+  kIndexSearch,
+  kPrompt,
+  kGenerate,
+  kEvict,
+  kInsert,
+  /// Server-side root: request receipt -> response serialization.
+  kRequest = 8,
+  /// Admission-queue wait inside the BatchingDriver.
+  kQueue = 9,
+  /// Client-side Call(): request serialization -> response parsed.
+  kClientCall = 10,
+};
+
+inline constexpr std::size_t kNumTraceOps = 11;
+
+constexpr TraceOp TraceOpFromStage(Stage stage) noexcept {
+  return static_cast<TraceOp>(static_cast<std::uint8_t>(stage));
+}
+
+/// Short lowercase op name ("embed", ..., "request", "queue",
+/// "client_call").
+constexpr const char* TraceOpName(TraceOp op) noexcept {
+  switch (op) {
+    case TraceOp::kRequest: return "request";
+    case TraceOp::kQueue: return "queue";
+    case TraceOp::kClientCall: return "client_call";
+    default:
+      return StageName(static_cast<Stage>(op));
+  }
+}
+
+/// The propagated context: which trace a piece of work belongs to and
+/// which span is its causal parent. trace_id == 0 means "not traced" —
+/// every emission keyed on an inactive context is a no-op.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool active() const noexcept { return trace_id != 0; }
+};
+
+/// One completed span as stored in the per-thread trace rings.
+struct TraceSpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  /// Span id of the causal parent (0 = root of this trace).
+  std::uint64_t parent_id = 0;
+  TraceOp op = TraceOp::kRequest;
+  /// Small stable index of the emitting thread (ring index).
+  std::uint32_t thread = 0;
+  /// Open timestamp relative to the process trace epoch.
+  Nanos start_ns = 0;
+  Nanos duration_ns = 0;
+};
+
+/// Per-thread trace ring capacity; older records are overwritten. Memory
+/// is bounded: one fixed ring per thread that ever emitted a span.
+inline constexpr std::size_t kTraceRingCapacity = 1024;
+
+/// A trace kept by the tail sampler: the request outcome plus every span
+/// recovered from the rings, sorted by start time.
+struct SampledTrace {
+  std::uint64_t trace_id = 0;
+  RequestStatus status = RequestStatus::kOk;
+  Nanos duration_ns = 0;
+  std::vector<TraceSpanRecord> spans;
+};
+
+#if PROXIMITY_OBS_ENABLED
+
+/// Fresh nonzero trace id (cheap splitmix over a process counter).
+std::uint64_t NewTraceId() noexcept;
+
+/// Fresh process-unique span id (thread ring index in the high bits).
+std::uint64_t NewSpanId() noexcept;
+
+/// Nanoseconds since the process trace epoch (shared with the span
+/// ring so trace and span timestamps are directly comparable).
+Nanos TraceNowNs() noexcept;
+Nanos TraceRelNanos(std::chrono::steady_clock::time_point tp) noexcept;
+
+/// The calling thread's current context ({} when none is active).
+TraceContext CurrentTraceContext() noexcept;
+void SetCurrentTraceContext(TraceContext ctx) noexcept;
+
+/// Low-level emission into the calling thread's ring. `record.thread`
+/// is filled in here; a zero trace id drops the record.
+void EmitTraceSpan(TraceSpanRecord record) noexcept;
+
+/// Emits one child span under `parent` and returns its span id (0 when
+/// the parent is inactive). Used to attribute batch-wide stage timings
+/// (one EmbedBatch call, one SearchBatch call) to each live request.
+std::uint64_t EmitChildSpan(const TraceContext& parent, TraceOp op,
+                            Nanos start_ns, Nanos duration_ns) noexcept;
+
+/// Scans every thread ring for `trace_id`, sorted by start time. Slots
+/// being concurrently overwritten are skipped, never torn.
+std::vector<TraceSpanRecord> CollectTraceSpans(std::uint64_t trace_id);
+
+#else  // PROXIMITY_OBS_ENABLED == 0: tracing compiles to nothing
+
+inline std::uint64_t NewTraceId() noexcept { return 0; }
+inline std::uint64_t NewSpanId() noexcept { return 0; }
+inline Nanos TraceNowNs() noexcept { return 0; }
+inline Nanos TraceRelNanos(std::chrono::steady_clock::time_point) noexcept {
+  return 0;
+}
+inline TraceContext CurrentTraceContext() noexcept { return {}; }
+inline void SetCurrentTraceContext(TraceContext) noexcept {}
+inline void EmitTraceSpan(TraceSpanRecord) noexcept {}
+inline std::uint64_t EmitChildSpan(const TraceContext&, TraceOp, Nanos,
+                                   Nanos) noexcept {
+  return 0;
+}
+inline std::vector<TraceSpanRecord> CollectTraceSpans(std::uint64_t) {
+  return {};
+}
+
+#endif  // PROXIMITY_OBS_ENABLED
+
+/// RAII thread-context setter: work done in the scope (cache probes,
+/// inserts) attaches its spans to `ctx`'s trace. Restores the previous
+/// context on exit so nesting works.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx) noexcept
+      : prev_(CurrentTraceContext()) {
+    SetCurrentTraceContext(ctx);
+  }
+  ~ScopedTraceContext() { SetCurrentTraceContext(prev_); }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+struct TraceCollectorOptions {
+  /// Sampled traces retained (older ones fall off).
+  std::size_t keep = 64;
+  /// OK completions at or above this running duration quantile are kept.
+  double slow_quantile = 0.99;
+  /// The first N OK completions are kept unconditionally so /tracez
+  /// shows something before the quantile threshold has armed.
+  std::size_t bootstrap_keep = 4;
+  /// The threshold is recomputed every this many completions.
+  std::size_t recompute_every = 64;
+};
+
+/// The tail sampler. Complete() is called once per finished request with
+/// the outcome; non-OK requests (shed/expired/error/unavailable) are
+/// always kept, OK ones only when slower than the running ~p99. Keeping
+/// a trace assembles its spans from the rings right away (and Find()
+/// re-merges late spans, e.g. the client-side span emitted after the
+/// server answered).
+class TraceCollector {
+ public:
+  explicit TraceCollector(TraceCollectorOptions options = {});
+  ~TraceCollector();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Returns true when the trace was sampled. No-op (false) for an
+  /// inactive context or with PROXIMITY_OBS_ENABLED=0.
+  bool Complete(const TraceContext& ctx, RequestStatus status,
+                Nanos duration_ns);
+
+  /// Kept traces, newest first.
+  std::vector<SampledTrace> Sampled() const;
+
+  /// One kept trace by id, with spans refreshed from the rings.
+  std::optional<SampledTrace> Find(std::uint64_t trace_id);
+
+  /// Current slow-keep threshold; max() until armed.
+  Nanos slow_threshold_ns() const noexcept;
+
+  std::uint64_t completed() const noexcept;
+  std::uint64_t sampled() const noexcept;
+
+  /// Drops kept traces and re-arms the bootstrap (test isolation).
+  void Reset();
+
+  /// The process-wide collector the serving path completes into.
+  static TraceCollector& Default();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Chrome/Perfetto trace_event JSON for one trace: {"traceEvents":
+/// [...]} of "X" (complete) events, timestamps in microseconds; span
+/// ids and causal parents ride in "args". Opens in ui.perfetto.dev.
+std::string ToTraceEventJson(const SampledTrace& trace);
+
+/// Compact listing for /tracez: {"traces":[{"id","status",
+/// "duration_ms","spans"}...]}, same order as given.
+std::string ToTraceListJson(const std::vector<SampledTrace>& traces);
+
+}  // namespace proximity::obs

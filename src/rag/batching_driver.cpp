@@ -210,6 +210,7 @@ void BatchingDriver::SubmitAsync(std::vector<float> embedding,
   entry.done = std::move(done);
   entry.deadline = opts.deadline;
   entry.tenant = opts.tenant;
+  entry.trace = opts.trace;
   if (embedding.size() != index_.dim()) {
     Fail(entry, RequestStatus::kInvalidArgument, 0);
     return;
@@ -230,6 +231,7 @@ void BatchingDriver::SubmitTextAsync(std::string text,
   entry.done = std::move(done);
   entry.deadline = opts.deadline;
   entry.tenant = opts.tenant;
+  entry.trace = opts.trace;
   if (text.empty()) {
     entry.embedding.assign(index_.dim(), 0.0f);
   } else {
@@ -272,6 +274,20 @@ std::map<TenantId, BatchingDriverStats> BatchingDriver::tenant_stats()
     const {
   std::lock_guard lock(mu_);
   return tenant_stats_;
+}
+
+std::size_t BatchingDriver::pending() const {
+  std::lock_guard lock(mu_);
+  return total_pending_;
+}
+
+std::map<TenantId, std::size_t> BatchingDriver::queue_depths() const {
+  std::lock_guard lock(mu_);
+  std::map<TenantId, std::size_t> depths;
+  for (const auto& [id, tq] : queues_) {
+    if (!tq.queue.empty()) depths[id] = tq.queue.size();
+  }
+  return depths;
 }
 
 std::chrono::steady_clock::time_point BatchingDriver::OldestEnqueued()
@@ -395,6 +411,9 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
                     flush_start - batch[i].enqueued)
                     .count();
     kObsQueueWait.Record(waited[i]);
+    // Traced entries record their admission-queue wait as a span.
+    obs::EmitChildSpan(batch[i].trace, obs::TraceOp::kQueue,
+                       obs::TraceRelNanos(batch[i].enqueued), waited[i]);
   }
 
   std::uint64_t hits = 0, retrieved = 0, coalesced = 0, expired = 0,
@@ -438,11 +457,21 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
       }
     }
     if (!texts.empty()) {
-      const obs::Span span(obs::Stage::kEmbed);
-      const Matrix embedded = embedder_->EmbedBatch(texts);
-      for (std::size_t j = 0; j < text_ids.size(); ++j) {
-        const auto row = embedded.Row(j);
-        batch[text_ids[j]].embedding.assign(row.begin(), row.end());
+      const Nanos embed_start = obs::TraceNowNs();
+      {
+        const obs::Span span(obs::Stage::kEmbed);
+        const Matrix embedded = embedder_->EmbedBatch(texts);
+        for (std::size_t j = 0; j < text_ids.size(); ++j) {
+          const auto row = embedded.Row(j);
+          batch[text_ids[j]].embedding.assign(row.begin(), row.end());
+        }
+      }
+      // One EmbedBatch call serves many requests: attribute the shared
+      // timing to every traced entry that contributed text.
+      const Nanos embed_ns = obs::TraceNowNs() - embed_start;
+      for (const std::size_t i : text_ids) {
+        obs::EmitChildSpan(batch[i].trace, obs::TraceOp::kEmbed,
+                           embed_start, embed_ns);
       }
     }
 
@@ -451,6 +480,9 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
     std::vector<std::size_t> misses;
     for (const std::size_t i : live) {
       const TenantId tenant = batch[i].tenant;
+      // The probe runs with the entry's trace as the thread context, so
+      // the cache's own spans (kCacheLookup/kCacheScan) join the trace.
+      const obs::ScopedTraceContext trace_scope(batch[i].trace);
       auto cached = CacheFor(tenant).Lookup(batch[i].embedding);
       if (registry_ != nullptr) {
         registry_->ObserveLookup(tenant, cached.has_value());
@@ -519,12 +551,22 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
       for (const std::size_t i : leaders) {
         queries.AppendRow(batch[i].embedding);
       }
-      const auto results = index_.SearchBatch(queries, options_.top_k);
+      const Nanos search_start = obs::TraceNowNs();
+      const auto search_results = index_.SearchBatch(queries, options_.top_k);
+      const Nanos search_ns = obs::TraceNowNs() - search_start;
+      // The grouped search is shared work too: every miss — leader or
+      // coalesced follower — sees the same index-search span.
+      for (const std::size_t i : misses) {
+        obs::EmitChildSpan(batch[i].trace, obs::TraceOp::kIndexSearch,
+                           search_start, search_ns);
+      }
       for (std::size_t rank = 0; rank < leaders.size(); ++rank) {
-        leader_docs[rank].reserve(results[rank].size());
-        for (const auto& n : results[rank]) {
+        leader_docs[rank].reserve(search_results[rank].size());
+        for (const auto& n : search_results[rank]) {
           leader_docs[rank].push_back(n.id);
         }
+        const obs::ScopedTraceContext trace_scope(
+            batch[leaders[rank]].trace);
         CacheFor(batch[leaders[rank]].tenant)
             .Insert(batch[leaders[rank]].embedding, leader_docs[rank]);
       }

@@ -55,6 +55,7 @@
 #include "common/types.h"
 #include "embed/hash_embedder.h"
 #include "index/vector_index.h"
+#include "obs/trace.h"
 #include "rag/concurrent_driver.h"
 #include "tenant/tenant_registry.h"
 #include "workload/query_stream.h"
@@ -135,6 +136,10 @@ struct SubmitOptions {
   /// Submitting tenant; ignored (treated as default) unless the driver
   /// was constructed over a TenantRegistry.
   TenantId tenant = kDefaultTenant;
+  /// Request trace to attribute the driver's work to (obs/trace.h):
+  /// queue wait, embed, cache probe, search and insert spans are all
+  /// emitted under it. Inactive (default) = untraced.
+  obs::TraceContext trace;
 };
 
 class BatchingDriver {
@@ -198,6 +203,12 @@ class BatchingDriver {
   std::map<TenantId, BatchingDriverStats> tenant_stats() const;
   const BatchingDriverOptions& options() const noexcept { return options_; }
 
+  /// Entries currently queued, total and per tenant (only tenants with
+  /// a non-empty queue appear). Live introspection (/statusz) reads
+  /// these while the flusher runs.
+  std::size_t pending() const;
+  std::map<TenantId, std::size_t> queue_depths() const;
+
  private:
   struct Pending {
     std::string text;              // non-empty: embed at flush
@@ -206,6 +217,7 @@ class BatchingDriver {
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;
     TenantId tenant = kDefaultTenant;
+    obs::TraceContext trace;
     std::uint64_t seq = 0;  // global arrival order (FIFO mode)
   };
 

@@ -183,6 +183,26 @@ void TenantRegistry::OnDone(TenantId id) {
   if (state.inflight > 0) --state.inflight;
 }
 
+std::vector<TenantInfo> TenantRegistry::Infos() const {
+  std::lock_guard lock(mu_);
+  std::vector<TenantInfo> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, state] : tenants_) {
+    TenantInfo info;
+    info.id = id;
+    info.name = state->spec.name.empty() ? std::to_string(id)
+                                         : state->spec.name;
+    info.quota = state->spec.quota;
+    info.weight = state->spec.weight;
+    info.tolerance = state->cache.tolerance();
+    info.cache_entries = state->cache.size();
+    info.inflight = state->inflight;
+    info.cache = state->cache.stats();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
 ConcurrentProximityCache& TenantRegistry::CacheFor(TenantId id) {
   std::lock_guard lock(mu_);
   return StateFor(id).cache;

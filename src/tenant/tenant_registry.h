@@ -114,6 +114,18 @@ enum class Admission {
   kOverInflight,
 };
 
+/// Read-only snapshot of one tenant for introspection (/statusz).
+struct TenantInfo {
+  TenantId id = kDefaultTenant;
+  std::string name;
+  TenantQuota quota;
+  double weight = 1.0;
+  float tolerance = 0.0f;
+  std::size_t cache_entries = 0;
+  std::size_t inflight = 0;
+  ConcurrentCacheStats cache;
+};
+
 /// Per-tenant serve-outcome deltas, mirrored into `tenant.<label>.*`.
 struct TenantCounters {
   std::uint64_t submitted = 0;
@@ -169,6 +181,10 @@ class TenantRegistry {
   /// Adds serve-outcome deltas to the tenant's `tenant.<label>.*`
   /// counters and refreshes its cache-occupancy gauge.
   void Record(TenantId id, const TenantCounters& delta);
+
+  /// Snapshot of every tenant (quota, weight, τ, cache stats,
+  /// inflight), ordered by id — the /statusz data source.
+  std::vector<TenantInfo> Infos() const;
 
   std::size_t dim() const noexcept { return dim_; }
   const TenantRegistryOptions& options() const noexcept {

@@ -21,9 +21,11 @@
 #include "embed/hash_embedder.h"
 #include "index/flat_index.h"
 #include "index/sharded_index.h"
+#include "net/admin.h"
 #include "net/server.h"
 #include "obs/metrics_registry.h"
 #include "obs/run_report.h"
+#include "obs/trace.h"
 #include "rag/batching_driver.h"
 #include "rag/concurrent_driver.h"
 #include "rag/retriever.h"
@@ -133,6 +135,24 @@ void InstantiateTheStack() {
       static_cast<void (*)(net::Server*)>(&net::InstallSignalDrain);
   (void)drain;
 
+  // trace.* — emit one span into the rings and complete the trace
+  // through the tail sampler so its counters/gauge register.
+  {
+    const obs::TraceContext ctx{obs::NewTraceId(), obs::NewSpanId()};
+    obs::EmitTraceSpan({ctx.trace_id, obs::NewSpanId(), ctx.span_id,
+                        obs::TraceOp::kRequest, 0, 1, 2});
+    (void)obs::TraceCollector::Default().Complete(ctx, RequestStatus::kOk,
+                                                  1000);
+  }
+
+  // admin.* — route one hit and one 404 through the introspection plane
+  // (no sockets needed; Handle() is the whole routed surface).
+  {
+    const net::AdminServer admin;
+    (void)admin.Handle("/healthz");
+    (void)admin.Handle("/no-such-endpoint");
+  }
+
   // run.*
   obs::PublishRunGauges(obs::RunReport{});
 }
@@ -196,6 +216,42 @@ TEST(DocsSyncTest, RegistryCapacityHasHeadroom) {
   EXPECT_LT(snap.counters.size(), obs::MetricsRegistry::kMaxCounters);
   EXPECT_LT(snap.gauges.size(), obs::MetricsRegistry::kMaxGauges);
   EXPECT_LT(snap.histograms.size(), obs::MetricsRegistry::kMaxHistograms);
+#endif
+}
+
+// The RunReport stage table is the other half of the coverage audit:
+// every histogram family with samples must surface as a row, so a new
+// timing metric cannot silently miss the per-run report.
+TEST(DocsSyncTest, StageTableCoversEveryPopulatedHistogram) {
+#if !PROXIMITY_OBS_ENABLED
+  GTEST_SKIP() << "metrics are compiled out under PROXIMITY_OBS=OFF";
+#else
+  InstantiateTheStack();
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::Default().Snapshot();
+
+  std::set<std::string> rows;
+  for (const auto& row : obs::StageBreakdown(snap)) {
+    EXPECT_TRUE(rows.insert(row.name).second)
+        << "duplicate stage row `" << row.name << "`";
+  }
+  std::size_t populated = 0;
+  for (const auto& h : snap.histograms) {
+    if (h.histogram.count() == 0) continue;
+    ++populated;
+  }
+  // Every populated histogram produced exactly one row (stage.* rows
+  // are renamed to their stage; everything else keeps its family name
+  // minus a trailing `_ns`), so the counts must line up.
+  EXPECT_EQ(rows.size(), populated)
+      << "StageBreakdown dropped or duplicated a histogram family — "
+         "new timing metrics must appear in the run report";
+  ASSERT_FALSE(rows.empty());
+  const std::string table = obs::RenderStageTable(snap);
+  for (const auto& name : rows) {
+    EXPECT_NE(table.find(name), std::string::npos)
+        << "rendered table is missing row `" << name << "`";
+  }
 #endif
 }
 

@@ -6,6 +6,9 @@
 // tenant extension is additive — the tenant id travels only when
 // `kReqFlagHasTenant` is set, so a default-tenant v2 writer emits
 // byte-identical v1 frames (pinned here against the same goldens).
+// The v3 trace extension follows the same rule: sixteen bytes of
+// trace_id/trace_parent travel only under `kReqFlagHasTrace`, pinned
+// byte-exact against request_v3_trace.bin.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -121,10 +124,102 @@ TEST(ProtocolCompatTest, TenantFlagWithoutTenantBytesIsAProtocolError) {
             net::ParseResult::kError);
 }
 
-TEST(ProtocolCompatTest, ProtocolVersionIsBumpedForTheTenantField) {
+TEST(ProtocolCompatTest, ProtocolVersionIsBumpedForTheTraceField) {
   // Documentation pin: OPERATIONS.md and `proximity_cli info` both cite
-  // v2; keep the constant honest.
-  EXPECT_EQ(net::kProtocolVersion, 2u);
+  // v3 (v2 added the tenant field, v3 the trace field); keep the
+  // constant honest.
+  EXPECT_EQ(net::kProtocolVersion, 3u);
+}
+
+// ------------------------------------------------- v3 trace extension --
+
+// The canonical v3 traced request: the exact struct the golden bytes
+// under request_v3_trace.bin encode. Generated when v3 was current and
+// never regenerated.
+net::Request GoldenTracedRequest() {
+  net::Request req = GoldenRequest();
+  req.trace_id = 0xFEEDFACECAFEBEEFull;
+  req.trace_parent = 0x0011223344556677ull;
+  return req;
+}
+
+TEST(ProtocolCompatTest, TraceFieldIsExactlySixteenAddedBytes) {
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, GoldenTracedRequest());
+  EXPECT_EQ(wire.size(), ReadGolden("request_v1.bin").size() + 16);
+
+  net::Request out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::ParseFrame(wire, &consumed, &out), net::ParseResult::kOk);
+  EXPECT_EQ(out.trace_id, 0xFEEDFACECAFEBEEFull);
+  EXPECT_EQ(out.trace_parent, 0x0011223344556677ull);
+  EXPECT_TRUE((out.flags & net::kReqFlagHasTrace) != 0);
+  EXPECT_EQ(out.text, GoldenRequest().text);
+  EXPECT_EQ(out.deadline_us, GoldenRequest().deadline_us);
+  EXPECT_EQ(out.tenant, kDefaultTenant);
+}
+
+TEST(ProtocolCompatTest, UntracedWriterStillEmitsByteExactV1Frame) {
+  // The trace field is strictly opt-in: a v3 writer that never sets a
+  // trace id emits bytes a v1 parser accepts, pinned against the same
+  // golden that deployed v1 clients speak.
+  net::Request req = GoldenRequest();
+  EXPECT_EQ(req.trace_id, 0u);
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, req);
+  EXPECT_EQ(wire, ReadGolden("request_v1.bin"));
+}
+
+TEST(ProtocolCompatTest, ParsesGoldenV3TracedRequest) {
+  const auto wire = ReadGolden("request_v3_trace.bin");
+  ASSERT_FALSE(wire.empty());
+  net::Request out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::ParseFrame(wire, &consumed, &out), net::ParseResult::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  const net::Request want = GoldenTracedRequest();
+  EXPECT_EQ(out.id, want.id);
+  EXPECT_EQ(out.deadline_us, want.deadline_us);
+  EXPECT_EQ(out.text, want.text);
+  EXPECT_EQ(out.trace_id, want.trace_id);
+  EXPECT_EQ(out.trace_parent, want.trace_parent);
+}
+
+TEST(ProtocolCompatTest, TracedWriterEmitsByteExactV3Frame) {
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, GoldenTracedRequest());
+  EXPECT_EQ(wire, ReadGolden("request_v3_trace.bin"));
+}
+
+TEST(ProtocolCompatTest, TraceFlagWithoutTraceBytesIsAProtocolError) {
+  // Flip the has-trace flag on the golden v1 frame without appending
+  // the sixteen trace bytes: the text is consumed as trace ids and the
+  // frame no longer adds up.
+  auto wire = ReadGolden("request_v1.bin");
+  ASSERT_GT(wire.size(), 17u);
+  wire[16] |= static_cast<std::uint8_t>(net::kReqFlagHasTrace);
+  net::Request out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(net::ParseFrame(wire, &consumed, &out),
+            net::ParseResult::kError);
+}
+
+TEST(ProtocolCompatTest, TenantAndTraceFieldsComposeInOrder) {
+  // Both extensions on one frame: tenant (4 bytes) then trace (16),
+  // header-order, 20 bytes over the v1 frame. Round-trips exactly.
+  net::Request req = GoldenTracedRequest();
+  req.tenant = 7;
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, req);
+  EXPECT_EQ(wire.size(), ReadGolden("request_v1.bin").size() + 20);
+
+  net::Request out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::ParseFrame(wire, &consumed, &out), net::ParseResult::kOk);
+  EXPECT_EQ(out.tenant, 7u);
+  EXPECT_EQ(out.trace_id, req.trace_id);
+  EXPECT_EQ(out.trace_parent, req.trace_parent);
+  EXPECT_EQ(out.text, req.text);
 }
 
 }  // namespace

@@ -27,7 +27,8 @@
 #                          0.95 (DESIGN.md §11; the full 1M gate is 2x).
 #
 # Emits BENCH_obs.json, BENCH_kernels.json, BENCH_shard.json,
-# BENCH_net.json, BENCH_tenant.json and BENCH_quant.json into --out
+# BENCH_net.json, BENCH_tenant.json, BENCH_quant.json and
+# BENCH_trace.json (serve_load's exported Perfetto trace) into --out
 # (default: the build dir), which CI uploads as artifacts. Timing gates on shared runners are noisy, so CI marks
 # this job non-blocking; locally it is a quick sanity check that the
 # perf story still holds.
@@ -55,6 +56,21 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 
 echo "== bench_smoke: obs_overhead (2% telemetry gate) =="
 "$BUILD_DIR/bench/obs_overhead" --json="$OUT_DIR/BENCH_obs.json"
+
+# The bench self-gates both ratios; re-check the tracing row from the
+# JSON so a reporting regression (row missing) also fails the smoke.
+TRACE_PCT=$(awk -F'"trace_overhead_pct": ' '
+  NF > 1 { split($2, a, ","); print a[1]; exit }
+' "$OUT_DIR/BENCH_obs.json")
+if [[ -z "$TRACE_PCT" ]]; then
+  echo "bench_smoke: FAIL — trace_overhead_pct missing from BENCH_obs.json" >&2
+  exit 1
+fi
+echo "trace overhead over spans-only: ${TRACE_PCT}%"
+if ! awk -v p="$TRACE_PCT" 'BEGIN { exit !(p <= 2.0) }'; then
+  echo "bench_smoke: FAIL — tracing overhead ${TRACE_PCT}% exceeds 2%" >&2
+  exit 1
+fi
 
 echo "== bench_smoke: distance_kernels --quick (speedup gate) =="
 # The filter matches no gbench case, so only the sweep runs; an
@@ -96,8 +112,15 @@ fi
 
 echo "== bench_smoke: serve_load --quick (net front-end) =="
 # serve_load exits non-zero by itself when any request goes unanswered
-# or the driver's conservation equation breaks.
-"$BUILD_DIR/bench/serve_load" --quick --json="$OUT_DIR/BENCH_net.json"
+# or the driver's conservation equation breaks. --trace-out exports the
+# most interesting tail-sampled trace of the run as Chrome/Perfetto
+# trace_event JSON (CI uploads it with the BENCH_*.json artifacts).
+"$BUILD_DIR/bench/serve_load" --quick --json="$OUT_DIR/BENCH_net.json" \
+  --trace-out="$OUT_DIR/BENCH_trace.json"
+if ! grep -q '"traceEvents"' "$OUT_DIR/BENCH_trace.json"; then
+  echo "bench_smoke: FAIL — serve_load trace export is not trace_event JSON" >&2
+  exit 1
+fi
 
 echo "== bench_smoke: tenant_isolation --quick (noisy-neighbor gate) =="
 # tenant_isolation exits non-zero by itself when the compliant tenant's

@@ -46,10 +46,12 @@
 #include "index/index_factory.h"
 #include "index/sharded_index.h"
 #include "llm/answer_model.h"
+#include "net/admin.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "obs/metrics_registry.h"
 #include "obs/run_report.h"
+#include "obs/trace.h"
 #include "rag/batching_driver.h"
 #include "tenant/tenant_registry.h"
 #include "vecmath/compressed_store.h"
@@ -312,6 +314,47 @@ void PrintTenantStats(
   }
 }
 
+// /statusz body for the admin plane: the resolved runtime environment
+// plus (in network mode) the live per-tenant quotas and queue depths.
+// Called from the admin thread — everything it reads is an atomic, a
+// short-mutex snapshot, or fixed at startup.
+std::string ServeStatusz(const std::string& storage,
+                         const std::string& index_desc,
+                         BatchingDriver* driver,
+                         TenantRegistry* registry) {
+  std::string out;
+  char line[256];
+  out += "protocol: v" + std::to_string(net::kProtocolVersion) + "\n";
+  out += "simd: " + std::string(SimdLevelName(ActiveSimdLevel())) + "\n";
+  out += "storage: " + storage + " (quant kernels: " +
+         detail::ActiveQuantTable()->name + ")\n";
+  out += "index: " + index_desc + "\n";
+#if PROXIMITY_OBS_ENABLED
+  out += "obs: compiled ON\n";
+#else
+  out += "obs: compiled OFF\n";
+#endif
+  if (driver == nullptr || registry == nullptr) return out;
+  const auto depths = driver->queue_depths();
+  std::snprintf(line, sizeof(line), "queued: %zu\n", driver->pending());
+  out += line;
+  for (const auto& info : registry->Infos()) {
+    const auto depth_it = depths.find(info.id);
+    std::snprintf(
+        line, sizeof(line),
+        "tenant %u (%s): qps=%.1f burst=%.1f max_inflight=%zu "
+        "weight=%.2f tau=%.3f cache_entries=%zu hit_rate=%.3f "
+        "inflight=%zu queued=%zu\n",
+        static_cast<unsigned>(info.id), info.name.c_str(), info.quota.qps,
+        info.quota.burst, info.quota.max_inflight, info.weight,
+        static_cast<double>(info.tolerance), info.cache_entries,
+        info.cache.HitRate(), info.inflight,
+        depth_it == depths.end() ? std::size_t{0} : depth_it->second);
+    out += line;
+  }
+  return out;
+}
+
 int CmdServe(const Config& cfg) {
   if (cfg.GetBool("help", false)) {
     std::puts(
@@ -326,6 +369,8 @@ int CmdServe(const Config& cfg) {
         "  queue_bound=N (driver admission bound, 0 = unbounded)\n"
         "  max_connections=N max_inflight=N default_deadline_us=N\n"
         "  drain_timeout_ms=N; SIGINT/SIGTERM drain gracefully\n"
+        "  --admin HOST:PORT (live introspection plane: /metrics\n"
+        "  /healthz /statusz /tracez; admin_port_file=PATH with :0)\n"
         "multi-tenant (network mode): --tenants FILE (tenant roster:\n"
         "  one `id=N name=S qps=X burst=N max_inflight=N capacity=N\n"
         "  tau=X weight=X adaptive=true target_hit_rate=X` per line);\n"
@@ -432,11 +477,50 @@ int CmdServe(const Config& cfg) {
       std::ofstream pf(port_file);
       pf << server.port() << "\n";
     }
+
+    // Live introspection plane (--admin HOST:PORT): /healthz follows the
+    // drain FSM, /statusz reports quotas and queue depths live.
+    std::unique_ptr<net::AdminServer> admin;
+    const std::string admin_spec = cfg.GetString("admin", "");
+    if (!admin_spec.empty()) {
+      const auto [admin_host, admin_port] = ParseHostPort(admin_spec);
+      net::AdminHooks hooks;
+      net::Server* srv = &server;
+      hooks.health = [srv] {
+        switch (srv->health()) {
+          case net::ServerHealth::kServing:
+            return net::HealthState::kServing;
+          case net::ServerHealth::kDraining:
+            return net::HealthState::kDraining;
+          case net::ServerHealth::kStopped: break;
+        }
+        return net::HealthState::kUnavailable;
+      };
+      const std::string storage = ispec.storage;
+      const std::string index_desc = index->Describe();
+      BatchingDriver* drv = &driver;
+      TenantRegistry* reg = &registry;
+      hooks.statusz = [storage, index_desc, drv, reg] {
+        return ServeStatusz(storage, index_desc, drv, reg);
+      };
+      admin = std::make_unique<net::AdminServer>(
+          std::move(hooks),
+          net::AdminOptions{admin_host, admin_port});
+      admin->Start();
+      const std::string admin_port_file =
+          cfg.GetString("admin_port_file", "");
+      if (!admin_port_file.empty()) {
+        std::ofstream pf(admin_port_file);
+        pf << admin->port() << "\n";
+      }
+    }
+
     net::InstallSignalDrain(&server);
     LogInfo("serve: ready on {}:{} (SIGINT/SIGTERM drains)", host,
             server.port());
     server.Join();
     net::InstallSignalDrain(nullptr);
+    if (admin) admin->Stop();
     driver.Shutdown();
 
     const net::ServerStats ns = server.stats();
@@ -508,11 +592,14 @@ int CmdClient(const Config& cfg) {
     std::puts(
         "client knobs: connect=HOST:PORT n=200 conns=4 deadline_us=0\n"
         "  --tenant ID (tenant id stamped on every request; 0 = default)\n"
+        "  trace=true (stamp a fresh trace context on every request so\n"
+        "  the server's /tracez stitches client call + server spans)\n"
         "  workload=mmlu|medrag corpus=N variants=N order=... (the text\n"
         "  source; match the server's workload for meaningful hits)\n"
         "Closed loop: each connection sends its next request as soon as\n"
         "the previous response arrives. Prints client-observed latency\n"
-        "percentiles split by cache hit vs miss.");
+        "percentiles split by cache hit vs miss. Exits non-zero when any\n"
+        "request did not complete OK (per-status table on stderr).");
     return 0;
   }
   const std::string connect = cfg.GetString("connect", "");
@@ -528,6 +615,7 @@ int CmdClient(const Config& cfg) {
   const std::uint64_t deadline_us =
       static_cast<std::uint64_t>(cfg.GetInt("deadline_us", 0));
   const auto tenant = static_cast<TenantId>(cfg.GetInt("tenant", 0));
+  const bool trace = cfg.GetBool("trace", false);
 
   const Workload workload = BuildWorkload(SpecFor(
       cfg.GetString("workload", "mmlu"),
@@ -573,7 +661,18 @@ int CmdClient(const Config& cfg) {
         req.text = stream[i % stream.size()].text;
         net::Response resp;
         Stopwatch sw;
-        if (!client.Call(req, &resp)) {
+        bool called;
+        {
+          // trace=true: a fresh root context per request; Client::Call
+          // picks it up, stamps the frame (protocol v3 trace field) and
+          // emits the client-call span. A no-op with PROXIMITY_OBS=OFF
+          // (NewTraceId() returns 0 -> context inactive).
+          const obs::ScopedTraceContext scope(
+              trace ? obs::TraceContext{obs::NewTraceId(), 0}
+                    : obs::TraceContext{});
+          called = client.Call(req, &resp);
+        }
+        if (!called) {
           ++r.transport;
           break;  // connection is gone; stop this loop
         }
@@ -628,7 +727,36 @@ int CmdClient(const Config& cfg) {
   if (merged.miss.count() > 0) {
     std::printf("latency miss: %s\n", merged.miss.Summary().c_str());
   }
-  return merged.transport == 0 ? 0 : 1;
+  // Scriptable failure contract: any request that did not complete OK
+  // makes the client exit non-zero, with a per-status breakdown on
+  // stderr (stdout keeps the parseable summary lines above).
+  const std::uint64_t failed = merged.deadline + merged.shed +
+                               merged.unavailable + merged.other +
+                               merged.transport;
+  if (failed > 0) {
+    std::fprintf(stderr, "client: %llu of %llu requests failed\n",
+                 static_cast<unsigned long long>(failed),
+                 static_cast<unsigned long long>(merged.all.count() +
+                                                 merged.transport));
+    const struct {
+      const char* status;
+      std::uint64_t count;
+    } table[] = {
+        {RequestStatusName(RequestStatus::kDeadlineExceeded),
+         merged.deadline},
+        {RequestStatusName(RequestStatus::kResourceExhausted), merged.shed},
+        {RequestStatusName(RequestStatus::kUnavailable),
+         merged.unavailable},
+        {"OTHER", merged.other},
+        {"TRANSPORT_ERROR", merged.transport},
+    };
+    for (const auto& row : table) {
+      if (row.count == 0) continue;
+      std::fprintf(stderr, "  %-20s %llu\n", row.status,
+                   static_cast<unsigned long long>(row.count));
+    }
+  }
+  return failed == 0 ? 0 : 1;
 }
 
 int CmdTraceGen(const Config& cfg) {
@@ -734,8 +862,10 @@ int CmdInfo(const Config& cfg) {
   std::puts("telemetry:  --metrics-out FILE (.prom/.txt -> Prometheus,");
   std::puts("            else JSON run report; comma-separate for both)");
   std::puts("net:        serve --listen HOST:PORT / client connect=...");
+  std::puts("admin:      serve --admin HOST:PORT (/metrics /healthz "
+            "/statusz /tracez)");
   std::printf("protocol:   v%u (length-prefixed PRXQ/PRXR; v1 frames "
-              "accepted)\n",
+              "accepted; optional trace field)\n",
               static_cast<unsigned>(net::kProtocolVersion));
   // With `--tenants FILE` the roster is parsed (not served) so operators
   // can validate a config and see the resulting tenant count up front.
@@ -783,12 +913,17 @@ int Main(int argc, char** argv) {
     std::string arg = argv[i];
     constexpr std::string_view kMetricsPrefix = "--metrics-out=";
     constexpr std::string_view kListenPrefix = "--listen=";
+    constexpr std::string_view kAdminPrefix = "--admin=";
     constexpr std::string_view kTenantsPrefix = "--tenants=";
     constexpr std::string_view kTenantPrefix = "--tenant=";
     if (arg == "--metrics-out" && i + 1 < argc) {
       arg = std::string("metrics_out=") + argv[++i];
     } else if (arg.rfind(kMetricsPrefix, 0) == 0) {
       arg = "metrics_out=" + arg.substr(kMetricsPrefix.size());
+    } else if (arg == "--admin" && i + 1 < argc) {
+      arg = std::string("admin=") + argv[++i];
+    } else if (arg.rfind(kAdminPrefix, 0) == 0) {
+      arg = "admin=" + arg.substr(kAdminPrefix.size());
     } else if (arg == "--listen" && i + 1 < argc) {
       arg = std::string("listen=") + argv[++i];
     } else if (arg.rfind(kListenPrefix, 0) == 0) {

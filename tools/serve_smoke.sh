@@ -46,6 +46,7 @@ trap cleanup EXIT
 
 echo "== serve_smoke: starting server on an ephemeral port =="
 "$CLI" serve --listen 127.0.0.1:0 "port_file=$TMP/port" \
+  --admin 127.0.0.1:0 "admin_port_file=$TMP/admin_port" \
   "corpus=$CORPUS" quiet=true \
   --metrics-out "$TMP/metrics.json" >"$TMP/serve.log" 2>&1 &
 SERVE_PID=$!
@@ -72,6 +73,45 @@ echo "server up on 127.0.0.1:$PORT"
 echo "== serve_smoke: closed-loop load ($N requests, $CONNS conns) =="
 "$CLI" client "connect=127.0.0.1:$PORT" "n=$N" "conns=$CONNS" \
   "corpus=$CORPUS" quiet=true | tee "$TMP/client.log"
+
+echo "== serve_smoke: admin plane (/healthz /metrics /tracez) =="
+if [[ ! -s "$TMP/admin_port" ]]; then
+  echo "serve_smoke: FAIL — server never published its admin port" >&2
+  exit 1
+fi
+ADMIN_PORT=$(cat "$TMP/admin_port")
+ADMIN="http://127.0.0.1:$ADMIN_PORT"
+if ! curl -fsS "$ADMIN/healthz" | grep -q "serving"; then
+  echo "serve_smoke: FAIL — /healthz did not answer 'serving'" >&2
+  exit 1
+fi
+curl -fsS "$ADMIN/metrics" >"$TMP/prom.txt"
+curl -fsS "$ADMIN/tracez" >"$TMP/tracez.json"
+if ! grep -q '"traces"' "$TMP/tracez.json"; then
+  echo "serve_smoke: FAIL — /tracez is not a trace list" >&2
+  exit 1
+fi
+if "$CLI" info | grep -q "compiled OFF"; then
+  echo "serve_smoke: PROXIMITY_OBS=OFF build — skipping live-scrape checks"
+else
+  if ! grep -q "^proximity_net_requests" "$TMP/prom.txt"; then
+    echo "serve_smoke: FAIL — /metrics scrape lacks proximity_net_requests" >&2
+    exit 1
+  fi
+  # The tail sampler keeps at least the slowest requests of the load;
+  # resolve one id back into Perfetto trace_event JSON.
+  TRACE_ID=$(grep -o '"id":"0x[0-9a-f]*"' "$TMP/tracez.json" | head -1 |
+             sed 's/.*0x\([0-9a-f]*\)".*/\1/')
+  if [[ -z "$TRACE_ID" ]]; then
+    echo "serve_smoke: FAIL — /tracez sampled no traces from the load" >&2
+    exit 1
+  fi
+  if ! curl -fsS "$ADMIN/tracez?id=$TRACE_ID" | grep -q '"traceEvents"'; then
+    echo "serve_smoke: FAIL — /tracez?id=$TRACE_ID is not trace_event JSON" >&2
+    exit 1
+  fi
+  echo "admin plane live: scraped /metrics, resolved trace 0x$TRACE_ID"
+fi
 
 echo "== serve_smoke: SIGTERM drain =="
 kill -TERM "$SERVE_PID"
