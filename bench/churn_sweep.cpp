@@ -1,0 +1,291 @@
+// A-churn (DESIGN.md §13): the live-corpus acceptance gates, machine-
+// readable in BENCH_churn.json.
+//
+// Two questions a streaming deployment has to answer before turning on
+// ingest:
+//
+//   1. Does graph quality survive churn? 20% of the corpus is deleted,
+//      consolidated, and replaced by new documents; recall@10 of the
+//      churned index (against exact brute force over the live set) must
+//      stay within 5% of an index REBUILT from scratch over the same
+//      live set ("recall_ratio" >= 0.95).
+//
+//   2. Do queries survive a writer? Query p99 while a background thread
+//      sustains Insert/Delete/Consolidate churn at ~2k mutations/sec
+//      must stay <= 2x the no-ingest p99 ("p99_ratio" <= 2). The
+//      two-phase mutations (planned under the shared lock) plus the
+//      writer-priority gate in AcquireShared/AcquireUnique are what
+//      this measures. The gate needs a core for each side: on a
+//      single-core host queries timeslice against the writer's CPU
+//      bursts and p99 reflects the scheduler quantum, not the index —
+//      the gate is then null with a "skip_reason", like shard_scaling.
+//
+// A conservation audit runs alongside: final size must equal
+// initial + inserts - deletes, no tombstones may survive the final
+// consolidation, and the slot arena must account for every slot
+// (size + free == slots). "conservation_ok" summarises all three.
+//
+// Flags: --json=PATH --rows=N --dim=N --queries=N --quick
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/flat_index.h"
+#include "index/mutable_index.h"
+#include "vecmath/matrix.h"
+
+namespace proximity {
+namespace {
+
+double NowNs() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::nano>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+Matrix RandomMatrix(std::size_t rows, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(0, dim);
+  m.Reserve(rows);
+  std::vector<float> row(dim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (auto& x : row) x = static_cast<float>(rng.Gaussian(0, 1));
+    m.AppendRow(row);
+  }
+  return m;
+}
+
+double PercentileUs(std::vector<double>& ns, double p) {
+  if (ns.empty()) return 0;
+  std::sort(ns.begin(), ns.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(ns.size() - 1));
+  return ns[idx] * 1e-3;
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path = "BENCH_churn.json";
+  std::size_t rows = 20000;
+  std::size_t dim = 48;
+  std::size_t num_queries = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      rows = static_cast<std::size_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--dim=", 6) == 0) {
+      dim = static_cast<std::size_t>(std::atoll(argv[i] + 6));
+    } else if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      num_queries = static_cast<std::size_t>(std::atoll(argv[i] + 10));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      rows = 4000;
+      num_queries = 400;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const std::size_t k = 10;
+  const std::size_t churn = rows / 5;  // the 20% of the gate
+  std::printf("churn_sweep: rows=%zu dim=%zu queries=%zu churn=%zu\n", rows,
+              dim, num_queries, churn);
+
+  const Matrix corpus = RandomMatrix(rows, dim, 11);
+  const Matrix fresh = RandomMatrix(churn, dim, 22);
+  const Matrix queries = RandomMatrix(num_queries, dim, 33);
+
+  MutableGraphOptions mopts;
+  MutableGraphIndex index(dim, mopts);
+  for (std::size_t r = 0; r < rows; ++r) (void)index.Insert(corpus.Row(r));
+
+  // --- Gate 1: recall after 20% churn vs a rebuilt-from-scratch index.
+  // Delete every 5th id, consolidate, insert `churn` new vectors (slot
+  // reuse lands them on the reclaimed ids).
+  Rng del_rng(44);
+  std::set<VectorId> deleted;
+  while (deleted.size() < churn) {
+    deleted.insert(static_cast<VectorId>(
+        del_rng.Below(static_cast<std::uint64_t>(rows))));
+  }
+  for (const VectorId id : deleted) {
+    if (!index.Delete(id)) std::abort();
+  }
+  if (index.Consolidate() != churn) std::abort();
+  std::vector<VectorId> new_ids;
+  for (std::size_t r = 0; r < churn; ++r) {
+    new_ids.push_back(index.Insert(fresh.Row(r)));
+  }
+
+  // The live set, as (vector, churned-index id) pairs; its positions
+  // are the ids of both the exact oracle and the rebuilt index.
+  Matrix live(0, dim);
+  live.Reserve(rows);
+  std::unordered_map<VectorId, std::size_t> churned_to_live;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (deleted.count(static_cast<VectorId>(r)) != 0) continue;
+    churned_to_live[static_cast<VectorId>(r)] = live.rows();
+    live.AppendRow(corpus.Row(r));
+  }
+  for (std::size_t r = 0; r < churn; ++r) {
+    churned_to_live[new_ids[r]] = live.rows();
+    live.AppendRow(fresh.Row(r));
+  }
+
+  FlatIndex exact(dim);
+  exact.AddBatch(live);
+  MutableGraphIndex rebuilt(dim, mopts);
+  for (std::size_t r = 0; r < live.rows(); ++r) {
+    (void)rebuilt.Insert(live.Row(r));
+  }
+
+  const std::size_t recall_queries = std::min<std::size_t>(num_queries, 500);
+  std::size_t churned_overlap = 0, rebuilt_overlap = 0, truth_total = 0;
+  for (std::size_t q = 0; q < recall_queries; ++q) {
+    const auto query = queries.Row(q);
+    std::set<std::size_t> truth;
+    for (const auto& nb : exact.Search(query, k)) {
+      truth.insert(static_cast<std::size_t>(nb.id));
+    }
+    truth_total += truth.size();
+    for (const auto& nb : index.Search(query, k)) {
+      const auto it = churned_to_live.find(nb.id);
+      if (it == churned_to_live.end()) std::abort();  // deleted id served
+      if (truth.count(it->second) != 0) ++churned_overlap;
+    }
+    for (const auto& nb : rebuilt.Search(query, k)) {
+      if (truth.count(static_cast<std::size_t>(nb.id)) != 0) {
+        ++rebuilt_overlap;
+      }
+    }
+  }
+  const double recall_churned =
+      static_cast<double>(churned_overlap) / static_cast<double>(truth_total);
+  const double recall_rebuilt =
+      static_cast<double>(rebuilt_overlap) / static_cast<double>(truth_total);
+  const double recall_ratio =
+      recall_rebuilt > 0 ? recall_churned / recall_rebuilt : 0;
+  const bool recall_gate = recall_ratio >= 0.95;
+  std::printf("recall@10 churned=%.4f rebuilt=%.4f ratio=%.4f gate=%s\n",
+              recall_churned, recall_rebuilt, recall_ratio,
+              recall_gate ? "PASS" : "FAIL");
+
+  // --- Gate 2: query p99 under sustained ingest <= 2x the quiet p99.
+  const std::size_t lat_queries = num_queries;
+  auto measure = [&](std::vector<double>& out) {
+    out.clear();
+    out.reserve(lat_queries);
+    for (std::size_t q = 0; q < lat_queries; ++q) {
+      const auto query = queries.Row(q % queries.rows());
+      const double t0 = NowNs();
+      const auto result = index.Search(query, k);
+      out.push_back(NowNs() - t0);
+      if (result.empty()) std::abort();
+    }
+  };
+  std::vector<double> quiet_ns, ingest_ns;
+  measure(quiet_ns);  // warmup discarded below; re-measured for real
+  measure(quiet_ns);
+  const double p99_quiet_us = PercentileUs(quiet_ns, 0.99);
+
+  std::atomic<bool> stop{false};
+  std::uint64_t writer_inserts = 0, writer_deletes = 0;
+  const std::size_t size_before = index.size();
+  std::thread writer([&] {
+    // Sustained mixed churn at a defined arrival rate (~2k mutations/s,
+    // a generous ingest stream): insert a fresh vector, delete what was
+    // inserted two steps ago, consolidate periodically so the free
+    // list keeps cycling. Net size stays ~flat. An unpaced spin-loop
+    // writer would measure lock fairness under saturation, not serving
+    // behavior under ingest.
+    Rng wrng(55);
+    std::vector<float> vec(dim);
+    std::vector<VectorId> pending;
+    std::size_t step = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (auto& x : vec) x = static_cast<float>(wrng.Gaussian(0, 1));
+      pending.push_back(index.Insert(vec));
+      ++writer_inserts;
+      if (pending.size() > 2) {
+        if (index.Delete(pending.front())) ++writer_deletes;
+        pending.erase(pending.begin());
+      }
+      if (++step % 64 == 0) (void)index.Consolidate();
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+  measure(ingest_ns);
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  const double p99_ingest_us = PercentileUs(ingest_ns, 0.99);
+  const double p99_ratio =
+      p99_quiet_us > 0 ? p99_ingest_us / p99_quiet_us : 0;
+  const std::size_t cores = std::thread::hardware_concurrency();
+  const bool p99_gate_runs = cores >= 2;
+  const bool p99_ok = p99_ratio <= 2.0;
+  const char* p99_verdict =
+      p99_gate_runs ? (p99_ok ? "true" : "false") : "null";
+  const char* p99_skip_reason =
+      p99_gate_runs ? "null"
+                    : "\"cores<2: queries timeslice against the writer; "
+                      "p99 reflects the scheduler, not the index\"";
+  std::printf("p99 quiet=%.1fus ingest=%.1fus ratio=%.2f gate=%s "
+              "(writer: %llu inserts, %llu deletes)\n",
+              p99_quiet_us, p99_ingest_us, p99_ratio,
+              p99_gate_runs ? (p99_ok ? "PASS" : "FAIL")
+                            : "SKIPPED (cores<2)",
+              static_cast<unsigned long long>(writer_inserts),
+              static_cast<unsigned long long>(writer_deletes));
+
+  // --- Conservation audit over the whole run.
+  (void)index.Consolidate();
+  const bool size_conserved =
+      index.size() == size_before + writer_inserts - writer_deletes;
+  const bool no_tombstones = index.tombstone_count() == 0;
+  const bool slots_account =
+      index.size() + index.free_count() == index.slot_count();
+  const bool conservation_ok =
+      size_conserved && no_tombstones && slots_account;
+  std::printf("conservation: size=%s tombstones=%s slots=%s\n",
+              size_conserved ? "ok" : "VIOLATED",
+              no_tombstones ? "ok" : "VIOLATED",
+              slots_account ? "ok" : "VIOLATED");
+
+  std::ofstream os(json_path);
+  os << "{\n  \"bench\": \"churn_sweep\",\n"
+     << "  \"rows\": " << rows << ",\n  \"dim\": " << dim
+     << ",\n  \"queries\": " << num_queries
+     << ",\n  \"churn_fraction\": 0.2"
+     << ",\n  \"recall_churned\": " << recall_churned
+     << ",\n  \"recall_rebuilt\": " << recall_rebuilt
+     << ",\n  \"recall_ratio\": " << recall_ratio
+     << ",\n  \"recall_gate\": " << (recall_gate ? "true" : "false")
+     << ",\n  \"p99_quiet_us\": " << p99_quiet_us
+     << ",\n  \"p99_ingest_us\": " << p99_ingest_us
+     << ",\n  \"p99_ratio\": " << p99_ratio
+     << ",\n  \"p99_gate\": " << p99_verdict
+     << ",\n  \"p99_skip_reason\": " << p99_skip_reason
+     << ",\n  \"cores\": " << cores
+     << ",\n  \"writer_inserts\": " << writer_inserts
+     << ",\n  \"writer_deletes\": " << writer_deletes
+     << ",\n  \"generation\": " << index.generation()
+     << ",\n  \"conservation_ok\": " << (conservation_ok ? "true" : "false")
+     << "\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  const bool p99_accept = !p99_gate_runs || p99_ok;
+  return recall_gate && p99_accept && conservation_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace proximity
+
+int main(int argc, char** argv) { return proximity::Main(argc, argv); }

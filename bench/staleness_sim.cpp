@@ -1,25 +1,33 @@
-// A-stale (extension): what happens to a warm cache when the database is
-// updated underneath it — and how the max_age staleness bound helps.
+// A-stale: what happens to a warm cache when the corpus is mutated
+// underneath it — and what each staleness policy buys (DESIGN.md §13).
 //
-// The cached values are document-id lists retrieved in the past; if the
-// corpus is re-indexed with better documents, a hit keeps serving the
-// pre-update list. Simulation: each question has 6 gold passages, but in
-// "epoch 1" two of them are not yet written (their corpus slots hold
-// background text). The cache warms against the epoch-1 index; then the
-// index is swapped for the fully-written epoch-2 corpus (same ids, so
-// cached lists remain valid ids — just stale evidence). We compare, over
-// the post-update stream:
-//   stale     — warm cache carried over, no expiry (max_age = 0)
-//   bounded   — warm cache carried over with max_age = stream/2
-//   fresh     — cache cleared at the update (refresh-everything baseline)
+// The cached values are document-id lists retrieved in the past; when a
+// document is rewritten in place, a hit keeps serving the pre-update
+// list. Simulation: each question has 6 gold passages, but in "epoch 1"
+// two of them are not yet written (their corpus slots hold background
+// text). The cache warms against the epoch-1 corpus; then the update is
+// applied as REAL streaming mutations on the one live index — the stub
+// slots are Delete()d, Consolidate() reclaims them, and the finished
+// passages are Insert()ed into the reclaimed slots (slot reuse keeps
+// every id stable, so cached lists remain valid ids — just stale
+// evidence). The index generation the mutations bumped is then pushed
+// into each warm cache, and the post-update stream is replayed under
+// each hit-time staleness policy:
+//   serve-stale       — stale hits served anyway (fast, wrong evidence)
+//   revalidate        — stale hits degrade to misses and re-retrieve
+//   invalidate-region — a stale hit evicts its whole τ-region
+//   fresh             — cache cleared at the update (oracle baseline)
 //
-// Expected shape: `stale` keeps its high hit rate but loses relevance and
-// accuracy; `bounded` pays some misses to recover accuracy; `fresh` has
-// full accuracy and the worst early hit rate.
+// Expected shape: `serve-stale` keeps its high hit rate but loses
+// relevance and accuracy; `revalidate`/`invalidate-region` pay misses
+// to recover accuracy; `fresh` has full accuracy and the worst early
+// hit rate.
 //
 // Usage: staleness_sim [corpus=8000] [capacity=300] [tau=2] [quiet=true]
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 
 #include "cache/proximity_cache.h"
 #include "common/config.h"
@@ -51,6 +59,7 @@ int main(int argc, char** argv) {
   // corpus slots are overwritten with unrelated background-style text so
   // ids stay aligned across epochs.
   std::vector<std::string> epoch1 = workload.passages;
+  std::vector<VectorId> updated_ids;
   for (const auto& question : workload.questions) {
     for (std::size_t g = 4; g < question.gold_ids.size(); ++g) {
       const auto id = static_cast<std::size_t>(question.gold_ids[g]);
@@ -60,16 +69,19 @@ int main(int argc, char** argv) {
         filler += GlobalWord((id * 45 + static_cast<std::size_t>(w)) % 600);
       }
       epoch1[id] = filler;
+      updated_ids.push_back(question.gold_ids[g]);
     }
   }
+  std::sort(updated_ids.begin(), updated_ids.end());
+  updated_ids.erase(std::unique(updated_ids.begin(), updated_ids.end()),
+                    updated_ids.end());
 
   HashEmbedder embedder;
   IndexSpec ispec;
-  ispec.kind = "flat";
-  LogInfo("building epoch-1 and epoch-2 indexes ({} passages)",
+  ispec.kind = "mutable";
+  LogInfo("building live index over epoch-1 corpus ({} passages)",
           workload.passages.size());
-  auto index_v1 = BuildIndex(ispec, embedder.EmbedBatch(epoch1));
-  auto index_v2 = BuildIndex(ispec, embedder.EmbedBatch(workload.passages));
+  auto index = BuildIndex(ispec, embedder.EmbedBatch(epoch1));
 
   QueryStreamOptions sopts;
   sopts.seed = 1;
@@ -80,7 +92,7 @@ int main(int argc, char** argv) {
   const std::size_t half = stream.size() / 2;
 
   auto warm_phase = [&](ProximityCache& cache) {
-    Retriever retriever(index_v1.get(), &cache, nullptr, {.top_k = 10});
+    Retriever retriever(index.get(), &cache, nullptr, {.top_k = 10});
     RagPipeline pipeline(&workload, &embedder, &retriever,
                          AnswerModel(MedragAnswerParams()), 1);
     for (std::size_t i = 0; i < half; ++i) {
@@ -89,7 +101,7 @@ int main(int argc, char** argv) {
   };
 
   auto post_update_phase = [&](ProximityCache& cache) {
-    Retriever retriever(index_v2.get(), &cache, nullptr, {.top_k = 10});
+    Retriever retriever(index.get(), &cache, nullptr, {.top_k = 10});
     RagPipeline pipeline(&workload, &embedder, &retriever,
                          AnswerModel(MedragAnswerParams()), 1);
     std::size_t correct = 0, hits = 0;
@@ -106,36 +118,78 @@ int main(int argc, char** argv) {
                       static_cast<double>(hits) / n, relevance / n};
   };
 
-  CsvTable table({"mode", "accuracy", "hit_rate", "mean_relevance"});
-
+  // Every mode's cache warms against the SAME pre-update index state,
+  // before the mutations below are applied.
   ProximityCacheOptions copts;
   copts.capacity = capacity;
   copts.tolerance = tau;
+  ProximityCacheOptions serve_stale = copts;
+  serve_stale.staleness = StalenessPolicy::kServeStale;
+  ProximityCacheOptions revalidate = copts;
+  revalidate.staleness = StalenessPolicy::kRevalidate;
+  ProximityCacheOptions invalidate = copts;
+  invalidate.staleness = StalenessPolicy::kInvalidateRegion;
 
-  {  // stale: no expiry, cache carried across the update
-    ProximityCache cache(embedder.dim(), copts);
-    warm_phase(cache);
-    const auto [acc, hit, rel] = post_update_phase(cache);
-    table.AddRow({std::string("stale"), acc, hit, rel});
-  }
-  {  // bounded: max_age forces refreshes on a rolling horizon
-    ProximityCacheOptions bounded = copts;
-    bounded.max_age = stream.size() / 2;
-    ProximityCache cache(embedder.dim(), bounded);
-    warm_phase(cache);
-    const auto [acc, hit, rel] = post_update_phase(cache);
-    table.AddRow({std::string("bounded"), acc, hit, rel});
-  }
-  {  // fresh: explicit invalidation at the update
-    ProximityCache cache(embedder.dim(), copts);
-    warm_phase(cache);
-    cache.Clear();
-    const auto [acc, hit, rel] = post_update_phase(cache);
-    table.AddRow({std::string("fresh"), acc, hit, rel});
-  }
+  ProximityCache cache_stale(embedder.dim(), serve_stale);
+  ProximityCache cache_reval(embedder.dim(), revalidate);
+  ProximityCache cache_region(embedder.dim(), invalidate);
+  ProximityCache cache_fresh(embedder.dim(), copts);
+  warm_phase(cache_stale);
+  warm_phase(cache_reval);
+  warm_phase(cache_region);
+  warm_phase(cache_fresh);
 
-  std::printf("# Staleness under database updates (extension; motivates "
-              "max_age)\n");
+  // The update, as real streaming mutations: tombstone every stub slot,
+  // consolidate so the slots are reclaimed, then insert the finished
+  // passages in ascending-id order — slot reuse hands back the lowest
+  // free slot first, so every document keeps its id across the update.
+  LogInfo("applying {} in-place document updates via Delete/Insert",
+          updated_ids.size());
+  const Matrix finished = embedder.EmbedBatch(workload.passages);
+  for (const VectorId id : updated_ids) {
+    if (!index->Delete(id)) {
+      throw std::runtime_error("staleness_sim: Delete failed");
+    }
+  }
+  const std::size_t reclaimed = index->Consolidate();
+  if (reclaimed != updated_ids.size()) {
+    throw std::runtime_error("staleness_sim: consolidation reclaimed " +
+                             std::to_string(reclaimed) + " of " +
+                             std::to_string(updated_ids.size()));
+  }
+  for (const VectorId id : updated_ids) {
+    const VectorId got =
+        index->Insert(finished.Row(static_cast<std::size_t>(id)));
+    if (got != id) {
+      throw std::runtime_error("staleness_sim: slot reuse broke id " +
+                               std::to_string(id) + " -> " +
+                               std::to_string(got));
+    }
+  }
+  const std::uint64_t generation = index->generation();
+
+  // The staleness contract: push the post-mutation generation into each
+  // warm cache; every pre-update entry is now stale at hit time.
+  cache_stale.set_generation(generation);
+  cache_reval.set_generation(generation);
+  cache_region.set_generation(generation);
+  cache_fresh.set_generation(generation);
+  cache_fresh.Clear();  // the refresh-everything oracle
+
+  CsvTable table(
+      {"mode", "accuracy", "hit_rate", "mean_relevance", "stale_hits"});
+  const auto run_mode = [&](const std::string& mode, ProximityCache& cache) {
+    const auto [acc, hit, rel] = post_update_phase(cache);
+    table.AddRow({mode, acc, hit, rel,
+                  static_cast<double>(cache.stats().stale_hits)});
+  };
+  run_mode("serve-stale", cache_stale);
+  run_mode("revalidate", cache_reval);
+  run_mode("invalidate-region", cache_region);
+  run_mode("fresh", cache_fresh);
+
+  std::printf("# Staleness under live-corpus mutation (policies of "
+              "DESIGN.md §13)\n");
   table.Write(std::cout);
   return 0;
 }

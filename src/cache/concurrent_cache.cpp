@@ -30,6 +30,21 @@ void ConcurrentProximityCache::set_tolerance(float tolerance) {
   cache_.set_tolerance(tolerance);
 }
 
+void ConcurrentProximityCache::set_generation(std::uint64_t gen) {
+  std::lock_guard lock(mu_);
+  cache_.set_generation(gen);
+}
+
+std::uint64_t ConcurrentProximityCache::generation() const {
+  std::lock_guard lock(mu_);
+  return cache_.generation();
+}
+
+StalenessPolicy ConcurrentProximityCache::staleness() const {
+  std::lock_guard lock(mu_);
+  return cache_.staleness();
+}
+
 std::optional<std::vector<VectorId>> ConcurrentProximityCache::Lookup(
     std::span<const float> query) {
   // The span covers lock acquisition too, so cache_lookup latency under

@@ -56,6 +56,14 @@ class ConcurrentProximityCache {
   /// between lookups). Thread-safe; applies to subsequent lookups only.
   void set_tolerance(float tolerance);
 
+  /// Pushes the index's mutation generation into the inner cache (the
+  /// staleness contract; the serving driver calls this after applying
+  /// mutations). Thread-safe.
+  void set_generation(std::uint64_t gen);
+  std::uint64_t generation() const;
+  /// The inner cache's configured hit-time staleness policy.
+  StalenessPolicy staleness() const;
+
   /// Thread-safe cache probe; returns a copy of the cached documents on a
   /// hit (spans would dangle across concurrent insertions).
   std::optional<std::vector<VectorId>> Lookup(std::span<const float> query);

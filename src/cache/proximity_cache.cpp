@@ -32,9 +32,36 @@ const obs::CounterHandle kObsInsertions("cache.insertions");
 const obs::CounterHandle kObsEvictions("cache.evictions");
 const obs::CounterHandle kObsKeysScanned("cache.keys_scanned");
 const obs::CounterHandle kObsExpiredSkips("cache.expired_skips");
+const obs::CounterHandle kObsStaleHits("cache.stale_hits");
+const obs::CounterHandle kObsStaleEvictions("cache.stale_evictions");
 const obs::GaugeHandle kObsOccupancy("cache.occupancy");
 const obs::GaugeHandle kObsCapacity("cache.capacity");
 }  // namespace
+
+const char* StalenessPolicyName(StalenessPolicy policy) noexcept {
+  switch (policy) {
+    case StalenessPolicy::kServeStale:
+      return "serve-stale";
+    case StalenessPolicy::kRevalidate:
+      return "revalidate";
+    case StalenessPolicy::kInvalidateRegion:
+      return "invalidate-region";
+  }
+  return "unknown";
+}
+
+bool ParseStalenessPolicy(const std::string& name, StalenessPolicy* out) {
+  if (name == "serve-stale") {
+    *out = StalenessPolicy::kServeStale;
+  } else if (name == "revalidate") {
+    *out = StalenessPolicy::kRevalidate;
+  } else if (name == "invalidate-region") {
+    *out = StalenessPolicy::kInvalidateRegion;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 ProximityCache::ProximityCache(std::size_t dim, ProximityCacheOptions options)
     : dim_(dim),
@@ -106,6 +133,34 @@ ProximityCache::LookupResult ProximityCache::Lookup(
   }
   result.best_distance = best->second;
   if (best->second <= options_.tolerance) {
+    // Staleness contract (DESIGN.md §13): a within-τ match filled under
+    // an older index generation is a stale hit; what happens next is
+    // the configured policy's call.
+    const bool stale = entry_gen_[best->first] != generation_;
+    if (stale) {
+      ++stats_.stale_hits;
+      kObsStaleHits.Inc();
+    }
+    if (stale && options_.staleness == StalenessPolicy::kRevalidate) {
+      RemoveSlots({best->first});
+      ++stats_.misses;
+      kObsMisses.Inc();
+      return result;
+    }
+    if (stale &&
+        options_.staleness == StalenessPolicy::kInvalidateRegion) {
+      // Purge the whole τ-neighborhood of the query: every entry close
+      // enough to have served this query is suspect after a mutation.
+      // scan_buffer_ still holds this lookup's distances.
+      std::vector<std::size_t> region;
+      for (std::size_t i = 0; i < keys_.rows(); ++i) {
+        if (scan_buffer_[i] <= options_.tolerance) region.push_back(i);
+      }
+      RemoveSlots(region);
+      ++stats_.misses;
+      kObsMisses.Inc();
+      return result;
+    }
     result.hit = true;
     result.documents = values_[best->first];
     ++stats_.hits;
@@ -116,6 +171,33 @@ ProximityCache::LookupResult ProximityCache::Lookup(
     kObsMisses.Inc();
   }
   return result;
+}
+
+void ProximityCache::RemoveSlots(const std::vector<std::size_t>& slots) {
+  if (slots.empty()) return;
+  // Swap-with-last compaction, highest slot first so earlier swaps never
+  // move a slot that is still pending removal.
+  for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
+    const std::size_t slot = *it;
+    const std::size_t last = keys_.rows() - 1;
+    if (slot != last) {
+      keys_.SetRow(slot, keys_.Row(last));
+      values_[slot] = std::move(values_[last]);
+      birth_[slot] = birth_[last];
+      entry_gen_[slot] = entry_gen_[last];
+    }
+    keys_.TruncateRows(last);
+    values_.pop_back();
+    birth_.pop_back();
+    entry_gen_.pop_back();
+    ++stats_.stale_evictions;
+    kObsStaleEvictions.Inc();
+  }
+  // Eviction policies track slots, not entries; rebuild their
+  // bookkeeping in slot order (the LoadFrom warm-restart approximation).
+  policy_->Clear();
+  for (std::size_t i = 0; i < keys_.rows(); ++i) policy_->OnInsert(i);
+  kObsOccupancy.Set(static_cast<double>(keys_.rows()));
 }
 
 void ProximityCache::Insert(std::span<const float> query,
@@ -131,6 +213,7 @@ void ProximityCache::Insert(std::span<const float> query,
     keys_.AppendRow(query);
     values_.emplace_back(std::move(documents));
     birth_.push_back(op_tick_);
+    entry_gen_.push_back(generation_);
   } else {
     const obs::Span evict_span(obs::Stage::kEvict);
     slot = policy_->SelectVictim();
@@ -139,6 +222,7 @@ void ProximityCache::Insert(std::span<const float> query,
     keys_.SetRow(slot, query);  // keeps the norm cache in sync
     values_[slot] = std::move(documents);
     birth_[slot] = op_tick_;
+    entry_gen_[slot] = generation_;
   }
   ++stats_.insertions;
   kObsInsertions.Inc();
@@ -169,13 +253,16 @@ void ProximityCache::Clear() {
   if (options_.metric == Metric::kCosine) keys_.EnableNormCache();
   values_.clear();
   birth_.clear();
+  entry_gen_.clear();
   op_tick_ = 0;
   policy_->Clear();
 }
 
 void ProximityCache::SaveTo(std::ostream& os) const {
   BinaryWriter w(os);
-  WriteHeader(w, kCacheMagic, /*version=*/1);
+  // v2 appends the staleness contract (policy, index generation, per-
+  // entry fill generations); v1 snapshots load with serve-stale/gen 0.
+  WriteHeader(w, kCacheMagic, /*version=*/2);
   w.WriteU64(dim_);
   w.WriteU64(options_.capacity);
   w.WriteF32(options_.tolerance);
@@ -188,12 +275,15 @@ void ProximityCache::SaveTo(std::ostream& os) const {
   for (const auto& docs : values_) {
     w.WriteI64s(docs);
   }
+  w.WriteU32(static_cast<std::uint32_t>(options_.staleness));
+  w.WriteU64(generation_);
+  w.WriteU64s(entry_gen_);
   w.Finish();
 }
 
 ProximityCache ProximityCache::LoadFrom(std::istream& is) {
   BinaryReader r(is);
-  ReadHeader(r, kCacheMagic, /*max_version=*/1);
+  const std::uint32_t version = ReadHeader(r, kCacheMagic, /*max_version=*/2);
   const std::uint64_t dim = r.ReadU64();
   ProximityCacheOptions opts;
   opts.capacity = r.ReadU64();
@@ -213,12 +303,30 @@ ProximityCache ProximityCache::LoadFrom(std::istream& is) {
   for (std::uint64_t i = 0; i < entries; ++i) {
     values.push_back(r.ReadI64s());
   }
+  std::uint64_t generation = 0;
+  std::vector<std::uint64_t> entry_gens;
+  if (version >= 2) {
+    std::uint32_t staleness = r.ReadU32();
+    if (!ParseStalenessPolicy(
+            StalenessPolicyName(static_cast<StalenessPolicy>(staleness)),
+            &opts.staleness)) {
+      throw std::runtime_error("ProximityCache::LoadFrom: bad staleness");
+    }
+    generation = r.ReadU64();
+    entry_gens = r.ReadU64s(entries);
+    if (entry_gens.size() != entries) {
+      throw std::runtime_error(
+          "ProximityCache::LoadFrom: generation list mismatch");
+    }
+  }
   r.VerifyChecksum();
 
   ProximityCache cache(dim, opts);
+  cache.generation_ = generation;
   for (std::uint64_t i = 0; i < entries; ++i) {
     cache.Insert(keys.Row(i), std::move(values[i]));
   }
+  if (version >= 2) cache.entry_gen_ = std::move(entry_gens);
   cache.ResetStats();  // the insertions above are reconstruction, not use
   return cache;
 }

@@ -24,6 +24,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cache/eviction_policy.h"
@@ -32,6 +33,25 @@
 #include "vecmath/metric.h"
 
 namespace proximity {
+
+/// What a Lookup does when the best key is within τ but the entry was
+/// filled under an older index generation (the corpus has mutated since;
+/// DESIGN.md §13). Every stale match counts `stale_hits` regardless.
+enum class StalenessPolicy : std::uint32_t {
+  /// Serve the entry anyway — the paper's bet that approximate staleness
+  /// is acceptable, now made explicit and observable.
+  kServeStale = 0,
+  /// Report a miss and drop the stale entry, forcing the pipeline to
+  /// re-retrieve and refill under the current generation.
+  kRevalidate = 1,
+  /// Report a miss and drop EVERY entry within τ of the query: the
+  /// mutated region is purged wholesale (RAGCache-style region
+  /// invalidation), so nearby stale entries cannot serve either.
+  kInvalidateRegion = 2,
+};
+
+const char* StalenessPolicyName(StalenessPolicy policy) noexcept;
+bool ParseStalenessPolicy(const std::string& name, StalenessPolicy* out);
 
 struct ProximityCacheOptions {
   /// Cache capacity c (entries). §3.2.1.
@@ -53,6 +73,9 @@ struct ProximityCacheOptions {
   /// the database is updated (new documents indexed), a TTL bounds how
   /// long the cache can keep serving pre-update results.
   std::uint64_t max_age = 0;
+  /// Hit-time behavior for entries filled under an older index
+  /// generation (see set_generation and DESIGN.md §13).
+  StalenessPolicy staleness = StalenessPolicy::kServeStale;
 };
 
 /// Counters exposed for the evaluation (§4.2: cache hit rate is
@@ -76,6 +99,11 @@ struct ProximityCacheStats {
   std::uint64_t keys_scanned = 0;
   /// Matches that were suppressed because the entry exceeded max_age.
   std::uint64_t expired_skips = 0;
+  /// Within-τ matches whose entry generation trailed the index
+  /// generation (counted under every staleness policy).
+  std::uint64_t stale_hits = 0;
+  /// Entries dropped by the revalidate/invalidate-region policies.
+  std::uint64_t stale_evictions = 0;
 
   double HitRate() const noexcept {
     return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
@@ -96,6 +124,14 @@ class ProximityCache {
 
   /// Adjusts τ at runtime (used by the adaptive controller, §3.2.3).
   void set_tolerance(float tau) noexcept { options_.tolerance = tau; }
+
+  /// The cache-staleness contract (DESIGN.md §13): the owner pushes the
+  /// index's generation counter here after mutations; Insert stamps the
+  /// current value into the entry, and Lookup compares the stamp at hit
+  /// time under options().staleness. Must be monotone.
+  void set_generation(std::uint64_t gen) noexcept { generation_ = gen; }
+  std::uint64_t generation() const noexcept { return generation_; }
+  StalenessPolicy staleness() const noexcept { return options_.staleness; }
 
   struct LookupResult {
     bool hit = false;
@@ -149,11 +185,18 @@ class ProximityCache {
   ProximityCacheOptions options_;
   std::unique_ptr<EvictionPolicy> policy_;
 
+  /// Drops `slots` (swap-with-last compaction) and rebuilds the eviction
+  /// policy's bookkeeping in slot order — same age approximation as
+  /// LoadFrom's warm restart. `slots` must be sorted ascending.
+  void RemoveSlots(const std::vector<std::size_t>& slots);
+
   Matrix keys_;                                // one row per slot
   std::vector<std::vector<VectorId>> values_;  // parallels keys_ rows
   std::vector<std::uint64_t> birth_;           // op tick at insertion
+  std::vector<std::uint64_t> entry_gen_;       // index gen at fill time
   std::vector<float> scan_buffer_;             // distance scratch
   std::uint64_t op_tick_ = 0;                  // advances on every op
+  std::uint64_t generation_ = 0;               // latest index generation
 
   ProximityCacheStats stats_;
 };

@@ -48,6 +48,11 @@ void BinaryWriter::WriteU32s(std::span<const std::uint32_t> v) {
   if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(std::uint32_t));
 }
 
+void BinaryWriter::WriteU64s(std::span<const std::uint64_t> v) {
+  WriteU64(v.size());
+  if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(std::uint64_t));
+}
+
 void BinaryWriter::Finish() {
   // The trailer itself is excluded from the checksum.
   const std::uint64_t sum = checksum_;
@@ -141,6 +146,16 @@ std::vector<std::uint32_t> BinaryReader::ReadU32s(std::size_t max_count) {
   }
   std::vector<std::uint32_t> v(count);
   if (count > 0) ReadRaw(v.data(), count * sizeof(std::uint32_t));
+  return v;
+}
+
+std::vector<std::uint64_t> BinaryReader::ReadU64s(std::size_t max_count) {
+  const std::uint64_t count = ReadU64();
+  if (count > max_count) {
+    throw std::runtime_error("BinaryReader: u64 array too large");
+  }
+  std::vector<std::uint64_t> v(count);
+  if (count > 0) ReadRaw(v.data(), count * sizeof(std::uint64_t));
   return v;
 }
 

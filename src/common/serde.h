@@ -41,6 +41,7 @@ class BinaryWriter {
   void WriteU8s(std::span<const std::uint8_t> v);
   void WriteI64s(std::span<const std::int64_t> v);
   void WriteU32s(std::span<const std::uint32_t> v);
+  void WriteU64s(std::span<const std::uint64_t> v);
 
   /// Emits the running checksum trailer. Call exactly once, last.
   void Finish();
@@ -69,6 +70,7 @@ class BinaryReader {
   std::vector<std::uint8_t> ReadU8s(std::size_t max_count = 1u << 30);
   std::vector<std::int64_t> ReadI64s(std::size_t max_count = 1u << 28);
   std::vector<std::uint32_t> ReadU32s(std::size_t max_count = 1u << 28);
+  std::vector<std::uint64_t> ReadU64s(std::size_t max_count = 1u << 27);
 
   /// Reads the trailer and throws std::runtime_error if the stream's
   /// checksum does not match the bytes read so far.

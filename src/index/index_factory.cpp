@@ -9,6 +9,7 @@
 #include "index/hnsw_index.h"
 #include "index/ivf_flat_index.h"
 #include "index/ivfpq_index.h"
+#include "index/mutable_index.h"
 #include "index/vamana_index.h"
 
 namespace proximity {
@@ -95,6 +96,19 @@ std::unique_ptr<VectorIndex> BuildIndex(const IndexSpec& spec,
     opts.seed = spec.seed;
     opts.storage = storage;
     index = std::make_unique<VamanaIndex>(dim, opts);
+  } else if (spec.kind == "mutable") {
+    if (storage != StorageLayout::kFloat32) {
+      throw std::invalid_argument(
+          "BuildIndex: mutable index supports storage=float32 only");
+    }
+    MutableGraphOptions opts;
+    opts.metric = spec.metric;
+    opts.max_degree = spec.vamana_degree;
+    opts.build_beam = spec.vamana_beam;
+    opts.search_beam = spec.vamana_beam;
+    opts.alpha = spec.vamana_alpha;
+    opts.seed = spec.seed;
+    index = std::make_unique<MutableGraphIndex>(dim, opts);
   } else {
     throw std::invalid_argument("BuildIndex: unknown index kind '" +
                                 spec.kind + "'");

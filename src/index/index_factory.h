@@ -10,7 +10,8 @@
 namespace proximity {
 
 struct IndexSpec {
-  /// "flat", "hnsw", "ivf_flat", "ivf_pq", or "vamana".
+  /// "flat", "hnsw", "ivf_flat", "ivf_pq", "vamana", or "mutable" (the
+  /// live-corpus graph; reuses the vamana_* knobs, float32 only).
   std::string kind = "flat";
   Metric metric = Metric::kL2;
   std::uint64_t seed = 42;

@@ -7,6 +7,7 @@
 #include "index/hnsw_index.h"
 #include "index/ivf_flat_index.h"
 #include "index/ivfpq_index.h"
+#include "index/mutable_index.h"
 
 namespace proximity {
 
@@ -29,6 +30,8 @@ std::unique_ptr<VectorIndex> LoadIndex(std::istream& is) {
       return std::make_unique<IvfFlatIndex>(IvfFlatIndex::LoadFrom(is));
     case io_magic::kIvfPq:
       return std::make_unique<IvfPqIndex>(IvfPqIndex::LoadFrom(is));
+    case io_magic::kMutableIndex:
+      return MutableGraphIndex::LoadFrom(is);
     default:
       throw std::runtime_error("LoadIndex: unknown magic tag");
   }

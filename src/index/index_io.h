@@ -23,6 +23,7 @@ inline constexpr std::uint32_t kIvfFlat = 0x46564950;     // "PIVF"
 inline constexpr std::uint32_t kPq = 0x58515050;          // "PPQX"
 inline constexpr std::uint32_t kIvfPq = 0x51504950;       // "PIPQ"
 inline constexpr std::uint32_t kCache = 0x48434350;       // "PCCH"
+inline constexpr std::uint32_t kMutableIndex = 0x54554d50;  // "PMUT"
 }  // namespace io_magic
 
 /// Reconstructs an index saved with VectorIndex::SaveTo. Dispatches on the

@@ -45,25 +45,89 @@ ShardedIndex::ShardedIndex(std::vector<std::unique_ptr<VectorIndex>> shards,
           "ShardedIndex: global-id list size mismatch for shard " +
           std::to_string(s));
     }
-    total_ += shards_[s]->size();
+    total_.fetch_add(shards_[s]->size(), std::memory_order_relaxed);
+  }
+  // Owner table for O(1) delete routing: global id → (shard, local).
+  VectorId max_id = -1;
+  for (const auto& ids : global_ids_) {
+    for (VectorId id : ids) max_id = std::max(max_id, id);
+  }
+  owner_.assign(static_cast<std::size_t>(max_id + 1),
+                {kInvalidOwner, kInvalidOwner});
+  for (std::size_t s = 0; s < global_ids_.size(); ++s) {
+    for (std::size_t local = 0; local < global_ids_[s].size(); ++local) {
+      owner_[static_cast<std::size_t>(global_ids_[s][local])] = {
+          static_cast<std::uint32_t>(s), static_cast<std::uint32_t>(local)};
+    }
   }
 }
 
 VectorId ShardedIndex::Add(std::span<const float> vec) {
+  return Insert(vec);
+}
+
+VectorId ShardedIndex::Insert(std::span<const float> vec) {
   CheckDim(vec);
+  std::unique_lock lock(map_mu_);
   std::size_t target = 0;
   for (std::size_t s = 1; s < shards_.size(); ++s) {
     if (shards_[s]->size() < shards_[target]->size()) target = s;
   }
-  const VectorId global = static_cast<VectorId>(total_);
-  shards_[target]->Add(vec);
-  global_ids_[target].push_back(global);
-  ++total_;
+  // For build-once shards this appends (local == old shard size); a
+  // mutable shard may hand back a reclaimed slot, whose global id we
+  // reuse so the owner table and local→global lists stay append-only
+  // (that stability is what lets searches read them under a short
+  // shared lock).
+  const auto local = static_cast<std::size_t>(shards_[target]->Insert(vec));
+  VectorId global;
+  if (local < global_ids_[target].size()) {
+    global = global_ids_[target][local];
+  } else {
+    global = static_cast<VectorId>(owner_.size());
+    global_ids_[target].push_back(global);
+    owner_.push_back({static_cast<std::uint32_t>(target),
+                      static_cast<std::uint32_t>(local)});
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
   return global;
+}
+
+bool ShardedIndex::Delete(VectorId id) {
+  std::unique_lock lock(map_mu_);
+  const auto idx = static_cast<std::size_t>(id);
+  if (id < 0 || idx >= owner_.size()) return false;
+  const auto [shard, local] = owner_[idx];
+  if (shard == kInvalidOwner) return false;
+  if (!shards_[shard]->Delete(static_cast<VectorId>(local))) return false;
+  total_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t ShardedIndex::Consolidate() {
+  std::size_t reclaimed = 0;
+  for (auto& shard : shards_) reclaimed += shard->Consolidate();
+  return reclaimed;
+}
+
+std::uint64_t ShardedIndex::generation() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) sum += shard->generation();
+  return sum;
+}
+
+bool ShardedIndex::SupportsMutation() const noexcept {
+  for (const auto& shard : shards_) {
+    if (!shard->SupportsMutation()) return false;
+  }
+  return true;
 }
 
 void ShardedIndex::ToGlobal(std::size_t shard,
                             std::vector<Neighbor>& neighbors) const {
+  // Short shared section; callers never hold a shard's internal lock
+  // here (the shard search has already returned), so this cannot
+  // deadlock against Insert's map-then-shard lock order.
+  std::shared_lock lock(map_mu_);
   const auto& ids = global_ids_[shard];
   for (auto& n : neighbors) {
     n.id = ids[static_cast<std::size_t>(n.id)];
@@ -107,7 +171,7 @@ std::vector<Neighbor> ShardedIndex::MergeSorted(
 std::vector<Neighbor> ShardedIndex::Search(std::span<const float> query,
                                            std::size_t k) const {
   CheckDim(query);
-  if (k == 0 || total_ == 0) return {};
+  if (k == 0 || size() == 0) return {};
   const obs::Span span(obs::Stage::kIndexSearch);
   const std::size_t S = shards_.size();
   std::vector<std::vector<Neighbor>> parts(S);
@@ -134,7 +198,7 @@ std::vector<std::vector<Neighbor>> ShardedIndex::SearchBatch(
     throw std::invalid_argument("ShardedIndex::SearchBatch: dim mismatch");
   }
   std::vector<std::vector<Neighbor>> results(Q);
-  if (k == 0 || total_ == 0) return results;
+  if (k == 0 || size() == 0) return results;
   const obs::Span span(obs::Stage::kIndexSearch);
   const std::size_t S = shards_.size();
   kObsBatchQueries.Inc(Q);
@@ -170,16 +234,24 @@ std::vector<Neighbor> ShardedIndex::SearchFiltered(
     std::span<const float> query, std::size_t k, const Filter& filter) const {
   if (!filter) return Search(query, k);
   CheckDim(query);
-  if (k == 0 || total_ == 0) return {};
+  if (k == 0 || size() == 0) return {};
   const obs::Span span(obs::Stage::kIndexSearch);
   const std::size_t S = shards_.size();
   std::vector<std::vector<Neighbor>> parts(S);
   auto search_shard = [&](std::size_t s) {
-    const auto& ids = global_ids_[s];
+    // Snapshot the shard's id list: the filter lambda runs inside the
+    // shard's search (under its internal lock), where taking map_mu_
+    // would invert Insert's map-then-shard lock order.
+    std::vector<VectorId> ids;
+    {
+      std::shared_lock lock(map_mu_);
+      ids = global_ids_[s];
+    }
     Stopwatch watch;
     parts[s] = shards_[s]->SearchFiltered(
         query, k, [&](VectorId local) {
-          return filter(ids[static_cast<std::size_t>(local)]);
+          const auto l = static_cast<std::size_t>(local);
+          return l < ids.size() && filter(ids[l]);
         });
     ToGlobal(s, parts[s]);
     kObsSearchNs.Record(watch.ElapsedNanos());
@@ -196,7 +268,7 @@ std::vector<Neighbor> ShardedIndex::SearchFiltered(
 std::string ShardedIndex::Describe() const {
   return "sharded(" + shards_[0]->Describe() +
          ",shards=" + std::to_string(shards_.size()) +
-         ",n=" + std::to_string(total_) + ")";
+         ",n=" + std::to_string(size()) + ")";
 }
 
 std::unique_ptr<ShardedIndex> BuildShardedIndex(const IndexSpec& spec,

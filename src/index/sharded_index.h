@@ -15,8 +15,12 @@
 // the fused batch kernels see real batch shapes.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <shared_mutex>
+#include <utility>
 #include <vector>
 
 #include "index/index_factory.h"
@@ -44,13 +48,45 @@ class ShardedIndex final : public VectorIndex {
 
   std::size_t dim() const noexcept override { return dim_; }
   Metric metric() const noexcept override { return metric_; }
-  std::size_t size() const noexcept override { return total_; }
+  std::size_t size() const noexcept override {
+    return total_.load(std::memory_order_relaxed);
+  }
   std::size_t num_shards() const noexcept { return shards_.size(); }
   const VectorIndex& shard(std::size_t s) const { return *shards_[s]; }
 
   /// Appends to the currently smallest shard; the id is the global
   /// insertion position (size() before the call), as for any VectorIndex.
   VectorId Add(std::span<const float> vec) override;
+
+  // --- Mutation routing (DESIGN.md §13) -----------------------------
+  //
+  // Available when every shard is mutable. Global ids are stable: the
+  // owner table (global id → shard, local slot) and the per-shard
+  // local→global lists only ever append, and a shard reusing a
+  // reclaimed slot reuses the slot's existing global id. Deletes route
+  // to the owning shard by id.
+
+  /// True when every shard supports mutation.
+  bool SupportsMutation() const noexcept override;
+
+  /// Routes to the currently smallest (by live count) shard. When the
+  /// shard reuses a reclaimed slot the returned global id is the slot's
+  /// previous id; otherwise a fresh id is assigned.
+  VectorId Insert(std::span<const float> vec) override;
+
+  /// Routes to the owning shard. False for unknown/already-dead ids.
+  bool Delete(VectorId id) override;
+
+  /// Consolidates every shard; returns total slots reclaimed.
+  std::size_t Consolidate() override;
+
+  /// Sum of the per-shard generations (monotone, since each is).
+  std::uint64_t generation() const noexcept override;
+
+  /// Mutation generation of one shard (the cache-staleness token).
+  std::uint64_t shard_generation(std::size_t s) const noexcept {
+    return shards_[s]->generation();
+  }
 
   std::vector<Neighbor> Search(std::span<const float> query,
                                std::size_t k) const override;
@@ -81,8 +117,17 @@ class ShardedIndex final : public VectorIndex {
   Metric metric_ = Metric::kL2;
   ShardedIndexOptions options_;
   std::vector<std::unique_ptr<VectorIndex>> shards_;
+
+  // Guards the id maps. Readers (ToGlobal, filter lambdas) take the
+  // shared side briefly and never while holding a shard's internal
+  // lock, so scatter-gather legs cannot deadlock against mutators.
+  mutable std::shared_mutex map_mu_;
   std::vector<std::vector<VectorId>> global_ids_;
-  std::size_t total_ = 0;
+  /// global id → (shard, local slot); kInvalidOwner for never-assigned.
+  static constexpr std::uint32_t kInvalidOwner = 0xffffffffu;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> owner_;
+
+  std::atomic<std::size_t> total_{0};  // live vectors across shards
 };
 
 /// Partitions `corpus` into contiguous stripes and builds one sub-index

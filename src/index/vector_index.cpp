@@ -37,6 +37,11 @@ std::vector<std::vector<Neighbor>> VectorIndex::SearchBatch(
   return results;
 }
 
+bool VectorIndex::Delete(VectorId) {
+  throw std::logic_error("VectorIndex: " + Describe() +
+                         " is build-once and does not support Delete");
+}
+
 void VectorIndex::SaveTo(std::ostream&) const {
   throw std::logic_error("VectorIndex: " + Describe() +
                          " does not support serialization");

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <memory>
@@ -63,6 +64,38 @@ class VectorIndex {
   virtual std::vector<Neighbor> SearchFiltered(std::span<const float> query,
                                                std::size_t k,
                                                const Filter& filter) const;
+
+  // --- Mutation (live-corpus) API -----------------------------------
+  //
+  // Build-once indexes keep the historical contract: Add appends, ids
+  // are insertion positions, nothing is ever removed. Mutable indexes
+  // (MutableGraphIndex, ShardedIndex over mutable shards) additionally
+  // support Delete/Consolidate and may REUSE ids of deleted vectors on
+  // Insert. Every mutation bumps generation(), the staleness token the
+  // proximity cache stamps into entries at fill time (DESIGN.md §13).
+
+  /// True when Insert/Delete/Consolidate are functional (not the
+  /// throwing defaults below).
+  virtual bool SupportsMutation() const noexcept { return false; }
+
+  /// Inserts one vector and returns its id. Mutable indexes may reuse a
+  /// tombstoned slot (returning a previously-deleted id); the default
+  /// forwards to Add for build-once indexes.
+  virtual VectorId Insert(std::span<const float> vec) { return Add(vec); }
+
+  /// Tombstones `id`: excluded from all future results, slot reclaimed
+  /// by a later Consolidate. Returns false when `id` is unknown or
+  /// already deleted. Default throws std::logic_error (build-once).
+  virtual bool Delete(VectorId id);
+
+  /// Reclaims tombstoned slots and repairs the neighborhoods around
+  /// them; safe to run while queries are in flight. Returns the number
+  /// of slots reclaimed. Default is a no-op returning 0.
+  virtual std::size_t Consolidate() { return 0; }
+
+  /// Monotone mutation counter: bumped by every Insert/Delete (and by
+  /// Consolidate when it rewires). 0 forever on build-once indexes.
+  virtual std::uint64_t generation() const noexcept { return 0; }
 
   /// Human-readable index description for logs/CSV ("flat", "hnsw", ...).
   virtual std::string Describe() const = 0;

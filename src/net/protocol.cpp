@@ -79,9 +79,12 @@ void AppendFrame(std::vector<std::uint8_t>& out, const Request& request) {
                           (request.flags & kReqFlagHasTenant) != 0;
   const bool has_trace = request.trace_id != 0 ||
                          (request.flags & kReqFlagHasTrace) != 0;
+  const bool has_mutation = request.mutation_op != kMutationNone ||
+                            (request.flags & kReqFlagHasMutation) != 0;
   std::uint32_t flags = request.flags;
   if (has_tenant) flags |= kReqFlagHasTenant;
   if (has_trace) flags |= kReqFlagHasTrace;
+  if (has_mutation) flags |= kReqFlagHasMutation;
   const std::size_t len_at = out.size();
   PutU32(out, 0);  // patched by FinishFrame
   PutU32(out, kRequestMagic);
@@ -92,6 +95,10 @@ void AppendFrame(std::vector<std::uint8_t>& out, const Request& request) {
   if (has_trace) {
     PutU64(out, request.trace_id);
     PutU64(out, request.trace_parent);
+  }
+  if (has_mutation) {
+    PutU32(out, request.mutation_op);
+    PutU64(out, request.mutation_target);
   }
   PutU32(out, static_cast<std::uint32_t>(request.text.size()));
   out.insert(out.end(), request.text.begin(), request.text.end());
@@ -136,6 +143,24 @@ ParseResult ParseFrame(std::span<const std::uint8_t> buf,
   if ((out->flags & kReqFlagHasTrace) != 0 &&
       (!c.ReadU64(&out->trace_id) || !c.ReadU64(&out->trace_parent))) {
     return ParseResult::kError;
+  }
+  out->mutation_op = kMutationNone;
+  out->mutation_target = 0;
+  if ((out->flags & kReqFlagHasMutation) != 0) {
+    if (!c.ReadU32(&out->mutation_op) || !c.ReadU64(&out->mutation_target)) {
+      return ParseResult::kError;
+    }
+    // An unknown opcode is a protocol error: the stream is well-formed
+    // but the request is meaningless, and silently treating it as a
+    // query would corrupt the mutation accounting downstream.
+    // kMutationNone stays legal — a writer with the flag pre-set emits
+    // the field at its default (like tenant 0 / trace 0), and the
+    // server dispatches such frames as plain queries.
+    if (out->mutation_op != kMutationNone &&
+        out->mutation_op != kMutationInsert &&
+        out->mutation_op != kMutationDelete) {
+      return ParseResult::kError;
+    }
   }
   if (!c.ReadU32(&text_len) || !c.ReadBytes(text_len, &out->text) ||
       !c.AtEnd()) {

@@ -4,19 +4,23 @@
 //
 //   [u32 payload_len][payload]            (little-endian, len <= 1 MiB)
 //
-// Request payload (v3):
+// Request payload (v4):
 //   [u32 magic 'PRXQ'] [u64 request_id] [u32 flags] [u64 deadline_us]
 //   ([u32 tenant_id] iff flags & kReqFlagHasTenant)
 //   ([u64 trace_id] [u64 trace_parent] iff flags & kReqFlagHasTrace)
+//   ([u32 mutation_op] [u64 mutation_target] iff flags &
+//    kReqFlagHasMutation)
 //   [u32 text_len] [text bytes]
 //
 // v2 grew the optional tenant-id field, v3 the optional trace-context
-// field; both are gated on request flag bits so every v1 frame (bits
-// clear, no fields) still parses and maps to the default tenant with no
-// trace — the golden-frame regression test in
-// tests/protocol_compat_test.cpp pins this byte-exactly. A writer emits
-// each field only when it is set, so clients that use neither tenancy
-// nor tracing stay byte-identical to v1.
+// field, v4 the optional mutation field (INSERT carries the new
+// document's text in the text field; DELETE carries the target id); all
+// are gated on request flag bits so every v1 frame (bits clear, no
+// fields) still parses and maps to the default tenant with no trace —
+// the golden-frame regression test in tests/protocol_compat_test.cpp
+// pins this byte-exactly. A writer emits each field only when it is
+// set, so clients that use none of tenancy, tracing, or mutation stay
+// byte-identical to v1.
 //
 // The trace field carries the client's 64-bit trace id plus the span id
 // of the client-side call span, so the server's root span nests under
@@ -55,13 +59,20 @@ inline constexpr std::uint32_t kResponseMagic = 0x52585250;  // "PRXR"
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
 
 /// Wire protocol version: v2 added the optional request tenant-id
-/// field, v3 the optional trace-context field. v1/v2 frames remain
+/// field, v3 the optional trace-context field, v4 the optional
+/// mutation field (live-corpus INSERT/DELETE). v1–v3 frames remain
 /// parseable (see the header comment).
-inline constexpr std::uint32_t kProtocolVersion = 3;
+inline constexpr std::uint32_t kProtocolVersion = 4;
 
 /// Request flag bits.
 inline constexpr std::uint32_t kReqFlagHasTenant = 1u << 0;
 inline constexpr std::uint32_t kReqFlagHasTrace = 1u << 1;
+inline constexpr std::uint32_t kReqFlagHasMutation = 1u << 2;
+
+/// Mutation opcodes carried by the v4 mutation field.
+inline constexpr std::uint32_t kMutationNone = 0;
+inline constexpr std::uint32_t kMutationInsert = 1;
+inline constexpr std::uint32_t kMutationDelete = 2;
 
 /// Response flag bits.
 inline constexpr std::uint32_t kFlagCacheHit = 1u << 0;
@@ -82,6 +93,14 @@ struct Request {
   /// stay byte-identical to v1/v2.
   std::uint64_t trace_id = 0;
   std::uint64_t trace_parent = 0;
+  /// v4 mutation field (serialized only when mutation_op !=
+  /// kMutationNone or kReqFlagHasMutation is pre-set): kMutationInsert
+  /// adds `text` as a new corpus document (the response returns the
+  /// assigned id as its single document); kMutationDelete tombstones
+  /// `mutation_target`. Query frames leave this at kMutationNone and
+  /// stay byte-identical to v1–v3.
+  std::uint32_t mutation_op = kMutationNone;
+  std::uint64_t mutation_target = 0;
   std::string text;
 };
 

@@ -29,6 +29,7 @@ const obs::CounterHandle kObsResponses("net.responses");
 const obs::CounterHandle kObsShed("net.shed");
 const obs::CounterHandle kObsDeadline("net.deadline_exceeded");
 const obs::CounterHandle kObsAbandoned("net.abandoned");
+const obs::CounterHandle kObsMutationRequests("net.mutations");
 const obs::CounterHandle kObsProtocolErrors("net.protocol_errors");
 // Receipt -> response serialization, split by cache outcome: the
 // client-observed analogue of the retrieve.hit_ns / miss_ns contrast.
@@ -162,6 +163,7 @@ ServerStats Server::stats() const {
   s.unavailable = stats_.unavailable.load();
   s.deadline_exceeded = stats_.deadline_exceeded.load();
   s.abandoned = stats_.abandoned.load();
+  s.mutation_requests = stats_.mutation_requests.load();
   s.protocol_errors = stats_.protocol_errors.load();
   s.bytes_in = stats_.bytes_in.load();
   s.bytes_out = stats_.bytes_out.load();
@@ -403,20 +405,34 @@ void Server::HandleRequest(Conn& conn, Request request,
   // The callback runs on the flusher thread (or inline right here when
   // the driver sheds): it only posts to the completion queue and rings
   // the eventfd, so neither thread ever blocks on the other.
-  driver_.SubmitTextAsync(
-      std::move(request.text), sopts,
-      [this, conn_id = conn.id, request_id = request.id, received,
-       deadline, trace, trace_parent](BatchResult result) {
-        {
-          std::lock_guard lock(completions_mu_);
-          completions_.push_back(Completion{conn_id, request_id, received,
-                                            deadline, trace, trace_parent,
-                                            std::move(result)});
-        }
-        const std::uint64_t one = 1;
-        [[maybe_unused]] const auto n =
-            ::write(wake_fd_, &one, sizeof(one));
-      });
+  auto done = [this, conn_id = conn.id, request_id = request.id, received,
+               deadline, trace, trace_parent](BatchResult result) {
+    {
+      std::lock_guard lock(completions_mu_);
+      completions_.push_back(Completion{conn_id, request_id, received,
+                                        deadline, trace, trace_parent,
+                                        std::move(result)});
+    }
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+  };
+  if (request.mutation_op != kMutationNone) {
+    // v4 live-corpus mutation: same admission queue, same completion
+    // path. The driver refuses inline (kInvalidArgument) when its
+    // mutation path was never armed, so a v4 frame against a build-once
+    // index degrades to an error response, not a crash.
+    const MutationOp op = request.mutation_op == kMutationInsert
+                              ? MutationOp::kInsert
+                              : MutationOp::kDelete;
+    stats_.mutation_requests.fetch_add(1);
+    kObsMutationRequests.Inc();
+    driver_.SubmitMutationAsync(
+        op, std::move(request.text),
+        static_cast<VectorId>(request.mutation_target), sopts,
+        std::move(done));
+    return;
+  }
+  driver_.SubmitTextAsync(std::move(request.text), sopts, std::move(done));
 }
 
 void Server::ProcessCompletions() {

@@ -74,6 +74,8 @@ struct ServerStats {
   std::uint64_t deadline_exceeded = 0;
   /// Completions whose connection was already gone; discarded safely.
   std::uint64_t abandoned = 0;
+  /// v4 INSERT/DELETE frames dispatched to the driver's mutation path.
+  std::uint64_t mutation_requests = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
@@ -183,8 +185,8 @@ class Server {
   struct AtomicStats {
     std::atomic<std::uint64_t> accepted{0}, rejected_connections{0},
         closed{0}, requests{0}, responses{0}, shed{0}, unavailable{0},
-        deadline_exceeded{0}, abandoned{0}, protocol_errors{0}, bytes_in{0},
-        bytes_out{0};
+        deadline_exceeded{0}, abandoned{0}, mutation_requests{0},
+        protocol_errors{0}, bytes_in{0}, bytes_out{0};
   };
   AtomicStats stats_;
 };

@@ -21,6 +21,7 @@ const obs::CounterHandle kObsCoalesced("serve.coalesced");
 const obs::CounterHandle kObsShed("serve.shed");
 const obs::CounterHandle kObsExpired("serve.expired");
 const obs::CounterHandle kObsQuotaShed("serve.quota_shed");
+const obs::CounterHandle kObsMutations("serve.mutations");
 const obs::CounterHandle kObsBatches("serve.batches");
 // Values are batch sizes (unitless), not nanoseconds; the log-bucket
 // histogram just needs a monotone integer scale.
@@ -216,6 +217,48 @@ void BatchingDriver::SubmitAsync(std::vector<float> embedding,
     return;
   }
   entry.embedding = std::move(embedding);
+  if (!Enqueue(std::move(entry))) {
+    Fail(entry, RequestStatus::kUnavailable, 0);
+  }
+}
+
+void BatchingDriver::EnableMutation(VectorIndex& index) {
+  if (&index != &index_) {
+    throw std::invalid_argument(
+        "BatchingDriver::EnableMutation: not the driver's index");
+  }
+  if (!index.SupportsMutation()) {
+    throw std::invalid_argument(
+        "BatchingDriver::EnableMutation: index is build-once (" +
+        index.Describe() + ")");
+  }
+  mutable_index_.store(&index, std::memory_order_release);
+}
+
+void BatchingDriver::SubmitMutationAsync(MutationOp op, std::string text,
+                                         VectorId target,
+                                         const SubmitOptions& opts,
+                                         BatchCallback done) {
+  Pending entry;
+  entry.done = std::move(done);
+  entry.deadline = opts.deadline;
+  entry.tenant = opts.tenant;
+  entry.trace = opts.trace;
+  // Malformed mutations are refused inline, before they spend a queue
+  // slot or a quota token — same contract as a bad-dim SubmitAsync.
+  if (!mutation_enabled() ||
+      (op != MutationOp::kInsert && op != MutationOp::kDelete) ||
+      (op == MutationOp::kInsert &&
+       (embedder_ == nullptr || text.empty()))) {
+    Fail(entry, RequestStatus::kInvalidArgument, 0);
+    return;
+  }
+  entry.op = op;
+  if (op == MutationOp::kInsert) {
+    entry.text = std::move(text);
+  } else {
+    entry.target = target;
+  }
   if (!Enqueue(std::move(entry))) {
     Fail(entry, RequestStatus::kUnavailable, 0);
   }
@@ -417,7 +460,7 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
   }
 
   std::uint64_t hits = 0, retrieved = 0, coalesced = 0, expired = 0,
-                completed = 0;
+                mutations = 0, completed = 0;
   // Per-tenant view of the same outcome deltas (merged under mu_ at the
   // end, mirrored into tenant.<label>.* via the registry).
   std::map<TenantId, TenantCounters> deltas;
@@ -475,10 +518,58 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
       }
     }
 
+    // 1.5 Apply live-corpus mutations in arrival order, BEFORE any of
+    //     this flush's cache probes: queries batched alongside a
+    //     mutation observe the post-mutation index, and the generation
+    //     stamp pushed below reflects it. Insert embeddings came out of
+    //     the shared EmbedBatch above (mutation text is text like any
+    //     other).
+    VectorIndex* mindex = mutable_index_.load(std::memory_order_acquire);
+    std::vector<std::size_t> muts;
+    for (const std::size_t i : live) {
+      if (batch[i].op != MutationOp::kNone) muts.push_back(i);
+    }
+    std::sort(muts.begin(), muts.end(),
+              [&](std::size_t a, std::size_t b) {
+                return batch[a].seq < batch[b].seq;
+              });
+    for (const std::size_t i : muts) {
+      results[i].queue_wait_ns = waited[i];
+      try {
+        if (batch[i].op == MutationOp::kInsert) {
+          const VectorId id = mindex->Insert(batch[i].embedding);
+          results[i].documents = {id};
+        } else if (!mindex->Delete(batch[i].target)) {
+          results[i].status = RequestStatus::kInvalidArgument;
+        }
+      } catch (const std::exception&) {
+        results[i].status = RequestStatus::kInvalidArgument;
+      }
+      done[i] = true;
+      ++mutations;
+      ++completed;
+      ++deltas[batch[i].tenant].mutations;
+    }
+
+    // 1.6 Push the index's mutation generation into every tenant cache
+    //     this flush will probe (pull-at-probe: covers mutations by
+    //     other drivers or background Consolidate too, not just ours).
+    if (mindex != nullptr) {
+      const std::uint64_t gen = mindex->generation();
+      std::map<TenantId, bool> stamped;
+      for (const std::size_t i : live) {
+        if (done[i]) continue;
+        if (!stamped.emplace(batch[i].tenant, true).second) continue;
+        CacheFor(batch[i].tenant).set_generation(gen);
+      }
+    }
+
     // 2. Probe each entry's tenant cache (the tenant's private cache in
-    //    registry mode; the one shared cache otherwise).
+    //    registry mode; the one shared cache otherwise). Mutation
+    //    entries are already done and never probe.
     std::vector<std::size_t> misses;
     for (const std::size_t i : live) {
+      if (done[i]) continue;
       const TenantId tenant = batch[i].tenant;
       // The probe runs with the entry's trace as the thread context, so
       // the cache's own spans (kCacheLookup/kCacheScan) join the trace.
@@ -603,6 +694,7 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
   kObsRetrieved.Inc(retrieved);
   kObsCoalesced.Inc(coalesced);
   kObsExpired.Inc(expired);
+  kObsMutations.Inc(mutations);
   if (registry_ != nullptr) {
     for (const auto& [tenant, delta] : deltas) {
       registry_->Record(tenant, delta);
@@ -619,6 +711,7 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
     stats_.retrieved += retrieved;
     stats_.coalesced += coalesced;
     stats_.expired += expired;
+    stats_.mutations += mutations;
     stats_.completed += completed;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       ++tenant_stats_[batch[i].tenant].completed;
@@ -629,6 +722,7 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
       tstats.retrieved += delta.retrieved;
       tstats.coalesced += delta.coalesced;
       tstats.expired += delta.expired;
+      tstats.mutations += delta.mutations;
     }
   }
 

@@ -36,6 +36,14 @@
 // isolation leak, not a hit), and the registry's token-bucket quota is
 // consulted at Enqueue — over-quota work completes RESOURCE_EXHAUSTED
 // before any embedding is spent on it (`quota_shed`).
+//
+// Live-corpus mode (DESIGN.md §13): EnableMutation arms an INSERT/
+// DELETE path over a mutation-capable index. Mutations ride the same
+// admission queue (quota and queue_bound apply), their text joins the
+// flush's one EmbedBatch call, and they are applied in arrival order
+// BEFORE the flush's cache probes — then the index's bumped generation
+// is pushed into every tenant cache touched by the flush, which is what
+// makes the cache-staleness contract observable at hit time.
 #pragma once
 
 #include <atomic>
@@ -62,6 +70,17 @@
 
 namespace proximity {
 
+/// Live-corpus mutation kinds the driver can apply (EnableMutation).
+enum class MutationOp : std::uint32_t {
+  kNone = 0,
+  /// Embed the entry's text and insert it as a new corpus vector; the
+  /// completion carries the assigned VectorId as its single document.
+  kInsert = 1,
+  /// Tombstone the entry's target id; unknown/already-deleted targets
+  /// complete with kInvalidArgument.
+  kDelete = 2,
+};
+
 struct BatchingDriverOptions {
   /// Flush as soon as this many queries are pending.
   std::size_t max_batch = 32;
@@ -85,7 +104,7 @@ struct BatchingDriverOptions {
 /// Counters over the driver's lifetime. After Shutdown (queue drained,
 /// flusher joined):
 ///   hits + retrieved + coalesced + shed + expired + quota_shed
-///       == submitted
+///       + mutations == submitted
 /// and completed == submitted - shed - quota_shed (both shed kinds
 /// finish inline at Submit, everything else through a flush) — no query
 /// is dropped. The same invariant holds per tenant (tenant_stats()).
@@ -102,6 +121,9 @@ struct BatchingDriverStats {
   /// Refused by the tenant's token-bucket/inflight quota before any
   /// embedding or search work (RESOURCE_EXHAUSTED).
   std::uint64_t quota_shed = 0;
+  /// Live-corpus INSERT/DELETE requests applied at flush (includes
+  /// DELETEs of unknown ids, which complete kInvalidArgument).
+  std::uint64_t mutations = 0;
   std::uint64_t batches = 0;
   std::uint64_t flushes_on_full = 0;
   std::uint64_t flushes_on_timer = 0;
@@ -186,6 +208,30 @@ class BatchingDriver {
   void SubmitTextAsync(std::string text, const SubmitOptions& opts,
                        BatchCallback done);
 
+  /// Arms the live-corpus mutation path. `index` must be the SAME index
+  /// the driver was constructed over (asserted) and must report
+  /// SupportsMutation(); throws std::invalid_argument otherwise.
+  /// Mutations ride the admission queue like queries — tenant quotas
+  /// and queue_bound apply — and are applied at flush time in arrival
+  /// order, BEFORE that flush's cache probes, so the generation stamp
+  /// each tenant cache receives (the staleness contract) reflects them.
+  void EnableMutation(VectorIndex& index);
+
+  /// Whether EnableMutation has armed the mutation path.
+  bool mutation_enabled() const noexcept {
+    return mutable_index_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Queues one live-corpus mutation. kInsert embeds `text` (requires
+  /// an embedder; `target` ignored); kDelete tombstones `target`
+  /// (`text` ignored). Completes inline with kInvalidArgument when the
+  /// mutation path is not enabled, the op is kNone, or an insert has no
+  /// text; otherwise exactly like SubmitAsync (shed/quota/deadline all
+  /// apply). A successful insert's BatchResult carries the assigned
+  /// VectorId as its single document.
+  void SubmitMutationAsync(MutationOp op, std::string text, VectorId target,
+                           const SubmitOptions& opts, BatchCallback done);
+
   /// Synchronous convenience: Submit + wait.
   std::vector<VectorId> Query(std::span<const float> embedding);
 
@@ -219,6 +265,9 @@ class BatchingDriver {
     TenantId tenant = kDefaultTenant;
     obs::TraceContext trace;
     std::uint64_t seq = 0;  // global arrival order (FIFO mode)
+    /// kNone = query; otherwise a live-corpus mutation entry.
+    MutationOp op = MutationOp::kNone;
+    VectorId target = kInvalidVector;  // kDelete only
   };
 
   /// One tenant's admission queue plus its deficit-round-robin credit.
@@ -249,6 +298,10 @@ class BatchingDriver {
   static void Fail(Pending& entry, RequestStatus status, Nanos queue_wait_ns);
 
   const VectorIndex& index_;
+  /// Mutable alias of index_, set by EnableMutation; null = mutation
+  /// path disarmed (SubmitMutationAsync fails with kInvalidArgument).
+  /// Atomic: EnableMutation may race the already-running flusher.
+  std::atomic<VectorIndex*> mutable_index_{nullptr};
   ConcurrentProximityCache* cache_;  // single-tenant mode; else null
   TenantRegistry* registry_;         // multi-tenant mode; else null
   const HashEmbedder* embedder_;

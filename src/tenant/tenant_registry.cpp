@@ -49,10 +49,11 @@ struct ObsFamily {
         shed("tenant." + label + ".shed"),
         expired("tenant." + label + ".expired"),
         quota_shed("tenant." + label + ".quota_shed"),
+        mutations("tenant." + label + ".mutations"),
         occupancy("tenant." + label + ".cache_occupancy") {}
 
   obs::CounterHandle submitted, hits, retrieved, coalesced, shed, expired,
-      quota_shed;
+      quota_shed, mutations;
   obs::GaugeHandle occupancy;
 };
 
@@ -243,6 +244,7 @@ void TenantRegistry::Record(TenantId id, const TenantCounters& delta) {
   if (delta.shed) fam->shed.Inc(delta.shed);
   if (delta.expired) fam->expired.Inc(delta.expired);
   if (delta.quota_shed) fam->quota_shed.Inc(delta.quota_shed);
+  if (delta.mutations) fam->mutations.Inc(delta.mutations);
   fam->occupancy.Set(occupancy);
 }
 

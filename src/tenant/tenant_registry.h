@@ -135,6 +135,8 @@ struct TenantCounters {
   std::uint64_t shed = 0;
   std::uint64_t expired = 0;
   std::uint64_t quota_shed = 0;
+  /// Live-corpus INSERT/DELETE requests applied for this tenant.
+  std::uint64_t mutations = 0;
 };
 
 class TenantRegistry {

@@ -85,6 +85,14 @@ class Matrix {
 
   bool norm_cache_enabled() const noexcept { return norm_cache_; }
 
+  /// Drops all rows past the first n, keeping the norm cache consistent.
+  /// Used by the cache's staleness compaction (swap-with-last removal).
+  void TruncateRows(std::size_t n) {
+    if (n > rows()) throw std::out_of_range("Matrix::TruncateRows: bad size");
+    data_.resize(n * dim_);
+    if (norm_cache_) norms_.resize(n);
+  }
+
   void Reserve(std::size_t rows) {
     data_.reserve(rows * dim_);
     if (norm_cache_) norms_.reserve(rows);

@@ -20,6 +20,7 @@
 #include "common/rng.h"
 #include "embed/hash_embedder.h"
 #include "index/flat_index.h"
+#include "index/mutable_index.h"
 #include "index/sharded_index.h"
 #include "net/admin.h"
 #include "net/server.h"
@@ -83,6 +84,16 @@ void InstantiateTheStack() {
   ProximityCache cache(kDim, {});
   cache.Insert(vec, {1});
   (void)cache.Lookup(vec);
+
+  // cache.stale_* — a stale hit under the default serve-stale policy.
+  cache.set_generation(1);
+  (void)cache.Lookup(vec);
+
+  // index.* — one full live-corpus mutation cycle (DESIGN.md §13).
+  MutableGraphIndex mutable_index(kDim, {});
+  const VectorId mid = mutable_index.Insert(vec);
+  (void)mutable_index.Delete(mid);
+  (void)mutable_index.Consolidate();
 
   // tcache.*
   TieredCache tiered(kDim, {});

@@ -9,6 +9,9 @@
 // The v3 trace extension follows the same rule: sixteen bytes of
 // trace_id/trace_parent travel only under `kReqFlagHasTrace`, pinned
 // byte-exact against request_v3_trace.bin.
+// The v4 mutation extension likewise: twelve bytes of
+// mutation_op/mutation_target travel only under `kReqFlagHasMutation`,
+// pinned byte-exact against request_v4_mutation.bin.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -124,11 +127,11 @@ TEST(ProtocolCompatTest, TenantFlagWithoutTenantBytesIsAProtocolError) {
             net::ParseResult::kError);
 }
 
-TEST(ProtocolCompatTest, ProtocolVersionIsBumpedForTheTraceField) {
+TEST(ProtocolCompatTest, ProtocolVersionIsBumpedForTheMutationField) {
   // Documentation pin: OPERATIONS.md and `proximity_cli info` both cite
-  // v3 (v2 added the tenant field, v3 the trace field); keep the
-  // constant honest.
-  EXPECT_EQ(net::kProtocolVersion, 3u);
+  // v4 (v2 added the tenant field, v3 the trace field, v4 the mutation
+  // field); keep the constant honest.
+  EXPECT_EQ(net::kProtocolVersion, 4u);
 }
 
 // ------------------------------------------------- v3 trace extension --
@@ -204,6 +207,114 @@ TEST(ProtocolCompatTest, TraceFlagWithoutTraceBytesIsAProtocolError) {
             net::ParseResult::kError);
 }
 
+// ---------------------------------------------- v4 mutation extension --
+
+// The canonical v4 mutation request: the exact struct the golden bytes
+// under request_v4_mutation.bin encode. Generated when v4 was current
+// and never regenerated. A DELETE keeps the text field (empty for
+// deletes on the real client path, but the layout carries it either
+// way — this golden pins the non-empty case).
+net::Request GoldenMutationRequest() {
+  net::Request req = GoldenRequest();
+  req.mutation_op = net::kMutationDelete;
+  req.mutation_target = 0x0F1E2D3C4B5A6978ull;
+  return req;
+}
+
+TEST(ProtocolCompatTest, MutationFieldIsExactlyTwelveAddedBytes) {
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, GoldenMutationRequest());
+  EXPECT_EQ(wire.size(), ReadGolden("request_v1.bin").size() + 12);
+
+  net::Request out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::ParseFrame(wire, &consumed, &out), net::ParseResult::kOk);
+  EXPECT_EQ(out.mutation_op, net::kMutationDelete);
+  EXPECT_EQ(out.mutation_target, 0x0F1E2D3C4B5A6978ull);
+  EXPECT_TRUE((out.flags & net::kReqFlagHasMutation) != 0);
+  EXPECT_EQ(out.text, GoldenRequest().text);
+  EXPECT_EQ(out.tenant, kDefaultTenant);
+}
+
+TEST(ProtocolCompatTest, NonMutatingWriterStillEmitsByteExactV1Frame) {
+  // The mutation field is strictly opt-in: a v4 writer that only ever
+  // queries emits bytes a v1 parser accepts, pinned against the same
+  // golden that deployed v1 clients speak.
+  net::Request req = GoldenRequest();
+  EXPECT_EQ(req.mutation_op, net::kMutationNone);
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, req);
+  EXPECT_EQ(wire, ReadGolden("request_v1.bin"));
+}
+
+TEST(ProtocolCompatTest, ParsesGoldenV4MutationRequest) {
+  const auto wire = ReadGolden("request_v4_mutation.bin");
+  ASSERT_FALSE(wire.empty());
+  net::Request out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::ParseFrame(wire, &consumed, &out), net::ParseResult::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  const net::Request want = GoldenMutationRequest();
+  EXPECT_EQ(out.id, want.id);
+  EXPECT_EQ(out.deadline_us, want.deadline_us);
+  EXPECT_EQ(out.text, want.text);
+  EXPECT_EQ(out.mutation_op, want.mutation_op);
+  EXPECT_EQ(out.mutation_target, want.mutation_target);
+}
+
+TEST(ProtocolCompatTest, MutationWriterEmitsByteExactV4Frame) {
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, GoldenMutationRequest());
+  EXPECT_EQ(wire, ReadGolden("request_v4_mutation.bin"));
+}
+
+TEST(ProtocolCompatTest, InsertRequestRoundTripsWithText) {
+  net::Request req = GoldenRequest();
+  req.mutation_op = net::kMutationInsert;
+  req.text = "a freshly ingested document body";
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, req);
+  net::Request out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::ParseFrame(wire, &consumed, &out), net::ParseResult::kOk);
+  EXPECT_EQ(out.mutation_op, net::kMutationInsert);
+  EXPECT_EQ(out.mutation_target, 0u);
+  EXPECT_EQ(out.text, req.text);
+}
+
+TEST(ProtocolCompatTest, MutationFlagWithoutMutationBytesIsAProtocolError) {
+  // Flip the has-mutation flag on the golden v1 frame without appending
+  // the twelve mutation bytes: the text is consumed as op/target and
+  // the frame no longer adds up.
+  auto wire = ReadGolden("request_v1.bin");
+  ASSERT_GT(wire.size(), 17u);
+  wire[16] |= static_cast<std::uint8_t>(net::kReqFlagHasMutation);
+  net::Request out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(net::ParseFrame(wire, &consumed, &out),
+            net::ParseResult::kError);
+}
+
+TEST(ProtocolCompatTest, UnknownMutationOpcodeIsAProtocolError) {
+  // An opcode this version does not speak must close the connection,
+  // not silently degrade into a query: corrupt the golden v4 frame's
+  // opcode and the parser must refuse the frame.
+  net::Request req = GoldenMutationRequest();
+  std::vector<std::uint8_t> reference;
+  net::AppendFrame(reference, req);
+  auto wire = ReadGolden("request_v4_mutation.bin");
+  ASSERT_EQ(wire, reference);
+  // The opcode is the u32 right after the fixed header + tenant/trace
+  // fields (absent here): locate it by value, then corrupt it.
+  req.mutation_op = 0xEE;
+  std::vector<std::uint8_t> corrupted;
+  net::AppendFrame(corrupted, req);
+  net::Request out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(net::ParseFrame(corrupted, &consumed, &out),
+            net::ParseResult::kError);
+}
+
 TEST(ProtocolCompatTest, TenantAndTraceFieldsComposeInOrder) {
   // Both extensions on one frame: tenant (4 bytes) then trace (16),
   // header-order, 20 bytes over the v1 frame. Round-trips exactly.
@@ -219,6 +330,28 @@ TEST(ProtocolCompatTest, TenantAndTraceFieldsComposeInOrder) {
   EXPECT_EQ(out.tenant, 7u);
   EXPECT_EQ(out.trace_id, req.trace_id);
   EXPECT_EQ(out.trace_parent, req.trace_parent);
+  EXPECT_EQ(out.text, req.text);
+}
+
+TEST(ProtocolCompatTest, AllThreeExtensionsComposeInOrder) {
+  // Tenant (4) then trace (16) then mutation (12), header-order: 32
+  // bytes over the v1 frame. Round-trips exactly.
+  net::Request req = GoldenTracedRequest();
+  req.tenant = 7;
+  req.mutation_op = net::kMutationDelete;
+  req.mutation_target = 42;
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, req);
+  EXPECT_EQ(wire.size(), ReadGolden("request_v1.bin").size() + 32);
+
+  net::Request out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::ParseFrame(wire, &consumed, &out), net::ParseResult::kOk);
+  EXPECT_EQ(out.tenant, 7u);
+  EXPECT_EQ(out.trace_id, req.trace_id);
+  EXPECT_EQ(out.trace_parent, req.trace_parent);
+  EXPECT_EQ(out.mutation_op, net::kMutationDelete);
+  EXPECT_EQ(out.mutation_target, 42u);
   EXPECT_EQ(out.text, req.text);
 }
 

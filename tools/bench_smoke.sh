@@ -25,10 +25,18 @@
 #                          search is not >= 1.5x faster than the float32
 #                          scan or its recall@10 vs float drops below
 #                          0.95 (DESIGN.md §11; the full 1M gate is 2x).
+#   7. churn_sweep       — --quick live-corpus churn gates (DESIGN.md
+#                          §13): recall@10 after 20% churn must hold
+#                          >= 0.95 of a rebuilt-from-scratch oracle, the
+#                          slot-arena conservation equation must close,
+#                          and on multi-core hosts query p99 under
+#                          sustained ingest must stay <= 2x quiet (on
+#                          1-core hosts the p99 gate records a
+#                          machine-readable skip_reason instead).
 #
 # Emits BENCH_obs.json, BENCH_kernels.json, BENCH_shard.json,
-# BENCH_net.json, BENCH_tenant.json, BENCH_quant.json and
-# BENCH_trace.json (serve_load's exported Perfetto trace) into --out
+# BENCH_net.json, BENCH_tenant.json, BENCH_quant.json, BENCH_churn.json
+# and BENCH_trace.json (serve_load's exported Perfetto trace) into --out
 # (default: the build dir), which CI uploads as artifacts. Timing gates on shared runners are noisy, so CI marks
 # this job non-blocking; locally it is a quick sanity check that the
 # perf story still holds.
@@ -52,7 +60,7 @@ mkdir -p "$OUT_DIR"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target obs_overhead distance_kernels shard_scaling serve_load \
-  tenant_isolation quantized_scan
+  tenant_isolation quantized_scan churn_sweep
 
 echo "== bench_smoke: obs_overhead (2% telemetry gate) =="
 "$BUILD_DIR/bench/obs_overhead" --json="$OUT_DIR/BENCH_obs.json"
@@ -152,6 +160,32 @@ fi
 if ! awk -v r="$QRECALL" 'BEGIN { exit !(r >= 0.95) }'; then
   echo "bench_smoke: FAIL — sq8 recall@10 vs float below 0.95" >&2
   exit 1
+fi
+
+echo "== bench_smoke: churn_sweep --quick (live-corpus churn gates) =="
+# churn_sweep exits non-zero by itself when the recall-after-churn or
+# conservation gate fails, and on multi-core hosts when p99 under
+# ingest exceeds 2x quiet. Mirror the shard-gate handling: the p99
+# verdict must be true/false or null with a machine-readable
+# skip_reason (1-core hosts timeslice queries against the writer, so
+# p99 there measures the scheduler, not the index).
+"$BUILD_DIR/bench/churn_sweep" --quick \
+  --json="$OUT_DIR/BENCH_churn.json"
+if ! grep -q '"recall_gate": true' "$OUT_DIR/BENCH_churn.json"; then
+  echo "bench_smoke: FAIL — recall-after-churn gate not recorded true" >&2
+  exit 1
+fi
+if ! grep -q '"conservation_ok": true' "$OUT_DIR/BENCH_churn.json"; then
+  echo "bench_smoke: FAIL — slot-arena conservation gate not true" >&2
+  exit 1
+fi
+if ! grep -q '"p99_gate": \(true\|false\)' "$OUT_DIR/BENCH_churn.json"; then
+  echo "bench_smoke: churn p99 gate skipped — checking skip_reason"
+  grep -q '"p99_skip_reason": "' "$OUT_DIR/BENCH_churn.json" || {
+    echo "bench_smoke: FAIL — churn p99 gate neither ran nor recorded" \
+         "a skip_reason" >&2
+    exit 1
+  }
 fi
 
 echo "bench_smoke: all gates passed"

@@ -320,7 +320,7 @@ void PrintTenantStats(
 // short-mutex snapshot, or fixed at startup.
 std::string ServeStatusz(const std::string& storage,
                          const std::string& index_desc,
-                         BatchingDriver* driver,
+                         const VectorIndex* index, BatchingDriver* driver,
                          TenantRegistry* registry) {
   std::string out;
   char line[256];
@@ -329,6 +329,28 @@ std::string ServeStatusz(const std::string& storage,
   out += "storage: " + storage + " (quant kernels: " +
          detail::ActiveQuantTable()->name + ")\n";
   out += "index: " + index_desc + "\n";
+  // The live-corpus line: generation is read live (mutations bump it),
+  // staleness/stale_hits come from the default tenant's cache — the one
+  // every tenant shares a policy with in CLI serving.
+  if (index != nullptr && index->SupportsMutation()) {
+    std::uint64_t stale_hits = 0;
+    const char* policy = "serve-stale";
+    if (registry != nullptr) {
+      ConcurrentProximityCache& cache =
+          registry->CacheFor(kDefaultTenant);
+      stale_hits = cache.inner_stats().stale_hits;
+      policy = StalenessPolicyName(cache.staleness());
+    }
+    std::snprintf(line, sizeof(line),
+                  "mutation: enabled generation=%llu staleness=%s "
+                  "stale_hits=%llu\n",
+                  static_cast<unsigned long long>(index->generation()),
+                  policy,
+                  static_cast<unsigned long long>(stale_hits));
+    out += line;
+  } else {
+    out += "mutation: disabled (build-once index)\n";
+  }
 #if PROXIMITY_OBS_ENABLED
   out += "obs: compiled ON\n";
 #else
@@ -360,6 +382,9 @@ int CmdServe(const Config& cfg) {
     std::puts(
         "serve knobs: workload=mmlu|medrag corpus=N capacity=N tau=X\n"
         "  index=flat|hnsw|... shards=N (0 = one per core) threads=N\n"
+        "  index=mutable enables live INSERT/DELETE (protocol v4);\n"
+        "  staleness=serve-stale|revalidate|invalidate-region (cache\n"
+        "  policy when an entry predates the index generation)\n"
         "  storage=float32|sq8|sq4 rerank=N (compressed primary scan)\n"
         "  max_batch=N max_wait_us=N coalesce=true|false top_k=N\n"
         "  variants=N order=shuffled|grouped|zipf seed=N\n"
@@ -419,6 +444,13 @@ int CmdServe(const Config& cfg) {
   copts.capacity = static_cast<std::size_t>(cfg.GetInt("capacity", 200));
   copts.tolerance = static_cast<float>(cfg.GetDouble("tau", 2.0));
   copts.metric = index->metric();
+  const std::string staleness_name =
+      cfg.GetString("staleness", "serve-stale");
+  if (!ParseStalenessPolicy(staleness_name, &copts.staleness)) {
+    std::fprintf(stderr, "serve: unknown staleness policy '%s'\n",
+                 staleness_name.c_str());
+    return 2;
+  }
   ConcurrentProximityCache cache(embedder.dim(), copts);
 
   BatchingDriverOptions dopts;
@@ -458,6 +490,10 @@ int CmdServe(const Config& cfg) {
               registry.tenant_count());
     }
     BatchingDriver driver(*index, registry, &embedder, dopts);
+    if (index->SupportsMutation()) {
+      driver.EnableMutation(*index);
+      LogInfo("serve: live-corpus mutations enabled (protocol v4)");
+    }
     net::ServerOptions nopts;
     nopts.host = host;
     nopts.port = port;
@@ -498,10 +534,11 @@ int CmdServe(const Config& cfg) {
       };
       const std::string storage = ispec.storage;
       const std::string index_desc = index->Describe();
+      const VectorIndex* vidx = index.get();
       BatchingDriver* drv = &driver;
       TenantRegistry* reg = &registry;
-      hooks.statusz = [storage, index_desc, drv, reg] {
-        return ServeStatusz(storage, index_desc, drv, reg);
+      hooks.statusz = [storage, index_desc, vidx, drv, reg] {
+        return ServeStatusz(storage, index_desc, vidx, drv, reg);
       };
       admin = std::make_unique<net::AdminServer>(
           std::move(hooks),
@@ -596,6 +633,12 @@ int CmdClient(const Config& cfg) {
         "  the server's /tracez stitches client call + server spans)\n"
         "  workload=mmlu|medrag corpus=N variants=N order=... (the text\n"
         "  source; match the server's workload for meaningful hits)\n"
+        "live-corpus mutations (server must run index=mutable):\n"
+        "  insert_text=STR (send one v4 INSERT; prints the assigned id)\n"
+        "  delete_inserted=true (then DELETE the id just assigned)\n"
+        "  delete_id=N (send one v4 DELETE of id N)\n"
+        "  A mutation invocation performs only the mutations and exits\n"
+        "  (no query loop); exit is non-zero unless every round-trip OK.\n"
         "Closed loop: each connection sends its next request as soon as\n"
         "the previous response arrives. Prints client-observed latency\n"
         "percentiles split by cache hit vs miss. Exits non-zero when any\n"
@@ -616,6 +659,62 @@ int CmdClient(const Config& cfg) {
       static_cast<std::uint64_t>(cfg.GetInt("deadline_us", 0));
   const auto tenant = static_cast<TenantId>(cfg.GetInt("tenant", 0));
   const bool trace = cfg.GetBool("trace", false);
+
+  // Mutation round-trip mode: one connection, INSERT and/or DELETE,
+  // parseable one-line results, then exit — the scripted building block
+  // of tools/serve_smoke.sh's churn section.
+  const std::string insert_text = cfg.GetString("insert_text", "");
+  const long long delete_id = cfg.GetInt("delete_id", -1);
+  const bool delete_inserted = cfg.GetBool("delete_inserted", false);
+  if (!insert_text.empty() || delete_id >= 0) {
+    net::Client client;
+    if (!client.Connect(host, port)) {
+      std::fputs("client: connect failed\n", stderr);
+      return 2;
+    }
+    int failures = 0;
+    VectorId inserted = kInvalidVector;
+    std::uint64_t next_id = 1;
+    if (!insert_text.empty()) {
+      net::Request req;
+      req.id = next_id++;
+      req.tenant = tenant;
+      req.mutation_op = net::kMutationInsert;
+      req.text = insert_text;
+      net::Response resp;
+      if (!client.Call(req, &resp)) {
+        std::fputs("client: transport error on INSERT\n", stderr);
+        return 1;
+      }
+      if (resp.status == RequestStatus::kOk && !resp.documents.empty()) {
+        inserted = resp.documents[0];
+      } else {
+        ++failures;
+      }
+      std::printf("insert: status=%s id=%lld\n",
+                  RequestStatusName(resp.status),
+                  static_cast<long long>(inserted));
+    }
+    const VectorId target =
+        delete_id >= 0 ? static_cast<VectorId>(delete_id) : inserted;
+    if (delete_id >= 0 || (delete_inserted && inserted != kInvalidVector)) {
+      net::Request req;
+      req.id = next_id++;
+      req.tenant = tenant;
+      req.mutation_op = net::kMutationDelete;
+      req.mutation_target = static_cast<std::uint64_t>(target);
+      net::Response resp;
+      if (!client.Call(req, &resp)) {
+        std::fputs("client: transport error on DELETE\n", stderr);
+        return 1;
+      }
+      if (resp.status != RequestStatus::kOk) ++failures;
+      std::printf("delete: status=%s id=%lld\n",
+                  RequestStatusName(resp.status),
+                  static_cast<long long>(target));
+    }
+    return failures == 0 ? 0 : 1;
+  }
 
   const Workload workload = BuildWorkload(SpecFor(
       cfg.GetString("workload", "mmlu"),

@@ -4,6 +4,9 @@
 #   1. Boots `proximity_cli serve --listen 127.0.0.1:0` (ephemeral port,
 #      published through port_file=) with a small corpus.
 #   2. Runs a short closed-loop load with `proximity_cli client`.
+#   2b. Round-trips a v4 INSERT + DELETE against the live index
+#       (the server runs index=mutable) and asserts /statusz shows the
+#       bumped mutation generation.
 #   3. SIGTERMs the server and asserts the drain is clean:
 #        - the client saw every request answered (ok == sent, zero
 #          transport errors),
@@ -47,7 +50,7 @@ trap cleanup EXIT
 echo "== serve_smoke: starting server on an ephemeral port =="
 "$CLI" serve --listen 127.0.0.1:0 "port_file=$TMP/port" \
   --admin 127.0.0.1:0 "admin_port_file=$TMP/admin_port" \
-  "corpus=$CORPUS" quiet=true \
+  "corpus=$CORPUS" index=mutable quiet=true \
   --metrics-out "$TMP/metrics.json" >"$TMP/serve.log" 2>&1 &
 SERVE_PID=$!
 
@@ -113,6 +116,39 @@ else
   echo "admin plane live: scraped /metrics, resolved trace 0x$TRACE_ID"
 fi
 
+echo "== serve_smoke: v4 mutation round-trip =="
+# The server runs index=mutable, so its /statusz reports the mutation
+# line with the live generation counter. Capture it, push one INSERT +
+# DELETE pair through the wire protocol, and assert the counter moved
+# by exactly two — proof the mutations reached the index, not just the
+# socket.
+GEN_LINE=$(curl -fsS "$ADMIN/statusz" | grep "mutation: enabled generation=")
+if [[ -z "$GEN_LINE" ]]; then
+  echo "serve_smoke: FAIL — /statusz lacks the mutation line" >&2
+  exit 1
+fi
+GEN_BEFORE=$(echo "$GEN_LINE" | sed 's/.*generation=\([0-9]*\).*/\1/')
+"$CLI" client "connect=127.0.0.1:$PORT" \
+  "insert_text=a freshly ingested smoke document" delete_inserted=true \
+  quiet=true | tee "$TMP/mut.log"
+if ! grep -q "insert: status=OK" "$TMP/mut.log"; then
+  echo "serve_smoke: FAIL — INSERT did not come back OK" >&2
+  exit 1
+fi
+if ! grep -q "delete: status=OK" "$TMP/mut.log"; then
+  echo "serve_smoke: FAIL — DELETE did not come back OK" >&2
+  exit 1
+fi
+GEN_AFTER=$(curl -fsS "$ADMIN/statusz" |
+            grep "mutation: enabled generation=" |
+            sed 's/.*generation=\([0-9]*\).*/\1/')
+if [[ "$GEN_AFTER" -ne $((GEN_BEFORE + 2)) ]]; then
+  echo "serve_smoke: FAIL — generation $GEN_BEFORE -> $GEN_AFTER," \
+       "expected +2 (one INSERT, one DELETE)" >&2
+  exit 1
+fi
+echo "mutation round-trip OK: generation $GEN_BEFORE -> $GEN_AFTER"
+
 echo "== serve_smoke: SIGTERM drain =="
 kill -TERM "$SERVE_PID"
 SERVE_RC=0
@@ -133,7 +169,9 @@ if ! grep -q "transport_errors=0" "$TMP/client.log"; then
   echo "serve_smoke: FAIL — client hit transport errors" >&2
   fail=1
 fi
-if ! grep -q "requests=$N responses=$N " "$TMP/serve.log"; then
+# The load's $N frames plus the mutation round-trip's INSERT + DELETE.
+TOTAL=$((N + 2))
+if ! grep -q "requests=$TOTAL responses=$TOTAL " "$TMP/serve.log"; then
   echo "serve_smoke: FAIL — server dropped responses" >&2
   fail=1
 fi
