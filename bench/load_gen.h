@@ -1,0 +1,211 @@
+// Shared load-generation harness for the serving benches (DESIGN.md
+// §9, §14): serve_load drives the single-process stack with it and
+// cluster_scaling drives the router front-end — same closed-loop
+// driver, same stats, so the single-process and routed numbers in
+// BENCH_net.json and BENCH_cluster.json are directly comparable.
+//
+// LoadStats keeps the latency split per status code, not just per
+// outcome count. The non-OK codes have very different latency shapes —
+// sheds return at admission speed, deadline answers at the deadline,
+// and UNAVAILABLE spikes exactly during a failover window — and
+// averaging them into one histogram hides precisely the transients the
+// cluster bench exists to measure.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "obs/trace.h"
+
+namespace proximity::bench {
+
+/// Client-observed load statistics with a per-status-code latency
+/// split. `all` covers every answered request; `hit`/`miss` split the
+/// OK answers by the cache-hit response flag; `by_status[s]` holds the
+/// latency histogram of exactly the answers with that status.
+struct LoadStats {
+  LatencyHistogram all, hit, miss;
+  LatencyHistogram ok_lat, shed_lat, deadline_lat, unavailable_lat,
+      other_lat;
+  std::uint64_t ok = 0, shed = 0, deadline = 0, unavailable = 0,
+                other = 0, transport = 0;
+
+  void Merge(const LoadStats& o) {
+    all.Merge(o.all);
+    hit.Merge(o.hit);
+    miss.Merge(o.miss);
+    ok_lat.Merge(o.ok_lat);
+    shed_lat.Merge(o.shed_lat);
+    deadline_lat.Merge(o.deadline_lat);
+    unavailable_lat.Merge(o.unavailable_lat);
+    other_lat.Merge(o.other_lat);
+    ok += o.ok;
+    shed += o.shed;
+    deadline += o.deadline;
+    unavailable += o.unavailable;
+    other += o.other;
+    transport += o.transport;
+  }
+
+  void Record(const net::Response& resp, Nanos ns) {
+    all.Record(ns);
+    switch (resp.status) {
+      case RequestStatus::kOk:
+        ++ok;
+        ok_lat.Record(ns);
+        (resp.cache_hit() ? hit : miss).Record(ns);
+        break;
+      case RequestStatus::kResourceExhausted:
+        ++shed;
+        shed_lat.Record(ns);
+        break;
+      case RequestStatus::kDeadlineExceeded:
+        ++deadline;
+        deadline_lat.Record(ns);
+        break;
+      case RequestStatus::kUnavailable:
+        ++unavailable;
+        unavailable_lat.Record(ns);
+        break;
+      default:
+        ++other;
+        other_lat.Record(ns);
+        break;
+    }
+  }
+};
+
+/// One closed-loop measurement cell.
+struct ClosedCell {
+  std::size_t conns = 0;
+  std::size_t requests = 0;
+  double wall_s = 0;
+  LoadStats stats;
+};
+
+struct ClosedLoopOptions {
+  std::size_t conns = 1;
+  std::size_t requests = 0;
+  /// Request-id offset (keeps ids unique across phases of one run).
+  std::uint64_t id_base = 0;
+  /// Open a fresh trace per request so client + server spans stitch.
+  bool trace = true;
+  /// Keep sending after a non-OK answer. The cluster failover bench
+  /// needs this: a request answered UNAVAILABLE mid-failover is a data
+  /// point, not a reason to stop offering load.
+  bool continue_on_error = true;
+};
+
+/// Drives `opts.requests` requests over `opts.conns` closed-loop
+/// connections against host:port, cycling through `texts`. Each
+/// connection sends its next request the moment the previous response
+/// lands. A transport failure (dead connection) reconnects once per
+/// request so a restarted server keeps absorbing load; requests lost to
+/// transport failures count in `stats.transport`.
+inline ClosedCell RunClosedLoop(const std::string& host, std::uint16_t port,
+                                const std::vector<std::string>& texts,
+                                const ClosedLoopOptions& opts) {
+  using SteadyClock = std::chrono::steady_clock;
+  ClosedCell cell;
+  cell.conns = opts.conns;
+  cell.requests = opts.requests;
+  std::vector<LoadStats> per_conn(opts.conns);
+  std::vector<std::thread> threads;
+  threads.reserve(opts.conns);
+  const auto t0 = SteadyClock::now();
+  for (std::size_t c = 0; c < opts.conns; ++c) {
+    threads.emplace_back([&, c] {
+      LoadStats& s = per_conn[c];
+      net::Client client;
+      if (!client.Connect(host, port)) {
+        ++s.transport;
+        return;
+      }
+      for (std::size_t i = c; i < opts.requests; i += opts.conns) {
+        net::Request req;
+        req.id = opts.id_base + i + 1;
+        req.text = texts[i % texts.size()];
+        net::Response resp;
+        const auto sent = SteadyClock::now();
+        bool called;
+        {
+          const obs::ScopedTraceContext scope(
+              opts.trace ? obs::TraceContext{obs::NewTraceId(), 0}
+                         : obs::TraceContext{});
+          called = client.Call(req, &resp);
+        }
+        if (!called) {
+          ++s.transport;
+          // One reconnect attempt per lost request: a router or server
+          // that just restarted should keep seeing offered load.
+          if (!client.Connect(host, port)) return;
+          continue;
+        }
+        s.Record(resp, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           SteadyClock::now() - sent)
+                           .count());
+        if (resp.status != RequestStatus::kOk && !opts.continue_on_error) {
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  cell.wall_s =
+      std::chrono::duration<double>(SteadyClock::now() - t0).count();
+  for (const auto& s : per_conn) cell.stats.Merge(s);
+  return cell;
+}
+
+inline double LoadMs(double ns) { return ns / 1e6; }
+
+inline void EmitStatusJson(std::ostream& os, const char* key,
+                           const LatencyHistogram& h) {
+  os << "\"" << key << "\": {\"n\": " << h.count()
+     << ", \"p50_ms\": " << LoadMs(h.QuantileNanos(0.50))
+     << ", \"p99_ms\": " << LoadMs(h.QuantileNanos(0.99)) << "}";
+}
+
+/// Emits the fields of one measurement cell (no surrounding braces):
+/// aggregate rates, the hit/miss split, and the per-status latency
+/// split under "by_status".
+inline void EmitStatsJson(std::ostream& os, const LoadStats& s,
+                          double wall_s) {
+  const double answered = static_cast<double>(s.all.count());
+  os << "\"achieved_qps\": " << (wall_s > 0 ? answered / wall_s : 0.0)
+     << ", \"answered\": " << s.all.count() << ", \"ok\": " << s.ok
+     << ", \"shed\": " << s.shed << ", \"deadline_exceeded\": " << s.deadline
+     << ", \"unavailable\": " << s.unavailable
+     << ", \"transport_errors\": " << s.transport
+     << ", \"shed_rate\": "
+     << (answered > 0 ? static_cast<double>(s.shed) / answered : 0.0)
+     << ", \"p50_ms\": " << LoadMs(s.all.QuantileNanos(0.50))
+     << ", \"p99_ms\": " << LoadMs(s.all.QuantileNanos(0.99))
+     << ", \"hit\": {\"n\": " << s.hit.count()
+     << ", \"p50_ms\": " << LoadMs(s.hit.QuantileNanos(0.50))
+     << ", \"p99_ms\": " << LoadMs(s.hit.QuantileNanos(0.99))
+     << "}, \"miss\": {\"n\": " << s.miss.count()
+     << ", \"p50_ms\": " << LoadMs(s.miss.QuantileNanos(0.50))
+     << ", \"p99_ms\": " << LoadMs(s.miss.QuantileNanos(0.99))
+     << "}, \"by_status\": {";
+  EmitStatusJson(os, "ok", s.ok_lat);
+  os << ", ";
+  EmitStatusJson(os, "resource_exhausted", s.shed_lat);
+  os << ", ";
+  EmitStatusJson(os, "deadline_exceeded", s.deadline_lat);
+  os << ", ";
+  EmitStatusJson(os, "unavailable", s.unavailable_lat);
+  os << ", ";
+  EmitStatusJson(os, "other", s.other_lat);
+  os << "}";
+}
+
+}  // namespace proximity::bench

@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/load_gen.h"
 #include "cache/concurrent_cache.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -51,34 +52,11 @@ namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
-struct LoadStats {
-  LatencyHistogram all, hit, miss;
-  std::uint64_t ok = 0, shed = 0, deadline = 0, other = 0, transport = 0;
-
-  void Merge(const LoadStats& o) {
-    all.Merge(o.all);
-    hit.Merge(o.hit);
-    miss.Merge(o.miss);
-    ok += o.ok;
-    shed += o.shed;
-    deadline += o.deadline;
-    other += o.other;
-    transport += o.transport;
-  }
-
-  void Record(const net::Response& resp, Nanos ns) {
-    all.Record(ns);
-    switch (resp.status) {
-      case RequestStatus::kOk:
-        ++ok;
-        (resp.cache_hit() ? hit : miss).Record(ns);
-        break;
-      case RequestStatus::kResourceExhausted: ++shed; break;
-      case RequestStatus::kDeadlineExceeded: ++deadline; break;
-      default: ++other; break;
-    }
-  }
-};
+// Stats, the per-status latency split and the closed-loop driver are
+// shared with bench/cluster_scaling through bench/load_gen.h.
+using bench::ClosedCell;
+using bench::EmitStatsJson;
+using bench::LoadStats;
 
 // The serving stack under test, owned for the bench's lifetime.
 struct Stack {
@@ -125,60 +103,18 @@ struct Stack {
   }
 };
 
-struct ClosedCell {
-  std::size_t conns = 0;
-  std::size_t requests = 0;
-  double wall_s = 0;
-  LoadStats stats;
-};
-
-ClosedCell RunClosedLoop(const Stack& stack, std::size_t conns,
-                         std::size_t requests) {
-  ClosedCell cell;
-  cell.conns = conns;
-  cell.requests = requests;
-  std::vector<LoadStats> per_conn(conns);
-  std::vector<std::thread> threads;
-  threads.reserve(conns);
-  const auto t0 = SteadyClock::now();
-  for (std::size_t c = 0; c < conns; ++c) {
-    threads.emplace_back([&, c] {
-      LoadStats& s = per_conn[c];
-      net::Client client;
-      if (!client.Connect("127.0.0.1", stack.server->port())) {
-        ++s.transport;
-        return;
-      }
-      for (std::size_t i = c; i < requests; i += conns) {
-        net::Request req;
-        req.id = i + 1;
-        req.text = stack.stream[i % stack.stream.size()].text;
-        net::Response resp;
-        const auto sent = SteadyClock::now();
-        bool called;
-        {
-          // Fresh trace per request: client call + server spans land in
-          // the same in-process rings, so the tail sampler keeps whole
-          // cross-side traces (exported via --trace-out).
-          const obs::ScopedTraceContext scope(
-              obs::TraceContext{obs::NewTraceId(), 0});
-          called = client.Call(req, &resp);
-        }
-        if (!called) {
-          ++s.transport;
-          return;
-        }
-        s.Record(resp, std::chrono::duration_cast<std::chrono::nanoseconds>(
-                           SteadyClock::now() - sent)
-                           .count());
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  cell.wall_s = std::chrono::duration<double>(SteadyClock::now() - t0)
-                    .count();
-  for (const auto& s : per_conn) cell.stats.Merge(s);
-  return cell;
+ClosedCell RunClosedLoop(const Stack& stack,
+                         const std::vector<std::string>& texts,
+                         std::size_t conns, std::size_t requests) {
+  bench::ClosedLoopOptions opts;
+  opts.conns = conns;
+  opts.requests = requests;
+  // Fresh trace per request: client call + server spans land in the
+  // same in-process rings, so the tail sampler keeps whole cross-side
+  // traces (exported via --trace-out).
+  opts.trace = true;
+  return bench::RunClosedLoop("127.0.0.1", stack.server->port(), texts,
+                              opts);
 }
 
 struct OpenCell {
@@ -267,26 +203,6 @@ OpenCell RunOpenLoop(const Stack& stack, double offered_qps,
   return cell;
 }
 
-double Ms(double ns) { return ns / 1e6; }
-
-void EmitStatsJson(std::ofstream& os, const LoadStats& s, double wall_s) {
-  const double answered = static_cast<double>(s.all.count());
-  os << "\"achieved_qps\": " << (wall_s > 0 ? answered / wall_s : 0.0)
-     << ", \"answered\": " << s.all.count() << ", \"ok\": " << s.ok
-     << ", \"shed\": " << s.shed << ", \"deadline_exceeded\": " << s.deadline
-     << ", \"transport_errors\": " << s.transport
-     << ", \"shed_rate\": "
-     << (answered > 0 ? static_cast<double>(s.shed) / answered : 0.0)
-     << ", \"p50_ms\": " << Ms(s.all.QuantileNanos(0.50))
-     << ", \"p99_ms\": " << Ms(s.all.QuantileNanos(0.99))
-     << ", \"hit\": {\"n\": " << s.hit.count()
-     << ", \"p50_ms\": " << Ms(s.hit.QuantileNanos(0.50))
-     << ", \"p99_ms\": " << Ms(s.hit.QuantileNanos(0.99))
-     << "}, \"miss\": {\"n\": " << s.miss.count()
-     << ", \"p50_ms\": " << Ms(s.miss.QuantileNanos(0.50))
-     << ", \"p99_ms\": " << Ms(s.miss.QuantileNanos(0.99)) << "}";
-}
-
 int Main(int argc, char** argv) {
   std::string json_path = "BENCH_net.json";
   std::string trace_out;
@@ -321,6 +237,10 @@ int Main(int argc, char** argv) {
   std::printf("serve_load: corpus=%zu requests=%zu port=%u\n", corpus,
               requests, stack.server->port());
 
+  std::vector<std::string> texts;
+  texts.reserve(stack.stream.size());
+  for (const auto& entry : stack.stream) texts.push_back(entry.text);
+
   // Closed loop: capacity and the hit-vs-miss split.
   const std::size_t conn_sweep_full[] = {1, 4, 16};
   const std::size_t conn_sweep_quick[] = {1, 4};
@@ -330,7 +250,7 @@ int Main(int argc, char** argv) {
   std::vector<ClosedCell> closed;
   double top_qps = 0;
   for (std::size_t i = 0; i < conn_n; ++i) {
-    ClosedCell cell = RunClosedLoop(stack, conn_sweep[i], requests);
+    ClosedCell cell = RunClosedLoop(stack, texts, conn_sweep[i], requests);
     const double qps = cell.wall_s > 0
                            ? static_cast<double>(cell.stats.all.count()) /
                                  cell.wall_s

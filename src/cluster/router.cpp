@@ -1,0 +1,845 @@
+#include "cluster/router.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/log.h"
+#include "index/sharded_index.h"
+
+namespace proximity::cluster {
+namespace {
+
+const obs::CounterHandle kObsQueries("cluster.queries");
+const obs::CounterHandle kObsMutations("cluster.mutations");
+const obs::CounterHandle kObsLegs("cluster.legs");
+const obs::CounterHandle kObsHedges("cluster.hedges");
+const obs::CounterHandle kObsHedgeWins("cluster.hedge_wins");
+const obs::CounterHandle kObsFailovers("cluster.failovers");
+const obs::CounterHandle kObsRetries("cluster.retries");
+const obs::CounterHandle kObsLegErrors("cluster.leg_errors");
+const obs::CounterHandle kObsMergeFallbacks("cluster.merge_fallbacks");
+const obs::CounterHandle kObsProbeFailures("cluster.probe_failures");
+// Client-facing request time (admission to completion) and individual
+// backend leg time (send to first complete response).
+const obs::HistogramHandle kObsRequestNs("cluster.request_ns");
+const obs::HistogramHandle kObsLegNs("cluster.leg_ns");
+
+using SteadyClock = std::chrono::steady_clock;
+
+int RemainingMs(SteadyClock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - SteadyClock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+std::uint64_t SinceUs(SteadyClock::time_point from) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - from)
+          .count());
+}
+
+Nanos SinceNs(SteadyClock::time_point from) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             SteadyClock::now() - from)
+      .count();
+}
+
+/// Waits for the first complete response on either leg. Returns 0 when
+/// the primary answered, 1 for the hedge, -1 when the budget ran out or
+/// both legs died. Legs that error are closed by TryRecv.
+int AwaitEither(net::Client& primary, net::Client& hedge,
+                net::Response* resp, int budget_ms) {
+  const auto deadline =
+      SteadyClock::now() + std::chrono::milliseconds(budget_ms);
+  for (;;) {
+    // Drain anything already buffered without blocking; TryRecv(0)
+    // consumes every readable byte before reporting timeout.
+    if (primary.connected()) {
+      const auto st = primary.TryRecv(resp, 0);
+      if (st == net::Client::RecvStatus::kOk) return 0;
+    }
+    if (hedge.connected()) {
+      const auto st = hedge.TryRecv(resp, 0);
+      if (st == net::Client::RecvStatus::kOk) return 1;
+    }
+    pollfd fds[2];
+    nfds_t n = 0;
+    if (primary.connected()) {
+      fds[n++] = pollfd{primary.native_handle(), POLLIN, 0};
+    }
+    if (hedge.connected()) {
+      fds[n++] = pollfd{hedge.native_handle(), POLLIN, 0};
+    }
+    if (n == 0) return -1;  // both legs died
+    const int wait = RemainingMs(deadline);
+    if (wait == 0) return -1;
+    const int pr = ::poll(fds, n, wait);
+    if (pr == 0) return -1;
+    if (pr < 0 && errno != EINTR) return -1;
+  }
+}
+
+/// Minimal blocking-with-deadline HTTP GET /healthz against a backend's
+/// admin plane. Healthy = 200 plus a body that says "serving"; a
+/// draining backend answers 503, which is exactly the signal the router
+/// needs to route around a rolling restart.
+bool ProbeHealthz(const std::string& host, std::uint16_t port,
+                  int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  const auto deadline =
+      SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  bool ok = ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+  if (ok) {
+    // Non-blocking dial bounded by the probe budget.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int rc =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int err = -1;
+      if (::poll(&pfd, 1, RemainingMs(deadline)) > 0) {
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+          err = -1;
+        }
+      }
+      ok = err == 0;
+    } else {
+      ok = rc == 0;
+    }
+  }
+  std::string body;
+  if (ok) {
+    const std::string get =
+        "GET /healthz HTTP/1.1\r\nHost: " + host +
+        "\r\nConnection: close\r\n\r\n";
+    std::size_t off = 0;
+    while (ok && off < get.size()) {
+      const ssize_t n = ::send(fd, get.data() + off, get.size() - off,
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd pfd{fd, POLLOUT, 0};
+        const int wait = RemainingMs(deadline);
+        if (wait == 0 || ::poll(&pfd, 1, wait) <= 0) ok = false;
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      ok = false;
+    }
+    while (ok) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int wait = RemainingMs(deadline);
+      if (wait == 0 || ::poll(&pfd, 1, wait) <= 0) {
+        ok = false;
+        break;
+      }
+      char chunk[1024];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n > 0) {
+        body.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) break;  // server closed: response complete
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      ok = false;
+    }
+  }
+  ::close(fd);
+  return ok && body.find(" 200 ") != std::string::npos &&
+         body.find("serving") != std::string::npos;
+}
+
+}  // namespace
+
+void Router::SinkImpl::Submit(net::Request request,
+                              const SubmitOptions& options,
+                              BatchCallback done) {
+  router.Enqueue(Job{std::move(request), options, std::move(done)});
+}
+
+Router::Router(ShardMap map, RouterOptions options)
+    : map_(std::move(map)),
+      options_(options),
+      server_(sink_, options_.server) {
+  backends_.reserve(map_.num_groups());
+  for (const ShardGroup& group : map_.groups()) {
+    auto b = std::make_unique<BackendState>(
+        group.id,
+        "cluster.backend." + std::to_string(group.id) + ".inflight");
+    for (const Replica& replica : group.replicas) {
+      auto rs = std::make_unique<ReplicaState>();
+      rs->replica = replica;
+      b->replicas.push_back(std::move(rs));
+    }
+    backends_.push_back(std::move(b));
+  }
+}
+
+Router::~Router() { Stop(); }
+
+void Router::Start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error("cluster::Router: Start called twice");
+  }
+  const std::size_t workers = std::max<std::size_t>(1, options_.workers);
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  probe_ = std::thread([this] { ProbeLoop(); });
+  try {
+    server_.Start();
+  } catch (...) {
+    if (!stopped_.exchange(true)) ShutdownWorkers();
+    throw;
+  }
+  LogInfo("cluster: routing {} shard groups on port {}", backends_.size(),
+          server_.port());
+}
+
+void Router::Join() {
+  server_.Join();
+  // The front-end drain waited for in-flight completions, so the job
+  // queue is normally empty by now; ShutdownWorkers still answers any
+  // stragglers (drain timeout path) with UNAVAILABLE.
+  if (!stopped_.exchange(true)) ShutdownWorkers();
+}
+
+void Router::Stop() {
+  if (!started_.load()) {
+    if (!stopped_.exchange(true)) ShutdownWorkers();
+    return;
+  }
+  server_.RequestDrain();
+  Join();
+}
+
+void Router::ShutdownWorkers() {
+  probe_stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(jobs_mu_);
+    stopping_ = true;
+  }
+  jobs_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  if (probe_.joinable()) probe_.join();
+  std::deque<Job> leftover;
+  {
+    std::lock_guard lock(jobs_mu_);
+    leftover.swap(jobs_);
+  }
+  for (Job& job : leftover) {
+    BatchResult result;
+    result.status = RequestStatus::kUnavailable;
+    job.done(std::move(result));
+  }
+}
+
+void Router::Enqueue(Job job) {
+  bool rejected = false;
+  {
+    std::lock_guard lock(jobs_mu_);
+    if (stopping_) {
+      rejected = true;
+    } else {
+      jobs_.push_back(std::move(job));
+    }
+  }
+  if (rejected) {
+    BatchResult result;
+    result.status = RequestStatus::kUnavailable;
+    job.done(std::move(result));
+    return;
+  }
+  jobs_cv_.notify_one();
+}
+
+void Router::WorkerLoop() {
+  // Every worker owns one connection per replica: legs pipeline across
+  // workers without sharing sockets, and at most one request is in
+  // flight per connection (losers of a hedge are closed), so response
+  // correlation is positional.
+  WorkerConns conns;
+  conns.clients.reserve(backends_.size());
+  conns.epochs.reserve(backends_.size());
+  net::ClientOptions copts;
+  copts.connect_timeout_ms = options_.connect_timeout_ms;
+  for (const auto& b : backends_) {
+    std::vector<net::Client> group;
+    for (std::size_t i = 0; i < b->replicas.size(); ++i) {
+      group.emplace_back(copts);
+    }
+    conns.clients.push_back(std::move(group));
+    conns.epochs.emplace_back(b->replicas.size(), 0);
+  }
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(jobs_mu_);
+      jobs_cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stopping, queue drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    if (job.request.mutation_op != net::kMutationNone) {
+      HandleMutation(conns, job);
+    } else {
+      HandleQuery(conns, job);
+    }
+  }
+}
+
+void Router::HandleQuery(WorkerConns& conns, Job& job) {
+  stats_.queries.fetch_add(1);
+  kObsQueries.Inc();
+  const auto start = Clock::now();
+  const std::size_t groups = backends_.size();
+
+  // Query legs differ from the client's frame in exactly one word: the
+  // v5 want-distances bit is ORed into flags so backends attach the
+  // distances the exact merge needs. Everything else — id, deadline,
+  // tenant, trace, text — relays untouched.
+  net::Request forward = job.request;
+  forward.flags |= net::kReqFlagWantDistances;
+
+  for (const auto& b : backends_) {
+    b->inflight_gauge.Set(
+        static_cast<double>(b->inflight.fetch_add(1) + 1));
+  }
+
+  // Phase 1: pipelined scatter — every leg is sent before any is read,
+  // so backend search time overlaps across groups.
+  std::vector<int> sent_rep(groups, -1);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const int rep = PickReplica(g, -1);
+    if (rep < 0) continue;
+    net::Client& c = Conn(conns, g, static_cast<std::size_t>(rep));
+    if (EnsureConnected(conns, g, static_cast<std::size_t>(rep)) &&
+        c.Send(forward)) {
+      sent_rep[g] = rep;
+    } else {
+      c.Close();
+      MarkDown(g, static_cast<std::size_t>(rep));
+    }
+  }
+
+  // Phase 2: gather in group order; failed legs retry on replicas.
+  std::vector<net::Response> legs(groups);
+  RequestStatus status = RequestStatus::kOk;
+  for (std::size_t g = 0; g < groups; ++g) {
+    LegResult leg =
+        GatherLeg(conns, g, forward, job.options.deadline, sent_rep[g]);
+    if (leg.status != RequestStatus::kOk &&
+        status == RequestStatus::kOk) {
+      status = leg.status;
+    }
+    legs[g] = std::move(leg.resp);
+  }
+
+  for (const auto& b : backends_) {
+    b->inflight_gauge.Set(
+        static_cast<double>(b->inflight.fetch_sub(1) - 1));
+  }
+
+  BatchResult result;
+  result.status = status;
+  if (status == RequestStatus::kOk) MergeLegs(legs, &result);
+  kObsRequestNs.Record(SinceNs(start));
+  job.done(std::move(result));
+}
+
+Router::LegResult Router::GatherLeg(WorkerConns& conns, std::size_t g,
+                                    const net::Request& forward,
+                                    Clock::time_point deadline,
+                                    int sent_rep) {
+  BackendState& b = *backends_[g];
+  int rep = sent_rep;
+  bool sent = sent_rep >= 0;
+  std::size_t attempts = 0;
+  while (attempts < options_.max_leg_attempts) {
+    if (!sent) {
+      rep = PickReplica(g, rep);
+      if (rep < 0) break;
+      net::Client& c = Conn(conns, g, static_cast<std::size_t>(rep));
+      if (!EnsureConnected(conns, g, static_cast<std::size_t>(rep)) ||
+          !c.Send(forward)) {
+        c.Close();
+        MarkDown(g, static_cast<std::size_t>(rep));
+        ++attempts;
+        b.retries.fetch_add(1);
+        stats_.retries.fetch_add(1);
+        kObsRetries.Inc();
+        continue;
+      }
+      sent = true;
+    }
+    stats_.legs.fetch_add(1);
+    kObsLegs.Inc();
+    b.sent.fetch_add(1);
+    const auto leg_start = Clock::now();
+    net::Client& c = Conn(conns, g, static_cast<std::size_t>(rep));
+    net::Response resp;
+    bool got = false;
+    int winner = rep;
+
+    const std::int64_t hedge_us =
+        options_.hedge ? HedgeDelayUs(g) : -1;
+    const int budget_ms = BudgetMs(deadline);
+    if (hedge_us >= 0 &&
+        static_cast<std::int64_t>(budget_ms) * 1000 > hedge_us) {
+      // Give the primary its latency-quantile budget first.
+      const int first_ms = static_cast<int>((hedge_us + 999) / 1000);
+      const auto st = c.TryRecv(&resp, first_ms);
+      if (st == net::Client::RecvStatus::kOk) {
+        got = true;
+      } else if (st == net::Client::RecvStatus::kTimeout) {
+        const int hedge_rep = PickReplica(g, rep);
+        if (hedge_rep >= 0) {
+          net::Client& h =
+              Conn(conns, g, static_cast<std::size_t>(hedge_rep));
+          if (EnsureConnected(conns, g, static_cast<std::size_t>(hedge_rep)) &&
+              h.Send(forward)) {
+            b.hedges.fetch_add(1);
+            stats_.hedges.fetch_add(1);
+            kObsHedges.Inc();
+            const int won = AwaitEither(c, h, &resp, BudgetMs(deadline));
+            if (won == 0) {
+              got = true;
+              // The loser has a response in flight that would poison
+              // the connection's next request; drop it.
+              h.Close();
+            } else if (won == 1) {
+              got = true;
+              winner = hedge_rep;
+              b.hedge_wins.fetch_add(1);
+              stats_.hedge_wins.fetch_add(1);
+              kObsHedgeWins.Inc();
+              c.Close();
+            }
+          } else {
+            h.Close();
+            MarkDown(g, static_cast<std::size_t>(hedge_rep));
+          }
+        }
+      }
+    }
+    if (!got && c.connected()) {
+      got = c.TryRecv(&resp, BudgetMs(deadline)) ==
+            net::Client::RecvStatus::kOk;
+    }
+
+    if (got) {
+      if (resp.status == RequestStatus::kUnavailable) {
+        // A draining backend answers UNAVAILABLE without doing the
+        // work: reroute to a replica (rolling-restart support).
+        Conn(conns, g, static_cast<std::size_t>(winner)).Close();
+        MarkDown(g, static_cast<std::size_t>(winner));
+        sent = false;
+        ++attempts;
+        b.retries.fetch_add(1);
+        stats_.retries.fetch_add(1);
+        kObsRetries.Inc();
+        continue;
+      }
+      RecordLegLatency(g, SinceUs(leg_start));
+      kObsLegNs.Record(SinceNs(leg_start));
+      LegResult out;
+      out.status = resp.status;
+      out.resp = std::move(resp);
+      return out;
+    }
+    // Timeout or transport error: the replica is suspect; queries are
+    // idempotent, so retry the whole leg elsewhere.
+    c.Close();
+    MarkDown(g, static_cast<std::size_t>(rep));
+    b.errors.fetch_add(1);
+    stats_.leg_errors.fetch_add(1);
+    kObsLegErrors.Inc();
+    sent = false;
+    ++attempts;
+  }
+  return LegResult{};  // kUnavailable
+}
+
+void Router::HandleMutation(WorkerConns& conns, Job& job) {
+  stats_.mutations.fetch_add(1);
+  kObsMutations.Inc();
+  const auto start = Clock::now();
+  // Mutations are relayed byte-identically (the golden-pinned
+  // passthrough contract) to exactly one group: DELETE routes by the
+  // target id, INSERT by the text hash, both through the consistent
+  // ring so a key keeps hitting the same group across requests.
+  const net::Request& forward = job.request;
+  const std::uint64_t key = forward.mutation_op == net::kMutationDelete
+                                ? forward.mutation_target
+                                : ShardMap::HashText(forward.text);
+  const std::size_t g = map_.GroupForKey(key);
+  BackendState& b = *backends_[g];
+  b.inflight_gauge.Set(static_cast<double>(b.inflight.fetch_add(1) + 1));
+
+  BatchResult result;
+  result.status = RequestStatus::kUnavailable;
+  int rep = -1;
+  std::size_t attempts = 0;
+  while (attempts < options_.max_leg_attempts) {
+    rep = PickReplica(g, rep);
+    if (rep < 0) break;
+    net::Client& c = Conn(conns, g, static_cast<std::size_t>(rep));
+    if (!EnsureConnected(conns, g, static_cast<std::size_t>(rep)) ||
+        !c.Send(forward)) {
+      // The frame never left this process: retrying on another replica
+      // cannot double-apply.
+      c.Close();
+      MarkDown(g, static_cast<std::size_t>(rep));
+      ++attempts;
+      b.retries.fetch_add(1);
+      stats_.retries.fetch_add(1);
+      kObsRetries.Inc();
+      continue;
+    }
+    stats_.legs.fetch_add(1);
+    kObsLegs.Inc();
+    b.sent.fetch_add(1);
+    net::Response resp;
+    const auto st = c.TryRecv(&resp, BudgetMs(job.options.deadline));
+    if (st == net::Client::RecvStatus::kOk) {
+      if (resp.status == RequestStatus::kUnavailable) {
+        // Drain refusal happens before the driver sees the frame, so a
+        // reroute is still double-apply-safe.
+        c.Close();
+        MarkDown(g, static_cast<std::size_t>(rep));
+        ++attempts;
+        b.retries.fetch_add(1);
+        stats_.retries.fetch_add(1);
+        kObsRetries.Inc();
+        continue;
+      }
+      result.status = resp.status;
+      result.documents = std::move(resp.documents);
+      result.cache_hit = resp.cache_hit();
+      result.coalesced = resp.coalesced();
+      result.queue_wait_ns = static_cast<Nanos>(resp.queue_ns);
+      break;
+    }
+    // Sent but unanswered: the mutation may have applied on the
+    // backend. Never hedged, never retried — UNAVAILABLE is the only
+    // double-apply-safe answer.
+    c.Close();
+    MarkDown(g, static_cast<std::size_t>(rep));
+    b.errors.fetch_add(1);
+    stats_.leg_errors.fetch_add(1);
+    kObsLegErrors.Inc();
+    break;
+  }
+  b.inflight_gauge.Set(static_cast<double>(b.inflight.fetch_sub(1) - 1));
+  kObsRequestNs.Record(SinceNs(start));
+  job.done(std::move(result));
+}
+
+void Router::MergeLegs(std::vector<net::Response>& legs,
+                       BatchResult* out) {
+  std::size_t k = 0;
+  bool exact = true;
+  bool all_hit = !legs.empty();
+  for (const net::Response& leg : legs) {
+    k = std::max(k, leg.documents.size());
+    if (leg.distances.size() != leg.documents.size()) exact = false;
+    if (!leg.cache_hit()) all_hit = false;
+    if (leg.coalesced()) out->coalesced = true;
+    out->queue_wait_ns =
+        std::max(out->queue_wait_ns, static_cast<Nanos>(leg.queue_ns));
+  }
+  out->cache_hit = all_hit;
+  if (exact) {
+    // The same exact (distance, id) heap merge ShardedIndex runs
+    // in-process — this is what makes a routed k-NN bit-identical to
+    // the single-process answer for exact indexes.
+    std::vector<std::vector<Neighbor>> parts(legs.size());
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+      parts[i].reserve(legs[i].documents.size());
+      for (std::size_t j = 0; j < legs[i].documents.size(); ++j) {
+        parts[i].push_back(
+            Neighbor{legs[i].documents[j], legs[i].distances[j]});
+      }
+    }
+    const auto merged = ShardedIndex::MergeSorted(parts, k);
+    out->documents.reserve(merged.size());
+    out->distances.reserve(merged.size());
+    for (const Neighbor& n : merged) {
+      out->documents.push_back(n.id);
+      out->distances.push_back(n.distance);
+    }
+    return;
+  }
+  // At least one leg lacks distances (backend cache hit): fall back to
+  // deterministic rank interleaving in group order. Ranks are merged
+  // breadth-first, so every group's best answers survive truncation.
+  stats_.merge_fallbacks.fetch_add(1);
+  kObsMergeFallbacks.Inc();
+  for (std::size_t rank = 0; out->documents.size() < k; ++rank) {
+    bool any = false;
+    for (const net::Response& leg : legs) {
+      if (rank >= leg.documents.size()) continue;
+      any = true;
+      if (out->documents.size() < k) {
+        out->documents.push_back(leg.documents[rank]);
+      }
+    }
+    if (!any) break;
+  }
+}
+
+int Router::PickReplica(std::size_t g, int exclude) const {
+  const BackendState& b = *backends_[g];
+  const std::size_t n = b.replicas.size();
+  const std::size_t primary = b.primary.load(std::memory_order_relaxed);
+  if (primary < n && static_cast<int>(primary) != exclude &&
+      b.replicas[primary]->healthy.load(std::memory_order_relaxed)) {
+    return static_cast<int>(primary);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (static_cast<int>(i) == exclude) continue;
+    if (b.replicas[i]->healthy.load(std::memory_order_relaxed)) {
+      return static_cast<int>(i);
+    }
+  }
+  // Everything is down: re-dial a replica whose backoff elapsed (how a
+  // probe-less replica gets discovered again after it comes back).
+  const auto now = Clock::now().time_since_epoch().count();
+  const auto retry = std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::milliseconds(options_.replica_retry_ms))
+                         .count();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (static_cast<int>(i) == exclude) continue;
+    if (now - b.replicas[i]->last_failure.load(std::memory_order_relaxed) >=
+        retry) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void Router::MarkDown(std::size_t g, std::size_t rep) {
+  BackendState& b = *backends_[g];
+  ReplicaState& r = *b.replicas[rep];
+  r.healthy.store(false, std::memory_order_relaxed);
+  r.last_failure.store(Clock::now().time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  // Invalidate every worker's cached connection to this replica: any
+  // socket dialed before this point must be re-dialed before reuse.
+  r.epoch.fetch_add(1, std::memory_order_relaxed);
+  // Move the sticky primary off the dead replica so subsequent legs
+  // stop dialing it until its backoff elapses (or a probe revives it).
+  if (b.primary.load(std::memory_order_relaxed) == rep) {
+    for (std::size_t i = 0; i < b.replicas.size(); ++i) {
+      if (i == rep ||
+          !b.replicas[i]->healthy.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      b.primary.store(i, std::memory_order_relaxed);
+      b.failovers.fetch_add(1);
+      stats_.failovers.fetch_add(1);
+      kObsFailovers.Inc();
+      break;
+    }
+  }
+}
+
+bool Router::EnsureConnected(WorkerConns& conns, std::size_t g,
+                             std::size_t rep) {
+  ReplicaState& r = *backends_[g]->replicas[rep];
+  net::Client& client = conns.clients[g][rep];
+  const std::uint64_t epoch = r.epoch.load(std::memory_order_relaxed);
+  if (client.connected() && conns.epochs[g][rep] == epoch) return true;
+  // Either never dialed, or dialed before the replica's last
+  // down-mark: a socket from the old incarnation may still look
+  // connected while being half-dead. Redial rather than let the stale
+  // FD's transport error re-mark a healthy replica down.
+  client.Close();
+  if (!client.Connect(r.replica.host, r.replica.port)) return false;
+  conns.epochs[g][rep] = epoch;
+  return true;
+}
+
+net::Client& Router::Conn(WorkerConns& conns, std::size_t g,
+                          std::size_t rep) {
+  return conns.clients[g][rep];
+}
+
+void Router::RecordLegLatency(std::size_t g, std::uint64_t us) {
+  BackendState& b = *backends_[g];
+  std::lock_guard lock(b.lat_mu);
+  b.lat_ring[b.lat_next] = us;
+  b.lat_next = (b.lat_next + 1) % b.lat_ring.size();
+  b.lat_count = std::min(b.lat_count + 1, b.lat_ring.size());
+}
+
+std::int64_t Router::HedgeDelayUs(std::size_t g) const {
+  const BackendState& b = *backends_[g];
+  std::array<std::uint64_t, 128> copy{};
+  std::size_t n = 0;
+  {
+    std::lock_guard lock(b.lat_mu);
+    n = b.lat_count;
+    if (n < std::max<std::size_t>(1, options_.hedge_warmup)) return -1;
+    copy = b.lat_ring;
+  }
+  n = std::min(n, copy.size());
+  const auto idx = std::min(
+      n - 1, static_cast<std::size_t>(options_.hedge_quantile *
+                                      static_cast<double>(n)));
+  std::nth_element(copy.begin(),
+                   copy.begin() + static_cast<std::ptrdiff_t>(idx),
+                   copy.begin() + static_cast<std::ptrdiff_t>(n));
+  return std::max<std::int64_t>(
+      static_cast<std::int64_t>(copy[idx]),
+      static_cast<std::int64_t>(options_.hedge_min_us));
+}
+
+int Router::BudgetMs(Clock::time_point deadline) const {
+  long long budget = options_.recv_timeout_ms;
+  if (deadline != Clock::time_point::max()) {
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now())
+            .count();
+    budget = std::min<long long>(budget, std::max<long long>(0, left));
+  }
+  return static_cast<int>(budget);
+}
+
+void Router::ProbeLoop() {
+  // Sliced sleep so Stop() is never stuck behind a full interval.
+  const auto slice = std::chrono::milliseconds(10);
+  auto next_probe = Clock::now();
+  while (!probe_stop_.load(std::memory_order_acquire)) {
+    if (Clock::now() < next_probe) {
+      std::this_thread::sleep_for(slice);
+      continue;
+    }
+    next_probe = Clock::now() +
+                 std::chrono::milliseconds(options_.probe_interval_ms);
+    for (std::size_t g = 0; g < backends_.size(); ++g) {
+      BackendState& b = *backends_[g];
+      for (std::size_t i = 0; i < b.replicas.size(); ++i) {
+        ReplicaState& r = *b.replicas[i];
+        if (r.replica.admin_port == 0) continue;  // passive-only replica
+        if (probe_stop_.load(std::memory_order_acquire)) return;
+        const bool ok = ProbeHealthz(r.replica.admin_host,
+                                     r.replica.admin_port,
+                                     options_.probe_timeout_ms);
+        if (ok) {
+          r.healthy.store(true, std::memory_order_relaxed);
+        } else {
+          stats_.probe_failures.fetch_add(1);
+          kObsProbeFailures.Inc();
+          MarkDown(g, i);
+        }
+      }
+    }
+  }
+}
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  s.queries = stats_.queries.load();
+  s.mutations = stats_.mutations.load();
+  s.legs = stats_.legs.load();
+  s.hedges = stats_.hedges.load();
+  s.hedge_wins = stats_.hedge_wins.load();
+  s.failovers = stats_.failovers.load();
+  s.retries = stats_.retries.load();
+  s.leg_errors = stats_.leg_errors.load();
+  s.merge_fallbacks = stats_.merge_fallbacks.load();
+  s.probe_failures = stats_.probe_failures.load();
+  return s;
+}
+
+std::vector<BackendStatus> Router::backend_status() const {
+  std::vector<BackendStatus> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) {
+    BackendStatus s;
+    s.group = b->id;
+    s.replicas = b->replicas.size();
+    s.primary = b->primary.load();
+    s.inflight = b->inflight.load();
+    s.sent = b->sent.load();
+    s.hedges = b->hedges.load();
+    s.hedge_wins = b->hedge_wins.load();
+    s.failovers = b->failovers.load();
+    s.retries = b->retries.load();
+    s.errors = b->errors.load();
+    for (const auto& r : b->replicas) {
+      const bool healthy = r->healthy.load();
+      s.replica_healthy.push_back(healthy);
+      if (healthy) ++s.healthy;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Router::Statusz() const {
+  std::ostringstream out;
+  const RouterStats s = stats();
+  out << "cluster: groups=" << backends_.size()
+      << " workers=" << options_.workers
+      << " hedge=" << (options_.hedge ? "on" : "off")
+      << " quantile=" << options_.hedge_quantile << "\n";
+  out << "cluster: queries=" << s.queries << " mutations=" << s.mutations
+      << " legs=" << s.legs << " hedges=" << s.hedges
+      << " hedge_wins=" << s.hedge_wins << " failovers=" << s.failovers
+      << " retries=" << s.retries << " leg_errors=" << s.leg_errors
+      << " merge_fallbacks=" << s.merge_fallbacks
+      << " probe_failures=" << s.probe_failures << "\n";
+  for (const BackendStatus& b : backend_status()) {
+    out << "backend " << b.group << ": replicas=" << b.replicas
+        << " healthy=" << b.healthy << " primary=" << b.primary
+        << " inflight=" << b.inflight << " sent=" << b.sent
+        << " hedges=" << b.hedges << " hedge_wins=" << b.hedge_wins
+        << " failovers=" << b.failovers << " retries=" << b.retries
+        << " errors=" << b.errors << "\n";
+    const BackendState& bs = *backends_[b.group];
+    for (std::size_t i = 0; i < bs.replicas.size(); ++i) {
+      const ReplicaState& r = *bs.replicas[i];
+      out << "backend " << b.group << " replica " << i << ": "
+          << r.replica.Address()
+          << (r.healthy.load() ? " healthy" : " down")
+          << (r.replica.admin_port != 0 ? " probe=admin" : " probe=passive")
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace proximity::cluster

@@ -1,0 +1,268 @@
+// Cluster router front-end (DESIGN.md §14).
+//
+// One endpoint, N backend shard servers. The router reuses the epoll
+// front-end of net::Server unchanged — it plugs into the RequestSink
+// seam — so framing, admission control, the drain FSM and the
+// completion ring are shared with the single-process server. What the
+// sink does differently:
+//
+//   Queries  scatter-gather to every shard group over pipelined
+//            net::Client connections. Legs ask for the v5 distance
+//            side-channel and the per-group top-k lists are merged with
+//            ShardedIndex::MergeSorted — the same exact (distance, id)
+//            heap merge used in-process — so for exact indexes a routed
+//            k-NN answer is bit-identical to the single-process one.
+//            When a leg lacks distances (backend cache hit) the merge
+//            falls back to deterministic rank interleaving (counted in
+//            cluster.merge_fallbacks).
+//   Mutations route to exactly one group via the shard map's
+//            consistent-hash ring (DELETE by target id, INSERT by text
+//            hash) and are relayed byte-identically — never hedged, and
+//            retried on another replica only before the frame could
+//            have been applied.
+//
+// Failure handling: per-replica health from active /healthz probes
+// (replicas that publish admin=) plus passive down-marking on
+// connection errors with a backoff retry; failed legs retry with
+// backoff against the group's next healthy replica; a draining backend
+// (UNAVAILABLE answers, /healthz 503) is routed around, which is what
+// makes rolling restarts invisible to clients. Tail latency: after a
+// configurable quantile of the group's recent leg latencies, a hedge
+// leg opens against a second replica and the first complete response
+// wins.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/shard_map.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics_registry.h"
+
+namespace proximity::cluster {
+
+struct RouterOptions {
+  /// Front-end options (listen address, admission bounds, drain).
+  net::ServerOptions server;
+  /// Scatter-gather worker threads (each owns its backend connections).
+  std::size_t workers = 4;
+  /// Backend dial budget per attempt.
+  int connect_timeout_ms = 1000;
+  /// Per-leg receive budget; expiry fails the leg over to a replica.
+  int recv_timeout_ms = 5000;
+  /// Hedged requests: after HedgeDelay (the configured quantile of the
+  /// group's recent leg latencies, floored at hedge_min_us) a second
+  /// leg opens on another replica; first complete response wins.
+  bool hedge = true;
+  double hedge_quantile = 0.99;
+  std::uint64_t hedge_min_us = 500;
+  /// Leg latencies observed per group before hedging arms.
+  std::size_t hedge_warmup = 16;
+  /// Active /healthz probe cadence for replicas that publish admin=.
+  int probe_interval_ms = 200;
+  int probe_timeout_ms = 500;
+  /// Backoff before a passively down-marked replica is dialed again.
+  int replica_retry_ms = 1000;
+  /// Replica attempts per leg (dial/send/drain failures) before the
+  /// leg completes UNAVAILABLE.
+  std::size_t max_leg_attempts = 3;
+};
+
+/// Router-wide counters (monotone; exact once workers have quiesced).
+struct RouterStats {
+  std::uint64_t queries = 0;
+  std::uint64_t mutations = 0;
+  std::uint64_t legs = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t leg_errors = 0;
+  std::uint64_t merge_fallbacks = 0;
+  std::uint64_t probe_failures = 0;
+};
+
+/// Point-in-time view of one shard group (for /statusz and tests).
+struct BackendStatus {
+  std::uint32_t group = 0;
+  std::size_t replicas = 0;
+  std::size_t healthy = 0;
+  std::size_t primary = 0;
+  std::uint64_t inflight = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t errors = 0;
+  std::vector<bool> replica_healthy;
+};
+
+class Router {
+ public:
+  explicit Router(ShardMap map, RouterOptions options = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Starts workers, the probe thread and the front-end listener.
+  /// Throws when the listen socket cannot be bound.
+  void Start();
+
+  /// Front-end port (after Start); useful with server.port == 0.
+  std::uint16_t port() const noexcept { return server_.port(); }
+
+  /// Graceful drain of the front-end; async-signal-safe.
+  void RequestDrain() noexcept { server_.RequestDrain(); }
+
+  /// Blocks until the front-end drained, then stops workers/probes.
+  void Join();
+
+  /// RequestDrain + Join. Idempotent; called by the destructor.
+  void Stop();
+
+  /// The embedded front-end (for InstallSignalDrain and its stats).
+  net::Server& frontend() noexcept { return server_; }
+  net::ServerHealth health() const noexcept { return server_.health(); }
+  net::ServerStats server_stats() const { return server_.stats(); }
+
+  const ShardMap& map() const noexcept { return map_; }
+  RouterStats stats() const;
+  std::vector<BackendStatus> backend_status() const;
+
+  /// Text block for the admin plane's /statusz hook: router counters
+  /// plus one line per shard group and per replica.
+  std::string Statusz() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// The RequestSink the front-end dispatches into: enqueue only, the
+  /// event loop never blocks on a backend.
+  struct SinkImpl final : net::RequestSink {
+    explicit SinkImpl(Router& router) : router(router) {}
+    void Submit(net::Request request, const SubmitOptions& options,
+                BatchCallback done) override;
+    Router& router;
+  };
+
+  struct ReplicaState {
+    Replica replica;
+    std::atomic<bool> healthy{true};
+    std::atomic<Clock::rep> last_failure{0};
+    /// Bumped on every MarkDown. A worker's cached connection dialed
+    /// under an older epoch may be a half-dead socket from before the
+    /// replica went down (the worker never touched it while the
+    /// replica died and came back); EnsureConnected force-redials it
+    /// instead of blaming the now-healthy replica for the stale FD.
+    std::atomic<std::uint64_t> epoch{0};
+  };
+
+  struct BackendState {
+    std::uint32_t id = 0;
+    std::vector<std::unique_ptr<ReplicaState>> replicas;
+    std::atomic<std::size_t> primary{0};
+    std::atomic<std::uint64_t> inflight{0}, sent{0}, hedges{0},
+        hedge_wins{0}, failovers{0}, retries{0}, errors{0};
+    /// Recent leg latencies (us) feeding the hedge quantile.
+    mutable std::mutex lat_mu;
+    std::array<std::uint64_t, 128> lat_ring{};
+    std::size_t lat_count = 0;
+    std::size_t lat_next = 0;
+    obs::GaugeHandle inflight_gauge;
+
+    BackendState(std::uint32_t id, std::string gauge_name)
+        : id(id), inflight_gauge(gauge_name) {}
+  };
+
+  struct Job {
+    net::Request request;
+    SubmitOptions options;
+    BatchCallback done;
+  };
+
+  /// One worker's backend connections, [group][replica], plus the
+  /// replica epoch each connection was dialed under (see ReplicaState).
+  struct WorkerConns {
+    std::vector<std::vector<net::Client>> clients;
+    std::vector<std::vector<std::uint64_t>> epochs;
+  };
+
+  struct LegResult {
+    RequestStatus status = RequestStatus::kUnavailable;
+    net::Response resp;
+  };
+
+  void Enqueue(Job job);
+  void WorkerLoop();
+  void ProbeLoop();
+  /// Signals workers/probes, joins them, then answers any queued jobs
+  /// UNAVAILABLE so every admitted request gets exactly one completion.
+  void ShutdownWorkers();
+
+  void HandleQuery(WorkerConns& conns, Job& job);
+  void HandleMutation(WorkerConns& conns, Job& job);
+
+  /// Recv (with hedging) for an already-sent leg; retries the full
+  /// send+recv against other replicas on failure.
+  LegResult GatherLeg(WorkerConns& conns, std::size_t g,
+                      const net::Request& forward, Clock::time_point deadline,
+                      int sent_rep);
+
+  /// Merges per-group answers into one result: the exact heap merge
+  /// when every leg carries distances, rank interleaving otherwise.
+  void MergeLegs(std::vector<net::Response>& legs, BatchResult* out);
+
+  /// Replica choice for group g: the sticky primary when healthy, else
+  /// the first healthy replica, else a down replica whose backoff
+  /// elapsed. -1 when nothing is dialable. `exclude` skips one index.
+  int PickReplica(std::size_t g, int exclude) const;
+  void MarkDown(std::size_t g, std::size_t rep);
+  bool EnsureConnected(WorkerConns& conns, std::size_t g, std::size_t rep);
+  net::Client& Conn(WorkerConns& conns, std::size_t g, std::size_t rep);
+
+  void RecordLegLatency(std::size_t g, std::uint64_t us);
+  /// Hedge delay for group g in microseconds; -1 before warmup.
+  std::int64_t HedgeDelayUs(std::size_t g) const;
+
+  /// Receive budget left for this request, bounded by recv_timeout_ms.
+  int BudgetMs(Clock::time_point deadline) const;
+
+  ShardMap map_;
+  RouterOptions options_;
+  std::vector<std::unique_ptr<BackendState>> backends_;
+
+  SinkImpl sink_{*this};
+  net::Server server_;
+
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+  std::thread probe_;
+  std::atomic<bool> probe_stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> queries{0}, mutations{0}, legs{0}, hedges{0},
+        hedge_wins{0}, failovers{0}, retries{0}, leg_errors{0},
+        merge_fallbacks{0}, probe_failures{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace proximity::cluster

@@ -1,0 +1,176 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+namespace proximity::cluster {
+namespace {
+
+// Ring points per group. 64 keeps the key-space split within a few
+// percent of even for small clusters while the ring stays tiny.
+constexpr std::size_t kVirtualNodes = 64;
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t Fnv1a(const void* data, std::size_t len,
+                    std::uint64_t h = kFnvOffset) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// 64-bit avalanche finalizer (the splitmix64/MurmurHash3 fmix64 step).
+// FNV-1a alone is NOT ring-grade: inputs sharing a prefix and differing
+// only in trailing bytes ("shard:0:17" vs "shard:0:18", or sequential
+// integer keys) hash within ~|delta|*kFnvPrime of each other, so a
+// group's 64 virtual nodes collapse into one tight cluster and the ring
+// degenerates to G effective points with wildly uneven arcs. Mixing the
+// FNV output spreads those clusters over the whole 64-bit circle.
+std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+// Ring-point hash: FNV over the bytes, then the avalanche finisher.
+std::uint64_t RingPoint(const void* data, std::size_t len) {
+  return Mix64(Fnv1a(data, len));
+}
+
+// "host:port" -> (host, port). Throws on anything else.
+std::pair<std::string, std::uint16_t> ParseEndpoint(
+    const std::string& value, const std::string& what) {
+  const auto colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= value.size()) {
+    throw std::invalid_argument("shard map: bad " + what + " endpoint '" +
+                                value + "' (want host:port)");
+  }
+  const std::string host = value.substr(0, colon);
+  int port = 0;
+  try {
+    port = std::stoi(value.substr(colon + 1));
+  } catch (const std::exception&) {
+    port = -1;
+  }
+  if (port <= 0 || port > 65535) {
+    throw std::invalid_argument("shard map: bad " + what + " port in '" +
+                                value + "'");
+  }
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace
+
+std::uint64_t ShardMap::HashText(std::string_view text) noexcept {
+  return Fnv1a(text.data(), text.size());
+}
+
+ShardMap ShardMap::Parse(const std::string& text) {
+  ShardMap map;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream tokens(line);
+    std::string head;
+    if (!(tokens >> head) || head[0] == '#') continue;
+    if (head != "shard") {
+      throw std::invalid_argument("shard map line " + std::to_string(lineno) +
+                                  ": expected 'shard', got '" + head + "'");
+    }
+    std::uint32_t group = 0;
+    if (!(tokens >> group)) {
+      throw std::invalid_argument("shard map line " + std::to_string(lineno) +
+                                  ": missing shard id");
+    }
+    Replica replica;
+    std::string kv;
+    while (tokens >> kv) {
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("shard map line " +
+                                    std::to_string(lineno) +
+                                    ": expected key=value, got '" + kv + "'");
+      }
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      if (key == "rpc") {
+        std::tie(replica.host, replica.port) = ParseEndpoint(value, "rpc");
+      } else if (key == "admin") {
+        std::tie(replica.admin_host, replica.admin_port) =
+            ParseEndpoint(value, "admin");
+      } else {
+        throw std::invalid_argument("shard map line " +
+                                    std::to_string(lineno) +
+                                    ": unknown key '" + key + "'");
+      }
+    }
+    if (replica.port == 0) {
+      throw std::invalid_argument("shard map line " + std::to_string(lineno) +
+                                  ": missing rpc=host:port");
+    }
+    if (map.groups_.size() <= group) map.groups_.resize(group + 1);
+    map.groups_[group].id = group;
+    map.groups_[group].replicas.push_back(std::move(replica));
+  }
+  if (map.groups_.empty()) {
+    throw std::invalid_argument("shard map: no replicas defined");
+  }
+  for (std::size_t g = 0; g < map.groups_.size(); ++g) {
+    if (map.groups_[g].replicas.empty()) {
+      // Dense ids are load-bearing: group g serves corpus partition
+      // g/G, so a hole is a missing slice of the corpus, not a
+      // formatting nit.
+      throw std::invalid_argument("shard map: group ids not dense (group " +
+                                  std::to_string(g) + " has no replicas)");
+    }
+  }
+  map.ring_.reserve(map.groups_.size() * kVirtualNodes);
+  for (const ShardGroup& group : map.groups_) {
+    for (std::size_t v = 0; v < kVirtualNodes; ++v) {
+      const std::string point =
+          "shard:" + std::to_string(group.id) + ":" + std::to_string(v);
+      map.ring_.emplace_back(RingPoint(point.data(), point.size()),
+                             group.id);
+    }
+  }
+  std::sort(map.ring_.begin(), map.ring_.end());
+  return map;
+}
+
+ShardMap ShardMap::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("shard map: cannot read '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return Parse(text.str());
+}
+
+std::uint32_t ShardMap::GroupForKey(std::uint64_t key) const noexcept {
+  // Hash the key onto the ring (raw ids are sequential and FNV alone
+  // keeps sequential inputs adjacent — see RingPoint) and walk
+  // clockwise to the first virtual node.
+  const std::uint64_t point = RingPoint(&key, sizeof(key));
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(point, std::uint32_t{0}));
+  return it != ring_.end() ? it->second : ring_.front().second;
+}
+
+}  // namespace proximity::cluster

@@ -1,0 +1,77 @@
+// Static cluster topology: shard groups, replica sets, and the
+// consistent-hash ring that routes mutations (DESIGN.md §14).
+//
+// The map is a plain text file, one replica per line:
+//
+//   # comment / blank lines ignored
+//   shard 0 rpc=127.0.0.1:7101 admin=127.0.0.1:7201
+//   shard 0 rpc=127.0.0.1:7102 admin=127.0.0.1:7202
+//   shard 1 rpc=127.0.0.1:7103
+//
+// Lines sharing a shard id form that group's replica set: every replica
+// of group g serves the same corpus partition (`proximity_cli serve
+// partition=g/G`), so the router may send a query leg to any healthy
+// one. `admin=` is optional; replicas that publish it get active
+// /healthz probes, the rest are health-checked passively (connection
+// failures mark them down, a backoff retries them).
+//
+// Queries fan out to every group (scatter-gather). Mutations route to
+// exactly one group through a consistent-hash ring — virtual nodes
+// hashed per group, key = the target id for DELETE and the document
+// text for INSERT — so a given key keeps routing to the same group as
+// long as the map does not change, and map edits move only ~1/G of the
+// key space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace proximity::cluster {
+
+struct Replica {
+  std::string host;
+  std::uint16_t port = 0;
+  /// Admin-plane endpoint for active /healthz probes; port 0 = none.
+  std::string admin_host;
+  std::uint16_t admin_port = 0;
+
+  std::string Address() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+struct ShardGroup {
+  std::uint32_t id = 0;
+  std::vector<Replica> replicas;
+};
+
+class ShardMap {
+ public:
+  /// Parses the text format above. Throws std::invalid_argument on
+  /// malformed lines, an empty map, or non-dense group ids (groups must
+  /// be exactly 0..G-1 — each one serves corpus partition id/G, so a
+  /// hole would be a missing slice of the corpus).
+  static ShardMap Parse(const std::string& text);
+
+  /// Reads `path` and parses it. Throws std::runtime_error when the
+  /// file cannot be read.
+  static ShardMap Load(const std::string& path);
+
+  std::size_t num_groups() const noexcept { return groups_.size(); }
+  const std::vector<ShardGroup>& groups() const noexcept { return groups_; }
+  const ShardGroup& group(std::size_t g) const { return groups_[g]; }
+
+  /// The group owning `key` on the consistent-hash ring.
+  std::uint32_t GroupForKey(std::uint64_t key) const noexcept;
+
+  /// FNV-1a over the bytes of `text` (the INSERT routing key).
+  static std::uint64_t HashText(std::string_view text) noexcept;
+
+ private:
+  std::vector<ShardGroup> groups_;
+  /// (ring point, group id), sorted by point. kVirtualNodes per group.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+}  // namespace proximity::cluster

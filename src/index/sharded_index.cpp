@@ -302,4 +302,57 @@ std::unique_ptr<ShardedIndex> BuildShardedIndex(const IndexSpec& spec,
                                         std::move(global_ids), options);
 }
 
+std::unique_ptr<ShardedIndex> BuildPartitionedIndex(const IndexSpec& spec,
+                                                    const Matrix& corpus,
+                                                    std::size_t part,
+                                                    std::size_t parts,
+                                                    ShardedIndexOptions
+                                                        options) {
+  const std::size_t rows = corpus.rows();
+  if (parts == 0 || part >= parts) {
+    throw std::invalid_argument("BuildPartitionedIndex: part " +
+                                std::to_string(part) + " of " +
+                                std::to_string(parts));
+  }
+  // The same ceiling-division striping as BuildShardedIndex(parts), so
+  // partition boundaries line up between the cluster and the
+  // single-process reference.
+  const std::size_t chunk = (rows + parts - 1) / parts;
+  const std::size_t lo = std::min(rows, part * chunk);
+  const std::size_t hi = std::min(rows, lo + chunk);
+  if (lo >= hi) {
+    throw std::invalid_argument(
+        "BuildPartitionedIndex: partition " + std::to_string(part) + "/" +
+        std::to_string(parts) + " is empty (corpus has " +
+        std::to_string(rows) + " rows)");
+  }
+  // The stripe itself shards internally like any corpus; an exact
+  // sub-merge of an exact index preserves the stripe's true top-k, so
+  // the internal shape does not affect the router-visible answer.
+  const std::size_t rows_local = hi - lo;
+  std::size_t S = options.num_shards != 0 ? options.num_shards
+                                          : ThreadPool::Shared().size();
+  S = std::max<std::size_t>(1, std::min(S, rows_local));
+  options.num_shards = S;
+  const std::size_t sub_chunk = (rows_local + S - 1) / S;
+  std::vector<std::unique_ptr<VectorIndex>> shards(S);
+  std::vector<std::vector<VectorId>> global_ids(S);
+  ThreadPool::Shared().ParallelFor(0, S, [&](std::size_t s) {
+    const std::size_t sub_lo = std::min(rows_local, s * sub_chunk);
+    const std::size_t sub_hi = std::min(rows_local, sub_lo + sub_chunk);
+    Matrix sub(0, corpus.dim());
+    sub.Reserve(sub_hi - sub_lo);
+    for (std::size_t r = sub_lo; r < sub_hi; ++r) {
+      sub.AppendRow(corpus.Row(lo + r));
+    }
+    shards[s] = BuildIndex(spec, sub);
+    global_ids[s].reserve(sub_hi - sub_lo);
+    for (std::size_t r = sub_lo; r < sub_hi; ++r) {
+      global_ids[s].push_back(static_cast<VectorId>(lo + r));
+    }
+  });
+  return std::make_unique<ShardedIndex>(std::move(shards),
+                                        std::move(global_ids), options);
+}
+
 }  // namespace proximity

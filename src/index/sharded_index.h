@@ -104,14 +104,17 @@ class ShardedIndex final : public VectorIndex {
 
   std::string Describe() const override;
 
+  /// Exact k-way merge of per-shard sorted lists, ordered by
+  /// (distance, id). Public because the cluster router (src/cluster)
+  /// merges per-backend answers with this very routine, which is what
+  /// makes a routed k-NN bit-identical to the in-process sharded one
+  /// for exact indexes (DESIGN.md §14).
+  static std::vector<Neighbor> MergeSorted(
+      std::vector<std::vector<Neighbor>>& parts, std::size_t k);
+
  private:
   /// Rewrites shard-local ids in `neighbors` to global ids.
   void ToGlobal(std::size_t shard, std::vector<Neighbor>& neighbors) const;
-
-  /// Exact k-way merge of per-shard sorted lists, ordered by
-  /// (distance, id).
-  static std::vector<Neighbor> MergeSorted(
-      std::vector<std::vector<Neighbor>>& parts, std::size_t k);
 
   std::size_t dim_ = 0;
   Metric metric_ = Metric::kL2;
@@ -137,5 +140,17 @@ class ShardedIndex final : public VectorIndex {
 std::unique_ptr<ShardedIndex> BuildShardedIndex(
     const IndexSpec& spec, const Matrix& corpus,
     ShardedIndexOptions options = {});
+
+/// Builds a sharded index over stripe `part` of `parts` of `corpus`,
+/// with global ids equal to the stripe's corpus row numbers. The stripe
+/// boundaries are exactly the ones BuildShardedIndex(parts) would use,
+/// so N backend processes each serving one partition return the same
+/// global ids as a single process sharded N ways — the property the
+/// cluster router's exact merge builds on (`serve partition=I/N`).
+/// Throws std::invalid_argument when `part >= parts` or the stripe is
+/// empty (more partitions than corpus rows).
+std::unique_ptr<ShardedIndex> BuildPartitionedIndex(
+    const IndexSpec& spec, const Matrix& corpus, std::size_t part,
+    std::size_t parts, ShardedIndexOptions options = {});
 
 }  // namespace proximity

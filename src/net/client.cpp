@@ -1,28 +1,78 @@
 #include "net/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <utility>
 
 #include "obs/trace.h"
 
 namespace proximity::net {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+// Milliseconds left until `deadline`, clamped to >= 0 for poll().
+int RemainingMs(SteadyClock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - SteadyClock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+// connect() with a poll()-bounded dial budget. The socket is flipped to
+// non-blocking for the dial and restored after, so Send/Recv keep their
+// blocking fast path.
+bool ConnectWithTimeout(int fd, const sockaddr_in& addr, int timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  bool ok = false;
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) {
+    ok = true;
+  } else if (errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const auto deadline =
+        SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const int pr = ::poll(&pfd, 1, RemainingMs(deadline));
+      if (pr > 0) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ok = ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 &&
+             err == 0;
+        break;
+      }
+      if (pr == 0) break;  // dial budget exhausted
+      if (errno != EINTR) break;
+    }
+  }
+  return ok && ::fcntl(fd, F_SETFL, flags) == 0;
+}
+
+}  // namespace
 
 Client::~Client() { Close(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), rbuf_(std::move(other.rbuf_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      options_(other.options_),
+      rbuf_(std::move(other.rbuf_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = std::exchange(other.fd_, -1);
+    options_ = other.options_;
     rbuf_ = std::move(other.rbuf_);
   }
   return *this;
@@ -36,8 +86,16 @@ bool Client::Connect(const std::string& host, std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  const bool connected =
+      options_.connect_timeout_ms > 0
+          ? ConnectWithTimeout(fd, addr, options_.connect_timeout_ms)
+          : ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+                0;
+  if (!connected) {
     ::close(fd);
     return false;
   }
@@ -79,6 +137,15 @@ bool Client::Send(const Request& request) {
 
 bool Client::Recv(Response* response) {
   if (fd_ < 0) return false;
+  if (options_.recv_timeout_ms > 0) {
+    const RecvStatus st = TryRecv(response, options_.recv_timeout_ms);
+    if (st == RecvStatus::kTimeout) {
+      // A caller using plain Recv() has no way to resume a half-read
+      // frame later, so a timed-out connection is dead to it.
+      Close();
+    }
+    return st == RecvStatus::kOk;
+  }
   std::array<std::uint8_t, 65536> chunk;
   for (;;) {
     std::size_t consumed = 0;
@@ -101,6 +168,50 @@ bool Client::Recv(Response* response) {
     if (n < 0 && errno == EINTR) continue;
     Close();  // EOF or a hard read error
     return false;
+  }
+}
+
+Client::RecvStatus Client::TryRecv(Response* response, int timeout_ms) {
+  if (fd_ < 0) return RecvStatus::kError;
+  std::array<std::uint8_t, 65536> chunk;
+  const auto deadline =
+      SteadyClock::now() + std::chrono::milliseconds(
+                               timeout_ms < 0 ? 0 : timeout_ms);
+  for (;;) {
+    std::size_t consumed = 0;
+    const ParseResult parsed = ParseFrame(
+        std::span<const std::uint8_t>(rbuf_), &consumed, response);
+    if (parsed == ParseResult::kOk) {
+      rbuf_.erase(rbuf_.begin(),
+                  rbuf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+      return RecvStatus::kOk;
+    }
+    if (parsed == ParseResult::kError) {
+      Close();
+      return RecvStatus::kError;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int wait = timeout_ms < 0 ? -1 : RemainingMs(deadline);
+    const int pr = ::poll(&pfd, 1, wait);
+    if (pr == 0) return RecvStatus::kTimeout;
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return RecvStatus::kError;
+    }
+    // MSG_DONTWAIT: poll() readiness can be spurious, and this loop
+    // must never block past its budget.
+    const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), MSG_DONTWAIT);
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), chunk.data(), chunk.data() + n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                  errno == EWOULDBLOCK)) {
+      continue;
+    }
+    Close();  // EOF or a hard read error
+    return RecvStatus::kError;
   }
 }
 

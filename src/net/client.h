@@ -21,9 +21,23 @@
 
 namespace proximity::net {
 
+struct ClientOptions {
+  /// Dial budget in milliseconds. A blocking connect() against a dead
+  /// or blackholed backend can hang for minutes; the cluster router
+  /// needs bounded dial times to fail over. 0 = block indefinitely
+  /// (the historical behavior).
+  int connect_timeout_ms = 0;
+  /// Receive budget applied by Recv()/Call() in milliseconds. Expiry
+  /// closes the connection — a mid-frame stream cannot be resumed
+  /// safely by a caller that has given up on the response. 0 = block
+  /// indefinitely.
+  int recv_timeout_ms = 0;
+};
+
 class Client {
  public:
   Client() = default;
+  explicit Client(ClientOptions options) : options_(options) {}
   ~Client();
 
   Client(const Client&) = delete;
@@ -31,24 +45,45 @@ class Client {
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
 
-  /// Connects to host:port (numeric IPv4). Returns false on failure.
+  /// Connects to host:port (numeric IPv4). Returns false on failure or
+  /// when the dial exceeds options().connect_timeout_ms.
   bool Connect(const std::string& host, std::uint16_t port);
 
   bool connected() const noexcept { return fd_ >= 0; }
   void Close();
 
+  const ClientOptions& options() const noexcept { return options_; }
+
+  /// The raw socket fd (-1 when disconnected), for callers that poll
+  /// several clients at once — the router's hedging loop waits on the
+  /// primary and the hedge leg together.
+  int native_handle() const noexcept { return fd_; }
+
   /// Writes one framed request (blocking until fully written).
   bool Send(const Request& request);
 
-  /// Blocks until one complete response arrives. Returns false on EOF
-  /// or a protocol error (the connection is closed in either case).
+  /// Blocks until one complete response arrives (bounded by
+  /// options().recv_timeout_ms when set). Returns false on EOF, a
+  /// protocol error, or timeout (the connection is closed in all three
+  /// cases).
   bool Recv(Response* response);
+
+  enum class RecvStatus { kOk, kTimeout, kError };
+
+  /// Bounded receive that survives a timeout: waits up to timeout_ms
+  /// (-1 = forever) for one complete frame. kTimeout leaves the
+  /// connection open with any partial frame buffered, so a later
+  /// TryRecv can finish the read — this is the hedging primitive (give
+  /// the primary its latency-quantile budget, then open a second leg
+  /// while the first keeps running). kError closes the connection.
+  RecvStatus TryRecv(Response* response, int timeout_ms);
 
   /// Send + Recv. Returns false when either side fails.
   bool Call(const Request& request, Response* response);
 
  private:
   int fd_ = -1;
+  ClientOptions options_;
   std::vector<std::uint8_t> rbuf_;
 };
 

@@ -20,6 +20,12 @@ void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   std::memcpy(out.data() + n, &v, sizeof(v));
 }
 
+void PutF32(std::vector<std::uint8_t>& out, float v) {
+  const auto n = out.size();
+  out.resize(n + sizeof(v));
+  std::memcpy(out.data() + n, &v, sizeof(v));
+}
+
 class Cursor {
  public:
   explicit Cursor(std::span<const std::uint8_t> buf) : buf_(buf) {}
@@ -27,6 +33,7 @@ class Cursor {
   bool ReadU32(std::uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
   bool ReadU64(std::uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
   bool ReadI64(std::int64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadF32(float* v) { return ReadRaw(v, sizeof(*v)); }
 
   bool ReadBytes(std::size_t n, std::string* out) {
     if (buf_.size() - pos_ < n) return false;
@@ -106,17 +113,31 @@ void AppendFrame(std::vector<std::uint8_t>& out, const Request& request) {
 }
 
 void AppendFrame(std::vector<std::uint8_t>& out, const Response& response) {
+  // Like the optional request fields: the distance array is emitted
+  // only when set (or the flag is pre-set), so distance-free responses
+  // stay byte-identical to v4. A pre-set flag with missing entries
+  // emits the default (0.0f) per doc, mirroring tenant-0 / trace-0.
+  const bool has_distances = !response.distances.empty() ||
+                             (response.flags & kFlagHasDistances) != 0;
+  std::uint32_t flags = response.flags;
+  if (has_distances) flags |= kFlagHasDistances;
   const std::size_t len_at = out.size();
   PutU32(out, 0);
   PutU32(out, kResponseMagic);
   PutU64(out, response.id);
   PutU32(out, static_cast<std::uint32_t>(response.status));
-  PutU32(out, response.flags);
+  PutU32(out, flags);
   PutU64(out, response.queue_ns);
   PutU64(out, response.server_ns);
   PutU32(out, static_cast<std::uint32_t>(response.documents.size()));
   for (const VectorId id : response.documents) {
     PutU64(out, static_cast<std::uint64_t>(id));
+  }
+  if (has_distances) {
+    for (std::size_t i = 0; i < response.documents.size(); ++i) {
+      PutF32(out, i < response.distances.size() ? response.distances[i]
+                                                : 0.0f);
+    }
   }
   FinishFrame(out, len_at);
 }
@@ -195,6 +216,15 @@ ParseResult ParseFrame(std::span<const std::uint8_t> buf,
     std::int64_t id = 0;
     if (!c.ReadI64(&id)) return ParseResult::kError;
     out->documents.push_back(id);
+  }
+  out->distances.clear();
+  if ((out->flags & kFlagHasDistances) != 0) {
+    out->distances.reserve(ndocs);
+    for (std::uint32_t i = 0; i < ndocs; ++i) {
+      float d = 0.0f;
+      if (!c.ReadF32(&d)) return ParseResult::kError;
+      out->distances.push_back(d);
+    }
   }
   return c.AtEnd() ? ParseResult::kOk : ParseResult::kError;
 }

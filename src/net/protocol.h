@@ -27,9 +27,10 @@
 // the client's — client -> server -> driver stitch into one trace
 // (obs/trace.h) without any out-of-band correlation.
 //
-// Response payload:
+// Response payload (v5):
 //   [u32 magic 'PRXR'] [u64 request_id] [u32 status] [u32 flags]
 //   [u64 queue_ns] [u64 server_ns] [u32 ndocs] [i64 doc_id]*
+//   ([f32 distance]* iff flags & kFlagHasDistances, one per doc)
 //
 // `deadline_us` is a relative budget from server receipt (0 = none);
 // `status` is a RequestStatus code; response flag bits record whether the
@@ -37,6 +38,16 @@
 // neighbor's retrieval — the client-observed hit/miss latency split
 // (PAPER §3, Figure 5) keys off these. `queue_ns`/`server_ns` are the
 // per-stage server timings (admission-queue wait, receipt→completion).
+//
+// v5 grew the distance side-channel for the cluster router (DESIGN.md
+// §14): a request carrying kReqFlagWantDistances (no extra request
+// bytes) asks the server to attach the raw per-document distances, and
+// the server answers with kFlagHasDistances plus one f32 per doc after
+// the id array — but only when the answer came from a fresh index
+// retrieval. Cache hits return ids alone (the approximate cache stores
+// no distances), so a router merging per-shard answers falls back to
+// rank interleaving when any leg lacks the field. Responses to requests
+// without the flag are byte-identical to v4.
 //
 // Framing is deliberately stateless per message: a parser needs only a
 // byte buffer, so partial reads concatenate and pipelined requests
@@ -60,14 +71,19 @@ inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
 
 /// Wire protocol version: v2 added the optional request tenant-id
 /// field, v3 the optional trace-context field, v4 the optional
-/// mutation field (live-corpus INSERT/DELETE). v1–v3 frames remain
+/// mutation field (live-corpus INSERT/DELETE), v5 the opt-in response
+/// distance array (cluster router merge). v1–v4 frames remain
 /// parseable (see the header comment).
-inline constexpr std::uint32_t kProtocolVersion = 4;
+inline constexpr std::uint32_t kProtocolVersion = 5;
 
 /// Request flag bits.
 inline constexpr std::uint32_t kReqFlagHasTenant = 1u << 0;
 inline constexpr std::uint32_t kReqFlagHasTrace = 1u << 1;
 inline constexpr std::uint32_t kReqFlagHasMutation = 1u << 2;
+/// v5: ask the server to attach per-document distances to the response
+/// (pure flag bit — the request payload grows no field). Servers that
+/// predate v5 ignore unknown flag bits and answer without distances.
+inline constexpr std::uint32_t kReqFlagWantDistances = 1u << 3;
 
 /// Mutation opcodes carried by the v4 mutation field.
 inline constexpr std::uint32_t kMutationNone = 0;
@@ -77,6 +93,10 @@ inline constexpr std::uint32_t kMutationDelete = 2;
 /// Response flag bits.
 inline constexpr std::uint32_t kFlagCacheHit = 1u << 0;
 inline constexpr std::uint32_t kFlagCoalesced = 1u << 1;
+/// v5: the frame carries one f32 distance per document after the id
+/// array. Set only on fresh index retrievals — cache hits have no
+/// distances to report.
+inline constexpr std::uint32_t kFlagHasDistances = 1u << 2;
 
 struct Request {
   std::uint64_t id = 0;
@@ -113,9 +133,17 @@ struct Response {
   /// Server-side wall time, receipt to response serialization.
   std::uint64_t server_ns = 0;
   std::vector<VectorId> documents;
+  /// v5 distance side-channel, parallel to `documents`. Serialized only
+  /// when non-empty (or kFlagHasDistances is pre-set); empty on cache
+  /// hits and on answers to clients that did not ask (see
+  /// kReqFlagWantDistances), keeping those frames byte-identical to v4.
+  std::vector<float> distances;
 
   bool cache_hit() const noexcept { return (flags & kFlagCacheHit) != 0; }
   bool coalesced() const noexcept { return (flags & kFlagCoalesced) != 0; }
+  bool has_distances() const noexcept {
+    return (flags & kFlagHasDistances) != 0;
+  }
 };
 
 /// Appends one framed message to `out` (length prefix included).

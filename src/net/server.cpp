@@ -55,8 +55,32 @@ void SetNonBlocking(int fd) {
 
 }  // namespace
 
+void DriverSink::Submit(Request request, const SubmitOptions& options,
+                        BatchCallback done) {
+  if (request.mutation_op != kMutationNone) {
+    // v4 live-corpus mutation: same admission queue, same completion
+    // path. The driver refuses inline (kInvalidArgument) when its
+    // mutation path was never armed, so a v4 frame against a build-once
+    // index degrades to an error response, not a crash.
+    const MutationOp op = request.mutation_op == kMutationInsert
+                              ? MutationOp::kInsert
+                              : MutationOp::kDelete;
+    driver_.SubmitMutationAsync(
+        op, std::move(request.text),
+        static_cast<VectorId>(request.mutation_target), options,
+        std::move(done));
+    return;
+  }
+  driver_.SubmitTextAsync(std::move(request.text), options, std::move(done));
+}
+
 Server::Server(BatchingDriver& driver, ServerOptions options)
-    : driver_(driver), options_(std::move(options)) {}
+    : owned_sink_(std::make_unique<DriverSink>(driver)),
+      sink_(*owned_sink_),
+      options_(std::move(options)) {}
+
+Server::Server(RequestSink& sink, ServerOptions options)
+    : sink_(sink), options_(std::move(options)) {}
 
 Server::~Server() { Stop(); }
 
@@ -405,34 +429,25 @@ void Server::HandleRequest(Conn& conn, Request request,
   // The callback runs on the flusher thread (or inline right here when
   // the driver sheds): it only posts to the completion queue and rings
   // the eventfd, so neither thread ever blocks on the other.
+  const bool want_distances =
+      (request.flags & kReqFlagWantDistances) != 0;
   auto done = [this, conn_id = conn.id, request_id = request.id, received,
-               deadline, trace, trace_parent](BatchResult result) {
+               deadline, trace, trace_parent,
+               want_distances](BatchResult result) {
     {
       std::lock_guard lock(completions_mu_);
       completions_.push_back(Completion{conn_id, request_id, received,
                                         deadline, trace, trace_parent,
-                                        std::move(result)});
+                                        want_distances, std::move(result)});
     }
     const std::uint64_t one = 1;
     [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
   };
   if (request.mutation_op != kMutationNone) {
-    // v4 live-corpus mutation: same admission queue, same completion
-    // path. The driver refuses inline (kInvalidArgument) when its
-    // mutation path was never armed, so a v4 frame against a build-once
-    // index degrades to an error response, not a crash.
-    const MutationOp op = request.mutation_op == kMutationInsert
-                              ? MutationOp::kInsert
-                              : MutationOp::kDelete;
     stats_.mutation_requests.fetch_add(1);
     kObsMutationRequests.Inc();
-    driver_.SubmitMutationAsync(
-        op, std::move(request.text),
-        static_cast<VectorId>(request.mutation_target), sopts,
-        std::move(done));
-    return;
   }
-  driver_.SubmitTextAsync(std::move(request.text), sopts, std::move(done));
+  sink_.Submit(std::move(request), sopts, std::move(done));
 }
 
 void Server::ProcessCompletions() {
@@ -470,6 +485,13 @@ void Server::ProcessCompletions() {
       resp.documents = std::move(c.result.documents);
       if (c.result.cache_hit) resp.flags |= kFlagCacheHit;
       if (c.result.coalesced) resp.flags |= kFlagCoalesced;
+      // v5 distance side-channel, opt-in per request. Cache hits carry
+      // no distances (the cache stores bare ids), so the field — and
+      // kFlagHasDistances — appears only on fresh retrievals; the
+      // router's merge falls back to rank interleave without it.
+      if (c.want_distances && !c.result.distances.empty()) {
+        resp.distances = std::move(c.result.distances);
+      }
       const Nanos served_ns = SinceNs(c.received, now);
       (c.result.cache_hit ? kObsHitNs : kObsMissNs).Record(served_ns);
     }
@@ -503,6 +525,11 @@ void Server::ProcessCompletions() {
       obs::EmitTraceSpan(rec);
       obs::TraceCollector::Default().Complete(c.trace, resp.status,
                                               rec.duration_ns);
+    }
+    if (options_.debug_stall_every != 0 &&
+        ++stall_tick_ % options_.debug_stall_every == 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.debug_stall_us));
     }
     QueueResponse(conn, resp);
   }

@@ -43,6 +43,38 @@ namespace proximity::net {
 /// The drain FSM as seen by /healthz: running -> draining -> stopped.
 enum class ServerHealth { kServing, kDraining, kStopped };
 
+/// Where admitted requests go. The front-end couples to the rag layer
+/// only through this seam: the production sink adapts BatchingDriver
+/// (DriverSink below), and the cluster router (src/cluster) implements
+/// its own sink that scatter-gathers over backend connections — reusing
+/// this entire epoll front-end (framing, admission control, drain FSM,
+/// completion ring, partial-write handling) unchanged.
+class RequestSink {
+ public:
+  virtual ~RequestSink() = default;
+
+  /// Dispatches one admitted request. `done` may be invoked from any
+  /// thread, or inline; it must be called exactly once. The sink
+  /// receives the request exactly as parsed off the wire (flags
+  /// included), which is what lets a relaying sink forward it
+  /// byte-identically.
+  virtual void Submit(Request request, const SubmitOptions& options,
+                      BatchCallback done) = 0;
+};
+
+/// The production sink: queries go to SubmitTextAsync, v4 mutation
+/// frames to SubmitMutationAsync.
+class DriverSink final : public RequestSink {
+ public:
+  explicit DriverSink(BatchingDriver& driver) : driver_(driver) {}
+
+  void Submit(Request request, const SubmitOptions& options,
+              BatchCallback done) override;
+
+ private:
+  BatchingDriver& driver_;
+};
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   /// 0 binds an ephemeral port; read the result from port().
@@ -57,6 +89,12 @@ struct ServerOptions {
   /// Hard cap on a graceful drain; connections still unflushed or in
   /// flight after this are force-closed so drain always terminates.
   std::uint64_t drain_timeout_ms = 10000;
+  /// Fault injection for tail-latency experiments (the hedging sweep in
+  /// bench/cluster_scaling): every Nth response stalls the event loop
+  /// for `debug_stall_us` before serialization, the way a GC or
+  /// compaction pause would stall a real replica. 0 disables.
+  std::size_t debug_stall_every = 0;
+  std::uint64_t debug_stall_us = 0;
 };
 
 /// Counters over the server's lifetime; exact once the loop has exited.
@@ -86,6 +124,10 @@ class Server {
   /// `driver` must outlive the server and must not be Shutdown before
   /// the server's loop has exited (Join/Stop).
   Server(BatchingDriver& driver, ServerOptions options = {});
+  /// Serves an arbitrary sink (the cluster router's path). `sink` must
+  /// outlive the server and keep accepting `done` callbacks until the
+  /// loop has exited.
+  Server(RequestSink& sink, ServerOptions options = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -137,6 +179,10 @@ class Server {
     /// when the response is serialized.
     obs::TraceContext trace;
     std::uint64_t trace_parent = 0;
+    /// The request carried kReqFlagWantDistances: attach the result's
+    /// distance array (when the retrieval produced one) to the wire
+    /// response.
+    bool want_distances = false;
     BatchResult result;
   };
 
@@ -157,7 +203,11 @@ class Server {
   /// True when a drain can finish: nothing in flight, nothing buffered.
   bool DrainComplete() const;
 
-  BatchingDriver& driver_;
+  // The driver-construction path owns its adapter; both paths dispatch
+  // through sink_. Declaration order matters: owned_sink_ must be built
+  // before sink_ binds to it.
+  std::unique_ptr<DriverSink> owned_sink_;
+  RequestSink& sink_;
   ServerOptions options_;
 
   int listen_fd_ = -1;
@@ -175,6 +225,7 @@ class Server {
   std::unordered_map<std::uint64_t, Conn*> conns_by_id_;
   std::uint64_t next_conn_id_ = 1;
   std::size_t inflight_ = 0;
+  std::size_t stall_tick_ = 0;  // debug_stall_every response counter
 
   // Crossing the flusher -> event loop boundary.
   std::mutex completions_mu_;

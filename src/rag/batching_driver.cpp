@@ -636,6 +636,7 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
     //    fused SearchBatch across tenants; isolation is a cache/queue
     //    property, not a compute partition.
     std::vector<std::vector<VectorId>> leader_docs(leaders.size());
+    std::vector<std::vector<float>> leader_dists(leaders.size());
     if (!leaders.empty()) {
       Matrix queries(0, index_.dim());
       queries.Reserve(leaders.size());
@@ -653,8 +654,10 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
       }
       for (std::size_t rank = 0; rank < leaders.size(); ++rank) {
         leader_docs[rank].reserve(search_results[rank].size());
+        leader_dists[rank].reserve(search_results[rank].size());
         for (const auto& n : search_results[rank]) {
           leader_docs[rank].push_back(n.id);
+          leader_dists[rank].push_back(n.distance);
         }
         const obs::ScopedTraceContext trace_scope(
             batch[leaders[rank]].trace);
@@ -667,6 +670,7 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
     for (const std::size_t i : misses) {
       const std::size_t rank = leader_of[i];
       results[i].documents = leader_docs[rank];
+      results[i].distances = leader_dists[rank];
       results[i].queue_wait_ns = waited[i];
       if (leaders[rank] == i) {
         ++retrieved;

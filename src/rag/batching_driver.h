@@ -136,6 +136,12 @@ struct BatchResult {
   RequestStatus status = RequestStatus::kOk;
   /// Top-k document ids; empty unless status == kOk.
   std::vector<VectorId> documents;
+  /// Raw distances parallel to `documents`, filled only on the
+  /// index-retrieval path (leaders and their coalesced followers).
+  /// Cache hits leave this empty — the approximate cache stores bare id
+  /// lists — which is how the cluster router knows when an exact
+  /// distance merge is possible (net protocol v5, DESIGN.md §14).
+  std::vector<float> distances;
   /// kOk only: served from the cache without touching the index.
   bool cache_hit = false;
   /// kOk only: shared a τ-similar leader's retrieval within the batch.

@@ -17,6 +17,7 @@
 
 #include "cache/proximity_cache.h"
 #include "cache/tiered_cache.h"
+#include "cluster/router.h"
 #include "common/rng.h"
 #include "embed/hash_embedder.h"
 #include "index/flat_index.h"
@@ -64,10 +65,15 @@ MetricTable ParseMetricsDoc(const std::string& path) {
 
 /// Collapses per-tenant families onto the documented placeholder:
 /// `tenant.search.hits` -> `tenant.<tenant>.hits`. `tenant.registered`
-/// has no second dot and passes through unchanged.
+/// has no second dot and passes through unchanged. Per-shard-group
+/// router families collapse the same way: `cluster.backend.0.inflight`
+/// -> `cluster.backend.<backend>.inflight`.
 std::string Normalize(const std::string& name) {
   static const std::regex tenant(R"(^tenant\.([^.]+)\.(.+)$)");
-  return std::regex_replace(name, tenant, "tenant.<tenant>.$2");
+  static const std::regex backend(R"(^cluster\.backend\.([^.]+)\.(.+)$)");
+  const std::string collapsed =
+      std::regex_replace(name, tenant, "tenant.<tenant>.$2");
+  return std::regex_replace(collapsed, backend, "cluster.backend.<backend>.$2");
 }
 
 /// Touches every instrumented subsystem so each translation unit with
@@ -145,6 +151,15 @@ void InstantiateTheStack() {
   volatile auto drain =
       static_cast<void (*)(net::Server*)>(&net::InstallSignalDrain);
   (void)drain;
+
+  // cluster.* — constructing a Router links the router TU (its
+  // namespace-scope handles register) and mints the per-group inflight
+  // gauge; no sockets are opened until Start().
+  {
+    const cluster::Router router(
+        cluster::ShardMap::Parse("shard 0 rpc=127.0.0.1:1\n"));
+    (void)router.stats();
+  }
 
   // trace.* — emit one span into the rings and complete the trace
   // through the tail sampler so its counters/gauge register.

@@ -12,6 +12,12 @@
 // The v4 mutation extension likewise: twelve bytes of
 // mutation_op/mutation_target travel only under `kReqFlagHasMutation`,
 // pinned byte-exact against request_v4_mutation.bin.
+// The v5 distance extension rides the response: one f32 per document
+// travels only under `kFlagHasDistances` (and the request side is a
+// pure flag bit), pinned against response_v5_distances.bin; the fully
+// composed tenant+trace+mutation request — the frame the cluster
+// router relays byte-identically — is pinned against
+// request_v4_all_extensions.bin.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -127,11 +133,11 @@ TEST(ProtocolCompatTest, TenantFlagWithoutTenantBytesIsAProtocolError) {
             net::ParseResult::kError);
 }
 
-TEST(ProtocolCompatTest, ProtocolVersionIsBumpedForTheMutationField) {
+TEST(ProtocolCompatTest, ProtocolVersionIsBumpedForTheDistanceField) {
   // Documentation pin: OPERATIONS.md and `proximity_cli info` both cite
-  // v4 (v2 added the tenant field, v3 the trace field, v4 the mutation
-  // field); keep the constant honest.
-  EXPECT_EQ(net::kProtocolVersion, 4u);
+  // v5 (v2 added the tenant field, v3 the trace field, v4 the mutation
+  // field, v5 the response distance array); keep the constant honest.
+  EXPECT_EQ(net::kProtocolVersion, 5u);
 }
 
 // ------------------------------------------------- v3 trace extension --
@@ -353,6 +359,141 @@ TEST(ProtocolCompatTest, AllThreeExtensionsComposeInOrder) {
   EXPECT_EQ(out.mutation_op, net::kMutationDelete);
   EXPECT_EQ(out.mutation_target, 42u);
   EXPECT_EQ(out.text, req.text);
+}
+
+// ---------------------------------------------- v5 distance extension --
+
+// The canonical fully-composed v4 request: tenant + trace + mutation
+// INSERT on one frame, the exact struct request_v4_all_extensions.bin
+// encodes. This is the frame the cluster router relays byte-identically
+// (tests/cluster_test.cpp pins the relay against the same golden).
+net::Request GoldenAllExtensionsRequest() {
+  net::Request req;
+  req.id = 0x0102030405060708ull;
+  req.deadline_us = 750000;
+  req.tenant = 7;
+  req.trace_id = 0xABCDEF0012345678ull;
+  req.trace_parent = 0x1111222233334444ull;
+  req.mutation_op = net::kMutationInsert;
+  req.text = "fresh document for the mutable corpus";
+  return req;
+}
+
+// The canonical v5 response with the distance side-channel: the exact
+// struct response_v5_distances.bin encodes.
+net::Response GoldenDistancesResponse() {
+  net::Response resp;
+  resp.id = 0x0102030405060708ull;
+  resp.status = RequestStatus::kOk;
+  resp.queue_ns = 1500;
+  resp.server_ns = 420000;
+  resp.documents = {11, 3, 42};
+  resp.distances = {0.125f, 0.5f, 2.75f};
+  return resp;
+}
+
+TEST(ProtocolCompatTest, AllExtensionsWriterEmitsByteExactV4Frame) {
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, GoldenAllExtensionsRequest());
+  EXPECT_EQ(wire, ReadGolden("request_v4_all_extensions.bin"));
+}
+
+TEST(ProtocolCompatTest, ParsesGoldenAllExtensionsRequest) {
+  const auto wire = ReadGolden("request_v4_all_extensions.bin");
+  ASSERT_FALSE(wire.empty());
+  net::Request out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::ParseFrame(wire, &consumed, &out), net::ParseResult::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  const net::Request want = GoldenAllExtensionsRequest();
+  EXPECT_EQ(out.id, want.id);
+  EXPECT_EQ(out.tenant, want.tenant);
+  EXPECT_EQ(out.trace_id, want.trace_id);
+  EXPECT_EQ(out.trace_parent, want.trace_parent);
+  EXPECT_EQ(out.mutation_op, want.mutation_op);
+  EXPECT_EQ(out.text, want.text);
+}
+
+TEST(ProtocolCompatTest, WantDistancesFlagAddsNoRequestBytes) {
+  // The v5 request extension is a pure flag bit: the payload grows no
+  // field, so the frame is the v1 golden with one header bit flipped —
+  // which is also why pre-v5 servers parse it unchanged (unknown
+  // request flag bits are ignored).
+  net::Request req = GoldenRequest();
+  req.flags |= net::kReqFlagWantDistances;
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, req);
+  auto golden = ReadGolden("request_v1.bin");
+  EXPECT_EQ(wire.size(), golden.size());
+  golden[16] |= static_cast<std::uint8_t>(net::kReqFlagWantDistances);
+  EXPECT_EQ(wire, golden);
+
+  net::Request out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::ParseFrame(wire, &consumed, &out), net::ParseResult::kOk);
+  EXPECT_TRUE((out.flags & net::kReqFlagWantDistances) != 0);
+  EXPECT_EQ(out.text, req.text);
+}
+
+TEST(ProtocolCompatTest, DistancesWriterEmitsByteExactV5Frame) {
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, GoldenDistancesResponse());
+  EXPECT_EQ(wire, ReadGolden("response_v5_distances.bin"));
+}
+
+TEST(ProtocolCompatTest, ParsesGoldenV5DistancesResponse) {
+  const auto wire = ReadGolden("response_v5_distances.bin");
+  ASSERT_FALSE(wire.empty());
+  net::Response out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::ParseFrame(wire, &consumed, &out), net::ParseResult::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  const net::Response want = GoldenDistancesResponse();
+  EXPECT_EQ(out.id, want.id);
+  EXPECT_TRUE(out.has_distances());
+  EXPECT_EQ(out.documents, want.documents);
+  EXPECT_EQ(out.distances, want.distances);
+  EXPECT_EQ(out.queue_ns, want.queue_ns);
+  EXPECT_EQ(out.server_ns, want.server_ns);
+}
+
+TEST(ProtocolCompatTest, DistancelessResponseStaysByteExactV1) {
+  // The distance array is strictly opt-in: a v5 writer answering a
+  // client that did not ask emits bytes a v1 parser accepts, pinned
+  // against the same golden deployed v1 clients speak.
+  net::Response resp = GoldenResponse();
+  EXPECT_TRUE(resp.distances.empty());
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, resp);
+  EXPECT_EQ(wire, ReadGolden("response_v1.bin"));
+}
+
+TEST(ProtocolCompatTest, DistanceFieldIsExactlyFourBytesPerDocument) {
+  net::Response resp = GoldenResponse();
+  resp.distances = {1.0f, 2.0f, 3.0f};
+  std::vector<std::uint8_t> wire;
+  net::AppendFrame(wire, resp);
+  EXPECT_EQ(wire.size(),
+            ReadGolden("response_v1.bin").size() + 4 * resp.documents.size());
+
+  net::Response out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::ParseFrame(wire, &consumed, &out), net::ParseResult::kOk);
+  EXPECT_TRUE(out.has_distances());
+  EXPECT_EQ(out.distances, resp.distances);
+}
+
+TEST(ProtocolCompatTest, DistancesFlagWithoutDistanceBytesIsAProtocolError) {
+  // Flip the has-distances flag on the golden v1 response without
+  // appending the f32 array: the frame no longer adds up.
+  auto wire = ReadGolden("response_v1.bin");
+  ASSERT_GT(wire.size(), 21u);
+  // Response layout: len(4) magic(4) id(8) status(4) -> flags at 20.
+  wire[20] |= static_cast<std::uint8_t>(net::kFlagHasDistances);
+  net::Response out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(net::ParseFrame(wire, &consumed, &out),
+            net::ParseResult::kError);
 }
 
 }  // namespace

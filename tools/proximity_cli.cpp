@@ -9,6 +9,9 @@
 //              microbatching (DESIGN.md §8); with listen=HOST:PORT the
 //              same stack fronts the epoll RPC server (DESIGN.md §9)
 //   client     closed-loop RPC client against a `serve listen=` server
+//   route      cluster router front-end: one endpoint fanning queries
+//              over the backend shard servers of a shard map, with
+//              replica failover and hedged requests (DESIGN.md §14)
 //   trace-gen  write a query trace (TSV) for a workload to a file
 //   replay     run one configuration over a previously saved trace
 //   info       effective defaults and build information
@@ -37,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/router.h"
 #include "common/config.h"
 #include "common/log.h"
 #include "common/stats.h"
@@ -382,6 +386,9 @@ int CmdServe(const Config& cfg) {
     std::puts(
         "serve knobs: workload=mmlu|medrag corpus=N capacity=N tau=X\n"
         "  index=flat|hnsw|... shards=N (0 = one per core) threads=N\n"
+        "  partition=I/N (serve only stripe I of an N-way split; the\n"
+        "  stripes match shards=N, global ids are corpus rows — the\n"
+        "  backend mode for `route`, see DESIGN.md §14)\n"
         "  index=mutable enables live INSERT/DELETE (protocol v4);\n"
         "  staleness=serve-stale|revalidate|invalidate-region (cache\n"
         "  policy when an entry predates the index generation)\n"
@@ -436,9 +443,39 @@ int CmdServe(const Config& cfg) {
   ShardedIndexOptions shard_opts;
   shard_opts.num_shards =
       static_cast<std::size_t>(cfg.GetInt("shards", 0));
-  const auto index = BuildShardedIndex(
-      ispec, embedder.EmbedBatch(workload.passages), shard_opts);
-  LogInfo("serving over {}", index->Describe());
+  // partition=I/N serves only stripe I of an N-way corpus split with
+  // global ids; N such backends behind `route` answer exactly like one
+  // process serving the whole corpus (DESIGN.md §14).
+  const std::string partition = cfg.GetString("partition", "");
+  std::unique_ptr<VectorIndex> index;
+  if (!partition.empty()) {
+    const auto slash = partition.find('/');
+    std::size_t part = 0;
+    std::size_t parts = 0;
+    if (slash != std::string::npos) {
+      try {
+        part = static_cast<std::size_t>(
+            std::stoul(partition.substr(0, slash)));
+        parts = static_cast<std::size_t>(
+            std::stoul(partition.substr(slash + 1)));
+      } catch (const std::exception&) {
+        parts = 0;
+      }
+    }
+    if (parts == 0 || part >= parts) {
+      std::fprintf(stderr, "serve: bad partition '%s' (want I/N, I < N)\n",
+                   partition.c_str());
+      return 2;
+    }
+    index = BuildPartitionedIndex(ispec, embedder.EmbedBatch(workload.passages),
+                                  part, parts, shard_opts);
+    LogInfo("serving partition {}/{} over {}", part, parts,
+            index->Describe());
+  } else {
+    index = BuildShardedIndex(ispec, embedder.EmbedBatch(workload.passages),
+                              shard_opts);
+    LogInfo("serving over {}", index->Describe());
+  }
 
   ProximityCacheOptions copts;
   copts.capacity = static_cast<std::size_t>(cfg.GetInt("capacity", 200));
@@ -858,6 +895,138 @@ int CmdClient(const Config& cfg) {
   return failed == 0 ? 0 : 1;
 }
 
+int CmdRoute(const Config& cfg) {
+  if (cfg.GetBool("help", false)) {
+    std::puts(
+        "route knobs: shard_map=FILE (required; one replica per line:\n"
+        "  `shard G rpc=HOST:PORT [admin=HOST:PORT]`, see OPERATIONS.md)\n"
+        "  --listen HOST:PORT (default 127.0.0.1:0)\n"
+        "  port_file=PATH (write the bound port; useful with :0)\n"
+        "  workers=N connect_timeout_ms=N recv_timeout_ms=N\n"
+        "  hedge=true|false hedge_quantile=X hedge_min_us=N\n"
+        "  hedge_warmup=N (leg latencies per group before hedging arms)\n"
+        "  probe_interval_ms=N probe_timeout_ms=N replica_retry_ms=N\n"
+        "  max_leg_attempts=N\n"
+        "  max_connections=N max_inflight=N default_deadline_us=N\n"
+        "  drain_timeout_ms=N; SIGINT/SIGTERM drain gracefully\n"
+        "  --admin HOST:PORT (/metrics /healthz /statusz;\n"
+        "  admin_port_file=PATH with :0)\n"
+        "Backends are `serve partition=I/N --listen ...` processes; every\n"
+        "replica of group g must serve partition g/G of the same workload\n"
+        "configuration (DESIGN.md §14).");
+    return 0;
+  }
+  const std::string map_path = cfg.GetString("shard_map", "");
+  if (map_path.empty()) {
+    std::fputs("route: shard_map=FILE is required\n", stderr);
+    return 2;
+  }
+  cluster::ShardMap map = cluster::ShardMap::Load(map_path);
+
+  cluster::RouterOptions ropts;
+  const auto [host, port] =
+      ParseHostPort(cfg.GetString("listen", "127.0.0.1:0"));
+  ropts.server.host = host;
+  ropts.server.port = port;
+  ropts.server.max_connections =
+      static_cast<std::size_t>(cfg.GetInt("max_connections", 256));
+  ropts.server.max_inflight =
+      static_cast<std::size_t>(cfg.GetInt("max_inflight", 1024));
+  ropts.server.default_deadline_us =
+      static_cast<std::uint64_t>(cfg.GetInt("default_deadline_us", 0));
+  ropts.server.drain_timeout_ms =
+      static_cast<std::uint64_t>(cfg.GetInt("drain_timeout_ms", 10000));
+  ropts.workers = static_cast<std::size_t>(cfg.GetInt("workers", 4));
+  ropts.connect_timeout_ms =
+      static_cast<int>(cfg.GetInt("connect_timeout_ms", 1000));
+  ropts.recv_timeout_ms =
+      static_cast<int>(cfg.GetInt("recv_timeout_ms", 5000));
+  ropts.hedge = cfg.GetBool("hedge", true);
+  ropts.hedge_quantile = cfg.GetDouble("hedge_quantile", 0.99);
+  ropts.hedge_min_us =
+      static_cast<std::uint64_t>(cfg.GetInt("hedge_min_us", 500));
+  ropts.hedge_warmup =
+      static_cast<std::size_t>(cfg.GetInt("hedge_warmup", 16));
+  ropts.probe_interval_ms =
+      static_cast<int>(cfg.GetInt("probe_interval_ms", 200));
+  ropts.probe_timeout_ms =
+      static_cast<int>(cfg.GetInt("probe_timeout_ms", 500));
+  ropts.replica_retry_ms =
+      static_cast<int>(cfg.GetInt("replica_retry_ms", 1000));
+  ropts.max_leg_attempts =
+      static_cast<std::size_t>(cfg.GetInt("max_leg_attempts", 3));
+
+  cluster::Router router(std::move(map), ropts);
+  router.Start();
+  const std::string port_file = cfg.GetString("port_file", "");
+  if (!port_file.empty()) {
+    // Scripts binding :0 read the ephemeral port from here.
+    std::ofstream pf(port_file);
+    pf << router.port() << "\n";
+  }
+
+  // The admin plane mirrors `serve --admin`: /healthz follows the
+  // front-end drain FSM (a probing upstream router would see this
+  // router drain, too), /statusz adds per-group replica health.
+  std::unique_ptr<net::AdminServer> admin;
+  const std::string admin_spec = cfg.GetString("admin", "");
+  if (!admin_spec.empty()) {
+    const auto [admin_host, admin_port] = ParseHostPort(admin_spec);
+    net::AdminHooks hooks;
+    cluster::Router* rt = &router;
+    hooks.health = [rt] {
+      switch (rt->health()) {
+        case net::ServerHealth::kServing:
+          return net::HealthState::kServing;
+        case net::ServerHealth::kDraining:
+          return net::HealthState::kDraining;
+        case net::ServerHealth::kStopped: break;
+      }
+      return net::HealthState::kUnavailable;
+    };
+    hooks.statusz = [rt] { return rt->Statusz(); };
+    admin = std::make_unique<net::AdminServer>(
+        std::move(hooks), net::AdminOptions{admin_host, admin_port});
+    admin->Start();
+    const std::string admin_port_file =
+        cfg.GetString("admin_port_file", "");
+    if (!admin_port_file.empty()) {
+      std::ofstream pf(admin_port_file);
+      pf << admin->port() << "\n";
+    }
+  }
+
+  net::InstallSignalDrain(&router.frontend());
+  LogInfo("route: ready on {}:{} with {} shard groups "
+          "(SIGINT/SIGTERM drains)",
+          host, router.port(), router.map().num_groups());
+  router.Join();
+  net::InstallSignalDrain(nullptr);
+  if (admin) admin->Stop();
+
+  const net::ServerStats ns = router.server_stats();
+  std::printf("net: accepted=%llu requests=%llu responses=%llu "
+              "shed=%llu unavailable=%llu deadline_exceeded=%llu "
+              "abandoned=%llu protocol_errors=%llu\n",
+              static_cast<unsigned long long>(ns.accepted),
+              static_cast<unsigned long long>(ns.requests),
+              static_cast<unsigned long long>(ns.responses),
+              static_cast<unsigned long long>(ns.shed),
+              static_cast<unsigned long long>(ns.unavailable),
+              static_cast<unsigned long long>(ns.deadline_exceeded),
+              static_cast<unsigned long long>(ns.abandoned),
+              static_cast<unsigned long long>(ns.protocol_errors));
+  // The same lines /statusz serves live, as the final stats block —
+  // tools/cluster_smoke.sh greps these.
+  std::fputs(router.Statusz().c_str(), stdout);
+
+  const cluster::RouterStats rs = router.stats();
+  obs::RunReport report = MakeReport(cfg, "route");
+  report.queries = rs.queries;
+  EmitTelemetry(cfg, std::move(report));
+  return 0;
+}
+
 int CmdTraceGen(const Config& cfg) {
   if (cfg.GetBool("help", false)) {
     std::puts(
@@ -956,8 +1125,10 @@ int CmdInfo(const Config& cfg) {
   std::puts("workloads: mmlu (131 q, HNSW), medrag (200 q, FLAT)");
   std::puts("indexes:   flat hnsw vamana ivf_flat ivf_pq");
   std::puts("eviction:  fifo (paper) lru lfu random clock");
-  std::puts("subcommands: sweep run adaptive serve client trace-gen "
-            "replay info");
+  std::puts("subcommands: sweep run adaptive serve client route "
+            "trace-gen replay info");
+  std::puts("cluster:    route shard_map=FILE (router front-end over\n"
+            "            `serve partition=I/N` backends; DESIGN.md §14)");
   std::puts("telemetry:  --metrics-out FILE (.prom/.txt -> Prometheus,");
   std::puts("            else JSON run report; comma-separate for both)");
   std::puts("net:        serve --listen HOST:PORT / client connect=...");
@@ -1051,6 +1222,7 @@ int Main(int argc, char** argv) {
   if (cmd == "adaptive") return CmdAdaptive(cfg);
   if (cmd == "serve") return CmdServe(cfg);
   if (cmd == "client") return CmdClient(cfg);
+  if (cmd == "route") return CmdRoute(cfg);
   if (cmd == "trace-gen") return CmdTraceGen(cfg);
   if (cmd == "replay") return CmdReplay(cfg);
   if (cmd == "info" || cmd == "help") return CmdInfo(cfg);
