@@ -1,0 +1,192 @@
+#include "cache/answer_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics_registry.h"
+#include "obs/scan_stats.h"
+#include "obs/span.h"
+#include "vecmath/kernels.h"
+
+namespace proximity {
+namespace {
+
+// Telemetry mirrors of AnswerCacheStats, same split as the retrieval
+// cache: struct fields stay plain (single-threaded by contract, the
+// concurrent wrapper serializes under its mutex), registry counters are
+// relaxed atomics visible to the exporters.
+const obs::CounterHandle kObsLookups("acache.lookups");
+const obs::CounterHandle kObsHits("acache.hits");
+const obs::CounterHandle kObsMisses("acache.misses");
+const obs::CounterHandle kObsStaleHits("acache.stale_hits");
+const obs::CounterHandle kObsInsertions("acache.insertions");
+const obs::CounterHandle kObsRefreshes("acache.refreshes");
+const obs::CounterHandle kObsEvictions("acache.evictions");
+const obs::GaugeHandle kObsOccupancy("acache.occupancy");
+const obs::GaugeHandle kObsCapacity("acache.capacity");
+
+}  // namespace
+
+AnswerCache::AnswerCache(std::size_t dim, AnswerCacheOptions options)
+    : dim_(dim), options_(options), keys_(0, dim) {
+  if (dim == 0) {
+    throw std::invalid_argument("AnswerCache: dim must be > 0");
+  }
+  if (options_.capacity == 0) {
+    throw std::invalid_argument("AnswerCache: capacity must be > 0");
+  }
+  if (options_.tolerance < 0.f) {
+    throw std::invalid_argument("AnswerCache: tolerance must be >= 0");
+  }
+  keys_.Reserve(options_.capacity);
+  // Same trick as the retrieval cache: keep per-row squared norms so
+  // cosine scans take the norm-assisted batch kernel.
+  if (options_.metric == Metric::kCosine) keys_.EnableNormCache();
+  answers_.reserve(options_.capacity);
+  entry_gen_.reserve(options_.capacity);
+}
+
+std::optional<std::pair<std::size_t, float>> AnswerCache::ScanKeys(
+    std::span<const float> query) {
+  const std::size_t n = keys_.rows();
+  if (n == 0) return std::nullopt;
+  const obs::Span span(obs::Stage::kCacheScan);
+  scan_buffer_.resize(n);
+  BatchDistanceWithNorms(options_.metric, query, keys_.data(),
+                         keys_.RowNorms(), n, dim_, scan_buffer_.data());
+  stats_.keys_scanned += n;
+  obs::ScanPrimaryBytes(n * dim_ * sizeof(float));
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (scan_buffer_[i] < scan_buffer_[best]) best = i;
+  }
+  return std::make_pair(best, scan_buffer_[best]);
+}
+
+AnswerCache::LookupResult AnswerCache::Lookup(std::span<const float> query) {
+  if (query.size() != dim_) {
+    throw std::invalid_argument("AnswerCache::Lookup: dim mismatch");
+  }
+  ++stats_.lookups;
+  kObsLookups.Inc();
+  LookupResult result;
+  const obs::Span span(obs::Stage::kCacheLookup);
+  const auto best = ScanKeys(query);
+  if (best) result.best_distance = best->second;
+  if (best && best->second <= options_.tolerance) {
+    result.hit = true;
+    result.stale = entry_gen_[best->first] != generation_;
+    result.answer = &answers_[best->first];
+    ++stats_.hits;
+    kObsHits.Inc();
+    if (result.stale) {
+      ++stats_.stale_hits;
+      kObsStaleHits.Inc();
+    }
+  } else {
+    ++stats_.misses;
+    kObsMisses.Inc();
+  }
+  return result;
+}
+
+void AnswerCache::Insert(std::span<const float> query, CachedAnswer answer) {
+  if (query.size() != dim_) {
+    throw std::invalid_argument("AnswerCache::Insert: dim mismatch");
+  }
+  const obs::Span span(obs::Stage::kInsert);
+  // Upsert: a τ-close existing entry is refreshed in place, so a
+  // regenerated answer replaces the stale one that triggered it instead
+  // of coexisting with it.
+  const auto best = ScanKeys(query);
+  std::size_t slot;
+  if (best && best->second <= options_.tolerance) {
+    slot = best->first;
+    keys_.SetRow(slot, query);
+    ++stats_.refreshes;
+    kObsRefreshes.Inc();
+  } else if (keys_.rows() < options_.capacity) {
+    slot = keys_.rows();
+    keys_.AppendRow(query);
+    answers_.emplace_back();
+    entry_gen_.push_back(0);
+  } else {
+    // FIFO replacement, the paper's choice for the retrieval tier too.
+    slot = fifo_next_;
+    fifo_next_ = (fifo_next_ + 1) % options_.capacity;
+    keys_.SetRow(slot, query);
+    ++stats_.evictions;
+    kObsEvictions.Inc();
+  }
+  answers_[slot] = std::move(answer);
+  entry_gen_[slot] = generation_;
+  ++stats_.insertions;
+  kObsInsertions.Inc();
+  kObsOccupancy.Set(static_cast<double>(keys_.rows()));
+  kObsCapacity.Set(static_cast<double>(options_.capacity));
+}
+
+void AnswerCache::Clear() {
+  keys_ = Matrix(0, dim_);
+  keys_.Reserve(options_.capacity);
+  if (options_.metric == Metric::kCosine) keys_.EnableNormCache();
+  answers_.clear();
+  entry_gen_.clear();
+  fifo_next_ = 0;
+  kObsOccupancy.Set(0.0);
+}
+
+ConcurrentAnswerCache::ConcurrentAnswerCache(std::size_t dim,
+                                             AnswerCacheOptions options)
+    : dim_(dim), cache_(dim, options) {}
+
+float ConcurrentAnswerCache::tolerance() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.tolerance();
+}
+
+void ConcurrentAnswerCache::set_tolerance(float tau) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.set_tolerance(tau);
+}
+
+void ConcurrentAnswerCache::set_generation(std::uint64_t gen) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.set_generation(gen);
+}
+
+std::uint64_t ConcurrentAnswerCache::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.generation();
+}
+
+std::optional<ConcurrentAnswerCache::Hit> ConcurrentAnswerCache::Lookup(
+    std::span<const float> query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const AnswerCache::LookupResult result = cache_.Lookup(query);
+  if (!result.hit) return std::nullopt;
+  Hit hit;
+  hit.stale = result.stale;
+  hit.best_distance = result.best_distance;
+  hit.answer = *result.answer;
+  return hit;
+}
+
+void ConcurrentAnswerCache::Insert(std::span<const float> query,
+                                   CachedAnswer answer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.Insert(query, std::move(answer));
+}
+
+AnswerCacheStats ConcurrentAnswerCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.stats();
+}
+
+std::size_t ConcurrentAnswerCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace proximity

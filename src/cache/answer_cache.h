@@ -1,0 +1,184 @@
+// AnswerCache — the answer-level tier above the Proximity cache.
+//
+// The ProximityCache reuses *retrievals* (document-id lists); this cache
+// reuses *answers*. Keys are query embeddings, values are the generated
+// answer's payload plus the evidence it was grounded in: the retrieved
+// document-id set and the distance profile of that retrieval. "Grounded
+// Cache Routing for RAG" (PAPERS.md) argues answer reuse is only safe
+// behind a router that re-checks this evidence against a fresh
+// retrieval; the ReuseRouter (cache/reuse_router.h) consumes exactly
+// what an entry stores here.
+//
+// Mechanics mirror the ProximityCache deliberately: a fixed arena of
+// `capacity` rows scanned with the same batched SIMD distance kernels,
+// its own (typically tighter) tolerance τ, FIFO replacement, and the
+// staleness generation stamp of DESIGN.md §13 — the owner pushes the
+// index's mutation generation via set_generation(), Insert stamps it,
+// and Lookup reports a hit filled under an older generation as `stale`
+// so the router can force regeneration.
+//
+// One deviation from the retrieval cache: Insert is an upsert. When the
+// new key lands within τ of an existing entry, that entry is refreshed
+// in place (key, payload, and generation) instead of a FIFO victim
+// being evicted — regenerated answers replace the stale entry that
+// triggered them rather than accumulating near-duplicates.
+//
+// AnswerCache is not thread-safe (the paper's pipeline is sequential);
+// ConcurrentAnswerCache below is the mutex wrapper the multi-tenant
+// serving driver uses.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "vecmath/matrix.h"
+#include "vecmath/metric.h"
+
+namespace proximity {
+
+struct AnswerCacheOptions {
+  /// Arena capacity (entries).
+  std::size_t capacity = 64;
+  /// Similarity tolerance τ for answer reuse. Usually tighter than the
+  /// retrieval cache's τ: reusing a whole answer is a bigger bet than
+  /// reusing a document list.
+  float tolerance = 0.5f;
+  /// Distance function; must equal the embedding space's metric.
+  Metric metric = Metric::kL2;
+};
+
+/// One cached answer plus the evidence it was generated from. The
+/// payload fields are what the simulator's answer model produces (a
+/// real deployment would store the generated text); the evidence fields
+/// are what the ReuseRouter compares against a fresh retrieval.
+struct CachedAnswer {
+  /// Document ids the answer was grounded in, in retrieval order.
+  std::vector<VectorId> source_docs;
+  /// Distances parallel to source_docs; may be empty when the serving
+  /// path had no distances (e.g. a retrieval-cache hit).
+  std::vector<float> source_distances;
+  /// Answer payload: the judged context quality and the verdict the
+  /// answer model produced from it.
+  double relevance = 0.0;
+  double misleading = 0.0;
+  bool correct = false;
+};
+
+struct AnswerCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  /// Within-τ matches whose entry generation trailed the index
+  /// generation (reported to the caller via LookupResult::stale).
+  std::uint64_t stale_hits = 0;
+  std::uint64_t insertions = 0;
+  /// Insertions that refreshed a τ-close existing entry in place.
+  std::uint64_t refreshes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t keys_scanned = 0;
+
+  double HitRate() const noexcept {
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+class AnswerCache {
+ public:
+  AnswerCache(std::size_t dim, AnswerCacheOptions options = {});
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t capacity() const noexcept { return options_.capacity; }
+  std::size_t size() const noexcept { return keys_.rows(); }
+  float tolerance() const noexcept { return options_.tolerance; }
+  Metric metric() const noexcept { return options_.metric; }
+  void set_tolerance(float tau) noexcept { options_.tolerance = tau; }
+
+  /// The staleness contract (DESIGN.md §13, §15): the owner pushes the
+  /// index's mutation generation here; Insert stamps it, Lookup reports
+  /// hits filled under an older stamp as stale. Must be monotone.
+  void set_generation(std::uint64_t gen) noexcept { generation_ = gen; }
+  std::uint64_t generation() const noexcept { return generation_; }
+
+  struct LookupResult {
+    bool hit = false;
+    /// Hit only: the entry predates the current generation. The router
+    /// must treat this as ungrounded (forced regenerate).
+    bool stale = false;
+    /// Distance to the best-matching key; +inf when the cache is empty.
+    float best_distance = std::numeric_limits<float>::infinity();
+    /// Hit only: the cached entry. Valid until the next Insert/Clear.
+    const CachedAnswer* answer = nullptr;
+  };
+
+  LookupResult Lookup(std::span<const float> query);
+
+  /// Upsert: refreshes the τ-closest entry in place when one exists,
+  /// otherwise appends (evicting the FIFO victim once full). Stamps the
+  /// current generation either way.
+  void Insert(std::span<const float> query, CachedAnswer answer);
+
+  void Clear();
+
+  const AnswerCacheStats& stats() const noexcept { return stats_; }
+  void ResetStats() noexcept { stats_ = {}; }
+
+ private:
+  /// Returns (slot, distance) of the closest key, or nullopt if empty.
+  std::optional<std::pair<std::size_t, float>> ScanKeys(
+      std::span<const float> query);
+
+  std::size_t dim_;
+  AnswerCacheOptions options_;
+
+  Matrix keys_;                        // one row per slot
+  std::vector<CachedAnswer> answers_;  // parallels keys_ rows
+  std::vector<std::uint64_t> entry_gen_;
+  std::vector<float> scan_buffer_;
+  std::size_t fifo_next_ = 0;  // next victim slot once full
+  std::uint64_t generation_ = 0;
+
+  AnswerCacheStats stats_;
+};
+
+/// Thread-safe wrapper (mirrors ConcurrentProximityCache): a single
+/// mutex around the short linear scan. Used by the TenantRegistry for
+/// the per-tenant answer caches the BatchingDriver probes.
+class ConcurrentAnswerCache {
+ public:
+  ConcurrentAnswerCache(std::size_t dim, AnswerCacheOptions options);
+
+  std::size_t dim() const noexcept { return dim_; }
+  Metric metric() const noexcept { return cache_.metric(); }
+
+  float tolerance() const;
+  void set_tolerance(float tau);
+  void set_generation(std::uint64_t gen);
+  std::uint64_t generation() const;
+
+  /// A hit, copied out: references into the inner cache would dangle
+  /// across concurrent insertions.
+  struct Hit {
+    bool stale = false;
+    float best_distance = 0.0f;
+    CachedAnswer answer;
+  };
+
+  std::optional<Hit> Lookup(std::span<const float> query);
+  void Insert(std::span<const float> query, CachedAnswer answer);
+
+  AnswerCacheStats stats() const;
+  std::size_t size() const;
+
+ private:
+  std::size_t dim_;
+  mutable std::mutex mu_;
+  AnswerCache cache_;
+};
+
+}  // namespace proximity

@@ -1,0 +1,105 @@
+#include "cache/reuse_router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace proximity {
+namespace {
+
+const obs::CounterHandle kObsRouted("router.routed");
+const obs::CounterHandle kObsServed("router.served");
+const obs::CounterHandle kObsPatched("router.patched");
+const obs::CounterHandle kObsRegenerated("router.regenerated");
+const obs::CounterHandle kObsStaleForced("router.stale_forced");
+
+double MeanOf(std::span<const float> values) {
+  double sum = 0.0;
+  for (const float v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+/// |cached ∩ fresh| / |cached|, as sets. Evidence lists are top-k
+/// sized (tens of ids), so the quadratic membership test beats
+/// building a hash set.
+double EvidenceOverlap(std::span<const VectorId> cached,
+                       std::span<const VectorId> fresh) {
+  if (cached.empty()) return fresh.empty() ? 1.0 : 0.0;
+  std::size_t shared = 0;
+  for (const VectorId id : cached) {
+    if (std::find(fresh.begin(), fresh.end(), id) != fresh.end()) ++shared;
+  }
+  return static_cast<double>(shared) / static_cast<double>(cached.size());
+}
+
+}  // namespace
+
+const char* ReuseDecisionName(ReuseDecision decision) noexcept {
+  switch (decision) {
+    case ReuseDecision::kServe:
+      return "serve";
+    case ReuseDecision::kPatch:
+      return "patch";
+    case ReuseDecision::kRegenerate:
+      return "regenerate";
+  }
+  return "unknown";
+}
+
+ReuseRouter::ReuseRouter(ReuseRouterOptions options) : options_(options) {
+  if (options_.patch_overlap > options_.serve_overlap) {
+    throw std::invalid_argument(
+        "ReuseRouter: patch_overlap must be <= serve_overlap");
+  }
+}
+
+ReuseVerdict ReuseRouter::Route(bool stale,
+                                std::span<const VectorId> cached_docs,
+                                std::span<const float> cached_dists,
+                                std::span<const VectorId> fresh_docs,
+                                std::span<const float> fresh_dists) {
+  ++stats_.routed;
+  kObsRouted.Inc();
+  ReuseVerdict verdict;
+  verdict.overlap = EvidenceOverlap(cached_docs, fresh_docs);
+  if (!cached_dists.empty() && !fresh_dists.empty()) {
+    const double cached_mean = MeanOf(cached_dists);
+    const double fresh_mean = MeanOf(fresh_dists);
+    // Relative drift; abs() because inner-product distances go
+    // negative, with a floor so a near-zero cached mean cannot blow up
+    // the ratio.
+    verdict.drift = std::abs(fresh_mean - cached_mean) /
+                    std::max(std::abs(cached_mean), 1e-12);
+  }
+  if (stale) {
+    // Stale stamps short-circuit: the cached doc ids may point at
+    // deleted vectors, so no overlap score can make reuse grounded.
+    verdict.decision = ReuseDecision::kRegenerate;
+    verdict.stale_forced = true;
+    ++stats_.regenerated;
+    ++stats_.stale_forced;
+    kObsRegenerated.Inc();
+    kObsStaleForced.Inc();
+    return verdict;
+  }
+  if (verdict.overlap >= options_.serve_overlap &&
+      verdict.drift <= options_.max_distance_drift) {
+    verdict.decision = ReuseDecision::kServe;
+    ++stats_.served;
+    kObsServed.Inc();
+  } else if (verdict.overlap >= options_.patch_overlap) {
+    verdict.decision = ReuseDecision::kPatch;
+    ++stats_.patched;
+    kObsPatched.Inc();
+  } else {
+    verdict.decision = ReuseDecision::kRegenerate;
+    ++stats_.regenerated;
+    kObsRegenerated.Inc();
+  }
+  return verdict;
+}
+
+}  // namespace proximity

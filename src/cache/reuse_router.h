@@ -1,0 +1,98 @@
+// ReuseRouter — the grounding check in front of answer reuse.
+//
+// A τ-hit in the AnswerCache says the *query* looks familiar; it says
+// nothing about whether the *evidence* the cached answer was generated
+// from still matches what retrieval would return today. Following the
+// grounded-routing idea in PAPERS.md, every answer-cache hit is routed
+// by comparing the cached entry's retrieved-doc id set and distance
+// profile against a fresh (or overlapped) retrieval:
+//
+//   kServe       — evidence overlap is high and the distance profile
+//                  has not drifted: commit the cached/drafted answer.
+//   kPatch       — partial overlap: keep the draft but splice in the
+//                  fresh context (the answer model re-judges it).
+//   kRegenerate  — low overlap, heavy drift, or a stale generation
+//                  stamp: discard the draft and run the full path.
+//
+// A stale entry (its source docs predate the index's current mutation
+// generation — DESIGN.md §13) is never served regardless of overlap:
+// its doc ids may reference deleted vectors.
+//
+// Not thread-safe; each pipeline or driver flusher owns its router.
+// The router.* registry counters are incremented inside Route, so both
+// the sequential pipeline and the serving driver feed the same
+// telemetry for free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+namespace proximity {
+
+enum class ReuseDecision : std::uint32_t {
+  kServe = 0,
+  kPatch = 1,
+  kRegenerate = 2,
+};
+
+const char* ReuseDecisionName(ReuseDecision decision) noexcept;
+
+struct ReuseRouterOptions {
+  /// Minimum evidence overlap (|cached ∩ fresh| / |cached|) to serve.
+  double serve_overlap = 0.6;
+  /// Minimum overlap to patch; below this the router regenerates.
+  double patch_overlap = 0.3;
+  /// Maximum relative drift of the mean retrieval distance for a
+  /// serve; beyond it the corpus moved under the query and the router
+  /// downgrades to patch even at full id overlap.
+  double max_distance_drift = 0.5;
+};
+
+/// One routing verdict plus the signals it was derived from (surfaced
+/// in tests, the bench JSON, and operator debugging).
+struct ReuseVerdict {
+  ReuseDecision decision = ReuseDecision::kRegenerate;
+  /// |cached ∩ fresh| / |cached| (1.0 when both evidence sets empty).
+  double overlap = 0.0;
+  /// |mean(fresh) − mean(cached)| / |mean(cached)|, 0 when either
+  /// distance profile is missing.
+  double drift = 0.0;
+  /// The decision was forced by a stale generation stamp.
+  bool stale_forced = false;
+};
+
+class ReuseRouter {
+ public:
+  explicit ReuseRouter(ReuseRouterOptions options = {});
+
+  const ReuseRouterOptions& options() const noexcept { return options_; }
+
+  /// Routes one answer-cache hit. `stale` is the cache's generation
+  /// verdict; the spans are the cached entry's evidence and the fresh
+  /// retrieval's result (fresh_dists may be empty, e.g. when the fresh
+  /// docs came from a retrieval-cache hit that carries no distances).
+  ReuseVerdict Route(bool stale, std::span<const VectorId> cached_docs,
+                     std::span<const float> cached_dists,
+                     std::span<const VectorId> fresh_docs,
+                     std::span<const float> fresh_dists);
+
+  struct Stats {
+    std::uint64_t routed = 0;
+    std::uint64_t served = 0;
+    std::uint64_t patched = 0;
+    std::uint64_t regenerated = 0;
+    /// Regenerations forced by a stale generation stamp alone.
+    std::uint64_t stale_forced = 0;
+  };
+
+  const Stats& stats() const noexcept { return stats_; }
+  void ResetStats() noexcept { stats_ = {}; }
+
+ private:
+  ReuseRouterOptions options_;
+  Stats stats_;
+};
+
+}  // namespace proximity

@@ -16,6 +16,7 @@ namespace proximity {
 namespace {
 const obs::CounterHandle kObsSubmitted("serve.submitted");
 const obs::CounterHandle kObsHits("serve.hits");
+const obs::CounterHandle kObsAnswerHits("serve.answer_hits");
 const obs::CounterHandle kObsRetrieved("serve.retrieved");
 const obs::CounterHandle kObsCoalesced("serve.coalesced");
 const obs::CounterHandle kObsShed("serve.shed");
@@ -37,7 +38,8 @@ BatchingDriver::BatchingDriver(const VectorIndex& index,
       cache_(&cache),
       registry_(nullptr),
       embedder_(embedder),
-      options_(options) {
+      options_(options),
+      router_(options.router) {
   if (options_.max_batch == 0) {
     throw std::invalid_argument("BatchingDriver: max_batch must be > 0");
   }
@@ -55,7 +57,8 @@ BatchingDriver::BatchingDriver(const VectorIndex& index,
       cache_(nullptr),
       registry_(&registry),
       embedder_(embedder),
-      options_(options) {
+      options_(options),
+      router_(options.router) {
   if (options_.max_batch == 0) {
     throw std::invalid_argument("BatchingDriver: max_batch must be > 0");
   }
@@ -459,8 +462,12 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
                        obs::TraceRelNanos(batch[i].enqueued), waited[i]);
   }
 
-  std::uint64_t hits = 0, retrieved = 0, coalesced = 0, expired = 0,
-                mutations = 0, completed = 0;
+  std::uint64_t hits = 0, answer_hits = 0, retrieved = 0, coalesced = 0,
+                expired = 0, mutations = 0, completed = 0;
+  // Answer reuse is a registry-mode feature: per-tenant answer caches
+  // live in the registry, and single-cache drivers have nowhere
+  // isolation-safe to keep one.
+  const bool answer_reuse = options_.answer_reuse && registry_ != nullptr;
   // Per-tenant view of the same outcome deltas (merged under mu_ at the
   // end, mirrored into tenant.<label>.* via the registry).
   std::map<TenantId, TenantCounters> deltas;
@@ -561,6 +568,41 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
         if (done[i]) continue;
         if (!stamped.emplace(batch[i].tenant, true).second) continue;
         CacheFor(batch[i].tenant).set_generation(gen);
+        // The answer tier honors the same staleness contract: a hit
+        // whose entry predates this stamp must not be served.
+        if (answer_reuse) {
+          registry_->AnswerCacheFor(batch[i].tenant).set_generation(gen);
+        }
+      }
+    }
+
+    // 1.7 Answer-reuse probe (DESIGN.md §15): a current-generation
+    //     τ-hit in the submitting tenant's answer cache completes here
+    //     with the cached entry's evidence — no retrieval cache probe,
+    //     no search. Stale τ-hits ride the normal path instead; the
+    //     router audits their cached evidence against the fresh result
+    //     in step 6 and the entry is refreshed.
+    std::map<std::size_t, ConcurrentAnswerCache::Hit> stale_answers;
+    if (answer_reuse) {
+      for (const std::size_t i : live) {
+        if (done[i]) continue;
+        const TenantId tenant = batch[i].tenant;
+        const obs::ScopedTraceContext trace_scope(batch[i].trace);
+        auto hit =
+            registry_->AnswerCacheFor(tenant).Lookup(batch[i].embedding);
+        if (!hit) continue;
+        if (hit->stale) {
+          stale_answers.emplace(i, std::move(*hit));
+          continue;
+        }
+        results[i].documents = hit->answer.source_docs;
+        results[i].distances = hit->answer.source_distances;
+        results[i].answer_hit = true;
+        results[i].queue_wait_ns = waited[i];
+        done[i] = true;
+        ++answer_hits;
+        ++completed;
+        ++deltas[tenant].answer_hits;
       }
     }
 
@@ -683,6 +725,31 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
       done[i] = true;
       ++completed;
     }
+
+    // 6. Answer-tier maintenance. First audit each stale answer hit
+    //    against the fresh evidence its entry now has (the router's
+    //    verdict feeds router.* telemetry; conservation already counted
+    //    the retrieval-path outcome — stale entries are never served,
+    //    exactly the forced-regenerate contract). Then refresh/seed the
+    //    tenant's answer entry under the current generation with the
+    //    fresh evidence. The driver caches evidence only; the answer
+    //    payload belongs to the layer that generates (the pipeline).
+    if (answer_reuse) {
+      for (const auto& [i, hit] : stale_answers) {
+        if (!done[i] || results[i].status != RequestStatus::kOk) continue;
+        router_.Route(true, hit.answer.source_docs,
+                      hit.answer.source_distances, results[i].documents,
+                      results[i].distances);
+      }
+      for (const std::size_t i : misses) {
+        if (results[i].status != RequestStatus::kOk) continue;
+        CachedAnswer entry;
+        entry.source_docs = results[i].documents;
+        entry.source_distances = results[i].distances;
+        registry_->AnswerCacheFor(batch[i].tenant)
+            .Insert(batch[i].embedding, std::move(entry));
+      }
+    }
   } catch (...) {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (done[i]) continue;
@@ -695,6 +762,7 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
   }
 
   kObsHits.Inc(hits);
+  kObsAnswerHits.Inc(answer_hits);
   kObsRetrieved.Inc(retrieved);
   kObsCoalesced.Inc(coalesced);
   kObsExpired.Inc(expired);
@@ -712,6 +780,7 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
   {
     std::lock_guard lock(mu_);
     stats_.hits += hits;
+    stats_.answer_hits += answer_hits;
     stats_.retrieved += retrieved;
     stats_.coalesced += coalesced;
     stats_.expired += expired;
@@ -723,6 +792,7 @@ void BatchingDriver::ProcessBatch(std::vector<Pending> batch) {
     for (const auto& [tenant, delta] : deltas) {
       BatchingDriverStats& tstats = tenant_stats_[tenant];
       tstats.hits += delta.hits;
+      tstats.answer_hits += delta.answer_hits;
       tstats.retrieved += delta.retrieved;
       tstats.coalesced += delta.coalesced;
       tstats.expired += delta.expired;

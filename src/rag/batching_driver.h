@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "cache/concurrent_cache.h"
+#include "cache/reuse_router.h"
 #include "common/types.h"
 #include "embed/hash_embedder.h"
 #include "index/vector_index.h"
@@ -99,12 +100,21 @@ struct BatchingDriverOptions {
   /// rest); false = strict global FIFO by arrival (the pre-tenancy
   /// behavior, kept for the noisy-neighbor contrast bench).
   bool fair = true;
+  /// Answer-reuse tier (DESIGN.md §15): probe the submitting tenant's
+  /// answer cache before its retrieval cache and serve
+  /// current-generation τ-hits without embedding-search work. Stale
+  /// τ-hits fall through to the normal path; the router audits them
+  /// against the fresh result and the entry is refreshed. Registry
+  /// mode only — single-cache drivers ignore this flag.
+  bool answer_reuse = false;
+  /// Grounding thresholds for the stale-hit routing audit.
+  ReuseRouterOptions router;
 };
 
 /// Counters over the driver's lifetime. After Shutdown (queue drained,
 /// flusher joined):
-///   hits + retrieved + coalesced + shed + expired + quota_shed
-///       + mutations == submitted
+///   hits + answer_hits + retrieved + coalesced + shed + expired
+///       + quota_shed + mutations == submitted
 /// and completed == submitted - shed - quota_shed (both shed kinds
 /// finish inline at Submit, everything else through a flush) — no query
 /// is dropped. The same invariant holds per tenant (tenant_stats()).
@@ -112,6 +122,9 @@ struct BatchingDriverStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t hits = 0;
+  /// Served from a tenant's answer cache at flush (answer_reuse mode;
+  /// current-generation τ-hits only — no retrieval ran).
+  std::uint64_t answer_hits = 0;
   std::uint64_t retrieved = 0;
   std::uint64_t coalesced = 0;
   /// Shed at admission by `queue_bound` (RESOURCE_EXHAUSTED).
@@ -144,6 +157,9 @@ struct BatchResult {
   std::vector<float> distances;
   /// kOk only: served from the cache without touching the index.
   bool cache_hit = false;
+  /// kOk only: served from the tenant's answer cache (answer_reuse
+  /// mode). `documents`/`distances` carry the cached entry's evidence.
+  bool answer_hit = false;
   /// kOk only: shared a τ-similar leader's retrieval within the batch.
   bool coalesced = false;
   /// Time spent in the admission queue before its batch flushed.
@@ -312,6 +328,9 @@ class BatchingDriver {
   TenantRegistry* registry_;         // multi-tenant mode; else null
   const HashEmbedder* embedder_;
   BatchingDriverOptions options_;
+  /// Audits stale answer-cache hits against their fresh retrieval
+  /// (answer_reuse mode). Touched by the flusher thread only.
+  ReuseRouter router_;
 
   mutable std::mutex mu_;
   std::mutex shutdown_mu_;  // serializes concurrent Shutdown callers

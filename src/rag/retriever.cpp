@@ -55,13 +55,21 @@ RetrievalOutcome Retriever::Retrieve(std::span<const float> query) {
     } else {
       auto neighbors = index_->Search(query, options_.top_k);
       outcome.documents.reserve(neighbors.size());
-      for (const auto& n : neighbors) outcome.documents.push_back(n.id);
+      outcome.distances.reserve(neighbors.size());
+      for (const auto& n : neighbors) {
+        outcome.documents.push_back(n.id);
+        outcome.distances.push_back(n.distance);
+      }
       cache_->Insert(query, outcome.documents);
     }
   } else {
     auto neighbors = index_->Search(query, options_.top_k);
     outcome.documents.reserve(neighbors.size());
-    for (const auto& n : neighbors) outcome.documents.push_back(n.id);
+    outcome.distances.reserve(neighbors.size());
+    for (const auto& n : neighbors) {
+      outcome.documents.push_back(n.id);
+      outcome.distances.push_back(n.distance);
+    }
   }
 
   const Nanos virtual_delta =

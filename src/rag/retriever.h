@@ -19,6 +19,10 @@ struct RetrieverOptions {
 
 struct RetrievalOutcome {
   std::vector<VectorId> documents;
+  /// Distances parallel to `documents`. Empty on a cache hit (the
+  /// retrieval cache stores id lists only); populated on database
+  /// misses. The reuse router's drift check consumes this profile.
+  std::vector<float> distances;
   bool cache_hit = false;
   /// End-to-end retrieval latency: cache lookup plus (on a miss) the
   /// database search, including any simulated storage delay (§4.2

@@ -44,26 +44,30 @@ struct ObsFamily {
   explicit ObsFamily(const std::string& label)
       : submitted("tenant." + label + ".submitted"),
         hits("tenant." + label + ".hits"),
+        answer_hits("tenant." + label + ".answer_hits"),
         retrieved("tenant." + label + ".retrieved"),
         coalesced("tenant." + label + ".coalesced"),
         shed("tenant." + label + ".shed"),
         expired("tenant." + label + ".expired"),
         quota_shed("tenant." + label + ".quota_shed"),
         mutations("tenant." + label + ".mutations"),
-        occupancy("tenant." + label + ".cache_occupancy") {}
+        occupancy("tenant." + label + ".cache_occupancy"),
+        acache_occupancy("tenant." + label + ".acache_occupancy") {}
 
-  obs::CounterHandle submitted, hits, retrieved, coalesced, shed, expired,
-      quota_shed, mutations;
-  obs::GaugeHandle occupancy;
+  obs::CounterHandle submitted, hits, answer_hits, retrieved, coalesced,
+      shed, expired, quota_shed, mutations;
+  obs::GaugeHandle occupancy, acache_occupancy;
 };
 
 }  // namespace
 
 struct TenantRegistry::State {
   State(std::size_t dim, const TenantSpec& s,
-        const ProximityCacheOptions& cache_opts, std::string obs_label)
+        const ProximityCacheOptions& cache_opts,
+        const AnswerCacheOptions& answer_opts, std::string obs_label)
       : spec(s),
         cache(dim, cache_opts),
+        answer_cache(dim, answer_opts),
         obs(std::move(obs_label)),
         bucket(s.quota.qps,
                s.quota.burst > 0 ? s.quota.burst
@@ -73,6 +77,7 @@ struct TenantRegistry::State {
 
   TenantSpec spec;
   ConcurrentProximityCache cache;
+  ConcurrentAnswerCache answer_cache;
   ObsFamily obs;
   TokenBucket bucket;
   std::optional<AdaptiveTau> adaptive;
@@ -99,11 +104,16 @@ std::unique_ptr<TenantRegistry::State> TenantRegistry::MakeState(
   if (spec.adaptive_tau) {
     cache_opts.tolerance = static_cast<float>(spec.adaptive.initial_tau);
   }
+  AnswerCacheOptions answer_opts = options_.answer_defaults;
+  if (spec.answer_capacity > 0) answer_opts.capacity = spec.answer_capacity;
+  if (spec.answer_tau >= 0) {
+    answer_opts.tolerance = static_cast<float>(spec.answer_tau);
+  }
   const std::string label =
       tenants_.size() < options_.max_obs_tenants
           ? (spec.name.empty() ? std::to_string(spec.id) : spec.name)
           : "other";
-  return std::make_unique<State>(dim_, spec, cache_opts, label);
+  return std::make_unique<State>(dim_, spec, cache_opts, answer_opts, label);
 }
 
 TenantId TenantRegistry::Register(const TenantSpec& spec) {
@@ -197,8 +207,10 @@ std::vector<TenantInfo> TenantRegistry::Infos() const {
     info.weight = state->spec.weight;
     info.tolerance = state->cache.tolerance();
     info.cache_entries = state->cache.size();
+    info.answer_entries = state->answer_cache.size();
     info.inflight = state->inflight;
     info.cache = state->cache.stats();
+    info.answer = state->answer_cache.stats();
     out.push_back(std::move(info));
   }
   return out;
@@ -207,6 +219,11 @@ std::vector<TenantInfo> TenantRegistry::Infos() const {
 ConcurrentProximityCache& TenantRegistry::CacheFor(TenantId id) {
   std::lock_guard lock(mu_);
   return StateFor(id).cache;
+}
+
+ConcurrentAnswerCache& TenantRegistry::AnswerCacheFor(TenantId id) {
+  std::lock_guard lock(mu_);
+  return StateFor(id).answer_cache;
 }
 
 double TenantRegistry::WeightFor(TenantId id) const {
@@ -231,14 +248,17 @@ void TenantRegistry::ObserveLookup(TenantId id, bool hit) {
 void TenantRegistry::Record(TenantId id, const TenantCounters& delta) {
   const ObsFamily* fam = nullptr;
   double occupancy = 0.0;
+  double answer_occupancy = 0.0;
   {
     std::lock_guard lock(mu_);
     State& state = StateFor(id);
     fam = &state.obs;
     occupancy = static_cast<double>(state.cache.size());
+    answer_occupancy = static_cast<double>(state.answer_cache.size());
   }
   if (delta.submitted) fam->submitted.Inc(delta.submitted);
   if (delta.hits) fam->hits.Inc(delta.hits);
+  if (delta.answer_hits) fam->answer_hits.Inc(delta.answer_hits);
   if (delta.retrieved) fam->retrieved.Inc(delta.retrieved);
   if (delta.coalesced) fam->coalesced.Inc(delta.coalesced);
   if (delta.shed) fam->shed.Inc(delta.shed);
@@ -246,6 +266,7 @@ void TenantRegistry::Record(TenantId id, const TenantCounters& delta) {
   if (delta.quota_shed) fam->quota_shed.Inc(delta.quota_shed);
   if (delta.mutations) fam->mutations.Inc(delta.mutations);
   fam->occupancy.Set(occupancy);
+  fam->acache_occupancy.Set(answer_occupancy);
 }
 
 namespace {
@@ -295,6 +316,10 @@ std::vector<TenantSpec> ParseTenantSpecs(const std::string& text) {
           spec.cache_capacity = std::stoul(value);
         } else if (key == "tau") {
           spec.tolerance = std::stod(value);
+        } else if (key == "answer_capacity") {
+          spec.answer_capacity = std::stoul(value);
+        } else if (key == "answer_tau") {
+          spec.answer_tau = std::stod(value);
         } else if (key == "weight") {
           spec.weight = std::stod(value);
         } else if (key == "adaptive") {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cache/adaptive_tau.h"
+#include "cache/answer_cache.h"
 #include "cache/concurrent_cache.h"
 #include "common/types.h"
 
@@ -81,6 +82,10 @@ struct TenantSpec {
   std::size_t cache_capacity = 0;
   /// Initial τ; negative = registry default tolerance.
   double tolerance = -1.0;
+  /// Answer-cache entries; 0 = registry answer_defaults capacity.
+  std::size_t answer_capacity = 0;
+  /// Answer-cache τ; negative = registry answer_defaults tolerance.
+  double answer_tau = -1.0;
   /// Weighted deficit-round-robin share in the batching flush (> 0).
   double weight = 1.0;
   /// Steer this tenant's τ with an AdaptiveTau controller.
@@ -100,6 +105,10 @@ enum class UnknownTenantPolicy {
 struct TenantRegistryOptions {
   /// Capacity/τ/metric template for tenants that do not override them.
   ProximityCacheOptions cache_defaults;
+  /// Template for the per-tenant answer caches (DESIGN.md §15). The
+  /// caches always exist; whether the driver probes them is its own
+  /// `answer_reuse` option.
+  AnswerCacheOptions answer_defaults;
   UnknownTenantPolicy unknown_policy = UnknownTenantPolicy::kAutoRegister;
   /// Tenants beyond this count share the `tenant.other.*` metric family.
   std::size_t max_obs_tenants = 8;
@@ -122,14 +131,18 @@ struct TenantInfo {
   double weight = 1.0;
   float tolerance = 0.0f;
   std::size_t cache_entries = 0;
+  std::size_t answer_entries = 0;
   std::size_t inflight = 0;
   ConcurrentCacheStats cache;
+  AnswerCacheStats answer;
 };
 
 /// Per-tenant serve-outcome deltas, mirrored into `tenant.<label>.*`.
 struct TenantCounters {
   std::uint64_t submitted = 0;
   std::uint64_t hits = 0;
+  /// Served from this tenant's answer cache (no search ran).
+  std::uint64_t answer_hits = 0;
   std::uint64_t retrieved = 0;
   std::uint64_t coalesced = 0;
   std::uint64_t shed = 0;
@@ -174,6 +187,9 @@ class TenantRegistry {
   /// are never destroyed while the registry lives).
   ConcurrentProximityCache& CacheFor(TenantId id);
 
+  /// The tenant's private answer cache (same stability guarantee).
+  ConcurrentAnswerCache& AnswerCacheFor(TenantId id);
+
   double WeightFor(TenantId id) const;
 
   /// Feeds the tenant's AdaptiveTau controller (no-op unless the spec
@@ -210,8 +226,9 @@ class TenantRegistry {
 
 /// Parses a tenant roster: one tenant per line of space-separated
 /// key=value pairs (`id=` required; `name= qps= burst= max_inflight=
-/// capacity= tau= weight= adaptive= target_hit_rate=` optional; '#'
-/// starts a comment). Throws std::invalid_argument on malformed input.
+/// capacity= tau= answer_capacity= answer_tau= weight= adaptive=
+/// target_hit_rate=` optional; '#' starts a comment). Throws
+/// std::invalid_argument on malformed input.
 std::vector<TenantSpec> ParseTenantSpecs(const std::string& text);
 
 /// LoadTenantSpecs(path) = ParseTenantSpecs(file contents); throws

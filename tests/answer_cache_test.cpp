@@ -1,0 +1,524 @@
+// Answer-level semantic cache and grounded reuse routing (DESIGN.md
+// §15): AnswerCache arena mechanics (τ-lookup, FIFO eviction, the
+// upsert deviation, staleness stamping), ReuseRouter threshold math,
+// the pipeline's serve/patch/regenerate paths with overlap-draft
+// accounting (drafts == commits + discards), and the BatchingDriver's
+// answer tier — hit short-circuit, deleted-source-doc forced
+// regeneration, cross-tenant isolation, and the extended conservation
+// equation:
+//   hits + answer_hits + retrieved + coalesced + shed + expired
+//       + quota_shed + mutations == submitted
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cache/answer_cache.h"
+#include "cache/reuse_router.h"
+#include "embed/hash_embedder.h"
+#include "index/flat_index.h"
+#include "index/index_factory.h"
+#include "llm/answer_model.h"
+#include "rag/batching_driver.h"
+#include "rag/pipeline.h"
+#include "rag/retriever.h"
+#include "tenant/tenant_registry.h"
+#include "workload/benchmark_spec.h"
+#include "workload/query_stream.h"
+
+namespace proximity {
+namespace {
+
+std::vector<float> Key(float x, std::size_t dim = 4) {
+  return std::vector<float>(dim, x);
+}
+
+CachedAnswer Answer(double relevance, bool correct,
+                    std::vector<VectorId> docs = {1, 2, 3}) {
+  CachedAnswer a;
+  a.source_docs = std::move(docs);
+  a.source_distances = {0.1f, 0.2f, 0.3f};
+  a.relevance = relevance;
+  a.correct = correct;
+  return a;
+}
+
+// ---------------------------------------------------------- AnswerCache --
+
+TEST(AnswerCacheTest, LookupHitsWithinTauAndMissesBeyond) {
+  AnswerCacheOptions opts;
+  opts.capacity = 4;
+  opts.tolerance = 0.5f;
+  AnswerCache cache(4, opts);
+
+  EXPECT_FALSE(cache.Lookup(Key(0.0f)).hit);  // empty cache
+  cache.Insert(Key(0.0f), Answer(0.9, true));
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto hit = cache.Lookup(Key(0.1f));  // L2 distance 0.2 < τ
+  ASSERT_TRUE(hit.hit);
+  EXPECT_FALSE(hit.stale);
+  ASSERT_NE(hit.answer, nullptr);
+  EXPECT_DOUBLE_EQ(hit.answer->relevance, 0.9);
+  EXPECT_TRUE(hit.answer->correct);
+  EXPECT_EQ(hit.answer->source_docs, (std::vector<VectorId>{1, 2, 3}));
+
+  EXPECT_FALSE(cache.Lookup(Key(5.0f)).hit);  // far beyond τ
+
+  const AnswerCacheStats& s = cache.stats();
+  EXPECT_EQ(s.lookups, 3u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.insertions, 1u);
+}
+
+TEST(AnswerCacheTest, FifoEvictsOldestOnceFull) {
+  AnswerCacheOptions opts;
+  opts.capacity = 2;
+  opts.tolerance = 0.1f;
+  AnswerCache cache(4, opts);
+
+  cache.Insert(Key(0.0f), Answer(0.1, false, {1}));
+  cache.Insert(Key(10.0f), Answer(0.2, false, {2}));
+  cache.Insert(Key(20.0f), Answer(0.3, false, {3}));  // evicts Key(0)
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.Lookup(Key(0.0f)).hit);
+  EXPECT_TRUE(cache.Lookup(Key(10.0f)).hit);
+  EXPECT_TRUE(cache.Lookup(Key(20.0f)).hit);
+}
+
+TEST(AnswerCacheTest, InsertUpsertsTauCloseEntryInPlace) {
+  AnswerCacheOptions opts;
+  opts.capacity = 4;
+  opts.tolerance = 0.5f;
+  AnswerCache cache(4, opts);
+
+  cache.Insert(Key(0.0f), Answer(0.1, false, {7}));
+  cache.Insert(Key(0.05f), Answer(0.8, true, {8, 9}));  // within τ
+
+  EXPECT_EQ(cache.size(), 1u);  // refreshed, not appended
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.stats().refreshes, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  const auto hit = cache.Lookup(Key(0.05f));
+  ASSERT_TRUE(hit.hit);
+  EXPECT_TRUE(hit.answer->correct);
+  EXPECT_EQ(hit.answer->source_docs, (std::vector<VectorId>{8, 9}));
+}
+
+TEST(AnswerCacheTest, GenerationStampMarksOlderEntriesStale) {
+  AnswerCache cache(4, {.capacity = 4, .tolerance = 0.5f});
+  cache.Insert(Key(0.0f), Answer(0.5, true));
+  EXPECT_FALSE(cache.Lookup(Key(0.0f)).stale);
+
+  cache.set_generation(3);  // the corpus mutated underneath the entry
+  const auto stale = cache.Lookup(Key(0.0f));
+  ASSERT_TRUE(stale.hit);
+  EXPECT_TRUE(stale.stale);
+  EXPECT_EQ(cache.stats().stale_hits, 1u);
+
+  // A refresh re-stamps the entry under the current generation.
+  cache.Insert(Key(0.0f), Answer(0.6, true));
+  EXPECT_EQ(cache.stats().refreshes, 1u);
+  const auto fresh = cache.Lookup(Key(0.0f));
+  ASSERT_TRUE(fresh.hit);
+  EXPECT_FALSE(fresh.stale);
+}
+
+// ---------------------------------------------------------- ReuseRouter --
+
+TEST(ReuseRouterTest, RoutesByOverlapAndDriftThresholds) {
+  ReuseRouter router;  // serve >= 0.6, patch >= 0.3, drift <= 0.5
+  const std::vector<VectorId> cached = {1, 2, 3};
+  const std::vector<float> dists = {1.0f, 1.0f, 1.0f};
+
+  // Identical evidence: serve.
+  auto v = router.Route(false, cached, dists, cached, dists);
+  EXPECT_EQ(v.decision, ReuseDecision::kServe);
+  EXPECT_DOUBLE_EQ(v.overlap, 1.0);
+  EXPECT_DOUBLE_EQ(v.drift, 0.0);
+
+  // One of three ids survives (overlap 1/3): patch.
+  v = router.Route(false, cached, dists, std::vector<VectorId>{3, 4, 5},
+                   dists);
+  EXPECT_EQ(v.decision, ReuseDecision::kPatch);
+  EXPECT_NEAR(v.overlap, 1.0 / 3.0, 1e-9);
+
+  // Disjoint evidence: regenerate.
+  v = router.Route(false, cached, dists, std::vector<VectorId>{7, 8, 9},
+                   dists);
+  EXPECT_EQ(v.decision, ReuseDecision::kRegenerate);
+  EXPECT_DOUBLE_EQ(v.overlap, 0.0);
+
+  // Full id overlap but the distance profile doubled (drift 1.0 > 0.5):
+  // the serve downgrades to patch.
+  v = router.Route(false, cached, dists, cached,
+                   std::vector<float>{2.0f, 2.0f, 2.0f});
+  EXPECT_EQ(v.decision, ReuseDecision::kPatch);
+  EXPECT_NEAR(v.drift, 1.0, 1e-9);
+
+  const ReuseRouter::Stats& s = router.stats();
+  EXPECT_EQ(s.routed, 4u);
+  EXPECT_EQ(s.served, 1u);
+  EXPECT_EQ(s.patched, 2u);
+  EXPECT_EQ(s.regenerated, 1u);
+  EXPECT_EQ(s.stale_forced, 0u);
+}
+
+TEST(ReuseRouterTest, StaleStampForcesRegenerateAtFullOverlap) {
+  ReuseRouter router;
+  const std::vector<VectorId> docs = {1, 2, 3};
+  const std::vector<float> dists = {1.0f, 1.0f, 1.0f};
+  const auto v = router.Route(true, docs, dists, docs, dists);
+  EXPECT_EQ(v.decision, ReuseDecision::kRegenerate);
+  EXPECT_TRUE(v.stale_forced);
+  EXPECT_EQ(router.stats().stale_forced, 1u);
+}
+
+TEST(ReuseRouterTest, RejectsInvertedThresholds) {
+  ReuseRouterOptions opts;
+  opts.serve_overlap = 0.3;
+  opts.patch_overlap = 0.6;  // patch > serve is a contradiction
+  EXPECT_THROW(ReuseRouter{opts}, std::invalid_argument);
+}
+
+// ------------------------------------------------- pipeline answer path --
+
+struct ReuseFixture {
+  ReuseFixture() {
+    WorkloadSpec spec = MmluLikeSpec(800, 42);
+    spec.num_questions = 20;
+    spec.num_clusters = 4;
+    workload = BuildWorkload(spec);
+    index = std::make_unique<FlatIndex>(embedder.dim());
+    index->AddBatch(embedder.EmbedBatch(workload.passages));
+
+    QueryStreamOptions sopts;
+    sopts.seed = 1;
+    stream = BuildQueryStream(workload, sopts);
+    std::vector<std::string> texts;
+    for (const auto& e : stream) texts.push_back(e.text);
+    stream_embeddings = embedder.EmbedBatch(texts);
+  }
+
+  HashEmbedder embedder;
+  Workload workload;
+  std::unique_ptr<FlatIndex> index;
+  std::vector<StreamEntry> stream;
+  Matrix stream_embeddings;
+};
+
+TEST(PipelineAnswerReuseTest, RepeatQueryServesCachedVerdictFaster) {
+  ReuseFixture fx;
+  Retriever retriever(fx.index.get(), nullptr, nullptr, {.top_k = 5});
+  RagPipeline pipeline(&fx.workload, &fx.embedder, &retriever,
+                       AnswerModel(MmluAnswerParams()), 1);
+  AnswerCache acache(fx.embedder.dim(), {.capacity = 64, .tolerance = 0.5f});
+  ReuseRouter router;
+  AnswerReuseOptions ropts;
+  ropts.generation_cost_ns = 1'000'000'000;  // dwarfs any real scan time
+  ropts.draft_fraction = 0.0;                // the draft is free
+  pipeline.EnableAnswerReuse(&acache, &router, ropts);
+
+  const auto first = pipeline.ProcessQuery(fx.stream[0],
+                                           fx.stream_embeddings.Row(0), 0);
+  EXPECT_FALSE(first.answer_hit);
+  EXPECT_GE(first.ttft_ns, ropts.generation_cost_ns);
+
+  // The identical embedding τ-hits; identical evidence serves.
+  const auto second = pipeline.ProcessQuery(fx.stream[0],
+                                            fx.stream_embeddings.Row(0), 1);
+  EXPECT_TRUE(second.answer_hit);
+  EXPECT_EQ(second.correct, first.correct);
+  EXPECT_DOUBLE_EQ(second.judgment.relevance, first.judgment.relevance);
+  EXPECT_LT(second.ttft_ns, first.ttft_ns);
+
+  const AnswerReuseStats& s = pipeline.answer_stats();
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.answer_hits, 1u);
+  EXPECT_EQ(s.served, 1u);
+  EXPECT_EQ(s.regenerated, 0u);
+  EXPECT_EQ(s.drafts, 1u);
+  EXPECT_EQ(s.commits, 1u);
+  EXPECT_EQ(s.discards, 0u);
+}
+
+TEST(PipelineAnswerReuseTest, RegenerateDiscardsTheOverlapDraft) {
+  ReuseFixture fx;
+  Retriever retriever(fx.index.get(), nullptr, nullptr, {.top_k = 5});
+  RagPipeline pipeline(&fx.workload, &fx.embedder, &retriever,
+                       AnswerModel(MmluAnswerParams()), 1);
+  AnswerCache acache(fx.embedder.dim(), {.capacity = 64, .tolerance = 0.5f});
+  // Unreachable thresholds (overlap is at most 1.0): every hit routes
+  // to regenerate, so every started draft must be discarded.
+  ReuseRouterOptions unreachable;
+  unreachable.serve_overlap = 1.5;
+  unreachable.patch_overlap = 1.5;
+  ReuseRouter router(unreachable);
+  pipeline.EnableAnswerReuse(&acache, &router, {});
+
+  const auto first = pipeline.ProcessQuery(fx.stream[0],
+                                           fx.stream_embeddings.Row(0), 0);
+  const auto second = pipeline.ProcessQuery(fx.stream[0],
+                                            fx.stream_embeddings.Row(0), 1);
+  EXPECT_FALSE(second.answer_hit);
+  // The regenerated answer recomputes the full path: same verdict as
+  // the first run of the identical query.
+  EXPECT_EQ(second.correct, first.correct);
+
+  const AnswerReuseStats& s = pipeline.answer_stats();
+  EXPECT_EQ(s.answer_hits, 0u);
+  EXPECT_EQ(s.regenerated, 1u);
+  EXPECT_EQ(s.drafts, 1u);
+  EXPECT_EQ(s.commits, 0u);
+  EXPECT_EQ(s.discards, 1u);
+  EXPECT_EQ(s.drafts, s.commits + s.discards);
+}
+
+TEST(PipelineAnswerReuseTest, ValidatesTheCacheRouterPair) {
+  ReuseFixture fx;
+  Retriever retriever(fx.index.get(), nullptr, nullptr, {.top_k = 5});
+  RagPipeline pipeline(&fx.workload, &fx.embedder, &retriever,
+                       AnswerModel(MmluAnswerParams()), 1);
+  AnswerCache acache(fx.embedder.dim(), {});
+  ReuseRouter router;
+
+  EXPECT_THROW(pipeline.EnableAnswerReuse(&acache, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline.EnableAnswerReuse(nullptr, &router),
+               std::invalid_argument);
+
+  AnswerCache wrong_dim(fx.embedder.dim() / 2, {});
+  EXPECT_THROW(pipeline.EnableAnswerReuse(&wrong_dim, &router),
+               std::invalid_argument);
+
+  AnswerReuseOptions bad;
+  bad.draft_fraction = 1.5;
+  EXPECT_THROW(pipeline.EnableAnswerReuse(&acache, &router, bad),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------- driver answer tier --
+
+constexpr std::size_t kDim = 8;
+
+FlatIndex MakeIndex() {
+  FlatIndex index(kDim);
+  for (std::size_t r = 0; r < 100; ++r) {
+    std::vector<float> row(kDim, 0.0f);
+    row[r % kDim] = 1.0f + static_cast<float>(r) * 0.01f;
+    index.Add(row);
+  }
+  return index;
+}
+
+BatchingDriverOptions ParkedFlusher() {
+  BatchingDriverOptions opts;
+  opts.max_batch = 1000;
+  opts.max_wait_us = 60ull * 1000000ull;
+  opts.top_k = 3;
+  opts.answer_reuse = true;
+  return opts;
+}
+
+std::future<BatchResult> SubmitFor(BatchingDriver& driver,
+                                   std::vector<float> embedding,
+                                   TenantId tenant = kDefaultTenant) {
+  auto promise = std::make_shared<std::promise<BatchResult>>();
+  auto future = promise->get_future();
+  SubmitOptions opts;
+  opts.tenant = tenant;
+  driver.SubmitAsync(std::move(embedding), opts,
+                     [promise](BatchResult r) {
+                       promise->set_value(std::move(r));
+                     });
+  return future;
+}
+
+void ExpectConserved(const BatchingDriverStats& s) {
+  EXPECT_EQ(s.hits + s.answer_hits + s.retrieved + s.coalesced + s.shed +
+                s.expired + s.quota_shed + s.mutations,
+            s.submitted);
+  EXPECT_EQ(s.completed, s.submitted - s.shed - s.quota_shed);
+}
+
+TenantRegistryOptions AnswerRegistryOptions() {
+  TenantRegistryOptions topts;
+  topts.cache_defaults.capacity = 16;
+  topts.cache_defaults.tolerance = 0.05f;
+  topts.answer_defaults.capacity = 8;
+  topts.answer_defaults.tolerance = 0.05f;
+  return topts;
+}
+
+TEST(DriverAnswerReuseTest, RepeatQueryIsAnswerHitAndConserved) {
+  FlatIndex index = MakeIndex();
+  TenantRegistry registry(kDim, AnswerRegistryOptions());
+  BatchingDriver driver(index, registry, nullptr, ParkedFlusher());
+
+  const std::vector<float> q(kDim, 0.5f);
+  auto f1 = SubmitFor(driver, q);
+  driver.Flush();
+  const BatchResult r1 = f1.get();
+  ASSERT_EQ(r1.status, RequestStatus::kOk);
+  EXPECT_FALSE(r1.answer_hit);  // cold: a real retrieval seeds the tier
+
+  auto f2 = SubmitFor(driver, q);
+  driver.Flush();
+  const BatchResult r2 = f2.get();
+  ASSERT_EQ(r2.status, RequestStatus::kOk);
+  EXPECT_TRUE(r2.answer_hit);
+  EXPECT_FALSE(r2.cache_hit);  // short-circuits before the proximity tier
+  EXPECT_EQ(r2.documents, r1.documents);
+  EXPECT_EQ(r2.distances, r1.distances);  // cached evidence, not id-only
+
+  driver.Shutdown();
+  const BatchingDriverStats s = driver.stats();
+  EXPECT_EQ(s.submitted, 2u);
+  EXPECT_EQ(s.retrieved, 1u);
+  EXPECT_EQ(s.answer_hits, 1u);
+  EXPECT_EQ(s.hits, 0u);
+  ExpectConserved(s);
+
+  const auto tstats = driver.tenant_stats();
+  ASSERT_TRUE(tstats.count(kDefaultTenant));
+  EXPECT_EQ(tstats.at(kDefaultTenant).answer_hits, 1u);
+}
+
+TEST(DriverAnswerReuseTest, DeletedSourceDocForcesFreshRetrieval) {
+  HashEmbedder embedder;
+  std::vector<std::string> corpus;
+  for (int d = 0; d < 64; ++d) {
+    corpus.push_back("document number " + std::to_string(d) +
+                     " about topic " + std::to_string(d % 8));
+  }
+  IndexSpec spec;
+  spec.kind = "mutable";
+  const auto index = BuildIndex(spec, embedder.EmbedBatch(corpus));
+
+  TenantRegistryOptions topts;
+  topts.cache_defaults.capacity = 16;
+  topts.cache_defaults.tolerance = 0.05f;
+  // Revalidate: a stale proximity hit degrades to a miss, so the
+  // post-mutation query re-retrieves instead of serving stale ids.
+  topts.cache_defaults.staleness = StalenessPolicy::kRevalidate;
+  topts.answer_defaults.capacity = 8;
+  topts.answer_defaults.tolerance = 0.05f;
+  TenantRegistry registry(embedder.dim(), topts);
+  BatchingDriver driver(*index, registry, &embedder, ParkedFlusher());
+  driver.EnableMutation(*index);
+
+  const std::vector<float> q = embedder.Embed("document number 7");
+  auto f1 = SubmitFor(driver, q);
+  driver.Flush();
+  const BatchResult r1 = f1.get();
+  ASSERT_EQ(r1.status, RequestStatus::kOk);
+  ASSERT_FALSE(r1.documents.empty());
+  const VectorId victim = r1.documents[0];
+
+  // Delete the answer's top source doc: the cached entry's evidence now
+  // names a dead vector.
+  std::promise<BatchResult> deleted;
+  driver.SubmitMutationAsync(MutationOp::kDelete, "", victim, {},
+                             [&](BatchResult r) {
+                               deleted.set_value(std::move(r));
+                             });
+  driver.Flush();
+  ASSERT_EQ(deleted.get_future().get().status, RequestStatus::kOk);
+
+  // Same query again: the answer entry is stale (generation stamp), so
+  // it must NOT be served; the fresh retrieval cannot contain the
+  // deleted id.
+  auto f2 = SubmitFor(driver, q);
+  driver.Flush();
+  const BatchResult r2 = f2.get();
+  ASSERT_EQ(r2.status, RequestStatus::kOk);
+  EXPECT_FALSE(r2.answer_hit);
+  for (const VectorId id : r2.documents) EXPECT_NE(id, victim);
+
+  driver.Shutdown();
+  const BatchingDriverStats s = driver.stats();
+  EXPECT_EQ(s.answer_hits, 0u);
+  EXPECT_EQ(s.mutations, 1u);
+  ExpectConserved(s);
+}
+
+TEST(DriverAnswerReuseTest, AnswerHitsNeverCrossTenants) {
+  FlatIndex index = MakeIndex();
+  TenantRegistry registry(kDim, AnswerRegistryOptions());
+  TenantSpec alpha;
+  alpha.id = 1;
+  alpha.name = "alpha";
+  registry.Register(alpha);
+  TenantSpec beta;
+  beta.id = 2;
+  beta.name = "beta";
+  registry.Register(beta);
+  BatchingDriver driver(index, registry, nullptr, ParkedFlusher());
+
+  const std::vector<float> q(kDim, 0.5f);
+  auto f1 = SubmitFor(driver, q, 1);
+  driver.Flush();
+  ASSERT_EQ(f1.get().status, RequestStatus::kOk);
+
+  // Tenant 2 asks the exact question tenant 1 just seeded: its own
+  // answer cache is cold, so it must pay its own retrieval.
+  auto f2 = SubmitFor(driver, q, 2);
+  driver.Flush();
+  const BatchResult other = f2.get();
+  ASSERT_EQ(other.status, RequestStatus::kOk);
+  EXPECT_FALSE(other.answer_hit);
+  EXPECT_FALSE(other.cache_hit);
+
+  // Tenant 1 repeating it is a private answer hit.
+  auto f3 = SubmitFor(driver, q, 1);
+  driver.Flush();
+  EXPECT_TRUE(f3.get().answer_hit);
+
+  driver.Shutdown();
+  const auto tstats = driver.tenant_stats();
+  EXPECT_EQ(tstats.at(1).answer_hits, 1u);
+  EXPECT_EQ(tstats.at(2).answer_hits, 0u);
+  ExpectConserved(driver.stats());
+}
+
+// ------------------------------------------- ConcurrentAnswerCache race --
+
+TEST(ConcurrentAnswerCacheTest, ParallelLookupInsertAndStamping) {
+  AnswerCacheOptions opts;
+  opts.capacity = 16;
+  opts.tolerance = 0.25f;
+  ConcurrentAnswerCache cache(4, opts);
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const float x = static_cast<float>((t * kIters + i) % 32);
+        cache.Insert(Key(x), Answer(0.5, true, {static_cast<VectorId>(t)}));
+        if (auto hit = cache.Lookup(Key(x))) {
+          // Copied out: safe to read while other threads insert.
+          EXPECT_FALSE(hit->answer.source_docs.empty());
+        }
+        if (i % 64 == 0) {
+          cache.set_generation(static_cast<std::uint64_t>(i));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_LE(cache.size(), opts.capacity);
+  const AnswerCacheStats s = cache.stats();
+  EXPECT_EQ(s.insertions, static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+}  // namespace
+}  // namespace proximity

@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "cache/answer_cache.h"
 #include "cache/proximity_cache.h"
+#include "cache/reuse_router.h"
 #include "cache/tiered_cache.h"
 #include "cluster/router.h"
 #include "common/rng.h"
@@ -30,6 +32,7 @@
 #include "obs/trace.h"
 #include "rag/batching_driver.h"
 #include "rag/concurrent_driver.h"
+#include "rag/pipeline.h"
 #include "rag/retriever.h"
 #include "tenant/tenant_registry.h"
 #include "vecmath/matrix.h"
@@ -104,6 +107,32 @@ void InstantiateTheStack() {
   // tcache.*
   TieredCache tiered(kDim, {});
   (void)tiered.Lookup(vec);
+
+  // acache.* — the answer tier (DESIGN.md §15): a miss, an insert, a
+  // fresh hit, and a stale hit after a generation stamp.
+  AnswerCache acache(kDim, {});
+  (void)acache.Lookup(vec);
+  CachedAnswer cached_answer;
+  cached_answer.source_docs = {1};
+  cached_answer.source_distances = {0.0f};
+  acache.Insert(vec, cached_answer);
+  (void)acache.Lookup(vec);
+  acache.set_generation(1);
+  (void)acache.Lookup(vec);
+
+  // router.* — one grounded serve and one stale-forced regenerate.
+  ReuseRouter reuse_router;
+  const std::vector<VectorId> evidence{1};
+  const std::vector<float> evidence_dists{0.0f};
+  (void)reuse_router.Route(false, evidence, evidence_dists, evidence,
+                           evidence_dists);
+  (void)reuse_router.Route(true, evidence, evidence_dists, evidence,
+                           evidence_dists);
+
+  // overlap.* — the pipeline TU's draft-accounting handles (odr-used
+  // via the member pointer, same idiom as RunStreamConcurrent below).
+  volatile auto overlap_touch = &RagPipeline::RunStream;
+  (void)overlap_touch;
 
   // retriever.* / retrieve.*
   Retriever retriever(&index, &cache, nullptr, {});

@@ -33,9 +33,16 @@
 #                          sustained ingest must stay <= 2x quiet (on
 #                          1-core hosts the p99 gate records a
 #                          machine-readable skip_reason instead).
+#   8. answer_cache      — --quick answer-tier gates (DESIGN.md §15):
+#                          answer-hit TTFT must be >= 2x better than a
+#                          miss on the same stream, end-to-end accuracy
+#                          must stay within 1 point of the
+#                          no-answer-tier baseline, and the overlap
+#                          draft accounting must balance.
 #
 # Emits BENCH_obs.json, BENCH_kernels.json, BENCH_shard.json,
-# BENCH_net.json, BENCH_tenant.json, BENCH_quant.json, BENCH_churn.json
+# BENCH_net.json, BENCH_tenant.json, BENCH_quant.json, BENCH_churn.json,
+# BENCH_answer.json
 # and BENCH_trace.json (serve_load's exported Perfetto trace) into --out
 # (default: the build dir), which CI uploads as artifacts. Timing gates on shared runners are noisy, so CI marks
 # this job non-blocking; locally it is a quick sanity check that the
@@ -60,7 +67,7 @@ mkdir -p "$OUT_DIR"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target obs_overhead distance_kernels shard_scaling serve_load \
-  tenant_isolation quantized_scan churn_sweep
+  tenant_isolation quantized_scan churn_sweep answer_cache
 
 echo "== bench_smoke: obs_overhead (2% telemetry gate) =="
 "$BUILD_DIR/bench/obs_overhead" --json="$OUT_DIR/BENCH_obs.json"
@@ -186,6 +193,35 @@ if ! grep -q '"p99_gate": \(true\|false\)' "$OUT_DIR/BENCH_churn.json"; then
          "a skip_reason" >&2
     exit 1
   }
+fi
+
+echo "== bench_smoke: answer_cache --quick (answer-tier TTFT/accuracy gates) =="
+# answer_cache exits non-zero by itself when any gate fails; re-check
+# the two headline numbers from the JSON so a reporting regression
+# (field missing) also fails the smoke.
+"$BUILD_DIR/bench/answer_cache" --quick \
+  --json="$OUT_DIR/BENCH_answer.json"
+
+ANS_SPEEDUP=$(awk -F'"ttft_speedup": ' '
+  NF > 1 { split($2, a, ","); print a[1]; exit }
+' "$OUT_DIR/BENCH_answer.json")
+ANS_DELTA=$(awk -F'"accuracy_delta_pp": ' '
+  NF > 1 { split($2, a, ","); print a[1]; exit }
+' "$OUT_DIR/BENCH_answer.json")
+
+if [[ -z "$ANS_SPEEDUP" || -z "$ANS_DELTA" ]]; then
+  echo "bench_smoke: FAIL — ttft_speedup/accuracy_delta_pp missing from" \
+       "BENCH_answer.json" >&2
+  exit 1
+fi
+echo "answer-hit ttft_speedup=$ANS_SPEEDUP accuracy_delta_pp=$ANS_DELTA"
+if ! awk -v s="$ANS_SPEEDUP" 'BEGIN { exit !(s >= 2.0) }'; then
+  echo "bench_smoke: FAIL — answer-hit TTFT speedup below 2x" >&2
+  exit 1
+fi
+if ! awk -v d="$ANS_DELTA" 'BEGIN { exit !(d <= 1.0) }'; then
+  echo "bench_smoke: FAIL — answer-tier accuracy cost exceeds 1 point" >&2
+  exit 1
 fi
 
 echo "bench_smoke: all gates passed"

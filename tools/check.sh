@@ -30,8 +30,10 @@ esac
 # they report through; `net` adds the epoll front-end (unit suite + the
 # serve_smoke loopback drain check), `tenant` the multi-tenant registry
 # and fair batching, `quant` the compressed scan path (its scan.*
-# telemetry test is OBS-gated, so both matrix legs exercise it).
-LABELS='^(obs|concurrent|shard|common|net|tenant|quant)$'
+# telemetry test is OBS-gated, so both matrix legs exercise it),
+# `acache` the answer-level cache tier (its concurrent wrapper and the
+# driver's answer path ride TSan).
+LABELS='^(obs|concurrent|shard|common|net|tenant|quant|acache)$'
 
 run_suite() {
   local build_dir="$1"
@@ -39,7 +41,7 @@ run_suite() {
   cmake -B "$build_dir" -S . "$@" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" \
     --target obs_test concurrent_test common_test cache_test shard_test \
-    net_test tenant_test quant_test proximity_cli
+    net_test tenant_test quant_test answer_cache_test proximity_cli
   (cd "$build_dir" && ctest -L "$LABELS" --no-tests=error --output-on-failure)
 }
 
@@ -51,7 +53,7 @@ run_tsan() {
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
     --target obs_test concurrent_test common_test shard_test net_test \
-    tenant_test quant_test
+    tenant_test quant_test answer_cache_test
   (cd build-tsan && ctest -L '^tsan$' --no-tests=error --output-on-failure)
 }
 

@@ -285,11 +285,13 @@ std::pair<std::string, std::uint16_t> ParseHostPort(
 }
 
 void PrintDriverStats(const BatchingDriverStats& dstats) {
-  std::printf("driver: batches=%llu hits=%llu retrieved=%llu "
+  std::printf("driver: batches=%llu hits=%llu answer_hits=%llu "
+              "retrieved=%llu "
               "coalesced=%llu shed=%llu expired=%llu quota_shed=%llu "
               "flushes(full/timer/drain)=%llu/%llu/%llu\n",
               static_cast<unsigned long long>(dstats.batches),
               static_cast<unsigned long long>(dstats.hits),
+              static_cast<unsigned long long>(dstats.answer_hits),
               static_cast<unsigned long long>(dstats.retrieved),
               static_cast<unsigned long long>(dstats.coalesced),
               static_cast<unsigned long long>(dstats.shed),
@@ -305,11 +307,13 @@ void PrintDriverStats(const BatchingDriverStats& dstats) {
 void PrintTenantStats(
     const std::map<TenantId, BatchingDriverStats>& per_tenant) {
   for (const auto& [id, s] : per_tenant) {
-    std::printf("tenant %u: submitted=%llu hits=%llu retrieved=%llu "
+    std::printf("tenant %u: submitted=%llu hits=%llu answer_hits=%llu "
+                "retrieved=%llu "
                 "coalesced=%llu shed=%llu expired=%llu quota_shed=%llu\n",
                 static_cast<unsigned>(id),
                 static_cast<unsigned long long>(s.submitted),
                 static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.answer_hits),
                 static_cast<unsigned long long>(s.retrieved),
                 static_cast<unsigned long long>(s.coalesced),
                 static_cast<unsigned long long>(s.shed),
@@ -327,7 +331,7 @@ std::string ServeStatusz(const std::string& storage,
                          const VectorIndex* index, BatchingDriver* driver,
                          TenantRegistry* registry) {
   std::string out;
-  char line[256];
+  char line[320];
   out += "protocol: v" + std::to_string(net::kProtocolVersion) + "\n";
   out += "simd: " + std::string(SimdLevelName(ActiveSimdLevel())) + "\n";
   out += "storage: " + storage + " (quant kernels: " +
@@ -361,6 +365,19 @@ std::string ServeStatusz(const std::string& storage,
   out += "obs: compiled OFF\n";
 #endif
   if (driver == nullptr || registry == nullptr) return out;
+  // The answer-reuse line: whether the driver probes the per-tenant
+  // answer caches, and the registry-default τ/capacity they carry
+  // (OPERATIONS.md "Answer cache & reuse routing").
+  if (driver->options().answer_reuse) {
+    const AnswerCacheOptions& aopts = registry->options().answer_defaults;
+    std::snprintf(line, sizeof(line),
+                  "answer_cache: enabled capacity=%zu tau=%.3f\n",
+                  aopts.capacity,
+                  static_cast<double>(aopts.tolerance));
+    out += line;
+  } else {
+    out += "answer_cache: disabled\n";
+  }
   const auto depths = driver->queue_depths();
   std::snprintf(line, sizeof(line), "queued: %zu\n", driver->pending());
   out += line;
@@ -370,11 +387,13 @@ std::string ServeStatusz(const std::string& storage,
         line, sizeof(line),
         "tenant %u (%s): qps=%.1f burst=%.1f max_inflight=%zu "
         "weight=%.2f tau=%.3f cache_entries=%zu hit_rate=%.3f "
+        "acache_entries=%zu answer_hits=%llu "
         "inflight=%zu queued=%zu\n",
         static_cast<unsigned>(info.id), info.name.c_str(), info.quota.qps,
         info.quota.burst, info.quota.max_inflight, info.weight,
         static_cast<double>(info.tolerance), info.cache_entries,
-        info.cache.HitRate(), info.inflight,
+        info.cache.HitRate(), info.answer_entries,
+        static_cast<unsigned long long>(info.answer.hits), info.inflight,
         depth_it == depths.end() ? std::size_t{0} : depth_it->second);
     out += line;
   }
@@ -393,6 +412,9 @@ int CmdServe(const Config& cfg) {
         "  staleness=serve-stale|revalidate|invalidate-region (cache\n"
         "  policy when an entry predates the index generation)\n"
         "  storage=float32|sq8|sq4 rerank=N (compressed primary scan)\n"
+        "  answer_cache=N answer_tau=X (per-tenant answer-level cache\n"
+        "  with grounded reuse routing, network mode; N entries, 0 =\n"
+        "  off; DESIGN.md §15, docs/OPERATIONS.md runbook)\n"
         "  max_batch=N max_wait_us=N coalesce=true|false top_k=N\n"
         "  variants=N order=shuffled|grouped|zipf seed=N\n"
         "  --metrics-out FILE[.prom|.json][,FILE...]\n"
@@ -405,7 +427,8 @@ int CmdServe(const Config& cfg) {
         "  /healthz /statusz /tracez; admin_port_file=PATH with :0)\n"
         "multi-tenant (network mode): --tenants FILE (tenant roster:\n"
         "  one `id=N name=S qps=X burst=N max_inflight=N capacity=N\n"
-        "  tau=X weight=X adaptive=true target_hit_rate=X` per line);\n"
+        "  tau=X answer_capacity=N answer_tau=X weight=X adaptive=true\n"
+        "  target_hit_rate=X` per line);\n"
         "  fair=true|false (weighted deficit-round-robin vs FIFO)");
     return 0;
   }
@@ -490,7 +513,16 @@ int CmdServe(const Config& cfg) {
   }
   ConcurrentProximityCache cache(embedder.dim(), copts);
 
+  // Answer-level semantic cache above the proximity tier (DESIGN.md
+  // §15): `answer_cache=N` entries per tenant, τ defaults to half the
+  // proximity τ (answer reuse should be stricter than evidence reuse).
+  const std::size_t answer_capacity =
+      static_cast<std::size_t>(cfg.GetInt("answer_cache", 0));
+  const double answer_tau = cfg.GetDouble(
+      "answer_tau", cfg.GetDouble("tau", 2.0) / 2.0);
+
   BatchingDriverOptions dopts;
+  dopts.answer_reuse = answer_capacity > 0;
   dopts.max_batch = static_cast<std::size_t>(cfg.GetInt("max_batch", 32));
   dopts.max_wait_us =
       static_cast<std::uint64_t>(cfg.GetInt("max_wait_us", 200));
@@ -512,6 +544,13 @@ int CmdServe(const Config& cfg) {
     const auto [host, port] = ParseHostPort(listen);
     TenantRegistryOptions topts;
     topts.cache_defaults = copts;
+    topts.answer_defaults.metric = copts.metric;
+    if (answer_capacity > 0) {
+      topts.answer_defaults.capacity = answer_capacity;
+      topts.answer_defaults.tolerance = static_cast<float>(answer_tau);
+      LogInfo("serve: answer cache enabled (capacity={} tau={})",
+              answer_capacity, answer_tau);
+    }
     const std::string roster = cfg.GetString("tenants", "");
     // With an explicit roster, unknown tenant ids fall back to the
     // default tenant instead of minting unbounded per-tenant state.
